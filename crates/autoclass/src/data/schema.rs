@@ -1,0 +1,182 @@
+//! Attribute schemas: what kind of value each column holds and the
+//! metadata the model terms need (measurement error, level counts).
+
+use serde::{Deserialize, Serialize};
+
+/// The statistical type of one attribute (column).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AttributeKind {
+    /// A real-valued scalar measurement. `error` is the measurement error
+    /// of the instrument; AutoClass uses it as a floor on the modeled
+    /// standard deviation so a class can never claim to know a value more
+    /// precisely than it was measured.
+    Real {
+        /// Absolute measurement error (> 0).
+        error: f64,
+    },
+    /// A strictly positive real modeled on the log scale (AutoClass's
+    /// `single_normal_ln` term). `error` is relative measurement error.
+    PositiveReal {
+        /// Relative measurement error (> 0).
+        error: f64,
+    },
+    /// A categorical attribute with values in `0..levels`.
+    Discrete {
+        /// Number of distinct levels (≥ 2).
+        levels: usize,
+        /// Optional human-readable level names, `levels` long when given.
+        names: Option<Vec<String>>,
+    },
+}
+
+impl AttributeKind {
+    /// True for the real-valued kinds.
+    pub fn is_real(&self) -> bool {
+        matches!(self, AttributeKind::Real { .. } | AttributeKind::PositiveReal { .. })
+    }
+}
+
+/// One attribute (column) of a dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Attribute {
+    /// Column name, used in reports and CSV headers.
+    pub name: String,
+    /// Statistical type.
+    pub kind: AttributeKind,
+}
+
+impl Attribute {
+    /// A real attribute with the given measurement error.
+    pub fn real(name: impl Into<String>, error: f64) -> Self {
+        assert!(error > 0.0, "measurement error must be positive");
+        Attribute { name: name.into(), kind: AttributeKind::Real { error } }
+    }
+
+    /// A positive real attribute modeled on the log scale.
+    pub fn positive_real(name: impl Into<String>, error: f64) -> Self {
+        assert!(error > 0.0, "measurement error must be positive");
+        Attribute { name: name.into(), kind: AttributeKind::PositiveReal { error } }
+    }
+
+    /// A discrete attribute with `levels` unnamed levels.
+    pub fn discrete(name: impl Into<String>, levels: usize) -> Self {
+        assert!(levels >= 2, "discrete attributes need at least 2 levels");
+        Attribute { name: name.into(), kind: AttributeKind::Discrete { levels, names: None } }
+    }
+
+    /// A discrete attribute with named levels.
+    pub fn discrete_named(name: impl Into<String>, names: Vec<String>) -> Self {
+        assert!(names.len() >= 2, "discrete attributes need at least 2 levels");
+        Attribute {
+            name: name.into(),
+            kind: AttributeKind::Discrete { levels: names.len(), names: Some(names) },
+        }
+    }
+}
+
+/// The full column layout of a dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Schema {
+    /// Attributes, in column order.
+    pub attributes: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Build a schema from attributes.
+    ///
+    /// # Panics
+    /// Panics if empty or if names collide (both would be programming
+    /// errors at experiment-definition time).
+    pub fn new(attributes: Vec<Attribute>) -> Self {
+        assert!(!attributes.is_empty(), "schema needs at least one attribute");
+        for i in 0..attributes.len() {
+            for j in i + 1..attributes.len() {
+                assert_ne!(
+                    attributes[i].name, attributes[j].name,
+                    "duplicate attribute name {:?}",
+                    attributes[i].name
+                );
+            }
+        }
+        Schema { attributes }
+    }
+
+    /// Number of attributes.
+    pub fn len(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// True when the schema has no attributes (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.attributes.is_empty()
+    }
+
+    /// Index of the attribute with the given name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.attributes.iter().position(|a| a.name == name)
+    }
+
+    /// A schema of `k` real attributes named `x0..x{k-1}` with unit-scale
+    /// measurement error — the shape of the paper's synthetic dataset
+    /// (which used two real attributes).
+    pub fn reals(k: usize, error: f64) -> Self {
+        Schema::new((0..k).map(|i| Attribute::real(format!("x{i}"), error)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_validate() {
+        let s = Schema::new(vec![
+            Attribute::real("height", 0.1),
+            Attribute::discrete("color", 3),
+            Attribute::positive_real("mass", 0.01),
+        ]);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.index_of("color"), Some(1));
+        assert_eq!(s.index_of("nope"), None);
+        assert!(s.attributes[0].kind.is_real());
+        assert!(!s.attributes[1].kind.is_real());
+        assert!(s.attributes[2].kind.is_real());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate attribute name")]
+    fn duplicate_names_rejected() {
+        Schema::new(vec![Attribute::real("x", 1.0), Attribute::real("x", 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 levels")]
+    fn single_level_discrete_rejected() {
+        Attribute::discrete("c", 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_error_rejected() {
+        Attribute::real("x", 0.0);
+    }
+
+    #[test]
+    fn reals_helper_names_columns() {
+        let s = Schema::reals(2, 0.5);
+        assert_eq!(s.attributes[0].name, "x0");
+        assert_eq!(s.attributes[1].name, "x1");
+    }
+
+    #[test]
+    fn named_levels_sets_count() {
+        let a = Attribute::discrete_named("c", vec!["red".into(), "green".into()]);
+        match a.kind {
+            AttributeKind::Discrete { levels, ref names } => {
+                assert_eq!(levels, 2);
+                assert_eq!(names.as_ref().unwrap()[1], "green");
+            }
+            _ => panic!("wrong kind"),
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! Global (whole-dataset) attribute statistics.
+//!
+//! AutoClass derives its parameter priors from the data itself (an
+//! empirical-Bayes choice): the prior mean of a class's Gaussian is the
+//! global mean, its prior variance the global variance, and so on. These
+//! statistics are computed once before the search starts. In P-AutoClass
+//! they are computed from per-processor partial sums combined with an
+//! Allreduce; [`GlobalStats::merge`] is that combination step.
+
+use crate::data::dataset::DataView;
+use crate::data::schema::AttributeKind;
+
+/// Sufficient statistics of one attribute over (part of) a dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AttrStats {
+    /// Real attribute: count, sum, sum of squares, and (for the log-normal
+    /// term) sums of logs. Missing values excluded.
+    Real {
+        /// Non-missing count.
+        count: f64,
+        /// Σx.
+        sum: f64,
+        /// Σx².
+        sum_sq: f64,
+        /// Σ ln x over strictly positive values (for `PositiveReal`).
+        sum_ln: f64,
+        /// Σ (ln x)² over strictly positive values.
+        sum_ln_sq: f64,
+    },
+    /// Discrete attribute: per-level non-missing counts.
+    Discrete {
+        /// `counts[l]` = number of items with level l.
+        counts: Vec<f64>,
+    },
+}
+
+/// Per-attribute global statistics for a dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GlobalStats {
+    /// One entry per attribute, in schema order.
+    pub attrs: Vec<AttrStats>,
+    /// Total rows seen (including rows with some missing values).
+    pub n: f64,
+}
+
+impl GlobalStats {
+    /// Compute statistics over a view (a partition or the full dataset).
+    pub fn compute(view: &DataView<'_>) -> Self {
+        let schema = view.schema();
+        let attrs = schema
+            .attributes
+            .iter()
+            .enumerate()
+            .map(|(c, attr)| match attr.kind {
+                AttributeKind::Real { .. } | AttributeKind::PositiveReal { .. } => {
+                    let mut count = 0.0;
+                    let mut sum = 0.0;
+                    let mut sum_sq = 0.0;
+                    let mut sum_ln = 0.0;
+                    let mut sum_ln_sq = 0.0;
+                    for &x in view.real_column(c) {
+                        if x.is_nan() {
+                            continue;
+                        }
+                        count += 1.0;
+                        sum += x;
+                        sum_sq += x * x;
+                        if x > 0.0 {
+                            let l = x.ln();
+                            sum_ln += l;
+                            sum_ln_sq += l * l;
+                        }
+                    }
+                    AttrStats::Real { count, sum, sum_sq, sum_ln, sum_ln_sq }
+                }
+                AttributeKind::Discrete { levels, .. } => {
+                    let mut counts = vec![0.0; levels];
+                    for &l in view.discrete_column(c) {
+                        if (l as usize) < levels {
+                            counts[l as usize] += 1.0;
+                        }
+                    }
+                    AttrStats::Discrete { counts }
+                }
+            })
+            .collect();
+        GlobalStats { attrs, n: view.len() as f64 }
+    }
+
+    /// Merge another partition's statistics into this one (the Allreduce
+    /// combination; commutative and associative).
+    pub fn merge(&mut self, other: &GlobalStats) {
+        assert_eq!(self.attrs.len(), other.attrs.len(), "stat arity mismatch");
+        self.n += other.n;
+        for (a, b) in self.attrs.iter_mut().zip(&other.attrs) {
+            match (a, b) {
+                (
+                    AttrStats::Real { count, sum, sum_sq, sum_ln, sum_ln_sq },
+                    AttrStats::Real {
+                        count: c2,
+                        sum: s2,
+                        sum_sq: q2,
+                        sum_ln: l2,
+                        sum_ln_sq: m2,
+                    },
+                ) => {
+                    *count += c2;
+                    *sum += s2;
+                    *sum_sq += q2;
+                    *sum_ln += l2;
+                    *sum_ln_sq += m2;
+                }
+                (AttrStats::Discrete { counts }, AttrStats::Discrete { counts: c2 }) => {
+                    assert_eq!(counts.len(), c2.len(), "level count mismatch");
+                    for (x, y) in counts.iter_mut().zip(c2) {
+                        *x += y;
+                    }
+                }
+                _ => panic!("attribute kind mismatch in stats merge"),
+            }
+        }
+    }
+
+    /// Flatten to an f64 vector (for Allreduce); [`Self::from_flat`]
+    /// inverts this given the same schema shape.
+    pub fn to_flat(&self) -> Vec<f64> {
+        let mut out = vec![self.n];
+        for a in &self.attrs {
+            match a {
+                AttrStats::Real { count, sum, sum_sq, sum_ln, sum_ln_sq } => {
+                    out.extend_from_slice(&[*count, *sum, *sum_sq, *sum_ln, *sum_ln_sq]);
+                }
+                AttrStats::Discrete { counts } => out.extend_from_slice(counts),
+            }
+        }
+        out
+    }
+
+    /// Rebuild from a flat vector with the same shape as `template`.
+    pub fn from_flat(template: &GlobalStats, flat: &[f64]) -> Self {
+        let mut it = flat.iter().copied();
+        let n = it.next().expect("flat stats empty");
+        let attrs = template
+            .attrs
+            .iter()
+            .map(|a| match a {
+                AttrStats::Real { .. } => AttrStats::Real {
+                    count: it.next().expect("short flat stats"),
+                    sum: it.next().expect("short flat stats"),
+                    sum_sq: it.next().expect("short flat stats"),
+                    sum_ln: it.next().expect("short flat stats"),
+                    sum_ln_sq: it.next().expect("short flat stats"),
+                },
+                AttrStats::Discrete { counts } => AttrStats::Discrete {
+                    counts: (0..counts.len()).map(|_| it.next().expect("short flat stats")).collect(),
+                },
+            })
+            .collect();
+        assert!(it.next().is_none(), "flat stats too long");
+        GlobalStats { attrs, n }
+    }
+
+    /// Mean of a real attribute (0 when no data).
+    pub fn mean(&self, c: usize) -> f64 {
+        match &self.attrs[c] {
+            AttrStats::Real { count, sum, .. } => {
+                if *count > 0.0 {
+                    sum / count
+                } else {
+                    0.0
+                }
+            }
+            _ => panic!("attribute {c} is not real"),
+        }
+    }
+
+    /// Population variance of a real attribute (0 when < 2 data points).
+    pub fn variance(&self, c: usize) -> f64 {
+        match &self.attrs[c] {
+            AttrStats::Real { count, sum, sum_sq, .. } => {
+                if *count < 2.0 {
+                    return 0.0;
+                }
+                let m = sum / count;
+                (sum_sq / count - m * m).max(0.0)
+            }
+            _ => panic!("attribute {c} is not real"),
+        }
+    }
+
+    /// Mean of ln(x) for a positive-real attribute.
+    pub fn ln_mean(&self, c: usize) -> f64 {
+        match &self.attrs[c] {
+            AttrStats::Real { count, sum_ln, .. } => {
+                if *count > 0.0 {
+                    sum_ln / count
+                } else {
+                    0.0
+                }
+            }
+            _ => panic!("attribute {c} is not real"),
+        }
+    }
+
+    /// Population variance of ln(x) for a positive-real attribute.
+    pub fn ln_variance(&self, c: usize) -> f64 {
+        match &self.attrs[c] {
+            AttrStats::Real { count, sum_ln, sum_ln_sq, .. } => {
+                if *count < 2.0 {
+                    return 0.0;
+                }
+                let m = sum_ln / count;
+                (sum_ln_sq / count - m * m).max(0.0)
+            }
+            _ => panic!("attribute {c} is not real"),
+        }
+    }
+
+    /// Level frequencies of a discrete attribute (uniform when empty).
+    pub fn level_freqs(&self, c: usize) -> Vec<f64> {
+        match &self.attrs[c] {
+            AttrStats::Discrete { counts } => {
+                let total: f64 = counts.iter().sum();
+                if total > 0.0 {
+                    counts.iter().map(|x| x / total).collect()
+                } else {
+                    vec![1.0 / counts.len() as f64; counts.len()]
+                }
+            }
+            _ => panic!("attribute {c} is not discrete"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::dataset::{Dataset, Value};
+    use crate::data::schema::{Attribute, Schema};
+
+    fn dataset() -> Dataset {
+        let schema = Schema::new(vec![Attribute::real("x", 0.1), Attribute::discrete("c", 2)]);
+        Dataset::from_rows(
+            schema,
+            &[
+                vec![Value::Real(1.0), Value::Discrete(0)],
+                vec![Value::Real(3.0), Value::Discrete(1)],
+                vec![Value::Missing, Value::Discrete(1)],
+                vec![Value::Real(5.0), Value::Missing],
+            ],
+        )
+    }
+
+    #[test]
+    fn computes_moments_ignoring_missing() {
+        let d = dataset();
+        let s = GlobalStats::compute(&d.full_view());
+        assert_eq!(s.n, 4.0);
+        assert!((s.mean(0) - 3.0).abs() < 1e-12);
+        // population variance of {1,3,5} = 8/3
+        assert!((s.variance(0) - 8.0 / 3.0).abs() < 1e-12);
+        let f = s.level_freqs(1);
+        assert!((f[0] - 1.0 / 3.0).abs() < 1e-12);
+        assert!((f[1] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_whole(){
+        let d = dataset();
+        let whole = GlobalStats::compute(&d.full_view());
+        let mut left = GlobalStats::compute(&d.view(0, 2));
+        let right = GlobalStats::compute(&d.view(2, 4));
+        left.merge(&right);
+        assert_eq!(left.n, whole.n);
+        assert!((left.mean(0) - whole.mean(0)).abs() < 1e-12);
+        assert!((left.variance(0) - whole.variance(0)).abs() < 1e-12);
+        assert_eq!(left.level_freqs(1), whole.level_freqs(1));
+    }
+
+    #[test]
+    fn flat_round_trip() {
+        let d = dataset();
+        let s = GlobalStats::compute(&d.full_view());
+        let flat = s.to_flat();
+        let back = GlobalStats::from_flat(&s, &flat);
+        assert_eq!(back, s);
+    }
+
+    #[test]
+    fn empty_dataset_degenerates_gracefully() {
+        let schema = Schema::new(vec![Attribute::real("x", 0.1), Attribute::discrete("c", 3)]);
+        let d = Dataset::from_rows(schema, &[]);
+        let s = GlobalStats::compute(&d.full_view());
+        assert_eq!(s.mean(0), 0.0);
+        assert_eq!(s.variance(0), 0.0);
+        assert_eq!(s.level_freqs(1), vec![1.0 / 3.0; 3]);
+    }
+
+    #[test]
+    fn ln_moments_for_positive_reals() {
+        let schema = Schema::new(vec![Attribute::positive_real("m", 0.01)]);
+        let d = Dataset::from_rows(
+            schema,
+            &[
+                vec![Value::Real(1.0)],
+                vec![Value::Real(std::f64::consts::E)],
+            ],
+        );
+        let s = GlobalStats::compute(&d.full_view());
+        assert!((s.ln_mean(0) - 0.5).abs() < 1e-12);
+        assert!((s.ln_variance(0) - 0.25).abs() < 1e-12);
+    }
+}

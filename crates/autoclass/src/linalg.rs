@@ -1,0 +1,259 @@
+//! Small dense symmetric linear algebra for the correlated-normal model
+//! term: Cholesky factorization, triangular solves, log-determinants, and
+//! inverses. Matrices are row-major `Vec<f64>` of size `d × d`; the
+//! dimensions involved are tiny (an attribute block), so simplicity and
+//! numerical transparency beat asymptotics.
+
+/// Row-major index into a `d × d` matrix.
+#[inline]
+pub fn idx(d: usize, i: usize, j: usize) -> usize {
+    i * d + j
+}
+
+/// Cholesky factorization of a symmetric positive-definite matrix:
+/// returns lower-triangular `L` (row-major, upper part zeroed) with
+/// `L Lᵀ = A`. Returns `None` if the matrix is not positive definite.
+pub fn cholesky(a: &[f64], d: usize) -> Option<Vec<f64>> {
+    assert_eq!(a.len(), d * d, "matrix must be d×d");
+    let mut l = vec![0.0; d * d];
+    for i in 0..d {
+        for j in 0..=i {
+            let mut sum = a[idx(d, i, j)];
+            for k in 0..j {
+                sum -= l[idx(d, i, k)] * l[idx(d, j, k)];
+            }
+            if i == j {
+                if sum <= 0.0 || !sum.is_finite() {
+                    return None;
+                }
+                l[idx(d, i, j)] = sum.sqrt();
+            } else {
+                l[idx(d, i, j)] = sum / l[idx(d, j, j)];
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Solve `L y = b` for lower-triangular `L` (forward substitution),
+/// writing into `y`.
+pub fn forward_solve(l: &[f64], d: usize, b: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(b.len(), d);
+    debug_assert_eq!(y.len(), d);
+    for i in 0..d {
+        let mut sum = b[i];
+        for k in 0..i {
+            sum -= l[idx(d, i, k)] * y[k];
+        }
+        y[i] = sum / l[idx(d, i, i)];
+    }
+}
+
+/// Solve `Lᵀ x = y` for lower-triangular `L` (back substitution), in place.
+pub fn backward_solve(l: &[f64], d: usize, x: &mut [f64]) {
+    for i in (0..d).rev() {
+        let mut sum = x[i];
+        for k in i + 1..d {
+            sum -= l[idx(d, k, i)] * x[k];
+        }
+        x[i] = sum / l[idx(d, i, i)];
+    }
+}
+
+/// `ln det A` from its Cholesky factor: `2 Σ ln L_ii`.
+pub fn log_det_from_chol(l: &[f64], d: usize) -> f64 {
+    (0..d).map(|i| l[idx(d, i, i)].ln()).sum::<f64>() * 2.0
+}
+
+/// Inverse of a symmetric positive-definite matrix via its Cholesky
+/// factor (solve for each unit vector). Returns a full symmetric matrix.
+pub fn inverse_from_chol(l: &[f64], d: usize) -> Vec<f64> {
+    let mut inv = vec![0.0; d * d];
+    let mut col = vec![0.0; d];
+    let mut e = vec![0.0; d];
+    for j in 0..d {
+        e.iter_mut().for_each(|v| *v = 0.0);
+        e[j] = 1.0;
+        forward_solve(l, d, &e, &mut col);
+        backward_solve(l, d, &mut col);
+        for i in 0..d {
+            inv[idx(d, i, j)] = col[i];
+        }
+    }
+    // Symmetrize against round-off.
+    for i in 0..d {
+        for j in 0..i {
+            let m = 0.5 * (inv[idx(d, i, j)] + inv[idx(d, j, i)]);
+            inv[idx(d, i, j)] = m;
+            inv[idx(d, j, i)] = m;
+        }
+    }
+    inv
+}
+
+/// Squared Mahalanobis norm `‖L⁻¹ v‖²` given the Cholesky factor of the
+/// covariance (so the quadratic form `vᵀ Σ⁻¹ v`). `scratch` must be `d`
+/// long; using caller scratch keeps the hot loop allocation-free.
+pub fn mahalanobis_sq(l: &[f64], d: usize, v: &[f64], scratch: &mut [f64]) -> f64 {
+    forward_solve(l, d, v, scratch);
+    scratch.iter().map(|y| y * y).sum()
+}
+
+/// `tr(A · B)` for symmetric dense matrices.
+pub fn trace_product(a: &[f64], b: &[f64], d: usize) -> f64 {
+    let mut t = 0.0;
+    for i in 0..d {
+        for j in 0..d {
+            t += a[idx(d, i, j)] * b[idx(d, j, i)];
+        }
+    }
+    t
+}
+
+/// Multivariate log-gamma `ln Γ_d(a)`.
+pub fn ln_multigamma(d: usize, a: f64) -> f64 {
+    let mut out = 0.25 * (d * (d - 1)) as f64 * std::f64::consts::PI.ln();
+    for i in 0..d {
+        out += crate::math::ln_gamma(a - 0.5 * i as f64);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TOL: f64 = 1e-10;
+
+    fn spd2() -> Vec<f64> {
+        // [[4, 2], [2, 3]]
+        vec![4.0, 2.0, 2.0, 3.0]
+    }
+
+    #[test]
+    fn cholesky_of_known_matrix() {
+        let l = cholesky(&spd2(), 2).unwrap();
+        // L = [[2, 0], [1, sqrt(2)]]
+        assert!((l[0] - 2.0).abs() < TOL);
+        assert!((l[1]).abs() < TOL);
+        assert!((l[2] - 1.0).abs() < TOL);
+        assert!((l[3] - 2.0f64.sqrt()).abs() < TOL);
+    }
+
+    #[test]
+    fn cholesky_rejects_indefinite() {
+        let a = vec![1.0, 2.0, 2.0, 1.0]; // eigenvalues 3, -1
+        assert!(cholesky(&a, 2).is_none());
+        let z = vec![0.0; 4];
+        assert!(cholesky(&z, 2).is_none());
+    }
+
+    #[test]
+    fn solves_recover_rhs() {
+        let a = spd2();
+        let l = cholesky(&a, 2).unwrap();
+        let b = [1.0, -2.0];
+        let mut y = [0.0; 2];
+        forward_solve(&l, 2, &b, &mut y);
+        backward_solve(&l, 2, &mut y);
+        // Check A x = b.
+        let ax0 = a[0] * y[0] + a[1] * y[1];
+        let ax1 = a[2] * y[0] + a[3] * y[1];
+        assert!((ax0 - b[0]).abs() < TOL, "{ax0}");
+        assert!((ax1 - b[1]).abs() < TOL, "{ax1}");
+    }
+
+    #[test]
+    fn log_det_matches_direct() {
+        let a = spd2();
+        let l = cholesky(&a, 2).unwrap();
+        // det = 4*3 - 2*2 = 8
+        assert!((log_det_from_chol(&l, 2) - 8.0f64.ln()).abs() < TOL);
+    }
+
+    #[test]
+    fn inverse_is_inverse() {
+        let a = spd2();
+        let l = cholesky(&a, 2).unwrap();
+        let inv = inverse_from_chol(&l, 2);
+        // A · A⁻¹ = I
+        for i in 0..2 {
+            for j in 0..2 {
+                let mut s = 0.0;
+                for k in 0..2 {
+                    s += a[idx(2, i, k)] * inv[idx(2, k, j)];
+                }
+                let expect = if i == j { 1.0 } else { 0.0 };
+                assert!((s - expect).abs() < TOL, "({i},{j}): {s}");
+            }
+        }
+    }
+
+    #[test]
+    fn mahalanobis_matches_quadratic_form() {
+        let a = spd2();
+        let l = cholesky(&a, 2).unwrap();
+        let inv = inverse_from_chol(&l, 2);
+        let v = [1.5, -0.5];
+        let mut scratch = [0.0; 2];
+        let m = mahalanobis_sq(&l, 2, &v, &mut scratch);
+        let mut q = 0.0;
+        for i in 0..2 {
+            for j in 0..2 {
+                q += v[i] * inv[idx(2, i, j)] * v[j];
+            }
+        }
+        assert!((m - q).abs() < TOL, "{m} vs {q}");
+    }
+
+    #[test]
+    fn trace_product_identity() {
+        let a = spd2();
+        let i2 = vec![1.0, 0.0, 0.0, 1.0];
+        assert!((trace_product(&a, &i2, 2) - 7.0).abs() < TOL); // tr(A) = 4+3
+    }
+
+    #[test]
+    fn multigamma_reduces_to_gamma_for_d1() {
+        for a in [0.5, 1.0, 2.5, 10.0] {
+            assert!((ln_multigamma(1, a) - crate::math::ln_gamma(a)).abs() < 1e-12);
+        }
+        // Known recurrence: Γ_2(a) = π^{1/2} Γ(a) Γ(a − 1/2).
+        let a = 3.0;
+        let expect = 0.5 * std::f64::consts::PI.ln()
+            + crate::math::ln_gamma(a)
+            + crate::math::ln_gamma(a - 0.5);
+        assert!((ln_multigamma(2, a) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn larger_random_spd_round_trip() {
+        // Build SPD as MᵀM + I for a fixed pseudo-random M.
+        let d = 5;
+        let mut m = vec![0.0; d * d];
+        for (i, v) in m.iter_mut().enumerate() {
+            *v = ((i * 2654435761) % 1000) as f64 / 500.0 - 1.0;
+        }
+        let mut a = vec![0.0; d * d];
+        for i in 0..d {
+            for j in 0..d {
+                let mut s = if i == j { 1.0 } else { 0.0 };
+                for k in 0..d {
+                    s += m[idx(d, k, i)] * m[idx(d, k, j)];
+                }
+                a[idx(d, i, j)] = s;
+            }
+        }
+        let l = cholesky(&a, d).expect("SPD by construction");
+        // Verify L Lᵀ = A.
+        for i in 0..d {
+            for j in 0..d {
+                let mut s = 0.0;
+                for k in 0..d {
+                    s += l[idx(d, i, k)] * l[idx(d, j, k)];
+                }
+                assert!((s - a[idx(d, i, j)]).abs() < 1e-9, "({i},{j})");
+            }
+        }
+    }
+}

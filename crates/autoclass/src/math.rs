@@ -1,0 +1,154 @@
+//! Numerical utilities: log-gamma, log-sum-exp, and related helpers.
+//!
+//! Everything downstream works in log space; these routines are the only
+//! places where precision-sensitive transcendental math happens, so they
+//! are tested against known values to ~1e-12.
+
+/// ln(2π), used by every Gaussian log-density.
+pub const LN_2PI: f64 = 1.8378770664093453;
+
+/// Natural log of the gamma function for `x > 0`, via the Lanczos
+/// approximation (g = 7, n = 9 coefficients; |rel err| < 1e-13 over the
+/// positive axis after the reflection used for x < 0.5).
+#[allow(clippy::excessive_precision)] // canonical published Lanczos coefficients
+pub fn ln_gamma(x: f64) -> f64 {
+    // Lanczos coefficients for g = 7.
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.99999999999980993,
+        676.5203681218851,
+        -1259.1392167224028,
+        771.32342877765313,
+        -176.61502916214059,
+        12.507343278686905,
+        -0.13857109526572012,
+        9.9843695780195716e-6,
+        1.5056327351493116e-7,
+    ];
+    assert!(x > 0.0 && x.is_finite(), "ln_gamma requires finite x > 0, got {x}");
+    if x < 0.5 {
+        // Reflection formula: Γ(x)Γ(1-x) = π / sin(πx).
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * LN_2PI + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Numerically stable `ln(Σ exp(v_i))` over a slice. Returns `-inf` for an
+/// empty slice (the empty sum).
+pub fn log_sum_exp(values: &[f64]) -> f64 {
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_finite() {
+        // All -inf (or empty): the sum is exp(-inf) * n = 0, or max is +inf.
+        return max;
+    }
+    let sum: f64 = values.iter().map(|v| (v - max).exp()).sum();
+    max + sum.ln()
+}
+
+/// In-place softmax of log-values: replaces `v_i` with
+/// `exp(v_i - logsumexp(v))` and returns the log normalizer. The output
+/// sums to 1 (up to rounding) whenever at least one input is finite.
+pub fn normalize_log_weights(values: &mut [f64]) -> f64 {
+    let lse = log_sum_exp(values);
+    if !lse.is_finite() {
+        // Degenerate: spread uniformly rather than emit NaNs.
+        let u = 1.0 / values.len().max(1) as f64;
+        values.iter_mut().for_each(|v| *v = u);
+        return lse;
+    }
+    values.iter_mut().for_each(|v| *v = (*v - lse).exp());
+    lse
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol * b.abs().max(1.0)
+    }
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        // Γ(1) = Γ(2) = 1, Γ(3) = 2, Γ(4) = 6, Γ(5) = 24
+        assert!(close(ln_gamma(1.0), 0.0, 1e-12), "{}", ln_gamma(1.0));
+        assert!(close(ln_gamma(2.0), 0.0, 1e-12));
+        assert!(close(ln_gamma(3.0), 2.0f64.ln(), 1e-12));
+        assert!(close(ln_gamma(4.0), 6.0f64.ln(), 1e-12));
+        assert!(close(ln_gamma(5.0), 24.0f64.ln(), 1e-12));
+        // Γ(0.5) = sqrt(π)
+        assert!(close(ln_gamma(0.5), 0.5 * std::f64::consts::PI.ln(), 1e-12));
+        // Γ(1.5) = sqrt(π)/2
+        assert!(close(
+            ln_gamma(1.5),
+            (std::f64::consts::PI.sqrt() / 2.0).ln(),
+            1e-12
+        ));
+        // Large argument: ln Γ(171) = ln(170!) = Σ ln k.
+        let ln_170_fact: f64 = (1..=170u32).map(|k| f64::from(k).ln()).sum();
+        assert!(close(ln_gamma(171.0), ln_170_fact, 1e-11));
+    }
+
+    #[test]
+    fn ln_gamma_satisfies_recurrence() {
+        // ln Γ(x+1) = ln Γ(x) + ln x
+        for x in [0.1, 0.7, 1.3, 2.5, 10.0, 123.456] {
+            assert!(
+                close(ln_gamma(x + 1.0), ln_gamma(x) + x.ln(), 1e-11),
+                "x={x}: {} vs {}",
+                ln_gamma(x + 1.0),
+                ln_gamma(x) + x.ln()
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "requires finite x > 0")]
+    fn ln_gamma_rejects_nonpositive() {
+        ln_gamma(0.0);
+    }
+
+    #[test]
+    fn log_sum_exp_basic() {
+        assert!(close(log_sum_exp(&[0.0, 0.0]), 2.0f64.ln(), 1e-12));
+        assert!(close(log_sum_exp(&[1.0]), 1.0, 1e-12));
+        // Shift invariance without overflow.
+        let a = log_sum_exp(&[1000.0, 1000.0]);
+        assert!(close(a, 1000.0 + 2.0f64.ln(), 1e-12), "{a}");
+    }
+
+    #[test]
+    fn log_sum_exp_handles_neg_infinity() {
+        assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
+        assert_eq!(log_sum_exp(&[f64::NEG_INFINITY]), f64::NEG_INFINITY);
+        assert!(close(
+            log_sum_exp(&[f64::NEG_INFINITY, 0.0]),
+            0.0,
+            1e-12
+        ));
+    }
+
+    #[test]
+    fn normalize_log_weights_sums_to_one() {
+        let mut v = vec![-1000.0, -1001.0, -999.0];
+        let lse = normalize_log_weights(&mut v);
+        assert!(lse.is_finite());
+        let sum: f64 = v.iter().sum();
+        assert!(close(sum, 1.0, 1e-12), "{sum}");
+        assert!(v[2] > v[0] && v[0] > v[1]);
+    }
+
+    #[test]
+    fn normalize_log_weights_degenerate_goes_uniform() {
+        let mut v = vec![f64::NEG_INFINITY; 4];
+        normalize_log_weights(&mut v);
+        assert_eq!(v, vec![0.25; 4]);
+    }
+}

@@ -1,0 +1,283 @@
+//! `update_wts`: the E-step. Computes normalized class-membership weights
+//! for every item and the per-class weight sums — the function the paper's
+//! profiling found (together with `update_parameters`) to consume ~99.5 %
+//! of AutoClass's runtime inside `base_cycle`.
+
+use crate::data::dataset::DataView;
+use crate::model::class::{ClassParams, Model};
+
+/// Column-major item×class weight matrix: `class_column(j)[i]` is w_ij.
+/// Column-major because every kernel (log-density accumulation, statistics
+/// accumulation) walks all items of one class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WtsMatrix {
+    n: usize,
+    j: usize,
+    data: Vec<f64>,
+}
+
+impl WtsMatrix {
+    /// A zeroed `n × j` matrix.
+    pub fn new(n: usize, j: usize) -> Self {
+        WtsMatrix { n, j, data: vec![0.0; n * j] }
+    }
+
+    /// Number of items (rows).
+    pub fn n_items(&self) -> usize {
+        self.n
+    }
+
+    /// Number of classes (columns).
+    pub fn n_classes(&self) -> usize {
+        self.j
+    }
+
+    /// Class `c`'s weights over all items.
+    pub fn class_column(&self, c: usize) -> &[f64] {
+        &self.data[c * self.n..(c + 1) * self.n]
+    }
+
+    /// Mutable access to class `c`'s weights.
+    pub fn class_column_mut(&mut self, c: usize) -> &mut [f64] {
+        &mut self.data[c * self.n..(c + 1) * self.n]
+    }
+
+    /// Item `i`'s weights across classes (strided; test/report use only —
+    /// hot paths work column-wise).
+    pub fn item_weights(&self, i: usize) -> Vec<f64> {
+        (0..self.j).map(|c| self.data[c * self.n + i]).collect()
+    }
+
+    /// Resize for a different class count, zeroing contents.
+    pub fn reset(&mut self, n: usize, j: usize) {
+        self.n = n;
+        self.j = j;
+        self.data.clear();
+        self.data.resize(n * j, 0.0);
+    }
+}
+
+/// Outputs of one E-step over one partition. In P-AutoClass the vector
+/// `class_weight_sums` and the two scalars are combined across processors
+/// with Allreduce(+); everything is a plain sum over items.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EStepOut {
+    /// w_j = Σ_i w_ij for each class (this partition's part).
+    pub class_weight_sums: Vec<f64>,
+    /// Incomplete-data log likelihood Σ_i ln Σ_j π_j p(x_i|j).
+    pub log_likelihood: f64,
+    /// Complete-data log likelihood at the current weights:
+    /// Σ_i Σ_j w_ij (ln π_j + ln p(x_i|j)); used by the Cheeseman–Stutz
+    /// marginal-likelihood approximation.
+    pub complete_ll: f64,
+    /// Abstract op count for the virtual-time model.
+    pub ops: u64,
+}
+
+/// Compute class-membership weights for every item in `view` given the
+/// current classes, storing them in `wts` (resized as needed).
+///
+/// Implementation: per class, fill that weight column with
+/// `ln π_j + Σ_k ln p(x_ik | class j)` via the batched per-attribute
+/// kernels, then normalize each item's row with log-sum-exp.
+pub fn update_wts(
+    model: &Model,
+    view: &DataView<'_>,
+    classes: &[ClassParams],
+    wts: &mut WtsMatrix,
+) -> EStepOut {
+    let n = view.len();
+    let j = classes.len();
+    assert!(j >= 1, "need at least one class");
+    wts.reset(n, j);
+
+    // Phase 1: joint log densities, column by column (cache-friendly).
+    for (c, class) in classes.iter().enumerate() {
+        let col = wts.class_column_mut(c);
+        col.iter_mut().for_each(|v| *v = class.log_pi);
+        for (term, group) in class.terms.iter().zip(&model.groups) {
+            match &group.prior {
+                crate::model::prior::TermPrior::Normal { .. }
+                | crate::model::prior::TermPrior::LogNormal { .. } => {
+                    term.accumulate_log_prob_real(view.real_column(group.attrs[0]), col);
+                }
+                crate::model::prior::TermPrior::Multinomial { missing_level, .. } => {
+                    let ls = view.discrete_column(group.attrs[0]);
+                    if *missing_level {
+                        term.accumulate_log_prob_discrete_with_missing(ls, col);
+                    } else {
+                        term.accumulate_log_prob_discrete(ls, col);
+                    }
+                }
+                crate::model::prior::TermPrior::MultiNormal { .. } => {
+                    let cols: Vec<&[f64]> =
+                        group.attrs.iter().map(|&a| view.real_column(a)).collect();
+                    term.accumulate_log_prob_mvn(&cols, col);
+                }
+            }
+        }
+    }
+
+    // Phase 2: per-item normalization (log-sum-exp across the row) and the
+    // three reductions.
+    let mut class_weight_sums = vec![0.0; j];
+    let mut log_likelihood = 0.0;
+    let mut complete_ll = 0.0;
+    let mut row = vec![0.0; j];
+    for i in 0..n {
+        let mut max = f64::NEG_INFINITY;
+        for (c, r) in row.iter_mut().enumerate() {
+            let v = wts.data[c * n + i];
+            *r = v;
+            if v > max {
+                max = v;
+            }
+        }
+        // All-(-inf) rows cannot occur: log_pi is finite and term kernels
+        // add finite values (multinomial smoothing keeps log_p finite).
+        let mut sum = 0.0;
+        for r in &row {
+            sum += (r - max).exp();
+        }
+        let lse = max + sum.ln();
+        log_likelihood += lse;
+        for (c, &r) in row.iter().enumerate() {
+            let w = (r - lse).exp();
+            wts.data[c * n + i] = w;
+            class_weight_sums[c] += w;
+            if w > 0.0 {
+                complete_ll += w * r;
+            }
+        }
+    }
+
+    let k = model.n_attrs() as u64;
+    let ops = (n as u64) * (j as u64) * (k + 2);
+    EStepOut { class_weight_sums, log_likelihood, complete_ll, ops }
+}
+
+/// Abstract op count of one E-step with the given dimensions (for cost
+/// accounting without running it).
+pub fn estep_ops(n: usize, j: usize, k: usize) -> u64 {
+    (n as u64) * (j as u64) * (k as u64 + 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::dataset::{Dataset, Value};
+    use crate::data::schema::{Attribute, Schema};
+    use crate::data::stats::GlobalStats;
+    use crate::model::prior::TermParams;
+
+    fn two_cluster_setup() -> (Dataset, Model, Vec<ClassParams>) {
+        let schema = Schema::new(vec![Attribute::real("x", 0.01)]);
+        let data = Dataset::from_rows(
+            schema.clone(),
+            &[
+                vec![Value::Real(-5.0)],
+                vec![Value::Real(-5.1)],
+                vec![Value::Real(5.0)],
+                vec![Value::Real(5.1)],
+            ],
+        );
+        let stats = GlobalStats::compute(&data.full_view());
+        let model = Model::new(schema, &stats);
+        let classes = vec![
+            ClassParams::new(2.0, 0.5, vec![TermParams::normal(-5.0, 0.5)]),
+            ClassParams::new(2.0, 0.5, vec![TermParams::normal(5.0, 0.5)]),
+        ];
+        (data, model, classes)
+    }
+
+    #[test]
+    fn weights_are_normalized_per_item() {
+        let (data, model, classes) = two_cluster_setup();
+        let mut wts = WtsMatrix::new(0, 0);
+        let out = update_wts(&model, &data.full_view(), &classes, &mut wts);
+        for i in 0..4 {
+            let s: f64 = wts.item_weights(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12, "item {i}: {s}");
+        }
+        let total: f64 = out.class_weight_sums.iter().sum();
+        assert!((total - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn well_separated_items_get_confident_weights() {
+        let (data, model, classes) = two_cluster_setup();
+        let mut wts = WtsMatrix::new(0, 0);
+        update_wts(&model, &data.full_view(), &classes, &mut wts);
+        assert!(wts.item_weights(0)[0] > 0.999);
+        assert!(wts.item_weights(2)[1] > 0.999);
+    }
+
+    #[test]
+    fn log_likelihood_matches_manual_computation() {
+        let (data, model, classes) = two_cluster_setup();
+        let mut wts = WtsMatrix::new(0, 0);
+        let out = update_wts(&model, &data.full_view(), &classes, &mut wts);
+        let mut expect = 0.0;
+        let v = data.full_view();
+        for i in 0..4 {
+            let x = v.real_column(0)[i];
+            let lp: Vec<f64> = classes
+                .iter()
+                .map(|c| c.log_pi + c.terms[0].log_prob_real(x))
+                .collect();
+            expect += crate::math::log_sum_exp(&lp);
+        }
+        assert!((out.log_likelihood - expect).abs() < 1e-10);
+    }
+
+    #[test]
+    fn complete_ll_never_exceeds_incomplete() {
+        // By Jensen: Σ w ln f ≤ ln Σ f when w are the posteriors.
+        let (data, model, classes) = two_cluster_setup();
+        let mut wts = WtsMatrix::new(0, 0);
+        let out = update_wts(&model, &data.full_view(), &classes, &mut wts);
+        assert!(out.complete_ll <= out.log_likelihood + 1e-12);
+    }
+
+    #[test]
+    fn partition_estep_sums_to_full() {
+        let (data, model, classes) = two_cluster_setup();
+        let mut wts = WtsMatrix::new(0, 0);
+        let full = update_wts(&model, &data.full_view(), &classes, &mut wts);
+
+        let mut acc_ll = 0.0;
+        let mut acc_cll = 0.0;
+        let mut acc_w = [0.0; 2];
+        for range in crate::data::dataset::block_partition(4, 3) {
+            let part = update_wts(&model, &data.view(range.start, range.end), &classes, &mut wts);
+            acc_ll += part.log_likelihood;
+            acc_cll += part.complete_ll;
+            for (a, b) in acc_w.iter_mut().zip(&part.class_weight_sums) {
+                *a += b;
+            }
+        }
+        assert!((acc_ll - full.log_likelihood).abs() < 1e-10);
+        assert!((acc_cll - full.complete_ll).abs() < 1e-10);
+        for (a, b) in acc_w.iter().zip(&full.class_weight_sums) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn single_class_gets_weight_one() {
+        let (data, model, _) = two_cluster_setup();
+        let classes = vec![ClassParams::new(4.0, 1.0, vec![TermParams::normal(0.0, 5.0)])];
+        let mut wts = WtsMatrix::new(0, 0);
+        let out = update_wts(&model, &data.full_view(), &classes, &mut wts);
+        assert!(wts.class_column(0).iter().all(|&w| (w - 1.0).abs() < 1e-12));
+        assert!((out.class_weight_sums[0] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ops_formula_matches_helper() {
+        let (data, model, classes) = two_cluster_setup();
+        let mut wts = WtsMatrix::new(0, 0);
+        let out = update_wts(&model, &data.full_view(), &classes, &mut wts);
+        assert_eq!(out.ops, estep_ops(4, 2, 1));
+    }
+}

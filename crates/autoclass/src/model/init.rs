@@ -1,0 +1,218 @@
+//! Random initialization of a classification try.
+//!
+//! AutoClass seeds each try by picking random items as tentative class
+//! centers. We do the same for real attributes (falling back to a draw
+//! from the global distribution when the picked value is missing) and
+//! perturb the global level frequencies for discrete attributes. All
+//! randomness flows from the caller's seeded RNG, so a try is reproducible
+//! from `(dataset, j, seed)`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::data::dataset::DataView;
+use crate::model::class::{ClassParams, Model};
+use crate::model::prior::{TermParams, TermPrior};
+
+/// Derive a stream-specific seed from a base seed (splitmix64 step), so
+/// independent tries/ranks get decorrelated but reproducible RNGs.
+pub fn derive_seed(base: u64, stream: u64) -> u64 {
+    let mut z = base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A standard normal draw via Box-Muller (avoids a distributions dep).
+fn std_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Initialize `j` classes from random items of `view`.
+///
+/// The view is whichever partition the caller owns — in P-AutoClass rank 0
+/// initializes from its partition and broadcasts, so all processors start
+/// from identical parameters (preserving the sequential semantics).
+pub fn init_classes(model: &Model, view: &DataView<'_>, j: usize, seed: u64) -> Vec<ClassParams> {
+    assert!(j >= 1, "need at least one class");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = view.len();
+    let weight = model.n_total / j as f64;
+    let pi = 1.0 / j as f64;
+
+    (0..j)
+        .map(|_| {
+            let pick = if n > 0 { rng.gen_range(0..n) } else { 0 };
+            let terms = model
+                .groups
+                .iter()
+                .map(|group| init_term(&group.prior, view, &group.attrs, pick, &mut rng))
+                .collect();
+            ClassParams::new(weight, pi, terms)
+        })
+        .collect()
+}
+
+fn init_term(
+    prior: &TermPrior,
+    view: &DataView<'_>,
+    attrs: &[usize],
+    pick: usize,
+    rng: &mut StdRng,
+) -> TermParams {
+    let k = attrs[0];
+    match prior {
+        TermPrior::Normal { mean0, var0, min_sigma, .. } => {
+            let sigma0 = var0.sqrt().max(*min_sigma);
+            let x = if view.is_empty() { f64::NAN } else { view.real_column(k)[pick] };
+            // Missing picked value: draw a center from the global spread.
+            let mean = if x.is_nan() { mean0 + sigma0 * std_normal(rng) } else { x };
+            TermParams::normal(mean, sigma0)
+        }
+        TermPrior::LogNormal { mean0, var0, min_sigma, .. } => {
+            let sigma0 = var0.sqrt().max(*min_sigma);
+            let x = if view.is_empty() { f64::NAN } else { view.real_column(k)[pick] };
+            let mean = if x.is_nan() || x <= 0.0 {
+                mean0 + sigma0 * std_normal(rng)
+            } else {
+                x.ln()
+            };
+            TermParams::log_normal(mean, sigma0)
+        }
+        TermPrior::MultiNormal { dim, mean0, scatter0, .. } => {
+            // Mean from the picked item's block values (falling back to a
+            // prior draw per dimension); covariance starts at the prior
+            // diagonal — wide enough to reach every cluster.
+            let d = *dim;
+            let mut mean = Vec::with_capacity(d);
+            for (a, &col) in attrs.iter().enumerate() {
+                let sigma0 = scatter0[a * d + a].sqrt();
+                let x = if view.is_empty() { f64::NAN } else { view.real_column(col)[pick] };
+                mean.push(if x.is_nan() { mean0[a] + sigma0 * std_normal(rng) } else { x });
+            }
+            TermParams::multi_normal(mean, scatter0, 0.0)
+        }
+        TermPrior::Multinomial { levels, alpha, missing_level } => {
+            // Perturb uniform+smoothing multiplicatively, then favor the
+            // picked item's level, then normalize. Keeps all probabilities
+            // strictly positive. With the missing-level option the term
+            // has one extra slot at the end.
+            let slots = levels + usize::from(*missing_level);
+            let l_pick = if view.is_empty() {
+                crate::data::dataset::MISSING_DISCRETE
+            } else {
+                view.discrete_column(k)[pick]
+            };
+            let mut p: Vec<f64> = (0..slots)
+                .map(|_| (1.0 + alpha) * (0.3 * std_normal(rng)).exp())
+                .collect();
+            if l_pick != crate::data::dataset::MISSING_DISCRETE {
+                p[l_pick as usize] *= 2.0;
+            } else if *missing_level {
+                p[slots - 1] *= 2.0;
+            }
+            let total: f64 = p.iter().sum();
+            TermParams::Multinomial { log_p: p.iter().map(|v| (v / total).ln()).collect() }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::dataset::{Dataset, Value};
+    use crate::data::schema::{Attribute, Schema};
+    use crate::data::stats::GlobalStats;
+
+    fn setup() -> (Dataset, Model) {
+        let schema = Schema::new(vec![Attribute::real("x", 0.1), Attribute::discrete("c", 3)]);
+        let rows: Vec<Vec<Value>> = (0..50)
+            .map(|i| vec![Value::Real(i as f64), Value::Discrete((i % 3) as u32)])
+            .collect();
+        let data = Dataset::from_rows(schema.clone(), &rows);
+        let stats = GlobalStats::compute(&data.full_view());
+        (data.clone(), Model::new(schema, &stats))
+    }
+
+    #[test]
+    fn derive_seed_decorrelates_streams() {
+        let a = derive_seed(42, 0);
+        let b = derive_seed(42, 1);
+        let c = derive_seed(43, 0);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, derive_seed(42, 0));
+    }
+
+    #[test]
+    fn init_is_reproducible_from_seed() {
+        let (data, model) = setup();
+        let a = init_classes(&model, &data.full_view(), 4, 7);
+        let b = init_classes(&model, &data.full_view(), 4, 7);
+        assert_eq!(a, b);
+        let c = init_classes(&model, &data.full_view(), 4, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn init_produces_valid_parameters() {
+        let (data, model) = setup();
+        for seed in 0..20 {
+            let classes = init_classes(&model, &data.full_view(), 5, seed);
+            assert_eq!(classes.len(), 5);
+            let pi_sum: f64 = classes.iter().map(|c| c.pi).sum();
+            assert!((pi_sum - 1.0).abs() < 1e-9);
+            for class in &classes {
+                match &class.terms[0] {
+                    TermParams::Normal { mean, sigma, .. } => {
+                        assert!(mean.is_finite());
+                        assert!(*sigma > 0.0);
+                    }
+                    _ => panic!("term 0 should be normal"),
+                }
+                match &class.terms[1] {
+                    TermParams::Multinomial { log_p } => {
+                        let s: f64 = log_p.iter().map(|l| l.exp()).sum();
+                        assert!((s - 1.0).abs() < 1e-9, "{s}");
+                        assert!(log_p.iter().all(|l| l.is_finite()));
+                    }
+                    _ => panic!("term 1 should be multinomial"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn init_means_come_from_data() {
+        let (data, model) = setup();
+        let classes = init_classes(&model, &data.full_view(), 8, 123);
+        for class in &classes {
+            match &class.terms[0] {
+                TermParams::Normal { mean, .. } => {
+                    // Data values are integers 0..50.
+                    assert!(*mean >= 0.0 && *mean < 50.0);
+                    assert_eq!(mean.fract(), 0.0);
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn empty_view_falls_back_to_prior_draws() {
+        let (data, model) = setup();
+        let classes = init_classes(&model, &data.view(0, 0), 3, 5);
+        assert_eq!(classes.len(), 3);
+        for class in &classes {
+            match &class.terms[0] {
+                TermParams::Normal { mean, sigma, .. } => {
+                    assert!(mean.is_finite());
+                    assert!(*sigma > 0.0);
+                }
+                _ => unreachable!(),
+            }
+        }
+    }
+}

@@ -1,0 +1,18 @@
+//! The Bayesian finite-mixture model: priors, parameters, E/M steps,
+//! sufficient statistics, scoring, and initialization.
+
+pub mod approx;
+pub mod class;
+pub mod estep;
+pub mod init;
+pub mod mstep;
+pub mod prior;
+pub mod suffstats;
+
+pub use approx::{converged, evaluate, Approximation};
+pub use class::{classes_from_flat, classes_to_flat, ClassParams, Model, TermGroup};
+pub use estep::{estep_ops, update_wts, EStepOut, WtsMatrix};
+pub use init::{derive_seed, init_classes};
+pub use mstep::{log_param_prior, stats_to_classes};
+pub use prior::{TermParams, TermPrior};
+pub use suffstats::{StatLayout, SuffStats};

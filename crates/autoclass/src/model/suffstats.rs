@@ -1,0 +1,296 @@
+//! Weighted sufficient statistics: the quantities P-AutoClass exchanges.
+//!
+//! Per class the statistics are laid out flat as
+//! `[w_j, attr0 block, attr1 block, ...]`, and per classification as `J`
+//! consecutive class blocks. This flat layout is exactly what goes into
+//! the Allreduce in the parallel `update_parameters`: partial statistics
+//! computed on each processor's partition sum element-wise to the global
+//! statistics.
+
+use crate::data::dataset::DataView;
+use crate::model::class::Model;
+use crate::model::estep::WtsMatrix;
+use crate::model::prior::TermPrior;
+
+/// Index arithmetic for the flat statistics vector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatLayout {
+    /// Number of classes J.
+    pub j: usize,
+    /// Per-attribute (offset within a class block, block length).
+    pub attr_blocks: Vec<(usize, usize)>,
+    /// Length of one class block (1 + Σ attr lengths).
+    pub stride: usize,
+}
+
+impl StatLayout {
+    /// Layout for `j` classes of the given model (one block per term
+    /// group).
+    pub fn new(model: &Model, j: usize) -> Self {
+        assert!(j >= 1, "need at least one class");
+        let mut attr_blocks = Vec::with_capacity(model.groups.len());
+        let mut offset = 1; // slot 0 is the class weight
+        for g in &model.groups {
+            let len = g.prior.stat_len();
+            attr_blocks.push((offset, len));
+            offset += len;
+        }
+        StatLayout { j, attr_blocks, stride: offset }
+    }
+
+    /// Total flat length (`j * stride`).
+    pub fn len(&self) -> usize {
+        self.j * self.stride
+    }
+
+    /// True when the layout is empty (never: `j ≥ 1`, stride ≥ 1).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Flat range of class `c`'s whole block.
+    pub fn class_range(&self, c: usize) -> std::ops::Range<usize> {
+        let start = c * self.stride;
+        start..start + self.stride
+    }
+
+    /// Flat index of class `c`'s weight.
+    pub fn weight_index(&self, c: usize) -> usize {
+        c * self.stride
+    }
+
+    /// Flat range of class `c`, attribute `k`'s statistics block.
+    pub fn attr_range(&self, c: usize, k: usize) -> std::ops::Range<usize> {
+        let (off, len) = self.attr_blocks[k];
+        let start = c * self.stride + off;
+        start..start + len
+    }
+}
+
+/// Flat weighted sufficient statistics for one classification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuffStats {
+    /// Index arithmetic.
+    pub layout: StatLayout,
+    /// The flat values; element-wise summable across partitions.
+    pub data: Vec<f64>,
+}
+
+impl SuffStats {
+    /// Zeroed statistics with the given layout.
+    pub fn zeros(layout: StatLayout) -> Self {
+        let data = vec![0.0; layout.len()];
+        SuffStats { layout, data }
+    }
+
+    /// Class `c`'s accumulated weight w_c.
+    pub fn class_weight(&self, c: usize) -> f64 {
+        self.data[self.layout.weight_index(c)]
+    }
+
+    /// Class `c`, attribute `k`'s statistics block.
+    pub fn attr_stats(&self, c: usize, k: usize) -> &[f64] {
+        &self.data[self.layout.attr_range(c, k)]
+    }
+
+    /// Accumulate this partition's weighted statistics (the local part of
+    /// `update_parameters`). Returns the number of abstract ops performed,
+    /// for the virtual-time model.
+    pub fn accumulate(&mut self, model: &Model, view: &DataView<'_>, wts: &WtsMatrix) -> u64 {
+        let n = view.len();
+        assert_eq!(wts.n_items(), n, "weights/partition size mismatch");
+        assert_eq!(wts.n_classes(), self.layout.j, "weights/layout class count mismatch");
+        let mut ops: u64 = 0;
+        for c in 0..self.layout.j {
+            let w = wts.class_column(c);
+            // Class weight w_c over this partition.
+            let wsum: f64 = w.iter().sum();
+            self.data[self.layout.weight_index(c)] += wsum;
+            ops += n as u64;
+            for (k, group) in model.groups.iter().enumerate() {
+                let range = self.layout.attr_range(c, k);
+                let block = &mut self.data[range];
+                match &group.prior {
+                    TermPrior::Normal { .. } => {
+                        let xs = view.real_column(group.attrs[0]);
+                        let (mut s0, mut s1, mut s2) = (0.0, 0.0, 0.0);
+                        for (&x, &wi) in xs.iter().zip(w) {
+                            if !x.is_nan() {
+                                s0 += wi;
+                                s1 += wi * x;
+                                s2 += wi * x * x;
+                            }
+                        }
+                        block[0] += s0;
+                        block[1] += s1;
+                        block[2] += s2;
+                        ops += n as u64;
+                    }
+                    TermPrior::LogNormal { .. } => {
+                        let xs = view.real_column(group.attrs[0]);
+                        let (mut s0, mut s1, mut s2) = (0.0, 0.0, 0.0);
+                        for (&x, &wi) in xs.iter().zip(w) {
+                            if !x.is_nan() {
+                                let lx = x.ln();
+                                s0 += wi;
+                                s1 += wi * lx;
+                                s2 += wi * lx * lx;
+                            }
+                        }
+                        block[0] += s0;
+                        block[1] += s1;
+                        block[2] += s2;
+                        ops += n as u64;
+                    }
+                    TermPrior::Multinomial { missing_level, .. } => {
+                        let ls = view.discrete_column(group.attrs[0]);
+                        let missing_slot = block.len() - 1;
+                        for (&l, &wi) in ls.iter().zip(w) {
+                            if l != crate::data::dataset::MISSING_DISCRETE {
+                                block[l as usize] += wi;
+                            } else if *missing_level {
+                                block[missing_slot] += wi;
+                            }
+                        }
+                        ops += n as u64;
+                    }
+                    TermPrior::MultiNormal { dim, .. } => {
+                        // Joint block: skip items missing *any* block value.
+                        let d = *dim;
+                        let cols: Vec<&[f64]> =
+                            group.attrs.iter().map(|&a| view.real_column(a)).collect();
+                        let mut x = vec![0.0; d];
+                        'items: for (i, &wi) in w.iter().enumerate() {
+                            for (a, col) in cols.iter().enumerate() {
+                                let v = col[i];
+                                if v.is_nan() {
+                                    continue 'items;
+                                }
+                                x[a] = v;
+                            }
+                            block[0] += wi;
+                            for a in 0..d {
+                                block[1 + a] += wi * x[a];
+                                for b in 0..=a {
+                                    block[1 + d + crate::model::prior::tri_index(a, b)] +=
+                                        wi * x[a] * x[b];
+                                }
+                            }
+                        }
+                        ops += (n * d) as u64;
+                    }
+                }
+            }
+        }
+        ops
+    }
+
+    /// Element-wise merge of another partition's statistics (what the
+    /// Allreduce computes).
+    pub fn merge(&mut self, other: &SuffStats) {
+        assert_eq!(self.layout, other.layout, "cannot merge different layouts");
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    /// Total weight across classes (should equal the number of items whose
+    /// weights were accumulated; each item contributes exactly 1).
+    pub fn total_weight(&self) -> f64 {
+        (0..self.layout.j).map(|c| self.class_weight(c)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::dataset::{Dataset, Value};
+    use crate::data::schema::{Attribute, Schema};
+    use crate::data::stats::GlobalStats;
+
+    fn setup() -> (Dataset, Model) {
+        let schema = Schema::new(vec![Attribute::real("x", 0.1), Attribute::discrete("c", 2)]);
+        let data = Dataset::from_rows(
+            schema.clone(),
+            &[
+                vec![Value::Real(1.0), Value::Discrete(0)],
+                vec![Value::Real(2.0), Value::Discrete(1)],
+                vec![Value::Missing, Value::Discrete(1)],
+                vec![Value::Real(4.0), Value::Missing],
+            ],
+        );
+        let stats = GlobalStats::compute(&data.full_view());
+        let model = Model::new(schema, &stats);
+        (data, model)
+    }
+
+    fn uniform_wts(n: usize, j: usize) -> WtsMatrix {
+        let mut w = WtsMatrix::new(n, j);
+        let u = 1.0 / j as f64;
+        for c in 0..j {
+            w.class_column_mut(c).iter_mut().for_each(|v| *v = u);
+        }
+        w
+    }
+
+    #[test]
+    fn layout_indexing() {
+        let (_, model) = setup();
+        let l = StatLayout::new(&model, 3);
+        // stride = 1 (weight) + 3 (normal) + 2 (multinomial)
+        assert_eq!(l.stride, 6);
+        assert_eq!(l.len(), 18);
+        assert_eq!(l.weight_index(2), 12);
+        assert_eq!(l.attr_range(1, 0), 7..10);
+        assert_eq!(l.attr_range(1, 1), 10..12);
+    }
+
+    #[test]
+    fn accumulate_counts_weighted_values() {
+        let (data, model) = setup();
+        let wts = uniform_wts(4, 2);
+        let mut s = SuffStats::zeros(StatLayout::new(&model, 2));
+        s.accumulate(&model, &data.full_view(), &wts);
+        // Each class got half of each item.
+        assert!((s.class_weight(0) - 2.0).abs() < 1e-12);
+        assert!((s.class_weight(1) - 2.0).abs() < 1e-12);
+        let b = s.attr_stats(0, 0);
+        // Non-missing x: {1,2,4} each with weight 0.5.
+        assert!((b[0] - 1.5).abs() < 1e-12);
+        assert!((b[1] - 3.5).abs() < 1e-12);
+        assert!((b[2] - 10.5).abs() < 1e-12);
+        let d = s.attr_stats(0, 1);
+        // Levels: one 0, two 1s, one missing; each weight 0.5.
+        assert!((d[0] - 0.5).abs() < 1e-12);
+        assert!((d[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partition_accumulation_merges_to_whole() {
+        let (data, model) = setup();
+        let layout = StatLayout::new(&model, 2);
+
+        let wts_full = uniform_wts(4, 2);
+        let mut whole = SuffStats::zeros(layout.clone());
+        whole.accumulate(&model, &data.full_view(), &wts_full);
+
+        let mut left = SuffStats::zeros(layout.clone());
+        left.accumulate(&model, &data.view(0, 2), &uniform_wts(2, 2));
+        let mut right = SuffStats::zeros(layout);
+        right.accumulate(&model, &data.view(2, 4), &uniform_wts(2, 2));
+        left.merge(&right);
+
+        for (a, b) in left.data.iter().zip(&whole.data) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn total_weight_equals_items() {
+        let (data, model) = setup();
+        let wts = uniform_wts(4, 2);
+        let mut s = SuffStats::zeros(StatLayout::new(&model, 2));
+        s.accumulate(&model, &data.full_view(), &wts);
+        assert!((s.total_weight() - 4.0).abs() < 1e-12);
+    }
+}

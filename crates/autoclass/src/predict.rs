@@ -1,0 +1,156 @@
+//! Posterior class membership for individual items (scoring new data
+//! against a finished classification).
+
+use crate::data::dataset::Value;
+use crate::data::schema::AttributeKind;
+use crate::math::normalize_log_weights;
+use crate::model::{ClassParams, Model};
+
+/// Posterior membership probabilities of one item across the classes.
+/// Missing values simply contribute nothing, as in training.
+///
+/// # Panics
+/// Panics if the row's arity or value kinds disagree with the model's
+/// schema.
+pub fn posterior(model: &Model, classes: &[ClassParams], row: &[Value]) -> Vec<f64> {
+    assert_eq!(row.len(), model.n_attrs(), "row arity mismatch");
+    let mut log_w: Vec<f64> = classes
+        .iter()
+        .map(|class| {
+            let mut lp = class.log_pi;
+            for (term, group) in class.terms.iter().zip(&model.groups) {
+                if group.attrs.len() > 1 {
+                    // Correlated block: gather the block's values; any
+                    // missing component marks the whole block missing.
+                    let mut x = Vec::with_capacity(group.attrs.len());
+                    for &a in &group.attrs {
+                        match &row[a] {
+                            Value::Real(v) => x.push(*v),
+                            Value::Missing => x.push(f64::NAN),
+                            Value::Discrete(_) => {
+                                panic!("discrete value in a correlated real block")
+                            }
+                        }
+                    }
+                    lp += term.log_prob_vec(&x);
+                    continue;
+                }
+                let a = group.attrs[0];
+                let attr = &model.schema.attributes[a];
+                let models_missing = matches!(
+                    &group.prior,
+                    crate::model::TermPrior::Multinomial { missing_level: true, .. }
+                );
+                lp += match (&row[a], &attr.kind) {
+                    (Value::Missing, _) if models_missing => {
+                        term.log_prob_discrete_with_missing(
+                            crate::data::dataset::MISSING_DISCRETE,
+                        )
+                    }
+                    (Value::Missing, _) => 0.0,
+                    (Value::Real(x), AttributeKind::Real { .. })
+                    | (Value::Real(x), AttributeKind::PositiveReal { .. }) => {
+                        term.log_prob_real(*x)
+                    }
+                    (Value::Discrete(l), AttributeKind::Discrete { levels, .. }) => {
+                        assert!((*l as usize) < *levels, "level out of range");
+                        if models_missing {
+                            term.log_prob_discrete_with_missing(*l)
+                        } else {
+                            term.log_prob_discrete(*l)
+                        }
+                    }
+                    _ => panic!("value kind does not match schema"),
+                };
+            }
+            lp
+        })
+        .collect();
+    normalize_log_weights(&mut log_w);
+    log_w
+}
+
+/// Index of the most probable class for one item, with its probability.
+pub fn classify(model: &Model, classes: &[ClassParams], row: &[Value]) -> (usize, f64) {
+    let post = posterior(model, classes, row);
+    post.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(i, &p)| (i, p))
+        .expect("at least one class")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::dataset::Dataset;
+    use crate::data::schema::{Attribute, Schema};
+    use crate::data::stats::GlobalStats;
+    use crate::model::prior::TermParams;
+
+    fn setup() -> (Model, Vec<ClassParams>) {
+        let schema = Schema::new(vec![Attribute::real("x", 0.01), Attribute::discrete("c", 2)]);
+        let data = Dataset::from_rows(
+            schema.clone(),
+            &[
+                vec![Value::Real(-5.0), Value::Discrete(0)],
+                vec![Value::Real(5.0), Value::Discrete(1)],
+            ],
+        );
+        let stats = GlobalStats::compute(&data.full_view());
+        let model = Model::new(schema, &stats);
+        let classes = vec![
+            ClassParams::new(
+                1.0,
+                0.5,
+                vec![
+                    TermParams::normal(-5.0, 1.0),
+                    TermParams::Multinomial { log_p: vec![(0.9f64).ln(), (0.1f64).ln()] },
+                ],
+            ),
+            ClassParams::new(
+                1.0,
+                0.5,
+                vec![
+                    TermParams::normal(5.0, 1.0),
+                    TermParams::Multinomial { log_p: vec![(0.1f64).ln(), (0.9f64).ln()] },
+                ],
+            ),
+        ];
+        (model, classes)
+    }
+
+    #[test]
+    fn posterior_sums_to_one_and_prefers_the_near_class() {
+        let (model, classes) = setup();
+        let p = posterior(&model, &classes, &[Value::Real(-4.5), Value::Discrete(0)]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[0] > 0.99, "{p:?}");
+    }
+
+    #[test]
+    fn missing_values_are_neutral() {
+        let (model, classes) = setup();
+        // Only the discrete attribute speaks.
+        let p = posterior(&model, &classes, &[Value::Missing, Value::Discrete(1)]);
+        assert!(p[1] > 0.8, "{p:?}");
+        // Everything missing: posterior equals the mixture proportions.
+        let p = posterior(&model, &classes, &[Value::Missing, Value::Missing]);
+        assert!((p[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn classify_returns_argmax() {
+        let (model, classes) = setup();
+        let (idx, p) = classify(&model, &classes, &[Value::Real(4.0), Value::Discrete(1)]);
+        assert_eq!(idx, 1);
+        assert!(p > 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity mismatch")]
+    fn wrong_arity_rejected() {
+        let (model, classes) = setup();
+        posterior(&model, &classes, &[Value::Real(0.0)]);
+    }
+}

@@ -1,0 +1,435 @@
+//! Human-readable classification reports with influence values.
+//!
+//! AutoClass's reports rank, per class, the attributes by "influence": how
+//! much the class's distribution of that attribute diverges from the
+//! global distribution. We compute influence as the KL divergence from the
+//! class term to a reference term fitted to the whole dataset.
+
+use std::fmt;
+
+use crate::data::schema::AttributeKind;
+use crate::model::{ClassParams, Model, TermParams};
+use crate::search::Classification;
+
+/// Influence of one attribute in one class.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Influence {
+    /// Attribute index.
+    pub attr: usize,
+    /// Attribute name.
+    pub name: String,
+    /// KL divergence from the class distribution to the global one (≥ 0).
+    pub value: f64,
+}
+
+/// KL(N(m1,s1²) ‖ N(m0,s0²)).
+fn kl_normal(m1: f64, s1: f64, m0: f64, s0: f64) -> f64 {
+    (s0 / s1).ln() + (s1 * s1 + (m1 - m0).powi(2)) / (2.0 * s0 * s0) - 0.5
+}
+
+/// KL(q ‖ g) for discrete distributions given as log probabilities (q) and
+/// probabilities (g).
+fn kl_discrete(log_q: &[f64], g: &[f64]) -> f64 {
+    log_q
+        .iter()
+        .zip(g)
+        .map(|(&lq, &gl)| {
+            let q = lq.exp();
+            if q > 0.0 && gl > 0.0 {
+                q * (lq - gl.ln())
+            } else {
+                0.0
+            }
+        })
+        .sum()
+}
+
+/// KL(N(μ1,Σ1) ‖ N(μ0,Σ0)) for correlated blocks, from Cholesky factors.
+fn kl_mvn(m1: &[f64], l1: &[f64], m0: &[f64], l0: &[f64]) -> f64 {
+    let d = m1.len();
+    let sigma1 = {
+        // Σ1 = L1·L1ᵀ
+        let mut s = vec![0.0; d * d];
+        for i in 0..d {
+            for j in 0..d {
+                let mut v = 0.0;
+                for k in 0..d {
+                    v += l1[i * d + k] * l1[j * d + k];
+                }
+                s[i * d + j] = v;
+            }
+        }
+        s
+    };
+    let inv0 = crate::linalg::inverse_from_chol(l0, d);
+    let trace = crate::linalg::trace_product(&inv0, &sigma1, d);
+    let diff: Vec<f64> = m0.iter().zip(m1).map(|(a, b)| a - b).collect();
+    let mut scratch = vec![0.0; d];
+    let maha = crate::linalg::mahalanobis_sq(l0, d, &diff, &mut scratch);
+    let log_det0 = crate::linalg::log_det_from_chol(l0, d);
+    let log_det1 = crate::linalg::log_det_from_chol(l1, d);
+    0.5 * (trace + maha - d as f64 + log_det0 - log_det1)
+}
+
+/// Reference ("global") term parameters for a group: one class fit to
+/// everything.
+fn global_term(
+    model: &Model,
+    stats: &crate::data::stats::GlobalStats,
+    group: &crate::model::class::TermGroup,
+) -> TermParams {
+    let k = group.attrs[0];
+    match &group.prior {
+        crate::model::TermPrior::MultiNormal { dim, .. } => {
+            let d = *dim;
+            let mean: Vec<f64> = group.attrs.iter().map(|&a| stats.mean(a)).collect();
+            let mut cov = vec![0.0; d * d];
+            for (i, &a) in group.attrs.iter().enumerate() {
+                cov[i * d + i] = stats.variance(a).max(1e-12);
+            }
+            TermParams::multi_normal(mean, &cov, 0.0)
+        }
+        _ => match &model.schema.attributes[k].kind {
+            AttributeKind::Real { error } => {
+                TermParams::normal(stats.mean(k), stats.variance(k).sqrt().max(*error))
+            }
+            AttributeKind::PositiveReal { error } => {
+                TermParams::log_normal(stats.ln_mean(k), stats.ln_variance(k).sqrt().max(*error))
+            }
+            AttributeKind::Discrete { .. } => {
+                let mut f = stats.level_freqs(k);
+                if matches!(
+                    &group.prior,
+                    crate::model::TermPrior::Multinomial { missing_level: true, .. }
+                ) {
+                    // Rescale observed frequencies by the observed share
+                    // and append the global missing frequency.
+                    let observed: f64 = match &stats.attrs[k] {
+                        crate::data::AttrStats::Discrete { counts } => counts.iter().sum(),
+                        _ => unreachable!("discrete attribute"),
+                    };
+                    let n = stats.n.max(1.0);
+                    let p_missing = ((n - observed) / n).max(0.0);
+                    for v in &mut f {
+                        *v *= 1.0 - p_missing;
+                    }
+                    f.push(p_missing);
+                }
+                TermParams::Multinomial {
+                    log_p: f.iter().map(|p| p.max(1e-300).ln()).collect(),
+                }
+            }
+        },
+    }
+}
+
+/// Human-readable name of a group (attribute name, or names joined by ×
+/// for a correlated block).
+fn group_name(model: &Model, group: &crate::model::class::TermGroup) -> String {
+    if group.attrs.len() == 1 {
+        model.schema.attributes[group.attrs[0]].name.clone()
+    } else {
+        group
+            .attrs
+            .iter()
+            .map(|&a| model.schema.attributes[a].name.as_str())
+            .collect::<Vec<_>>()
+            .join("×")
+    }
+}
+
+/// KL divergence between two classes' term distributions for one group.
+fn term_kl(a: &TermParams, b: &TermParams) -> f64 {
+    match (a, b) {
+        (
+            TermParams::Normal { mean: m1, sigma: s1, .. },
+            TermParams::Normal { mean: m0, sigma: s0, .. },
+        )
+        | (
+            TermParams::LogNormal { mean: m1, sigma: s1, .. },
+            TermParams::LogNormal { mean: m0, sigma: s0, .. },
+        ) => kl_normal(*m1, *s1, *m0, *s0),
+        (TermParams::Multinomial { log_p }, TermParams::Multinomial { log_p: lg }) => {
+            let g: Vec<f64> = lg.iter().map(|l| l.exp()).collect();
+            kl_discrete(log_p, &g)
+        }
+        (
+            TermParams::MultiNormal { mean: m1, chol: l1, .. },
+            TermParams::MultiNormal { mean: m0, chol: l0, .. },
+        ) => kl_mvn(m1, l1, m0, l0),
+        _ => panic!("classes of one classification share term kinds"),
+    }
+}
+
+/// Symmetrized divergence between two classes: ½(KL(a‖b) + KL(b‖a)),
+/// summed over term groups (attributes are conditionally independent
+/// given the class, so the divergences add). Near 0 means the classes
+/// overlap heavily — the well-definedness criterion the paper's §2
+/// discusses (memberships around 0.5 vs around 0.99).
+pub fn class_divergence(a: &ClassParams, b: &ClassParams) -> f64 {
+    a.terms
+        .iter()
+        .zip(&b.terms)
+        .map(|(ta, tb)| 0.5 * (term_kl(ta, tb) + term_kl(tb, ta)))
+        .sum()
+}
+
+/// Pairwise symmetric divergence matrix over a classification's classes.
+pub fn divergence_matrix(classes: &[ClassParams]) -> Vec<Vec<f64>> {
+    let j = classes.len();
+    let mut m = vec![vec![0.0; j]; j];
+    for a in 0..j {
+        for b in a + 1..j {
+            let d = class_divergence(&classes[a], &classes[b]);
+            m[a][b] = d;
+            m[b][a] = d;
+        }
+    }
+    m
+}
+
+/// Influence values of one class, sorted by decreasing influence.
+pub fn class_influences(
+    model: &Model,
+    stats: &crate::data::stats::GlobalStats,
+    class: &ClassParams,
+) -> Vec<Influence> {
+    let mut out: Vec<Influence> = class
+        .terms
+        .iter()
+        .zip(&model.groups)
+        .map(|(term, group)| {
+            let global = global_term(model, stats, group);
+            let value = match (term, &global) {
+                (
+                    TermParams::Normal { mean: m1, sigma: s1, .. },
+                    TermParams::Normal { mean: m0, sigma: s0, .. },
+                )
+                | (
+                    TermParams::LogNormal { mean: m1, sigma: s1, .. },
+                    TermParams::LogNormal { mean: m0, sigma: s0, .. },
+                ) => kl_normal(*m1, *s1, *m0, *s0),
+                (TermParams::Multinomial { log_p }, TermParams::Multinomial { log_p: lg }) => {
+                    let g: Vec<f64> = lg.iter().map(|l| l.exp()).collect();
+                    kl_discrete(log_p, &g)
+                }
+                (
+                    TermParams::MultiNormal { mean: m1, chol: l1, .. },
+                    TermParams::MultiNormal { mean: m0, chol: l0, .. },
+                ) => kl_mvn(m1, l1, m0, l0),
+                _ => unreachable!("class and global terms share a kind"),
+            };
+            Influence { attr: group.attrs[0], name: group_name(model, group), value }
+        })
+        .collect();
+    out.sort_by(|a, b| b.value.total_cmp(&a.value));
+    out
+}
+
+/// A full printable report for a classification.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Per-class summaries, heaviest class first.
+    pub classes: Vec<ClassReport>,
+    /// Final scores of the classification.
+    pub cs_score: f64,
+    /// Log likelihood at MAP.
+    pub log_likelihood: f64,
+    /// EM cycles and convergence status.
+    pub cycles: usize,
+    /// Whether the convergence criterion fired.
+    pub converged: bool,
+}
+
+/// One class's entry in the report.
+#[derive(Debug, Clone)]
+pub struct ClassReport {
+    /// Expected item count.
+    pub weight: f64,
+    /// Mixture proportion.
+    pub pi: f64,
+    /// Attribute influences, most influential first.
+    pub influences: Vec<Influence>,
+    /// Textual parameter summaries per attribute, in schema order.
+    pub params: Vec<String>,
+}
+
+/// Build a report from a finished classification.
+pub fn report(
+    model: &Model,
+    stats: &crate::data::stats::GlobalStats,
+    c: &Classification,
+) -> Report {
+    let classes = c
+        .classes
+        .iter()
+        .map(|class| {
+            let params = class
+                .terms
+                .iter()
+                .zip(&model.groups)
+                .map(|(t, g)| {
+                    let name = group_name(model, g);
+                    match t {
+                        TermParams::Normal { mean, sigma, .. } => {
+                            format!("{name} ~ N({mean:.4}, {sigma:.4})")
+                        }
+                        TermParams::LogNormal { mean, sigma, .. } => {
+                            format!("ln {name} ~ N({mean:.4}, {sigma:.4})")
+                        }
+                        TermParams::Multinomial { log_p } => {
+                            let probs: Vec<String> =
+                                log_p.iter().map(|l| format!("{:.3}", l.exp())).collect();
+                            format!("{name} ~ Mult[{}]", probs.join(", "))
+                        }
+                        TermParams::MultiNormal { mean, chol, .. } => {
+                            let d = mean.len();
+                            let means: Vec<String> =
+                                mean.iter().map(|m| format!("{m:.3}")).collect();
+                            // Report the correlation of the first pair as a
+                            // quick summary; the full factor is in the params.
+                            let var = |i: usize| -> f64 {
+                                (0..d).map(|k| chol[i * d + k] * chol[i * d + k]).sum()
+                            };
+                            let cov01: f64 =
+                                (0..d).map(|k| chol[k] * chol[d + k]).sum();
+                            let rho = cov01 / (var(0) * var(1)).sqrt();
+                            format!("{name} ~ MVN(mean [{}], ρ01 {rho:.3})", means.join(", "))
+                        }
+                    }
+                })
+                .collect();
+            ClassReport {
+                weight: class.weight,
+                pi: class.pi,
+                influences: class_influences(model, stats, class),
+                params,
+            }
+        })
+        .collect();
+    Report {
+        classes,
+        cs_score: c.score(),
+        log_likelihood: c.approx.log_likelihood,
+        cycles: c.cycles,
+        converged: c.converged,
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "CLASSIFICATION: {} classes", self.classes.len())?;
+        writeln!(
+            f,
+            "  CS score {:.3}  log-likelihood {:.3}  cycles {}{}",
+            self.cs_score,
+            self.log_likelihood,
+            self.cycles,
+            if self.converged { " (converged)" } else { " (cycle cap)" }
+        )?;
+        for (i, c) in self.classes.iter().enumerate() {
+            writeln!(f, "  CLASS {i}: weight {:.1}  pi {:.4}", c.weight, c.pi)?;
+            for p in &c.params {
+                writeln!(f, "    {p}")?;
+            }
+            for inf in &c.influences {
+                writeln!(f, "    influence {}: {:.4}", inf.name, inf.value)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::dataset::{Dataset, Value};
+    use crate::data::schema::Schema;
+    use crate::data::stats::GlobalStats;
+    use crate::search::{search, SearchConfig};
+
+    fn two_blob_data() -> Dataset {
+        let schema = Schema::reals(2, 0.05);
+        let mut rows = Vec::new();
+        for i in 0..120 {
+            let a = (i as f64 * 0.9).sin() * 0.5;
+            // x0 separates the blobs; x1 is identical noise in both.
+            let c = if i % 2 == 0 { -6.0 } else { 6.0 };
+            rows.push(vec![Value::Real(c + a), Value::Real(a)]);
+        }
+        Dataset::from_rows(schema, &rows)
+    }
+
+    #[test]
+    fn kl_normal_basics() {
+        assert!(kl_normal(0.0, 1.0, 0.0, 1.0).abs() < 1e-12);
+        assert!(kl_normal(3.0, 1.0, 0.0, 1.0) > 1.0);
+        assert!(kl_normal(0.0, 0.5, 0.0, 1.0) > 0.0);
+    }
+
+    #[test]
+    fn kl_discrete_basics() {
+        let lq = [(0.5f64).ln(), (0.5f64).ln()];
+        assert!(kl_discrete(&lq, &[0.5, 0.5]).abs() < 1e-12);
+        let skew = [(0.9f64).ln(), (0.1f64).ln()];
+        assert!(kl_discrete(&skew, &[0.5, 0.5]) > 0.1);
+    }
+
+    #[test]
+    fn influence_ranks_the_separating_attribute_first() {
+        let data = two_blob_data();
+        let result = search(&data.full_view(), &SearchConfig::quick(vec![2], 11));
+        let stats = GlobalStats::compute(&data.full_view());
+        let model = Model::new(data.schema().clone(), &stats);
+        let rep = report(&model, &stats, &result.best);
+        assert_eq!(rep.classes.len(), 2);
+        for c in &rep.classes {
+            assert_eq!(c.influences[0].name, "x0", "x0 separates the blobs");
+            assert!(c.influences[0].value > c.influences[1].value);
+        }
+    }
+
+    #[test]
+    fn divergence_matrix_is_symmetric_zero_diagonal() {
+        let data = two_blob_data();
+        let result = search(&data.full_view(), &SearchConfig::quick(vec![2], 11));
+        let m = divergence_matrix(&result.best.classes);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m[0][0], 0.0);
+        assert_eq!(m[1][1], 0.0);
+        assert_eq!(m[0][1], m[1][0]);
+        // The blobs are 12 units apart at sigma ~1: hugely divergent.
+        assert!(m[0][1] > 5.0, "{}", m[0][1]);
+    }
+
+    #[test]
+    fn overlapping_classes_have_small_divergence() {
+        use crate::model::prior::TermParams;
+        let a = crate::model::ClassParams::new(
+            1.0,
+            0.5,
+            vec![TermParams::normal(0.0, 1.0), TermParams::normal(1.0, 2.0)],
+        );
+        let b = crate::model::ClassParams::new(
+            1.0,
+            0.5,
+            vec![TermParams::normal(0.1, 1.0), TermParams::normal(1.0, 2.0)],
+        );
+        let d = class_divergence(&a, &b);
+        assert!(d < 0.01, "{d}");
+        assert_eq!(class_divergence(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn report_displays_without_panicking() {
+        let data = two_blob_data();
+        let result = search(&data.full_view(), &SearchConfig::quick(vec![2], 11));
+        let stats = GlobalStats::compute(&data.full_view());
+        let model = Model::new(data.schema().clone(), &stats);
+        let rep = report(&model, &stats, &result.best);
+        let text = rep.to_string();
+        assert!(text.contains("CLASSIFICATION: 2 classes"));
+        assert!(text.contains("CLASS 0"));
+        assert!(text.contains("influence x0"));
+    }
+}

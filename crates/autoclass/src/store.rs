@@ -1,0 +1,411 @@
+//! Saving and loading classification results — the role of AutoClass C's
+//! `.results` files: a finished search can be stored, shipped, and later
+//! used to classify new data without re-running the search.
+//!
+//! The format is a line-oriented plain-text format (one `key=value` list
+//! per line, `#` comments). Floating-point values are written with Rust's
+//! shortest-round-trip formatting, so loading reproduces every `f64`
+//! bit-for-bit. The file is self-contained: it records the correlated
+//! block structure alongside every class's term parameters, which is all
+//! `predict` needs beyond the data schema.
+
+use std::io::{BufRead, Write};
+
+use crate::model::{Approximation, ClassParams, Model, TermParams};
+use crate::search::Classification;
+
+/// Magic first line; bump the version when the format changes.
+const HEADER: &str = "autoclass-results v1";
+
+/// Errors from parsing a results file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreError {
+    /// 1-based line number (0 = preamble/structure problems).
+    pub line: usize,
+    /// What went wrong.
+    pub detail: String,
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "results file, line {}: {}", self.line, self.detail)
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+fn err(line: usize, detail: impl Into<String>) -> StoreError {
+    StoreError { line, detail: detail.into() }
+}
+
+fn fmt_f64s(values: &[f64]) -> String {
+    values.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(",")
+}
+
+fn parse_f64s(line: usize, s: &str) -> Result<Vec<f64>, StoreError> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(',')
+        .map(|v| v.parse::<f64>().map_err(|_| err(line, format!("bad float {v:?}"))))
+        .collect()
+}
+
+fn parse_usizes(line: usize, s: &str) -> Result<Vec<usize>, StoreError> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(',')
+        .map(|v| v.parse::<usize>().map_err(|_| err(line, format!("bad index {v:?}"))))
+        .collect()
+}
+
+/// Key=value splitter for one record line.
+fn fields(line_no: usize, line: &str) -> Result<Vec<(String, String)>, StoreError> {
+    line.split_whitespace()
+        .skip(1) // the record tag
+        .map(|kv| {
+            kv.split_once('=')
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+                .ok_or_else(|| err(line_no, format!("expected key=value, got {kv:?}")))
+        })
+        .collect()
+}
+
+fn get<'a>(
+    line: usize,
+    kvs: &'a [(String, String)],
+    key: &str,
+) -> Result<&'a str, StoreError> {
+    kvs.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v.as_str())
+        .ok_or_else(|| err(line, format!("missing field {key:?}")))
+}
+
+/// Write classifications (best first) and the correlated block structure.
+pub fn write_results<W: Write>(
+    mut w: W,
+    classifications: &[Classification],
+    correlated_blocks: &[Vec<usize>],
+) -> std::io::Result<()> {
+    writeln!(w, "{HEADER}")?;
+    writeln!(w, "# P-AutoClass reproduction results file")?;
+    for block in correlated_blocks {
+        writeln!(
+            w,
+            "block attrs={}",
+            block.iter().map(usize::to_string).collect::<Vec<_>>().join(",")
+        )?;
+    }
+    for c in classifications {
+        writeln!(
+            w,
+            "classification j_initial={} cycles={} converged={} seed={} log_prior={} \
+             ll={} cll={} marginal={} cs={}",
+            c.j_initial,
+            c.cycles,
+            c.converged,
+            c.seed,
+            c.log_prior,
+            c.approx.log_likelihood,
+            c.approx.complete_ll,
+            c.approx.complete_marginal,
+            c.approx.cs_score,
+        )?;
+        for class in &c.classes {
+            writeln!(w, "class weight={} pi={}", class.weight, class.pi)?;
+            for term in &class.terms {
+                match term {
+                    TermParams::Normal { mean, sigma, .. } => {
+                        writeln!(w, "term kind=normal mean={mean} sigma={sigma}")?;
+                    }
+                    TermParams::LogNormal { mean, sigma, .. } => {
+                        writeln!(w, "term kind=lognormal mean={mean} sigma={sigma}")?;
+                    }
+                    TermParams::Multinomial { log_p } => {
+                        writeln!(w, "term kind=multinomial log_p={}", fmt_f64s(log_p))?;
+                    }
+                    TermParams::MultiNormal { mean, chol, .. } => {
+                        writeln!(
+                            w,
+                            "term kind=multinormal mean={} chol={}",
+                            fmt_f64s(mean),
+                            fmt_f64s(chol)
+                        )?;
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Load a results file: the classifications (in file order) and the
+/// correlated block structure they were fitted under.
+#[allow(clippy::type_complexity)]
+pub fn read_results<R: BufRead>(
+    r: R,
+) -> Result<(Vec<Classification>, Vec<Vec<usize>>), StoreError> {
+    let mut lines = r.lines().enumerate();
+    let (_, first) = lines
+        .next()
+        .ok_or_else(|| err(0, "empty file"))?;
+    let first = first.map_err(|e| err(1, e.to_string()))?;
+    if first.trim() != HEADER {
+        return Err(err(1, format!("bad header {first:?} (expected {HEADER:?})")));
+    }
+
+    let mut blocks: Vec<Vec<usize>> = Vec::new();
+    let mut classifications: Vec<Classification> = Vec::new();
+
+    for (i, line) in lines {
+        let line_no = i + 1;
+        let line = line.map_err(|e| err(line_no, e.to_string()))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let tag = trimmed.split_whitespace().next().unwrap_or_default();
+        let kvs = fields(line_no, trimmed)?;
+        match tag {
+            "block" => blocks.push(parse_usizes(line_no, get(line_no, &kvs, "attrs")?)?),
+            "classification" => {
+                let p = |key: &str| -> Result<f64, StoreError> {
+                    get(line_no, &kvs, key)?
+                        .parse()
+                        .map_err(|_| err(line_no, format!("bad float in {key}")))
+                };
+                classifications.push(Classification {
+                    classes: Vec::new(),
+                    j_initial: get(line_no, &kvs, "j_initial")?
+                        .parse()
+                        .map_err(|_| err(line_no, "bad j_initial"))?,
+                    approx: Approximation {
+                        log_likelihood: p("ll")?,
+                        complete_ll: p("cll")?,
+                        complete_marginal: p("marginal")?,
+                        cs_score: p("cs")?,
+                    },
+                    log_prior: p("log_prior")?,
+                    cycles: get(line_no, &kvs, "cycles")?
+                        .parse()
+                        .map_err(|_| err(line_no, "bad cycles"))?,
+                    converged: get(line_no, &kvs, "converged")?
+                        .parse()
+                        .map_err(|_| err(line_no, "bad converged"))?,
+                    seed: get(line_no, &kvs, "seed")?
+                        .parse()
+                        .map_err(|_| err(line_no, "bad seed"))?,
+                });
+            }
+            "class" => {
+                let c = classifications
+                    .last_mut()
+                    .ok_or_else(|| err(line_no, "class before classification"))?;
+                let weight: f64 = get(line_no, &kvs, "weight")?
+                    .parse()
+                    .map_err(|_| err(line_no, "bad weight"))?;
+                let pi: f64 =
+                    get(line_no, &kvs, "pi")?.parse().map_err(|_| err(line_no, "bad pi"))?;
+                if !(pi > 0.0 && pi <= 1.0) {
+                    return Err(err(line_no, format!("pi out of range: {pi}")));
+                }
+                c.classes.push(ClassParams::new(weight, pi, Vec::new()));
+            }
+            "term" => {
+                let class = classifications
+                    .last_mut()
+                    .and_then(|c| c.classes.last_mut())
+                    .ok_or_else(|| err(line_no, "term before class"))?;
+                let kind = get(line_no, &kvs, "kind")?;
+                let term = match kind {
+                    "normal" | "lognormal" => {
+                        let mean: f64 = get(line_no, &kvs, "mean")?
+                            .parse()
+                            .map_err(|_| err(line_no, "bad mean"))?;
+                        let sigma: f64 = get(line_no, &kvs, "sigma")?
+                            .parse()
+                            .map_err(|_| err(line_no, "bad sigma"))?;
+                        if sigma <= 0.0 {
+                            return Err(err(line_no, format!("sigma must be positive: {sigma}")));
+                        }
+                        if kind == "normal" {
+                            TermParams::normal(mean, sigma)
+                        } else {
+                            TermParams::log_normal(mean, sigma)
+                        }
+                    }
+                    "multinomial" => TermParams::Multinomial {
+                        log_p: parse_f64s(line_no, get(line_no, &kvs, "log_p")?)?,
+                    },
+                    "multinormal" => {
+                        let mean = parse_f64s(line_no, get(line_no, &kvs, "mean")?)?;
+                        let chol = parse_f64s(line_no, get(line_no, &kvs, "chol")?)?;
+                        if chol.len() != mean.len() * mean.len() {
+                            return Err(err(line_no, "chol length must be d²"));
+                        }
+                        let d = mean.len();
+                        let log_det = crate::linalg::log_det_from_chol(&chol, d);
+                        if !log_det.is_finite() {
+                            return Err(err(line_no, "degenerate Cholesky factor"));
+                        }
+                        let log_norm =
+                            -0.5 * d as f64 * crate::math::LN_2PI - 0.5 * log_det;
+                        TermParams::MultiNormal { mean, chol, log_norm }
+                    }
+                    other => return Err(err(line_no, format!("unknown term kind {other:?}"))),
+                };
+                class.terms.push(term);
+            }
+            other => return Err(err(line_no, format!("unknown record {other:?}"))),
+        }
+    }
+    if classifications.is_empty() {
+        return Err(err(0, "file holds no classifications"));
+    }
+    Ok((classifications, blocks))
+}
+
+/// Validate a loaded classification against a model built for the same
+/// schema/structure (term counts and kinds must line up); returns a
+/// message describing the first mismatch.
+pub fn check_against_model(model: &Model, c: &Classification) -> Result<(), String> {
+    for (ci, class) in c.classes.iter().enumerate() {
+        if class.terms.len() != model.n_groups() {
+            return Err(format!(
+                "class {ci} has {} terms but the model has {} groups",
+                class.terms.len(),
+                model.n_groups()
+            ));
+        }
+        for (gi, (term, group)) in class.terms.iter().zip(&model.groups).enumerate() {
+            let ok = matches!(
+                (term, &group.prior),
+                (TermParams::Normal { .. }, crate::model::TermPrior::Normal { .. })
+                    | (TermParams::LogNormal { .. }, crate::model::TermPrior::LogNormal { .. })
+                    | (
+                        TermParams::Multinomial { .. },
+                        crate::model::TermPrior::Multinomial { .. }
+                    )
+                    | (
+                        TermParams::MultiNormal { .. },
+                        crate::model::TermPrior::MultiNormal { .. }
+                    )
+            );
+            if !ok {
+                return Err(format!("class {ci}, group {gi}: term kind mismatch"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{Dataset, GlobalStats, Schema, Value};
+    use crate::search::{search, SearchConfig};
+
+    fn sample_result() -> (Dataset, Vec<Classification>) {
+        let schema = Schema::reals(1, 0.05);
+        let rows: Vec<Vec<Value>> = (0..80)
+            .map(|i| {
+                let c = if i % 2 == 0 { -4.0 } else { 4.0 };
+                vec![Value::Real(c + (i as f64 * 0.71).sin())]
+            })
+            .collect();
+        let data = Dataset::from_rows(schema, &rows);
+        let r = search(&data.full_view(), &SearchConfig::quick(vec![2], 9));
+        (data, r.all)
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let (_, all) = sample_result();
+        let mut buf = Vec::new();
+        write_results(&mut buf, &all, &[]).unwrap();
+        let (back, blocks) = read_results(buf.as_slice()).unwrap();
+        assert!(blocks.is_empty());
+        assert_eq!(back.len(), all.len());
+        for (a, b) in back.iter().zip(&all) {
+            assert_eq!(a.approx, b.approx, "scores must round-trip exactly");
+            assert_eq!(a.classes, b.classes, "parameters must round-trip exactly");
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.converged, b.converged);
+        }
+    }
+
+    #[test]
+    fn blocks_round_trip() {
+        let (_, all) = sample_result();
+        let mut buf = Vec::new();
+        write_results(&mut buf, &all, &[vec![0, 1], vec![3, 4, 5]]).unwrap();
+        let (_, blocks) = read_results(buf.as_slice()).unwrap();
+        assert_eq!(blocks, vec![vec![0, 1], vec![3, 4, 5]]);
+    }
+
+    #[test]
+    fn header_is_checked() {
+        let e = read_results("not a results file\n".as_bytes()).unwrap_err();
+        assert!(e.detail.contains("bad header"), "{e}");
+    }
+
+    #[test]
+    fn corrupt_floats_are_reported_with_line() {
+        let text = format!("{HEADER}\nclassification j_initial=2 cycles=1 converged=true seed=1 \
+                            log_prior=0 ll=banana cll=0 marginal=0 cs=0\n");
+        let e = read_results(text.as_bytes()).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.detail.contains("ll"), "{e}");
+    }
+
+    #[test]
+    fn orphan_records_are_rejected() {
+        let text = format!("{HEADER}\nclass weight=1 pi=0.5\n");
+        let e = read_results(text.as_bytes()).unwrap_err();
+        assert!(e.detail.contains("class before classification"), "{e}");
+
+        let text = format!("{HEADER}\nterm kind=normal mean=0 sigma=1\n");
+        let e = read_results(text.as_bytes()).unwrap_err();
+        assert!(e.detail.contains("term before class"), "{e}");
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        let text = format!(
+            "{HEADER}\nclassification j_initial=2 cycles=1 converged=true seed=1 \
+             log_prior=0 ll=0 cll=0 marginal=0 cs=0\nclass weight=1 pi=2.0\n"
+        );
+        let e = read_results(text.as_bytes()).unwrap_err();
+        assert!(e.detail.contains("pi out of range"), "{e}");
+    }
+
+    #[test]
+    fn loaded_classification_predicts_like_the_original() {
+        let (data, all) = sample_result();
+        let best = &all[0];
+        let mut buf = Vec::new();
+        write_results(&mut buf, std::slice::from_ref(best), &[]).unwrap();
+        let (loaded, _) = read_results(buf.as_slice()).unwrap();
+
+        let stats = GlobalStats::compute(&data.full_view());
+        let model = Model::new(data.schema().clone(), &stats);
+        check_against_model(&model, &loaded[0]).unwrap();
+        for x in [-4.5, 0.0, 4.5] {
+            let a = crate::predict::posterior(&model, &best.classes, &[Value::Real(x)]);
+            let b = crate::predict::posterior(&model, &loaded[0].classes, &[Value::Real(x)]);
+            assert_eq!(a, b, "x={x}");
+        }
+    }
+
+    #[test]
+    fn check_against_model_catches_mismatch() {
+        let (data, all) = sample_result();
+        let stats = GlobalStats::compute(&data.full_view());
+        let model = Model::new(data.schema().clone(), &stats);
+        let mut c = all[0].clone();
+        c.classes[0].terms.push(TermParams::normal(0.0, 1.0));
+        assert!(check_against_model(&model, &c).is_err());
+    }
+}

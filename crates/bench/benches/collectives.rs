@@ -1,0 +1,55 @@
+//! Criterion benchmarks of the simulated collectives (host cost of the
+//! substrate itself): Allreduce algorithms across message sizes at P=8.
+//! Complements the `ablation_allreduce` harness, which reports *virtual*
+//! costs; this one keeps the simulator's own overhead visible and bounded.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mpsim::{presets, run_spmd_default, AllreduceAlgo, ReduceOp};
+
+fn bench_allreduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("allreduce_host");
+    group.sample_size(10);
+    let spec = presets::zero_cost(8);
+    for &n in &[64usize, 4_096] {
+        for (name, algo) in [
+            ("linear", AllreduceAlgo::Linear),
+            ("rd", AllreduceAlgo::RecursiveDoubling),
+            ("ring", AllreduceAlgo::Ring),
+        ] {
+            group.throughput(Throughput::Bytes((n * 8) as u64));
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("{name}_{n}")),
+                &(),
+                |b, _| {
+                    b.iter(|| {
+                        run_spmd_default(&spec, |comm| {
+                            let mut buf = vec![comm.rank() as f64; n];
+                            comm.allreduce_f64s_with(&mut buf, ReduceOp::Sum, algo);
+                            buf[0]
+                        })
+                        .unwrap()
+                        .per_rank[0]
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_spmd_launch(c: &mut Criterion) {
+    // Fixed cost of spinning up/tearing down an SPMD world — bounds how
+    // small a simulated experiment can usefully be.
+    let mut group = c.benchmark_group("spmd_launch");
+    group.sample_size(10);
+    for &p in &[1usize, 4, 10] {
+        let spec = presets::zero_cost(p);
+        group.bench_with_input(BenchmarkId::from_parameter(p), &(), |b, _| {
+            b.iter(|| run_spmd_default(&spec, |comm| comm.rank()).unwrap().per_rank.len());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allreduce, bench_spmd_launch);
+criterion_main!(benches);

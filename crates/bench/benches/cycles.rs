@@ -1,0 +1,62 @@
+//! Criterion benchmarks of full parallel base cycles — the unit of work
+//! behind Figures 6–8 — at several simulated processor counts and for
+//! every strategy, plus the k-means baseline cycle for comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use kmeans::{kmeans_parallel, KMeansConfig};
+use mpsim::presets;
+use pautoclass::{run_fixed_j, Exchange, ParallelConfig, Strategy};
+
+fn bench_parallel_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_base_cycle");
+    group.sample_size(10);
+    let n = 5_000;
+    let data = datagen::paper_dataset(n, 1);
+    for &p in &[1usize, 4, 10] {
+        let machine = presets::meiko_cs2(p);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(format!("p{p}")), &(), |b, _| {
+            b.iter(|| {
+                run_fixed_j(&data, &machine, 8, 2, 7, &ParallelConfig::default())
+                    .unwrap()
+                    .per_cycle
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strategy_cycle");
+    group.sample_size(10);
+    let data = datagen::paper_dataset(4_000, 1);
+    let machine = presets::meiko_cs2(4);
+    for (name, strategy) in [
+        ("full_perterm", Strategy::Full { exchange: Exchange::PerTerm }),
+        ("full_fused", Strategy::Full { exchange: Exchange::Fused }),
+        ("wts_only", Strategy::WtsOnly),
+    ] {
+        let config = ParallelConfig { strategy, ..ParallelConfig::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(), |b, _| {
+            b.iter(|| run_fixed_j(&data, &machine, 8, 2, 7, &config).unwrap().per_cycle);
+        });
+    }
+    group.finish();
+}
+
+fn bench_kmeans_baseline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans_cycle");
+    group.sample_size(10);
+    let data = datagen::paper_dataset(5_000, 1);
+    for &p in &[1usize, 10] {
+        let machine = presets::meiko_cs2(p);
+        let config = KMeansConfig { k: 8, max_iters: 2, tol: 0.0, seed: 7 };
+        group.bench_with_input(BenchmarkId::from_parameter(format!("p{p}")), &(), |b, _| {
+            b.iter(|| kmeans_parallel(&data, &machine, &config).unwrap().elapsed);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_cycle, bench_strategies, bench_kmeans_baseline);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! Criterion microbenchmarks of the hot kernels behind every figure:
+//! `update_wts` (E-step) and statistics accumulation + MAP update
+//! (M-step). These are the two functions the paper identifies as ~99.5 %
+//! of AutoClass runtime.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use autoclass::data::GlobalStats;
+use autoclass::model::{
+    init_classes, stats_to_classes, update_wts, Model, StatLayout, SuffStats, WtsMatrix,
+};
+
+fn bench_estep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("estep");
+    group.sample_size(20);
+    for &(n, j) in &[(2_000usize, 8usize), (2_000, 32), (10_000, 8)] {
+        let data = datagen::paper_dataset(n, 1);
+        let stats = GlobalStats::compute(&data.full_view());
+        let model = Model::new(data.schema().clone(), &stats);
+        let classes = init_classes(&model, &data.full_view(), j, 7);
+        let mut wts = WtsMatrix::new(0, 0);
+        group.throughput(Throughput::Elements((n * j) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_j{j}")),
+            &(),
+            |b, _| {
+                b.iter(|| update_wts(&model, &data.full_view(), &classes, &mut wts));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_mstep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mstep");
+    group.sample_size(20);
+    for &(n, j) in &[(2_000usize, 8usize), (10_000, 8)] {
+        let data = datagen::paper_dataset(n, 1);
+        let gstats = GlobalStats::compute(&data.full_view());
+        let model = Model::new(data.schema().clone(), &gstats);
+        let classes = init_classes(&model, &data.full_view(), j, 7);
+        let mut wts = WtsMatrix::new(0, 0);
+        update_wts(&model, &data.full_view(), &classes, &mut wts);
+        group.throughput(Throughput::Elements((n * j) as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("n{n}_j{j}")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    let mut stats = SuffStats::zeros(StatLayout::new(&model, j));
+                    stats.accumulate(&model, &data.full_view(), &wts);
+                    stats_to_classes(&model, &stats)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_estep, bench_mstep);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! A-collectives: how the Allreduce algorithm changes collective cost on
+//! the simulated CS-2 across message sizes — the design ablation behind
+//! `MachineSpec::allreduce` (the era-faithful Linear default vs recursive
+//! doubling vs ring).
+//!
+//! Usage: `cargo run -p bench --bin ablation_allreduce --release [--procs P]`
+
+use mpsim::{presets, run_spmd_default, AllreduceAlgo, ReduceOp};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let p = args
+        .iter()
+        .position(|a| a == "--procs")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("numeric --procs"))
+        .unwrap_or(10);
+    eprintln!("ablation_allreduce: P={p} on the simulated CS-2");
+
+    let algos = [
+        ("linear", AllreduceAlgo::Linear),
+        ("rec-doubling", AllreduceAlgo::RecursiveDoubling),
+        ("ring", AllreduceAlgo::Ring),
+    ];
+    let sizes: [usize; 6] = [8, 64, 512, 4_096, 32_768, 262_144];
+
+    println!("A-collectives — virtual seconds per Allreduce, P={p}");
+    print!("{:>10}", "doubles");
+    for (name, _) in &algos {
+        print!("{name:>14}");
+    }
+    println!();
+    let spec = presets::meiko_cs2(p);
+    for &n in &sizes {
+        print!("{n:>10}");
+        for (_, algo) in &algos {
+            let out = run_spmd_default(&spec, |c| {
+                let mut buf = vec![c.rank() as f64; n];
+                c.allreduce_f64s_with(&mut buf, ReduceOp::Sum, *algo);
+            })
+            .expect("simulated run failed");
+            print!("{:>14.6}", out.elapsed);
+        }
+        println!();
+    }
+    println!(
+        "\nexpected shape: linear loses at scale for small messages (O(P) latencies);\n\
+         recursive doubling wins small messages (O(log P)); ring wins large messages\n\
+         (bandwidth-optimal reduce-scatter + allgather)."
+    );
+}

@@ -1,0 +1,60 @@
+//! A-wtsonly (paper §5): P-AutoClass parallelizes *both* `update_wts` and
+//! `update_parameters`; the earlier Miller & Guo MIMD prototype
+//! parallelized only `update_wts`, gathering the weights to a master for
+//! the parameter computation. This ablation quantifies the difference on
+//! the simulated CS-2, plus the PerTerm-vs-Fused exchange ablation.
+//!
+//! Usage: `cargo run -p bench --bin ablation_strategy --release
+//!         [--tuples N] [--procs 1,2,...]`
+
+use mpsim::presets;
+use pautoclass::{run_fixed_j, Exchange, ParallelConfig, Strategy};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let tuples = args
+        .iter()
+        .position(|a| a == "--tuples")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("numeric --tuples"))
+        .unwrap_or(20_000);
+    let procs: Vec<usize> = args
+        .iter()
+        .position(|a| a == "--procs")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.split(',').map(|s| s.parse().expect("proc count")).collect())
+        .unwrap_or_else(|| vec![1, 2, 4, 6, 8, 10]);
+    let j = 16;
+    let cycles = 3;
+    eprintln!("ablation_strategy: {tuples} tuples, J={j}, {cycles} timed cycles");
+
+    let data = datagen::paper_dataset(tuples, 0xDA7A);
+    let strategies: [(&str, Strategy); 3] = [
+        ("full/per-term", Strategy::Full { exchange: Exchange::PerTerm }),
+        ("full/fused", Strategy::Full { exchange: Exchange::Fused }),
+        ("wts-only", Strategy::WtsOnly),
+    ];
+
+    println!("A-wtsonly — seconds per base_cycle (virtual), {tuples} tuples, J={j}");
+    print!("{:>6}", "procs");
+    for (name, _) in &strategies {
+        print!("{name:>15}");
+    }
+    println!();
+    for &p in &procs {
+        let machine = presets::meiko_cs2(p);
+        print!("{p:>6}");
+        for (_, strategy) in &strategies {
+            let config = ParallelConfig { strategy: *strategy, ..ParallelConfig::default() };
+            let t = run_fixed_j(&data, &machine, j, cycles, 7, &config)
+                .expect("simulated run failed")
+                .per_cycle;
+            print!("{t:>15.4}");
+        }
+        println!();
+    }
+    println!(
+        "\nexpected shape: full strategies scale with P; wts-only stalls because the\n\
+         weight-matrix gather and the master-side update_parameters do not shrink with P."
+    );
+}

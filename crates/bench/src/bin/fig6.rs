@@ -1,0 +1,37 @@
+//! Figure 6: average elapsed times of P-AutoClass on different numbers of
+//! processors, for dataset sizes 5 000 – 100 000 tuples (two real
+//! attributes each).
+//!
+//! Usage: `cargo run -p bench --bin fig6 --release [--full]
+//!         [--sizes 5000,20000] [--procs 1,2,4]`
+//!
+//! `--full` uses the paper's start_j_list (2,4,8,16,24,50,64); the default
+//! quick grid shortens the model search but keeps the scaling shape.
+
+use bench::{fmt_hms, grid_from_args, print_table, run_grid};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = grid_from_args(&args);
+    eprintln!(
+        "fig6: elapsed times on simulated Meiko CS-2; sizes={:?} procs={:?} start_j_list={:?}",
+        cfg.sizes, cfg.procs, cfg.search.start_j_list
+    );
+    let elapsed = run_grid(&cfg);
+    let cells: Vec<Vec<String>> = elapsed
+        .iter()
+        .map(|row| row.iter().map(|&t| fmt_hms(t)).collect())
+        .collect();
+    print_table(
+        "Fig 6 — average elapsed times [h.mm.ss, virtual] of P-AutoClass",
+        &cfg.sizes,
+        &cfg.procs,
+        &cells,
+    );
+    println!();
+    let cells_s: Vec<Vec<String>> = elapsed
+        .iter()
+        .map(|row| row.iter().map(|&t| format!("{t:.1}")).collect())
+        .collect();
+    print_table("(same data, seconds)", &cfg.sizes, &cfg.procs, &cells_s);
+}

@@ -1,0 +1,45 @@
+//! Figure 8: scaleup — time per `base_cycle` iteration with 10 000 tuples
+//! per processor (10 000 on 1 processor up to 100 000 on 10), grouping
+//! into 8 and 16 clusters.
+//!
+//! Usage: `cargo run -p bench --bin fig8 --release [--per-proc N]
+//!         [--cycles C] [--procs 1,2,...]`
+
+use mpsim::presets;
+use pautoclass::{run_fixed_j, ParallelConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str, default: usize| -> usize {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .map(|v| v.parse().expect("numeric flag value"))
+            .unwrap_or(default)
+    };
+    let per_proc = get("--per-proc", 10_000);
+    let cycles = get("--cycles", 3);
+    let procs: Vec<usize> = args
+        .iter()
+        .position(|a| a == "--procs")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.split(',').map(|s| s.parse().expect("proc count")).collect())
+        .unwrap_or_else(|| (1..=10).collect());
+
+    eprintln!("fig8: scaleup with {per_proc} tuples/processor, {cycles} timed cycles");
+    println!("Fig 8 — seconds per base_cycle iteration (virtual), {per_proc} tuples/processor");
+    println!("{:>6} {:>12} {:>12} {:>12}", "procs", "tuples", "8 clusters", "16 clusters");
+    let config = ParallelConfig::default();
+    for &p in &procs {
+        let n = per_proc * p;
+        let data = datagen::paper_dataset(n, 0xDA7A);
+        let machine = presets::meiko_cs2(p);
+        let t8 = run_fixed_j(&data, &machine, 8, cycles, 7, &config)
+            .expect("simulated run failed")
+            .per_cycle;
+        let t16 = run_fixed_j(&data, &machine, 16, cycles, 7, &config)
+            .expect("simulated run failed")
+            .per_cycle;
+        println!("{p:>6} {n:>12} {t8:>12.4} {t16:>12.4}");
+    }
+}

@@ -1,0 +1,52 @@
+//! T-profile (paper §3.1): where does sequential AutoClass spend its time?
+//! The paper measured `base_cycle` at ~99.5 % of total runtime, with
+//! `update_wts` and `update_parameters` dominating and
+//! `update_approximations` negligible. This harness reproduces that
+//! measurement with wall-clock timers around the same three functions.
+//!
+//! Usage: `cargo run -p bench --bin profile_phases --release [--tuples N]`
+
+use autoclass::search::{search, SearchConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let tuples = args
+        .iter()
+        .position(|a| a == "--tuples")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse().expect("numeric --tuples"))
+        .unwrap_or(14_000); // the paper's profiling dataset had 14K tuples
+    eprintln!("profile_phases: sequential AutoClass on {tuples} tuples");
+
+    let data = datagen::paper_dataset(tuples, 0xDA7A);
+    let config = SearchConfig {
+        start_j_list: vec![2, 4, 8, 16],
+        tries_per_j: 1,
+        max_cycles: 30,
+        ..SearchConfig::default()
+    };
+    let result = search(&data.full_view(), &config);
+    let p = result.profile;
+    let total = p.total();
+    println!("T-profile — sequential AutoClass phase breakdown ({tuples} tuples)");
+    println!("{:>22} {:>10} {:>8}", "phase", "seconds", "share");
+    let row = |name: &str, secs: f64| {
+        println!("{name:>22} {secs:>10.3} {:>7.2}%", 100.0 * secs / total);
+    };
+    row("initialization", p.init);
+    row("update_wts", p.wts);
+    row("update_parameters", p.params);
+    row("update_approximations", p.approx);
+    row("other", p.other);
+    println!("{:>22} {total:>10.3} {:>7.2}%", "total", 100.0);
+    println!(
+        "\nbase_cycle share: {:.2}% over {} cycles (paper: ~99.5%)",
+        100.0 * p.base_cycle_fraction(),
+        p.cycles
+    );
+    println!(
+        "best classification: {} classes, CS score {:.1}",
+        result.best.n_classes(),
+        result.best.score()
+    );
+}

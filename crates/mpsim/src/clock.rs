@@ -1,0 +1,132 @@
+//! Per-rank virtual clocks with phase accounting.
+//!
+//! Each rank owns a [`Clock`]. Local computation advances it by modeled
+//! compute time; communication advances it by endpoint overhead and, on the
+//! receive side, possibly by *idle* time spent waiting for a message whose
+//! virtual arrival is later than the receiver's current time. The elapsed
+//! time of an SPMD run is the maximum final clock across ranks.
+
+/// A virtual clock, in seconds, split into compute / communication / idle
+/// components. The invariant `now == compute + comm + idle` always holds
+/// (up to floating-point rounding) because every advance goes through one
+/// of the three typed methods.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Clock {
+    now: f64,
+    compute: f64,
+    comm: f64,
+    idle: f64,
+}
+
+impl Clock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Clock::default()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Time spent computing.
+    pub fn compute(&self) -> f64 {
+        self.compute
+    }
+
+    /// Time spent in communication endpoint work (send/recv overhead).
+    pub fn comm(&self) -> f64 {
+        self.comm
+    }
+
+    /// Time spent blocked waiting for messages.
+    pub fn idle(&self) -> f64 {
+        self.idle
+    }
+
+    /// Advance by `dt` seconds of computation. Negative or non-finite
+    /// durations are clamped to zero (a measured duration can round to a
+    /// denormal; the clock must stay monotone).
+    pub fn advance_compute(&mut self, dt: f64) {
+        let dt = sanitize(dt);
+        self.now += dt;
+        self.compute += dt;
+    }
+
+    /// Advance by `dt` seconds of communication endpoint work.
+    pub fn advance_comm(&mut self, dt: f64) {
+        let dt = sanitize(dt);
+        self.now += dt;
+        self.comm += dt;
+    }
+
+    /// Wait (idle) until at least time `t`. No-op if `t` is in the past.
+    pub fn wait_until(&mut self, t: f64) {
+        if t > self.now {
+            self.idle += t - self.now;
+            self.now = t;
+        }
+    }
+}
+
+fn sanitize(dt: f64) -> f64 {
+    if dt.is_finite() && dt > 0.0 {
+        dt
+    } else {
+        0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero() {
+        let c = Clock::new();
+        assert_eq!(c.now(), 0.0);
+        assert_eq!(c.compute() + c.comm() + c.idle(), 0.0);
+    }
+
+    #[test]
+    fn advances_accumulate_by_kind() {
+        let mut c = Clock::new();
+        c.advance_compute(1.5);
+        c.advance_comm(0.25);
+        c.wait_until(3.0);
+        assert_eq!(c.now(), 3.0);
+        assert_eq!(c.compute(), 1.5);
+        assert_eq!(c.comm(), 0.25);
+        assert_eq!(c.idle(), 3.0 - 1.75);
+    }
+
+    #[test]
+    fn wait_until_past_is_noop() {
+        let mut c = Clock::new();
+        c.advance_compute(2.0);
+        c.wait_until(1.0);
+        assert_eq!(c.now(), 2.0);
+        assert_eq!(c.idle(), 0.0);
+    }
+
+    #[test]
+    fn negative_and_nan_durations_are_clamped() {
+        let mut c = Clock::new();
+        c.advance_compute(-1.0);
+        c.advance_comm(f64::NAN);
+        c.advance_compute(f64::INFINITY);
+        assert_eq!(c.now(), 0.0);
+    }
+
+    #[test]
+    fn components_sum_to_now() {
+        let mut c = Clock::new();
+        for i in 0..100 {
+            c.advance_compute(0.001 * i as f64);
+            c.advance_comm(0.0005);
+            c.wait_until(c.now() + if i % 3 == 0 { 0.01 } else { 0.0 });
+        }
+        let sum = c.compute() + c.comm() + c.idle();
+        assert!((c.now() - sum).abs() < 1e-9, "now={} sum={}", c.now(), sum);
+    }
+}

@@ -1,0 +1,458 @@
+//! Collective operations built on point-to-point messaging.
+//!
+//! Every collective here is implemented with the textbook message-passing
+//! algorithm (dissemination barrier, binomial-tree broadcast/reduce,
+//! recursive-doubling / ring / linear allreduce, ring allgather), so the
+//! simulated communication pattern — and therefore the modeled cost — is
+//! the one a real MPI implementation would produce.
+//!
+//! # SPMD discipline
+//!
+//! As with MPI, all ranks must call the same sequence of collectives with
+//! compatible arguments. Each collective call consumes one slot of a
+//! per-communicator sequence number used as the message tag, so a rank that
+//! skips a collective deadlocks (and is caught by the receive timeout)
+//! rather than silently corrupting a later collective.
+
+use crate::comm::Comm;
+use crate::cost::AllreduceAlgo;
+
+/// Base of the tag space reserved for collectives (above all user tags).
+const COLL_TAG_BASE: u64 = 1 << 32;
+
+/// Element-wise reduction operator over `f64` vectors. All operators are
+/// commutative, which the recursive-doubling algorithm exploits to keep
+/// results bitwise identical on every rank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReduceOp {
+    /// Element-wise sum.
+    Sum,
+    /// Element-wise product.
+    Prod,
+    /// Element-wise minimum.
+    Min,
+    /// Element-wise maximum.
+    Max,
+}
+
+impl ReduceOp {
+    /// Fold `other` into `acc` element-wise.
+    ///
+    /// # Panics
+    /// Panics if lengths differ (collective argument mismatch).
+    pub fn fold(self, acc: &mut [f64], other: &[f64]) {
+        assert_eq!(acc.len(), other.len(), "reduce buffers must have equal length");
+        match self {
+            ReduceOp::Sum => acc.iter_mut().zip(other).for_each(|(a, b)| *a += b),
+            ReduceOp::Prod => acc.iter_mut().zip(other).for_each(|(a, b)| *a *= b),
+            ReduceOp::Min => acc.iter_mut().zip(other).for_each(|(a, b)| *a = a.min(*b)),
+            ReduceOp::Max => acc.iter_mut().zip(other).for_each(|(a, b)| *a = a.max(*b)),
+        }
+    }
+}
+
+impl Comm {
+    /// Allocate the unique tag for the next collective call on this rank.
+    fn coll_tag(&mut self) -> u64 {
+        self.coll_seq += 1;
+        COLL_TAG_BASE + self.coll_seq
+    }
+
+    /// Synchronize all ranks (dissemination barrier, `ceil(log2 P)` rounds).
+    pub fn barrier(&mut self) {
+        let p = self.size();
+        if p <= 1 {
+            return;
+        }
+        let tag = self.coll_tag();
+        let me = self.rank();
+        let mut k = 1usize;
+        while k < p {
+            let to = (me + k) % p;
+            let from = (me + p - k) % p;
+            self.send_bytes(to, tag, Vec::new());
+            let _ = self.recv_bytes(from, tag);
+            k <<= 1;
+        }
+    }
+
+    /// Broadcast `buf` from `root` to all ranks (binomial tree). On entry
+    /// only `root`'s buffer is meaningful; on exit every rank holds the
+    /// root's data. All ranks must pass buffers of the same length.
+    pub fn broadcast_f64s(&mut self, root: usize, buf: &mut [f64]) {
+        let p = self.size();
+        if p <= 1 {
+            return;
+        }
+        let tag = self.coll_tag();
+        let me = self.rank();
+        let vrank = (me + p - root) % p;
+
+        // Receive from the parent in the binomial tree.
+        let mut mask = 1usize;
+        while mask < p {
+            if vrank & mask != 0 {
+                let src = (me + p - mask) % p;
+                let data = self.recv_f64s(src, tag);
+                if data.len() != buf.len() {
+                    self.mismatch(format!(
+                        "broadcast buffer length {} != incoming {}",
+                        buf.len(),
+                        data.len()
+                    ));
+                }
+                buf.copy_from_slice(&data);
+                break;
+            }
+            mask <<= 1;
+        }
+        // Forward to children.
+        mask >>= 1;
+        while mask > 0 {
+            if vrank + mask < p {
+                let dst = (me + mask) % p;
+                self.send_f64s(dst, tag, buf);
+            }
+            mask >>= 1;
+        }
+    }
+
+    /// Reduce element-wise into `root` (binomial tree). After the call the
+    /// root's `buf` holds the reduction over all ranks; other ranks' `buf`
+    /// contents are unspecified.
+    pub fn reduce_f64s(&mut self, root: usize, buf: &mut [f64], op: ReduceOp) {
+        let p = self.size();
+        if p <= 1 {
+            return;
+        }
+        let tag = self.coll_tag();
+        let me = self.rank();
+        let vrank = (me + p - root) % p;
+
+        let mut mask = 1usize;
+        while mask < p {
+            if vrank & mask == 0 {
+                let vsrc = vrank | mask;
+                if vsrc < p {
+                    let src = (vsrc + root) % p;
+                    let data = self.recv_f64s(src, tag);
+                    op.fold(buf, &data);
+                }
+            } else {
+                let vdst = vrank & !mask;
+                let dst = (vdst + root) % p;
+                self.send_f64s(dst, tag, buf);
+                break;
+            }
+            mask <<= 1;
+        }
+    }
+
+    /// Allreduce with the machine's default algorithm (see
+    /// [`crate::cost::MachineSpec::allreduce`]). On exit every rank holds
+    /// the element-wise reduction of all ranks' buffers.
+    pub fn allreduce_f64s(&mut self, buf: &mut [f64], op: ReduceOp) {
+        let algo = self.machine().allreduce;
+        self.allreduce_f64s_with(buf, op, algo);
+    }
+
+    /// Allreduce with an explicit algorithm.
+    pub fn allreduce_f64s_with(&mut self, buf: &mut [f64], op: ReduceOp, algo: AllreduceAlgo) {
+        if self.size() <= 1 {
+            return;
+        }
+        match algo {
+            AllreduceAlgo::Linear | AllreduceAlgo::OrderedLinear => {
+                self.allreduce_linear(buf, op)
+            }
+            AllreduceAlgo::RecursiveDoubling => self.allreduce_rd(buf, op),
+            AllreduceAlgo::Ring => self.allreduce_ring(buf, op),
+        }
+    }
+
+    /// Gather to rank 0 (folding in rank order, so the floating-point
+    /// reduction order is deterministic and independent of the algorithm's
+    /// tree shape), then send the result back to every rank individually.
+    /// `O(P)` latencies — the behaviour of early-90s MPI reductions.
+    fn allreduce_linear(&mut self, buf: &mut [f64], op: ReduceOp) {
+        let p = self.size();
+        let me = self.rank();
+        let tag = self.coll_tag();
+        if me == 0 {
+            for src in 1..p {
+                let data = self.recv_f64s(src, tag);
+                if data.len() != buf.len() {
+                    self.mismatch(format!(
+                        "allreduce length {} != rank {src}'s {}",
+                        buf.len(),
+                        data.len()
+                    ));
+                }
+                op.fold(buf, &data);
+            }
+            for dst in 1..p {
+                self.send_f64s(dst, tag, buf);
+            }
+        } else {
+            self.send_f64s(0, tag, buf);
+            let data = self.recv_f64s(0, tag);
+            buf.copy_from_slice(&data);
+        }
+    }
+
+    /// Recursive doubling: `ceil(log2 P)` rounds of pairwise full-vector
+    /// exchanges. Non-power-of-two sizes park the excess ranks: each extra
+    /// rank first folds its vector into a partner in the power-of-two
+    /// group and receives the final result afterwards (the MPICH scheme).
+    fn allreduce_rd(&mut self, buf: &mut [f64], op: ReduceOp) {
+        let p = self.size();
+        let me = self.rank();
+        let tag = self.coll_tag();
+        let pow2 = p.next_power_of_two() / if p.is_power_of_two() { 1 } else { 2 };
+        let rem = p - pow2;
+
+        if me >= pow2 {
+            // Extra rank: contribute and wait for the result.
+            let partner = me - pow2;
+            self.send_f64s(partner, tag, buf);
+            let data = self.recv_f64s(partner, tag);
+            buf.copy_from_slice(&data);
+            return;
+        }
+        if me < rem {
+            let data = self.recv_f64s(me + pow2, tag);
+            op.fold(buf, &data);
+        }
+        // Pairwise exchange within the power-of-two group. Both partners
+        // fold the same two (identical-per-subgroup) values with a
+        // commutative op, so all ranks stay bitwise identical.
+        let mut mask = 1usize;
+        while mask < pow2 {
+            let partner = me ^ mask;
+            self.send_f64s(partner, tag, buf);
+            let data = self.recv_f64s(partner, tag);
+            op.fold(buf, &data);
+            mask <<= 1;
+        }
+        if me < rem {
+            self.send_f64s(me + pow2, tag, buf);
+        }
+    }
+
+    /// Ring allreduce: reduce-scatter then allgather, `2(P-1)` rounds of
+    /// `~m/P`-sized messages. Bandwidth-optimal for long vectors.
+    fn allreduce_ring(&mut self, buf: &mut [f64], op: ReduceOp) {
+        let p = self.size();
+        let me = self.rank();
+        let tag = self.coll_tag();
+        let n = buf.len();
+        if n == 0 {
+            // Still synchronize so the collective sequence stays aligned.
+            self.barrier();
+            return;
+        }
+        // Chunk c covers chunk_range(c); chunks differ by at most one item.
+        let range = |c: usize| -> std::ops::Range<usize> {
+            let base = n / p;
+            let extra = n % p;
+            let start = c * base + c.min(extra);
+            let len = base + usize::from(c < extra);
+            start..start + len
+        };
+        let right = (me + 1) % p;
+        let left = (me + p - 1) % p;
+
+        // Reduce-scatter: after p-1 steps, rank r owns the fully reduced
+        // chunk (r + 1) % p.
+        for step in 0..p - 1 {
+            let send_c = (me + p - step) % p;
+            let recv_c = (me + p - step - 1) % p;
+            self.send_f64s(right, tag, &buf[range(send_c)]);
+            let data = self.recv_f64s(left, tag);
+            op.fold(&mut buf[range(recv_c)], &data);
+        }
+        // Allgather: circulate the reduced chunks.
+        for step in 0..p - 1 {
+            let send_c = (me + 1 + p - step) % p;
+            let recv_c = (me + p - step) % p;
+            self.send_f64s(right, tag, &buf[range(send_c)]);
+            let data = self.recv_f64s(left, tag);
+            buf[range(recv_c)].copy_from_slice(&data);
+        }
+    }
+
+    /// Allreduce of a single scalar; returns the reduced value.
+    pub fn allreduce_scalar(&mut self, value: f64, op: ReduceOp) -> f64 {
+        let mut buf = [value];
+        self.allreduce_f64s(&mut buf, op);
+        buf[0]
+    }
+
+    /// Gather each rank's (possibly differently sized) vector to `root`,
+    /// concatenated in rank order. Returns `Some` on the root, `None`
+    /// elsewhere.
+    pub fn gather_f64s(&mut self, root: usize, mine: &[f64]) -> Option<Vec<f64>> {
+        let p = self.size();
+        let me = self.rank();
+        let tag = self.coll_tag();
+        if me == root {
+            let mut all = Vec::with_capacity(mine.len() * p);
+            for src in 0..p {
+                if src == me {
+                    all.extend_from_slice(mine);
+                } else {
+                    let data = self.recv_f64s(src, tag);
+                    all.extend_from_slice(&data);
+                }
+            }
+            Some(all)
+        } else {
+            self.send_f64s(root, tag, mine);
+            None
+        }
+    }
+
+    /// Allgather over a ring: every rank ends with every rank's vector
+    /// (`result[r]` is rank `r`'s contribution). Vectors may differ in
+    /// length across ranks.
+    pub fn allgather_f64s(&mut self, mine: &[f64]) -> Vec<Vec<f64>> {
+        let p = self.size();
+        let me = self.rank();
+        let tag = self.coll_tag();
+        let mut blocks: Vec<Vec<f64>> = vec![Vec::new(); p];
+        blocks[me] = mine.to_vec();
+        if p == 1 {
+            return blocks;
+        }
+        let right = (me + 1) % p;
+        let left = (me + p - 1) % p;
+        let mut cur = mine.to_vec();
+        for step in 0..p - 1 {
+            self.send_f64s(right, tag, &cur);
+            cur = self.recv_f64s(left, tag);
+            blocks[(me + p - step - 1) % p] = cur.clone();
+        }
+        blocks
+    }
+
+    /// Scatter: `root` supplies one block per rank; every rank receives its
+    /// block. Non-roots must pass `None`.
+    ///
+    /// # Panics
+    /// Panics (as a collective mismatch) if the root provides a number of
+    /// blocks different from the communicator size, or a non-root provides
+    /// data.
+    pub fn scatter_f64s(&mut self, root: usize, blocks: Option<&[Vec<f64>]>) -> Vec<f64> {
+        let p = self.size();
+        let me = self.rank();
+        let tag = self.coll_tag();
+        if me == root {
+            let blocks = match blocks {
+                Some(b) if b.len() == p => b,
+                Some(b) => {
+                    self.mismatch(format!("scatter got {} blocks for {} ranks", b.len(), p))
+                }
+                None => self.mismatch("scatter root must supply blocks".into()),
+            };
+            for (dst, block) in blocks.iter().enumerate() {
+                if dst != me {
+                    self.send_f64s(dst, tag, block);
+                }
+            }
+            blocks[me].clone()
+        } else {
+            if blocks.is_some() {
+                self.mismatch("scatter non-root must pass None".into());
+            }
+            self.recv_f64s(root, tag)
+        }
+    }
+
+    /// All-to-all personalized exchange: `send[d]` goes to rank `d`;
+    /// returns `recv` with `recv[s]` from rank `s`.
+    pub fn alltoall_f64s(&mut self, send: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        let p = self.size();
+        let me = self.rank();
+        if send.len() != p {
+            self.mismatch(format!("alltoall got {} blocks for {} ranks", send.len(), p));
+        }
+        let tag = self.coll_tag();
+        let mut recv: Vec<Vec<f64>> = vec![Vec::new(); p];
+        recv[me] = send[me].clone();
+        // Pairwise exchange by offset; sends are buffered so the
+        // send-then-recv order cannot deadlock.
+        for offset in 1..p {
+            let dst = (me + offset) % p;
+            let src = (me + p - offset) % p;
+            self.send_f64s(dst, tag, &send[dst]);
+            recv[src] = self.recv_f64s(src, tag);
+        }
+        recv
+    }
+
+    /// Inclusive prefix reduction in rank order: rank `r` ends with the
+    /// reduction of ranks `0..=r`. Linear chain (deterministic order).
+    pub fn scan_f64s(&mut self, buf: &mut [f64], op: ReduceOp) {
+        let p = self.size();
+        let me = self.rank();
+        if p <= 1 {
+            return;
+        }
+        let tag = self.coll_tag();
+        if me > 0 {
+            let prefix = self.recv_f64s(me - 1, tag);
+            // Keep rank order: result = reduce(prefix, mine).
+            let mut acc = prefix;
+            op.fold(&mut acc, buf);
+            buf.copy_from_slice(&acc);
+        }
+        if me + 1 < p {
+            self.send_f64s(me + 1, tag, buf);
+        }
+    }
+
+    /// Broadcast a single `u64` from `root` (handy for sizes and seeds).
+    pub fn broadcast_u64(&mut self, root: usize, value: u64) -> u64 {
+        let p = self.size();
+        if p <= 1 {
+            return value;
+        }
+        // Reuse the f64 tree via bit transmutation to keep one tree
+        // implementation; u64 bit patterns survive the f64 round-trip
+        // because the payload codec is bit-exact.
+        let mut buf = [f64::from_bits(value)];
+        self.broadcast_f64s(root, &mut buf);
+        buf[0].to_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fold_applies_elementwise() {
+        let mut a = vec![1.0, 2.0, 3.0];
+        ReduceOp::Sum.fold(&mut a, &[10.0, 20.0, 30.0]);
+        assert_eq!(a, vec![11.0, 22.0, 33.0]);
+
+        let mut b = vec![1.0, 5.0];
+        ReduceOp::Min.fold(&mut b, &[3.0, 2.0]);
+        assert_eq!(b, vec![1.0, 2.0]);
+
+        let mut c = vec![1.0, 5.0];
+        ReduceOp::Max.fold(&mut c, &[3.0, 2.0]);
+        assert_eq!(c, vec![3.0, 5.0]);
+
+        let mut d = vec![2.0, 3.0];
+        ReduceOp::Prod.fold(&mut d, &[4.0, 0.5]);
+        assert_eq!(d, vec![8.0, 1.5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn fold_rejects_mismatched_lengths() {
+        let mut a = vec![1.0];
+        ReduceOp::Sum.fold(&mut a, &[1.0, 2.0]);
+    }
+}

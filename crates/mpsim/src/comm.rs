@@ -1,0 +1,276 @@
+//! The per-rank communicator: point-to-point messaging with virtual time.
+//!
+//! A [`Comm`] is handed to each rank's closure by the SPMD engine. It plays
+//! the role of `MPI_COMM_WORLD`: it knows the rank, the communicator size,
+//! and provides blocking `send`/`recv` (plus the collectives implemented in
+//! [`crate::collectives`] on top of them).
+//!
+//! # Virtual time
+//!
+//! Real bytes move between real threads through channels, but *time* is
+//! modeled: the sender charges endpoint overhead and stamps the message
+//! with its departure time; the receiver advances to
+//! `max(own clock, departure + transit)` (waiting counts as idle time) and
+//! then charges its own endpoint overhead. Transit time comes from the
+//! machine's [`crate::cost::NetworkModel`] and topology hop count. This is
+//! a conservative parallel simulation: because every `recv` names its
+//! source, virtual timestamps never need roll-back.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+
+use crate::clock::Clock;
+use crate::cost::MachineSpec;
+use crate::error::SimError;
+use crate::payload::{decode_f64s, decode_u64s, encode_f64s, encode_u64s};
+use crate::trace::{Event, EventKind, RankStats};
+
+/// Highest tag value available to user point-to-point messages. Collectives
+/// use tags above this range so that user traffic can never be confused
+/// with collective traffic.
+pub const MAX_USER_TAG: u64 = (1 << 32) - 1;
+
+/// Panic payload used internally to carry a structured error out of a rank.
+pub(crate) struct AbortPanic(pub SimError);
+
+/// A message on the simulated wire.
+#[derive(Debug)]
+pub(crate) struct Envelope {
+    pub tag: u64,
+    /// Sender's virtual time at which the message left the NIC.
+    pub depart: f64,
+    pub bytes: Vec<u8>,
+}
+
+/// Polling slice for blocking receives; bounds how stale the abort flag can
+/// get while a rank is blocked.
+const RECV_SLICE: Duration = Duration::from_millis(25);
+
+/// Per-rank communicator for one SPMD run. Not `Clone`: exactly one per
+/// rank, mirroring an MPI process.
+pub struct Comm {
+    rank: usize,
+    size: usize,
+    spec: Arc<MachineSpec>,
+    clock: Clock,
+    stats: RankStats,
+    /// `inboxes[src]` receives messages sent by `src` to this rank.
+    inboxes: Vec<Receiver<Envelope>>,
+    /// Messages received out of tag order, per source, in arrival order.
+    stash: Vec<VecDeque<Envelope>>,
+    /// `outboxes[dst]` sends messages from this rank to `dst`.
+    outboxes: Vec<Sender<Envelope>>,
+    abort: Arc<AtomicBool>,
+    recv_timeout: Duration,
+    /// Monotone counter giving every collective call a unique tag; all
+    /// ranks must invoke collectives in the same order (SPMD discipline),
+    /// exactly as MPI requires.
+    pub(crate) coll_seq: u64,
+    /// Message event trace; `None` when tracing is disabled.
+    events: Option<Vec<Event>>,
+}
+
+impl Comm {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        rank: usize,
+        spec: Arc<MachineSpec>,
+        inboxes: Vec<Receiver<Envelope>>,
+        outboxes: Vec<Sender<Envelope>>,
+        abort: Arc<AtomicBool>,
+        recv_timeout: Duration,
+        record_events: bool,
+    ) -> Self {
+        let size = spec.p;
+        Comm {
+            rank,
+            size,
+            spec,
+            clock: Clock::new(),
+            stats: RankStats { rank, ..Default::default() },
+            inboxes,
+            stash: (0..size).map(|_| VecDeque::new()).collect(),
+            outboxes,
+            abort,
+            recv_timeout,
+            coll_seq: 0,
+            events: record_events.then(Vec::new),
+        }
+    }
+
+    /// This rank's id in `0..size()`.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of ranks in the communicator.
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// The machine being simulated.
+    pub fn machine(&self) -> &MachineSpec {
+        &self.spec
+    }
+
+    /// Current virtual time on this rank, in seconds.
+    pub fn now(&self) -> f64 {
+        self.clock.now()
+    }
+
+    /// Charge `ops` abstract operations of local compute to the virtual
+    /// clock (see [`crate::cost::ComputeModel::sec_per_op`]), scaled by
+    /// this rank's relative speed on heterogeneous machines.
+    pub fn work(&mut self, ops: u64) {
+        let dt = ops as f64 * self.spec.compute.sec_per_op / self.spec.speed(self.rank);
+        self.clock.advance_compute(dt);
+    }
+
+    /// Charge an exact number of virtual seconds of local compute.
+    pub fn work_secs(&mut self, secs: f64) {
+        self.clock.advance_compute(secs);
+    }
+
+    /// Run `f`, measure its wall-clock duration, and charge it (scaled by
+    /// [`crate::cost::ComputeModel::wall_scale`]) as virtual compute time.
+    pub fn measured<R>(&mut self, f: impl FnOnce() -> R) -> R {
+        let start = Instant::now();
+        let out = f();
+        let dt = start.elapsed().as_secs_f64() * self.spec.compute.wall_scale;
+        self.clock.advance_compute(dt);
+        out
+    }
+
+    fn check_abort(&self) {
+        if self.abort.load(Ordering::Relaxed) {
+            std::panic::panic_any(AbortPanic(SimError::Aborted { rank: self.rank }));
+        }
+    }
+
+    fn fail(&self, err: SimError) -> ! {
+        self.abort.store(true, Ordering::Relaxed);
+        std::panic::panic_any(AbortPanic(err));
+    }
+
+    /// Send `bytes` to `dst` with `tag`. Buffered and non-blocking, like an
+    /// `MPI_Send` that always finds buffer space.
+    ///
+    /// # Panics
+    /// Panics if `dst` is out of range or `tag` exceeds [`MAX_USER_TAG`]
+    /// (internal collective calls may use larger tags).
+    pub fn send_bytes(&mut self, dst: usize, tag: u64, bytes: Vec<u8>) {
+        assert!(dst < self.size, "send to rank {dst} but size is {}", self.size);
+        self.check_abort();
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += bytes.len() as u64;
+        self.clock.advance_comm(self.spec.network.overhead);
+        if let Some(events) = &mut self.events {
+            events.push(Event {
+                t: self.clock.now(),
+                kind: EventKind::Send,
+                peer: dst,
+                bytes: bytes.len(),
+                tag,
+            });
+        }
+        let env = Envelope { tag, depart: self.clock.now(), bytes };
+        // The receiver can only be gone if the run is being torn down after
+        // a failure elsewhere; surface that as an abort.
+        if self.outboxes[dst].send(env).is_err() {
+            self.fail(SimError::Aborted { rank: self.rank });
+        }
+    }
+
+    /// Blocking receive of a message from `src` with exactly `tag`.
+    /// Messages from `src` with other tags are stashed and delivered to
+    /// later matching receives in arrival order.
+    pub fn recv_bytes(&mut self, src: usize, tag: u64) -> Vec<u8> {
+        assert!(src < self.size, "recv from rank {src} but size is {}", self.size);
+        // First consume any stashed message with a matching tag.
+        if let Some(pos) = self.stash[src].iter().position(|e| e.tag == tag) {
+            let env = self.stash[src].remove(pos).expect("position is valid");
+            return self.accept(src, env);
+        }
+        let deadline = Instant::now() + self.recv_timeout;
+        loop {
+            self.check_abort();
+            match self.inboxes[src].recv_timeout(RECV_SLICE) {
+                Ok(env) if env.tag == tag => return self.accept(src, env),
+                Ok(env) => self.stash[src].push_back(env),
+                Err(RecvTimeoutError::Timeout) => {
+                    if Instant::now() >= deadline {
+                        self.fail(SimError::RecvTimeout { rank: self.rank, from: src, tag });
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    self.fail(SimError::Aborted { rank: self.rank });
+                }
+            }
+        }
+    }
+
+    /// Book a received envelope: advance the virtual clock to its arrival
+    /// and charge endpoint overhead.
+    fn accept(&mut self, src: usize, env: Envelope) -> Vec<u8> {
+        let transit = self.spec.transit(env.bytes.len(), src, self.rank);
+        self.clock.wait_until(env.depart + transit);
+        self.clock.advance_comm(self.spec.network.overhead);
+        self.stats.msgs_recvd += 1;
+        self.stats.bytes_recvd += env.bytes.len() as u64;
+        if let Some(events) = &mut self.events {
+            events.push(Event {
+                t: self.clock.now(),
+                kind: EventKind::Recv,
+                peer: src,
+                bytes: env.bytes.len(),
+                tag: env.tag,
+            });
+        }
+        env.bytes
+    }
+
+    /// Typed send of an `f64` slice.
+    pub fn send_f64s(&mut self, dst: usize, tag: u64, values: &[f64]) {
+        self.send_bytes(dst, tag, encode_f64s(values));
+    }
+
+    /// Typed receive of an `f64` vector.
+    pub fn recv_f64s(&mut self, src: usize, tag: u64) -> Vec<f64> {
+        decode_f64s(&self.recv_bytes(src, tag))
+    }
+
+    /// Typed send of a `u64` slice.
+    pub fn send_u64s(&mut self, dst: usize, tag: u64, values: &[u64]) {
+        self.send_bytes(dst, tag, encode_u64s(values));
+    }
+
+    /// Typed receive of a `u64` vector.
+    pub fn recv_u64s(&mut self, src: usize, tag: u64) -> Vec<u64> {
+        decode_u64s(&self.recv_bytes(src, tag))
+    }
+
+    /// Snapshot of this rank's statistics with the clock folded in.
+    pub fn stats(&self) -> RankStats {
+        let mut s = self.stats.clone();
+        s.elapsed = self.clock.now();
+        s.compute = self.clock.compute();
+        s.comm = self.clock.comm();
+        s.idle = self.clock.idle();
+        s
+    }
+
+    /// Take the recorded event trace (empty when tracing was disabled).
+    pub(crate) fn take_events(&mut self) -> Vec<Event> {
+        self.events.take().unwrap_or_default()
+    }
+
+    /// Raise a collective-argument-mismatch error (used by collectives when
+    /// they can detect inconsistency cheaply).
+    pub(crate) fn mismatch(&self, detail: String) -> ! {
+        self.fail(SimError::CollectiveMismatch { rank: self.rank, detail })
+    }
+}

@@ -1,0 +1,262 @@
+//! Machine cost models: network (LogGP-style) and compute.
+//!
+//! The simulator executes the real algorithm and charges *virtual time* for
+//! compute and communication. The network model follows the LogGP family:
+//! a message of `m` bytes over `h` hops costs
+//!
+//! ```text
+//! t = latency + m * byte_time + h * per_hop
+//! ```
+//!
+//! with a fixed CPU `overhead` charged on both the sending and receiving
+//! rank. Compute is charged per abstract "op" reported by the algorithm
+//! (see [`crate::Comm::work`]); what counts as one op is up to the caller
+//! and calibrated per preset.
+//!
+//! # Calibration
+//!
+//! The `meiko_cs2` preset is *shape*-calibrated to the P-AutoClass paper
+//! (IPPS 2000): link bandwidth 50 MB/s is from the paper; MPI latency and
+//! the per-op cost are chosen so that one `base_cycle` over 10 000
+//! two-attribute tuples with 8 classes takes roughly the paper's ~0.45 s
+//! on one processor, and so that speedup for small datasets saturates
+//! around 4–8 processors as the paper's Figure 7 shows. Absolute numbers
+//! are not claimed to match the 1999 hardware.
+
+use crate::topology::Topology;
+
+/// Network timing parameters (seconds).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkModel {
+    /// Per-message start-up latency (the LogGP `L`).
+    pub latency: f64,
+    /// Seconds per payload byte (inverse bandwidth, the LogGP `G`).
+    pub byte_time: f64,
+    /// Additional cost per network hop (switch traversal).
+    pub per_hop: f64,
+    /// CPU time charged on each endpoint per message (the LogGP `o`).
+    pub overhead: f64,
+}
+
+impl NetworkModel {
+    /// Transit time of an `bytes`-byte message over `hops` hops. Messages a
+    /// rank sends to itself (0 hops) bypass the network and cost nothing in
+    /// transit (endpoint overhead is still charged by the communicator).
+    pub fn transit(&self, bytes: usize, hops: usize) -> f64 {
+        if hops == 0 {
+            return 0.0;
+        }
+        self.latency + bytes as f64 * self.byte_time + hops as f64 * self.per_hop
+    }
+
+    /// A zero-cost network (useful for ideal-machine comparisons).
+    pub fn ideal() -> Self {
+        NetworkModel { latency: 0.0, byte_time: 0.0, per_hop: 0.0, overhead: 0.0 }
+    }
+}
+
+/// Compute timing parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComputeModel {
+    /// Seconds per abstract op reported through [`crate::Comm::work`].
+    pub sec_per_op: f64,
+    /// Multiplier applied to wall-clock time measured through
+    /// [`crate::Comm::measured`]; lets a fast host impersonate slow
+    /// historical CPUs (or vice versa).
+    pub wall_scale: f64,
+}
+
+impl ComputeModel {
+    /// Zero-cost compute model (virtual time advances only for comm).
+    pub fn ideal() -> Self {
+        ComputeModel { sec_per_op: 0.0, wall_scale: 0.0 }
+    }
+}
+
+/// Algorithm used by `Allreduce` (and `Reduce`/`Bcast` pick the matching
+/// tree shapes). Early-1990s MPI implementations commonly used linear
+/// gather+broadcast reductions; modern ones use recursive doubling or ring
+/// algorithms. The choice changes the latency/bandwidth trade-off and is
+/// one of the ablations in the bench crate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllreduceAlgo {
+    /// Gather everything to rank 0, reduce there, broadcast back. Costs
+    /// `O(P)` message latencies; best only for tiny communicators.
+    Linear,
+    /// Recursive doubling: `ceil(log2 P)` rounds of pairwise exchanges of
+    /// the full vector. Latency-optimal for short messages.
+    RecursiveDoubling,
+    /// Reduce-scatter + allgather over a ring: `2(P-1)` rounds of `m/P`
+    /// sized messages. Bandwidth-optimal for long messages.
+    Ring,
+    /// Behavioural alias of `Linear` kept for call-site intent: `Linear`
+    /// already folds in rank order, so its floating-point result is
+    /// deterministic and matches a sequential left fold regardless of P.
+    /// Tests that require bitwise reproducibility use this name.
+    OrderedLinear,
+}
+
+/// A complete machine description: size, interconnect, and timing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineSpec {
+    /// Number of ranks (processors).
+    pub p: usize,
+    /// Interconnect shape.
+    pub topology: Topology,
+    /// Network timing.
+    pub network: NetworkModel,
+    /// Compute timing.
+    pub compute: ComputeModel,
+    /// Default algorithm for `Allreduce`.
+    pub allreduce: AllreduceAlgo,
+    /// Per-rank relative compute speed (1.0 = the base `compute` model;
+    /// 0.5 = half speed). Empty means homogeneous. Lets experiments model
+    /// heterogeneous nodes and the load imbalance they cause.
+    pub rank_speed: Vec<f64>,
+}
+
+impl MachineSpec {
+    /// Hop count between two ranks under this machine's topology.
+    pub fn hops(&self, a: usize, b: usize) -> usize {
+        self.topology.hops_with_size(self.p, a, b)
+    }
+
+    /// Transit time of a message between two ranks.
+    pub fn transit(&self, bytes: usize, from: usize, to: usize) -> f64 {
+        self.network.transit(bytes, self.hops(from, to))
+    }
+
+    /// Relative compute speed of a rank (1.0 when unspecified).
+    pub fn speed(&self, rank: usize) -> f64 {
+        let s = self.rank_speed.get(rank).copied().unwrap_or(1.0);
+        if s.is_finite() && s > 0.0 {
+            s
+        } else {
+            1.0
+        }
+    }
+
+    /// Returns a copy with the given per-rank speeds (convenience for
+    /// heterogeneous-machine experiments).
+    pub fn with_rank_speeds(mut self, speeds: Vec<f64>) -> Self {
+        assert_eq!(speeds.len(), self.p, "need one speed per rank");
+        self.rank_speed = speeds;
+        self
+    }
+}
+
+/// Ready-made machine descriptions.
+pub mod presets {
+    use super::*;
+
+    /// The paper's testbed: a Meiko CS-2 with up to 10 SPARC processors on
+    /// an arity-4 fat tree with 50 MB/s links. See the module docs for the
+    /// calibration rationale. The default allreduce is `Linear`, matching
+    /// the saturation behaviour the paper observed with its era's MPI.
+    pub fn meiko_cs2(p: usize) -> MachineSpec {
+        MachineSpec {
+            p,
+            topology: Topology::FatTree { arity: 4 },
+            network: NetworkModel {
+                // Era MPI cost is dominated by per-message CPU protocol
+                // processing (`overhead`, charged per endpoint and thus
+                // serialized at a busy root), with a smaller pipelined wire
+                // latency. Both are shape-calibrated to Fig. 7's saturation.
+                latency: 80e-6,
+                byte_time: 1.0 / 50e6, // 50 MB/s from the paper
+                per_hop: 1e-6,
+                overhead: 120e-6,
+            },
+            compute: ComputeModel {
+                // One "op" in autoclass terms is one (item, class,
+                // attribute) kernel evaluation (a Gaussian log-density or
+                // a multinomial lookup plus weighted accumulation).
+                sec_per_op: 0.75e-6, // ~1.3 M kernel evals/s on a ~1999 SPARC
+                wall_scale: 1.0,
+            },
+            allreduce: AllreduceAlgo::Linear,
+            rank_speed: Vec::new(),
+        }
+    }
+
+    /// A contemporary commodity cluster: low-latency network, fast CPUs.
+    pub fn modern_cluster(p: usize) -> MachineSpec {
+        MachineSpec {
+            p,
+            topology: Topology::FatTree { arity: 16 },
+            network: NetworkModel {
+                latency: 2e-6,
+                byte_time: 1.0 / 10e9,
+                per_hop: 100e-9,
+                overhead: 500e-9,
+            },
+            compute: ComputeModel { sec_per_op: 2e-9, wall_scale: 1.0 },
+            allreduce: AllreduceAlgo::RecursiveDoubling,
+            rank_speed: Vec::new(),
+        }
+    }
+
+    /// A machine with free communication — the upper bound on speedup.
+    pub fn ideal(p: usize) -> MachineSpec {
+        MachineSpec {
+            p,
+            topology: Topology::Crossbar,
+            network: NetworkModel::ideal(),
+            compute: ComputeModel { sec_per_op: 1.4e-6, wall_scale: 1.0 },
+            allreduce: AllreduceAlgo::RecursiveDoubling,
+            rank_speed: Vec::new(),
+        }
+    }
+
+    /// Zero-cost machine used by unit tests that only check data movement.
+    pub fn zero_cost(p: usize) -> MachineSpec {
+        MachineSpec {
+            p,
+            topology: Topology::Crossbar,
+            network: NetworkModel::ideal(),
+            compute: ComputeModel::ideal(),
+            allreduce: AllreduceAlgo::RecursiveDoubling,
+            rank_speed: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transit_is_affine_in_bytes_and_hops() {
+        let n = NetworkModel { latency: 1.0, byte_time: 0.5, per_hop: 0.25, overhead: 0.0 };
+        assert_eq!(n.transit(0, 1), 1.25);
+        assert_eq!(n.transit(4, 1), 1.0 + 2.0 + 0.25);
+        assert_eq!(n.transit(4, 3), 1.0 + 2.0 + 0.75);
+    }
+
+    #[test]
+    fn self_messages_have_no_transit() {
+        let n = NetworkModel { latency: 1.0, byte_time: 1.0, per_hop: 1.0, overhead: 1.0 };
+        assert_eq!(n.transit(1_000_000, 0), 0.0);
+    }
+
+    #[test]
+    fn presets_are_sane() {
+        let m = presets::meiko_cs2(10);
+        assert_eq!(m.p, 10);
+        assert!(m.network.latency > 0.0);
+        assert!(m.compute.sec_per_op > 0.0);
+        // 50 MB/s from the paper
+        assert!((m.network.byte_time - 2e-8).abs() < 1e-12);
+
+        let i = presets::ideal(4);
+        assert_eq!(i.network.transit(100, i.hops(0, 3)), 0.0);
+    }
+
+    #[test]
+    fn machine_transit_uses_topology_hops() {
+        let m = presets::meiko_cs2(10);
+        // ranks 0 and 1 share a leaf switch (2 hops); 0 and 5 do not (4 hops)
+        assert!(m.transit(8, 0, 5) > m.transit(8, 0, 1));
+        assert_eq!(m.transit(8, 3, 3), 0.0);
+    }
+}

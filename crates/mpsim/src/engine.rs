@@ -1,0 +1,260 @@
+//! The SPMD launcher: runs one closure per rank on real threads.
+//!
+//! [`run_spmd`] spawns `spec.p` scoped threads, wires a full mesh of
+//! channels between them, hands each a [`Comm`], and harvests results and
+//! per-rank statistics. A panic on any rank aborts the whole run and is
+//! reported as a [`SimError`]; the other ranks are unblocked via a shared
+//! abort flag polled by blocking receives.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::unbounded;
+
+use crate::comm::{AbortPanic, Comm, Envelope};
+use crate::cost::MachineSpec;
+use crate::error::SimError;
+use crate::trace::{RankStats, RunStats};
+
+/// Engine knobs that are about the *simulation host*, not the modeled
+/// machine (which lives in [`MachineSpec`]).
+#[derive(Debug, Clone)]
+pub struct SimOptions {
+    /// Wall-clock time a blocking receive may wait before the run is
+    /// declared deadlocked. Raise this for very long-running rank bodies.
+    pub recv_timeout: Duration,
+    /// Record a per-rank message event trace (see
+    /// [`crate::trace::Event`]); returned in [`SpmdOutput::events`].
+    pub record_events: bool,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions { recv_timeout: Duration::from_secs(120), record_events: false }
+    }
+}
+
+/// Everything a finished SPMD run produces.
+#[derive(Debug)]
+pub struct SpmdOutput<T> {
+    /// Each rank's return value, indexed by rank.
+    pub per_rank: Vec<T>,
+    /// Elapsed virtual time: the maximum final clock over all ranks.
+    pub elapsed: f64,
+    /// Per-rank statistics.
+    pub ranks: Vec<RankStats>,
+    /// Aggregate statistics.
+    pub stats: RunStats,
+    /// Per-rank message event traces; empty vectors unless
+    /// [`SimOptions::record_events`] was set.
+    pub events: Vec<Vec<crate::trace::Event>>,
+}
+
+/// Run `f` as an SPMD program on the machine described by `spec`.
+///
+/// `f` is invoked once per rank with that rank's [`Comm`]; it may borrow
+/// from the caller's stack (the ranks run on scoped threads), which is how
+/// a shared read-only dataset is distributed without copying.
+///
+/// # Errors
+/// Returns the first rank failure by severity: a user panic beats a receive
+/// timeout beats a follow-on abort, so the root cause is reported rather
+/// than a symptom.
+#[allow(clippy::needless_range_loop)] // (src, dst) index pairs read clearer
+pub fn run_spmd<T, F>(spec: &MachineSpec, opts: &SimOptions, f: F) -> Result<SpmdOutput<T>, SimError>
+where
+    T: Send,
+    F: Fn(&mut Comm) -> T + Sync,
+{
+    let p = spec.p;
+    if p == 0 {
+        return Err(SimError::InvalidMachine("machine must have at least 1 rank".into()));
+    }
+    let spec = Arc::new(spec.clone());
+    let abort = Arc::new(AtomicBool::new(false));
+
+    // Full mesh of unbounded channels: matrix[src][dst].
+    let mut senders: Vec<Vec<crossbeam::channel::Sender<Envelope>>> = Vec::with_capacity(p);
+    let mut receivers: Vec<Vec<Option<crossbeam::channel::Receiver<Envelope>>>> =
+        (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
+    for src in 0..p {
+        let mut row = Vec::with_capacity(p);
+        for dst in 0..p {
+            let (tx, rx) = unbounded();
+            row.push(tx);
+            receivers[dst][src] = Some(rx);
+        }
+        senders.push(row);
+    }
+
+    type RankOutcome<T> = Result<(T, RankStats, Vec<crate::trace::Event>), SimError>;
+    let results: Vec<RankOutcome<T>> = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(p);
+        for rank in 0..p {
+            let spec = Arc::clone(&spec);
+            let abort = Arc::clone(&abort);
+            let outboxes = senders[rank].clone();
+            let inboxes: Vec<_> = receivers[rank]
+                .iter_mut()
+                .map(|r| r.take().expect("each receiver is taken exactly once"))
+                .collect();
+            let f = &f;
+            let recv_timeout = opts.recv_timeout;
+            let record_events = opts.record_events;
+            handles.push(scope.spawn(move || {
+                let mut comm = Comm::new(
+                    rank,
+                    spec,
+                    inboxes,
+                    outboxes,
+                    abort.clone(),
+                    recv_timeout,
+                    record_events,
+                );
+                let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut comm)));
+                match outcome {
+                    Ok(value) => Ok((value, comm.stats(), comm.take_events())),
+                    Err(payload) => {
+                        abort.store(true, std::sync::atomic::Ordering::Relaxed);
+                        Err(classify_panic(rank, payload))
+                    }
+                }
+            }));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|_| {
+                // The worker itself never panics outside catch_unwind, but
+                // be defensive: report it as a rank panic.
+                Err::<(T, RankStats, Vec<crate::trace::Event>), _>(SimError::RankPanicked { rank: usize::MAX, message: "worker died".into() })
+            }))
+            .collect()
+    });
+
+    let mut first_error: Option<SimError> = None;
+    let mut per_rank = Vec::with_capacity(p);
+    let mut ranks = Vec::with_capacity(p);
+    let mut events = Vec::with_capacity(p);
+    for r in results {
+        match r {
+            Ok((value, stats, ev)) => {
+                per_rank.push(value);
+                ranks.push(stats);
+                events.push(ev);
+            }
+            Err(e) => {
+                let sev = severity(&e);
+                match &first_error {
+                    Some(cur) if severity(cur) >= sev => {}
+                    _ => first_error = Some(e),
+                }
+            }
+        }
+    }
+    if let Some(e) = first_error {
+        return Err(e);
+    }
+
+    let stats = RunStats::from_ranks(&ranks);
+    Ok(SpmdOutput { elapsed: stats.elapsed, per_rank, ranks, stats, events })
+}
+
+/// Convenience wrapper using default options.
+pub fn run_spmd_default<T, F>(spec: &MachineSpec, f: F) -> Result<SpmdOutput<T>, SimError>
+where
+    T: Send,
+    F: Fn(&mut Comm) -> T + Sync,
+{
+    run_spmd(spec, &SimOptions::default(), f)
+}
+
+fn severity(e: &SimError) -> u8 {
+    match e {
+        SimError::RankPanicked { .. } => 3,
+        SimError::CollectiveMismatch { .. } => 3,
+        SimError::RecvTimeout { .. } => 2,
+        SimError::InvalidMachine(_) => 2,
+        SimError::Aborted { .. } => 1,
+    }
+}
+
+fn classify_panic(rank: usize, payload: Box<dyn std::any::Any + Send>) -> SimError {
+    match payload.downcast::<AbortPanic>() {
+        Ok(abort) => abort.0,
+        Err(payload) => {
+            let message = if let Some(s) = payload.downcast_ref::<&'static str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "non-string panic payload".to_string()
+            };
+            SimError::RankPanicked { rank, message }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::presets;
+
+    #[test]
+    fn zero_ranks_is_invalid() {
+        let mut spec = presets::zero_cost(1);
+        spec.p = 0;
+        let r = run_spmd_default(&spec, |c| c.rank());
+        assert!(matches!(r, Err(SimError::InvalidMachine(_))));
+    }
+
+    #[test]
+    fn single_rank_runs() {
+        let spec = presets::zero_cost(1);
+        let out = run_spmd_default(&spec, |c| c.rank() + 10).unwrap();
+        assert_eq!(out.per_rank, vec![10]);
+        assert_eq!(out.elapsed, 0.0);
+    }
+
+    #[test]
+    fn ranks_see_distinct_ids() {
+        let spec = presets::zero_cost(5);
+        let out = run_spmd_default(&spec, |c| (c.rank(), c.size())).unwrap();
+        for (i, (r, s)) in out.per_rank.iter().enumerate() {
+            assert_eq!(*r, i);
+            assert_eq!(*s, 5);
+        }
+    }
+
+    #[test]
+    fn user_panic_is_reported_with_rank() {
+        let spec = presets::zero_cost(3);
+        let r = run_spmd_default::<(), _>(&spec, |c| {
+            if c.rank() == 1 {
+                panic!("deliberate test failure");
+            }
+            // Other ranks block so the abort path is exercised.
+            c.barrier();
+        });
+        match r {
+            Err(SimError::RankPanicked { rank, message }) => {
+                assert_eq!(rank, 1);
+                assert!(message.contains("deliberate"));
+            }
+            other => panic!("expected RankPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mismatched_collective_times_out() {
+        let spec = presets::zero_cost(2);
+        let opts = SimOptions { recv_timeout: Duration::from_millis(200), ..Default::default() };
+        let r = run_spmd::<(), _>(&spec, &opts, |c| {
+            if c.rank() == 0 {
+                c.barrier(); // rank 1 never joins
+            }
+        });
+        assert!(matches!(r, Err(SimError::RecvTimeout { .. })), "got {r:?}");
+    }
+}

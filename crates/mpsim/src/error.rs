@@ -1,0 +1,75 @@
+//! Error types for the simulated multicomputer.
+
+use std::fmt;
+
+/// Errors surfaced by the SPMD engine or by communication primitives.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // field names are self-describing
+pub enum SimError {
+    /// A rank's user code panicked. The message is the panic payload when
+    /// it was a string, or a placeholder otherwise.
+    RankPanicked { rank: usize, message: String },
+    /// A blocking receive waited longer than the configured wall-clock
+    /// timeout. This almost always indicates mismatched communication
+    /// (e.g. one rank skipped a collective) rather than a slow sender.
+    RecvTimeout { rank: usize, from: usize, tag: u64 },
+    /// The run was aborted because another rank failed first.
+    Aborted { rank: usize },
+    /// Invalid machine description (e.g. zero ranks).
+    InvalidMachine(String),
+    /// A collective was called with arguments inconsistent across ranks
+    /// (detected where cheaply possible, e.g. mismatched buffer lengths).
+    CollectiveMismatch { rank: usize, detail: String },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::RankPanicked { rank, message } => {
+                write!(f, "rank {rank} panicked: {message}")
+            }
+            SimError::RecvTimeout { rank, from, tag } => write!(
+                f,
+                "rank {rank} timed out receiving from rank {from} (tag {tag:#x}); \
+                 likely mismatched sends/collectives"
+            ),
+            SimError::Aborted { rank } => {
+                write!(f, "rank {rank} aborted because another rank failed")
+            }
+            SimError::InvalidMachine(msg) => write!(f, "invalid machine: {msg}"),
+            SimError::CollectiveMismatch { rank, detail } => {
+                write!(f, "collective argument mismatch on rank {rank}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::RankPanicked { rank: 3, message: "boom".into() };
+        assert!(e.to_string().contains("rank 3"));
+        assert!(e.to_string().contains("boom"));
+
+        let e = SimError::RecvTimeout { rank: 1, from: 0, tag: 0xC0 };
+        assert!(e.to_string().contains("timed out"));
+        assert!(e.to_string().contains("0xc0"));
+    }
+
+    #[test]
+    fn errors_compare_by_value() {
+        assert_eq!(
+            SimError::Aborted { rank: 2 },
+            SimError::Aborted { rank: 2 }
+        );
+        assert_ne!(
+            SimError::Aborted { rank: 2 },
+            SimError::Aborted { rank: 3 }
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! # mpsim — a deterministic simulated message-passing multicomputer
+//!
+//! This crate is the substrate under the P-AutoClass reproduction: an
+//! MPI-like SPMD environment in which *computation is real* (each rank is
+//! an OS thread running the actual algorithm on its data partition, and
+//! real bytes flow between ranks) while *time is virtual* (per-rank clocks
+//! advance according to calibrated compute and network cost models).
+//!
+//! This lets a single-core host reproduce the scaling behaviour of a
+//! 10-processor Meiko CS-2 deterministically: the numerical results are
+//! exactly those of the parallel algorithm, and the reported elapsed time,
+//! speedup and scaleup come from the machine model rather than from the
+//! host's scheduler.
+//!
+//! ## Quick tour
+//!
+//! ```
+//! use mpsim::{presets, run_spmd_default, ReduceOp};
+//!
+//! let machine = presets::meiko_cs2(4);
+//! let out = run_spmd_default(&machine, |comm| {
+//!     // SPMD body: run on every rank.
+//!     let mut local = vec![comm.rank() as f64 + 1.0];
+//!     comm.work(1_000);                        // model local compute
+//!     comm.allreduce_f64s(&mut local, ReduceOp::Sum);
+//!     local[0]
+//! })
+//! .unwrap();
+//! assert!(out.per_rank.iter().all(|&v| v == 1.0 + 2.0 + 3.0 + 4.0));
+//! assert!(out.elapsed > 0.0); // virtual seconds, deterministic
+//! ```
+//!
+//! ## Modules
+//! * [`topology`] — interconnect shapes and hop counts
+//! * [`cost`] — LogGP-style network model, compute model, machine presets
+//! * [`clock`] — per-rank virtual clocks with compute/comm/idle accounting
+//! * [`comm`] — point-to-point messaging ([`Comm`])
+//! * [`collectives`] — Barrier/Bcast/Reduce/Allreduce/Gather/… on top of
+//!   point-to-point, with textbook algorithms
+//! * [`subcomm`] — sub-communicators (`MPI_Comm_split` analogue)
+//! * [`engine`] — the SPMD launcher ([`run_spmd`])
+//! * [`trace`] — per-rank and aggregate statistics
+
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod collectives;
+pub mod comm;
+pub mod cost;
+pub mod engine;
+pub mod error;
+pub mod payload;
+pub mod subcomm;
+pub mod topology;
+pub mod trace;
+
+pub use collectives::ReduceOp;
+pub use comm::{Comm, MAX_USER_TAG};
+pub use cost::{presets, AllreduceAlgo, ComputeModel, MachineSpec, NetworkModel};
+pub use engine::{run_spmd, run_spmd_default, SimOptions, SpmdOutput};
+pub use error::SimError;
+pub use subcomm::SubComm;
+pub use topology::Topology;
+pub use trace::{Event, EventKind, RankStats, RunStats};

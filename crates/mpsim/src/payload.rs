@@ -1,0 +1,106 @@
+//! Byte-level encoding of typed message payloads.
+//!
+//! Messages on the simulated wire are plain byte vectors, exactly as they
+//! would be with MPI. This module provides the little-endian codecs the
+//! typed `Comm` helpers use. Encoding is infallible; decoding validates
+//! lengths and panics on corruption (a corrupt message inside the simulator
+//! is a bug, not an input error).
+
+/// Encode a slice of `f64` little-endian.
+pub fn encode_f64s(values: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decode a byte buffer produced by [`encode_f64s`].
+///
+/// # Panics
+/// Panics if the length is not a multiple of 8.
+pub fn decode_f64s(bytes: &[u8]) -> Vec<f64> {
+    assert!(bytes.len().is_multiple_of(8), "f64 payload length {} not a multiple of 8", bytes.len());
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("chunk is 8 bytes")))
+        .collect()
+}
+
+/// Decode into an existing buffer (must already have the right length);
+/// avoids an allocation in hot reduction loops.
+///
+/// # Panics
+/// Panics if `bytes.len() != out.len() * 8`.
+pub fn decode_f64s_into(bytes: &[u8], out: &mut [f64]) {
+    assert_eq!(bytes.len(), out.len() * 8, "payload/buffer length mismatch");
+    for (c, o) in bytes.chunks_exact(8).zip(out.iter_mut()) {
+        *o = f64::from_le_bytes(c.try_into().expect("chunk is 8 bytes"));
+    }
+}
+
+/// Encode a slice of `u64` little-endian.
+pub fn encode_u64s(values: &[u64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(values.len() * 8);
+    for v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    out
+}
+
+/// Decode a byte buffer produced by [`encode_u64s`].
+///
+/// # Panics
+/// Panics if the length is not a multiple of 8.
+pub fn decode_u64s(bytes: &[u8]) -> Vec<u64> {
+    assert!(bytes.len().is_multiple_of(8), "u64 payload length {} not a multiple of 8", bytes.len());
+    bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("chunk is 8 bytes")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn f64_round_trip() {
+        let v = vec![0.0, -1.5, f64::MAX, f64::MIN_POSITIVE, std::f64::consts::PI];
+        assert_eq!(decode_f64s(&encode_f64s(&v)), v);
+    }
+
+    #[test]
+    fn f64_round_trip_preserves_nan_bits() {
+        let v = [f64::NAN];
+        let back = decode_f64s(&encode_f64s(&v));
+        assert!(back[0].is_nan());
+    }
+
+    #[test]
+    fn u64_round_trip() {
+        let v = vec![0u64, 1, u64::MAX, 0xDEAD_BEEF];
+        assert_eq!(decode_u64s(&encode_u64s(&v)), v);
+    }
+
+    #[test]
+    fn decode_into_matches_decode() {
+        let v = vec![1.0, 2.0, 3.0];
+        let bytes = encode_f64s(&v);
+        let mut out = vec![0.0; 3];
+        decode_f64s_into(&bytes, &mut out);
+        assert_eq!(out, v);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 8")]
+    fn ragged_payload_panics() {
+        decode_f64s(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_round_trip() {
+        assert!(decode_f64s(&encode_f64s(&[])).is_empty());
+        assert!(decode_u64s(&encode_u64s(&[])).is_empty());
+    }
+}

@@ -1,0 +1,300 @@
+//! Sub-communicators: the `MPI_Comm_split` analogue.
+//!
+//! [`Comm::split`] partitions the world by a `color`; ranks sharing a
+//! color form a sub-communicator with dense ranks `0..group size` ordered
+//! by world rank. The returned [`SubComm`] borrows the world communicator
+//! and offers the core collectives over the group, with a disjoint tag
+//! space so group traffic can never be confused with world traffic.
+//!
+//! As with MPI, `split` is itself collective: every rank of the world
+//! communicator must call it (with whatever color), in the same relative
+//! order with respect to other collectives.
+
+use crate::collectives::ReduceOp;
+use crate::comm::Comm;
+
+/// Tag-space marker for sub-communicator traffic (bit 63).
+const SUB_TAG_BASE: u64 = 1 << 63;
+
+/// A communicator over a subset of the world's ranks.
+pub struct SubComm<'a> {
+    world: &'a mut Comm,
+    /// World ranks of the members, ascending; index = sub rank.
+    members: Vec<usize>,
+    /// This rank's position within `members`.
+    rank: usize,
+    /// Color the group was formed with (part of the tag space).
+    color: u32,
+    /// Per-group collective sequence number.
+    seq: u64,
+}
+
+impl Comm {
+    /// Split the world communicator by color: ranks passing equal colors
+    /// form a group. Collective over the world communicator.
+    pub fn split(&mut self, color: u32) -> SubComm<'_> {
+        // Allgather (world) of colors to agree on the membership.
+        let mine = [color as f64];
+        let all = self.allgather_f64s(&mine);
+        let members: Vec<usize> = all
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c[0] as u32 == color)
+            .map(|(r, _)| r)
+            .collect();
+        let rank = members
+            .iter()
+            .position(|&r| r == self.rank())
+            .expect("calling rank is in its own color group");
+        SubComm { world: self, members, rank, color, seq: 0 }
+    }
+}
+
+impl SubComm<'_> {
+    /// This rank's id within the group.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Group size.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+
+    /// World ranks of the group, ascending.
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// Access the underlying world communicator (e.g. for `work`).
+    pub fn world(&mut self) -> &mut Comm {
+        self.world
+    }
+
+    fn next_tag(&mut self) -> u64 {
+        self.seq += 1;
+        SUB_TAG_BASE | (u64::from(self.color) << 32) | self.seq
+    }
+
+    fn send(&mut self, sub_dst: usize, tag: u64, values: &[f64]) {
+        let dst = self.members[sub_dst];
+        self.world.send_f64s(dst, tag, values);
+    }
+
+    fn recv(&mut self, sub_src: usize, tag: u64) -> Vec<f64> {
+        let src = self.members[sub_src];
+        self.world.recv_f64s(src, tag)
+    }
+
+    /// Synchronize the group (dissemination barrier over group ranks).
+    pub fn barrier(&mut self) {
+        let p = self.size();
+        if p <= 1 {
+            return;
+        }
+        let tag = self.next_tag();
+        let me = self.rank;
+        let mut k = 1usize;
+        while k < p {
+            self.send((me + k) % p, tag, &[]);
+            let _ = self.recv((me + p - k) % p, tag);
+            k <<= 1;
+        }
+    }
+
+    /// Broadcast from the group-rank `root` to the group (binomial tree).
+    pub fn broadcast_f64s(&mut self, root: usize, buf: &mut [f64]) {
+        let p = self.size();
+        if p <= 1 {
+            return;
+        }
+        let tag = self.next_tag();
+        let me = self.rank;
+        let vrank = (me + p - root) % p;
+        let mut mask = 1usize;
+        while mask < p {
+            if vrank & mask != 0 {
+                let src = (me + p - mask) % p;
+                let data = self.recv(src, tag);
+                buf.copy_from_slice(&data);
+                break;
+            }
+            mask <<= 1;
+        }
+        mask >>= 1;
+        while mask > 0 {
+            if vrank + mask < p {
+                let dst = (me + mask) % p;
+                let copy = buf.to_vec();
+                self.send(dst, tag, &copy);
+            }
+            mask >>= 1;
+        }
+    }
+
+    /// Allreduce over the group (recursive doubling with the standard
+    /// non-power-of-two pre/post steps).
+    pub fn allreduce_f64s(&mut self, buf: &mut [f64], op: ReduceOp) {
+        let p = self.size();
+        if p <= 1 {
+            return;
+        }
+        let tag = self.next_tag();
+        let me = self.rank;
+        let pow2 = if p.is_power_of_two() { p } else { p.next_power_of_two() / 2 };
+        let rem = p - pow2;
+
+        if me >= pow2 {
+            let partner = me - pow2;
+            let copy = buf.to_vec();
+            self.send(partner, tag, &copy);
+            let data = self.recv(partner, tag);
+            buf.copy_from_slice(&data);
+            return;
+        }
+        if me < rem {
+            let data = self.recv(me + pow2, tag);
+            op.fold(buf, &data);
+        }
+        let mut mask = 1usize;
+        while mask < pow2 {
+            let partner = me ^ mask;
+            let copy = buf.to_vec();
+            self.send(partner, tag, &copy);
+            let data = self.recv(partner, tag);
+            op.fold(buf, &data);
+            mask <<= 1;
+        }
+        if me < rem {
+            let copy = buf.to_vec();
+            self.send(me + pow2, tag, &copy);
+        }
+    }
+
+    /// Gather variable-length vectors to the group-rank `root`,
+    /// concatenated in group-rank order. `Some` on the root.
+    pub fn gather_f64s(&mut self, root: usize, mine: &[f64]) -> Option<Vec<f64>> {
+        let p = self.size();
+        let tag = self.next_tag();
+        if self.rank == root {
+            let mut all = Vec::with_capacity(mine.len() * p);
+            for src in 0..p {
+                if src == self.rank {
+                    all.extend_from_slice(mine);
+                } else {
+                    let data = self.recv(src, tag);
+                    all.extend_from_slice(&data);
+                }
+            }
+            Some(all)
+        } else {
+            self.send(root, tag, mine);
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::presets;
+    use crate::engine::run_spmd_default;
+
+    #[test]
+    fn split_forms_dense_groups() {
+        let spec = presets::zero_cost(7);
+        let out = run_spmd_default(&spec, |c| {
+            let color = (c.rank() % 2) as u32;
+            let sub = c.split(color);
+            (color, sub.rank(), sub.size(), sub.members().to_vec())
+        })
+        .unwrap();
+        // Even group: world ranks 0,2,4,6; odd group: 1,3,5.
+        for (rank, (color, sub_rank, size, members)) in out.per_rank.iter().enumerate() {
+            if *color == 0 {
+                assert_eq!(*size, 4);
+                assert_eq!(*members, vec![0, 2, 4, 6]);
+                assert_eq!(*sub_rank, rank / 2);
+            } else {
+                assert_eq!(*size, 3);
+                assert_eq!(*members, vec![1, 3, 5]);
+                assert_eq!(*sub_rank, rank / 2);
+            }
+        }
+    }
+
+    #[test]
+    fn group_allreduce_stays_within_the_group() {
+        let spec = presets::zero_cost(6);
+        let out = run_spmd_default(&spec, |c| {
+            let color = (c.rank() % 2) as u32;
+            let mut sub = c.split(color);
+            let mut buf = vec![1.0];
+            sub.allreduce_f64s(&mut buf, ReduceOp::Sum);
+            buf[0]
+        })
+        .unwrap();
+        // Each group has 3 members; sums must not leak across groups.
+        assert!(out.per_rank.iter().all(|&v| v == 3.0), "{:?}", out.per_rank);
+    }
+
+    #[test]
+    fn group_broadcast_and_gather() {
+        let spec = presets::zero_cost(5);
+        let out = run_spmd_default(&spec, |c| {
+            let color = u32::from(c.rank() >= 2); // {0,1} and {2,3,4}
+            let mut sub = c.split(color);
+            let mut buf = vec![0.0];
+            if sub.rank() == 0 {
+                buf[0] = 100.0 + f64::from(color);
+            }
+            sub.broadcast_f64s(0, &mut buf);
+            let gathered = sub.gather_f64s(0, &[sub.rank() as f64]);
+            (buf[0], gathered)
+        })
+        .unwrap();
+        for (rank, (b, g)) in out.per_rank.iter().enumerate() {
+            let color = usize::from(rank >= 2);
+            assert_eq!(*b, 100.0 + color as f64, "rank {rank}");
+            if rank == 0 {
+                assert_eq!(g.as_deref(), Some(&[0.0, 1.0][..]));
+            } else if rank == 2 {
+                assert_eq!(g.as_deref(), Some(&[0.0, 1.0, 2.0][..]));
+            } else {
+                assert!(g.is_none());
+            }
+        }
+    }
+
+    #[test]
+    fn group_barrier_and_world_collectives_interleave() {
+        // Sub-collectives must not corrupt world collectives run after.
+        let spec = presets::zero_cost(4);
+        let out = run_spmd_default(&spec, |c| {
+            {
+                let mut sub = c.split((c.rank() / 2) as u32);
+                sub.barrier();
+                let mut v = vec![sub.rank() as f64];
+                sub.allreduce_f64s(&mut v, ReduceOp::Sum);
+                assert_eq!(v[0], 1.0); // 0 + 1 within each pair
+            }
+            c.allreduce_scalar(1.0, ReduceOp::Sum)
+        })
+        .unwrap();
+        assert!(out.per_rank.iter().all(|&v| v == 4.0));
+    }
+
+    #[test]
+    fn singleton_groups_are_fine() {
+        let spec = presets::zero_cost(3);
+        let out = run_spmd_default(&spec, |c| {
+            let mut sub = c.split(c.rank() as u32); // every rank alone
+            sub.barrier();
+            let mut v = vec![7.0];
+            sub.allreduce_f64s(&mut v, ReduceOp::Sum);
+            (sub.size(), v[0])
+        })
+        .unwrap();
+        assert!(out.per_rank.iter().all(|&(s, v)| s == 1 && v == 7.0));
+    }
+}

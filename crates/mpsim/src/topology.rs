@@ -1,0 +1,172 @@
+//! Interconnect topologies and hop-count models.
+//!
+//! The network cost model charges a per-hop cost in addition to latency and
+//! serialization time, so the topology only needs to answer one question:
+//! how many hops separate two ranks?
+
+/// Interconnection network shape. Ranks are numbered `0..p` and mapped onto
+/// the topology in the natural order described per variant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)] // variant fields are documented in the variant docs
+pub enum Topology {
+    /// Full crossbar: every pair of distinct ranks is one hop apart.
+    Crossbar,
+    /// Unidirectional distances on a bidirectional ring: the hop count is
+    /// the shorter way around.
+    Ring,
+    /// 2-D mesh with the given number of columns; ranks are laid out
+    /// row-major. Hop count is the Manhattan distance.
+    Mesh2D { cols: usize },
+    /// Fat tree with the given down-link arity, as in the Meiko CS-2
+    /// (arity-4 fat tree). Ranks are leaves; a message climbs to the lowest
+    /// common ancestor and back down, so the hop count is twice the LCA
+    /// level. Contention is not modeled (a fat tree provides full bisection
+    /// bandwidth by construction).
+    FatTree { arity: usize },
+}
+
+fn ring_hops(p: usize, a: usize, b: usize) -> usize {
+    let d = a.abs_diff(b);
+    d.min(p - d)
+}
+
+fn mesh_hops(cols: usize, a: usize, b: usize) -> usize {
+    let (ar, ac) = (a / cols, a % cols);
+    let (br, bc) = (b / cols, b % cols);
+    ar.abs_diff(br) + ac.abs_diff(bc)
+}
+
+fn fat_tree_hops(arity: usize, a: usize, b: usize) -> usize {
+    debug_assert!(arity >= 2, "fat tree arity must be at least 2");
+    let (mut x, mut y) = (a, b);
+    let mut level = 0usize;
+    while x != y {
+        x /= arity;
+        y /= arity;
+        level += 1;
+    }
+    2 * level
+}
+
+impl Topology {
+    /// Hop count between `a` and `b` in a communicator of `p` ranks.
+    ///
+    /// This is the entry point the cost model uses; `p` is needed by the
+    /// ring (to take the shorter direction).
+    pub fn hops_with_size(&self, p: usize, a: usize, b: usize) -> usize {
+        debug_assert!(a < p && b < p, "ranks must be < p");
+        if a == b {
+            return 0;
+        }
+        match *self {
+            Topology::Crossbar => 1,
+            Topology::Ring => ring_hops(p, a, b),
+            Topology::Mesh2D { cols } => mesh_hops(cols.max(1), a, b),
+            Topology::FatTree { arity } => fat_tree_hops(arity.max(2), a, b),
+        }
+    }
+
+    /// Largest hop count between any pair of ranks in a communicator of
+    /// `p` ranks. Useful for upper-bounding collective costs.
+    pub fn diameter(&self, p: usize) -> usize {
+        if p <= 1 {
+            return 0;
+        }
+        match *self {
+            Topology::Crossbar => 1,
+            Topology::Ring => p / 2,
+            Topology::Mesh2D { cols } => {
+                let cols = cols.max(1);
+                let rows = p.div_ceil(cols);
+                (rows - 1) + (cols - 1).min(p - 1)
+            }
+            Topology::FatTree { arity } => {
+                let arity = arity.max(2);
+                let mut levels = 0usize;
+                let mut span = 1usize;
+                while span < p {
+                    span *= arity;
+                    levels += 1;
+                }
+                2 * levels
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossbar_is_single_hop() {
+        let t = Topology::Crossbar;
+        assert_eq!(t.hops_with_size(8, 0, 0), 0);
+        assert_eq!(t.hops_with_size(8, 0, 7), 1);
+        assert_eq!(t.hops_with_size(8, 3, 4), 1);
+        assert_eq!(t.diameter(8), 1);
+    }
+
+    #[test]
+    fn ring_takes_short_way() {
+        let t = Topology::Ring;
+        assert_eq!(t.hops_with_size(10, 0, 1), 1);
+        assert_eq!(t.hops_with_size(10, 0, 9), 1); // wrap-around
+        assert_eq!(t.hops_with_size(10, 0, 5), 5);
+        assert_eq!(t.hops_with_size(10, 2, 8), 4);
+        assert_eq!(t.diameter(10), 5);
+    }
+
+    #[test]
+    fn mesh_uses_manhattan_distance() {
+        let t = Topology::Mesh2D { cols: 4 };
+        // rank 0 = (0,0), rank 5 = (1,1), rank 15 = (3,3)
+        assert_eq!(t.hops_with_size(16, 0, 5), 2);
+        assert_eq!(t.hops_with_size(16, 0, 15), 6);
+        assert_eq!(t.hops_with_size(16, 7, 4), 3);
+    }
+
+    #[test]
+    fn fat_tree_counts_up_and_down() {
+        let t = Topology::FatTree { arity: 4 };
+        // Same leaf group of 4: LCA at level 1 -> 2 hops.
+        assert_eq!(t.hops_with_size(16, 0, 3), 2);
+        // Different groups: LCA at level 2 -> 4 hops.
+        assert_eq!(t.hops_with_size(16, 0, 4), 4);
+        assert_eq!(t.hops_with_size(16, 0, 15), 4);
+        assert_eq!(t.hops_with_size(16, 1, 1), 0);
+    }
+
+    #[test]
+    fn fat_tree_diameter_covers_all_pairs() {
+        let t = Topology::FatTree { arity: 4 };
+        for p in [1usize, 2, 4, 5, 10, 16, 17] {
+            let d = t.diameter(p);
+            for a in 0..p {
+                for b in 0..p {
+                    assert!(t.hops_with_size(p, a, b) <= d, "p={p} a={a} b={b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hops_are_symmetric() {
+        for t in [
+            Topology::Crossbar,
+            Topology::Ring,
+            Topology::Mesh2D { cols: 3 },
+            Topology::FatTree { arity: 2 },
+        ] {
+            for a in 0..9 {
+                for b in 0..9 {
+                    assert_eq!(
+                        t.hops_with_size(9, a, b),
+                        t.hops_with_size(9, b, a),
+                        "topology {t:?} not symmetric at ({a},{b})"
+                    );
+                }
+            }
+        }
+    }
+}

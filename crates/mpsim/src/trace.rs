@@ -1,0 +1,142 @@
+//! Per-rank execution statistics, time breakdowns, and optional message
+//! event traces.
+
+/// What a trace event records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A message left this rank.
+    Send,
+    /// A message was accepted by this rank.
+    Recv,
+}
+
+/// One traced message event on a rank (recorded only when
+/// [`crate::SimOptions::record_events`] is set).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// Virtual time at which the event completed on this rank.
+    pub t: f64,
+    /// Send or receive.
+    pub kind: EventKind,
+    /// The other endpoint.
+    pub peer: usize,
+    /// Payload size.
+    pub bytes: usize,
+    /// Message tag (collective tags have bit 32 set).
+    pub tag: u64,
+}
+
+/// Summary of one rank's activity during an SPMD run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RankStats {
+    /// Rank id.
+    pub rank: usize,
+    /// Final virtual time (seconds).
+    pub elapsed: f64,
+    /// Virtual seconds spent computing.
+    pub compute: f64,
+    /// Virtual seconds spent in communication endpoint work.
+    pub comm: f64,
+    /// Virtual seconds spent blocked waiting for messages.
+    pub idle: f64,
+    /// Point-to-point messages sent (collectives count their constituent
+    /// messages).
+    pub msgs_sent: u64,
+    /// Payload bytes sent.
+    pub bytes_sent: u64,
+    /// Messages received.
+    pub msgs_recvd: u64,
+    /// Payload bytes received.
+    pub bytes_recvd: u64,
+}
+
+impl RankStats {
+    /// Fraction of elapsed time spent computing (0 when nothing elapsed).
+    pub fn compute_fraction(&self) -> f64 {
+        if self.elapsed > 0.0 {
+            self.compute / self.elapsed
+        } else {
+            0.0
+        }
+    }
+
+    /// Fraction of elapsed time lost to communication and waiting.
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.elapsed > 0.0 {
+            (self.comm + self.idle) / self.elapsed
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Aggregate statistics over all ranks of a run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RunStats {
+    /// Elapsed virtual time of the run (max over ranks).
+    pub elapsed: f64,
+    /// Total messages sent by all ranks.
+    pub total_msgs: u64,
+    /// Total payload bytes sent by all ranks.
+    pub total_bytes: u64,
+    /// Mean compute fraction across ranks.
+    pub mean_compute_fraction: f64,
+}
+
+impl RunStats {
+    /// Summarize a set of per-rank statistics.
+    pub fn from_ranks(ranks: &[RankStats]) -> Self {
+        if ranks.is_empty() {
+            return RunStats::default();
+        }
+        let elapsed = ranks.iter().map(|r| r.elapsed).fold(0.0, f64::max);
+        let total_msgs = ranks.iter().map(|r| r.msgs_sent).sum();
+        let total_bytes = ranks.iter().map(|r| r.bytes_sent).sum();
+        let mean_compute_fraction =
+            ranks.iter().map(|r| r.compute_fraction()).sum::<f64>() / ranks.len() as f64;
+        RunStats { elapsed, total_msgs, total_bytes, mean_compute_fraction }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(rank: usize, elapsed: f64, compute: f64) -> RankStats {
+        RankStats { rank, elapsed, compute, ..Default::default() }
+    }
+
+    #[test]
+    fn fractions_handle_zero_elapsed() {
+        let r = RankStats::default();
+        assert_eq!(r.compute_fraction(), 0.0);
+        assert_eq!(r.overhead_fraction(), 0.0);
+    }
+
+    #[test]
+    fn fractions_partition_time() {
+        let r = RankStats {
+            rank: 0,
+            elapsed: 10.0,
+            compute: 6.0,
+            comm: 1.0,
+            idle: 3.0,
+            ..Default::default()
+        };
+        assert!((r.compute_fraction() - 0.6).abs() < 1e-12);
+        assert!((r.overhead_fraction() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_stats_take_max_elapsed() {
+        let rs = [stats(0, 1.0, 0.5), stats(1, 3.0, 3.0), stats(2, 2.0, 1.0)];
+        let agg = RunStats::from_ranks(&rs);
+        assert_eq!(agg.elapsed, 3.0);
+        assert!((agg.mean_compute_fraction - (0.5 + 1.0 + 0.5) / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn run_stats_empty() {
+        assert_eq!(RunStats::from_ranks(&[]), RunStats::default());
+    }
+}

@@ -1,0 +1,352 @@
+//! Correctness tests for the collectives: every algorithm must agree with
+//! a straightforward sequential reduction for all communicator sizes.
+
+use mpsim::{presets, run_spmd_default, AllreduceAlgo, ReduceOp};
+
+const SIZES: &[usize] = &[1, 2, 3, 4, 5, 7, 8, 10, 13];
+
+fn rank_vector(rank: usize, n: usize) -> Vec<f64> {
+    (0..n).map(|i| (rank * 31 + i) as f64 * 0.5 - 3.0).collect()
+}
+
+fn sequential_reduce(p: usize, n: usize, op: ReduceOp) -> Vec<f64> {
+    let mut acc = rank_vector(0, n);
+    for r in 1..p {
+        op.fold(&mut acc, &rank_vector(r, n));
+    }
+    acc
+}
+
+#[test]
+fn allreduce_matches_sequential_for_all_algorithms() {
+    for &p in SIZES {
+        for &n in &[0usize, 1, 3, 8, 17, 64] {
+            for op in [ReduceOp::Sum, ReduceOp::Min, ReduceOp::Max, ReduceOp::Prod] {
+                for algo in [
+                    AllreduceAlgo::Linear,
+                    AllreduceAlgo::OrderedLinear,
+                    AllreduceAlgo::RecursiveDoubling,
+                    AllreduceAlgo::Ring,
+                ] {
+                    let spec = presets::zero_cost(p);
+                    let out = run_spmd_default(&spec, |c| {
+                        let mut buf = rank_vector(c.rank(), n);
+                        c.allreduce_f64s_with(&mut buf, op, algo);
+                        buf
+                    })
+                    .unwrap();
+                    let expect = sequential_reduce(p, n, op);
+                    for (rank, got) in out.per_rank.iter().enumerate() {
+                        for (a, b) in got.iter().zip(&expect) {
+                            assert!(
+                                (a - b).abs() <= 1e-9 * b.abs().max(1.0),
+                                "p={p} n={n} op={op:?} algo={algo:?} rank={rank}: {a} vs {b}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn allreduce_results_identical_across_ranks() {
+    // Whatever the floating-point association, all ranks must agree bitwise.
+    for &p in SIZES {
+        for algo in [AllreduceAlgo::Linear, AllreduceAlgo::RecursiveDoubling, AllreduceAlgo::Ring] {
+            let spec = presets::zero_cost(p);
+            let out = run_spmd_default(&spec, |c| {
+                let mut buf: Vec<f64> =
+                    (0..23).map(|i| 1.0 / (1.0 + (c.rank() * 23 + i) as f64)).collect();
+                c.allreduce_f64s_with(&mut buf, ReduceOp::Sum, algo);
+                buf
+            })
+            .unwrap();
+            for rank in 1..p {
+                assert_eq!(
+                    out.per_rank[0], out.per_rank[rank],
+                    "p={p} algo={algo:?}: rank {rank} disagrees bitwise with rank 0"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn linear_allreduce_matches_sequential_bitwise() {
+    // Linear folds in rank order, so it must equal the sequential left fold
+    // *exactly*, independent of P.
+    for &p in SIZES {
+        let spec = presets::zero_cost(p);
+        let out = run_spmd_default(&spec, |c| {
+            let mut buf: Vec<f64> =
+                (0..11).map(|i| ((c.rank() + 1) * (i + 1)) as f64 * 0.1).collect();
+            c.allreduce_f64s_with(&mut buf, ReduceOp::Sum, AllreduceAlgo::Linear);
+            buf
+        })
+        .unwrap();
+        let mut expect: Vec<f64> = (0..11).map(|i| (i + 1) as f64 * 0.1).collect();
+        for r in 1..p {
+            let other: Vec<f64> = (0..11).map(|i| ((r + 1) * (i + 1)) as f64 * 0.1).collect();
+            ReduceOp::Sum.fold(&mut expect, &other);
+        }
+        assert_eq!(out.per_rank[0], expect, "p={p}");
+    }
+}
+
+#[test]
+fn broadcast_delivers_root_data_from_any_root() {
+    for &p in SIZES {
+        for root in 0..p {
+            let spec = presets::zero_cost(p);
+            let out = run_spmd_default(&spec, |c| {
+                let mut buf = if c.rank() == root {
+                    vec![root as f64, 42.0, -1.0]
+                } else {
+                    vec![0.0; 3]
+                };
+                c.broadcast_f64s(root, &mut buf);
+                buf
+            })
+            .unwrap();
+            for got in &out.per_rank {
+                assert_eq!(*got, vec![root as f64, 42.0, -1.0], "p={p} root={root}");
+            }
+        }
+    }
+}
+
+#[test]
+fn reduce_collects_at_any_root() {
+    for &p in SIZES {
+        for root in [0, p - 1, p / 2] {
+            let spec = presets::zero_cost(p);
+            let out = run_spmd_default(&spec, |c| {
+                let mut buf = rank_vector(c.rank(), 5);
+                c.reduce_f64s(root, &mut buf, ReduceOp::Sum);
+                buf
+            })
+            .unwrap();
+            let expect = sequential_reduce(p, 5, ReduceOp::Sum);
+            for (a, b) in out.per_rank[root].iter().zip(&expect) {
+                assert!((a - b).abs() < 1e-9, "p={p} root={root}");
+            }
+        }
+    }
+}
+
+#[test]
+fn gather_concatenates_in_rank_order() {
+    for &p in SIZES {
+        let spec = presets::zero_cost(p);
+        let out = run_spmd_default(&spec, |c| {
+            // Variable-length contributions: rank r sends r+1 values.
+            let mine: Vec<f64> = (0..=c.rank()).map(|i| (c.rank() * 100 + i) as f64).collect();
+            c.gather_f64s(0, &mine)
+        })
+        .unwrap();
+        let got = out.per_rank[0].as_ref().expect("root gets data");
+        let mut expect = Vec::new();
+        for r in 0..p {
+            expect.extend((0..=r).map(|i| (r * 100 + i) as f64));
+        }
+        assert_eq!(*got, expect, "p={p}");
+        for r in 1..p {
+            assert!(out.per_rank[r].is_none());
+        }
+    }
+}
+
+#[test]
+fn allgather_gives_every_rank_every_block() {
+    for &p in SIZES {
+        let spec = presets::zero_cost(p);
+        let out = run_spmd_default(&spec, |c| {
+            let mine: Vec<f64> = vec![c.rank() as f64; c.rank() % 3 + 1];
+            c.allgather_f64s(&mine)
+        })
+        .unwrap();
+        for (rank, blocks) in out.per_rank.iter().enumerate() {
+            assert_eq!(blocks.len(), p, "p={p} rank={rank}");
+            for (r, block) in blocks.iter().enumerate() {
+                assert_eq!(*block, vec![r as f64; r % 3 + 1], "p={p} rank={rank} block={r}");
+            }
+        }
+    }
+}
+
+#[test]
+fn scatter_routes_blocks() {
+    for &p in SIZES {
+        let spec = presets::zero_cost(p);
+        let out = run_spmd_default(&spec, |c| {
+            if c.rank() == 0 {
+                let blocks: Vec<Vec<f64>> =
+                    (0..c.size()).map(|r| vec![r as f64 * 2.0, 1.0]).collect();
+                c.scatter_f64s(0, Some(&blocks))
+            } else {
+                c.scatter_f64s(0, None)
+            }
+        })
+        .unwrap();
+        for (rank, got) in out.per_rank.iter().enumerate() {
+            assert_eq!(*got, vec![rank as f64 * 2.0, 1.0], "p={p}");
+        }
+    }
+}
+
+#[test]
+fn alltoall_transposes() {
+    for &p in SIZES {
+        let spec = presets::zero_cost(p);
+        let out = run_spmd_default(&spec, |c| {
+            let send: Vec<Vec<f64>> =
+                (0..c.size()).map(|d| vec![(c.rank() * 10 + d) as f64]).collect();
+            c.alltoall_f64s(&send)
+        })
+        .unwrap();
+        for (rank, recv) in out.per_rank.iter().enumerate() {
+            for (src, block) in recv.iter().enumerate() {
+                assert_eq!(*block, vec![(src * 10 + rank) as f64], "p={p} rank={rank} src={src}");
+            }
+        }
+    }
+}
+
+#[test]
+fn scan_computes_rank_ordered_prefixes() {
+    for &p in SIZES {
+        let spec = presets::zero_cost(p);
+        let out = run_spmd_default(&spec, |c| {
+            let mut buf = vec![(c.rank() + 1) as f64];
+            c.scan_f64s(&mut buf, ReduceOp::Sum);
+            buf[0]
+        })
+        .unwrap();
+        for (rank, got) in out.per_rank.iter().enumerate() {
+            let expect: f64 = (1..=rank + 1).map(|v| v as f64).sum();
+            assert_eq!(*got, expect, "p={p} rank={rank}");
+        }
+    }
+}
+
+#[test]
+fn broadcast_u64_is_bit_exact() {
+    let spec = presets::zero_cost(6);
+    for value in [0u64, 1, u64::MAX, 0x7FF0_0000_0000_0001 /* would be a signaling NaN */] {
+        let out = run_spmd_default(&spec, |c| {
+            let v = if c.rank() == 2 { value } else { 0 };
+            c.broadcast_u64(2, v)
+        })
+        .unwrap();
+        assert!(out.per_rank.iter().all(|&v| v == value), "value={value:#x}");
+    }
+}
+
+#[test]
+fn allreduce_scalar_sums() {
+    let spec = presets::zero_cost(7);
+    let out = run_spmd_default(&spec, |c| c.allreduce_scalar(c.rank() as f64, ReduceOp::Sum))
+        .unwrap();
+    assert!(out.per_rank.iter().all(|&v| v == 21.0));
+}
+
+#[test]
+fn back_to_back_collectives_do_not_cross_talk() {
+    // Interleave several collectives; tag sequencing must keep them apart.
+    let spec = presets::zero_cost(5);
+    let out = run_spmd_default(&spec, |c| {
+        let mut a = vec![c.rank() as f64];
+        c.allreduce_f64s(&mut a, ReduceOp::Sum);
+        c.barrier();
+        let mut b = vec![1.0];
+        c.allreduce_f64s(&mut b, ReduceOp::Sum);
+        let s = c.allreduce_scalar(2.0, ReduceOp::Max);
+        (a[0], b[0], s)
+    })
+    .unwrap();
+    for (a, b, s) in out.per_rank {
+        assert_eq!(a, 10.0);
+        assert_eq!(b, 5.0);
+        assert_eq!(s, 2.0);
+    }
+}
+
+#[test]
+fn point_to_point_tags_match_out_of_order() {
+    // Rank 0 sends tag 1 then tag 2; rank 1 receives tag 2 first. The
+    // stash must hold the tag-1 message until it is asked for.
+    let spec = presets::zero_cost(2);
+    let out = run_spmd_default(&spec, |c| {
+        if c.rank() == 0 {
+            c.send_f64s(1, 1, &[10.0]);
+            c.send_f64s(1, 2, &[20.0]);
+            (0.0, 0.0)
+        } else {
+            let b = c.recv_f64s(0, 2)[0];
+            let a = c.recv_f64s(0, 1)[0];
+            (a, b)
+        }
+    })
+    .unwrap();
+    assert_eq!(out.per_rank[1], (10.0, 20.0));
+}
+
+#[test]
+fn self_send_is_allowed() {
+    let spec = presets::zero_cost(3);
+    let out = run_spmd_default(&spec, |c| {
+        let me = c.rank();
+        c.send_f64s(me, 7, &[me as f64]);
+        c.recv_f64s(me, 7)[0]
+    })
+    .unwrap();
+    assert_eq!(out.per_rank, vec![0.0, 1.0, 2.0]);
+}
+
+#[test]
+fn hierarchical_allreduce_via_subcomms_matches_flat() {
+    // Compose a two-level allreduce from sub-communicators (reduce within
+    // node groups, allreduce across group leaders, broadcast back down) —
+    // the classic hierarchy for clustered machines — and check it equals
+    // the flat allreduce.
+    let p = 8;
+    let groups = 2; // two "nodes" of 4 ranks
+    let spec = presets::zero_cost(p);
+    let out = run_spmd_default(&spec, |c| {
+        let mut flat: Vec<f64> = (0..5).map(|i| (c.rank() * 5 + i) as f64).collect();
+        let mut hier = flat.clone();
+
+        // Flat reference.
+        c.allreduce_f64s(&mut flat, ReduceOp::Sum);
+
+        // Hierarchical: intra-group allreduce...
+        let color = (c.rank() % groups) as u32;
+        {
+            let mut node = c.split(color);
+            node.allreduce_f64s(&mut hier, ReduceOp::Sum);
+        }
+        // ...then leaders (sub-rank 0 of each group) combine across
+        // groups while everyone else parks in a throwaway color...
+        let is_leader = c.rank() < groups; // world ranks 0..groups are the leaders
+        {
+            let mut leaders = c.split(if is_leader { 1000 } else { 1001 + color });
+            if is_leader {
+                leaders.allreduce_f64s(&mut hier, ReduceOp::Sum);
+            }
+        }
+        // ...and each leader broadcasts the global result down its group.
+        {
+            let mut node = c.split(color);
+            node.broadcast_f64s(0, &mut hier);
+        }
+        (flat, hier)
+    })
+    .unwrap();
+    for (rank, (flat, hier)) in out.per_rank.iter().enumerate() {
+        for (a, b) in flat.iter().zip(hier) {
+            assert!((a - b).abs() < 1e-9, "rank {rank}: {a} vs {b}");
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Configuration of a P-AutoClass run: parallelization strategy, the
+//! statistics-exchange pattern, and the data decomposition.
+
+use autoclass::data::{block_partition, weighted_partition};
+use autoclass::search::SearchConfig;
+
+/// How the global sufficient statistics are exchanged in the parallel
+/// `update_parameters`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Exchange {
+    /// One Allreduce per (class, attribute) statistics block — the
+    /// pattern in the paper's Figure 5, where the reduction sits inside
+    /// the class/attribute loops. Many small latency-bound messages.
+    PerTerm,
+    /// A single Allreduce of the whole flat statistics vector — the
+    /// natural fusion optimization; one of the ablations in `bench`.
+    Fused,
+}
+
+/// Which functions are parallelized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// The paper's P-AutoClass: both `update_wts` and `update_parameters`
+    /// run on partitions, with Allreduce combining partial results.
+    Full {
+        /// Statistics exchange pattern.
+        exchange: Exchange,
+    },
+    /// The earlier MIMD prototype the paper compares against (Miller &
+    /// Guo): only `update_wts` is parallel; the full weight matrix is
+    /// gathered to rank 0, which computes the parameters sequentially and
+    /// broadcasts them.
+    WtsOnly,
+}
+
+impl Default for Strategy {
+    fn default() -> Self {
+        Strategy::Full { exchange: Exchange::PerTerm }
+    }
+}
+
+/// How the dataset is decomposed across processors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Partitioning {
+    /// Equal-sized contiguous blocks — the paper's decomposition, which
+    /// needs no load balancing on a homogeneous machine.
+    Block,
+    /// Contiguous blocks proportional to the given per-rank weights (one
+    /// per rank) — e.g. relative processor speeds on a heterogeneous
+    /// machine. See the `ablation_imbalance` bench.
+    Weighted(Vec<f64>),
+}
+
+impl Partitioning {
+    /// The per-rank row ranges for `n` items over `p` processors.
+    ///
+    /// # Panics
+    /// Panics if `Weighted` weights don't count `p` entries.
+    pub fn ranges(&self, n: usize, p: usize) -> Vec<std::ops::Range<usize>> {
+        match self {
+            Partitioning::Block => block_partition(n, p),
+            Partitioning::Weighted(w) => {
+                assert_eq!(w.len(), p, "need one partition weight per rank");
+                weighted_partition(n, w)
+            }
+        }
+    }
+}
+
+/// Full configuration of a parallel search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelConfig {
+    /// The search settings (shared with sequential AutoClass).
+    pub search: SearchConfig,
+    /// Parallelization strategy.
+    pub strategy: Strategy,
+    /// Data decomposition.
+    pub partition: Partitioning,
+    /// Blocks of real attributes modeled with full covariance
+    /// (`multi_normal_cn`); empty = all attributes independent. See
+    /// [`autoclass::Model::with_correlated`].
+    pub correlated_blocks: Vec<Vec<usize>>,
+}
+
+impl Default for ParallelConfig {
+    fn default() -> Self {
+        ParallelConfig {
+            search: SearchConfig::default(),
+            strategy: Strategy::default(),
+            partition: Partitioning::Block,
+            correlated_blocks: Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = ParallelConfig::default();
+        assert_eq!(c.strategy, Strategy::Full { exchange: Exchange::PerTerm });
+        assert_eq!(c.search.start_j_list, vec![2, 4, 8, 16, 24, 50, 64]);
+    }
+}

@@ -1,0 +1,190 @@
+//! Top-level P-AutoClass entry points: run the full search — or a
+//! fixed-size cycling run for scaleup measurements — on a simulated
+//! multicomputer.
+
+use autoclass::data::Dataset;
+use autoclass::model::{converged, derive_seed, WtsMatrix};
+use autoclass::search::{apply_class_death, is_duplicate, Classification};
+use mpsim::{run_spmd, Comm, MachineSpec, RankStats, RunStats, SimError, SimOptions};
+
+use crate::config::ParallelConfig;
+use crate::driver::{build_model, init_classes_parallel, parallel_base_cycle};
+
+/// Result of a parallel search. Every rank computes identical
+/// classifications (the semantics-preservation property); the values here
+/// are rank 0's.
+#[derive(Debug, Clone)]
+pub struct ParallelOutcome {
+    /// Best classification by Cheeseman–Stutz score.
+    pub best: Classification,
+    /// All retained classifications, best first, duplicates removed.
+    pub all: Vec<Classification>,
+    /// Elapsed virtual time of the whole run (max over ranks), seconds.
+    pub elapsed: f64,
+    /// Per-rank time/traffic statistics.
+    pub ranks: Vec<RankStats>,
+    /// Aggregate statistics.
+    pub stats: RunStats,
+    /// Total EM cycles executed across all tries.
+    pub cycles: usize,
+}
+
+/// The per-rank body of the search, shared by [`run_search`].
+fn search_rank_body(
+    comm: &mut Comm,
+    data: &Dataset,
+    config: &ParallelConfig,
+) -> (Vec<Classification>, usize) {
+    let parts = config.partition.ranges(data.len(), comm.size());
+    let part = &parts[comm.rank()];
+    let view = data.view(part.start, part.end);
+    let model = build_model(comm, &view, &config.correlated_blocks);
+    let sc = &config.search;
+
+    let mut all: Vec<Classification> = Vec::new();
+    let mut total_cycles = 0usize;
+    let mut wts = WtsMatrix::new(0, 0);
+
+    for (ji, &j) in sc.start_j_list.iter().enumerate() {
+        for t in 0..sc.tries_per_j {
+            let seed = derive_seed(sc.seed, (ji * sc.tries_per_j + t) as u64);
+            let mut classes = init_classes_parallel(comm, &model, &view, j, seed);
+            let mut prev_ll = f64::NEG_INFINITY;
+            let mut cycles = 0usize;
+            let mut did_converge = false;
+            let mut approx = autoclass::model::Approximation {
+                log_likelihood: f64::NEG_INFINITY,
+                complete_ll: f64::NEG_INFINITY,
+                complete_marginal: f64::NEG_INFINITY,
+                cs_score: f64::NEG_INFINITY,
+            };
+            while cycles < sc.max_cycles {
+                let (new_classes, a) =
+                    parallel_base_cycle(comm, &model, &view, &classes, &mut wts, config.strategy);
+                classes = new_classes;
+                approx = a;
+                cycles += 1;
+                // Global statistics are identical on every rank, so the
+                // class-death and convergence decisions are too — no
+                // extra coordination message is needed.
+                if apply_class_death(&mut classes, sc.min_class_weight) {
+                    prev_ll = f64::NEG_INFINITY;
+                    continue;
+                }
+                if converged(prev_ll, a.log_likelihood, sc.rel_delta_ll) {
+                    did_converge = true;
+                    break;
+                }
+                prev_ll = a.log_likelihood;
+            }
+            total_cycles += cycles;
+            classes.sort_by(|a, b| b.weight.total_cmp(&a.weight));
+            let log_prior = autoclass::model::log_param_prior(&model, &classes);
+            let c = Classification {
+                classes,
+                j_initial: j,
+                approx,
+                log_prior,
+                cycles,
+                converged: did_converge,
+                seed,
+            };
+            if !all.iter().any(|existing| is_duplicate(existing, &c)) {
+                all.push(c);
+            }
+        }
+    }
+    all.sort_by(|a, b| b.score().total_cmp(&a.score()));
+    all.truncate(sc.max_stored);
+    (all, total_cycles)
+}
+
+/// Run the full P-AutoClass search on the given (simulated) machine.
+///
+/// # Errors
+/// Propagates engine failures (rank panics, deadlock timeouts).
+pub fn run_search(
+    data: &Dataset,
+    machine: &MachineSpec,
+    config: &ParallelConfig,
+) -> Result<ParallelOutcome, SimError> {
+    run_search_with(data, machine, config, &SimOptions::default())
+}
+
+/// [`run_search`] with explicit engine options (longer receive timeouts
+/// for very large workloads).
+pub fn run_search_with(
+    data: &Dataset,
+    machine: &MachineSpec,
+    config: &ParallelConfig,
+    opts: &SimOptions,
+) -> Result<ParallelOutcome, SimError> {
+    let out = run_spmd(machine, opts, |comm| search_rank_body(comm, data, config))?;
+    let (all, cycles) = out.per_rank.into_iter().next().expect("at least one rank");
+    let best = all.first().expect("at least one classification").clone();
+    Ok(ParallelOutcome {
+        best,
+        all,
+        elapsed: out.elapsed,
+        ranks: out.ranks,
+        stats: out.stats,
+        cycles,
+    })
+}
+
+/// Timing of a fixed-J cycling run (the paper's scaleup measurement:
+/// Figure 8 times single `base_cycle` iterations at J = 8 and 16).
+#[derive(Debug, Clone)]
+pub struct CycleTiming {
+    /// Virtual seconds spent in the measured cycles (max over ranks).
+    pub elapsed: f64,
+    /// Number of cycles measured.
+    pub cycles: usize,
+    /// Elapsed / cycles.
+    pub per_cycle: f64,
+    /// Per-rank statistics for the whole run (including setup).
+    pub ranks: Vec<RankStats>,
+    /// Final global log likelihood (sanity output).
+    pub log_likelihood: f64,
+}
+
+/// Run exactly `n_cycles` parallel base cycles at a fixed class count
+/// (no class death, no convergence exit) and time them in virtual time.
+pub fn run_fixed_j(
+    data: &Dataset,
+    machine: &MachineSpec,
+    j: usize,
+    n_cycles: usize,
+    seed: u64,
+    config: &ParallelConfig,
+) -> Result<CycleTiming, SimError> {
+    let out = run_spmd(machine, &SimOptions::default(), |comm| {
+        let parts = config.partition.ranges(data.len(), comm.size());
+        let part = &parts[comm.rank()];
+        let view = data.view(part.start, part.end);
+        let model = build_model(comm, &view, &config.correlated_blocks);
+        let mut classes = init_classes_parallel(comm, &model, &view, j, seed);
+        let mut wts = WtsMatrix::new(0, 0);
+        // Synchronize before the measured window so stragglers from setup
+        // don't leak into the cycle timing.
+        comm.barrier();
+        let t0 = comm.now();
+        let mut ll = f64::NEG_INFINITY;
+        for _ in 0..n_cycles {
+            let (new_classes, a) =
+                parallel_base_cycle(comm, &model, &view, &classes, &mut wts, config.strategy);
+            classes = new_classes;
+            ll = a.log_likelihood;
+        }
+        (comm.now() - t0, ll)
+    })?;
+    let elapsed = out.per_rank.iter().map(|(dt, _)| *dt).fold(0.0, f64::max);
+    let log_likelihood = out.per_rank[0].1;
+    Ok(CycleTiming {
+        elapsed,
+        cycles: n_cycles,
+        per_cycle: elapsed / n_cycles.max(1) as f64,
+        ranks: out.ranks,
+        log_likelihood,
+    })
+}

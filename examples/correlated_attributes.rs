@@ -1,0 +1,65 @@
+//! Model-structure search: AutoClass's second search level. Given data
+//! whose attributes are strongly correlated *within* classes, compare the
+//! default independent-attribute structure (`single_normal_cn`) against a
+//! full-covariance block (`multi_normal_cn`) by their Cheeseman–Stutz
+//! marginal scores, then run the winning structure in parallel.
+//!
+//! Run with: `cargo run --example correlated_attributes --release`
+
+use autoclass::search::{compare_structures, SearchConfig};
+use pautoclass::{run_search, ParallelConfig};
+
+fn main() {
+    // Three clusters whose two measurements co-vary strongly (ρ = 0.8) —
+    // think height/weight or two correlated spectral bands.
+    let rho = 0.8;
+    let (data, _) = datagen::correlated_blobs(3, 12.0, rho, 3_000, 2026);
+    println!(
+        "{} tuples, 2 real attributes, within-class correlation ρ = {rho}\n",
+        data.len()
+    );
+
+    // Structure search: {x0, x1 independent} vs {x0×x1 jointly Gaussian}.
+    let config = SearchConfig {
+        start_j_list: vec![2, 3, 4],
+        tries_per_j: 3,
+        max_cycles: 60,
+        ..SearchConfig::default()
+    };
+    let ranked = compare_structures(
+        &data.full_view(),
+        &[vec![], vec![vec![0, 1]]],
+        &config,
+    );
+    println!("structure ranking (Cheeseman–Stutz score, higher wins):");
+    for (blocks, result) in &ranked {
+        let name = if blocks.is_empty() { "independent x0, x1" } else { "correlated x0×x1" };
+        println!(
+            "  {name:<20} score {:>10.1}  ({} classes, {} cycles)",
+            result.best.score(),
+            result.best.n_classes(),
+            result.best.cycles
+        );
+    }
+    let winner = &ranked[0];
+    assert_eq!(winner.0, vec![vec![0, 1]], "correlated structure should win");
+    println!(
+        "\nthe correlated structure wins by {:.1} nats — the model-level\n\
+         search discovered the attribute dependency from the data alone.",
+        winner.1.best.score() - ranked[1].1.best.score()
+    );
+
+    // Run the winning structure with P-AutoClass on the simulated CS-2.
+    let pconfig = ParallelConfig {
+        search: config,
+        correlated_blocks: winner.0.clone(),
+        ..ParallelConfig::default()
+    };
+    let out = run_search(&data, &mpsim::presets::meiko_cs2(8), &pconfig).expect("run");
+    println!(
+        "\nP-AutoClass (8 simulated procs, correlated structure): {} classes in \
+         {:.1} virtual seconds",
+        out.best.n_classes(),
+        out.elapsed
+    );
+}

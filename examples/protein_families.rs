@@ -1,0 +1,87 @@
+//! Protein-family discovery from categorical sequence data — the Hunter &
+//! States use case the paper cites (Bayesian classification of protein
+//! structure, 300–400 hours of sequential discovery time).
+//!
+//! AutoClass's multinomial terms handle purely categorical data natively,
+//! which hard-assignment k-means cannot; this example exercises the
+//! discrete-attribute code path end to end, including missing residues.
+//!
+//! Run with: `cargo run --example protein_families --release`
+
+use autoclass::data::{GlobalStats, Value};
+use autoclass::predict::posterior;
+use autoclass::search::SearchConfig;
+use autoclass::Model;
+use pautoclass::{run_search, ParallelConfig};
+
+fn main() {
+    let n = 1_500;
+    let positions = 12; // aligned residue positions
+    let alphabet = 6; // coarse residue classes
+    let families = 4;
+    let (data, truth) = datagen::protein_sequences(n, positions, alphabet, families, 7);
+    // Real sequence data has gaps: knock out 5 % of residues.
+    let data = datagen::inject_missing(&data, 0.05, 13);
+    println!(
+        "{n} sequences x {positions} positions over a {alphabet}-letter alphabet, \
+         {families} planted families, 5% gaps\n"
+    );
+
+    let config = ParallelConfig {
+        search: SearchConfig {
+            start_j_list: vec![2, 4, 6],
+            tries_per_j: 2,
+            max_cycles: 50,
+            ..SearchConfig::default()
+        },
+        ..ParallelConfig::default()
+    };
+    let machine = mpsim::presets::meiko_cs2(6);
+    let out = run_search(&data, &machine, &config).expect("simulated run");
+    println!(
+        "found {} families (CS score {:.1}) in {:.1} virtual seconds on 6 procs",
+        out.best.n_classes(),
+        out.best.score(),
+        out.elapsed
+    );
+
+    // Family recovery: map each discovered class to its dominant truth
+    // family and measure agreement.
+    let stats = GlobalStats::compute(&data.full_view());
+    let model = Model::new(data.schema().clone(), &stats);
+    let view = data.full_view();
+    let j = out.best.n_classes();
+    let mut confusion = vec![vec![0usize; families]; j];
+    let mut confident = 0usize;
+    for i in 0..n {
+        let row: Vec<Value> = (0..positions)
+            .map(|p| {
+                let l = view.discrete_column(p)[i];
+                if l == autoclass::data::MISSING_DISCRETE {
+                    Value::Missing
+                } else {
+                    Value::Discrete(l)
+                }
+            })
+            .collect();
+        let post = posterior(&model, &out.best.classes, &row);
+        let (cls, &p) =
+            post.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap();
+        if p > 0.9 {
+            confident += 1;
+        }
+        confusion[cls][truth[i]] += 1;
+    }
+    let agree: usize = confusion.iter().map(|row| row.iter().max().copied().unwrap_or(0)).sum();
+    println!("family agreement: {:.1}%", 100.0 * agree as f64 / n as f64);
+    println!(
+        "sequences with >0.9 posterior in one family: {:.1}%",
+        100.0 * confident as f64 / n as f64
+    );
+    println!(
+        "(the paper's §2 point: well-separated classes give near-0.99 memberships,\n\
+         overlapping ones hedge — membership is probabilistic, not crisp)"
+    );
+    assert_eq!(out.best.n_classes(), families, "should recover the planted family count");
+    assert!(agree as f64 > 0.9 * n as f64, "families should be recovered cleanly");
+}

@@ -1,0 +1,59 @@
+//! Quickstart: cluster a small synthetic dataset sequentially, inspect the
+//! report, then run the same search on a simulated 8-processor
+//! multicomputer and compare results and (virtual) runtimes.
+//!
+//! Run with: `cargo run --example quickstart --release`
+
+use autoclass::data::GlobalStats;
+use autoclass::report::report;
+use autoclass::search::{search, SearchConfig};
+use autoclass::Model;
+use pautoclass::{run_search, ParallelConfig};
+
+fn main() {
+    // 1. A dataset with three planted Gaussian clusters in 2-D.
+    let mixture = datagen::GaussianMixture::well_separated(3, 2, 12.0);
+    let (data, _labels) = mixture.generate(3_000, 42);
+    println!("dataset: {} tuples x {} real attributes\n", data.len(), data.schema().len());
+
+    // 2. Sequential AutoClass: search over candidate class counts.
+    let config = SearchConfig {
+        start_j_list: vec![2, 3, 4, 8],
+        tries_per_j: 2,
+        max_cycles: 60,
+        ..SearchConfig::default()
+    };
+    let t0 = std::time::Instant::now();
+    let seq = search(&data.full_view(), &config);
+    println!(
+        "sequential AutoClass: best = {} classes (CS score {:.1}) in {:.2}s host time",
+        seq.best.n_classes(),
+        seq.best.score(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    // 3. The influence report (which attributes define each class).
+    let stats = GlobalStats::compute(&data.full_view());
+    let model = Model::new(data.schema().clone(), &stats);
+    println!("\n{}", report(&model, &stats, &seq.best));
+
+    // 4. P-AutoClass on a simulated 8-processor Meiko CS-2: identical
+    //    semantics, and the virtual clock reports parallel elapsed time.
+    let machine = mpsim::presets::meiko_cs2(8);
+    let pconfig = ParallelConfig { search: config, ..ParallelConfig::default() };
+    let par = run_search(&data, &machine, &pconfig).expect("simulated run");
+    println!(
+        "P-AutoClass on 8 simulated processors: best = {} classes (CS score {:.1})",
+        par.best.n_classes(),
+        par.best.score()
+    );
+    println!("virtual elapsed: {:.3}s  ({} EM cycles total)", par.elapsed, par.cycles);
+    let single = run_search(&data, &mpsim::presets::meiko_cs2(1), &pconfig).expect("run");
+    println!(
+        "virtual elapsed on 1 processor: {:.3}s  -> speedup {:.2}x",
+        single.elapsed,
+        single.elapsed / par.elapsed
+    );
+    assert_eq!(par.best.n_classes(), seq.best.n_classes());
+    println!("\nsequential and parallel searches agree.");
+}

@@ -1,0 +1,85 @@
+//! Satellite-image segmentation: the workload AutoClass is famous for
+//! (the Landsat/TM classification in Kanefsky et al. 1994 took the
+//! sequential system more than 130 hours — the paper's §3 motivation).
+//!
+//! We generate a synthetic multi-band raster with spatially coherent land
+//! covers, cluster the pixel spectra with P-AutoClass on a simulated
+//! 10-processor machine, and measure how well the discovered classes
+//! recover the planted covers (cluster purity), plus the virtual-time
+//! speedup over one processor.
+//!
+//! Run with: `cargo run --example satellite_segmentation --release`
+
+use autoclass::data::Value;
+use autoclass::predict::classify;
+use autoclass::search::SearchConfig;
+use autoclass::{data::GlobalStats, Model};
+use pautoclass::{run_search, ParallelConfig};
+
+fn main() {
+    let side = 48; // 48x48 pixels = 2 304 tuples
+    let bands = 4; // e.g. visible + near-infrared channels
+    let covers = 5;
+    let (image, truth) = datagen::satellite_image(side, bands, covers, 2024);
+    println!(
+        "synthetic scene: {side}x{side} pixels, {bands} spectral bands, {covers} land covers\n"
+    );
+
+    let config = ParallelConfig {
+        search: SearchConfig {
+            start_j_list: vec![2, 4, 6, 8],
+            tries_per_j: 2,
+            max_cycles: 60,
+            ..SearchConfig::default()
+        },
+        ..ParallelConfig::default()
+    };
+
+    let m10 = mpsim::presets::meiko_cs2(10);
+    let out = run_search(&image, &m10, &config).expect("simulated run");
+    let m1 = mpsim::presets::meiko_cs2(1);
+    let seq = run_search(&image, &m1, &config).expect("simulated run");
+
+    println!(
+        "P-AutoClass found {} spectral classes (CS score {:.1})",
+        out.best.n_classes(),
+        out.best.score()
+    );
+    println!(
+        "virtual time: {:.1}s on 10 procs vs {:.1}s on 1 proc -> speedup {:.2}x",
+        out.elapsed,
+        seq.elapsed,
+        seq.elapsed / out.elapsed
+    );
+
+    // Cluster purity: assign each pixel to its MAP class and check how
+    // concentrated each class is on a single planted cover.
+    let stats = GlobalStats::compute(&image.full_view());
+    let model = Model::new(image.schema().clone(), &stats);
+    let view = image.full_view();
+    let j = out.best.n_classes();
+    let mut confusion = vec![vec![0usize; covers]; j];
+    for i in 0..image.len() {
+        let row: Vec<Value> =
+            (0..bands).map(|b| Value::Real(view.real_column(b)[i])).collect();
+        let (cls, _) = classify(&model, &out.best.classes, &row);
+        confusion[cls][truth[i]] += 1;
+    }
+    let mut pure = 0usize;
+    println!("\nclass -> dominant land cover (purity):");
+    for (c, row) in confusion.iter().enumerate() {
+        let total: usize = row.iter().sum();
+        if total == 0 {
+            continue;
+        }
+        let (cover, &hits) = row.iter().enumerate().max_by_key(|&(_, &h)| h).unwrap();
+        pure += hits;
+        println!(
+            "  class {c}: cover {cover} ({:.1}% of {total} pixels)",
+            100.0 * hits as f64 / total as f64
+        );
+    }
+    let purity = pure as f64 / image.len() as f64;
+    println!("\noverall purity: {:.1}%", 100.0 * purity);
+    assert!(purity > 0.8, "segmentation should recover the planted covers");
+}

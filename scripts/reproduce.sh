@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Regenerate every experiment in EXPERIMENTS.md into results/.
+# Usage: scripts/reproduce.sh [--full]
+# --full uses the paper's start_j_list (2,4,8,16,24,50,64); expect a long run.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mode="${1:-}"
+out=results
+mkdir -p "$out"
+
+run() {
+    local name="$1"; shift
+    echo "=== $name ==="
+    cargo run -p bench --bin "$name" --release -- "$@" | tee "$out/$name.txt"
+}
+
+cargo build --workspace --release
+
+run fig6 $mode
+run fig7 $mode
+run fig8
+run profile_phases
+run ablation_strategy
+run ablation_allreduce
+run ablation_imbalance
+run seq_scaling
+
+echo "=== criterion benches ==="
+cargo bench --workspace | tee "$out/criterion.txt"
+
+echo
+echo "All experiment outputs are in $out/; compare against EXPERIMENTS.md."

@@ -1,0 +1,331 @@
+//! Command-line AutoClass: cluster a CSV dataset and print the report —
+//! the workflow of AutoClass C's `autoclass -search data.db2 data.hd2 ...`,
+//! with the `.hd2` header replaced by a small schema file.
+//!
+//! ```text
+//! autoclass --data items.csv --schema items.schema \
+//!           [--procs 8] [--j 2,4,8] [--tries 2] [--max-cycles 100] \
+//!           [--seed 42] [--assign out.csv]
+//! ```
+//!
+//! Schema file format, one attribute per line (matching the CSV columns):
+//!
+//! ```text
+//! # comments and blank lines are ignored
+//! age       real 0.5
+//! mass      positive_real 0.01
+//! channel   discrete mobile,web,store
+//! segment   discrete 4            # 4 unnamed levels (CSV holds 0..3)
+//! ```
+//!
+//! With `--procs P` the search runs on a simulated P-processor Meiko CS-2
+//! (deterministic virtual timing); without it, plain sequential AutoClass.
+
+use std::fs::File;
+use std::io::Write as _;
+use std::process::ExitCode;
+
+use autoclass::data::{read_csv, Attribute, GlobalStats, Schema, Value};
+use autoclass::predict::classify;
+use autoclass::report::report;
+use autoclass::search::SearchConfig;
+use autoclass::Model;
+use p_autoclass as _;
+use pautoclass::{run_search, ParallelConfig};
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}");
+    eprintln!("run with --help for usage");
+    ExitCode::FAILURE
+}
+
+const HELP: &str = "\
+autoclass — Bayesian unsupervised classification (AutoClass reimplementation)
+
+USAGE:
+  autoclass --data FILE.csv --schema FILE.schema [OPTIONS]
+
+OPTIONS:
+  --data FILE        CSV data file (header row, '?' = missing)   [required]
+  --schema FILE      schema file (see below)                     [required]
+  --procs P          run P-AutoClass on a simulated P-processor Meiko CS-2
+  --j LIST           start_j_list, e.g. 2,4,8,16    [default: 2,4,8,16,24,50,64]
+  --tries N          random restarts per J          [default: 2]
+  --max-cycles N     EM cycle cap per try           [default: 200]
+  --seed S           random seed                    [default: 11307093]
+  --blocks SPEC      correlated attribute blocks, e.g. 0-1;2-3-4 (multi_normal_cn)
+  --assign FILE      write per-item class assignments + posteriors as CSV
+  --save FILE        save the search's classifications (AutoClass-style results file)
+  --load FILE        skip the search: load a results file and only predict
+  --help             this text
+
+SCHEMA FILE: one attribute per line, in CSV column order:
+  NAME real ERROR              real-valued, absolute measurement error
+  NAME positive_real ERROR     positive real modeled on the log scale
+  NAME discrete N              categorical with N unnamed levels (0..N-1)
+  NAME discrete a,b,c          categorical with named levels
+'#' starts a comment.";
+
+fn parse_schema(text: &str) -> Result<Schema, String> {
+    let mut attrs = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (name, kind, arg) = match (parts.next(), parts.next(), parts.next()) {
+            (Some(n), Some(k), Some(a)) => (n, k, a),
+            _ => return Err(format!("schema line {}: expected NAME KIND ARG", lineno + 1)),
+        };
+        let attr = match kind {
+            "real" => {
+                let err: f64 = arg
+                    .parse()
+                    .map_err(|_| format!("schema line {}: bad error {arg:?}", lineno + 1))?;
+                Attribute::real(name, err)
+            }
+            "positive_real" => {
+                let err: f64 = arg
+                    .parse()
+                    .map_err(|_| format!("schema line {}: bad error {arg:?}", lineno + 1))?;
+                Attribute::positive_real(name, err)
+            }
+            "discrete" => {
+                if let Ok(levels) = arg.parse::<usize>() {
+                    Attribute::discrete(name, levels)
+                } else {
+                    let names: Vec<String> = arg.split(',').map(str::to_string).collect();
+                    Attribute::discrete_named(name, names)
+                }
+            }
+            other => {
+                return Err(format!("schema line {}: unknown kind {other:?}", lineno + 1))
+            }
+        };
+        attrs.push(attr);
+    }
+    if attrs.is_empty() {
+        return Err("schema file has no attributes".into());
+    }
+    Ok(Schema::new(attrs))
+}
+
+struct Args {
+    data: String,
+    schema: String,
+    procs: Option<usize>,
+    j_list: Vec<usize>,
+    tries: usize,
+    max_cycles: usize,
+    seed: u64,
+    blocks: Vec<Vec<usize>>,
+    assign: Option<String>,
+    save: Option<String>,
+    load: Option<String>,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        data: String::new(),
+        schema: String::new(),
+        procs: None,
+        j_list: vec![2, 4, 8, 16, 24, 50, 64],
+        tries: 2,
+        max_cycles: 200,
+        seed: 11_307_093,
+        blocks: Vec::new(),
+        assign: None,
+        save: None,
+        load: None,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut val = || {
+            it.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--data" => args.data = val()?,
+            "--schema" => args.schema = val()?,
+            "--procs" => args.procs = Some(val()?.parse().map_err(|_| "bad --procs")?),
+            "--j" => {
+                args.j_list = val()?
+                    .split(',')
+                    .map(|s| s.parse().map_err(|_| format!("bad J value {s:?}")))
+                    .collect::<Result<_, _>>()?
+            }
+            "--tries" => args.tries = val()?.parse().map_err(|_| "bad --tries")?,
+            "--max-cycles" => args.max_cycles = val()?.parse().map_err(|_| "bad --max-cycles")?,
+            "--seed" => args.seed = val()?.parse().map_err(|_| "bad --seed")?,
+            "--assign" => args.assign = Some(val()?),
+            "--save" => args.save = Some(val()?),
+            "--load" => args.load = Some(val()?),
+            "--blocks" => {
+                args.blocks = val()?
+                    .split(';')
+                    .map(|b| {
+                        b.split('-')
+                            .map(|s| s.parse().map_err(|_| format!("bad block index {s:?}")))
+                            .collect::<Result<Vec<usize>, _>>()
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--help" | "-h" => return Err("help".into()),
+            other => return Err(format!("unknown flag {other:?}")),
+        }
+    }
+    if args.data.is_empty() || args.schema.is_empty() {
+        return Err("--data and --schema are required".into());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(e) if e == "help" => {
+            println!("{HELP}");
+            return ExitCode::SUCCESS;
+        }
+        Err(e) => return fail(&e),
+    };
+
+    let schema_text = match std::fs::read_to_string(&args.schema) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read schema {:?}: {e}", args.schema)),
+    };
+    let schema = match parse_schema(&schema_text) {
+        Ok(s) => s,
+        Err(e) => return fail(&e),
+    };
+    let file = match File::open(&args.data) {
+        Ok(f) => f,
+        Err(e) => return fail(&format!("cannot open data {:?}: {e}", args.data)),
+    };
+    let data = match read_csv(schema, file) {
+        Ok(d) => d,
+        Err(e) => return fail(&format!("cannot parse {:?}: {e}", args.data)),
+    };
+    eprintln!("loaded {} items x {} attributes", data.len(), data.schema().len());
+
+    let sconfig = SearchConfig {
+        start_j_list: args.j_list,
+        tries_per_j: args.tries,
+        max_cycles: args.max_cycles,
+        seed: args.seed,
+        ..SearchConfig::default()
+    };
+
+    // Either load a stored search result, or run the search.
+    let (all, blocks): (Vec<autoclass::Classification>, Vec<Vec<usize>>) =
+        if let Some(path) = &args.load {
+            let file = match File::open(path) {
+                Ok(f) => f,
+                Err(e) => return fail(&format!("cannot open {path:?}: {e}")),
+            };
+            match autoclass::store::read_results(std::io::BufReader::new(file)) {
+                Ok((all, blocks)) => {
+                    eprintln!("loaded {} classification(s) from {path}", all.len());
+                    (all, blocks)
+                }
+                Err(e) => return fail(&format!("cannot parse {path:?}: {e}")),
+            }
+        } else if let Some(p) = args.procs {
+            let machine = mpsim::presets::meiko_cs2(p);
+            let config = ParallelConfig {
+                search: sconfig,
+                correlated_blocks: args.blocks.clone(),
+                ..ParallelConfig::default()
+            };
+            match run_search(&data, &machine, &config) {
+                Ok(out) => {
+                    eprintln!(
+                        "P-AutoClass on {p} simulated processors: {:.2} virtual seconds, \
+                         {} cycles",
+                        out.elapsed, out.cycles
+                    );
+                    (out.all, args.blocks.clone())
+                }
+                Err(e) => return fail(&format!("simulated run failed: {e}")),
+            }
+        } else {
+            let t0 = std::time::Instant::now();
+            let stats = GlobalStats::compute(&data.full_view());
+            let model = if args.blocks.is_empty() {
+                Model::new(data.schema().clone(), &stats)
+            } else {
+                Model::with_correlated(data.schema().clone(), &stats, &args.blocks)
+            };
+            let result = autoclass::search::search_with_model(&data.full_view(), &model, &sconfig);
+            eprintln!(
+                "sequential search: {:.2}s host time, {} cycles, base_cycle {:.1}%",
+                t0.elapsed().as_secs_f64(),
+                result.profile.cycles,
+                100.0 * result.profile.base_cycle_fraction()
+            );
+            (result.all, args.blocks.clone())
+        };
+    let best = all.first().expect("at least one classification").clone();
+
+    let stats = GlobalStats::compute(&data.full_view());
+    let model = if blocks.is_empty() {
+        Model::new(data.schema().clone(), &stats)
+    } else {
+        Model::with_correlated(data.schema().clone(), &stats, &blocks)
+    };
+    if let Err(e) = autoclass::store::check_against_model(&model, &best) {
+        return fail(&format!("results do not match the data schema: {e}"));
+    }
+    println!("{}", report(&model, &stats, &best));
+
+    if let Some(path) = &args.save {
+        let mut file = match File::create(path) {
+            Ok(f) => f,
+            Err(e) => return fail(&format!("cannot create {path:?}: {e}")),
+        };
+        if let Err(e) = autoclass::store::write_results(&mut file, &all, &blocks) {
+            return fail(&format!("cannot write {path:?}: {e}"));
+        }
+        eprintln!("results saved to {path}");
+    }
+
+    if let Some(path) = args.assign {
+        let view = data.full_view();
+        let mut out = match File::create(&path) {
+            Ok(f) => f,
+            Err(e) => return fail(&format!("cannot create {path:?}: {e}")),
+        };
+        let mut text = String::from("item,class,posterior\n");
+        for i in 0..data.len() {
+            let row: Vec<Value> = (0..data.schema().len())
+                .map(|c| match &data.schema().attributes[c].kind {
+                    autoclass::data::AttributeKind::Real { .. }
+                    | autoclass::data::AttributeKind::PositiveReal { .. } => {
+                        let x = view.real_column(c)[i];
+                        if x.is_nan() {
+                            Value::Missing
+                        } else {
+                            Value::Real(x)
+                        }
+                    }
+                    autoclass::data::AttributeKind::Discrete { .. } => {
+                        let l = view.discrete_column(c)[i];
+                        if l == autoclass::data::MISSING_DISCRETE {
+                            Value::Missing
+                        } else {
+                            Value::Discrete(l)
+                        }
+                    }
+                })
+                .collect();
+            let (cls, post) = classify(&model, &best.classes, &row);
+            text.push_str(&format!("{i},{cls},{post:.6}\n"));
+        }
+        if let Err(e) = out.write_all(text.as_bytes()) {
+            return fail(&format!("cannot write {path:?}: {e}"));
+        }
+        eprintln!("assignments written to {path}");
+    }
+    ExitCode::SUCCESS
+}

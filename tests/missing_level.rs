@@ -1,0 +1,161 @@
+//! Tests of AutoClass's informative-missingness option: modeling
+//! "missing" as an explicit multinomial level, so a value's *absence*
+//! becomes evidence about class membership.
+
+use autoclass::data::{Column, Dataset, GlobalStats, Schema, Value, MISSING_DISCRETE};
+use autoclass::data::Attribute;
+use autoclass::predict::posterior;
+use autoclass::search::{search_with_model, SearchConfig};
+use autoclass::Model;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Two classes separable *only* by whether the discrete attribute is
+/// recorded: class 0 answers the survey question 95 % of the time, class
+/// 1 only 10 % of the time. The real attribute gives mild separation so
+/// the classes are findable, and the missingness pattern carries the
+/// rest of the signal.
+fn survey_data(n: usize, seed: u64) -> (Dataset, Vec<usize>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut xs = Vec::with_capacity(n);
+    let mut ds = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for _ in 0..n {
+        let class = usize::from(rng.gen_bool(0.5));
+        labels.push(class);
+        let center = if class == 0 { -1.5 } else { 1.5 };
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen_range(0.0..1.0);
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        xs.push(center + z);
+        let answers = if class == 0 { rng.gen_bool(0.95) } else { rng.gen_bool(0.10) };
+        if answers {
+            // The answer itself is uninformative (uniform over 2 levels).
+            ds.push(u32::from(rng.gen_bool(0.5)));
+        } else {
+            ds.push(MISSING_DISCRETE);
+        }
+    }
+    let schema = Schema::new(vec![Attribute::real("x", 0.05), Attribute::discrete("q", 2)]);
+    let data = Dataset::from_columns(schema, vec![Column::Real(xs), Column::Discrete(ds)]);
+    (data, labels)
+}
+
+fn fit(data: &Dataset, missing_level: bool, seed: u64) -> (Model, autoclass::Classification) {
+    let _ = seed; // search seeding is fixed; kept for call-site clarity
+    let stats = GlobalStats::compute(&data.full_view());
+    let model = Model::new(data.schema().clone(), &stats);
+    let model = if missing_level { model.with_missing_levels(&[1]) } else { model };
+    let config = SearchConfig {
+        start_j_list: vec![2],
+        tries_per_j: 3,
+        max_cycles: 60,
+        ..SearchConfig::default()
+    };
+    let r = search_with_model(&data.full_view(), &model, &config);
+    (model, r.best)
+}
+
+#[test]
+fn missing_level_changes_term_shapes() {
+    let (data, _) = survey_data(400, 1);
+    let stats = GlobalStats::compute(&data.full_view());
+    let base = Model::new(data.schema().clone(), &stats);
+    let with = base.clone().with_missing_levels(&[1]);
+    // One extra statistics slot and one extra parameter slot.
+    assert_eq!(with.groups[1].prior.stat_len(), base.groups[1].prior.stat_len() + 1);
+    assert_eq!(with.class_param_len(), base.class_param_len() + 1);
+}
+
+#[test]
+fn missingness_becomes_evidence() {
+    let (data, labels) = survey_data(2_000, 7);
+    let (model, best) = fit(&data, true, 7);
+    assert_eq!(best.n_classes(), 2);
+
+    // A row that is *only* "didn't answer" (x missing too) should lean
+    // toward the low-response class far more than the mixture prior.
+    let p_missing = posterior(&model, &best.classes, &[Value::Missing, Value::Missing]);
+    let p_answered =
+        posterior(&model, &best.classes, &[Value::Missing, Value::Discrete(0)]);
+    // The two posteriors must pull in opposite directions.
+    let lean_missing = p_missing[0].max(p_missing[1]);
+    assert!(
+        lean_missing > 0.7,
+        "missingness alone should be informative: {p_missing:?}"
+    );
+    let argmax = |p: &[f64]| usize::from(p[1] > p[0]);
+    assert_ne!(
+        argmax(&p_missing),
+        argmax(&p_answered),
+        "answering vs not answering should indicate different classes: \
+         {p_missing:?} vs {p_answered:?}"
+    );
+
+    // Accuracy on the planted labels should clearly beat chance and the
+    // missing-at-random model (which can only use x).
+    let view = data.full_view();
+    let classify_all = |model: &Model, best: &autoclass::Classification| -> f64 {
+        let mut agree = [[0usize; 2]; 2];
+        for i in 0..data.len() {
+            let d = view.discrete_column(1)[i];
+            let row = vec![
+                Value::Real(view.real_column(0)[i]),
+                if d == MISSING_DISCRETE { Value::Missing } else { Value::Discrete(d) },
+            ];
+            let p = posterior(model, &best.classes, &row);
+            agree[usize::from(p[1] > p[0])][labels[i]] += 1;
+        }
+        let diag = agree[0][0] + agree[1][1];
+        let anti = agree[0][1] + agree[1][0];
+        diag.max(anti) as f64 / data.len() as f64
+    };
+    let acc_with = classify_all(&model, &best);
+    let (model_mar, best_mar) = fit(&data, false, 7);
+    let acc_without = classify_all(&model_mar, &best_mar);
+    assert!(acc_with > 0.85, "informative-missingness accuracy {acc_with}");
+    assert!(
+        acc_with > acc_without + 0.03,
+        "modeling missingness should help: {acc_with} vs {acc_without}"
+    );
+}
+
+#[test]
+fn parallel_run_supports_missing_levels_via_model() {
+    // The missing-level model flows through the same kernels, so the
+    // partitioned E/M steps must still merge to the whole-data result.
+    use autoclass::data::block_partition;
+    use autoclass::model::{init_classes, update_wts, StatLayout, SuffStats, WtsMatrix};
+    let (data, _) = survey_data(600, 11);
+    let stats = GlobalStats::compute(&data.full_view());
+    let model = Model::new(data.schema().clone(), &stats).with_missing_levels(&[1]);
+    let classes = init_classes(&model, &data.full_view(), 2, 3);
+
+    let mut wts = WtsMatrix::new(0, 0);
+    update_wts(&model, &data.full_view(), &classes, &mut wts);
+    let mut whole = SuffStats::zeros(StatLayout::new(&model, 2));
+    whole.accumulate(&model, &data.full_view(), &wts);
+
+    let mut parts = SuffStats::zeros(StatLayout::new(&model, 2));
+    for r in block_partition(data.len(), 4) {
+        let view = data.view(r.start, r.end);
+        let mut w = WtsMatrix::new(0, 0);
+        update_wts(&model, &view, &classes, &mut w);
+        parts.accumulate(&model, &view, &w);
+    }
+    for (a, b) in parts.data.iter().zip(&whole.data) {
+        assert!((a - b).abs() < 1e-9 * b.abs().max(1.0), "{a} vs {b}");
+    }
+    // The missing slot actually accumulated weight.
+    let missing_slot_total: f64 =
+        (0..2).map(|c| whole.attr_stats(c, 1).last().copied().unwrap()).sum();
+    assert!(missing_slot_total > 100.0, "{missing_slot_total}");
+}
+
+#[test]
+#[should_panic(expected = "is not discrete")]
+fn missing_level_rejects_real_attributes() {
+    let (data, _) = survey_data(50, 1);
+    let stats = GlobalStats::compute(&data.full_view());
+    let _ = Model::new(data.schema().clone(), &stats).with_missing_levels(&[0]);
+}

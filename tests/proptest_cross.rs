@@ -1,0 +1,198 @@
+//! Cross-crate property tests: invariants that must hold for arbitrary
+//! datasets, partitionings, and machine sizes.
+
+use autoclass::data::{block_partition, GlobalStats};
+use autoclass::model::{
+    init_classes, stats_to_classes, update_wts, Model, StatLayout, SuffStats, WtsMatrix,
+};
+use proptest::prelude::*;
+
+/// Strategy: a small random Gaussian-mixture dataset spec.
+fn dataset_strategy() -> impl Strategy<Value = (usize, usize, usize, u64)> {
+    // (n, k components, dims, seed)
+    (20usize..200, 1usize..5, 1usize..4, 0u64..10_000)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 32, ..ProptestConfig::default() })]
+
+    #[test]
+    fn estep_weights_always_normalized((n, k, dims, seed) in dataset_strategy(), j in 1usize..6) {
+        let (data, _) = datagen::GaussianMixture::well_separated(k, dims, 8.0)
+            .generate(n, seed);
+        let stats = GlobalStats::compute(&data.full_view());
+        let model = Model::new(data.schema().clone(), &stats);
+        let classes = init_classes(&model, &data.full_view(), j, seed ^ 1);
+        let mut wts = WtsMatrix::new(0, 0);
+        let out = update_wts(&model, &data.full_view(), &classes, &mut wts);
+        // Every item's membership sums to 1.
+        for i in 0..n {
+            let s: f64 = wts.item_weights(i).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-9, "item {i}: {s}");
+        }
+        // Class weight sums add to N.
+        let total: f64 = out.class_weight_sums.iter().sum();
+        prop_assert!((total - n as f64).abs() < 1e-6);
+        // Jensen: complete-data log likelihood ≤ incomplete.
+        prop_assert!(out.complete_ll <= out.log_likelihood + 1e-9);
+    }
+
+    #[test]
+    fn partitioned_estep_and_mstep_match_whole(
+        (n, k, dims, seed) in dataset_strategy(),
+        p in 1usize..8,
+        j in 1usize..5,
+    ) {
+        let (data, _) = datagen::GaussianMixture::well_separated(k, dims, 8.0)
+            .generate(n, seed);
+        let gstats = GlobalStats::compute(&data.full_view());
+        let model = Model::new(data.schema().clone(), &gstats);
+        let classes = init_classes(&model, &data.full_view(), j, seed ^ 2);
+
+        // Whole-dataset reference.
+        let mut wts = WtsMatrix::new(0, 0);
+        let whole_e = update_wts(&model, &data.full_view(), &classes, &mut wts);
+        let mut whole_s = SuffStats::zeros(StatLayout::new(&model, j));
+        whole_s.accumulate(&model, &data.full_view(), &wts);
+
+        // Partitioned accumulation (what the Allreduce computes).
+        let mut part_s = SuffStats::zeros(StatLayout::new(&model, j));
+        let mut part_ll = 0.0;
+        for r in block_partition(n, p) {
+            let view = data.view(r.start, r.end);
+            let mut w = WtsMatrix::new(0, 0);
+            let e = update_wts(&model, &view, &classes, &mut w);
+            part_ll += e.log_likelihood;
+            part_s.accumulate(&model, &view, &w);
+        }
+        prop_assert!((part_ll - whole_e.log_likelihood).abs()
+            < 1e-9 * whole_e.log_likelihood.abs().max(1.0));
+        for (a, b) in part_s.data.iter().zip(&whole_s.data) {
+            prop_assert!((a - b).abs() < 1e-8 * b.abs().max(1.0), "{a} vs {b}");
+        }
+        // And the derived parameters agree too.
+        let (ca, _) = stats_to_classes(&model, &part_s);
+        let (cb, _) = stats_to_classes(&model, &whole_s);
+        for (x, y) in ca.iter().zip(&cb) {
+            prop_assert!((x.weight - y.weight).abs() < 1e-8 * y.weight.abs().max(1.0));
+            prop_assert!((x.pi - y.pi).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn map_proportions_form_a_distribution(
+        weights in prop::collection::vec(0.0f64..1000.0, 1..20),
+    ) {
+        let n: f64 = weights.iter().sum();
+        let j = weights.len();
+        let pis: Vec<f64> = weights.iter().map(|&w| Model::map_pi(w, n, j)).collect();
+        let total: f64 = pis.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "{total}");
+        prop_assert!(pis.iter().all(|&p| p > 0.0 && p <= 1.0));
+    }
+
+    #[test]
+    fn block_partition_is_exact_and_balanced(n in 0usize..10_000, p in 1usize..64) {
+        let parts = block_partition(n, p);
+        prop_assert_eq!(parts.len(), p);
+        let mut next = 0;
+        for r in &parts {
+            prop_assert_eq!(r.start, next);
+            next = r.end;
+        }
+        prop_assert_eq!(next, n);
+        let sizes: Vec<usize> = parts.iter().map(|r| r.len()).collect();
+        prop_assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn em_log_likelihood_is_monotone(
+        (n, k, dims, seed) in dataset_strategy(),
+        j in 1usize..4,
+    ) {
+        let (data, _) = datagen::GaussianMixture::well_separated(k.max(2), dims, 10.0)
+            .generate(n.max(50), seed);
+        let gstats = GlobalStats::compute(&data.full_view());
+        let model = Model::new(data.schema().clone(), &gstats);
+        let mut classes = init_classes(&model, &data.full_view(), j, seed ^ 3);
+        let mut wts = WtsMatrix::new(0, 0);
+        let mut prev = f64::NEG_INFINITY;
+        for cycle in 0..8 {
+            let e = update_wts(&model, &data.full_view(), &classes, &mut wts);
+            // MAP-EM is monotone in the log *posterior*, not the raw
+            // likelihood: the prior (an O(1) term against an O(n)
+            // likelihood) can buy a bounded dip, and the sigma floor
+            // weakens the exact-argmax property further. Allow a small
+            // absolute slack — real monotonicity bugs diverge by many
+            // nats, which this still catches.
+            prop_assert!(
+                e.log_likelihood >= prev - 0.5 - 1e-4 * prev.abs(),
+                "cycle {cycle}: {prev} -> {}",
+                e.log_likelihood
+            );
+            prev = e.log_likelihood;
+            let mut s = SuffStats::zeros(StatLayout::new(&model, j));
+            s.accumulate(&model, &data.full_view(), &wts);
+            classes = stats_to_classes(&model, &s).0;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    #[test]
+    fn results_file_round_trips_any_search(
+        n in 40usize..150,
+        k in 1usize..4,
+        seed in 0u64..5_000,
+    ) {
+        // Whatever a search produces must survive save → load bit-exactly.
+        use autoclass::search::{search, SearchConfig};
+        use autoclass::store::{read_results, write_results};
+        let (data, _) = datagen::GaussianMixture::well_separated(k, 2, 9.0)
+            .generate(n, seed);
+        let r = search(
+            &data.full_view(),
+            &SearchConfig { max_cycles: 15, ..SearchConfig::quick(vec![2], seed) },
+        );
+        let mut buf = Vec::new();
+        write_results(&mut buf, &r.all, &[]).unwrap();
+        let (back, _) = read_results(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.len(), r.all.len());
+        for (a, b) in back.iter().zip(&r.all) {
+            prop_assert_eq!(&a.classes, &b.classes);
+            prop_assert_eq!(a.approx, b.approx);
+        }
+    }
+
+    #[test]
+    fn posterior_rows_always_normalize(
+        n in 30usize..120,
+        seed in 0u64..5_000,
+        x in -50.0f64..50.0,
+        y in -50.0f64..50.0,
+    ) {
+        use autoclass::data::{GlobalStats, Value};
+        use autoclass::predict::posterior;
+        use autoclass::search::{search, SearchConfig};
+        let (data, _) = datagen::GaussianMixture::well_separated(2, 2, 10.0)
+            .generate(n, seed);
+        let r = search(
+            &data.full_view(),
+            &SearchConfig { max_cycles: 10, ..SearchConfig::quick(vec![3], seed) },
+        );
+        let stats = GlobalStats::compute(&data.full_view());
+        let model = Model::new(data.schema().clone(), &stats);
+        for row in [
+            vec![Value::Real(x), Value::Real(y)],
+            vec![Value::Missing, Value::Real(y)],
+            vec![Value::Missing, Value::Missing],
+        ] {
+            let p = posterior(&model, &r.best.classes, &row);
+            let sum: f64 = p.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9, "{row:?}: {sum}");
+            prop_assert!(p.iter().all(|&v| (0.0..=1.0 + 1e-12).contains(&v)));
+        }
+    }
+}
