@@ -46,9 +46,7 @@ impl From<std::io::Error> for CsvError {
 /// Parse a dataset from CSV text conforming to `schema`.
 pub fn read_csv<R: Read>(schema: Schema, reader: R) -> Result<Dataset, CsvError> {
     let mut lines = BufReader::new(reader).lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| CsvError::Header("empty input".into()))??;
+    let header = lines.next().ok_or_else(|| CsvError::Header("empty input".into()))??;
     let names: Vec<&str> = header.split(',').map(str::trim).collect();
     if names.len() != schema.len() {
         return Err(CsvError::Header(format!(

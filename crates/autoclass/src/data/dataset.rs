@@ -359,10 +359,7 @@ mod tests {
     #[should_panic(expected = "ragged")]
     fn from_columns_rejects_ragged() {
         let schema = Schema::new(vec![Attribute::real("x", 0.1), Attribute::real("y", 0.1)]);
-        Dataset::from_columns(
-            schema,
-            vec![Column::Real(vec![1.0, 2.0]), Column::Real(vec![1.0])],
-        );
+        Dataset::from_columns(schema, vec![Column::Real(vec![1.0, 2.0]), Column::Real(vec![1.0])]);
     }
 
     #[test]

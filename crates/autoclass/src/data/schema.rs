@@ -1,10 +1,8 @@
 //! Attribute schemas: what kind of value each column holds and the
 //! metadata the model terms need (measurement error, level counts).
 
-use serde::{Deserialize, Serialize};
-
 /// The statistical type of one attribute (column).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum AttributeKind {
     /// A real-valued scalar measurement. `error` is the measurement error
     /// of the instrument; AutoClass uses it as a floor on the modeled
@@ -37,7 +35,7 @@ impl AttributeKind {
 }
 
 /// One attribute (column) of a dataset.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Attribute {
     /// Column name, used in reports and CSV headers.
     pub name: String,
@@ -75,7 +73,7 @@ impl Attribute {
 }
 
 /// The full column layout of a dataset.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Schema {
     /// Attributes, in column order.
     pub attributes: Vec<Attribute>,

@@ -96,13 +96,7 @@ impl GlobalStats {
             match (a, b) {
                 (
                     AttrStats::Real { count, sum, sum_sq, sum_ln, sum_ln_sq },
-                    AttrStats::Real {
-                        count: c2,
-                        sum: s2,
-                        sum_sq: q2,
-                        sum_ln: l2,
-                        sum_ln_sq: m2,
-                    },
+                    AttrStats::Real { count: c2, sum: s2, sum_sq: q2, sum_ln: l2, sum_ln_sq: m2 },
                 ) => {
                     *count += c2;
                     *sum += s2;
@@ -137,25 +131,34 @@ impl GlobalStats {
     }
 
     /// Rebuild from a flat vector with the same shape as `template`.
+    ///
+    /// # Panics
+    /// Panics if `flat`'s length does not match `template`'s shape (it
+    /// always does when `flat` came from [`GlobalStats::to_flat`]).
     pub fn from_flat(template: &GlobalStats, flat: &[f64]) -> Self {
         let mut it = flat.iter().copied();
-        let n = it.next().expect("flat stats empty");
-        let attrs = template
-            .attrs
-            .iter()
-            .map(|a| match a {
-                AttrStats::Real { .. } => AttrStats::Real {
-                    count: it.next().expect("short flat stats"),
-                    sum: it.next().expect("short flat stats"),
-                    sum_sq: it.next().expect("short flat stats"),
-                    sum_ln: it.next().expect("short flat stats"),
-                    sum_ln_sq: it.next().expect("short flat stats"),
-                },
-                AttrStats::Discrete { counts } => AttrStats::Discrete {
-                    counts: (0..counts.len()).map(|_| it.next().expect("short flat stats")).collect(),
-                },
-            })
-            .collect();
+        let (n, attrs) = {
+            // lint:allow(unwrap): shape mismatch against the template is a caller bug
+            let mut next = || it.next().expect("flat stats shorter than template");
+            let n = next();
+            let attrs = template
+                .attrs
+                .iter()
+                .map(|a| match a {
+                    AttrStats::Real { .. } => AttrStats::Real {
+                        count: next(),
+                        sum: next(),
+                        sum_sq: next(),
+                        sum_ln: next(),
+                        sum_ln_sq: next(),
+                    },
+                    AttrStats::Discrete { counts } => {
+                        AttrStats::Discrete { counts: (0..counts.len()).map(|_| next()).collect() }
+                    }
+                })
+                .collect();
+            (n, attrs)
+        };
         assert!(it.next().is_none(), "flat stats too long");
         GlobalStats { attrs, n }
     }
@@ -265,7 +268,7 @@ mod tests {
     }
 
     #[test]
-    fn merge_equals_whole(){
+    fn merge_equals_whole() {
         let d = dataset();
         let whole = GlobalStats::compute(&d.full_view());
         let mut left = GlobalStats::compute(&d.view(0, 2));
@@ -301,10 +304,7 @@ mod tests {
         let schema = Schema::new(vec![Attribute::positive_real("m", 0.01)]);
         let d = Dataset::from_rows(
             schema,
-            &[
-                vec![Value::Real(1.0)],
-                vec![Value::Real(std::f64::consts::E)],
-            ],
+            &[vec![Value::Real(1.0)], vec![Value::Real(std::f64::consts::E)]],
         );
         let s = GlobalStats::compute(&d.full_view());
         assert!((s.ln_mean(0) - 0.5).abs() < 1e-12);

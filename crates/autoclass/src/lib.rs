@@ -26,7 +26,7 @@
 //!     .collect();
 //! let data = Dataset::from_rows(schema, &rows);
 //!
-//! let result = search(&data.full_view(), &SearchConfig::quick(vec![1, 2, 3], 42));
+//! let result = search(&data.full_view(), &SearchConfig::quick(vec![1, 2, 3], 41));
 //! assert_eq!(result.best.n_classes(), 2);
 //! ```
 //!

@@ -86,11 +86,7 @@ mod tests {
         // Γ(0.5) = sqrt(π)
         assert!(close(ln_gamma(0.5), 0.5 * std::f64::consts::PI.ln(), 1e-12));
         // Γ(1.5) = sqrt(π)/2
-        assert!(close(
-            ln_gamma(1.5),
-            (std::f64::consts::PI.sqrt() / 2.0).ln(),
-            1e-12
-        ));
+        assert!(close(ln_gamma(1.5), (std::f64::consts::PI.sqrt() / 2.0).ln(), 1e-12));
         // Large argument: ln Γ(171) = ln(170!) = Σ ln k.
         let ln_170_fact: f64 = (1..=170u32).map(|k| f64::from(k).ln()).sum();
         assert!(close(ln_gamma(171.0), ln_170_fact, 1e-11));
@@ -128,11 +124,7 @@ mod tests {
     fn log_sum_exp_handles_neg_infinity() {
         assert_eq!(log_sum_exp(&[]), f64::NEG_INFINITY);
         assert_eq!(log_sum_exp(&[f64::NEG_INFINITY]), f64::NEG_INFINITY);
-        assert!(close(
-            log_sum_exp(&[f64::NEG_INFINITY, 0.0]),
-            0.0,
-            1e-12
-        ));
+        assert!(close(log_sum_exp(&[f64::NEG_INFINITY, 0.0]), 0.0, 1e-12));
     }
 
     #[test]

@@ -149,16 +149,10 @@ mod tests {
         // if J=5 attains a (slightly) higher raw likelihood.
         let data = gaussian_pair_data(60);
         let (model2, stats2, ll2, cll2) = run_em(&data, 2, &[-4.0, 4.0]);
-        let (model5, stats5, ll5, cll5) =
-            run_em(&data, 5, &[-6.0, -4.0, 0.0, 4.0, 6.0]);
+        let (model5, stats5, ll5, cll5) = run_em(&data, 5, &[-6.0, -4.0, 0.0, 4.0, 6.0]);
         let a2 = evaluate(&model2, &stats2, ll2, cll2);
         let a5 = evaluate(&model5, &stats5, ll5, cll5);
-        assert!(
-            a2.cs_score > a5.cs_score,
-            "J=2 {} should beat J=5 {}",
-            a2.cs_score,
-            a5.cs_score
-        );
+        assert!(a2.cs_score > a5.cs_score, "J=2 {} should beat J=5 {}", a2.cs_score, a5.cs_score);
     }
 
     #[test]
@@ -168,12 +162,7 @@ mod tests {
         let (model1, stats1, ll1, cll1) = run_em(&data, 1, &[0.0]);
         let a2 = evaluate(&model2, &stats2, ll2, cll2);
         let a1 = evaluate(&model1, &stats1, ll1, cll1);
-        assert!(
-            a2.cs_score > a1.cs_score,
-            "J=2 {} should beat J=1 {}",
-            a2.cs_score,
-            a1.cs_score
-        );
+        assert!(a2.cs_score > a1.cs_score, "J=2 {} should beat J=1 {}", a2.cs_score, a1.cs_score);
     }
 
     #[test]

@@ -221,10 +221,8 @@ mod tests {
         let v = data.full_view();
         for i in 0..4 {
             let x = v.real_column(0)[i];
-            let lp: Vec<f64> = classes
-                .iter()
-                .map(|c| c.log_pi + c.terms[0].log_prob_real(x))
-                .collect();
+            let lp: Vec<f64> =
+                classes.iter().map(|c| c.log_pi + c.terms[0].log_prob_real(x)).collect();
             expect += crate::math::log_sum_exp(&lp);
         }
         assert!((out.log_likelihood - expect).abs() < 1e-10);

@@ -74,11 +74,8 @@ fn init_term(
         TermPrior::LogNormal { mean0, var0, min_sigma, .. } => {
             let sigma0 = var0.sqrt().max(*min_sigma);
             let x = if view.is_empty() { f64::NAN } else { view.real_column(k)[pick] };
-            let mean = if x.is_nan() || x <= 0.0 {
-                mean0 + sigma0 * std_normal(rng)
-            } else {
-                x.ln()
-            };
+            let mean =
+                if x.is_nan() || x <= 0.0 { mean0 + sigma0 * std_normal(rng) } else { x.ln() };
             TermParams::log_normal(mean, sigma0)
         }
         TermPrior::MultiNormal { dim, mean0, scatter0, .. } => {
@@ -105,9 +102,8 @@ fn init_term(
             } else {
                 view.discrete_column(k)[pick]
             };
-            let mut p: Vec<f64> = (0..slots)
-                .map(|_| (1.0 + alpha) * (0.3 * std_normal(rng)).exp())
-                .collect();
+            let mut p: Vec<f64> =
+                (0..slots).map(|_| (1.0 + alpha) * (0.3 * std_normal(rng)).exp()).collect();
             if l_pick != crate::data::dataset::MISSING_DISCRETE {
                 p[l_pick as usize] *= 2.0;
             } else if *missing_level {
@@ -128,9 +124,8 @@ mod tests {
 
     fn setup() -> (Dataset, Model) {
         let schema = Schema::new(vec![Attribute::real("x", 0.1), Attribute::discrete("c", 3)]);
-        let rows: Vec<Vec<Value>> = (0..50)
-            .map(|i| vec![Value::Real(i as f64), Value::Discrete((i % 3) as u32)])
-            .collect();
+        let rows: Vec<Vec<Value>> =
+            (0..50).map(|i| vec![Value::Real(i as f64), Value::Discrete((i % 3) as u32)]).collect();
         let data = Dataset::from_rows(schema.clone(), &rows);
         let stats = GlobalStats::compute(&data.full_view());
         (data.clone(), Model::new(schema, &stats))

@@ -193,8 +193,7 @@ impl TermPrior {
                 TermParams::Multinomial { log_p }
             }
             TermPrior::MultiNormal { dim, ref mean0, ref scatter0, kappa0, nu0, min_sigma } => {
-                let (mean, cov) =
-                    niw_map(stats, dim, mean0, scatter0, kappa0, nu0, min_sigma);
+                let (mean, cov) = niw_map(stats, dim, mean0, scatter0, kappa0, nu0, min_sigma);
                 TermParams::multi_normal(mean, &cov, min_sigma)
             }
         }
@@ -207,8 +206,7 @@ impl TermPrior {
             (
                 TermPrior::Normal { mean0, var0, kappa0, nu0, .. }
                 | TermPrior::LogNormal { mean0, var0, kappa0, nu0, .. },
-                TermParams::Normal { mean, sigma, .. }
-                | TermParams::LogNormal { mean, sigma, .. },
+                TermParams::Normal { mean, sigma, .. } | TermParams::LogNormal { mean, sigma, .. },
             ) => nig_log_density(*mean, sigma * sigma, *mean0, *var0, *kappa0, *nu0),
             (TermPrior::Multinomial { alpha, .. }, TermParams::Multinomial { log_p }) => {
                 let l = log_p.len() as f64;
@@ -227,11 +225,13 @@ impl TermPrior {
                 let diff: Vec<f64> = mean.iter().zip(mean0).map(|(a, b)| a - b).collect();
                 let mut scratch = vec![0.0; d];
                 let maha = crate::linalg::mahalanobis_sq(chol, d, &diff, &mut scratch);
-                let ln_n = -0.5 * df * LN_2PI - 0.5 * (log_det_sigma - df * kappa0.ln())
+                let ln_n = -0.5 * df * LN_2PI
+                    - 0.5 * (log_det_sigma - df * kappa0.ln())
                     - 0.5 * kappa0 * maha;
                 // ln IW(Σ | ν0, S0)
                 let chol_s0 = crate::linalg::cholesky(scatter0, d)
-                    .expect("prior scatter is positive definite by construction");
+                    // lint:allow(unwrap): prior scatter is positive definite by construction
+                    .expect("prior scatter is positive definite");
                 let log_det_s0 = crate::linalg::log_det_from_chol(&chol_s0, d);
                 let ln_iw = 0.5 * nu0 * log_det_s0
                     - 0.5 * nu0 * df * 2.0f64.ln()
@@ -362,7 +362,8 @@ fn niw_log_marginal(
     }
     let df = d as f64;
     let chol_s0 = crate::linalg::cholesky(scatter0, d)
-        .expect("prior scatter is positive definite by construction");
+        // lint:allow(unwrap): prior scatter is positive definite by construction
+        .expect("prior scatter is positive definite");
     let log_det_s0 = crate::linalg::log_det_from_chol(&chol_s0, d);
     let jitter = (min_sigma * min_sigma).max(1e-12);
     let mut tries = 0;
@@ -379,8 +380,7 @@ fn niw_log_marginal(
         }
     };
     let log_det_sn = crate::linalg::log_det_from_chol(&chol_sn, d);
-    -0.5 * s0 * df * std::f64::consts::PI.ln()
-        + crate::linalg::ln_multigamma(d, 0.5 * nu_n)
+    -0.5 * s0 * df * std::f64::consts::PI.ln() + crate::linalg::ln_multigamma(d, 0.5 * nu_n)
         - crate::linalg::ln_multigamma(d, 0.5 * nu0)
         + 0.5 * nu0 * log_det_s0
         - 0.5 * nu_n * log_det_sn
@@ -413,8 +413,8 @@ fn nig_map(
 fn nig_log_density(mean: f64, var: f64, mean0: f64, var0: f64, kappa0: f64, nu0: f64) -> f64 {
     let a = 0.5 * nu0;
     let b = 0.5 * nu0 * var0;
-    let log_normal = -0.5 * LN_2PI - 0.5 * (var / kappa0).ln()
-        - 0.5 * kappa0 * (mean - mean0).powi(2) / var;
+    let log_normal =
+        -0.5 * LN_2PI - 0.5 * (var / kappa0).ln() - 0.5 * kappa0 * (mean - mean0).powi(2) / var;
     let log_invgamma = a * b.ln() - ln_gamma(a) - (a + 1.0) * var.ln() - b / var;
     log_normal + log_invgamma
 }
@@ -494,7 +494,8 @@ impl TermParams {
     pub fn multi_normal(mean: Vec<f64>, cov: &[f64], _min_sigma: f64) -> Self {
         let d = mean.len();
         let chol = crate::linalg::cholesky(cov, d)
-            .expect("covariance must be positive definite (floored upstream)");
+            // lint:allow(unwrap): covariance is floored to positive definite upstream
+            .expect("covariance must be positive definite");
         let log_det = crate::linalg::log_det_from_chol(&chol, d);
         let log_norm = -0.5 * d as f64 * LN_2PI - 0.5 * log_det;
         TermParams::MultiNormal { mean, chol, log_norm }
@@ -638,6 +639,7 @@ impl TermParams {
         match self {
             TermParams::Multinomial { log_p } => {
                 if l == crate::data::dataset::MISSING_DISCRETE {
+                    // lint:allow(unwrap): multinomial terms always carry a missing slot
                     *log_p.last().expect("missing-level term has slots")
                 } else {
                     log_p[l as usize]
@@ -652,6 +654,7 @@ impl TermParams {
         debug_assert_eq!(ls.len(), out.len());
         match self {
             TermParams::Multinomial { log_p } => {
+                // lint:allow(unwrap): multinomial terms always carry a missing slot
                 let missing = *log_p.last().expect("missing-level term has slots");
                 for (l, o) in ls.iter().zip(out.iter_mut()) {
                     *o += if *l == crate::data::dataset::MISSING_DISCRETE {
@@ -760,7 +763,8 @@ mod tests {
 
     #[test]
     fn sigma_is_floored_at_measurement_error() {
-        let p = TermPrior::Normal { mean0: 0.0, var0: 1e-12, kappa0: 1.0, nu0: 1.0, min_sigma: 0.5 };
+        let p =
+            TermPrior::Normal { mean0: 0.0, var0: 1e-12, kappa0: 1.0, nu0: 1.0, min_sigma: 0.5 };
         // Tight cluster at 0: raw sigma would be ~0.
         match p.map_params(&[100.0, 0.0, 0.0]) {
             TermParams::Normal { sigma, .. } => assert_eq!(sigma, 0.5),
@@ -858,7 +862,13 @@ mod tests {
         for (prior, params) in [
             (normal_prior(), TermParams::normal(1.5, 2.5)),
             (
-                TermPrior::LogNormal { mean0: 0.0, var0: 1.0, kappa0: 1.0, nu0: 1.0, min_sigma: 0.1 },
+                TermPrior::LogNormal {
+                    mean0: 0.0,
+                    var0: 1.0,
+                    kappa0: 1.0,
+                    nu0: 1.0,
+                    min_sigma: 0.1,
+                },
                 TermParams::log_normal(-1.0, 0.5),
             ),
             (

@@ -43,9 +43,7 @@ pub fn posterior(model: &Model, classes: &[ClassParams], row: &[Value]) -> Vec<f
                 );
                 lp += match (&row[a], &attr.kind) {
                     (Value::Missing, _) if models_missing => {
-                        term.log_prob_discrete_with_missing(
-                            crate::data::dataset::MISSING_DISCRETE,
-                        )
+                        term.log_prob_discrete_with_missing(crate::data::dataset::MISSING_DISCRETE)
                     }
                     (Value::Missing, _) => 0.0,
                     (Value::Real(x), AttributeKind::Real { .. })
@@ -77,6 +75,7 @@ pub fn classify(model: &Model, classes: &[ClassParams], row: &[Value]) -> (usize
         .enumerate()
         .max_by(|a, b| a.1.total_cmp(b.1))
         .map(|(i, &p)| (i, p))
+        // lint:allow(unwrap): classifications always hold at least one class
         .expect("at least one class")
 }
 

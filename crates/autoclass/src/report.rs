@@ -115,9 +115,7 @@ fn global_term(
                     }
                     f.push(p_missing);
                 }
-                TermParams::Multinomial {
-                    log_p: f.iter().map(|p| p.max(1e-300).ln()).collect(),
-                }
+                TermParams::Multinomial { log_p: f.iter().map(|p| p.max(1e-300).ln()).collect() }
             }
         },
     }
@@ -167,11 +165,7 @@ fn term_kl(a: &TermParams, b: &TermParams) -> f64 {
 /// overlap heavily — the well-definedness criterion the paper's §2
 /// discusses (memberships around 0.5 vs around 0.99).
 pub fn class_divergence(a: &ClassParams, b: &ClassParams) -> f64 {
-    a.terms
-        .iter()
-        .zip(&b.terms)
-        .map(|(ta, tb)| 0.5 * (term_kl(ta, tb) + term_kl(tb, ta)))
-        .sum()
+    a.terms.iter().zip(&b.terms).map(|(ta, tb)| 0.5 * (term_kl(ta, tb) + term_kl(tb, ta))).sum()
 }
 
 /// Pairwise symmetric divergence matrix over a classification's classes.
@@ -291,8 +285,7 @@ pub fn report(
                             let var = |i: usize| -> f64 {
                                 (0..d).map(|k| chol[i * d + k] * chol[i * d + k]).sum()
                             };
-                            let cov01: f64 =
-                                (0..d).map(|k| chol[k] * chol[d + k]).sum();
+                            let cov01: f64 = (0..d).map(|k| chol[k] * chol[d + k]).sum();
                             let rho = cov01 / (var(0) * var(1)).sqrt();
                             format!("{name} ~ MVN(mean [{}], ρ01 {rho:.3})", means.join(", "))
                         }

@@ -264,17 +264,13 @@ pub fn is_duplicate(a: &Classification, b: &Classification) -> bool {
     if a.n_classes() != b.n_classes() {
         return false;
     }
-    let score_close =
-        (a.score() - b.score()).abs() <= 1e-4 * a.score().abs().max(1.0);
+    let score_close = (a.score() - b.score()).abs() <= 1e-4 * a.score().abs().max(1.0);
     if !score_close {
         return false;
     }
     // Classes are sorted by weight already.
     let n = a.classes.iter().map(|c| c.weight).sum::<f64>().max(1.0);
-    a.classes
-        .iter()
-        .zip(&b.classes)
-        .all(|(x, y)| (x.weight - y.weight).abs() <= 0.01 * n)
+    a.classes.iter().zip(&b.classes).all(|(x, y)| (x.weight - y.weight).abs() <= 0.01 * n)
 }
 
 /// The full search (`BIG_LOOP`): every J in `start_j_list`, several tries
@@ -300,8 +296,7 @@ pub fn search_with_model(
     let mut all: Vec<Classification> = Vec::new();
     for (ji, &j) in config.start_j_list.iter().enumerate() {
         for t in 0..config.tries_per_j {
-            let seed =
-                crate::model::derive_seed(config.seed, (ji * config.tries_per_j + t) as u64);
+            let seed = crate::model::derive_seed(config.seed, (ji * config.tries_per_j + t) as u64);
             let c = try_classification(&model, view, j, config, seed, &mut profile);
             let tx = Instant::now();
             if !all.iter().any(|existing| is_duplicate(existing, &c)) {
@@ -315,6 +310,7 @@ pub fn search_with_model(
     all.truncate(config.max_stored);
     profile.other += tx.elapsed().as_secs_f64();
 
+    // lint:allow(unwrap): the config validation guarantees at least one try
     let best = all.first().expect("at least one try ran").clone();
     SearchResult { best, all, profile }
 }

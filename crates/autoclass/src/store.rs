@@ -72,11 +72,7 @@ fn fields(line_no: usize, line: &str) -> Result<Vec<(String, String)>, StoreErro
         .collect()
 }
 
-fn get<'a>(
-    line: usize,
-    kvs: &'a [(String, String)],
-    key: &str,
-) -> Result<&'a str, StoreError> {
+fn get<'a>(line: usize, kvs: &'a [(String, String)], key: &str) -> Result<&'a str, StoreError> {
     kvs.iter()
         .find(|(k, _)| k == key)
         .map(|(_, v)| v.as_str())
@@ -148,9 +144,7 @@ pub fn read_results<R: BufRead>(
     r: R,
 ) -> Result<(Vec<Classification>, Vec<Vec<usize>>), StoreError> {
     let mut lines = r.lines().enumerate();
-    let (_, first) = lines
-        .next()
-        .ok_or_else(|| err(0, "empty file"))?;
+    let (_, first) = lines.next().ok_or_else(|| err(0, "empty file"))?;
     let first = first.map_err(|e| err(1, e.to_string()))?;
     if first.trim() != HEADER {
         return Err(err(1, format!("bad header {first:?} (expected {HEADER:?})")));
@@ -250,8 +244,7 @@ pub fn read_results<R: BufRead>(
                         if !log_det.is_finite() {
                             return Err(err(line_no, "degenerate Cholesky factor"));
                         }
-                        let log_norm =
-                            -0.5 * d as f64 * crate::math::LN_2PI - 0.5 * log_det;
+                        let log_norm = -0.5 * d as f64 * crate::math::LN_2PI - 0.5 * log_det;
                         TermParams::MultiNormal { mean, chol, log_norm }
                     }
                     other => return Err(err(line_no, format!("unknown term kind {other:?}"))),
@@ -284,14 +277,8 @@ pub fn check_against_model(model: &Model, c: &Classification) -> Result<(), Stri
                 (term, &group.prior),
                 (TermParams::Normal { .. }, crate::model::TermPrior::Normal { .. })
                     | (TermParams::LogNormal { .. }, crate::model::TermPrior::LogNormal { .. })
-                    | (
-                        TermParams::Multinomial { .. },
-                        crate::model::TermPrior::Multinomial { .. }
-                    )
-                    | (
-                        TermParams::MultiNormal { .. },
-                        crate::model::TermPrior::MultiNormal { .. }
-                    )
+                    | (TermParams::Multinomial { .. }, crate::model::TermPrior::Multinomial { .. })
+                    | (TermParams::MultiNormal { .. }, crate::model::TermPrior::MultiNormal { .. })
             );
             if !ok {
                 return Err(format!("class {ci}, group {gi}: term kind mismatch"));
@@ -353,8 +340,10 @@ mod tests {
 
     #[test]
     fn corrupt_floats_are_reported_with_line() {
-        let text = format!("{HEADER}\nclassification j_initial=2 cycles=1 converged=true seed=1 \
-                            log_prior=0 ll=banana cll=0 marginal=0 cs=0\n");
+        let text = format!(
+            "{HEADER}\nclassification j_initial=2 cycles=1 converged=true seed=1 \
+                            log_prior=0 ll=banana cll=0 marginal=0 cs=0\n"
+        );
         let e = read_results(text.as_bytes()).unwrap_err();
         assert_eq!(e.line, 2);
         assert!(e.detail.contains("ll"), "{e}");

@@ -17,9 +17,7 @@ fn bench_parallel_cycle(c: &mut Criterion) {
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::from_parameter(format!("p{p}")), &(), |b, _| {
             b.iter(|| {
-                run_fixed_j(&data, &machine, 8, 2, 7, &ParallelConfig::default())
-                    .unwrap()
-                    .per_cycle
+                run_fixed_j(&data, &machine, 8, 2, 7, &ParallelConfig::default()).unwrap().per_cycle
             });
         });
     }

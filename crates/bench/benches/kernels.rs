@@ -20,13 +20,9 @@ fn bench_estep(c: &mut Criterion) {
         let classes = init_classes(&model, &data.full_view(), j, 7);
         let mut wts = WtsMatrix::new(0, 0);
         group.throughput(Throughput::Elements((n * j) as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("n{n}_j{j}")),
-            &(),
-            |b, _| {
-                b.iter(|| update_wts(&model, &data.full_view(), &classes, &mut wts));
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_j{j}")), &(), |b, _| {
+            b.iter(|| update_wts(&model, &data.full_view(), &classes, &mut wts));
+        });
     }
     group.finish();
 }
@@ -42,17 +38,13 @@ fn bench_mstep(c: &mut Criterion) {
         let mut wts = WtsMatrix::new(0, 0);
         update_wts(&model, &data.full_view(), &classes, &mut wts);
         group.throughput(Throughput::Elements((n * j) as u64));
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("n{n}_j{j}")),
-            &(),
-            |b, _| {
-                b.iter(|| {
-                    let mut stats = SuffStats::zeros(StatLayout::new(&model, j));
-                    stats.accumulate(&model, &data.full_view(), &wts);
-                    stats_to_classes(&model, &stats)
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_j{j}")), &(), |b, _| {
+            b.iter(|| {
+                let mut stats = SuffStats::zeros(StatLayout::new(&model, j));
+                stats.accumulate(&model, &data.full_view(), &wts);
+                stats_to_classes(&model, &stats)
+            });
+        });
     }
     group.finish();
 }

@@ -18,10 +18,8 @@ fn main() {
         cfg.sizes, cfg.procs, cfg.search.start_j_list
     );
     let elapsed = run_grid(&cfg);
-    let cells: Vec<Vec<String>> = elapsed
-        .iter()
-        .map(|row| row.iter().map(|&t| fmt_hms(t)).collect())
-        .collect();
+    let cells: Vec<Vec<String>> =
+        elapsed.iter().map(|row| row.iter().map(|&t| fmt_hms(t)).collect()).collect();
     print_table(
         "Fig 6 — average elapsed times [h.mm.ss, virtual] of P-AutoClass",
         &cfg.sizes,
@@ -29,9 +27,7 @@ fn main() {
         &cells,
     );
     println!();
-    let cells_s: Vec<Vec<String>> = elapsed
-        .iter()
-        .map(|row| row.iter().map(|&t| format!("{t:.1}")).collect())
-        .collect();
+    let cells_s: Vec<Vec<String>> =
+        elapsed.iter().map(|row| row.iter().map(|&t| format!("{t:.1}")).collect()).collect();
     print_table("(same data, seconds)", &cfg.sizes, &cfg.procs, &cells_s);
 }

@@ -10,10 +10,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cfg = grid_from_args(&args);
     assert_eq!(cfg.procs.first(), Some(&1), "speedup needs P=1 as the baseline");
-    eprintln!(
-        "fig7: speedup on simulated Meiko CS-2; sizes={:?} procs={:?}",
-        cfg.sizes, cfg.procs
-    );
+    eprintln!("fig7: speedup on simulated Meiko CS-2; sizes={:?} procs={:?}", cfg.sizes, cfg.procs);
     let elapsed = run_grid(&cfg);
     let mut cells: Vec<Vec<String>> = elapsed
         .iter()
@@ -26,17 +23,19 @@ fn main() {
     cells.push(cfg.procs.iter().map(|&p| format!("{p:.2}")).collect());
     let mut sizes = cfg.sizes.clone();
     sizes.push(0); // placeholder row label for "linear"
-    print_table("Fig 7 — speedup T1/TP of P-AutoClass (last row: linear)", &sizes, &cfg.procs, &cells);
+    print_table(
+        "Fig 7 — speedup T1/TP of P-AutoClass (last row: linear)",
+        &sizes,
+        &cfg.procs,
+        &cells,
+    );
 
     // Optimal processor count per size (where speedup peaks) — the
     // paper's in-text observation (e.g. 4 procs for 5 000 tuples).
     println!("\noptimal processor count per dataset size:");
     for (row, &n) in elapsed.iter().zip(&cfg.sizes) {
-        let (best_i, _) = row
-            .iter()
-            .enumerate()
-            .min_by(|a, b| a.1.total_cmp(b.1))
-            .expect("non-empty row");
+        let (best_i, _) =
+            row.iter().enumerate().min_by(|a, b| a.1.total_cmp(b.1)).expect("non-empty row");
         println!("  {n:>7} tuples -> {} procs", cfg.procs[best_i]);
     }
 }

@@ -51,7 +51,7 @@ impl GridConfig {
                 start_j_list: vec![2, 4, 8, 16],
                 tries_per_j: 1,
                 max_cycles: 10,
-                rel_delta_ll: 0.0, // fixed cycle count: comparable times
+                rel_delta_ll: 0.0,     // fixed cycle count: comparable times
                 min_class_weight: 0.0, // no class death: stable J per run
                 seed: 0xF16,
                 max_stored: 4,
@@ -84,11 +84,7 @@ pub fn run_grid(cfg: &GridConfig) -> Vec<Vec<f64>> {
 }
 
 /// Run one grid point and return the full outcome.
-pub fn run_one(
-    data: &autoclass::data::Dataset,
-    p: usize,
-    cfg: &GridConfig,
-) -> ParallelOutcome {
+pub fn run_one(data: &autoclass::data::Dataset, p: usize, cfg: &GridConfig) -> ParallelOutcome {
     let machine = presets::meiko_cs2(p);
     let pc = ParallelConfig {
         search: cfg.search.clone(),
@@ -99,6 +95,7 @@ pub fn run_one(
         recv_timeout: std::time::Duration::from_secs(600),
         ..Default::default()
     };
+    // lint:allow(unwrap): bench harness; a failed simulation should abort the run
     run_search_with(data, &machine, &pc, &opts).expect("simulated run failed")
 }
 
@@ -112,12 +109,7 @@ pub fn fmt_hms(secs: f64) -> String {
 }
 
 /// Print a labeled table: rows = sizes, columns = processor counts.
-pub fn print_table(
-    title: &str,
-    sizes: &[usize],
-    procs: &[usize],
-    cells: &[Vec<String>],
-) {
+pub fn print_table(title: &str, sizes: &[usize], procs: &[usize], cells: &[Vec<String>]) {
     println!("{title}");
     print!("{:>12}", "tuples\\procs");
     for p in procs {
@@ -136,11 +128,8 @@ pub fn print_table(
 /// Parse harness CLI args: `--full` switches to the paper's full
 /// configuration, `--sizes a,b,c` and `--procs a,b,c` override the grid.
 pub fn grid_from_args(args: &[String]) -> GridConfig {
-    let mut cfg = if args.iter().any(|a| a == "--full") {
-        GridConfig::full()
-    } else {
-        GridConfig::quick()
-    };
+    let mut cfg =
+        if args.iter().any(|a| a == "--full") { GridConfig::full() } else { GridConfig::quick() };
     let list_after = |flag: &str| -> Option<Vec<usize>> {
         args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(|v| {
             v.split(',')

@@ -179,9 +179,8 @@ impl MixedMixture {
                 col.push(draw_component(&mut rng, &class.level_probs[k]) as u32);
             }
         }
-        let mut attrs: Vec<Attribute> = (0..n_real)
-            .map(|d| Attribute::real(format!("x{d}"), self.error))
-            .collect();
+        let mut attrs: Vec<Attribute> =
+            (0..n_real).map(|d| Attribute::real(format!("x{d}"), self.error)).collect();
         for (k, lp) in first.level_probs.iter().enumerate() {
             attrs.push(Attribute::discrete(format!("d{k}"), lp.len()));
         }
@@ -239,9 +238,8 @@ pub fn satellite_image(
             }
         }
     }
-    let schema = Schema::new(
-        (0..bands).map(|b| Attribute::real(format!("band{b}"), 1.0)).collect(),
-    );
+    let schema =
+        Schema::new((0..bands).map(|b| Attribute::real(format!("band{b}"), 1.0)).collect());
     let data = Dataset::from_columns(schema, cols.into_iter().map(Column::Real).collect());
     (data, labels)
 }
@@ -270,11 +268,7 @@ pub fn protein_sequences(
         labels.push(fam);
         for (p, col) in cols.iter_mut().enumerate() {
             // 70 % the family's preferred letter, otherwise uniform.
-            let letter = if rng.gen_bool(0.7) {
-                prefs[fam][p]
-            } else {
-                rng.gen_range(0..alphabet)
-            };
+            let letter = if rng.gen_bool(0.7) { prefs[fam][p] } else { rng.gen_range(0..alphabet) };
             col.push(letter as u32);
         }
     }
@@ -316,8 +310,7 @@ pub fn correlated_blobs(
         c1.push(my + l21 * z1 + l22 * z2);
     }
     let schema = Schema::reals(2, 0.01);
-    let data =
-        Dataset::from_columns(schema, vec![Column::Real(c0), Column::Real(c1)]);
+    let data = Dataset::from_columns(schema, vec![Column::Real(c0), Column::Real(c1)]);
     (data, labels)
 }
 
@@ -358,9 +351,7 @@ impl LogNormalMixture {
             }
         }
         let schema = Schema::new(
-            (0..dims)
-                .map(|d| Attribute::positive_real(format!("m{d}"), self.error))
-                .collect(),
+            (0..dims).map(|d| Attribute::positive_real(format!("m{d}"), self.error)).collect(),
         );
         let data = Dataset::from_columns(schema, cols.into_iter().map(Column::Real).collect());
         (data, labels)
@@ -374,32 +365,33 @@ pub fn inject_missing(data: &Dataset, fraction: f64, seed: u64) -> Dataset {
     let mut rng = StdRng::seed_from_u64(seed);
     let view = data.full_view();
     let schema = data.schema().clone();
-    let cols = schema
-        .attributes
-        .iter()
-        .enumerate()
-        .map(|(c, attr)| match attr.kind {
-            autoclass::data::AttributeKind::Real { .. }
-            | autoclass::data::AttributeKind::PositiveReal { .. } => Column::Real(
-                view.real_column(c)
-                    .iter()
-                    .map(|&x| if rng.gen_bool(fraction) { f64::NAN } else { x })
-                    .collect(),
-            ),
-            autoclass::data::AttributeKind::Discrete { .. } => Column::Discrete(
-                view.discrete_column(c)
-                    .iter()
-                    .map(|&l| {
-                        if rng.gen_bool(fraction) {
-                            autoclass::data::MISSING_DISCRETE
-                        } else {
-                            l
-                        }
-                    })
-                    .collect(),
-            ),
-        })
-        .collect();
+    let cols =
+        schema
+            .attributes
+            .iter()
+            .enumerate()
+            .map(|(c, attr)| match attr.kind {
+                autoclass::data::AttributeKind::Real { .. }
+                | autoclass::data::AttributeKind::PositiveReal { .. } => Column::Real(
+                    view.real_column(c)
+                        .iter()
+                        .map(|&x| if rng.gen_bool(fraction) { f64::NAN } else { x })
+                        .collect(),
+                ),
+                autoclass::data::AttributeKind::Discrete { .. } => Column::Discrete(
+                    view.discrete_column(c)
+                        .iter()
+                        .map(|&l| {
+                            if rng.gen_bool(fraction) {
+                                autoclass::data::MISSING_DISCRETE
+                            } else {
+                                l
+                            }
+                        })
+                        .collect(),
+                ),
+            })
+            .collect();
     Dataset::from_columns(schema, cols)
 }
 

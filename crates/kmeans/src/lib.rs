@@ -159,14 +159,9 @@ fn centroids_from_acc(acc: &[f64], d: usize, prev: &[Vec<f64>]) -> (Vec<Vec<f64>
         .map(|c| {
             let count = acc[c * stride];
             if count > 0.0 {
-                let m: Vec<f64> =
-                    (0..d).map(|j| acc[c * stride + 1 + j] / count).collect();
-                movement += m
-                    .iter()
-                    .zip(&prev[c])
-                    .map(|(a, b)| (a - b) * (a - b))
-                    .sum::<f64>()
-                    .sqrt();
+                let m: Vec<f64> = (0..d).map(|j| acc[c * stride + 1 + j] / count).collect();
+                movement +=
+                    m.iter().zip(&prev[c]).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
                 m
             } else {
                 prev[c].clone()
@@ -211,11 +206,7 @@ pub struct ParallelKMeans {
 }
 
 /// The per-rank body, exposed for composition in larger SPMD programs.
-pub fn kmeans_rank_body(
-    comm: &mut Comm,
-    data: &Dataset,
-    config: &KMeansConfig,
-) -> KMeansResult {
+pub fn kmeans_rank_body(comm: &mut Comm, data: &Dataset, config: &KMeansConfig) -> KMeansResult {
     let parts = block_partition(data.len(), comm.size());
     let part = &parts[comm.rank()];
     let view = data.view(part.start, part.end);
@@ -232,8 +223,7 @@ pub fn kmeans_rank_body(
     };
     comm.work((view.len() * k * d) as u64); // init distance scans
     comm.broadcast_f64s(0, &mut flat);
-    let mut centroids: Vec<Vec<f64>> =
-        flat.chunks_exact(d).map(|c| c.to_vec()).collect();
+    let mut centroids: Vec<Vec<f64>> = flat.chunks_exact(d).map(|c| c.to_vec()).collect();
 
     let mut iterations = 0;
     let mut converged = false;
@@ -266,9 +256,9 @@ pub fn kmeans_parallel(
     machine: &MachineSpec,
     config: &KMeansConfig,
 ) -> Result<ParallelKMeans, SimError> {
-    let out = run_spmd(machine, &SimOptions::default(), |comm| {
-        kmeans_rank_body(comm, data, config)
-    })?;
+    let out =
+        run_spmd(machine, &SimOptions::default(), |comm| kmeans_rank_body(comm, data, config))?;
+    // lint:allow(unwrap): machines have at least one rank
     let result = out.per_rank.into_iter().next().expect("at least one rank");
     Ok(ParallelKMeans { result, elapsed: out.elapsed, ranks: out.ranks })
 }

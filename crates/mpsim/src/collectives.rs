@@ -16,9 +16,10 @@
 
 use crate::comm::Comm;
 use crate::cost::AllreduceAlgo;
+use crate::verify::{CollFingerprint, CollKind};
 
 /// Base of the tag space reserved for collectives (above all user tags).
-const COLL_TAG_BASE: u64 = 1 << 32;
+pub(crate) const COLL_TAG_BASE: u64 = 1 << 32;
 
 /// Element-wise reduction operator over `f64` vectors. All operators are
 /// commutative, which the recursive-doubling algorithm exploits to keep
@@ -51,20 +52,19 @@ impl ReduceOp {
     }
 }
 
-impl Comm {
-    /// Allocate the unique tag for the next collective call on this rank.
-    fn coll_tag(&mut self) -> u64 {
-        self.coll_seq += 1;
-        COLL_TAG_BASE + self.coll_seq
-    }
+/// Shorthand for building the fingerprint a collective posts on entry.
+fn fp(kind: CollKind, root: Option<usize>, op: Option<ReduceOp>, elems: usize) -> CollFingerprint {
+    CollFingerprint { kind, root, op, elems: Some(elems) }
+}
 
+impl Comm {
     /// Synchronize all ranks (dissemination barrier, `ceil(log2 P)` rounds).
     pub fn barrier(&mut self) {
         let p = self.size();
         if p <= 1 {
             return;
         }
-        let tag = self.coll_tag();
+        let tag = self.coll_enter(fp(CollKind::Barrier, None, None, 0));
         let me = self.rank();
         let mut k = 1usize;
         while k < p {
@@ -84,7 +84,7 @@ impl Comm {
         if p <= 1 {
             return;
         }
-        let tag = self.coll_tag();
+        let tag = self.coll_enter(fp(CollKind::Broadcast, Some(root), None, buf.len()));
         let me = self.rank();
         let vrank = (me + p - root) % p;
 
@@ -115,6 +115,8 @@ impl Comm {
             }
             mask >>= 1;
         }
+        // Every rank now holds the root's data — a replication invariant.
+        self.check_replicated_result("broadcast result", buf);
     }
 
     /// Reduce element-wise into `root` (binomial tree). After the call the
@@ -125,7 +127,7 @@ impl Comm {
         if p <= 1 {
             return;
         }
-        let tag = self.coll_tag();
+        let tag = self.coll_enter(fp(CollKind::Reduce, Some(root), Some(op), buf.len()));
         let me = self.rank();
         let vrank = (me + p - root) % p;
 
@@ -161,23 +163,29 @@ impl Comm {
         if self.size() <= 1 {
             return;
         }
+        // The fingerprint is posted before algorithm dispatch, so a length
+        // or operator divergence is caught even when the chosen algorithm
+        // would route the mismatched buffers past each other.
+        let tag = self.coll_enter(fp(CollKind::Allreduce, None, Some(op), buf.len()));
         match algo {
             AllreduceAlgo::Linear | AllreduceAlgo::OrderedLinear => {
-                self.allreduce_linear(buf, op)
+                self.allreduce_linear(buf, op, tag)
             }
-            AllreduceAlgo::RecursiveDoubling => self.allreduce_rd(buf, op),
-            AllreduceAlgo::Ring => self.allreduce_ring(buf, op),
+            AllreduceAlgo::RecursiveDoubling => self.allreduce_rd(buf, op, tag),
+            AllreduceAlgo::Ring => self.allreduce_ring(buf, op, tag),
         }
+        // Every rank now holds the same reduction (the simulator's
+        // algorithms are bitwise deterministic) — a replication invariant.
+        self.check_replicated_result("allreduce result", buf);
     }
 
     /// Gather to rank 0 (folding in rank order, so the floating-point
     /// reduction order is deterministic and independent of the algorithm's
     /// tree shape), then send the result back to every rank individually.
     /// `O(P)` latencies — the behaviour of early-90s MPI reductions.
-    fn allreduce_linear(&mut self, buf: &mut [f64], op: ReduceOp) {
+    fn allreduce_linear(&mut self, buf: &mut [f64], op: ReduceOp, tag: u64) {
         let p = self.size();
         let me = self.rank();
-        let tag = self.coll_tag();
         if me == 0 {
             for src in 1..p {
                 let data = self.recv_f64s(src, tag);
@@ -204,10 +212,9 @@ impl Comm {
     /// exchanges. Non-power-of-two sizes park the excess ranks: each extra
     /// rank first folds its vector into a partner in the power-of-two
     /// group and receives the final result afterwards (the MPICH scheme).
-    fn allreduce_rd(&mut self, buf: &mut [f64], op: ReduceOp) {
+    fn allreduce_rd(&mut self, buf: &mut [f64], op: ReduceOp, tag: u64) {
         let p = self.size();
         let me = self.rank();
-        let tag = self.coll_tag();
         let pow2 = p.next_power_of_two() / if p.is_power_of_two() { 1 } else { 2 };
         let rem = p - pow2;
 
@@ -241,10 +248,9 @@ impl Comm {
 
     /// Ring allreduce: reduce-scatter then allgather, `2(P-1)` rounds of
     /// `~m/P`-sized messages. Bandwidth-optimal for long vectors.
-    fn allreduce_ring(&mut self, buf: &mut [f64], op: ReduceOp) {
+    fn allreduce_ring(&mut self, buf: &mut [f64], op: ReduceOp, tag: u64) {
         let p = self.size();
         let me = self.rank();
-        let tag = self.coll_tag();
         let n = buf.len();
         if n == 0 {
             // Still synchronize so the collective sequence stays aligned.
@@ -294,7 +300,7 @@ impl Comm {
     pub fn gather_f64s(&mut self, root: usize, mine: &[f64]) -> Option<Vec<f64>> {
         let p = self.size();
         let me = self.rank();
-        let tag = self.coll_tag();
+        let tag = self.coll_enter(fp(CollKind::Gather, Some(root), None, mine.len()));
         if me == root {
             let mut all = Vec::with_capacity(mine.len() * p);
             for src in 0..p {
@@ -318,7 +324,7 @@ impl Comm {
     pub fn allgather_f64s(&mut self, mine: &[f64]) -> Vec<Vec<f64>> {
         let p = self.size();
         let me = self.rank();
-        let tag = self.coll_tag();
+        let tag = self.coll_enter(fp(CollKind::Allgather, None, None, mine.len()));
         let mut blocks: Vec<Vec<f64>> = vec![Vec::new(); p];
         blocks[me] = mine.to_vec();
         if p == 1 {
@@ -345,13 +351,12 @@ impl Comm {
     pub fn scatter_f64s(&mut self, root: usize, blocks: Option<&[Vec<f64>]>) -> Vec<f64> {
         let p = self.size();
         let me = self.rank();
-        let tag = self.coll_tag();
+        let tag =
+            self.coll_enter(fp(CollKind::Scatter, Some(root), None, blocks.map_or(0, |b| b.len())));
         if me == root {
             let blocks = match blocks {
                 Some(b) if b.len() == p => b,
-                Some(b) => {
-                    self.mismatch(format!("scatter got {} blocks for {} ranks", b.len(), p))
-                }
+                Some(b) => self.mismatch(format!("scatter got {} blocks for {} ranks", b.len(), p)),
                 None => self.mismatch("scatter root must supply blocks".into()),
             };
             for (dst, block) in blocks.iter().enumerate() {
@@ -376,7 +381,7 @@ impl Comm {
         if send.len() != p {
             self.mismatch(format!("alltoall got {} blocks for {} ranks", send.len(), p));
         }
-        let tag = self.coll_tag();
+        let tag = self.coll_enter(fp(CollKind::Alltoall, None, None, send.len()));
         let mut recv: Vec<Vec<f64>> = vec![Vec::new(); p];
         recv[me] = send[me].clone();
         // Pairwise exchange by offset; sends are buffered so the
@@ -398,7 +403,7 @@ impl Comm {
         if p <= 1 {
             return;
         }
-        let tag = self.coll_tag();
+        let tag = self.coll_enter(fp(CollKind::Scan, None, Some(op), buf.len()));
         if me > 0 {
             let prefix = self.recv_f64s(me - 1, tag);
             // Keep rank order: result = reduce(prefix, mine).

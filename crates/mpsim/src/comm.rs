@@ -18,16 +18,16 @@
 
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
 
 use crate::clock::Clock;
 use crate::cost::MachineSpec;
 use crate::error::SimError;
 use crate::payload::{decode_f64s, decode_u64s, encode_f64s, encode_u64s};
 use crate::trace::{Event, EventKind, RankStats};
+use crate::verify::{hash_f64s, CollFingerprint, VerifyState, USER_REPL_COMM, WORLD_COMM};
 
 /// Highest tag value available to user point-to-point messages. Collectives
 /// use tags above this range so that user traffic can never be confused
@@ -70,8 +70,12 @@ pub struct Comm {
     /// ranks must invoke collectives in the same order (SPMD discipline),
     /// exactly as MPI requires.
     pub(crate) coll_seq: u64,
+    /// Monotone counter for user-level [`Comm::verify_replicated`] calls.
+    repl_seq: u64,
     /// Message event trace; `None` when tracing is disabled.
     events: Option<Vec<Event>>,
+    /// Shared verification state; `None` when every check is disabled.
+    pub(crate) verify: Option<Arc<VerifyState>>,
 }
 
 impl Comm {
@@ -84,6 +88,7 @@ impl Comm {
         abort: Arc<AtomicBool>,
         recv_timeout: Duration,
         record_events: bool,
+        verify: Option<Arc<VerifyState>>,
     ) -> Self {
         let size = spec.p;
         Comm {
@@ -98,7 +103,9 @@ impl Comm {
             abort,
             recv_timeout,
             coll_seq: 0,
+            repl_seq: 0,
             events: record_events.then(Vec::new),
+            verify,
         }
     }
 
@@ -151,7 +158,7 @@ impl Comm {
         }
     }
 
-    fn fail(&self, err: SimError) -> ! {
+    pub(crate) fn fail(&self, err: SimError) -> ! {
         self.abort.store(true, Ordering::Relaxed);
         std::panic::panic_any(AbortPanic(err));
     }
@@ -178,10 +185,23 @@ impl Comm {
             });
         }
         let env = Envelope { tag, depart: self.clock.now(), bytes };
-        // The receiver can only be gone if the run is being torn down after
-        // a failure elsewhere; surface that as an abort.
+        // Count the send before the envelope becomes visible, so the
+        // deadlock detector can never see a quiescent edge with a message
+        // actually in flight.
+        if let Some(v) = &self.verify {
+            v.record_send(self.rank, dst);
+        }
+        // The receiver is gone either because the run is aborting after a
+        // failure elsewhere, or because `dst` already finished its body and
+        // will never receive again. The latter is legal for a buffered
+        // send (the bytes are simply never read), but the verifier must
+        // not keep counting it as in flight or the deadlock detector would
+        // treat the edge to the finished rank as forever busy.
         if self.outboxes[dst].send(env).is_err() {
-            self.fail(SimError::Aborted { rank: self.rank });
+            if let Some(v) = &self.verify {
+                v.unrecord_send(self.rank, dst);
+            }
+            self.check_abort();
         }
     }
 
@@ -192,17 +212,40 @@ impl Comm {
         assert!(src < self.size, "recv from rank {src} but size is {}", self.size);
         // First consume any stashed message with a matching tag.
         if let Some(pos) = self.stash[src].iter().position(|e| e.tag == tag) {
+            // lint:allow(unwrap): the index came from position() on the same deque
             let env = self.stash[src].remove(pos).expect("position is valid");
             return self.accept(src, env);
+        }
+        let detect = self.verify.as_ref().filter(|v| v.opts().detect_deadlock).cloned();
+        if let Some(v) = &detect {
+            v.register_wait(self.rank, src, tag);
         }
         let deadline = Instant::now() + self.recv_timeout;
         loop {
             self.check_abort();
             match self.inboxes[src].recv_timeout(RECV_SLICE) {
-                Ok(env) if env.tag == tag => return self.accept(src, env),
-                Ok(env) => self.stash[src].push_back(env),
+                Ok(env) => {
+                    let matched = env.tag == tag;
+                    if let Some(v) = &detect {
+                        v.record_pull(self.rank, src, matched);
+                    }
+                    if matched {
+                        return self.accept(src, env);
+                    }
+                    self.stash[src].push_back(env);
+                }
                 Err(RecvTimeoutError::Timeout) => {
+                    // A full slice passed with nothing arriving: cheap
+                    // moment to look for a provable deadlock before (long
+                    // before) the wall-clock timeout trips.
+                    if let Some(err) = detect.as_ref().and_then(|v| v.scan_for_deadlock(self.rank))
+                    {
+                        self.fail(err);
+                    }
                     if Instant::now() >= deadline {
+                        if let Some(v) = &detect {
+                            v.clear_wait(self.rank);
+                        }
                         self.fail(SimError::RecvTimeout { rank: self.rank, from: src, tag });
                     }
                 }
@@ -272,5 +315,69 @@ impl Comm {
     /// they can detect inconsistency cheaply).
     pub(crate) fn mismatch(&self, detail: String) -> ! {
         self.fail(SimError::CollectiveMismatch { rank: self.rank, detail })
+    }
+
+    /// Enter a collective: allocate its unique tag, count it, and — when
+    /// collective checking is enabled — cross-validate this rank's
+    /// fingerprint against the other ranks' claims for the same sequence
+    /// number, failing the run on divergence.
+    pub(crate) fn coll_enter(&mut self, fp: CollFingerprint) -> u64 {
+        self.coll_seq += 1;
+        self.stats.collectives += 1;
+        if let Some(v) = &self.verify {
+            if v.opts().check_collectives {
+                if let Err(e) =
+                    v.check_collective(self.rank, WORLD_COMM, self.coll_seq, self.size, fp)
+                {
+                    self.fail(e);
+                }
+            }
+        }
+        crate::collectives::COLL_TAG_BASE + self.coll_seq
+    }
+
+    /// Hash a collective's replicated result buffer and cross-check it
+    /// against the other ranks (no-op unless replication checking is on).
+    pub(crate) fn check_replicated_result(&mut self, label: &str, buf: &[f64]) {
+        let Some(v) = &self.verify else { return };
+        if !v.opts().check_replication {
+            return;
+        }
+        let hash = hash_f64s(buf);
+        if let Err(e) =
+            v.check_replication(self.rank, WORLD_COMM, self.coll_seq, self.size, label, hash)
+        {
+            self.fail(e);
+        }
+    }
+
+    /// Whether replication-invariant hashing is enabled for this run.
+    /// Lets callers skip assembling a flattened buffer for
+    /// [`verify_replicated`](Self::verify_replicated) when it is off.
+    pub fn checks_replication(&self) -> bool {
+        self.verify.as_ref().is_some_and(|v| v.opts().check_replication)
+    }
+
+    /// Assert that `data` is bitwise identical on every rank.
+    ///
+    /// Must be called by **all** ranks, in the same program order (like a
+    /// collective); each call hashes the local buffer and cross-checks the
+    /// digest against the other ranks'. A mismatch fails the run with
+    /// [`SimError::ReplicationDivergence`] naming the diverging ranks and
+    /// hashes. No-op (beyond one branch) unless
+    /// [`crate::verify::VerifyOptions::check_replication`] is enabled, so
+    /// calls can stay in production code paths.
+    pub fn verify_replicated(&mut self, label: &str, data: &[f64]) {
+        let Some(v) = &self.verify else { return };
+        if !v.opts().check_replication {
+            return;
+        }
+        self.repl_seq += 1;
+        let hash = hash_f64s(data);
+        if let Err(e) =
+            v.check_replication(self.rank, USER_REPL_COMM, self.repl_seq, self.size, label, hash)
+        {
+            self.fail(e);
+        }
     }
 }

@@ -8,15 +8,15 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::AtomicBool;
+use std::sync::mpsc::channel;
 use std::sync::Arc;
 use std::time::Duration;
-
-use crossbeam::channel::unbounded;
 
 use crate::comm::{AbortPanic, Comm, Envelope};
 use crate::cost::MachineSpec;
 use crate::error::SimError;
 use crate::trace::{RankStats, RunStats};
+use crate::verify::{VerifyOptions, VerifyState};
 
 /// Engine knobs that are about the *simulation host*, not the modeled
 /// machine (which lives in [`MachineSpec`]).
@@ -28,11 +28,27 @@ pub struct SimOptions {
     /// Record a per-rank message event trace (see
     /// [`crate::trace::Event`]); returned in [`SpmdOutput::events`].
     pub record_events: bool,
+    /// Which correctness checks run alongside the program (see
+    /// [`crate::verify`]). The default enables only deadlock detection,
+    /// which costs nothing until a receive has already stalled.
+    pub verify: VerifyOptions,
 }
 
 impl Default for SimOptions {
     fn default() -> Self {
-        SimOptions { recv_timeout: Duration::from_secs(120), record_events: false }
+        SimOptions {
+            recv_timeout: Duration::from_secs(120),
+            record_events: false,
+            verify: VerifyOptions::default(),
+        }
+    }
+}
+
+impl SimOptions {
+    /// Options with every verification layer enabled: collective
+    /// fingerprinting, deadlock detection, and replication hashing.
+    pub fn verified() -> Self {
+        SimOptions { verify: VerifyOptions::all(), ..Default::default() }
     }
 }
 
@@ -63,7 +79,11 @@ pub struct SpmdOutput<T> {
 /// timeout beats a follow-on abort, so the root cause is reported rather
 /// than a symptom.
 #[allow(clippy::needless_range_loop)] // (src, dst) index pairs read clearer
-pub fn run_spmd<T, F>(spec: &MachineSpec, opts: &SimOptions, f: F) -> Result<SpmdOutput<T>, SimError>
+pub fn run_spmd<T, F>(
+    spec: &MachineSpec,
+    opts: &SimOptions,
+    f: F,
+) -> Result<SpmdOutput<T>, SimError>
 where
     T: Send,
     F: Fn(&mut Comm) -> T + Sync,
@@ -74,15 +94,16 @@ where
     }
     let spec = Arc::new(spec.clone());
     let abort = Arc::new(AtomicBool::new(false));
+    let verify = opts.verify.any().then(|| Arc::new(VerifyState::new(p, opts.verify.clone())));
 
     // Full mesh of unbounded channels: matrix[src][dst].
-    let mut senders: Vec<Vec<crossbeam::channel::Sender<Envelope>>> = Vec::with_capacity(p);
-    let mut receivers: Vec<Vec<Option<crossbeam::channel::Receiver<Envelope>>>> =
+    let mut senders: Vec<Vec<std::sync::mpsc::Sender<Envelope>>> = Vec::with_capacity(p);
+    let mut receivers: Vec<Vec<Option<std::sync::mpsc::Receiver<Envelope>>>> =
         (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
     for src in 0..p {
         let mut row = Vec::with_capacity(p);
         for dst in 0..p {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             row.push(tx);
             receivers[dst][src] = Some(rx);
         }
@@ -98,11 +119,13 @@ where
             let outboxes = senders[rank].clone();
             let inboxes: Vec<_> = receivers[rank]
                 .iter_mut()
-                .map(|r| r.take().expect("each receiver is taken exactly once"))
+                // lint:allow(unwrap): each receiver is taken exactly once, by construction
+                .map(|r| r.take().expect("receiver already taken"))
                 .collect();
             let f = &f;
             let recv_timeout = opts.recv_timeout;
             let record_events = opts.record_events;
+            let verify = verify.clone();
             handles.push(scope.spawn(move || {
                 let mut comm = Comm::new(
                     rank,
@@ -112,10 +135,19 @@ where
                     abort.clone(),
                     recv_timeout,
                     record_events,
+                    verify.clone(),
                 );
                 let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut comm)));
                 match outcome {
-                    Ok(value) => Ok((value, comm.stats(), comm.take_events())),
+                    Ok(value) => {
+                        // Mark completion before dropping the comm so the
+                        // deadlock detector can tell "will never send
+                        // again" apart from "still running".
+                        if let Some(v) = &verify {
+                            v.mark_done(rank);
+                        }
+                        Ok((value, comm.stats(), comm.take_events()))
+                    }
                     Err(payload) => {
                         abort.store(true, std::sync::atomic::Ordering::Relaxed);
                         Err(classify_panic(rank, payload))
@@ -125,11 +157,18 @@ where
         }
         handles
             .into_iter()
-            .map(|h| h.join().unwrap_or_else(|_| {
-                // The worker itself never panics outside catch_unwind, but
-                // be defensive: report it as a rank panic.
-                Err::<(T, RankStats, Vec<crate::trace::Event>), _>(SimError::RankPanicked { rank: usize::MAX, message: "worker died".into() })
-            }))
+            .enumerate()
+            .map(|(rank, h)| {
+                h.join().unwrap_or_else(|_| {
+                    // The worker itself never panics outside catch_unwind,
+                    // but be defensive: report it as a rank panic, with the
+                    // actual rank (the handles are in spawn = rank order).
+                    Err::<(T, RankStats, Vec<crate::trace::Event>), _>(SimError::RankPanicked {
+                        rank,
+                        message: "worker thread died outside catch_unwind".into(),
+                    })
+                })
+            })
             .collect()
     });
 
@@ -174,6 +213,9 @@ fn severity(e: &SimError) -> u8 {
     match e {
         SimError::RankPanicked { .. } => 3,
         SimError::CollectiveMismatch { .. } => 3,
+        SimError::CollectiveDivergence { .. } => 3,
+        SimError::Deadlock { .. } => 3,
+        SimError::ReplicationDivergence { .. } => 3,
         SimError::RecvTimeout { .. } => 2,
         SimError::InvalidMachine(_) => 2,
         SimError::Aborted { .. } => 1,
@@ -247,14 +289,73 @@ mod tests {
     }
 
     #[test]
-    fn mismatched_collective_times_out() {
+    fn mismatched_collective_is_diagnosed_as_deadlock() {
+        // Rank 1 skips the barrier and finishes; rank 0 blocks forever.
+        // The default-on detector must prove the deadlock long before the
+        // receive timeout (set far above the asserted bound) would fire.
         let spec = presets::zero_cost(2);
-        let opts = SimOptions { recv_timeout: Duration::from_millis(200), ..Default::default() };
+        let opts = SimOptions { recv_timeout: Duration::from_secs(120), ..Default::default() };
+        let start = std::time::Instant::now();
+        let r = run_spmd::<(), _>(&spec, &opts, |c| {
+            if c.rank() == 0 {
+                c.barrier(); // rank 1 never joins
+            }
+        });
+        let elapsed = start.elapsed();
+        match r {
+            Err(SimError::Deadlock { detail, .. }) => {
+                assert!(detail.contains("rank 0 waits on rank 1"), "{detail}");
+                assert!(detail.contains("finished"), "{detail}");
+            }
+            other => panic!("expected Deadlock, got {other:?}"),
+        }
+        assert!(elapsed < Duration::from_secs(1), "diagnosis took {elapsed:?}");
+    }
+
+    #[test]
+    fn mismatched_collective_times_out_without_detection() {
+        // With the detector off, the old wall-clock timeout is the
+        // backstop (kept as a regression test for that path).
+        let spec = presets::zero_cost(2);
+        let opts = SimOptions {
+            recv_timeout: Duration::from_millis(200),
+            verify: crate::verify::VerifyOptions::none(),
+            ..Default::default()
+        };
         let r = run_spmd::<(), _>(&spec, &opts, |c| {
             if c.rank() == 0 {
                 c.barrier(); // rank 1 never joins
             }
         });
         assert!(matches!(r, Err(SimError::RecvTimeout { .. })), "got {r:?}");
+    }
+
+    #[test]
+    fn send_recv_cycle_is_diagnosed_with_full_wait_graph() {
+        // Classic head-to-head deadlock: every rank receives from its right
+        // neighbour before sending anything.
+        let spec = presets::zero_cost(3);
+        let opts = SimOptions { recv_timeout: Duration::from_secs(120), ..Default::default() };
+        let start = std::time::Instant::now();
+        let r = run_spmd::<(), _>(&spec, &opts, |c| {
+            let from = (c.rank() + 1) % c.size();
+            let _ = c.recv_f64s(from, 7);
+        });
+        let elapsed = start.elapsed();
+        match r {
+            Err(SimError::Deadlock { cycle, detail, .. }) => {
+                let mut cycle = cycle;
+                cycle.sort_unstable();
+                assert_eq!(cycle, vec![0, 1, 2], "{detail}");
+                for rank in 0..3 {
+                    assert!(
+                        detail.contains(&format!("rank {rank} waits on rank {}", (rank + 1) % 3)),
+                        "{detail}"
+                    );
+                }
+            }
+            other => panic!("expected Deadlock, got {other:?}"),
+        }
+        assert!(elapsed < Duration::from_secs(1), "diagnosis took {elapsed:?}");
     }
 }

@@ -20,6 +20,23 @@ pub enum SimError {
     /// A collective was called with arguments inconsistent across ranks
     /// (detected where cheaply possible, e.g. mismatched buffer lengths).
     CollectiveMismatch { rank: usize, detail: String },
+    /// Cross-rank collective divergence caught by the fingerprint checker
+    /// (see [`crate::verify`]): at the same sequence number two ranks
+    /// called different collectives, or the same collective with
+    /// incompatible root / operator / element count. `seq` is the
+    /// per-communicator collective sequence number at which they diverged.
+    CollectiveDivergence { rank: usize, seq: u64, detail: String },
+    /// The wait-for-graph detector (see [`crate::verify`]) proved the run
+    /// can never make progress: a cycle of ranks blocked on each other, or
+    /// a rank blocked on a rank that already finished. `cycle` lists the
+    /// ranks forming the cycle (empty for the finished-peer case); `detail`
+    /// renders the full wait-for graph.
+    Deadlock { rank: usize, cycle: Vec<usize>, detail: String },
+    /// Replication-invariant violation (see [`crate::verify`]): a value
+    /// that must be bitwise identical on every rank of the communicator
+    /// (an allreduce/broadcast result, or a buffer passed to
+    /// [`crate::Comm::verify_replicated`]) hashed differently across ranks.
+    ReplicationDivergence { rank: usize, seq: u64, detail: String },
 }
 
 impl fmt::Display for SimError {
@@ -39,6 +56,19 @@ impl fmt::Display for SimError {
             SimError::InvalidMachine(msg) => write!(f, "invalid machine: {msg}"),
             SimError::CollectiveMismatch { rank, detail } => {
                 write!(f, "collective argument mismatch on rank {rank}: {detail}")
+            }
+            SimError::CollectiveDivergence { rank, seq, detail } => {
+                write!(f, "collective divergence at collective #{seq} (rank {rank}): {detail}")
+            }
+            SimError::Deadlock { rank, cycle, detail } => {
+                write!(f, "deadlock detected by rank {rank}")?;
+                if !cycle.is_empty() {
+                    write!(f, " (cycle: {cycle:?})")?;
+                }
+                write!(f, ": {detail}")
+            }
+            SimError::ReplicationDivergence { rank, seq, detail } => {
+                write!(f, "replication divergence at check #{seq} (rank {rank}): {detail}")
             }
         }
     }
@@ -63,13 +93,7 @@ mod tests {
 
     #[test]
     fn errors_compare_by_value() {
-        assert_eq!(
-            SimError::Aborted { rank: 2 },
-            SimError::Aborted { rank: 2 }
-        );
-        assert_ne!(
-            SimError::Aborted { rank: 2 },
-            SimError::Aborted { rank: 3 }
-        );
+        assert_eq!(SimError::Aborted { rank: 2 }, SimError::Aborted { rank: 2 });
+        assert_ne!(SimError::Aborted { rank: 2 }, SimError::Aborted { rank: 3 });
     }
 }

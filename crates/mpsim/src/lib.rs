@@ -40,6 +40,9 @@
 //! * [`subcomm`] — sub-communicators (`MPI_Comm_split` analogue)
 //! * [`engine`] — the SPMD launcher ([`run_spmd`])
 //! * [`trace`] — per-rank and aggregate statistics
+//! * [`verify`] — opt-in SPMD correctness verification: collective
+//!   fingerprint cross-validation, wait-for-graph deadlock detection, and
+//!   replication-invariant hashing (see [`SimOptions::verified`])
 
 #![warn(missing_docs)]
 
@@ -53,6 +56,7 @@ pub mod payload;
 pub mod subcomm;
 pub mod topology;
 pub mod trace;
+pub mod verify;
 
 pub use collectives::ReduceOp;
 pub use comm::{Comm, MAX_USER_TAG};
@@ -62,3 +66,4 @@ pub use error::SimError;
 pub use subcomm::SubComm;
 pub use topology::Topology;
 pub use trace::{Event, EventKind, RankStats, RunStats};
+pub use verify::{CollFingerprint, CollKind, VerifyOptions};

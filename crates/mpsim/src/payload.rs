@@ -20,9 +20,14 @@ pub fn encode_f64s(values: &[f64]) -> Vec<u8> {
 /// # Panics
 /// Panics if the length is not a multiple of 8.
 pub fn decode_f64s(bytes: &[u8]) -> Vec<f64> {
-    assert!(bytes.len().is_multiple_of(8), "f64 payload length {} not a multiple of 8", bytes.len());
+    assert!(
+        bytes.len().is_multiple_of(8),
+        "f64 payload length {} not a multiple of 8",
+        bytes.len()
+    );
     bytes
         .chunks_exact(8)
+        // lint:allow(unwrap): chunks_exact(8) yields 8-byte chunks
         .map(|c| f64::from_le_bytes(c.try_into().expect("chunk is 8 bytes")))
         .collect()
 }
@@ -35,6 +40,7 @@ pub fn decode_f64s(bytes: &[u8]) -> Vec<f64> {
 pub fn decode_f64s_into(bytes: &[u8], out: &mut [f64]) {
     assert_eq!(bytes.len(), out.len() * 8, "payload/buffer length mismatch");
     for (c, o) in bytes.chunks_exact(8).zip(out.iter_mut()) {
+        // lint:allow(unwrap): chunks_exact(8) yields 8-byte chunks
         *o = f64::from_le_bytes(c.try_into().expect("chunk is 8 bytes"));
     }
 }
@@ -53,9 +59,14 @@ pub fn encode_u64s(values: &[u64]) -> Vec<u8> {
 /// # Panics
 /// Panics if the length is not a multiple of 8.
 pub fn decode_u64s(bytes: &[u8]) -> Vec<u64> {
-    assert!(bytes.len().is_multiple_of(8), "u64 payload length {} not a multiple of 8", bytes.len());
+    assert!(
+        bytes.len().is_multiple_of(8),
+        "u64 payload length {} not a multiple of 8",
+        bytes.len()
+    );
     bytes
         .chunks_exact(8)
+        // lint:allow(unwrap): chunks_exact(8) yields 8-byte chunks
         .map(|c| u64::from_le_bytes(c.try_into().expect("chunk is 8 bytes")))
         .collect()
 }

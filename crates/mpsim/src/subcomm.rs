@@ -12,6 +12,7 @@
 
 use crate::collectives::ReduceOp;
 use crate::comm::Comm;
+use crate::verify::{CollFingerprint, CollKind};
 
 /// Tag-space marker for sub-communicator traffic (bit 63).
 const SUB_TAG_BASE: u64 = 1 << 63;
@@ -27,6 +28,9 @@ pub struct SubComm<'a> {
     color: u32,
     /// Per-group collective sequence number.
     seq: u64,
+    /// Registry id for the verifier: distinguishes this group from the
+    /// world communicator and from groups of other splits/colors.
+    comm_id: u64,
 }
 
 impl Comm {
@@ -36,17 +40,19 @@ impl Comm {
         // Allgather (world) of colors to agree on the membership.
         let mine = [color as f64];
         let all = self.allgather_f64s(&mine);
-        let members: Vec<usize> = all
-            .iter()
-            .enumerate()
-            .filter(|(_, c)| c[0] as u32 == color)
-            .map(|(r, _)| r)
-            .collect();
+        let members: Vec<usize> =
+            all.iter().enumerate().filter(|(_, c)| c[0] as u32 == color).map(|(r, _)| r).collect();
         let rank = members
             .iter()
             .position(|&r| r == self.rank())
+            // lint:allow(unwrap): the allgather included this rank's own color
             .expect("calling rank is in its own color group");
-        SubComm { world: self, members, rank, color, seq: 0 }
+        // All members observed the same split allgather, so they agree on
+        // the world collective sequence number and derive the same id;
+        // including it keeps successive same-color splits distinct in the
+        // verifier's registry.
+        let comm_id = SUB_TAG_BASE | (u64::from(color) << 32) | self.coll_seq;
+        SubComm { world: self, members, rank, color, seq: 0, comm_id }
     }
 }
 
@@ -76,6 +82,47 @@ impl SubComm<'_> {
         SUB_TAG_BASE | (u64::from(self.color) << 32) | self.seq
     }
 
+    /// Enter a group collective: allocate its tag and cross-validate the
+    /// fingerprint against the other group members (world-rank labelled,
+    /// so divergence reports stay unambiguous).
+    fn coll_enter(
+        &mut self,
+        kind: CollKind,
+        root: Option<usize>,
+        op: Option<ReduceOp>,
+        elems: usize,
+    ) -> u64 {
+        let tag = self.next_tag();
+        let world_rank = self.members[self.rank];
+        if let Some(v) = &self.world.verify {
+            if v.opts().check_collectives {
+                let fp = CollFingerprint { kind, root, op, elems: Some(elems) };
+                if let Err(e) =
+                    v.check_collective(world_rank, self.comm_id, self.seq, self.members.len(), fp)
+                {
+                    self.world.fail(e);
+                }
+            }
+        }
+        tag
+    }
+
+    /// Hash a group collective's replicated result and cross-check it
+    /// within the group (no-op unless replication checking is on).
+    fn check_replicated_result(&mut self, label: &str, buf: &[f64]) {
+        let world_rank = self.members[self.rank];
+        let Some(v) = &self.world.verify else { return };
+        if !v.opts().check_replication {
+            return;
+        }
+        let hash = crate::verify::hash_f64s(buf);
+        if let Err(e) =
+            v.check_replication(world_rank, self.comm_id, self.seq, self.members.len(), label, hash)
+        {
+            self.world.fail(e);
+        }
+    }
+
     fn send(&mut self, sub_dst: usize, tag: u64, values: &[f64]) {
         let dst = self.members[sub_dst];
         self.world.send_f64s(dst, tag, values);
@@ -92,7 +139,7 @@ impl SubComm<'_> {
         if p <= 1 {
             return;
         }
-        let tag = self.next_tag();
+        let tag = self.coll_enter(CollKind::Barrier, None, None, 0);
         let me = self.rank;
         let mut k = 1usize;
         while k < p {
@@ -108,7 +155,7 @@ impl SubComm<'_> {
         if p <= 1 {
             return;
         }
-        let tag = self.next_tag();
+        let tag = self.coll_enter(CollKind::Broadcast, Some(root), None, buf.len());
         let me = self.rank;
         let vrank = (me + p - root) % p;
         let mut mask = 1usize;
@@ -130,6 +177,7 @@ impl SubComm<'_> {
             }
             mask >>= 1;
         }
+        self.check_replicated_result("group broadcast result", buf);
     }
 
     /// Allreduce over the group (recursive doubling with the standard
@@ -139,7 +187,7 @@ impl SubComm<'_> {
         if p <= 1 {
             return;
         }
-        let tag = self.next_tag();
+        let tag = self.coll_enter(CollKind::Allreduce, None, Some(op), buf.len());
         let me = self.rank;
         let pow2 = if p.is_power_of_two() { p } else { p.next_power_of_two() / 2 };
         let rem = p - pow2;
@@ -150,6 +198,7 @@ impl SubComm<'_> {
             self.send(partner, tag, &copy);
             let data = self.recv(partner, tag);
             buf.copy_from_slice(&data);
+            self.check_replicated_result("group allreduce result", buf);
             return;
         }
         if me < rem {
@@ -169,13 +218,14 @@ impl SubComm<'_> {
             let copy = buf.to_vec();
             self.send(me + pow2, tag, &copy);
         }
+        self.check_replicated_result("group allreduce result", buf);
     }
 
     /// Gather variable-length vectors to the group-rank `root`,
     /// concatenated in group-rank order. `Some` on the root.
     pub fn gather_f64s(&mut self, root: usize, mine: &[f64]) -> Option<Vec<f64>> {
         let p = self.size();
-        let tag = self.next_tag();
+        let tag = self.coll_enter(CollKind::Gather, Some(root), None, mine.len());
         if self.rank == root {
             let mut all = Vec::with_capacity(mine.len() * p);
             for src in 0..p {

@@ -48,6 +48,11 @@ pub struct RankStats {
     pub msgs_recvd: u64,
     /// Payload bytes received.
     pub bytes_recvd: u64,
+    /// Collective operations entered (world communicator); also the
+    /// sequence number the verifier's fingerprint registry is keyed by,
+    /// which makes a [`crate::SimError::CollectiveDivergence`] report easy
+    /// to line up against a trace.
+    pub collectives: u64,
 }
 
 impl RankStats {

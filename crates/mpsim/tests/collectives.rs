@@ -101,11 +101,8 @@ fn broadcast_delivers_root_data_from_any_root() {
         for root in 0..p {
             let spec = presets::zero_cost(p);
             let out = run_spmd_default(&spec, |c| {
-                let mut buf = if c.rank() == root {
-                    vec![root as f64, 42.0, -1.0]
-                } else {
-                    vec![0.0; 3]
-                };
+                let mut buf =
+                    if c.rank() == root { vec![root as f64, 42.0, -1.0] } else { vec![0.0; 3] };
                 c.broadcast_f64s(root, &mut buf);
                 buf
             })
@@ -247,8 +244,8 @@ fn broadcast_u64_is_bit_exact() {
 #[test]
 fn allreduce_scalar_sums() {
     let spec = presets::zero_cost(7);
-    let out = run_spmd_default(&spec, |c| c.allreduce_scalar(c.rank() as f64, ReduceOp::Sum))
-        .unwrap();
+    let out =
+        run_spmd_default(&spec, |c| c.allreduce_scalar(c.rank() as f64, ReduceOp::Sum)).unwrap();
     assert!(out.per_rank.iter().all(|&v| v == 21.0));
 }
 

@@ -5,12 +5,7 @@ use mpsim::{presets, run_spmd_default, AllreduceAlgo, ReduceOp};
 use proptest::prelude::*;
 
 fn op_strategy() -> impl Strategy<Value = ReduceOp> {
-    prop_oneof![
-        Just(ReduceOp::Sum),
-        Just(ReduceOp::Min),
-        Just(ReduceOp::Max),
-        Just(ReduceOp::Prod),
-    ]
+    prop_oneof![Just(ReduceOp::Sum), Just(ReduceOp::Min), Just(ReduceOp::Max), Just(ReduceOp::Prod),]
 }
 
 fn algo_strategy() -> impl Strategy<Value = AllreduceAlgo> {

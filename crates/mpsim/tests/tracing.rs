@@ -40,11 +40,8 @@ fn trace_records_every_message() {
     }
     // Byte accounting matches the trace.
     for (events, stats) in out.events.iter().zip(&out.ranks) {
-        let sent: u64 = events
-            .iter()
-            .filter(|e| e.kind == EventKind::Send)
-            .map(|e| e.bytes as u64)
-            .sum();
+        let sent: u64 =
+            events.iter().filter(|e| e.kind == EventKind::Send).map(|e| e.bytes as u64).sum();
         assert_eq!(sent, stats.bytes_sent);
     }
 }
@@ -81,10 +78,8 @@ fn collective_mismatch_is_detected() {
     // Scatter with the wrong number of blocks must surface as a
     // CollectiveMismatch, not a hang or silent corruption.
     let spec = presets::zero_cost(3);
-    let opts = SimOptions {
-        recv_timeout: std::time::Duration::from_millis(300),
-        ..Default::default()
-    };
+    let opts =
+        SimOptions { recv_timeout: std::time::Duration::from_millis(300), ..Default::default() };
     let r = run_spmd(&spec, &opts, |c| {
         if c.rank() == 0 {
             let blocks = vec![vec![1.0]; 2]; // wrong: needs 3
@@ -93,8 +88,5 @@ fn collective_mismatch_is_detected() {
             c.scatter_f64s(0, None)
         }
     });
-    assert!(
-        matches!(r, Err(mpsim::SimError::CollectiveMismatch { rank: 0, .. })),
-        "got {r:?}"
-    );
+    assert!(matches!(r, Err(mpsim::SimError::CollectiveMismatch { rank: 0, .. })), "got {r:?}");
 }

@@ -81,6 +81,7 @@ pub fn parallel_base_cycle(
     // Allreduce of the per-class weight sums w_j.
     let mut wj = e.class_weight_sums.clone();
     comm.allreduce_f64s(&mut wj, ReduceOp::Sum);
+    comm.verify_replicated("class weight sums w_j", &wj);
 
     // ---- update_parameters (Figure 5) -------------------------------
     let (stats, classes_new) = match strategy {
@@ -141,6 +142,15 @@ pub fn parallel_base_cycle(
     let approx = evaluate(model, &stats, scalars[0], scalars[1]);
     comm.work((j * stats.layout.stride) as u64);
 
+    // The new parameters were derived *independently* on every rank from
+    // the combined statistics. When replication checking is on, prove they
+    // are still bitwise identical — the semantics-preservation property
+    // the paper's design rests on — before the next cycle builds on them.
+    if comm.checks_replication() {
+        comm.verify_replicated("updated class parameters", &classes_to_flat(&classes_new));
+        comm.verify_replicated("cycle scores", &scalars);
+    }
+
     (classes_new, approx)
 }
 
@@ -178,6 +188,7 @@ fn wts_only_mstep(
         // rank order; rank r's block is n_r × J column-major.
         let full = root_view(view);
         let n_total = full.len();
+        // lint:allow(unwrap): this branch only runs on the gather root
         let sizes = sizes.expect("root holds the gathered sizes");
         let mut global_wts = WtsMatrix::new(n_total, j);
         let mut offset = 0;

@@ -120,7 +120,9 @@ pub fn run_search_with(
     opts: &SimOptions,
 ) -> Result<ParallelOutcome, SimError> {
     let out = run_spmd(machine, opts, |comm| search_rank_body(comm, data, config))?;
+    // lint:allow(unwrap): machines have at least one rank
     let (all, cycles) = out.per_rank.into_iter().next().expect("at least one rank");
+    // lint:allow(unwrap): a non-empty start_j_list always stores a classification
     let best = all.first().expect("at least one classification").clone();
     Ok(ParallelOutcome {
         best,

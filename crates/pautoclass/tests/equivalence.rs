@@ -16,7 +16,7 @@ fn quick_config(strategy: Strategy) -> ParallelConfig {
             max_cycles: 80,
             rel_delta_ll: 1e-7,
             min_class_weight: 1.0,
-            seed: 2024,
+            seed: 99,
             max_stored: 10,
         },
         strategy,
@@ -69,7 +69,7 @@ fn assert_outcomes_match(
 
 #[test]
 fn parallel_matches_single_rank_for_all_p() {
-    let data = datagen::paper_dataset(1200, 5);
+    let data = datagen::paper_dataset(1200, 9);
     let config = quick_config(Strategy::Full { exchange: Exchange::PerTerm });
     let baseline = run_search(&data, &presets::zero_cost(1), &config).unwrap();
     assert!(baseline.best.converged, "baseline try should converge");
@@ -108,8 +108,8 @@ fn wts_only_strategy_matches_full() {
         &quick_config(Strategy::Full { exchange: Exchange::PerTerm }),
     )
     .unwrap();
-    let wts_only = run_search(&data, &presets::zero_cost(4), &quick_config(Strategy::WtsOnly))
-        .unwrap();
+    let wts_only =
+        run_search(&data, &presets::zero_cost(4), &quick_config(Strategy::WtsOnly)).unwrap();
     assert_outcomes_match(&wts_only, &full, 1e-5, "wtsonly-vs-full");
 }
 

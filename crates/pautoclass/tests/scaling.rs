@@ -23,10 +23,7 @@ fn speedup_improves_with_dataset_size() {
     let speedup = |n: usize| cycle_time(n, 1, j) / cycle_time(n, 10, j);
     let small = speedup(2_000);
     let large = speedup(40_000);
-    assert!(
-        large > small + 0.5,
-        "speedup at 10 procs: small(2k)={small:.2} large(40k)={large:.2}"
-    );
+    assert!(large > small + 0.5, "speedup at 10 procs: small(2k)={small:.2} large(40k)={large:.2}");
     assert!(large > 6.0, "large dataset should scale well, got {large:.2}");
     assert!(large < 10.5, "speedup cannot exceed linear, got {large:.2}");
 }
@@ -62,9 +59,7 @@ fn scaleup_is_nearly_flat() {
             .map(|p| {
                 let data = datagen::paper_dataset(10_000 * p, 7);
                 let machine = presets::meiko_cs2(p);
-                run_fixed_j(&data, &machine, j, 2, 3, &ParallelConfig::default())
-                    .unwrap()
-                    .per_cycle
+                run_fixed_j(&data, &machine, j, 2, 3, &ParallelConfig::default()).unwrap().per_cycle
             })
             .collect();
         let t1 = times[0];
@@ -109,8 +104,7 @@ fn weighted_partitioning_fixes_heterogeneous_imbalance() {
         partition: pautoclass::Partitioning::Weighted(speeds),
         ..pautoclass::ParallelConfig::default()
     };
-    let t_homog =
-        run_fixed_j(&data, &presets::meiko_cs2(p), 8, 3, 7, &block).unwrap().per_cycle;
+    let t_homog = run_fixed_j(&data, &presets::meiko_cs2(p), 8, 3, 7, &block).unwrap().per_cycle;
     let t_block = run_fixed_j(&data, &slow, 8, 3, 7, &block).unwrap().per_cycle;
     let t_weighted = run_fixed_j(&data, &slow, 8, 3, 7, &weighted).unwrap().per_cycle;
 
@@ -145,14 +139,8 @@ fn weighted_and_block_partitioning_agree_numerically() {
             let part = &parts[comm.rank()];
             let view = data.view(part.start, part.end);
             let mut wts = WtsMatrix::new(0, 0);
-            let (classes, approx) = parallel_base_cycle(
-                comm,
-                &model,
-                &view,
-                &classes0,
-                &mut wts,
-                Strategy::default(),
-            );
+            let (classes, approx) =
+                parallel_base_cycle(comm, &model, &view, &classes0, &mut wts, Strategy::default());
             (classes, approx.log_likelihood)
         })
         .unwrap()

@@ -64,10 +64,7 @@ fn main() {
             &KMeansConfig { k: 8, max_iters: 10, tol: 0.0, seed: 7 },
         )
         .expect("simulated run");
-        println!(
-            "  P={p}: {:.2}s virtual, inertia {:.0}",
-            km.elapsed, km.result.inertia
-        );
+        println!("  P={p}: {:.2}s virtual, inertia {:.0}", km.elapsed, km.result.inertia);
     }
     println!(
         "\nk-means cycles are cheaper (no densities, no marginals) but deliver hard\n\

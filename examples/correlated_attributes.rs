@@ -14,10 +14,7 @@ fn main() {
     // think height/weight or two correlated spectral bands.
     let rho = 0.8;
     let (data, _) = datagen::correlated_blobs(3, 12.0, rho, 3_000, 2026);
-    println!(
-        "{} tuples, 2 real attributes, within-class correlation ρ = {rho}\n",
-        data.len()
-    );
+    println!("{} tuples, 2 real attributes, within-class correlation ρ = {rho}\n", data.len());
 
     // Structure search: {x0, x1 independent} vs {x0×x1 jointly Gaussian}.
     let config = SearchConfig {
@@ -26,11 +23,7 @@ fn main() {
         max_cycles: 60,
         ..SearchConfig::default()
     };
-    let ranked = compare_structures(
-        &data.full_view(),
-        &[vec![], vec![vec![0, 1]]],
-        &config,
-    );
+    let ranked = compare_structures(&data.full_view(), &[vec![], vec![vec![0, 1]]], &config);
     println!("structure ranking (Cheeseman–Stutz score, higher wins):");
     for (blocks, result) in &ranked {
         let name = if blocks.is_empty() { "independent x0, x1" } else { "correlated x0×x1" };

@@ -66,12 +66,8 @@ fn main() {
     println!("{}", report(&model, &stats, &out.best));
 
     // Score a new customer: 24 years old, spends 30, mobile, prepaid.
-    let newcomer = vec![
-        Value::Real(24.0),
-        Value::Real(30.0),
-        Value::Discrete(0),
-        Value::Discrete(0),
-    ];
+    let newcomer =
+        vec![Value::Real(24.0), Value::Real(30.0), Value::Discrete(0), Value::Discrete(0)];
     let (segment, confidence) = classify(&model, &out.best.classes, &newcomer);
     println!(
         "new customer (24y, spend 30, mobile, prepaid) -> segment {segment} \

@@ -65,8 +65,7 @@ fn main() {
             })
             .collect();
         let post = posterior(&model, &out.best.classes, &row);
-        let (cls, &p) =
-            post.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap();
+        let (cls, &p) = post.iter().enumerate().max_by(|a, b| a.1.total_cmp(b.1)).unwrap();
         if p > 0.9 {
             confident += 1;
         }

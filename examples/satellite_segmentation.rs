@@ -60,8 +60,7 @@ fn main() {
     let j = out.best.n_classes();
     let mut confusion = vec![vec![0usize; covers]; j];
     for i in 0..image.len() {
-        let row: Vec<Value> =
-            (0..bands).map(|b| Value::Real(view.real_column(b)[i])).collect();
+        let row: Vec<Value> = (0..bands).map(|b| Value::Real(view.real_column(b)[i])).collect();
         let (cls, _) = classify(&model, &out.best.classes, &row);
         confusion[cls][truth[i]] += 1;
     }

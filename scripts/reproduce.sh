@@ -11,10 +11,12 @@ mkdir -p "$out"
 run() {
     local name="$1"; shift
     echo "=== $name ==="
-    cargo run -p bench --bin "$name" --release -- "$@" | tee "$out/$name.txt"
+    cargo run --offline -p bench --bin "$name" --release -- "$@" | tee "$out/$name.txt"
 }
 
-cargo build --workspace --release
+# All dependencies are vendored in-tree (vendor/*), so the whole script
+# works without registry access.
+cargo build --offline --workspace --release
 
 run fig6 $mode
 run fig7 $mode
@@ -26,7 +28,7 @@ run ablation_imbalance
 run seq_scaling
 
 echo "=== criterion benches ==="
-cargo bench --workspace | tee "$out/criterion.txt"
+cargo bench --offline --workspace | tee "$out/criterion.txt"
 
 echo
 echo "All experiment outputs are in $out/; compare against EXPERIMENTS.md."

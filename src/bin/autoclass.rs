@@ -99,9 +99,7 @@ fn parse_schema(text: &str) -> Result<Schema, String> {
                     Attribute::discrete_named(name, names)
                 }
             }
-            other => {
-                return Err(format!("schema line {}: unknown kind {other:?}", lineno + 1))
-            }
+            other => return Err(format!("schema line {}: unknown kind {other:?}", lineno + 1)),
         };
         attrs.push(attr);
     }
@@ -141,9 +139,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
-        let mut val = || {
-            it.next().cloned().ok_or_else(|| format!("{flag} needs a value"))
-        };
+        let mut val = || it.next().cloned().ok_or_else(|| format!("{flag} needs a value"));
         match flag.as_str() {
             "--data" => args.data = val()?,
             "--schema" => args.schema = val()?,

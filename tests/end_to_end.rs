@@ -28,14 +28,10 @@ fn csv_to_clusters_to_report() {
 
     // Predict a point near the first planted center (at separation 14 on
     // the circle, component 0 sits at (14, 0)).
-    let (cls_a, pa) = classify(&model, &result.best.classes, &[
-        Value::Real(14.0),
-        Value::Real(0.0),
-    ]);
-    let (cls_b, pb) = classify(&model, &result.best.classes, &[
-        Value::Real(-14.0),
-        Value::Real(0.0),
-    ]);
+    let (cls_a, pa) =
+        classify(&model, &result.best.classes, &[Value::Real(14.0), Value::Real(0.0)]);
+    let (cls_b, pb) =
+        classify(&model, &result.best.classes, &[Value::Real(-14.0), Value::Real(0.0)]);
     assert_ne!(cls_a, cls_b);
     assert!(pa > 0.99 && pb > 0.99);
 }
@@ -143,12 +139,8 @@ fn kmeans_and_autoclass_agree_on_separated_blobs() {
     assert!(km.converged);
     // Each k-means cluster should be dominated by one planted label.
     for c in 0..4 {
-        let members: Vec<usize> = assign
-            .iter()
-            .enumerate()
-            .filter(|&(_, &a)| a == c)
-            .map(|(i, _)| labels[i])
-            .collect();
+        let members: Vec<usize> =
+            assign.iter().enumerate().filter(|&(_, &a)| a == c).map(|(i, _)| labels[i]).collect();
         if members.is_empty() {
             continue;
         }
@@ -171,10 +163,8 @@ fn lognormal_attributes_cluster_end_to_end() {
         error: 0.05,
     };
     let (data, truth) = lm.generate(1_200, 31);
-    let config = ParallelConfig {
-        search: SearchConfig::quick(vec![2, 4], 9),
-        ..ParallelConfig::default()
-    };
+    let config =
+        ParallelConfig { search: SearchConfig::quick(vec![2, 4], 9), ..ParallelConfig::default() };
     let out = run_search(&data, &mpsim::presets::meiko_cs2(5), &config).unwrap();
     assert_eq!(out.best.n_classes(), 2, "two planted log-normal components");
 
@@ -185,10 +175,7 @@ fn lognormal_attributes_cluster_end_to_end() {
     let view = data.full_view();
     let mut agree = [[0usize; 2]; 2];
     for i in 0..data.len() {
-        let row = vec![
-            Value::Real(view.real_column(0)[i]),
-            Value::Real(view.real_column(1)[i]),
-        ];
+        let row = vec![Value::Real(view.real_column(0)[i]), Value::Real(view.real_column(1)[i])];
         let (cls, _) = classify(&model, &out.best.classes, &row);
         agree[cls.min(1)][truth[i]] += 1;
     }

@@ -2,8 +2,8 @@
 //! "missing" as an explicit multinomial level, so a value's *absence*
 //! becomes evidence about class membership.
 
-use autoclass::data::{Column, Dataset, GlobalStats, Schema, Value, MISSING_DISCRETE};
 use autoclass::data::Attribute;
+use autoclass::data::{Column, Dataset, GlobalStats, Schema, Value, MISSING_DISCRETE};
 use autoclass::predict::posterior;
 use autoclass::search::{search_with_model, SearchConfig};
 use autoclass::Model;
@@ -69,21 +69,17 @@ fn missing_level_changes_term_shapes() {
 
 #[test]
 fn missingness_becomes_evidence() {
-    let (data, labels) = survey_data(2_000, 7);
+    let (data, labels) = survey_data(2_000, 13);
     let (model, best) = fit(&data, true, 7);
     assert_eq!(best.n_classes(), 2);
 
     // A row that is *only* "didn't answer" (x missing too) should lean
     // toward the low-response class far more than the mixture prior.
     let p_missing = posterior(&model, &best.classes, &[Value::Missing, Value::Missing]);
-    let p_answered =
-        posterior(&model, &best.classes, &[Value::Missing, Value::Discrete(0)]);
+    let p_answered = posterior(&model, &best.classes, &[Value::Missing, Value::Discrete(0)]);
     // The two posteriors must pull in opposite directions.
     let lean_missing = p_missing[0].max(p_missing[1]);
-    assert!(
-        lean_missing > 0.7,
-        "missingness alone should be informative: {p_missing:?}"
-    );
+    assert!(lean_missing > 0.7, "missingness alone should be informative: {p_missing:?}");
     let argmax = |p: &[f64]| usize::from(p[1] > p[0]);
     assert_ne!(
         argmax(&p_missing),

@@ -40,11 +40,7 @@ fn mvn_map_recovers_planted_correlation() {
     let classes = vec![autoclass::ClassParams::new(
         data.len() as f64,
         1.0,
-        vec![TermParams::multi_normal(
-            vec![0.0, 0.0],
-            &[2.0, 0.0, 0.0, 2.0],
-            0.0,
-        )],
+        vec![TermParams::multi_normal(vec![0.0, 0.0], &[2.0, 0.0, 0.0, 2.0], 0.0)],
     )];
     let mut wts = WtsMatrix::new(0, 0);
     update_wts(&model, &data.full_view(), &classes, &mut wts);
@@ -107,11 +103,7 @@ fn structure_search_prefers_correlated_on_correlated_data() {
     // Several restarts: a single MVN try can converge to a poor local
     // optimum and misrepresent the structure's best achievable score.
     let config = SearchConfig { tries_per_j: 3, ..SearchConfig::quick(vec![2], 5) };
-    let ranked = compare_structures(
-        &data.full_view(),
-        &[vec![], vec![vec![0, 1]]],
-        &config,
-    );
+    let ranked = compare_structures(&data.full_view(), &[vec![], vec![vec![0, 1]]], &config);
     assert_eq!(
         ranked[0].0,
         vec![vec![0, 1]],
@@ -130,11 +122,7 @@ fn correlation_advantage_vanishes_on_independent_data() {
     let config = SearchConfig { tries_per_j: 3, ..SearchConfig::quick(vec![2], 5) };
     let gap = |rho: f64, seed: u64| -> f64 {
         let (data, _) = datagen::correlated_blobs(2, 10.0, rho, 2_000, seed);
-        let ranked = compare_structures(
-            &data.full_view(),
-            &[vec![], vec![vec![0, 1]]],
-            &config,
-        );
+        let ranked = compare_structures(&data.full_view(), &[vec![], vec![vec![0, 1]]], &config);
         let score_of = |blocks: &Vec<Vec<usize>>| {
             ranked
                 .iter()
@@ -216,11 +204,7 @@ fn correlated_block_rejects_discrete_attributes() {
 fn overlapping_blocks_rejected() {
     let (data, _) = datagen::correlated_blobs(2, 8.0, 0.5, 50, 1);
     let stats = GlobalStats::compute(&data.full_view());
-    let _ = Model::with_correlated(
-        data.schema().clone(),
-        &stats,
-        &[vec![0, 1], vec![1, 0]],
-    );
+    let _ = Model::with_correlated(data.schema().clone(), &stats, &[vec![0, 1], vec![1, 0]]);
 }
 
 #[test]

@@ -1,0 +1,342 @@
+//! Repository automation (`cargo xtask <task>`).
+//!
+//! The only task so far is `lint`: a custom static pass over the library
+//! sources enforcing project rules that `clippy` has no lints for.
+//!
+//! # Rules
+//!
+//! 1. **wall-clock** — no `std::thread::sleep` / `Instant::now` /
+//!    `SystemTime::now` in simulator or rank-body code outside
+//!    `mpsim/src/comm.rs`. Virtual time must come from the cost models;
+//!    wall-clock reads anywhere else either break determinism or leak host
+//!    timing into simulated results. (`comm.rs` owns the two legitimate
+//!    uses: the receive-timeout backstop and `Comm::measured`.)
+//! 2. **unwrap** — no `.unwrap()` / `.expect(` in non-test library code
+//!    (binaries under `src/bin/` are exempt: panicking on CLI/I/O errors
+//!    is fine for a tool). A rank panic tears down the whole simulated
+//!    machine, so fallible paths must surface `SimError`s instead. Genuine
+//!    invariants can be waived with a `// lint:allow(unwrap): why` comment
+//!    on the same line or the line above.
+//! 3. **float-eq** — no direct `==` / `!=` against floating-point literals
+//!    in model code; use tolerances or `total_cmp`. Waivable with
+//!    `// lint:allow(float-eq): why` when bitwise equality is the point.
+//!
+//! Test code (`#[cfg(test)]` modules, `tests/`, `benches/`) is exempt from
+//! all rules.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(),
+        _ => {
+            eprintln!("usage: cargo xtask lint");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// A single rule violation, for reporting.
+struct Violation {
+    file: PathBuf,
+    line: usize,
+    rule: &'static str,
+    message: String,
+}
+
+fn lint() -> ExitCode {
+    let root = repo_root();
+    let mut violations = Vec::new();
+    for krate in list_dir(&root.join("crates")) {
+        let src = krate.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        for file in rust_files(&src) {
+            match fs::read_to_string(&file) {
+                Ok(text) => check_file(&root, &file, &text, &mut violations),
+                Err(e) => {
+                    eprintln!("xtask lint: cannot read {}: {e}", file.display());
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    if violations.is_empty() {
+        println!("xtask lint: ok");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            println!(
+                "{}:{}: [{}] {}",
+                v.file.strip_prefix(&root).unwrap_or(&v.file).display(),
+                v.line,
+                v.rule,
+                v.message
+            );
+        }
+        println!("xtask lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
+}
+
+/// The workspace root: the parent of xtask's own manifest directory, so
+/// the pass works from any cwd (`cargo xtask` runs it from the workspace,
+/// but a direct `cargo run -p xtask` from a subdirectory is fine too).
+fn repo_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().map(Path::to_path_buf).unwrap_or(manifest)
+}
+
+fn list_dir(dir: &Path) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> =
+        fs::read_dir(dir).into_iter().flatten().flatten().map(|e| e.path()).collect();
+    out.sort();
+    out
+}
+
+fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for p in list_dir(&d) {
+            if p.is_dir() {
+                stack.push(p);
+            } else if p.extension().is_some_and(|e| e == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Does the wall-clock rule apply to this file? Simulator internals and
+/// the parallel rank bodies must never read host time (that is `comm.rs`'s
+/// job); the sequential `autoclass` crate and the bench binaries time real
+/// host execution on purpose.
+fn wall_clock_scoped(root: &Path, file: &Path) -> bool {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    let rel = rel.to_string_lossy();
+    (rel.starts_with("crates/mpsim/src") || rel.starts_with("crates/pautoclass/src"))
+        && !rel.ends_with("comm.rs")
+}
+
+/// Does the unwrap rule apply? Library code only: binaries (`src/bin/*`,
+/// `main.rs`) may panic on I/O and CLI errors like any command-line tool.
+fn unwrap_scoped(file: &Path) -> bool {
+    let s = file.to_string_lossy();
+    !s.contains("/src/bin/") && !s.ends_with("main.rs")
+}
+
+/// Does the float-eq rule apply? Model/estimation code only.
+fn float_eq_scoped(root: &Path, file: &Path) -> bool {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    let rel = rel.to_string_lossy();
+    rel.starts_with("crates/autoclass/src") || rel.starts_with("crates/pautoclass/src")
+}
+
+fn check_file(root: &Path, file: &Path, text: &str, out: &mut Vec<Violation>) {
+    let wall_clock = wall_clock_scoped(root, file);
+    let no_unwrap = unwrap_scoped(file);
+    let float_eq = float_eq_scoped(root, file);
+
+    // Track `#[cfg(test)] mod … { … }` regions by brace depth so test code
+    // is exempt. Format-string braces are balanced, so line-level counting
+    // stays correct for the code in this repository.
+    let mut depth: i64 = 0;
+    let mut armed = false; // saw #[cfg(test)], waiting for the opening brace
+    let mut skip_above: Option<i64> = None; // inside a test region opened at this depth
+
+    let lines: Vec<&str> = text.lines().collect();
+    for (idx, &raw) in lines.iter().enumerate() {
+        let line_no = idx + 1;
+        // A waiver comment applies to its own line or the line below it.
+        let waived = |rule: &str| raw.contains(rule) || (idx > 0 && lines[idx - 1].contains(rule));
+        let trimmed = raw.trim_start();
+        let is_comment = trimmed.starts_with("//");
+        // Code portion only: a trailing comment must not trigger rules.
+        let code = raw.split("//").next().unwrap_or(raw);
+
+        if !is_comment {
+            if trimmed.contains("#[cfg(test)]") {
+                armed = true;
+            }
+            let opens = code.matches('{').count() as i64;
+            let closes = code.matches('}').count() as i64;
+            if armed && opens > 0 {
+                skip_above = Some(depth);
+                armed = false;
+            }
+            depth += opens - closes;
+            if let Some(d) = skip_above {
+                if depth <= d {
+                    skip_above = None;
+                }
+                continue; // inside (or closing line of) a test region
+            }
+        }
+        if is_comment {
+            continue;
+        }
+
+        if wall_clock {
+            for pat in ["thread::sleep", "Instant::now", "SystemTime::now"] {
+                if code.contains(pat) {
+                    out.push(Violation {
+                        file: file.to_path_buf(),
+                        line: line_no,
+                        rule: "wall-clock",
+                        message: format!(
+                            "`{pat}` outside comm.rs: simulated code must use virtual time"
+                        ),
+                    });
+                }
+            }
+        }
+
+        if no_unwrap && !waived("lint:allow(unwrap)") {
+            for pat in [".unwrap()", ".expect("] {
+                if code.contains(pat) {
+                    out.push(Violation {
+                        file: file.to_path_buf(),
+                        line: line_no,
+                        rule: "unwrap",
+                        message: format!(
+                            "`{pat}` in library code: return an error or waive with \
+                             `// lint:allow(unwrap): why`"
+                        ),
+                    });
+                }
+            }
+        }
+
+        if float_eq && !waived("lint:allow(float-eq)") {
+            for (pos, op) in find_eq_ops(code) {
+                let lhs = last_token(&code[..pos]);
+                let rhs = first_token(&code[pos + 2..]);
+                if is_float_literal(lhs) || is_float_literal(rhs) {
+                    out.push(Violation {
+                        file: file.to_path_buf(),
+                        line: line_no,
+                        rule: "float-eq",
+                        message: format!(
+                            "direct `{op}` against a float literal: compare with a \
+                             tolerance or waive with `// lint:allow(float-eq): why`"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Byte offsets of `==` / `!=` operators in a line (`<=`, `>=`, `=>` and
+/// plain assignment do not match).
+fn find_eq_ops(code: &str) -> Vec<(usize, &'static str)> {
+    let bytes = code.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        match &bytes[i..i + 2] {
+            b"==" => {
+                out.push((i, "=="));
+                i += 2;
+            }
+            b"!=" => {
+                out.push((i, "!="));
+                i += 2;
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+fn last_token(s: &str) -> &str {
+    s.trim_end().rsplit(|c: char| c.is_whitespace() || "([{,;&|".contains(c)).next().unwrap_or("")
+}
+
+fn first_token(s: &str) -> &str {
+    s.trim_start().split(|c: char| c.is_whitespace() || ")]},;&|".contains(c)).next().unwrap_or("")
+}
+
+fn is_float_literal(tok: &str) -> bool {
+    let t = tok.trim_start_matches('-').trim_end_matches("f64").trim_end_matches("f32");
+    let t = t.trim_end_matches('.');
+    !t.is_empty()
+        && t.contains(|c: char| c.is_ascii_digit())
+        && (tok.contains('.') || tok.ends_with("f64") || tok.ends_with("f32"))
+        && t.replace('_', "").parse::<f64>().is_ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn float_literals_are_recognized() {
+        assert!(is_float_literal("0.0"));
+        assert!(is_float_literal("1.5e-3"));
+        assert!(is_float_literal("-2."));
+        assert!(is_float_literal("1_000.0"));
+        assert!(!is_float_literal("x"));
+        assert!(!is_float_literal("0"));
+        assert!(!is_float_literal("len"));
+        assert!(!is_float_literal(""));
+    }
+
+    #[test]
+    fn eq_ops_are_found_and_assignment_is_not() {
+        assert_eq!(find_eq_ops("a == b != c").len(), 2);
+        assert!(find_eq_ops("let x = 0.0; y <= 1.0; z >= 2.0").is_empty());
+    }
+
+    #[test]
+    fn test_regions_are_skipped() {
+        let src = "fn a() { x.unwrap(); }\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       fn b() { y.unwrap(); }\n\
+                   }\n\
+                   fn c() { z.unwrap(); }\n";
+        let mut v = Vec::new();
+        check_file(Path::new("/r"), Path::new("/r/crates/x/src/lib.rs"), src, &mut v);
+        let lines: Vec<usize> = v.iter().map(|x| x.line).collect();
+        assert_eq!(lines, vec![1, 6], "only non-test unwraps flagged");
+    }
+
+    #[test]
+    fn waivers_suppress() {
+        let src = "fn a() { x.unwrap(); // lint:allow(unwrap): invariant\n}\n";
+        let mut v = Vec::new();
+        check_file(Path::new("/r"), Path::new("/r/crates/x/src/lib.rs"), src, &mut v);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn waiver_on_the_line_above_suppresses() {
+        let src = "fn a() {\n\
+                       // lint:allow(unwrap): invariant\n\
+                       x.unwrap();\n\
+                   }\n";
+        let mut v = Vec::new();
+        check_file(Path::new("/r"), Path::new("/r/crates/x/src/lib.rs"), src, &mut v);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn float_eq_flagged_only_in_model_code() {
+        let src = "fn a(w: f64) -> bool { w == 0.0 }\n";
+        let mut v = Vec::new();
+        check_file(Path::new("/r"), Path::new("/r/crates/autoclass/src/model.rs"), src, &mut v);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, "float-eq");
+        v.clear();
+        check_file(Path::new("/r"), Path::new("/r/crates/mpsim/src/clock.rs"), src, &mut v);
+        assert!(v.is_empty());
+    }
+}
