@@ -51,8 +51,13 @@ pub fn evaluate(
     complete_ll: f64,
 ) -> Approximation {
     let j = stats.layout.j;
-    let class_weights: Vec<f64> = (0..j).map(|c| stats.class_weight(c)).collect();
-    let mut complete_marginal = assignment_log_marginal(&class_weights, model.n_total);
+    // Inline of `assignment_log_marginal` over the class weights straight
+    // from the statistics vector — same arithmetic order, no collected Vec
+    // (this runs once per EM cycle inside the allocation-free hot loop).
+    let mut complete_marginal = ln_gamma(j as f64) - ln_gamma(model.n_total + j as f64);
+    for c in 0..j {
+        complete_marginal += ln_gamma(stats.class_weight(c) + 1.0);
+    }
     for c in 0..j {
         for (k, group) in model.groups.iter().enumerate() {
             complete_marginal += group.prior.log_marginal(stats.attr_stats(c, k));

@@ -48,12 +48,32 @@ impl WtsMatrix {
         (0..self.j).map(|c| self.data[c * self.n + i]).collect()
     }
 
-    /// Resize for a different class count, zeroing contents.
+    /// Resize for a different item/class count, keeping the existing
+    /// capacity. Contents are **unspecified** afterwards: every E-step
+    /// kernel overwrites each column with `log_pi` before accumulating, so
+    /// the old `clear()` + zero-fill `resize` was pure wasted bandwidth
+    /// (one full write of the `n × j` matrix per cycle). Callers that need
+    /// zeroed storage must fill it themselves.
     pub fn reset(&mut self, n: usize, j: usize) {
         self.n = n;
         self.j = j;
-        self.data.clear();
-        self.data.resize(n * j, 0.0);
+        let len = n * j;
+        if self.data.len() < len {
+            // Grow (amortized: only until the matrix reaches its high-water
+            // mark). The new tail is zeroed by `resize`; existing elements
+            // keep stale values, which is fine under the overwrite contract.
+            self.data.resize(len, 0.0);
+        } else {
+            // Shrink without touching memory: capacity is retained.
+            self.data.truncate(len);
+        }
+    }
+}
+
+impl Default for WtsMatrix {
+    /// An empty `0 × 0` matrix, ready to be `reset` to any shape.
+    fn default() -> Self {
+        WtsMatrix::new(0, 0)
     }
 }
 
@@ -74,13 +94,240 @@ pub struct EStepOut {
     pub ops: u64,
 }
 
+/// Tile height (in items) of the blocked E-step kernel. A tile touches
+/// `j` column segments of `ESTEP_TILE` doubles each: at `j = 32` that is
+/// 64 KiB of weights — resident in L2 on every target, and small enough
+/// that the phase-2 normalization re-reads the tile from cache instead of
+/// striding across a matrix that long since left it.
+pub const ESTEP_TILE: usize = 256;
+
+/// Reusable buffers for [`update_wts_into`]. One instance lives for a whole
+/// search (inside a `CycleWorkspace`); after the first cycle at a given
+/// model shape no call allocates.
+#[derive(Debug, Clone, Default)]
+pub struct EStepScratch {
+    /// w_j = Σ_i w_ij per class (this partition's part); the output vector
+    /// that P-AutoClass allreduces. Resized to `j` and refilled each call.
+    pub class_weight_sums: Vec<f64>,
+    /// Per-item row maxima over one tile (`max_c r_ic`).
+    rowmax: Vec<f64>,
+    /// Per-item exponential sums over one tile (`Σ_c e_ic`), later
+    /// overwritten in place with their reciprocals.
+    sums: Vec<f64>,
+    /// Per-item `Σ_c e_ic · r_ic` over one tile (for the complete-data
+    /// log likelihood).
+    accwr: Vec<f64>,
+    /// Attribute-major gather of one tile's MVN block columns.
+    mvn_gather: Vec<f64>,
+    /// `x − μ` workspace for the Mahalanobis kernel.
+    mvn_diff: Vec<f64>,
+    /// Forward-substitution workspace for the Mahalanobis kernel.
+    mvn_scratch: Vec<f64>,
+}
+
+/// Scalar outputs of one E-step (the vector output, `class_weight_sums`,
+/// stays in the caller's [`EStepScratch`] so it can be allreduced in place).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EStepScalars {
+    /// Incomplete-data log likelihood Σ_i ln Σ_j π_j p(x_i|j).
+    pub log_likelihood: f64,
+    /// Complete-data log likelihood at the current weights.
+    pub complete_ll: f64,
+    /// Abstract op count for the virtual-time model.
+    pub ops: u64,
+}
+
 /// Compute class-membership weights for every item in `view` given the
 /// current classes, storing them in `wts` (resized as needed).
 ///
-/// Implementation: per class, fill that weight column with
-/// `ln π_j + Σ_k ln p(x_ik | class j)` via the batched per-attribute
-/// kernels, then normalize each item's row with log-sum-exp.
+/// Convenience wrapper around [`update_wts_into`] that allocates a fresh
+/// [`EStepScratch`] per call. Hot paths (the `BIG_LOOP` in `search.rs`, the
+/// parallel driver) thread a long-lived workspace through
+/// [`update_wts_into`] instead, which performs no heap allocation in steady
+/// state.
 pub fn update_wts(
+    model: &Model,
+    view: &DataView<'_>,
+    classes: &[ClassParams],
+    wts: &mut WtsMatrix,
+) -> EStepOut {
+    let mut scratch = EStepScratch::default();
+    let s = update_wts_into(model, view, classes, wts, &mut scratch);
+    EStepOut {
+        class_weight_sums: scratch.class_weight_sums,
+        log_likelihood: s.log_likelihood,
+        complete_ll: s.complete_ll,
+        ops: s.ops,
+    }
+}
+
+/// The blocked, fused E-step kernel: phase 1 (joint log densities) and
+/// phase 2 (log-sum-exp normalization) run per [`ESTEP_TILE`]-item tile,
+/// so the normalization reads each tile while it is still cache-hot
+/// instead of walking `wts.data[c * n + i]` strides across the full
+/// matrix. Allocation-free once `scratch` has warmed up.
+///
+/// Numerically equivalent to [`update_wts_naive`], not bitwise: phase 1
+/// applies the same per-element operation sequence (`log_pi`, then each
+/// term in group order) regardless of tiling, but phase 2 runs
+/// column-major over the tile — one [`fast_exp`] per element followed by
+/// a normalization multiply (`w_c = e_c · (1/Σe)`) where the reference
+/// calls libm `exp` twice, and the scalar reductions associate per tile
+/// pass rather than strictly item-by-item. The two agree to
+/// final-rounding ulps; every cross-rank replication guarantee is
+/// unaffected because all ranks run this same deterministic kernel.
+pub fn update_wts_into(
+    model: &Model,
+    view: &DataView<'_>,
+    classes: &[ClassParams],
+    wts: &mut WtsMatrix,
+    scratch: &mut EStepScratch,
+) -> EStepScalars {
+    let n = view.len();
+    let j = classes.len();
+    assert!(j >= 1, "need at least one class");
+    wts.reset(n, j);
+
+    scratch.class_weight_sums.clear();
+    scratch.class_weight_sums.resize(j, 0.0);
+    scratch.rowmax.resize(ESTEP_TILE, 0.0);
+    scratch.sums.resize(ESTEP_TILE, 0.0);
+    scratch.accwr.resize(ESTEP_TILE, 0.0);
+
+    let mut log_likelihood = 0.0;
+    let mut complete_ll = 0.0;
+
+    let mut lo = 0;
+    while lo < n {
+        let hi = (lo + ESTEP_TILE).min(n);
+        let tl = hi - lo;
+
+        // Phase 1 (tile): joint log densities, column segment by column
+        // segment. Each per-attribute kernel runs on the `[lo, hi)` slice
+        // of its column — the same element-wise additions the full-column
+        // naive kernel performs, just grouped by tile.
+        for (c, class) in classes.iter().enumerate() {
+            let col = &mut wts.data[c * n + lo..c * n + hi];
+            col.fill(class.log_pi);
+            for (term, group) in class.terms.iter().zip(&model.groups) {
+                match &group.prior {
+                    crate::model::prior::TermPrior::Normal { .. }
+                    | crate::model::prior::TermPrior::LogNormal { .. } => {
+                        term.accumulate_log_prob_real(
+                            &view.real_column(group.attrs[0])[lo..hi],
+                            col,
+                        );
+                    }
+                    crate::model::prior::TermPrior::Multinomial { missing_level, .. } => {
+                        let ls = &view.discrete_column(group.attrs[0])[lo..hi];
+                        if *missing_level {
+                            term.accumulate_log_prob_discrete_with_missing(ls, col);
+                        } else {
+                            term.accumulate_log_prob_discrete(ls, col);
+                        }
+                    }
+                    crate::model::prior::TermPrior::MultiNormal { .. } => {
+                        // Gather the tile's block columns attribute-major
+                        // into the reusable flat buffer (replaces the
+                        // per-call `Vec<&[f64]>` of column pointers).
+                        let d = group.attrs.len();
+                        scratch.mvn_gather.clear();
+                        scratch.mvn_gather.resize(d * tl, 0.0);
+                        for (a, &attr) in group.attrs.iter().enumerate() {
+                            scratch.mvn_gather[a * tl..(a + 1) * tl]
+                                .copy_from_slice(&view.real_column(attr)[lo..hi]);
+                        }
+                        term.accumulate_log_prob_mvn_flat(
+                            &scratch.mvn_gather,
+                            col,
+                            &mut scratch.mvn_diff,
+                            &mut scratch.mvn_scratch,
+                        );
+                    }
+                }
+            }
+        }
+
+        // Phase 2 (tile): log-sum-exp normalization, column-major. Every
+        // pass is a long stride-1 loop over the tile with independent
+        // per-item lanes (`rm[t]`, `sums[t]`, `accwr[t]`), so the compiler
+        // can vectorize the exponential and there is no serial
+        // accumulation chain — the structure that makes the blocked kernel
+        // faster than the row-at-a-time reference, not just cache-friendlier.
+        let rm = &mut scratch.rowmax[..tl];
+        let sums = &mut scratch.sums[..tl];
+        let accwr = &mut scratch.accwr[..tl];
+
+        // Pass A: per-item row maxima. All-(-inf) rows cannot occur:
+        // log_pi is finite and term kernels add finite values
+        // (multinomial smoothing keeps log_p finite).
+        rm.fill(f64::NEG_INFINITY);
+        for c in 0..j {
+            let col = &wts.data[c * n + lo..c * n + hi];
+            for (m, &v) in rm.iter_mut().zip(col) {
+                // A select, not an `if`: the branch form mispredicts on
+                // randomly ordered data (which class holds the running max
+                // is item-dependent) and costs several ms per E-step.
+                *m = if v > *m { v } else { *m };
+            }
+        }
+
+        // Pass B: exponentials in place (the tile's log densities become
+        // unnormalized weights), plus the per-item sum and the
+        // complete-likelihood numerator Σ_c e·r. The `e > 0` select
+        // protects the `0 · (−∞)` corner exactly like the reference's
+        // `w > 0.0` guard.
+        sums.fill(0.0);
+        accwr.fill(0.0);
+        for c in 0..j {
+            let col = &mut wts.data[c * n + lo..c * n + hi];
+            for t in 0..tl {
+                let r = col[t];
+                let e = fast_exp(r - rm[t]);
+                col[t] = e;
+                sums[t] += e;
+                accwr[t] += if e > 0.0 { e * r } else { 0.0 };
+            }
+        }
+
+        // Pass C: the two scalar reductions, i-ascending as before, then
+        // reciprocals for the normalization pass.
+        for (m, s) in rm.iter().zip(sums.iter()) {
+            log_likelihood += m + s.ln();
+        }
+        for (a, s) in accwr.iter().zip(sums.iter()) {
+            complete_ll += a / s;
+        }
+        for s in sums.iter_mut() {
+            *s = 1.0 / *s;
+        }
+
+        // Pass D: normalize in place and fold each column segment into its
+        // class weight sum.
+        for (c, cw) in scratch.class_weight_sums.iter_mut().enumerate() {
+            let col = &mut wts.data[c * n + lo..c * n + hi];
+            let mut acc = 0.0;
+            for (wv, &inv) in col.iter_mut().zip(sums.iter()) {
+                let w = *wv * inv;
+                *wv = w;
+                acc += w;
+            }
+            *cw += acc;
+        }
+
+        lo = hi;
+    }
+
+    let k = model.n_attrs() as u64;
+    let ops = (n as u64) * (j as u64) * (k + 2);
+    EStepScalars { log_likelihood, complete_ll, ops }
+}
+
+/// The pre-blocking reference E-step, retained verbatim for the benchmark
+/// harness (`cargo xtask bench` measures it against the blocked kernel in
+/// the same process) and for the bitwise-equivalence test. Full-column
+/// phase 1, then a strided full-matrix phase 2.
+pub fn update_wts_naive(
     model: &Model,
     view: &DataView<'_>,
     classes: &[ClassParams],
@@ -119,7 +366,8 @@ pub fn update_wts(
     }
 
     // Phase 2: per-item normalization (log-sum-exp across the row) and the
-    // three reductions.
+    // three reductions — strided `wts.data[c * n + i]` walks over the whole
+    // matrix, which is what the blocked kernel eliminates.
     let mut class_weight_sums = vec![0.0; j];
     let mut log_likelihood = 0.0;
     let mut complete_ll = 0.0;
@@ -133,8 +381,6 @@ pub fn update_wts(
                 max = v;
             }
         }
-        // All-(-inf) rows cannot occur: log_pi is finite and term kernels
-        // add finite values (multinomial smoothing keeps log_p finite).
         let mut sum = 0.0;
         for r in &row {
             sum += (r - max).exp();
@@ -160,6 +406,72 @@ pub fn update_wts(
 /// accounting without running it).
 pub fn estep_ops(n: usize, j: usize, k: usize) -> u64 {
     (n as u64) * (j as u64) * (k as u64 + 2)
+}
+
+/// Branch-free `exp` for the log-sum-exp pass (where inputs are
+/// `r − max ≤ 0`). This is the blocked kernel's single biggest win over
+/// the reference: libm `exp` is a call with data-dependent branches, so
+/// the compiler can neither inline nor vectorize the normalization loop
+/// around it.
+///
+/// Construction: round-to-nearest integer `n = ⌊x·log₂e⌉` via the
+/// 1.5·2^52 shifter (no `round()` libcall), Cody–Waite two-part ln 2
+/// argument reduction to `|r| ≤ ½ln2`, a degree-12 Horner polynomial
+/// (Taylor coefficients; truncation `r¹³/13!` is below one ulp on that
+/// interval), and a bit-assembled power-of-two scale. The integer `n`
+/// is read straight out of the shifter's mantissa bits (the shifted sum
+/// stores `2^51 + n` in its low 52 bits) rather than via an `f64 → i64`
+/// conversion, which has no packed form on baseline x86-64 and would
+/// otherwise stop the surrounding loop from vectorizing. Relative error
+/// vs libm `exp` is a few ulps (≲ 1e-15) across the supported domain.
+///
+/// Inputs below −708 return exactly `0.0`: true `exp` underflows to
+/// subnormals there, which contribute nothing to a weight sum of order 1,
+/// and returning a true zero preserves the `w > 0.0` guard that protects
+/// the `0 · (−∞)` complete-likelihood corner.
+#[inline]
+fn fast_exp(x: f64) -> f64 {
+    const LOG2E: f64 = std::f64::consts::LOG2_E;
+    // fdlibm's split of ln 2, quoted at its published precision (the
+    // extra digits round to the same f64): LN2_HI has enough trailing
+    // zeros that `n · LN2_HI` is exact for every |n| < 2^20 reachable
+    // here.
+    #[allow(clippy::excessive_precision)]
+    const LN2_HI: f64 = 6.931_471_803_691_238_164_9e-1;
+    #[allow(clippy::excessive_precision)]
+    const LN2_LO: f64 = 1.908_214_929_270_587_700_02e-10;
+    // The 1.5 · 2^52 round-to-nearest shifter.
+    const SHIFT: f64 = 6_755_399_441_055_744.0;
+    // Clamping at −708 keeps the assembled exponent in normal range; the
+    // final select maps everything below it (including −∞) to zero.
+    let xc = x.max(-708.0);
+    let t = xc * LOG2E + SHIFT;
+    let nf = t - SHIFT;
+    let r = (xc - nf * LN2_HI) - nf * LN2_LO;
+    let p = 1.0 / 479_001_600.0; // 1/12!
+    let p = p * r + 1.0 / 39_916_800.0;
+    let p = p * r + 1.0 / 3_628_800.0;
+    let p = p * r + 1.0 / 362_880.0;
+    let p = p * r + 1.0 / 40_320.0;
+    let p = p * r + 1.0 / 5_040.0;
+    let p = p * r + 1.0 / 720.0;
+    let p = p * r + 1.0 / 120.0;
+    let p = p * r + 1.0 / 24.0;
+    let p = p * r + 1.0 / 6.0;
+    let p = p * r + 0.5;
+    let p = p * r + 1.0;
+    let p = p * r + 1.0;
+    // `t` lies in [2^52, 2^53), so its mantissa field holds the integer
+    // `2^51 + n` exactly; peel `n` back out with integer ops only and
+    // fold the `− 2^51` and the `+ 1023` exponent bias into one constant.
+    let ni = (t.to_bits() & ((1u64 << 52) - 1)) as i64 + (1023 - (1i64 << 51));
+    let scale = f64::from_bits((ni << 52) as u64);
+    let v = p * scale;
+    if x < -708.0 {
+        0.0
+    } else {
+        v
+    }
 }
 
 #[cfg(test)]
@@ -277,5 +589,90 @@ mod tests {
         let mut wts = WtsMatrix::new(0, 0);
         let out = update_wts(&model, &data.full_view(), &classes, &mut wts);
         assert_eq!(out.ops, estep_ops(4, 2, 1));
+    }
+
+    /// Many items (forcing several tiles plus a ragged tail): the blocked
+    /// kernel must match the retained naive reference to final-rounding
+    /// precision. Phase 1 is the identical operation sequence; phase 2
+    /// replaces two libm `exp` calls per element with one `fast_exp` plus
+    /// a normalization multiply, so outputs agree to a few ulps rather
+    /// than bitwise.
+    #[test]
+    fn blocked_kernel_matches_naive_to_rounding() {
+        fn close(a: f64, b: f64, what: &str) {
+            let tol = 1e-12 * a.abs().max(b.abs()).max(1e-300);
+            assert!((a - b).abs() <= tol, "{what}: {a} vs {b}");
+        }
+        let schema = Schema::new(vec![Attribute::real("x", 0.01)]);
+        let n = 2 * ESTEP_TILE + 37;
+        let rows: Vec<Vec<Value>> = (0..n)
+            .map(|i| {
+                let x = if i % 2 == 0 { -5.0 } else { 5.0 } + (i as f64) * 1e-3;
+                vec![Value::Real(x)]
+            })
+            .collect();
+        let data = Dataset::from_rows(schema.clone(), &rows);
+        let stats = GlobalStats::compute(&data.full_view());
+        let model = Model::new(schema, &stats);
+        let classes = vec![
+            ClassParams::new(n as f64 / 2.0, 0.5, vec![TermParams::normal(-5.0, 0.7)]),
+            ClassParams::new(n as f64 / 2.0, 0.5, vec![TermParams::normal(5.0, 0.7)]),
+        ];
+
+        let mut wts_naive = WtsMatrix::new(0, 0);
+        let naive = update_wts_naive(&model, &data.full_view(), &classes, &mut wts_naive);
+
+        let mut wts_blocked = WtsMatrix::new(0, 0);
+        let mut scratch = EStepScratch::default();
+        let blocked =
+            update_wts_into(&model, &data.full_view(), &classes, &mut wts_blocked, &mut scratch);
+
+        close(naive.log_likelihood, blocked.log_likelihood, "log likelihood");
+        close(naive.complete_ll, blocked.complete_ll, "complete log likelihood");
+        assert_eq!(naive.ops, blocked.ops);
+        for (a, b) in naive.class_weight_sums.iter().zip(&scratch.class_weight_sums) {
+            close(*a, *b, "class weight sums");
+        }
+        for c in 0..2 {
+            for (a, b) in wts_naive.class_column(c).iter().zip(wts_blocked.class_column(c)) {
+                close(*a, *b, "weight matrix");
+            }
+        }
+    }
+
+    /// `fast_exp` against libm `exp`: a few ulps of relative error across
+    /// the log-sum-exp input range, exact at 0, exactly zero below −708,
+    /// and well-behaved at −∞ (an all-but-impossible log density must not
+    /// poison the weights with NaN).
+    #[test]
+    fn fast_exp_tracks_libm_exp() {
+        let mut x = -740.0;
+        while x <= 20.0 {
+            let (got, want) = (fast_exp(x), x.exp());
+            if x < -708.0 {
+                assert_eq!(got, 0.0, "x={x}");
+            } else {
+                let rel = (got - want).abs() / want;
+                assert!(rel < 1e-14, "x={x}: fast {got:e} vs libm {want:e} (rel {rel:e})");
+            }
+            x += 0.0137;
+        }
+        assert_eq!(fast_exp(0.0).to_bits(), 1.0f64.to_bits(), "exp(0) must be exactly 1");
+        assert_eq!(fast_exp(f64::NEG_INFINITY), 0.0);
+        assert_eq!(fast_exp(-1e9), 0.0);
+    }
+
+    /// `reset` keeps capacity: shrinking and re-growing within the
+    /// high-water mark must not reallocate.
+    #[test]
+    fn reset_keeps_capacity_and_shape() {
+        let mut wts = WtsMatrix::new(100, 4);
+        let cap = wts.data.capacity();
+        wts.reset(100, 2);
+        assert_eq!((wts.n_items(), wts.n_classes()), (100, 2));
+        assert_eq!(wts.data.capacity(), cap, "shrink must keep capacity");
+        wts.reset(100, 4);
+        assert_eq!(wts.data.capacity(), cap, "regrow within capacity must not allocate");
+        assert_eq!(wts.data.len(), 400);
     }
 }

@@ -29,6 +29,41 @@ pub fn stats_to_classes(model: &Model, stats: &SuffStats) -> (Vec<ClassParams>, 
     (classes, ops)
 }
 
+/// In-place variant of [`stats_to_classes`] for the allocation-free EM
+/// cycle: when `classes` already has the right shape (same class count,
+/// same term count per class — the steady state of a `BIG_LOOP` search)
+/// every class is updated without heap allocation; after a shape change
+/// (first cycle, class death) it falls back to a full rebuild.
+///
+/// Returns the abstract op count, matching [`stats_to_classes`].
+pub fn stats_to_classes_into(
+    model: &Model,
+    stats: &SuffStats,
+    classes: &mut Vec<ClassParams>,
+) -> u64 {
+    let j = stats.layout.j;
+    let reusable =
+        classes.len() == j && classes.iter().all(|c| c.terms.len() == model.groups.len());
+    if !reusable {
+        let (rebuilt, ops) = stats_to_classes(model, stats);
+        *classes = rebuilt;
+        return ops;
+    }
+    let n = model.n_total;
+    for (c, class) in classes.iter_mut().enumerate() {
+        let weight = stats.class_weight(c);
+        let pi = Model::map_pi(weight, n, j);
+        assert!(pi > 0.0 && pi <= 1.0, "mixture proportion out of range: {pi}");
+        class.weight = weight;
+        class.pi = pi;
+        class.log_pi = pi.ln();
+        for (k, (group, term)) in model.groups.iter().zip(&mut class.terms).enumerate() {
+            group.prior.map_params_into(stats.attr_stats(c, k), term);
+        }
+    }
+    (j * stats.layout.stride) as u64
+}
+
 /// Log prior density of a full classification's parameters at their MAP
 /// values: the mixture-proportion Dirichlet plus every term prior.
 /// Reported alongside the likelihood; also exercised by tests to ensure
@@ -155,6 +190,48 @@ mod tests {
             stats.accumulate(&model, &data.full_view(), &wts);
             classes = stats_to_classes(&model, &stats).0;
         }
+    }
+
+    #[test]
+    fn in_place_mstep_matches_rebuild_bitwise() {
+        let (data, model) = setup();
+        let classes = vec![
+            ClassParams::new(
+                2.0,
+                0.5,
+                vec![
+                    TermParams::normal(-1.0, 3.0),
+                    TermParams::Multinomial { log_p: vec![(0.5f64).ln(); 2] },
+                ],
+            ),
+            ClassParams::new(
+                2.0,
+                0.5,
+                vec![
+                    TermParams::normal(1.0, 3.0),
+                    TermParams::Multinomial { log_p: vec![(0.5f64).ln(); 2] },
+                ],
+            ),
+        ];
+        let mut wts = WtsMatrix::new(0, 0);
+        update_wts(&model, &data.full_view(), &classes, &mut wts);
+        let mut stats = SuffStats::zeros(StatLayout::new(&model, 2));
+        stats.accumulate(&model, &data.full_view(), &wts);
+
+        let (rebuilt, ops) = stats_to_classes(&model, &stats);
+        let mut in_place = classes;
+        let ops2 = stats_to_classes_into(&model, &stats, &mut in_place);
+        assert_eq!(ops, ops2);
+        for (a, b) in rebuilt.iter().zip(&in_place) {
+            assert_eq!(a.weight.to_bits(), b.weight.to_bits());
+            assert_eq!(a.pi.to_bits(), b.pi.to_bits());
+            assert_eq!(a.log_pi.to_bits(), b.log_pi.to_bits());
+            assert_eq!(a.terms, b.terms, "in-place terms must equal the rebuild");
+        }
+        // Shape mismatch (class death) falls back to a rebuild.
+        let mut shrunk = vec![in_place[0].clone()];
+        stats_to_classes_into(&model, &stats, &mut shrunk);
+        assert_eq!(shrunk.len(), 2);
     }
 
     #[test]

@@ -199,6 +199,34 @@ impl TermPrior {
         }
     }
 
+    /// In-place variant of [`map_params`] for the allocation-free M-step:
+    /// when `out` already holds a parameter value of the matching shape it
+    /// is overwritten without touching the heap. Normal/log-normal terms
+    /// are plain scalar stores; multinomial refills the existing `log_p`
+    /// vector. Correlated Gaussian blocks fall back to [`map_params`]
+    /// (the NIW update builds a fresh Cholesky factor; documented in
+    /// DESIGN.md as the one family outside the zero-allocation guarantee).
+    ///
+    /// [`map_params`]: TermPrior::map_params
+    pub fn map_params_into(&self, stats: &[f64], out: &mut TermParams) {
+        debug_assert_eq!(stats.len(), self.stat_len());
+        match (self, &mut *out) {
+            (TermPrior::Multinomial { alpha, .. }, TermParams::Multinomial { log_p })
+                if log_p.len() == stats.len() =>
+            {
+                let slots = stats.len() as f64;
+                let total: f64 = stats.iter().sum();
+                let denom = total + slots * alpha;
+                for (lp, c) in log_p.iter_mut().zip(stats) {
+                    *lp = ((c + alpha) / denom).ln();
+                }
+            }
+            // Normal/LogNormal construction is heap-free already; mismatched
+            // shapes (first cycle, class death) rebuild via map_params.
+            _ => *out = self.map_params(stats),
+        }
+    }
+
     /// Log prior density evaluated at MAP parameters (used in reports and
     /// as part of the posterior-at-MAP diagnostic).
     pub fn log_param_prior(&self, params: &TermParams) -> f64 {
@@ -553,6 +581,45 @@ impl TermParams {
                 }
             }
             _ => panic!("accumulate_log_prob_mvn on a non-MultiNormal term"),
+        }
+    }
+
+    /// Allocation-free variant of [`accumulate_log_prob_mvn`] for the
+    /// blocked E-step: `xs` is an attribute-major flat gather of the block
+    /// columns (`xs[a * n + i]` is attribute `a` of item `i`, with
+    /// `n = out.len()`), and the two workspaces are caller-owned so the
+    /// steady state performs no heap allocation. Arithmetic is element-wise
+    /// identical to the slice-of-columns variant.
+    ///
+    /// [`accumulate_log_prob_mvn`]: TermParams::accumulate_log_prob_mvn
+    pub fn accumulate_log_prob_mvn_flat(
+        &self,
+        xs: &[f64],
+        out: &mut [f64],
+        diff: &mut Vec<f64>,
+        scratch: &mut Vec<f64>,
+    ) {
+        match self {
+            TermParams::MultiNormal { mean, chol, log_norm } => {
+                let d = mean.len();
+                let n = out.len();
+                assert_eq!(xs.len(), d * n, "flat gather must be d × n attribute-major");
+                diff.clear();
+                diff.resize(d, 0.0);
+                scratch.clear();
+                scratch.resize(d, 0.0);
+                'items: for (i, o) in out.iter_mut().enumerate() {
+                    for (a, dst) in diff.iter_mut().enumerate() {
+                        let x = xs[a * n + i];
+                        if x.is_nan() {
+                            continue 'items;
+                        }
+                        *dst = x - mean[a];
+                    }
+                    *o += log_norm - 0.5 * crate::linalg::mahalanobis_sq(chol, d, diff, scratch);
+                }
+            }
+            _ => panic!("accumulate_log_prob_mvn_flat on a non-MultiNormal term"),
         }
     }
 }

@@ -155,25 +155,27 @@ impl SuffStats {
                         ops += n as u64;
                     }
                     TermPrior::MultiNormal { dim, .. } => {
-                        // Joint block: skip items missing *any* block value.
+                        // Joint block: skip items missing *any* block
+                        // value. Allocation-free: the columns are indexed
+                        // through the view directly (d is small, the
+                        // repeated column lookups are trivial next to the
+                        // d² products), in the same item order and with the
+                        // same products as before — bitwise identical.
                         let d = *dim;
-                        let cols: Vec<&[f64]> =
-                            group.attrs.iter().map(|&a| view.real_column(a)).collect();
-                        let mut x = vec![0.0; d];
                         'items: for (i, &wi) in w.iter().enumerate() {
-                            for (a, col) in cols.iter().enumerate() {
-                                let v = col[i];
-                                if v.is_nan() {
+                            for &attr in &group.attrs {
+                                if view.real_column(attr)[i].is_nan() {
                                     continue 'items;
                                 }
-                                x[a] = v;
                             }
                             block[0] += wi;
                             for a in 0..d {
-                                block[1 + a] += wi * x[a];
+                                let xa = view.real_column(group.attrs[a])[i];
+                                block[1 + a] += wi * xa;
                                 for b in 0..=a {
+                                    let xb = view.real_column(group.attrs[b])[i];
                                     block[1 + d + crate::model::prior::tri_index(a, b)] +=
-                                        wi * x[a] * x[b];
+                                        wi * xa * xb;
                                 }
                             }
                         }

@@ -23,8 +23,8 @@ use std::time::Instant;
 use crate::data::dataset::DataView;
 use crate::data::stats::GlobalStats;
 use crate::model::{
-    converged, evaluate, init_classes, log_param_prior, stats_to_classes, update_wts,
-    Approximation, ClassParams, Model, StatLayout, SuffStats, WtsMatrix,
+    converged, evaluate, init_classes, log_param_prior, stats_to_classes_into, update_wts_into,
+    Approximation, ClassParams, CycleWorkspace, Model,
 };
 
 /// Search configuration. Defaults reproduce the paper's experimental setup
@@ -155,32 +155,41 @@ pub struct SearchResult {
     pub profile: PhaseProfile,
 }
 
-/// One EM cycle (`base_cycle`): E-step, M-step, scoring. Returns the new
-/// classes and the cycle's scores. Shared verbatim by the parallel driver,
-/// which inserts Allreduces between the same phases.
+/// One EM cycle (`base_cycle`): E-step, M-step, scoring. Updates `classes`
+/// in place and returns the cycle's scores. Shared verbatim by the parallel
+/// driver, which inserts Allreduces between the same phases.
+///
+/// Every buffer the cycle needs lives in `ws`: after the first cycle at a
+/// given model shape, a call performs no heap allocation (asserted by the
+/// counting-allocator test in `tests/alloc_free.rs`; correlated-Gaussian
+/// models are the documented exception — their NIW M-step rebuilds a
+/// Cholesky factor).
 pub fn base_cycle(
     model: &Model,
     view: &DataView<'_>,
-    classes: &[ClassParams],
-    wts: &mut WtsMatrix,
+    classes: &mut Vec<ClassParams>,
+    ws: &mut CycleWorkspace,
     profile: &mut PhaseProfile,
-) -> (Vec<ClassParams>, Approximation) {
+) -> Approximation {
+    ws.reset_stats(model, classes.len());
+    let CycleWorkspace { wts, estep, stats, .. } = ws;
+    let Some(stats) = stats else { unreachable!("reset_stats installs the statistics buffer") };
+
     let t0 = Instant::now();
-    let e = update_wts(model, view, classes, wts);
+    let e = update_wts_into(model, view, classes, wts, estep);
     let t1 = Instant::now();
     profile.wts += (t1 - t0).as_secs_f64();
 
-    let mut stats = SuffStats::zeros(StatLayout::new(model, classes.len()));
     stats.accumulate(model, view, wts);
-    let (new_classes, _) = stats_to_classes(model, &stats);
+    stats_to_classes_into(model, stats, classes);
     let t2 = Instant::now();
     profile.params += (t2 - t1).as_secs_f64();
 
-    let approx = evaluate(model, &stats, e.log_likelihood, e.complete_ll);
+    let approx = evaluate(model, stats, e.log_likelihood, e.complete_ll);
     profile.approx += t2.elapsed().as_secs_f64();
     profile.cycles += 1;
 
-    (new_classes, approx)
+    approx
 }
 
 /// Remove classes whose expected count dropped below the threshold.
@@ -200,19 +209,21 @@ pub fn apply_class_death(classes: &mut Vec<ClassParams>, min_weight: f64) -> boo
 }
 
 /// Run one classification try: initialize J classes, cycle to convergence.
+/// The caller-provided workspace is reused across tries (and across the
+/// whole `BIG_LOOP`), so steady-state cycles are allocation-free.
 pub fn try_classification(
     model: &Model,
     view: &DataView<'_>,
     j: usize,
     config: &SearchConfig,
     seed: u64,
+    ws: &mut CycleWorkspace,
     profile: &mut PhaseProfile,
 ) -> Classification {
     let t0 = Instant::now();
     let mut classes = init_classes(model, view, j, seed);
     profile.init += t0.elapsed().as_secs_f64();
 
-    let mut wts = WtsMatrix::new(0, 0);
     let mut prev_ll = f64::NEG_INFINITY;
     let mut cycles = 0;
     let mut did_converge = false;
@@ -223,8 +234,7 @@ pub fn try_classification(
         cs_score: f64::NEG_INFINITY,
     };
     while cycles < config.max_cycles {
-        let (new_classes, a) = base_cycle(model, view, &classes, &mut wts, profile);
-        classes = new_classes;
+        let a = base_cycle(model, view, &mut classes, ws, profile);
         approx = a;
         cycles += 1;
         // Class death restarts the convergence watch: the likelihood
@@ -293,11 +303,15 @@ pub fn search_with_model(
     let mut profile = PhaseProfile::default();
     profile.init += t0.elapsed().as_secs_f64();
 
+    // One workspace for the whole BIG_LOOP: the weight matrix, scratch
+    // buffers, and statistics grow to their high-water mark on the first
+    // try and are reused by every subsequent cycle.
+    let mut ws = CycleWorkspace::new();
     let mut all: Vec<Classification> = Vec::new();
     for (ji, &j) in config.start_j_list.iter().enumerate() {
         for t in 0..config.tries_per_j {
             let seed = crate::model::derive_seed(config.seed, (ji * config.tries_per_j + t) as u64);
-            let c = try_classification(&model, view, j, config, seed, &mut profile);
+            let c = try_classification(&model, view, j, config, seed, &mut ws, &mut profile);
             let tx = Instant::now();
             if !all.iter().any(|existing| is_duplicate(existing, &c)) {
                 all.push(c);

@@ -15,6 +15,8 @@ fn bench_allreduce(c: &mut Criterion) {
             ("linear", AllreduceAlgo::Linear),
             ("rd", AllreduceAlgo::RecursiveDoubling),
             ("ring", AllreduceAlgo::Ring),
+            ("rab", AllreduceAlgo::Rabenseifner),
+            ("auto", AllreduceAlgo::Auto),
         ] {
             group.throughput(Throughput::Bytes((n * 8) as u64));
             group.bench_with_input(

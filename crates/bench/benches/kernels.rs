@@ -7,7 +7,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 
 use autoclass::data::GlobalStats;
 use autoclass::model::{
-    init_classes, stats_to_classes, update_wts, Model, StatLayout, SuffStats, WtsMatrix,
+    init_classes, stats_to_classes, update_wts, update_wts_into, update_wts_naive, EStepScratch,
+    Model, StatLayout, SuffStats, WtsMatrix,
 };
 
 fn bench_estep(c: &mut Criterion) {
@@ -19,10 +20,26 @@ fn bench_estep(c: &mut Criterion) {
         let model = Model::new(data.schema().clone(), &stats);
         let classes = init_classes(&model, &data.full_view(), j, 7);
         let mut wts = WtsMatrix::new(0, 0);
+        let mut scratch = EStepScratch::default();
         group.throughput(Throughput::Elements((n * j) as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(format!("n{n}_j{j}")), &(), |b, _| {
-            b.iter(|| update_wts(&model, &data.full_view(), &classes, &mut wts));
-        });
+        // The retained pre-blocking reference kernel…
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("naive_n{n}_j{j}")),
+            &(),
+            |b, _| {
+                b.iter(|| update_wts_naive(&model, &data.full_view(), &classes, &mut wts));
+            },
+        );
+        // …versus the cache-blocked fused kernel with a reused workspace.
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("blocked_n{n}_j{j}")),
+            &(),
+            |b, _| {
+                b.iter(|| {
+                    update_wts_into(&model, &data.full_view(), &classes, &mut wts, &mut scratch)
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -21,6 +21,8 @@ fn main() {
         ("linear", AllreduceAlgo::Linear),
         ("rec-doubling", AllreduceAlgo::RecursiveDoubling),
         ("ring", AllreduceAlgo::Ring),
+        ("rabenseifner", AllreduceAlgo::Rabenseifner),
+        ("auto", AllreduceAlgo::Auto),
     ];
     let sizes: [usize; 6] = [8, 64, 512, 4_096, 32_768, 262_144];
 
@@ -46,6 +48,7 @@ fn main() {
     println!(
         "\nexpected shape: linear loses at scale for small messages (O(P) latencies);\n\
          recursive doubling wins small messages (O(log P)); ring wins large messages\n\
-         (bandwidth-optimal reduce-scatter + allgather)."
+         (bandwidth-optimal reduce-scatter + allgather); rabenseifner matches ring's\n\
+         bandwidth with log-latency on power-of-two P; auto tracks the per-size winner."
     );
 }

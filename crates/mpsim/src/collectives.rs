@@ -158,11 +158,20 @@ impl Comm {
         self.allreduce_f64s_with(buf, op, algo);
     }
 
-    /// Allreduce with an explicit algorithm.
+    /// Allreduce with an explicit algorithm. `Auto` resolves here, before
+    /// the fingerprint is posted: the selection is a pure function of
+    /// (P, length, network parameters), all identical on every rank, so
+    /// every rank dispatches to the same concrete algorithm.
     pub fn allreduce_f64s_with(&mut self, buf: &mut [f64], op: ReduceOp, algo: AllreduceAlgo) {
         if self.size() <= 1 {
             return;
         }
+        let algo = match algo {
+            AllreduceAlgo::Auto => {
+                crate::cost::select_allreduce(self.size(), buf.len(), &self.machine().network)
+            }
+            other => other,
+        };
         // The fingerprint is posted before algorithm dispatch, so a length
         // or operator divergence is caught even when the chosen algorithm
         // would route the mismatched buffers past each other.
@@ -173,6 +182,8 @@ impl Comm {
             }
             AllreduceAlgo::RecursiveDoubling => self.allreduce_rd(buf, op, tag),
             AllreduceAlgo::Ring => self.allreduce_ring(buf, op, tag),
+            AllreduceAlgo::Rabenseifner => self.allreduce_rabenseifner(buf, op, tag),
+            AllreduceAlgo::Auto => unreachable!("Auto resolved to a concrete algorithm above"),
         }
         // Every rank now holds the same reduction (the simulator's
         // algorithms are bitwise deterministic) — a replication invariant.
@@ -284,6 +295,91 @@ impl Comm {
             self.send_f64s(right, tag, &buf[range(send_c)]);
             let data = self.recv_f64s(left, tag);
             buf[range(recv_c)].copy_from_slice(&data);
+        }
+    }
+
+    /// Rabenseifner's allreduce: recursive-halving reduce-scatter followed
+    /// by a recursive-doubling allgather — `2·log2 P'` rounds moving about
+    /// `2m(P'−1)/P'` bytes per rank (`P'` = largest power of two ≤ P), the
+    /// ring's bandwidth optimality with logarithmic latency. Non-power-of-
+    /// two sizes park the excess ranks exactly like [`recursive
+    /// doubling`](Self::allreduce_rd). The element space is split into the
+    /// same balanced chunk partition the ring uses (over the pow2 group),
+    /// so lengths not divisible by P — including lengths shorter than P,
+    /// where some chunks are empty — work unchanged. Each chunk's
+    /// reduction is computed along a fixed binary tree on exactly one
+    /// owner rank and then copied verbatim to all ranks in the allgather,
+    /// so the result is bitwise identical everywhere.
+    fn allreduce_rabenseifner(&mut self, buf: &mut [f64], op: ReduceOp, tag: u64) {
+        let p = self.size();
+        let me = self.rank();
+        let pow2 = p.next_power_of_two() / if p.is_power_of_two() { 1 } else { 2 };
+        let rem = p - pow2;
+
+        if me >= pow2 {
+            // Extra rank: contribute and wait for the result.
+            let partner = me - pow2;
+            self.send_f64s(partner, tag, buf);
+            let data = self.recv_f64s(partner, tag);
+            buf.copy_from_slice(&data);
+            return;
+        }
+        if me < rem {
+            let data = self.recv_f64s(me + pow2, tag);
+            op.fold(buf, &data);
+        }
+
+        let n = buf.len();
+        // Balanced chunk partition over the pow2 group: chunk c covers
+        // range(c), sizes differing by at most one element (empty when
+        // n < pow2 — empty messages still synchronize).
+        let range = |c: usize| -> std::ops::Range<usize> {
+            let base = n / pow2;
+            let extra = n % pow2;
+            let start = c * base + c.min(extra);
+            start..start + base + usize::from(c < extra)
+        };
+        // Element span of the chunk interval [clo, chi).
+        let span = |clo: usize, chi: usize| range(clo).start..range(chi - 1).end;
+
+        // Reduce-scatter by recursive halving: each round exchanges half of
+        // the remaining chunk interval with the partner and folds the kept
+        // half. The rank keeps the half containing its own chunk index, so
+        // after log2(pow2) rounds rank r owns exactly chunk r, reduced over
+        // the whole group.
+        let (mut clo, mut chi) = (0usize, pow2);
+        let mut mask = pow2 >> 1;
+        while mask > 0 {
+            let partner = me ^ mask;
+            let mid = clo + (chi - clo) / 2;
+            let (keep, give) =
+                if me & mask == 0 { ((clo, mid), (mid, chi)) } else { ((mid, chi), (clo, mid)) };
+            // Sends are buffered, so send-then-recv cannot deadlock.
+            self.send_f64s(partner, tag, &buf[span(give.0, give.1)]);
+            let data = self.recv_f64s(partner, tag);
+            op.fold(&mut buf[span(keep.0, keep.1)], &data);
+            (clo, chi) = keep;
+            mask >>= 1;
+        }
+
+        // Allgather by recursive doubling: intervals (always mask chunks
+        // long and mask-aligned) double until every rank holds [0, pow2).
+        let mut mask = 1usize;
+        while mask < pow2 {
+            let partner = me ^ mask;
+            self.send_f64s(partner, tag, &buf[span(clo, chi)]);
+            let data = self.recv_f64s(partner, tag);
+            // The partner's interval is the mirror of ours within the
+            // doubled block.
+            let plo = clo ^ mask;
+            buf[span(plo, plo + mask)].copy_from_slice(&data);
+            clo = clo.min(plo);
+            chi = clo + 2 * mask;
+            mask <<= 1;
+        }
+
+        if me < rem {
+            self.send_f64s(me + pow2, tag, buf);
         }
     }
 

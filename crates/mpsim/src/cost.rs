@@ -94,6 +94,103 @@ pub enum AllreduceAlgo {
     /// deterministic and matches a sequential left fold regardless of P.
     /// Tests that require bitwise reproducibility use this name.
     OrderedLinear,
+    /// Rabenseifner's algorithm: recursive-halving reduce-scatter followed
+    /// by a recursive-doubling allgather. `2·ceil(log2 P)` rounds moving
+    /// `~2m(P−1)/P` bytes per rank — the ring's bandwidth optimality with
+    /// logarithmic instead of linear latency. The best of both worlds for
+    /// long vectors on machines where latency still matters.
+    Rabenseifner,
+    /// Pick the predicted-cheapest concrete algorithm per call from the
+    /// machine's LogGP parameters, the communicator size, and the vector
+    /// length (see [`select_allreduce`]). The selection depends only on
+    /// values identical on every rank, so all ranks pick the same
+    /// algorithm.
+    Auto,
+}
+
+/// Predicted virtual cost (seconds) of one allreduce of `elems` f64s on
+/// `p` ranks under `net`, per algorithm. These are the standard LogGP-style
+/// estimates with per-message cost `l = L + m·G + 2o` (topology hops are
+/// deliberately ignored: selection only needs the relative ordering, and
+/// hop counts vary per pair):
+///
+/// ```text
+/// linear:       2(P−1)·(l + mG)            gather to root + broadcast
+/// rec-doubling: ceil(log2 P)·(l + mG)      + 2(l + mG) if P not a power of 2
+/// ring:         2(P−1)·(l + (m/P)G)        reduce-scatter + allgather
+/// rabenseifner: 2·Σ_{r=1..log2 P'}(l + (m/2^r)G)
+///               ≈ 2·log2 P'·l + 2m(1−1/P')G, + 2(l + mG) if P not a power of 2
+/// ```
+///
+/// where `m = 8·elems` bytes and `P'` is the largest power of two ≤ P.
+/// `Auto` evaluates to the cost of the algorithm [`select_allreduce`]
+/// picks; `OrderedLinear` costs the same as `Linear`.
+pub fn predicted_allreduce_cost(
+    algo: AllreduceAlgo,
+    p: usize,
+    elems: usize,
+    net: &NetworkModel,
+) -> f64 {
+    if p <= 1 {
+        return 0.0;
+    }
+    let m = (elems * 8) as f64;
+    let pf = p as f64;
+    // One message of `bytes` payload: latency + wire time + both endpoints'
+    // CPU overhead.
+    let msg = |bytes: f64| net.latency + bytes * net.byte_time + 2.0 * net.overhead;
+    // Largest power of two ≤ p, and the extra two full-vector messages the
+    // pow2-based algorithms pay to park the remainder ranks.
+    let pow2 = if p.is_power_of_two() { p } else { p.next_power_of_two() / 2 };
+    let park = if p.is_power_of_two() { 0.0 } else { 2.0 * msg(m) };
+    match algo {
+        AllreduceAlgo::Linear | AllreduceAlgo::OrderedLinear => 2.0 * (pf - 1.0) * msg(m),
+        AllreduceAlgo::RecursiveDoubling => {
+            let rounds = pow2.trailing_zeros() as f64;
+            rounds * msg(m) + park
+        }
+        AllreduceAlgo::Ring => 2.0 * (pf - 1.0) * msg(m / pf),
+        AllreduceAlgo::Rabenseifner => {
+            // Halving message sizes m/2, m/4, … in the reduce-scatter, the
+            // same sizes again in the allgather.
+            let mut cost = park;
+            let mut sz = m / 2.0;
+            for _ in 0..pow2.trailing_zeros() {
+                cost += 2.0 * msg(sz);
+                sz /= 2.0;
+            }
+            cost
+        }
+        AllreduceAlgo::Auto => {
+            predicted_allreduce_cost(select_allreduce(p, elems, net), p, elems, net)
+        }
+    }
+}
+
+/// Resolve [`AllreduceAlgo::Auto`]: the concrete algorithm with the lowest
+/// predicted LogGP cost for this (P, vector length, network). Deterministic
+/// — strict `<` with a fixed candidate order breaks ties — and a pure
+/// function of values that are identical on every rank (the collective
+/// fingerprint already enforces equal lengths), so all ranks agree.
+/// `OrderedLinear` is never auto-selected: it exists as an explicit
+/// determinism request, not a performance choice.
+pub fn select_allreduce(p: usize, elems: usize, net: &NetworkModel) -> AllreduceAlgo {
+    let candidates = [
+        AllreduceAlgo::RecursiveDoubling,
+        AllreduceAlgo::Rabenseifner,
+        AllreduceAlgo::Ring,
+        AllreduceAlgo::Linear,
+    ];
+    let mut best = AllreduceAlgo::RecursiveDoubling;
+    let mut best_cost = f64::INFINITY;
+    for algo in candidates {
+        let cost = predicted_allreduce_cost(algo, p, elems, net);
+        if cost < best_cost {
+            best = algo;
+            best_cost = cost;
+        }
+    }
+    best
 }
 
 /// A complete machine description: size, interconnect, and timing.
@@ -191,7 +288,9 @@ pub mod presets {
                 overhead: 500e-9,
             },
             compute: ComputeModel { sec_per_op: 2e-9, wall_scale: 1.0 },
-            allreduce: AllreduceAlgo::RecursiveDoubling,
+            // A modern MPI picks its collective algorithm per call from the
+            // message size; model that with the size-adaptive selector.
+            allreduce: AllreduceAlgo::Auto,
             rank_speed: Vec::new(),
         }
     }
@@ -250,6 +349,88 @@ mod tests {
 
         let i = presets::ideal(4);
         assert_eq!(i.network.transit(100, i.hops(0, 3)), 0.0);
+    }
+
+    /// Meiko-like parameters used by the selection tests: high latency and
+    /// per-message overhead, 50 MB/s links.
+    fn meiko_net() -> NetworkModel {
+        NetworkModel { latency: 80e-6, byte_time: 2e-8, per_hop: 1e-6, overhead: 120e-6 }
+    }
+
+    #[test]
+    fn selection_prefers_recursive_doubling_for_short_vectors() {
+        let net = meiko_net();
+        for p in [2, 4, 8, 16] {
+            assert_eq!(
+                select_allreduce(p, 2, &net),
+                AllreduceAlgo::RecursiveDoubling,
+                "P={p}: short vectors are latency-bound"
+            );
+        }
+    }
+
+    #[test]
+    fn selection_prefers_rabenseifner_for_long_vectors_on_pow2() {
+        let net = meiko_net();
+        for p in [4, 8, 16] {
+            assert_eq!(
+                select_allreduce(p, 262_144, &net),
+                AllreduceAlgo::Rabenseifner,
+                "P={p}: long vectors are bandwidth-bound, log latency beats ring"
+            );
+        }
+    }
+
+    #[test]
+    fn selection_prefers_ring_for_long_vectors_on_awkward_p() {
+        // Non-power-of-two P makes Rabenseifner pay two extra full-vector
+        // parking messages; the ring has no such penalty.
+        let net = meiko_net();
+        assert_eq!(select_allreduce(6, 1 << 20, &net), AllreduceAlgo::Ring);
+    }
+
+    #[test]
+    fn selection_is_always_concrete() {
+        let net = meiko_net();
+        for p in 1..=17 {
+            for elems in [0, 1, 64, 4096, 1 << 18] {
+                let algo = select_allreduce(p, elems, &net);
+                assert!(
+                    !matches!(algo, AllreduceAlgo::Auto | AllreduceAlgo::OrderedLinear),
+                    "P={p} elems={elems}: selected {algo:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn selection_is_deterministic_on_a_free_network() {
+        // All costs are 0 on the ideal network; the fixed candidate order
+        // must break the tie the same way every time.
+        let net = NetworkModel::ideal();
+        for p in 2..=9 {
+            assert_eq!(select_allreduce(p, 100, &net), AllreduceAlgo::RecursiveDoubling);
+        }
+    }
+
+    #[test]
+    fn predicted_costs_match_hand_formulas() {
+        let net = meiko_net();
+        let msg = |bytes: f64| net.latency + bytes * net.byte_time + 2.0 * net.overhead;
+        let m = 8.0 * 512.0;
+        // P=4 (pow2): 2 rounds of recursive doubling.
+        let rd = predicted_allreduce_cost(AllreduceAlgo::RecursiveDoubling, 4, 512, &net);
+        assert!((rd - 2.0 * msg(m)).abs() < 1e-12);
+        let ring = predicted_allreduce_cost(AllreduceAlgo::Ring, 4, 512, &net);
+        assert!((ring - 6.0 * msg(m / 4.0)).abs() < 1e-12);
+        let rab = predicted_allreduce_cost(AllreduceAlgo::Rabenseifner, 4, 512, &net);
+        assert!((rab - 2.0 * (msg(m / 2.0) + msg(m / 4.0))).abs() < 1e-12);
+        // Auto's cost equals its selection's cost.
+        let auto = predicted_allreduce_cost(AllreduceAlgo::Auto, 4, 512, &net);
+        let sel = select_allreduce(4, 512, &net);
+        assert_eq!(auto, predicted_allreduce_cost(sel, 4, 512, &net));
+        // P=1 is free for everyone.
+        assert_eq!(predicted_allreduce_cost(AllreduceAlgo::Linear, 1, 512, &net), 0.0);
     }
 
     #[test]

@@ -60,7 +60,10 @@ pub mod verify;
 
 pub use collectives::ReduceOp;
 pub use comm::{Comm, MAX_USER_TAG};
-pub use cost::{presets, AllreduceAlgo, ComputeModel, MachineSpec, NetworkModel};
+pub use cost::{
+    predicted_allreduce_cost, presets, select_allreduce, AllreduceAlgo, ComputeModel, MachineSpec,
+    NetworkModel,
+};
 pub use engine::{run_spmd, run_spmd_default, SimOptions, SpmdOutput};
 pub use error::SimError;
 pub use subcomm::SubComm;

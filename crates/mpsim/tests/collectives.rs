@@ -27,6 +27,8 @@ fn allreduce_matches_sequential_for_all_algorithms() {
                     AllreduceAlgo::OrderedLinear,
                     AllreduceAlgo::RecursiveDoubling,
                     AllreduceAlgo::Ring,
+                    AllreduceAlgo::Rabenseifner,
+                    AllreduceAlgo::Auto,
                 ] {
                     let spec = presets::zero_cost(p);
                     let out = run_spmd_default(&spec, |c| {
@@ -54,7 +56,13 @@ fn allreduce_matches_sequential_for_all_algorithms() {
 fn allreduce_results_identical_across_ranks() {
     // Whatever the floating-point association, all ranks must agree bitwise.
     for &p in SIZES {
-        for algo in [AllreduceAlgo::Linear, AllreduceAlgo::RecursiveDoubling, AllreduceAlgo::Ring] {
+        for algo in [
+            AllreduceAlgo::Linear,
+            AllreduceAlgo::RecursiveDoubling,
+            AllreduceAlgo::Ring,
+            AllreduceAlgo::Rabenseifner,
+            AllreduceAlgo::Auto,
+        ] {
             let spec = presets::zero_cost(p);
             let out = run_spmd_default(&spec, |c| {
                 let mut buf: Vec<f64> =
@@ -92,6 +100,72 @@ fn linear_allreduce_matches_sequential_bitwise() {
             ReduceOp::Sum.fold(&mut expect, &other);
         }
         assert_eq!(out.per_rank[0], expect, "p={p}");
+    }
+}
+
+#[test]
+fn rabenseifner_matches_every_algorithm_bitwise_on_integer_data() {
+    // Integer-valued f64 sums are exact, so all algorithms must produce
+    // bitwise identical results regardless of reduction order — including
+    // non-power-of-two P and lengths not divisible by (or shorter than) P.
+    for &p in SIZES {
+        for &n in &[0usize, 1, 7, 33] {
+            let mut reference: Option<Vec<f64>> = None;
+            for algo in [
+                AllreduceAlgo::OrderedLinear,
+                AllreduceAlgo::RecursiveDoubling,
+                AllreduceAlgo::Ring,
+                AllreduceAlgo::Rabenseifner,
+                AllreduceAlgo::Auto,
+            ] {
+                let spec = presets::zero_cost(p);
+                let out = run_spmd_default(&spec, |c| {
+                    let mut buf: Vec<f64> =
+                        (0..n).map(|i| ((c.rank() + 1) * (i + 3)) as f64).collect();
+                    c.allreduce_f64s_with(&mut buf, ReduceOp::Sum, algo);
+                    buf
+                })
+                .unwrap();
+                match &reference {
+                    None => reference = Some(out.per_rank[0].clone()),
+                    Some(r) => {
+                        assert_eq!(&out.per_rank[0], r, "p={p} n={n} algo={algo:?}");
+                    }
+                }
+                for rank in 1..p {
+                    assert_eq!(out.per_rank[rank], out.per_rank[0], "p={p} n={n} algo={algo:?}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn auto_allreduce_selects_by_size_and_charges_the_selected_cost() {
+    // On a Meiko-like network a short vector must route through recursive
+    // doubling and a long one through Rabenseifner (P=8 is a power of two);
+    // the virtual times of an explicit run and an Auto run must agree
+    // exactly since Auto is pure dispatch.
+    let p = 8;
+    for (n, expect) in
+        [(2usize, AllreduceAlgo::RecursiveDoubling), (1 << 18, AllreduceAlgo::Rabenseifner)]
+    {
+        let spec = presets::meiko_cs2(p);
+        let selected = mpsim::select_allreduce(p, n, &spec.network);
+        assert_eq!(selected, expect, "n={n}");
+        let run = |algo: AllreduceAlgo| {
+            let spec = presets::meiko_cs2(p);
+            run_spmd_default(&spec, move |c| {
+                let mut buf = vec![c.rank() as f64; n];
+                c.allreduce_f64s_with(&mut buf, ReduceOp::Sum, algo);
+                c.now()
+            })
+            .unwrap()
+            .per_rank
+        };
+        let auto = run(AllreduceAlgo::Auto);
+        let explicit = run(expect);
+        assert_eq!(auto, explicit, "n={n}: Auto must cost exactly its selection");
     }
 }
 

@@ -13,6 +13,8 @@ fn algo_strategy() -> impl Strategy<Value = AllreduceAlgo> {
         Just(AllreduceAlgo::Linear),
         Just(AllreduceAlgo::RecursiveDoubling),
         Just(AllreduceAlgo::Ring),
+        Just(AllreduceAlgo::Rabenseifner),
+        Just(AllreduceAlgo::Auto),
     ]
 }
 

@@ -10,8 +10,8 @@
 
 use autoclass::data::{DataView, GlobalStats};
 use autoclass::model::{
-    classes_from_flat, classes_to_flat, evaluate, init_classes, stats_to_classes, update_wts,
-    Approximation, ClassParams, Model, StatLayout, SuffStats, WtsMatrix,
+    classes_from_flat, classes_to_flat, evaluate, init_classes, stats_to_classes_into,
+    update_wts_into, Approximation, ClassParams, CycleWorkspace, Model, SuffStats, WtsMatrix,
 };
 use mpsim::{Comm, ReduceOp};
 
@@ -62,42 +62,51 @@ pub fn init_classes_parallel(
 }
 
 /// One parallel `base_cycle`: E-step + weight Allreduce, M-step with the
-/// configured statistics exchange, and the approximation update. Returns
-/// the new classes and the cycle's (global) scores — identical on every
-/// rank.
+/// configured statistics exchange, and the approximation update. Updates
+/// `classes` in place with the new parameters and returns the cycle's
+/// (global) scores — identical on every rank.
+///
+/// All transient storage (the weight matrix, E-step scratch, statistics
+/// buffer, flat payload buffer) lives in `ws` and is reused across cycles:
+/// like the sequential `base_cycle`, the `Full` strategies perform no heap
+/// allocation in steady state. (`WtsOnly` gathers the whole weight matrix
+/// through growing transport buffers by design — that bandwidth cost is
+/// the point of the comparison.)
 pub fn parallel_base_cycle(
     comm: &mut Comm,
     model: &Model,
     view: &DataView<'_>,
-    classes: &[ClassParams],
-    wts: &mut WtsMatrix,
+    classes: &mut Vec<ClassParams>,
+    ws: &mut CycleWorkspace,
     strategy: Strategy,
-) -> (Vec<ClassParams>, Approximation) {
+) -> Approximation {
     let j = classes.len();
+    ws.reset_stats(model, j);
+    let CycleWorkspace { wts, estep, stats, flat } = ws;
+    let Some(stats) = stats else { unreachable!("reset_stats installs the statistics buffer") };
 
     // ---- update_wts (Figure 4) -------------------------------------
-    let e = update_wts(model, view, classes, wts);
+    let e = update_wts_into(model, view, classes, wts, estep);
     comm.work(e.ops);
-    // Allreduce of the per-class weight sums w_j.
-    let mut wj = e.class_weight_sums.clone();
-    comm.allreduce_f64s(&mut wj, ReduceOp::Sum);
-    comm.verify_replicated("class weight sums w_j", &wj);
+    // Allreduce of the per-class weight sums w_j, in place in the scratch.
+    comm.allreduce_f64s(&mut estep.class_weight_sums, ReduceOp::Sum);
+    comm.verify_replicated("class weight sums w_j", &estep.class_weight_sums);
+    let wj = &estep.class_weight_sums;
 
     // ---- update_parameters (Figure 5) -------------------------------
-    let (stats, classes_new) = match strategy {
+    match strategy {
         Strategy::Full { exchange } => {
-            let mut stats = SuffStats::zeros(StatLayout::new(model, j));
             let ops = stats.accumulate(model, view, wts);
             comm.work(ops);
-            // The class-weight slots were already combined in the wts
-            // phase; install the global values before the exchange so the
-            // per-term mode doesn't need to re-send them.
-            for (c, &w) in wj.iter().enumerate() {
-                let idx = stats.layout.weight_index(c);
-                stats.data[idx] = w;
-            }
             match exchange {
                 Exchange::PerTerm => {
+                    // The class-weight slots were already combined in the
+                    // wts phase; install the global values so the per-term
+                    // mode doesn't need to re-send them.
+                    for (c, &w) in wj.iter().enumerate() {
+                        let idx = stats.layout.weight_index(c);
+                        stats.data[idx] = w;
+                    }
                     // Faithful to Figure 5: the Allreduce sits inside the
                     // per-class, per-attribute loops.
                     for c in 0..j {
@@ -108,30 +117,26 @@ pub fn parallel_base_cycle(
                     }
                 }
                 Exchange::Fused => {
-                    // One big message; exclude nothing — the weight slots
-                    // are already global, so zero the local copies first
-                    // on non-contributing... simpler: rebuild from local
-                    // by subtracting is wasteful. Instead allreduce a
-                    // vector with the weight slots zeroed and restore.
-                    let saved: Vec<f64> =
-                        (0..j).map(|c| stats.data[stats.layout.weight_index(c)]).collect();
+                    // One big message. The weight slots were already
+                    // combined in the wts phase, so send zeros in their
+                    // place and install the global values afterwards —
+                    // no save/restore buffer needed.
                     for c in 0..j {
                         let idx = stats.layout.weight_index(c);
                         stats.data[idx] = 0.0;
                     }
                     comm.allreduce_f64s(&mut stats.data, ReduceOp::Sum);
-                    for (c, w) in saved.into_iter().enumerate() {
+                    for (c, &w) in wj.iter().enumerate() {
                         let idx = stats.layout.weight_index(c);
                         stats.data[idx] = w;
                     }
                 }
             }
-            let (cls, mops) = stats_to_classes(model, &stats);
+            let mops = stats_to_classes_into(model, stats, classes);
             comm.work(mops);
-            (stats, cls)
         }
-        Strategy::WtsOnly => wts_only_mstep(comm, model, view, wts, &wj, j),
-    };
+        Strategy::WtsOnly => wts_only_mstep(comm, model, view, wts, stats, flat, classes, j),
+    }
 
     // ---- update_approximations ---------------------------------------
     // Two scalars must become global: the log likelihood and the complete
@@ -139,7 +144,7 @@ pub fn parallel_base_cycle(
     // update_approximations step.
     let mut scalars = [e.log_likelihood, e.complete_ll];
     comm.allreduce_f64s(&mut scalars, ReduceOp::Sum);
-    let approx = evaluate(model, &stats, scalars[0], scalars[1]);
+    let approx = evaluate(model, stats, scalars[0], scalars[1]);
     comm.work((j * stats.layout.stride) as u64);
 
     // The new parameters were derived *independently* on every rank from
@@ -147,42 +152,52 @@ pub fn parallel_base_cycle(
     // are still bitwise identical — the semantics-preservation property
     // the paper's design rests on — before the next cycle builds on them.
     if comm.checks_replication() {
-        comm.verify_replicated("updated class parameters", &classes_to_flat(&classes_new));
+        flat.clear();
+        for class in classes.iter() {
+            class.to_flat(flat);
+        }
+        comm.verify_replicated("updated class parameters", flat);
         comm.verify_replicated("cycle scores", &scalars);
     }
 
-    (classes_new, approx)
+    approx
 }
 
 /// The Miller & Guo-style M-step: gather the full weight matrix to rank 0,
 /// compute statistics and parameters there against the full dataset, then
 /// broadcast the classes. The gathered matrix is `n × J` doubles — the
 /// bandwidth cost that motivates the paper's fully-parallel design.
+///
+/// `stats` arrives zeroed (from [`CycleWorkspace::reset_stats`]) and leaves
+/// holding the global statistics on every rank; `flat` is a reusable
+/// payload buffer; `classes` is replaced with the broadcast parameters.
+#[allow(clippy::too_many_arguments)]
 fn wts_only_mstep(
     comm: &mut Comm,
     model: &Model,
     view: &DataView<'_>,
     wts: &WtsMatrix,
-    wj: &[f64],
+    stats: &mut SuffStats,
+    flat: &mut Vec<f64>,
+    classes: &mut Vec<ClassParams>,
     j: usize,
-) -> (SuffStats, Vec<ClassParams>) {
+) {
     let n_local = wts.n_items();
     // The master needs each rank's partition size to unpack the gathered
     // matrix; learn them on the wire rather than assuming a decomposition
     // (Block and Weighted partitionings both produce contiguous
-    // rank-ordered ranges).
-    let sizes = comm.gather_f64s(0, &[n_local as f64]);
+    // rank-ordered ranges). The counts travel as raw bit patterns inside
+    // f64 payloads — `from_bits`/`to_bits` round-trips exactly, with no
+    // integer-to-float precision cliff at 2^53.
+    let sizes = comm.gather_f64s(0, &[f64::from_bits(n_local as u64)]);
     // Flatten column-major local weights: [class0 col .. class{J-1} col].
-    let mut flat_local = Vec::with_capacity(n_local * j);
+    flat.clear();
     for c in 0..j {
-        flat_local.extend_from_slice(wts.class_column(c));
+        flat.extend_from_slice(wts.class_column(c));
     }
-    let gathered = comm.gather_f64s(0, &flat_local);
+    let gathered = comm.gather_f64s(0, flat);
 
-    let mut stats = SuffStats::zeros(StatLayout::new(model, j));
     let flat_classes_len = model.class_param_len() * j;
-    let mut flat_classes = vec![0.0; flat_classes_len];
-
     if let Some(all) = gathered {
         // Root: rebuild the global weight matrix. Ranks contributed in
         // rank order; rank r's block is n_r × J column-major.
@@ -194,7 +209,7 @@ fn wts_only_mstep(
         let mut offset = 0;
         let mut start = 0usize;
         for &size in &sizes {
-            let n_r = size as usize;
+            let n_r = size.to_bits() as usize;
             for c in 0..j {
                 let src = &all[offset + c * n_r..offset + (c + 1) * n_r];
                 global_wts.class_column_mut(c)[start..start + n_r].copy_from_slice(src);
@@ -205,21 +220,25 @@ fn wts_only_mstep(
         debug_assert_eq!(start, n_total, "partitions must cover the dataset");
         let ops = stats.accumulate(model, &full, &global_wts);
         comm.work(ops);
-        // The gathered weights are exact, so the accumulated class
-        // weights equal the Allreduced wj (up to association); use the
-        // accumulated ones for internal consistency.
-        let _ = wj;
-        let (classes, mops) = stats_to_classes(model, &stats);
+        let mops = stats_to_classes_into(model, stats, classes);
         comm.work(mops);
-        flat_classes = classes_to_flat(&classes);
+        flat.clear();
+        for class in classes.iter() {
+            class.to_flat(flat);
+        }
+        debug_assert_eq!(flat.len(), flat_classes_len, "flat classes length");
+    } else {
+        flat.clear();
+        flat.resize(flat_classes_len, 0.0);
     }
-    comm.broadcast_f64s(0, &mut flat_classes);
-    let classes = classes_from_flat(model, j, &flat_classes);
+    comm.broadcast_f64s(0, flat);
+    // Every rank (root included) derives its classes from the broadcast
+    // payload, so all ranks share one code path and stay bitwise equal.
+    *classes = classes_from_flat(model, j, flat);
 
     // Non-root ranks also need the global statistics for the shared
     // approximation step; broadcast them too (small next to the gather).
     comm.broadcast_f64s(0, &mut stats.data);
-    (stats, classes)
 }
 
 /// Recover the full-dataset view from a partition view. Only valid on the

@@ -3,7 +3,7 @@
 //! multicomputer.
 
 use autoclass::data::Dataset;
-use autoclass::model::{converged, derive_seed, WtsMatrix};
+use autoclass::model::{converged, derive_seed, CycleWorkspace};
 use autoclass::search::{apply_class_death, is_duplicate, Classification};
 use mpsim::{run_spmd, Comm, MachineSpec, RankStats, RunStats, SimError, SimOptions};
 
@@ -43,7 +43,10 @@ fn search_rank_body(
 
     let mut all: Vec<Classification> = Vec::new();
     let mut total_cycles = 0usize;
-    let mut wts = WtsMatrix::new(0, 0);
+    // One workspace outlives every try: the weight matrix, E-step scratch
+    // and statistics buffer reach their high-water mark once and are
+    // reused for the rest of the search.
+    let mut ws = CycleWorkspace::new();
 
     for (ji, &j) in sc.start_j_list.iter().enumerate() {
         for t in 0..sc.tries_per_j {
@@ -59,9 +62,14 @@ fn search_rank_body(
                 cs_score: f64::NEG_INFINITY,
             };
             while cycles < sc.max_cycles {
-                let (new_classes, a) =
-                    parallel_base_cycle(comm, &model, &view, &classes, &mut wts, config.strategy);
-                classes = new_classes;
+                let a = parallel_base_cycle(
+                    comm,
+                    &model,
+                    &view,
+                    &mut classes,
+                    &mut ws,
+                    config.strategy,
+                );
                 approx = a;
                 cycles += 1;
                 // Global statistics are identical on every rank, so the
@@ -166,16 +174,15 @@ pub fn run_fixed_j(
         let view = data.view(part.start, part.end);
         let model = build_model(comm, &view, &config.correlated_blocks);
         let mut classes = init_classes_parallel(comm, &model, &view, j, seed);
-        let mut wts = WtsMatrix::new(0, 0);
+        let mut ws = CycleWorkspace::new();
         // Synchronize before the measured window so stragglers from setup
         // don't leak into the cycle timing.
         comm.barrier();
         let t0 = comm.now();
         let mut ll = f64::NEG_INFINITY;
         for _ in 0..n_cycles {
-            let (new_classes, a) =
-                parallel_base_cycle(comm, &model, &view, &classes, &mut wts, config.strategy);
-            classes = new_classes;
+            let a =
+                parallel_base_cycle(comm, &model, &view, &mut classes, &mut ws, config.strategy);
             ll = a.log_likelihood;
         }
         (comm.now() - t0, ll)

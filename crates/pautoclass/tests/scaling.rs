@@ -121,7 +121,7 @@ fn weighted_and_block_partitioning_agree_numerically() {
     // (End-to-end runs can differ because initialization draws from rank
     // 0's partition, whose contents depend on the decomposition.)
     use autoclass::data::GlobalStats;
-    use autoclass::model::{init_classes, Model, WtsMatrix};
+    use autoclass::model::{init_classes, CycleWorkspace, Model};
     use mpsim::run_spmd_default;
     use pautoclass::driver::parallel_base_cycle;
     use pautoclass::{Partitioning, Strategy};
@@ -138,9 +138,16 @@ fn weighted_and_block_partitioning_agree_numerically() {
             let parts = partition.ranges(data.len(), comm.size());
             let part = &parts[comm.rank()];
             let view = data.view(part.start, part.end);
-            let mut wts = WtsMatrix::new(0, 0);
-            let (classes, approx) =
-                parallel_base_cycle(comm, &model, &view, &classes0, &mut wts, Strategy::default());
+            let mut ws = CycleWorkspace::new();
+            let mut classes = classes0.clone();
+            let approx = parallel_base_cycle(
+                comm,
+                &model,
+                &view,
+                &mut classes,
+                &mut ws,
+                Strategy::default(),
+            );
             (classes, approx.log_likelihood)
         })
         .unwrap()

@@ -1,0 +1,267 @@
+//! `cargo xtask bench` — the repeatable benchmark harness behind
+//! `BENCH_2.json`.
+//!
+//! Two measurements, both run in a single process so the comparison is
+//! apples-to-apples:
+//!
+//! 1. **E-step kernels** (host wall time): the retained pre-blocking
+//!    reference `update_wts_naive` versus the cache-blocked fused
+//!    `update_wts_into` with a reused workspace, reported as items/s
+//!    (items × classes per second). The harness also proves the two
+//!    kernels numerically equivalent (final-rounding ulps) and their op
+//!    accounting consistent with `estep_ops`, so the virtual-time model
+//!    is unaffected by the optimization.
+//! 2. **Virtual cycle times** (simulated seconds): `run_fixed_j` per
+//!    strategy × P on the calibrated Meiko CS-2 model, plus a
+//!    `full_fused_auto` row with the size-adaptive allreduce selector.
+//!
+//! Flags: `--smoke` (small sizes for CI), `--out PATH` (default
+//! `BENCH_2.json` in the repo root), `--check PATH` (validate an existing
+//! results file instead of benchmarking).
+
+use std::fmt::Write as _;
+use std::path::Path;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use autoclass::data::GlobalStats;
+use autoclass::model::{estep_ops, init_classes, update_wts_into, update_wts_naive, Model};
+use autoclass::model::{EStepScratch, WtsMatrix};
+use autoclass::search::SearchConfig;
+use mpsim::{presets, AllreduceAlgo, MachineSpec};
+use pautoclass::{run_fixed_j, Exchange, ParallelConfig, Partitioning, Strategy};
+
+pub fn bench(args: &[String]) -> ExitCode {
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let flag_value = |name: &str| {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+    };
+    if let Some(path) = flag_value("--check") {
+        return check(Path::new(path));
+    }
+    let root = crate::repo_root();
+    let default_out = root.join("BENCH_2.json");
+    let out_path = flag_value("--out").map(Into::into).unwrap_or(default_out);
+
+    let json = match run_benchmarks(smoke) {
+        Ok(j) => j,
+        Err(msg) => {
+            eprintln!("xtask bench: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("xtask bench: cannot write {}: {e}", out_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("xtask bench: wrote {}", out_path.display());
+    ExitCode::SUCCESS
+}
+
+/// One strategy row of the virtual-cycle table.
+struct CycleRow {
+    strategy: &'static str,
+    allreduce: &'static str,
+    p: usize,
+    per_cycle_s: f64,
+    log_likelihood: f64,
+}
+
+fn run_benchmarks(smoke: bool) -> Result<String, String> {
+    // ---- E-step kernel comparison (host time) -----------------------
+    let (n, j, reps) = if smoke { (2_000, 8, 3) } else { (150_000, 16, 5) };
+    eprintln!("xtask bench: estep kernels n={n} j={j} reps={reps}");
+    let data = datagen::paper_dataset(n, 1);
+    let view = data.full_view();
+    let gstats = GlobalStats::compute(&view);
+    let model = Model::new(data.schema().clone(), &gstats);
+    let classes = init_classes(&model, &view, j, 7);
+
+    let mut wts_a = WtsMatrix::new(0, 0);
+    let mut wts_b = WtsMatrix::new(0, 0);
+    let mut scratch = EStepScratch::default();
+
+    // Correctness first: the blocked kernel must reproduce the reference
+    // to final-rounding precision (phase 2 uses one `fast_exp` + multiply
+    // where the reference calls libm `exp` twice, so agreement is a few
+    // ulps, not bitwise), and both must report the op count the
+    // virtual-time model charges for an E-step of these dimensions.
+    let ref_out = update_wts_naive(&model, &view, &classes, &mut wts_a);
+    let blk_out = update_wts_into(&model, &view, &classes, &mut wts_b, &mut scratch);
+    let rel = |a: f64, b: f64| (a - b).abs() / a.abs().max(b.abs()).max(1e-300);
+    let mut max_rel_err = rel(ref_out.log_likelihood, blk_out.log_likelihood)
+        .max(rel(ref_out.complete_ll, blk_out.complete_ll));
+    for (a, b) in ref_out.class_weight_sums.iter().zip(&scratch.class_weight_sums) {
+        max_rel_err = max_rel_err.max(rel(*a, *b));
+    }
+    for c in 0..j {
+        for (a, b) in wts_a.class_column(c).iter().zip(wts_b.class_column(c)) {
+            if a.abs().max(b.abs()) > 1e-100 {
+                max_rel_err = max_rel_err.max(rel(*a, *b));
+            }
+        }
+    }
+    let kernels_match = max_rel_err < 1e-11;
+    if !kernels_match {
+        return Err(format!(
+            "blocked E-step diverged from the naive reference: max rel err {max_rel_err:e}"
+        ));
+    }
+    let expected_ops = estep_ops(n, j, model.n_attrs());
+    let estep_ops_match = ref_out.ops == expected_ops && blk_out.ops == expected_ops;
+    if !estep_ops_match {
+        return Err(format!(
+            "op accounting drifted: naive={} blocked={} estep_ops={}",
+            ref_out.ops, blk_out.ops, expected_ops
+        ));
+    }
+
+    // Throughput: best-of-reps wall time per kernel (both warmed above).
+    let time_best = |mut f: Box<dyn FnMut() + '_>| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            f();
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let naive_s = time_best(Box::new(|| {
+        update_wts_naive(&model, &view, &classes, &mut wts_a);
+    }));
+    let blocked_s = time_best(Box::new(|| {
+        update_wts_into(&model, &view, &classes, &mut wts_b, &mut scratch);
+    }));
+    let elems = (n * j) as f64;
+    let naive_items_per_s = elems / naive_s;
+    let blocked_items_per_s = elems / blocked_s;
+    let speedup = naive_s / blocked_s;
+    eprintln!(
+        "xtask bench: naive {naive_items_per_s:.3e} items/s, \
+         blocked {blocked_items_per_s:.3e} items/s ({speedup:.2}x)"
+    );
+
+    // ---- Virtual cycle times (simulated seconds) --------------------
+    let (cn, cj, cycles) = if smoke { (800, 8, 2) } else { (5_000, 8, 5) };
+    eprintln!("xtask bench: virtual cycles n={cn} j={cj} cycles={cycles}");
+    let cdata = datagen::paper_dataset(cn, 2);
+    let mk_config = |strategy: Strategy| ParallelConfig {
+        search: SearchConfig {
+            start_j_list: vec![cj],
+            tries_per_j: 1,
+            max_cycles: cycles,
+            rel_delta_ll: 0.0,
+            min_class_weight: 0.0,
+            seed: 42,
+            max_stored: 1,
+        },
+        strategy,
+        partition: Partitioning::Block,
+        correlated_blocks: Vec::new(),
+    };
+    type SeriesRow = (&'static str, &'static str, Strategy, fn(usize) -> MachineSpec);
+    let series: [SeriesRow; 4] = [
+        ("full_fused", "linear", Strategy::Full { exchange: Exchange::Fused }, presets::meiko_cs2),
+        (
+            "full_perterm",
+            "linear",
+            Strategy::Full { exchange: Exchange::PerTerm },
+            presets::meiko_cs2,
+        ),
+        ("wts_only", "linear", Strategy::WtsOnly, presets::meiko_cs2),
+        ("full_fused_auto", "auto", Strategy::Full { exchange: Exchange::Fused }, |p| {
+            let mut spec = presets::meiko_cs2(p);
+            spec.allreduce = AllreduceAlgo::Auto;
+            spec
+        }),
+    ];
+    let mut rows: Vec<CycleRow> = Vec::new();
+    for (strategy_name, allreduce, strategy, machine) in series {
+        for p in [1usize, 2, 4, 8] {
+            let spec = machine(p);
+            let cfg = mk_config(strategy);
+            let timing = run_fixed_j(&cdata, &spec, cj, cycles, 42, &cfg)
+                .map_err(|e| format!("{strategy_name} P={p}: {e}"))?;
+            rows.push(CycleRow {
+                strategy: strategy_name,
+                allreduce,
+                p,
+                per_cycle_s: timing.per_cycle,
+                log_likelihood: timing.log_likelihood,
+            });
+        }
+    }
+
+    // ---- Hand-formatted JSON ----------------------------------------
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema_version\": 1,");
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    out.push_str("  \"estep\": {\n");
+    let _ = writeln!(out, "    \"n\": {n},");
+    let _ = writeln!(out, "    \"j\": {j},");
+    let _ = writeln!(out, "    \"reps\": {reps},");
+    let _ = writeln!(out, "    \"naive_items_per_s\": {naive_items_per_s:.1},");
+    let _ = writeln!(out, "    \"blocked_items_per_s\": {blocked_items_per_s:.1},");
+    let _ = writeln!(out, "    \"speedup\": {speedup:.3},");
+    let _ = writeln!(out, "    \"kernels_match\": {kernels_match},");
+    let _ = writeln!(out, "    \"max_rel_err\": {max_rel_err:e},");
+    let _ = writeln!(out, "    \"estep_ops_match\": {estep_ops_match}");
+    out.push_str("  },\n");
+    out.push_str("  \"cycles\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"strategy\": \"{}\", \"allreduce\": \"{}\", \"p\": {}, \
+             \"per_cycle_s\": {:.6}, \"log_likelihood\": {:.6}}}{comma}",
+            r.strategy, r.allreduce, r.p, r.per_cycle_s, r.log_likelihood
+        );
+    }
+    out.push_str("  ]\n}\n");
+    Ok(out)
+}
+
+/// Structural validation of a results file: the required keys exist and
+/// the two correctness gates (`bitwise_equal`, `estep_ops_match`) read
+/// `true`. Intentionally tolerant of numeric values — CI checks shape and
+/// invariants, not machine speed.
+fn check(path: &Path) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("xtask bench --check: cannot read {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let required = [
+        "\"schema_version\": 1",
+        "\"estep\"",
+        "\"naive_items_per_s\"",
+        "\"blocked_items_per_s\"",
+        "\"speedup\"",
+        "\"kernels_match\": true",
+        "\"estep_ops_match\": true",
+        "\"cycles\"",
+        "\"per_cycle_s\"",
+        "\"full_fused\"",
+        "\"full_perterm\"",
+        "\"wts_only\"",
+        "\"full_fused_auto\"",
+    ];
+    let mut missing = Vec::new();
+    for key in required {
+        if !text.contains(key) {
+            missing.push(key);
+        }
+    }
+    if missing.is_empty() {
+        println!("xtask bench --check: {} ok", path.display());
+        ExitCode::SUCCESS
+    } else {
+        for key in missing {
+            eprintln!("xtask bench --check: {} missing {key}", path.display());
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,7 +1,10 @@
 //! Repository automation (`cargo xtask <task>`).
 //!
-//! The only task so far is `lint`: a custom static pass over the library
-//! sources enforcing project rules that `clippy` has no lints for.
+//! * `lint` — a custom static pass over the library sources enforcing
+//!   project rules that `clippy` has no lints for (detailed below).
+//! * `bench` — the benchmark harness behind `BENCH_2.json`: E-step kernel
+//!   throughput (naive vs blocked, same process) and virtual cycle times
+//!   per strategy × P. See the `bench` module docs for flags.
 //!
 //! # Rules
 //!
@@ -24,6 +27,8 @@
 //! Test code (`#[cfg(test)]` modules, `tests/`, `benches/`) is exempt from
 //! all rules.
 
+mod bench;
+
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -32,8 +37,9 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(),
+        Some("bench") => bench::bench(&args[1..]),
         _ => {
-            eprintln!("usage: cargo xtask lint");
+            eprintln!("usage: cargo xtask lint | bench [--smoke] [--out PATH] [--check PATH]");
             ExitCode::FAILURE
         }
     }
