@@ -429,6 +429,20 @@ pub fn estep_ops(n: usize, j: usize, k: usize) -> u64 {
 /// subnormals there, which contribute nothing to a weight sum of order 1,
 /// and returning a true zero preserves the `w > 0.0` guard that protects
 /// the `0 · (−∞)` complete-likelihood corner.
+///
+/// Edge cases, handled by branch-free selects after the pipeline so the
+/// hot path stays vectorizable:
+/// * **NaN propagates.** A `max`/`min` clamp ignores a NaN operand and
+///   would silently turn a NaN log-density into `exp(−708)` — a tiny
+///   finite weight — corrupting the weight normalization downstream
+///   without a trace; `clamp` forwards NaN but the integer exponent
+///   assembly then produces garbage bits rather than NaN. A final
+///   `is_nan` select returns the input itself, payload intact.
+/// * **Inputs above +709 saturate to `+∞`.** The `ni << 52` exponent
+///   assembly only covers normal range (`n ≤ 1023`, i.e. `x ≲ 709.78`);
+///   beyond it the shifted exponent would wrap into garbage bits. The
+///   log-sum-exp caller only ever passes `r − max ≤ 0`, but the guard
+///   makes the helper total over `f64`.
 #[inline]
 fn fast_exp(x: f64) -> f64 {
     const LOG2E: f64 = std::f64::consts::LOG2_E;
@@ -442,9 +456,10 @@ fn fast_exp(x: f64) -> f64 {
     const LN2_LO: f64 = 1.908_214_929_270_587_700_02e-10;
     // The 1.5 · 2^52 round-to-nearest shifter.
     const SHIFT: f64 = 6_755_399_441_055_744.0;
-    // Clamping at −708 keeps the assembled exponent in normal range; the
-    // final select maps everything below it (including −∞) to zero.
-    let xc = x.max(-708.0);
+    // Clamping to [−708, 709] keeps the assembled exponent in normal
+    // range; the final selects map everything outside (and NaN) to the
+    // documented results.
+    let xc = x.clamp(-708.0, 709.0);
     let t = xc * LOG2E + SHIFT;
     let nf = t - SHIFT;
     let r = (xc - nf * LN2_HI) - nf * LN2_LO;
@@ -467,8 +482,12 @@ fn fast_exp(x: f64) -> f64 {
     let ni = (t.to_bits() & ((1u64 << 52) - 1)) as i64 + (1023 - (1i64 << 51));
     let scale = f64::from_bits((ni << 52) as u64);
     let v = p * scale;
-    if x < -708.0 {
-        0.0
+    // Ordered selects: saturate the unrepresentable tails first, then let
+    // NaN (for which both comparisons are false) override everything.
+    let v = if x > 709.0 { f64::INFINITY } else { v };
+    let v = if x < -708.0 { 0.0 } else { v };
+    if x.is_nan() {
+        x
     } else {
         v
     }
@@ -660,6 +679,38 @@ mod tests {
         assert_eq!(fast_exp(0.0).to_bits(), 1.0f64.to_bits(), "exp(0) must be exactly 1");
         assert_eq!(fast_exp(f64::NEG_INFINITY), 0.0);
         assert_eq!(fast_exp(-1e9), 0.0);
+    }
+
+    /// Regression: `x.max(-708.0)` ignores a NaN operand, so the pre-fix
+    /// implementation mapped a NaN log-density to the finite `exp(−708)`
+    /// and corrupted the weight normalization silently. NaN must come back
+    /// out as NaN.
+    #[test]
+    fn fast_exp_propagates_nan() {
+        assert!(fast_exp(f64::NAN).is_nan());
+        assert!(fast_exp(-f64::NAN).is_nan());
+    }
+
+    /// Regression: the `ni << 52` exponent assembly only covers normal
+    /// range; inputs above +709 (including `+∞`) must saturate to `+∞`
+    /// rather than wrap the exponent bits into garbage.
+    #[test]
+    fn fast_exp_saturates_positive_overflow() {
+        assert_eq!(fast_exp(f64::INFINITY), f64::INFINITY);
+        assert_eq!(fast_exp(710.0), f64::INFINITY);
+        assert_eq!(fast_exp(1e9), f64::INFINITY);
+        // Just inside the guard: still finite and accurate.
+        let rel = (fast_exp(709.0) - 709.0f64.exp()).abs() / 709.0f64.exp();
+        assert!(rel < 1e-14, "rel {rel:e}");
+    }
+
+    /// `exp(1)` through the fast path agrees with Euler's number to a few
+    /// ulps (the positive side of the domain is exercised explicitly; the
+    /// sweep above is dominated by negative log-sum-exp inputs).
+    #[test]
+    fn fast_exp_at_one_matches_e() {
+        let rel = (fast_exp(1.0) - std::f64::consts::E).abs() / std::f64::consts::E;
+        assert!(rel < 1e-15, "fast_exp(1)={:e} rel {rel:e}", fast_exp(1.0));
     }
 
     /// `reset` keeps capacity: shrinking and re-growing within the

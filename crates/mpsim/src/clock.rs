@@ -6,16 +6,59 @@
 //! virtual arrival is later than the receiver's current time. The elapsed
 //! time of an SPMD run is the maximum final clock across ranks.
 
+/// Compute / comm / idle seconds attributed to one named phase bucket.
+///
+/// Bucket 0 is the *default* bucket: everything not under an explicit
+/// phase span lands there, so the buckets always partition the clock —
+/// `Σ buckets == now` to the same rounding the global split enjoys.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct PhaseTimes {
+    /// Seconds of modeled computation in this phase.
+    pub compute: f64,
+    /// Seconds of communication endpoint work in this phase.
+    pub comm: f64,
+    /// Seconds spent blocked waiting for messages in this phase.
+    pub idle: f64,
+}
+
+impl PhaseTimes {
+    /// Total seconds attributed to this phase.
+    pub fn total(&self) -> f64 {
+        self.compute + self.comm + self.idle
+    }
+}
+
 /// A virtual clock, in seconds, split into compute / communication / idle
 /// components. The invariant `now == compute + comm + idle` always holds
 /// (up to floating-point rounding) because every advance goes through one
 /// of the three typed methods.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Each advance is additionally attributed to the *current phase bucket*
+/// (see [`Clock::push_phase`] / [`Clock::set_phase`]); the communicator's
+/// `enter_phase`/`exit_phase` span API sits on top of this.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Clock {
     now: f64,
     compute: f64,
     comm: f64,
     idle: f64,
+    /// Per-phase time buckets; index 0 is the default bucket.
+    phases: Vec<PhaseTimes>,
+    /// Index of the bucket currently receiving advances.
+    cur: usize,
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock {
+            now: 0.0,
+            compute: 0.0,
+            comm: 0.0,
+            idle: 0.0,
+            phases: vec![PhaseTimes::default()],
+            cur: 0,
+        }
+    }
 }
 
 impl Clock {
@@ -51,6 +94,7 @@ impl Clock {
         let dt = sanitize(dt);
         self.now += dt;
         self.compute += dt;
+        self.phases[self.cur].compute += dt;
     }
 
     /// Advance by `dt` seconds of communication endpoint work.
@@ -58,14 +102,42 @@ impl Clock {
         let dt = sanitize(dt);
         self.now += dt;
         self.comm += dt;
+        self.phases[self.cur].comm += dt;
     }
 
     /// Wait (idle) until at least time `t`. No-op if `t` is in the past.
     pub fn wait_until(&mut self, t: f64) {
         if t > self.now {
             self.idle += t - self.now;
+            self.phases[self.cur].idle += t - self.now;
             self.now = t;
         }
+    }
+
+    /// Allocate a new phase bucket and return its index. The new bucket
+    /// does **not** become current; call [`Clock::set_phase`] for that.
+    pub fn push_phase(&mut self) -> usize {
+        self.phases.push(PhaseTimes::default());
+        self.phases.len() - 1
+    }
+
+    /// Direct subsequent advances into bucket `idx`.
+    ///
+    /// # Panics
+    /// Panics if `idx` was not returned by [`Clock::push_phase`] (or 0).
+    pub fn set_phase(&mut self, idx: usize) {
+        assert!(idx < self.phases.len(), "phase index {idx} out of range");
+        self.cur = idx;
+    }
+
+    /// Index of the bucket currently receiving advances (0 = default).
+    pub fn current_phase(&self) -> usize {
+        self.cur
+    }
+
+    /// The per-phase time buckets; index 0 is the default bucket.
+    pub fn phase_times(&self) -> &[PhaseTimes] {
+        &self.phases
     }
 }
 
@@ -116,6 +188,37 @@ mod tests {
         c.advance_comm(f64::NAN);
         c.advance_compute(f64::INFINITY);
         assert_eq!(c.now(), 0.0);
+    }
+
+    #[test]
+    fn phase_buckets_partition_the_clock() {
+        let mut c = Clock::new();
+        c.advance_compute(1.0); // default bucket
+        let a = c.push_phase();
+        let b = c.push_phase();
+        c.set_phase(a);
+        c.advance_compute(2.0);
+        c.advance_comm(0.5);
+        c.set_phase(b);
+        c.wait_until(5.0);
+        c.set_phase(0);
+        c.advance_comm(0.25);
+        let phases = c.phase_times();
+        assert_eq!(phases.len(), 3);
+        assert_eq!(phases[0].compute, 1.0);
+        assert_eq!(phases[0].comm, 0.25);
+        assert_eq!(phases[a].compute, 2.0);
+        assert_eq!(phases[a].comm, 0.5);
+        assert_eq!(phases[b].idle, 5.0 - 3.5);
+        let sum: f64 = phases.iter().map(PhaseTimes::total).sum();
+        assert!((sum - c.now()).abs() < 1e-12, "sum={} now={}", sum, c.now());
+    }
+
+    #[test]
+    #[should_panic(expected = "phase index")]
+    fn set_phase_rejects_unknown_bucket() {
+        let mut c = Clock::new();
+        c.set_phase(3);
     }
 
     #[test]

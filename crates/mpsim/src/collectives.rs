@@ -13,6 +13,14 @@
 //! per-communicator sequence number used as the message tag, so a rank that
 //! skips a collective deadlocks (and is caught by the receive timeout)
 //! rather than silently corrupting a later collective.
+//!
+//! # Phase attribution
+//!
+//! Collectives carry no phase tagging of their own: every constituent
+//! send/recv and all idle time waiting on peers is charged to whatever
+//! phase span (see [`Comm::enter_phase`]) is open on the calling rank, so
+//! wrapping a collective call in a span attributes its full modeled cost —
+//! including the algorithm-dependent message fan-out — to that bucket.
 
 use crate::comm::Comm;
 use crate::cost::AllreduceAlgo;

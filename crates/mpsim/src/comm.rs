@@ -26,7 +26,7 @@ use crate::clock::Clock;
 use crate::cost::MachineSpec;
 use crate::error::SimError;
 use crate::payload::{decode_f64s, decode_u64s, encode_f64s, encode_u64s};
-use crate::trace::{Event, EventKind, RankStats};
+use crate::trace::{Event, EventKind, PhaseStats, RankStats};
 use crate::verify::{hash_f64s, CollFingerprint, VerifyState, USER_REPL_COMM, WORLD_COMM};
 
 /// Highest tag value available to user point-to-point messages. Collectives
@@ -50,6 +50,22 @@ pub(crate) struct Envelope {
 /// get while a rank is blocked.
 const RECV_SLICE: Duration = Duration::from_millis(25);
 
+/// Name of the implicit phase bucket that holds everything outside an
+/// explicit [`Comm::enter_phase`] span.
+pub const DEFAULT_PHASE: &str = "other";
+
+/// Per-phase message counters mirroring the time buckets in
+/// [`crate::clock::Clock`]; merged with them into
+/// [`crate::trace::PhaseStats`] when stats are snapshotted.
+#[derive(Debug, Clone, Copy, Default)]
+struct PhaseCounters {
+    msgs_sent: u64,
+    bytes_sent: u64,
+    msgs_recvd: u64,
+    bytes_recvd: u64,
+    collectives: u64,
+}
+
 /// Per-rank communicator for one SPMD run. Not `Clone`: exactly one per
 /// rank, mirroring an MPI process.
 pub struct Comm {
@@ -72,6 +88,13 @@ pub struct Comm {
     pub(crate) coll_seq: u64,
     /// Monotone counter for user-level [`Comm::verify_replicated`] calls.
     repl_seq: u64,
+    /// Phase names, parallel to the clock's time buckets; `[0]` is the
+    /// implicit [`DEFAULT_PHASE`] bucket.
+    phase_names: Vec<String>,
+    /// Per-phase message counters, parallel to `phase_names`.
+    phase_counters: Vec<PhaseCounters>,
+    /// Stack of open `enter_phase` spans (bucket indices).
+    phase_stack: Vec<usize>,
     /// Message event trace; `None` when tracing is disabled.
     events: Option<Vec<Event>>,
     /// Shared verification state; `None` when every check is disabled.
@@ -104,6 +127,9 @@ impl Comm {
             recv_timeout,
             coll_seq: 0,
             repl_seq: 0,
+            phase_names: vec![DEFAULT_PHASE.to_string()],
+            phase_counters: vec![PhaseCounters::default()],
+            phase_stack: Vec::new(),
             events: record_events.then(Vec::new),
             verify,
         }
@@ -152,6 +178,46 @@ impl Comm {
         out
     }
 
+    /// Open a named phase span: until the matching [`Comm::exit_phase`],
+    /// every clock advance (compute, comm endpoint work, idle waits) and
+    /// every message/collective on this rank is attributed to the bucket
+    /// named `name`.
+    ///
+    /// Spans nest (an `"allreduce"` span inside an `"estep"` span takes
+    /// over attribution until it closes), and re-entering a name later
+    /// accumulates into the same bucket, so a phase entered once per EM
+    /// cycle reports its total across the run. Phase buckets always
+    /// partition the rank's elapsed time: whatever runs outside any span
+    /// lands in the implicit [`DEFAULT_PHASE`] bucket.
+    pub fn enter_phase(&mut self, name: &str) {
+        let idx = match self.phase_names.iter().position(|n| n == name) {
+            Some(idx) => idx,
+            None => {
+                let idx = self.clock.push_phase();
+                self.phase_names.push(name.to_string());
+                self.phase_counters.push(PhaseCounters::default());
+                debug_assert_eq!(self.phase_names.len(), idx + 1);
+                idx
+            }
+        };
+        self.phase_stack.push(idx);
+        self.clock.set_phase(idx);
+    }
+
+    /// Close the innermost open phase span, returning attribution to the
+    /// enclosing span (or the default bucket when none is open). Calling
+    /// with no span open is a no-op, so a helper that always pairs
+    /// enter/exit stays safe even if its caller already unwound the stack.
+    pub fn exit_phase(&mut self) {
+        self.phase_stack.pop();
+        self.clock.set_phase(self.phase_stack.last().copied().unwrap_or(0));
+    }
+
+    /// Name of the phase currently receiving attribution.
+    pub fn current_phase(&self) -> &str {
+        &self.phase_names[self.clock.current_phase()]
+    }
+
     fn check_abort(&self) {
         if self.abort.load(Ordering::Relaxed) {
             std::panic::panic_any(AbortPanic(SimError::Aborted { rank: self.rank }));
@@ -174,6 +240,9 @@ impl Comm {
         self.check_abort();
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += bytes.len() as u64;
+        let cur = self.clock.current_phase();
+        self.phase_counters[cur].msgs_sent += 1;
+        self.phase_counters[cur].bytes_sent += bytes.len() as u64;
         self.clock.advance_comm(self.spec.network.overhead);
         if let Some(events) = &mut self.events {
             events.push(Event {
@@ -264,6 +333,9 @@ impl Comm {
         self.clock.advance_comm(self.spec.network.overhead);
         self.stats.msgs_recvd += 1;
         self.stats.bytes_recvd += env.bytes.len() as u64;
+        let cur = self.clock.current_phase();
+        self.phase_counters[cur].msgs_recvd += 1;
+        self.phase_counters[cur].bytes_recvd += env.bytes.len() as u64;
         if let Some(events) = &mut self.events {
             events.push(Event {
                 t: self.clock.now(),
@@ -303,6 +375,23 @@ impl Comm {
         s.compute = self.clock.compute();
         s.comm = self.clock.comm();
         s.idle = self.clock.idle();
+        s.phases = self
+            .phase_names
+            .iter()
+            .zip(self.clock.phase_times())
+            .zip(&self.phase_counters)
+            .map(|((name, t), c)| PhaseStats {
+                name: name.clone(),
+                compute: t.compute,
+                comm: t.comm,
+                idle: t.idle,
+                msgs_sent: c.msgs_sent,
+                bytes_sent: c.bytes_sent,
+                msgs_recvd: c.msgs_recvd,
+                bytes_recvd: c.bytes_recvd,
+                collectives: c.collectives,
+            })
+            .collect();
         s
     }
 
@@ -324,6 +413,7 @@ impl Comm {
     pub(crate) fn coll_enter(&mut self, fp: CollFingerprint) -> u64 {
         self.coll_seq += 1;
         self.stats.collectives += 1;
+        self.phase_counters[self.clock.current_phase()].collectives += 1;
         if let Some(v) = &self.verify {
             if v.opts().check_collectives {
                 if let Err(e) =

@@ -59,9 +59,11 @@ pub struct SpmdOutput<T> {
     pub per_rank: Vec<T>,
     /// Elapsed virtual time: the maximum final clock over all ranks.
     pub elapsed: f64,
-    /// Per-rank statistics.
+    /// Per-rank statistics, including the per-phase breakdown fed by
+    /// [`Comm::enter_phase`](crate::Comm::enter_phase) spans.
     pub ranks: Vec<RankStats>,
-    /// Aggregate statistics.
+    /// Aggregate statistics (both send- and receive-side traffic totals;
+    /// see [`RunStats::check_message_symmetry`]).
     pub stats: RunStats,
     /// Per-rank message event traces; empty vectors unless
     /// [`SimOptions::record_events`] was set.

@@ -39,7 +39,10 @@
 //!   point-to-point, with textbook algorithms
 //! * [`subcomm`] — sub-communicators (`MPI_Comm_split` analogue)
 //! * [`engine`] — the SPMD launcher ([`run_spmd`])
-//! * [`trace`] — per-rank and aggregate statistics
+//! * [`trace`] — per-rank and aggregate statistics, including per-phase
+//!   buckets fed by the [`Comm::enter_phase`] span API
+//! * [`report`] — paper-style tables (per-phase time, speedup, efficiency,
+//!   critical path) rendered from per-rank stats as text/CSV/JSON
 //! * [`verify`] — opt-in SPMD correctness verification: collective
 //!   fingerprint cross-validation, wait-for-graph deadlock detection, and
 //!   replication-invariant hashing (see [`SimOptions::verified`])
@@ -53,20 +56,23 @@ pub mod cost;
 pub mod engine;
 pub mod error;
 pub mod payload;
+pub mod report;
 pub mod subcomm;
 pub mod topology;
 pub mod trace;
 pub mod verify;
 
+pub use clock::PhaseTimes;
 pub use collectives::ReduceOp;
-pub use comm::{Comm, MAX_USER_TAG};
+pub use comm::{Comm, DEFAULT_PHASE, MAX_USER_TAG};
 pub use cost::{
     predicted_allreduce_cost, presets, select_allreduce, AllreduceAlgo, ComputeModel, MachineSpec,
     NetworkModel,
 };
 pub use engine::{run_spmd, run_spmd_default, SimOptions, SpmdOutput};
 pub use error::SimError;
+pub use report::{PhaseRow, Report, RunRecord, RunRow};
 pub use subcomm::SubComm;
 pub use topology::Topology;
-pub use trace::{Event, EventKind, RankStats, RunStats};
+pub use trace::{Event, EventKind, PhaseStats, RankStats, RunStats};
 pub use verify::{CollFingerprint, CollKind, VerifyOptions};

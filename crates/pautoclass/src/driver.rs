@@ -31,7 +31,9 @@ pub fn build_model(
     // Scanning the partition once costs ~K ops per item.
     comm.work((view.len() * view.schema().len()) as u64);
     let mut flat = local.to_flat();
+    comm.enter_phase("allreduce");
     comm.allreduce_f64s(&mut flat, ReduceOp::Sum);
+    comm.exit_phase();
     let global = GlobalStats::from_flat(&local, &flat);
     if correlated_blocks.is_empty() {
         Model::new(view.schema().clone(), &global)
@@ -66,6 +68,13 @@ pub fn init_classes_parallel(
 /// `classes` in place with the new parameters and returns the cycle's
 /// (global) scores — identical on every rank.
 ///
+/// Time and traffic are attributed to named phase spans for the report
+/// harness: `"estep"` (weight computation), `"mstep"` (statistics
+/// accumulation and parameter derivation), and `"allreduce"` (every
+/// statistics-exchange collective, whichever algorithm or strategy
+/// realizes it). The negligible `update_approximations` tail falls to the
+/// caller's enclosing span, so buckets still partition elapsed time.
+///
 /// All transient storage (the weight matrix, E-step scratch, statistics
 /// buffer, flat payload buffer) lives in `ws` and is reused across cycles:
 /// like the sequential `base_cycle`, the `Full` strategies perform no heap
@@ -86,18 +95,24 @@ pub fn parallel_base_cycle(
     let Some(stats) = stats else { unreachable!("reset_stats installs the statistics buffer") };
 
     // ---- update_wts (Figure 4) -------------------------------------
+    comm.enter_phase("estep");
     let e = update_wts_into(model, view, classes, wts, estep);
     comm.work(e.ops);
+    comm.exit_phase();
     // Allreduce of the per-class weight sums w_j, in place in the scratch.
+    comm.enter_phase("allreduce");
     comm.allreduce_f64s(&mut estep.class_weight_sums, ReduceOp::Sum);
+    comm.exit_phase();
     comm.verify_replicated("class weight sums w_j", &estep.class_weight_sums);
     let wj = &estep.class_weight_sums;
 
     // ---- update_parameters (Figure 5) -------------------------------
     match strategy {
         Strategy::Full { exchange } => {
+            comm.enter_phase("mstep");
             let ops = stats.accumulate(model, view, wts);
             comm.work(ops);
+            comm.exit_phase();
             match exchange {
                 Exchange::PerTerm => {
                     // The class-weight slots were already combined in the
@@ -109,12 +124,14 @@ pub fn parallel_base_cycle(
                     }
                     // Faithful to Figure 5: the Allreduce sits inside the
                     // per-class, per-attribute loops.
+                    comm.enter_phase("allreduce");
                     for c in 0..j {
                         for k in 0..model.n_groups() {
                             let range = stats.layout.attr_range(c, k);
                             comm.allreduce_f64s(&mut stats.data[range], ReduceOp::Sum);
                         }
                     }
+                    comm.exit_phase();
                 }
                 Exchange::Fused => {
                     // One big message. The weight slots were already
@@ -125,15 +142,19 @@ pub fn parallel_base_cycle(
                         let idx = stats.layout.weight_index(c);
                         stats.data[idx] = 0.0;
                     }
+                    comm.enter_phase("allreduce");
                     comm.allreduce_f64s(&mut stats.data, ReduceOp::Sum);
+                    comm.exit_phase();
                     for (c, &w) in wj.iter().enumerate() {
                         let idx = stats.layout.weight_index(c);
                         stats.data[idx] = w;
                     }
                 }
             }
+            comm.enter_phase("mstep");
             let mops = stats_to_classes_into(model, stats, classes);
             comm.work(mops);
+            comm.exit_phase();
         }
         Strategy::WtsOnly => wts_only_mstep(comm, model, view, wts, stats, flat, classes, j),
     }
@@ -143,7 +164,9 @@ pub fn parallel_base_cycle(
     // log likelihood. The paper folds this into the (negligible)
     // update_approximations step.
     let mut scalars = [e.log_likelihood, e.complete_ll];
+    comm.enter_phase("allreduce");
     comm.allreduce_f64s(&mut scalars, ReduceOp::Sum);
+    comm.exit_phase();
     let approx = evaluate(model, stats, scalars[0], scalars[1]);
     comm.work((j * stats.layout.stride) as u64);
 
@@ -189,6 +212,7 @@ fn wts_only_mstep(
     // rank-ordered ranges). The counts travel as raw bit patterns inside
     // f64 payloads — `from_bits`/`to_bits` round-trips exactly, with no
     // integer-to-float precision cliff at 2^53.
+    comm.enter_phase("allreduce");
     let sizes = comm.gather_f64s(0, &[f64::from_bits(n_local as u64)]);
     // Flatten column-major local weights: [class0 col .. class{J-1} col].
     flat.clear();
@@ -196,15 +220,17 @@ fn wts_only_mstep(
         flat.extend_from_slice(wts.class_column(c));
     }
     let gathered = comm.gather_f64s(0, flat);
+    comm.exit_phase();
 
     let flat_classes_len = model.class_param_len() * j;
-    if let Some(all) = gathered {
+    // Both gathers root at rank 0, so they return `Some` on exactly the
+    // same rank: destructure jointly instead of `expect`ing the second —
+    // no panic path inside the rank closure.
+    if let (Some(all), Some(sizes)) = (gathered, sizes) {
         // Root: rebuild the global weight matrix. Ranks contributed in
         // rank order; rank r's block is n_r × J column-major.
         let full = root_view(view);
         let n_total = full.len();
-        // lint:allow(unwrap): this branch only runs on the gather root
-        let sizes = sizes.expect("root holds the gathered sizes");
         let mut global_wts = WtsMatrix::new(n_total, j);
         let mut offset = 0;
         let mut start = 0usize;
@@ -218,10 +244,12 @@ fn wts_only_mstep(
             start += n_r;
         }
         debug_assert_eq!(start, n_total, "partitions must cover the dataset");
+        comm.enter_phase("mstep");
         let ops = stats.accumulate(model, &full, &global_wts);
         comm.work(ops);
         let mops = stats_to_classes_into(model, stats, classes);
         comm.work(mops);
+        comm.exit_phase();
         flat.clear();
         for class in classes.iter() {
             class.to_flat(flat);
@@ -231,14 +259,18 @@ fn wts_only_mstep(
         flat.clear();
         flat.resize(flat_classes_len, 0.0);
     }
+    comm.enter_phase("allreduce");
     comm.broadcast_f64s(0, flat);
+    comm.exit_phase();
     // Every rank (root included) derives its classes from the broadcast
     // payload, so all ranks share one code path and stay bitwise equal.
     *classes = classes_from_flat(model, j, flat);
 
     // Non-root ranks also need the global statistics for the shared
     // approximation step; broadcast them too (small next to the gather).
+    comm.enter_phase("allreduce");
     comm.broadcast_f64s(0, &mut stats.data);
+    comm.exit_phase();
 }
 
 /// Recover the full-dataset view from a partition view. Only valid on the

@@ -1,0 +1,58 @@
+//! Error type for the parallel entry points.
+
+use mpsim::SimError;
+
+/// Why a parallel run could not produce an outcome.
+///
+/// Wraps the engine's [`SimError`] (rank panics, deadlocks, verifier
+/// divergences — each carrying rank/sequence diagnostics) and adds the
+/// driver-level failure modes that previously `expect`ed their way into a
+/// panic inside the library.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RunError {
+    /// The SPMD engine reported a failure; see the wrapped error for the
+    /// offending rank and collective sequence number.
+    Sim(SimError),
+    /// The search finished without storing any classification — an empty
+    /// `start_j_list` or a configuration that discarded every try.
+    EmptySearch,
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Sim(e) => write!(f, "simulated run failed: {e}"),
+            RunError::EmptySearch => {
+                write!(f, "search produced no classification (empty start_j_list?)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RunError::Sim(e) => Some(e),
+            RunError::EmptySearch => None,
+        }
+    }
+}
+
+impl From<SimError> for RunError {
+    fn from(e: SimError) -> Self {
+        RunError::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_cause() {
+        let e = RunError::from(SimError::Aborted { rank: 3 });
+        assert!(e.to_string().contains("simulated run failed"));
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(RunError::EmptySearch.to_string().contains("no classification"));
+    }
+}

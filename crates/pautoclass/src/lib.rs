@@ -34,7 +34,9 @@
 
 pub mod config;
 pub mod driver;
+pub mod error;
 pub mod run;
 
 pub use config::{Exchange, ParallelConfig, Partitioning, Strategy};
+pub use error::RunError;
 pub use run::{run_fixed_j, run_search, run_search_with, CycleTiming, ParallelOutcome};

@@ -5,10 +5,11 @@
 use autoclass::data::Dataset;
 use autoclass::model::{converged, derive_seed, CycleWorkspace};
 use autoclass::search::{apply_class_death, is_duplicate, Classification};
-use mpsim::{run_spmd, Comm, MachineSpec, RankStats, RunStats, SimError, SimOptions};
+use mpsim::{run_spmd, Comm, MachineSpec, RankStats, RunStats, SimOptions};
 
 use crate::config::ParallelConfig;
 use crate::driver::{build_model, init_classes_parallel, parallel_base_cycle};
+use crate::error::RunError;
 
 /// Result of a parallel search. Every rank computes identical
 /// classifications (the semantics-preservation property); the values here
@@ -35,6 +36,9 @@ fn search_rank_body(
     data: &Dataset,
     config: &ParallelConfig,
 ) -> (Vec<Classification>, usize) {
+    // Everything not claimed by an inner span (model setup, class-death
+    // and convergence decisions, dedup/scoring) is model-search time.
+    comm.enter_phase("search");
     let parts = config.partition.ranges(data.len(), comm.size());
     let part = &parts[comm.rank()];
     let view = data.view(part.start, part.end);
@@ -104,34 +108,46 @@ fn search_rank_body(
     }
     all.sort_by(|a, b| b.score().total_cmp(&a.score()));
     all.truncate(sc.max_stored);
+    comm.exit_phase();
     (all, total_cycles)
 }
 
 /// Run the full P-AutoClass search on the given (simulated) machine.
 ///
 /// # Errors
-/// Propagates engine failures (rank panics, deadlock timeouts).
+/// Propagates engine failures (rank panics, deadlock timeouts, verifier
+/// divergences) as [`RunError::Sim`]; a search that stores no
+/// classification (e.g. an empty `start_j_list`) is
+/// [`RunError::EmptySearch`] rather than a panic.
 pub fn run_search(
     data: &Dataset,
     machine: &MachineSpec,
     config: &ParallelConfig,
-) -> Result<ParallelOutcome, SimError> {
+) -> Result<ParallelOutcome, RunError> {
     run_search_with(data, machine, config, &SimOptions::default())
 }
 
 /// [`run_search`] with explicit engine options (longer receive timeouts
-/// for very large workloads).
+/// for very large workloads, event tracing, verification layers).
+///
+/// # Errors
+/// Same contract as [`run_search`].
 pub fn run_search_with(
     data: &Dataset,
     machine: &MachineSpec,
     config: &ParallelConfig,
     opts: &SimOptions,
-) -> Result<ParallelOutcome, SimError> {
+) -> Result<ParallelOutcome, RunError> {
     let out = run_spmd(machine, opts, |comm| search_rank_body(comm, data, config))?;
-    // lint:allow(unwrap): machines have at least one rank
-    let (all, cycles) = out.per_rank.into_iter().next().expect("at least one rank");
-    // lint:allow(unwrap): a non-empty start_j_list always stores a classification
-    let best = all.first().expect("at least one classification").clone();
+    let Some((all, cycles)) = out.per_rank.into_iter().next() else {
+        // A machine with zero ranks is rejected by the engine before the
+        // body runs, so this is unreachable in practice — but returning an
+        // error keeps the library free of panic paths.
+        return Err(RunError::EmptySearch);
+    };
+    let Some(best) = all.first().cloned() else {
+        return Err(RunError::EmptySearch);
+    };
     Ok(ParallelOutcome {
         best,
         all,
@@ -160,6 +176,9 @@ pub struct CycleTiming {
 
 /// Run exactly `n_cycles` parallel base cycles at a fixed class count
 /// (no class death, no convergence exit) and time them in virtual time.
+///
+/// # Errors
+/// Propagates engine failures as [`RunError::Sim`].
 pub fn run_fixed_j(
     data: &Dataset,
     machine: &MachineSpec,
@@ -167,8 +186,9 @@ pub fn run_fixed_j(
     n_cycles: usize,
     seed: u64,
     config: &ParallelConfig,
-) -> Result<CycleTiming, SimError> {
+) -> Result<CycleTiming, RunError> {
     let out = run_spmd(machine, &SimOptions::default(), |comm| {
+        comm.enter_phase("search");
         let parts = config.partition.ranges(data.len(), comm.size());
         let part = &parts[comm.rank()];
         let view = data.view(part.start, part.end);
@@ -185,10 +205,11 @@ pub fn run_fixed_j(
                 parallel_base_cycle(comm, &model, &view, &mut classes, &mut ws, config.strategy);
             ll = a.log_likelihood;
         }
+        comm.exit_phase();
         (comm.now() - t0, ll)
     })?;
     let elapsed = out.per_rank.iter().map(|(dt, _)| *dt).fold(0.0, f64::max);
-    let log_likelihood = out.per_rank[0].1;
+    let log_likelihood = out.per_rank.first().map(|&(_, ll)| ll).unwrap_or(f64::NEG_INFINITY);
     Ok(CycleTiming {
         elapsed,
         cycles: n_cycles,

@@ -243,7 +243,7 @@ fn main() -> ExitCode {
                     );
                     (out.all, args.blocks.clone())
                 }
-                Err(e) => return fail(&format!("simulated run failed: {e}")),
+                Err(e) => return fail(&e.to_string()),
             }
         } else {
             let t0 = std::time::Instant::now();

@@ -5,6 +5,9 @@
 //! * `bench` — the benchmark harness behind `BENCH_2.json`: E-step kernel
 //!   throughput (naive vs blocked, same process) and virtual cycle times
 //!   per strategy × P. See the `bench` module docs for flags.
+//! * `report` — reproduce the paper's evaluation tables (per-phase time,
+//!   speedup, efficiency, critical path) from verified runs at a series of
+//!   processor counts. See the `report` module docs for flags and gates.
 //!
 //! # Rules
 //!
@@ -28,6 +31,7 @@
 //! all rules.
 
 mod bench;
+mod report;
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -38,8 +42,12 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("lint") => lint(),
         Some("bench") => bench::bench(&args[1..]),
+        Some("report") => report::report(&args[1..]),
         _ => {
-            eprintln!("usage: cargo xtask lint | bench [--smoke] [--out PATH] [--check PATH]");
+            eprintln!(
+                "usage: cargo xtask lint | bench [--smoke] [--out PATH] [--check PATH] \
+                 | report [--smoke] [--out DIR] [--check PATH]"
+            );
             ExitCode::FAILURE
         }
     }
@@ -56,8 +64,12 @@ struct Violation {
 fn lint() -> ExitCode {
     let root = repo_root();
     let mut violations = Vec::new();
-    for krate in list_dir(&root.join("crates")) {
-        let src = krate.join("src");
+    // Every member crate's src/ plus the workspace root crate's src/ (the
+    // CLI wrapper library lives there; its bin/ is exempted per-rule).
+    let mut src_dirs: Vec<PathBuf> =
+        list_dir(&root.join("crates")).into_iter().map(|k| k.join("src")).collect();
+    src_dirs.push(root.join("src"));
+    for src in src_dirs {
         if !src.is_dir() {
             continue;
         }
