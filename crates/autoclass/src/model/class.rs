@@ -208,6 +208,30 @@ impl ClassParams {
         let pi = Model::map_pi(weight, model.n_total, j);
         ClassParams::new(weight, pi, terms)
     }
+
+    /// In-place variant of [`ClassParams::from_flat`]: overwrite this class
+    /// from its flat block, allocation-free when the term shapes already
+    /// match (the steady state of a search). Produces bitwise the same
+    /// class as a rebuild.
+    pub fn from_flat_into(&mut self, model: &Model, j: usize, flat: &[f64]) {
+        assert_eq!(flat.len(), model.class_param_len(), "flat class block length");
+        if self.terms.len() != model.groups.len() {
+            *self = ClassParams::from_flat(model, j, flat);
+            return;
+        }
+        let weight = flat[0];
+        let pi = Model::map_pi(weight, model.n_total, j);
+        assert!(pi > 0.0 && pi <= 1.0, "mixture proportion must be in (0,1], got {pi}");
+        self.weight = weight;
+        self.pi = pi;
+        self.log_pi = pi.ln();
+        let mut offset = 1;
+        for (g, term) in model.groups.iter().zip(&mut self.terms) {
+            let len = g.prior.param_len();
+            g.prior.unflatten_params_into(&flat[offset..offset + len], term);
+            offset += len;
+        }
+    }
 }
 
 /// Flatten a whole class list (the broadcast payload).
@@ -224,6 +248,27 @@ pub fn classes_from_flat(model: &Model, j: usize, flat: &[f64]) -> Vec<ClassPara
     let stride = model.class_param_len();
     assert_eq!(flat.len(), stride * j, "flat classes length");
     flat.chunks_exact(stride).map(|b| ClassParams::from_flat(model, j, b)).collect()
+}
+
+/// In-place variant of [`classes_from_flat`]: refill `classes` from the
+/// broadcast payload, allocation-free when it already holds `j` classes of
+/// the right term shapes; a shape change falls back to a rebuild. Bitwise
+/// equal to [`classes_from_flat`] either way.
+pub fn classes_from_flat_into(
+    model: &Model,
+    j: usize,
+    flat: &[f64],
+    classes: &mut Vec<ClassParams>,
+) {
+    let stride = model.class_param_len();
+    assert_eq!(flat.len(), stride * j, "flat classes length");
+    if classes.len() != j {
+        *classes = classes_from_flat(model, j, flat);
+        return;
+    }
+    for (class, block) in classes.iter_mut().zip(flat.chunks_exact(stride)) {
+        class.from_flat_into(model, j, block);
+    }
 }
 
 #[cfg(test)]

@@ -5,6 +5,7 @@
 
 use crate::data::dataset::DataView;
 use crate::model::class::{ClassParams, Model};
+use crate::model::suffstats::SuffStats;
 
 /// Column-major item×class weight matrix: `class_column(j)[i]` is w_ij.
 /// Column-major because every kernel (log-density accumulation, statistics
@@ -161,6 +162,43 @@ pub fn update_wts(
     }
 }
 
+/// Consumer of finalized weight tiles inside the blocked E-step kernel.
+///
+/// `tile(lo, hi, wts)` is called once per tile, after pass D, when the
+/// `[lo, hi)` rows of every class column hold their **final normalized**
+/// weights and are still cache-hot. This is what lets the fused E+M entry
+/// point accumulate sufficient statistics in the same pass without a
+/// second walk over the weight matrix.
+trait TileSink {
+    fn tile(&mut self, lo: usize, hi: usize, wts: &WtsMatrix);
+}
+
+/// Sink for the plain E-step: no per-tile consumer.
+struct NoSink;
+
+impl TileSink for NoSink {
+    #[inline]
+    fn tile(&mut self, _lo: usize, _hi: usize, _wts: &WtsMatrix) {}
+}
+
+/// Sink for the fused E+M kernel: feeds each finalized tile to
+/// [`SuffStats::accumulate_tile`], carrying the scalar accumulation
+/// chains so the result is bitwise identical to a whole-partition
+/// [`SuffStats::accumulate`] after the E-step.
+struct StatsSink<'a, 'v> {
+    model: &'a Model,
+    view: &'a DataView<'v>,
+    stats: &'a mut SuffStats,
+    carry: &'a mut [f64],
+    ops: u64,
+}
+
+impl TileSink for StatsSink<'_, '_> {
+    fn tile(&mut self, lo: usize, hi: usize, wts: &WtsMatrix) {
+        self.ops += self.stats.accumulate_tile(self.model, self.view, wts, lo, hi, self.carry);
+    }
+}
+
 /// The blocked, fused E-step kernel: phase 1 (joint log densities) and
 /// phase 2 (log-sum-exp normalization) run per [`ESTEP_TILE`]-item tile,
 /// so the normalization reads each tile while it is still cache-hot
@@ -182,6 +220,51 @@ pub fn update_wts_into(
     classes: &[ClassParams],
     wts: &mut WtsMatrix,
     scratch: &mut EStepScratch,
+) -> EStepScalars {
+    update_wts_tiled(model, view, classes, wts, scratch, &mut NoSink)
+}
+
+/// Single-pass fused E+M kernel: identical to [`update_wts_into`] (same
+/// tile schedule, same arithmetic — the weights and scalars come out
+/// bitwise equal), but each finalized tile is immediately folded into
+/// `stats` while its weights are still in cache, instead of re-reading
+/// the whole `n × j` matrix in a separate [`SuffStats::accumulate`] pass.
+/// The carried-chain tiling keeps the statistics bitwise identical to the
+/// two-pass form as well.
+///
+/// `stats` must be zeroed (or hold a prior partition's partials, as in the
+/// untiled call); `carry` is resized/zeroed here and is all flushed into
+/// `stats` before returning. Returns the E-step scalars and the statistics
+/// op count (charged separately, under the M-step phase, so phase
+/// accounting matches the two-pass driver).
+pub fn update_wts_and_stats_into(
+    model: &Model,
+    view: &DataView<'_>,
+    classes: &[ClassParams],
+    wts: &mut WtsMatrix,
+    scratch: &mut EStepScratch,
+    stats: &mut SuffStats,
+    carry: &mut Vec<f64>,
+) -> (EStepScalars, u64) {
+    carry.clear();
+    carry.resize(stats.carry_len(model), 0.0);
+    let mut sink = StatsSink { model, view, stats, carry, ops: 0 };
+    let scalars = update_wts_tiled(model, view, classes, wts, scratch, &mut sink);
+    let stat_ops = sink.ops;
+    stats.finish_tiles(model, carry);
+    (scalars, stat_ops)
+}
+
+/// The tile loop shared by [`update_wts_into`] and
+/// [`update_wts_and_stats_into`]; `sink` observes each tile after its
+/// weights are final.
+fn update_wts_tiled<S: TileSink>(
+    model: &Model,
+    view: &DataView<'_>,
+    classes: &[ClassParams],
+    wts: &mut WtsMatrix,
+    scratch: &mut EStepScratch,
+    sink: &mut S,
 ) -> EStepScalars {
     let n = view.len();
     let j = classes.len();
@@ -314,6 +397,10 @@ pub fn update_wts_into(
             }
             *cw += acc;
         }
+
+        // The tile's weights are final; hand them to the sink while the
+        // column segments are still cache-resident.
+        sink.tile(lo, hi, wts);
 
         lo = hi;
     }
@@ -656,6 +743,96 @@ mod tests {
             for (a, b) in wts_naive.class_column(c).iter().zip(wts_blocked.class_column(c)) {
                 close(*a, *b, "weight matrix");
             }
+        }
+    }
+
+    /// The fused single-pass E+M kernel vs the two-pass form
+    /// (`update_wts_into` then `SuffStats::accumulate`): weights, scalars,
+    /// class weight sums, and the sufficient statistics must all be
+    /// **bitwise** identical, and the op counts must match — across
+    /// several tiles plus a ragged tail, on a mixed real + discrete
+    /// schema with missing values.
+    #[test]
+    fn fused_estep_mstep_is_bitwise_identical_to_two_pass() {
+        use crate::model::suffstats::{StatLayout, SuffStats};
+
+        let schema = Schema::new(vec![Attribute::real("x", 0.01), Attribute::discrete("c", 3)]);
+        let n = 2 * ESTEP_TILE + 37;
+        let rows: Vec<Vec<Value>> = (0..n)
+            .map(|i| {
+                let x = if i % 7 == 3 {
+                    Value::Missing
+                } else {
+                    Value::Real(if i % 2 == 0 { -5.0 } else { 5.0 } + (i as f64) * 1e-3)
+                };
+                let c = if i % 11 == 5 { Value::Missing } else { Value::Discrete((i % 3) as u32) };
+                vec![x, c]
+            })
+            .collect();
+        let data = Dataset::from_rows(schema.clone(), &rows);
+        let gstats = GlobalStats::compute(&data.full_view());
+        let model = Model::new(schema, &gstats);
+        let third = (1.0f64 / 3.0).ln();
+        let classes = vec![
+            ClassParams::new(
+                n as f64 / 2.0,
+                0.5,
+                vec![
+                    TermParams::normal(-5.0, 0.7),
+                    TermParams::Multinomial { log_p: vec![third; 3] },
+                ],
+            ),
+            ClassParams::new(
+                n as f64 / 2.0,
+                0.5,
+                vec![
+                    TermParams::normal(5.0, 0.7),
+                    TermParams::Multinomial { log_p: vec![third; 3] },
+                ],
+            ),
+        ];
+        let view = data.full_view();
+
+        // Two-pass reference: E-step, then a whole-partition accumulate.
+        let mut wts_two = WtsMatrix::new(0, 0);
+        let mut scratch_two = EStepScratch::default();
+        let e_two = update_wts_into(&model, &view, &classes, &mut wts_two, &mut scratch_two);
+        let mut stats_two = SuffStats::zeros(StatLayout::new(&model, 2));
+        let mops_two = stats_two.accumulate(&model, &view, &wts_two);
+
+        // Fused single pass.
+        let mut wts_fused = WtsMatrix::new(0, 0);
+        let mut scratch_fused = EStepScratch::default();
+        let mut stats_fused = SuffStats::zeros(StatLayout::new(&model, 2));
+        let mut carry = Vec::new();
+        let (e_fused, mops_fused) = update_wts_and_stats_into(
+            &model,
+            &view,
+            &classes,
+            &mut wts_fused,
+            &mut scratch_fused,
+            &mut stats_fused,
+            &mut carry,
+        );
+
+        assert_eq!(e_two.log_likelihood.to_bits(), e_fused.log_likelihood.to_bits());
+        assert_eq!(e_two.complete_ll.to_bits(), e_fused.complete_ll.to_bits());
+        assert_eq!(e_two.ops, e_fused.ops);
+        assert_eq!(mops_two, mops_fused, "statistics op counts must match");
+        for (c, (a, b)) in
+            scratch_two.class_weight_sums.iter().zip(&scratch_fused.class_weight_sums).enumerate()
+        {
+            assert_eq!(a.to_bits(), b.to_bits(), "class weight sum {c}");
+        }
+        for c in 0..2 {
+            for (i, (a, b)) in
+                wts_two.class_column(c).iter().zip(wts_fused.class_column(c)).enumerate()
+            {
+                assert_eq!(a.to_bits(), b.to_bits(), "weight [{c}][{i}]");
+            }
+        }
+        for (i, (a, b)) in stats_two.data.iter().zip(&stats_fused.data).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "stat slot {i}: {a} vs {b}");
         }
     }
 

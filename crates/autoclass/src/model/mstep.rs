@@ -49,19 +49,37 @@ pub fn stats_to_classes_into(
         *classes = rebuilt;
         return ops;
     }
-    let n = model.n_total;
+    let mut ops = 0;
     for (c, class) in classes.iter_mut().enumerate() {
-        let weight = stats.class_weight(c);
-        let pi = Model::map_pi(weight, n, j);
-        assert!(pi > 0.0 && pi <= 1.0, "mixture proportion out of range: {pi}");
-        class.weight = weight;
-        class.pi = pi;
-        class.log_pi = pi.ln();
-        for (k, (group, term)) in model.groups.iter().zip(&mut class.terms).enumerate() {
-            group.prior.map_params_into(stats.attr_stats(c, k), term);
-        }
+        ops += stats_to_class_into(model, stats, c, class);
     }
-    (j * stats.layout.stride) as u64
+    ops
+}
+
+/// Update a single class in place from global statistics — the per-class
+/// unit of [`stats_to_classes_into`]. The pipelined driver calls this as
+/// each class chunk's allreduce completes, deriving class `c`'s parameters
+/// while later chunks are still on the wire. `class` must already have the
+/// right term shape. Returns the abstract op count (one class stride),
+/// summing over classes to exactly the [`stats_to_classes_into`] count.
+pub fn stats_to_class_into(
+    model: &Model,
+    stats: &SuffStats,
+    c: usize,
+    class: &mut ClassParams,
+) -> u64 {
+    let j = stats.layout.j;
+    let n = model.n_total;
+    let weight = stats.class_weight(c);
+    let pi = Model::map_pi(weight, n, j);
+    assert!(pi > 0.0 && pi <= 1.0, "mixture proportion out of range: {pi}");
+    class.weight = weight;
+    class.pi = pi;
+    class.log_pi = pi.ln();
+    for (k, (group, term)) in model.groups.iter().zip(&mut class.terms).enumerate() {
+        group.prior.map_params_into(stats.attr_stats(c, k), term);
+    }
+    stats.layout.stride as u64
 }
 
 /// Log prior density of a full classification's parameters at their MAP

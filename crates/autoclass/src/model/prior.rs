@@ -791,6 +791,26 @@ impl TermPrior {
             TermPrior::MultiNormal { dim, .. } => TermParams::multi_normal_from_flat(*dim, flat),
         }
     }
+
+    /// In-place variant of [`unflatten_params`] for the allocation-free
+    /// broadcast path: a multinomial term of matching shape refills its
+    /// existing `log_p` vector; everything else rebuilds (Normal/LogNormal
+    /// construction is heap-free already; correlated Gaussian blocks build
+    /// a fresh Cholesky factor, exactly as in [`map_params_into`]).
+    ///
+    /// [`unflatten_params`]: TermPrior::unflatten_params
+    /// [`map_params_into`]: TermPrior::map_params_into
+    pub fn unflatten_params_into(&self, flat: &[f64], out: &mut TermParams) {
+        debug_assert_eq!(flat.len(), self.param_len());
+        match (self, &mut *out) {
+            (TermPrior::Multinomial { .. }, TermParams::Multinomial { log_p })
+                if log_p.len() == flat.len() =>
+            {
+                log_p.copy_from_slice(flat);
+            }
+            _ => *out = self.unflatten_params(flat),
+        }
+    }
 }
 
 #[cfg(test)]

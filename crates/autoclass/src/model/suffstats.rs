@@ -67,6 +67,19 @@ impl StatLayout {
     }
 }
 
+/// Carry slots per class for tiled accumulation: the running class-weight
+/// sum plus an `(s0, s1, s2)` triple per scalar real (Normal/LogNormal)
+/// group. Multinomial and MultiNormal groups need no carry — their untiled
+/// accumulation already writes per item straight into the flat block.
+fn carry_stride(model: &Model) -> usize {
+    let scalar_groups = model
+        .groups
+        .iter()
+        .filter(|g| matches!(g.prior, TermPrior::Normal { .. } | TermPrior::LogNormal { .. }))
+        .count();
+    1 + 3 * scalar_groups
+}
+
 /// Flat weighted sufficient statistics for one classification.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SuffStats {
@@ -187,6 +200,154 @@ impl SuffStats {
         ops
     }
 
+    /// Length of the carry buffer threaded through
+    /// [`SuffStats::accumulate_tile`]: per class, the running class-weight
+    /// sum plus one `(s0, s1, s2)` triple per scalar real group.
+    pub fn carry_len(&self, model: &Model) -> usize {
+        self.layout.j * carry_stride(model)
+    }
+
+    /// Accumulate the items `[lo, hi)` of this partition, carrying the
+    /// scalar accumulation chains across tiles.
+    ///
+    /// Calling this for a partition's tiles in ascending item order and
+    /// then flushing with [`SuffStats::finish_tiles`] is **bitwise
+    /// identical** to one [`SuffStats::accumulate`] over the whole
+    /// partition: every scalar accumulator (the class weight sum and each
+    /// Normal/LogNormal `(s0, s1, s2)`) continues its exact left-fold
+    /// chain through `carry` instead of restarting per tile, and the
+    /// per-item block writes (Multinomial, MultiNormal) hit `data` in the
+    /// same item order either way. `carry` must be zeroed to
+    /// [`SuffStats::carry_len`] before the first tile. Returns abstract
+    /// ops, summing over a partition's tiles to exactly the untiled count.
+    pub fn accumulate_tile(
+        &mut self,
+        model: &Model,
+        view: &DataView<'_>,
+        wts: &WtsMatrix,
+        lo: usize,
+        hi: usize,
+        carry: &mut [f64],
+    ) -> u64 {
+        let n = view.len();
+        assert_eq!(wts.n_items(), n, "weights/partition size mismatch");
+        assert_eq!(wts.n_classes(), self.layout.j, "weights/layout class count mismatch");
+        assert!(lo <= hi && hi <= n, "tile [{lo}, {hi}) out of range for {n} items");
+        let cstride = carry_stride(model);
+        assert_eq!(carry.len(), self.layout.j * cstride, "carry buffer length mismatch");
+        let tl = hi - lo;
+        let mut ops: u64 = 0;
+        for c in 0..self.layout.j {
+            let w = &wts.class_column(c)[lo..hi];
+            let cbase = c * cstride;
+            // Continue the class-weight left fold exactly where the
+            // previous tile left it.
+            let mut wsum = carry[cbase];
+            for &wi in w {
+                wsum += wi;
+            }
+            carry[cbase] = wsum;
+            ops += tl as u64;
+            let mut coff = cbase + 1;
+            for (k, group) in model.groups.iter().enumerate() {
+                let range = self.layout.attr_range(c, k);
+                let block = &mut self.data[range];
+                match &group.prior {
+                    TermPrior::Normal { .. } => {
+                        let xs = &view.real_column(group.attrs[0])[lo..hi];
+                        let (mut s0, mut s1, mut s2) =
+                            (carry[coff], carry[coff + 1], carry[coff + 2]);
+                        for (&x, &wi) in xs.iter().zip(w) {
+                            if !x.is_nan() {
+                                s0 += wi;
+                                s1 += wi * x;
+                                s2 += wi * x * x;
+                            }
+                        }
+                        (carry[coff], carry[coff + 1], carry[coff + 2]) = (s0, s1, s2);
+                        coff += 3;
+                        ops += tl as u64;
+                    }
+                    TermPrior::LogNormal { .. } => {
+                        let xs = &view.real_column(group.attrs[0])[lo..hi];
+                        let (mut s0, mut s1, mut s2) =
+                            (carry[coff], carry[coff + 1], carry[coff + 2]);
+                        for (&x, &wi) in xs.iter().zip(w) {
+                            if !x.is_nan() {
+                                let lx = x.ln();
+                                s0 += wi;
+                                s1 += wi * lx;
+                                s2 += wi * lx * lx;
+                            }
+                        }
+                        (carry[coff], carry[coff + 1], carry[coff + 2]) = (s0, s1, s2);
+                        coff += 3;
+                        ops += tl as u64;
+                    }
+                    TermPrior::Multinomial { missing_level, .. } => {
+                        let ls = &view.discrete_column(group.attrs[0])[lo..hi];
+                        let missing_slot = block.len() - 1;
+                        for (&l, &wi) in ls.iter().zip(w) {
+                            if l != crate::data::dataset::MISSING_DISCRETE {
+                                block[l as usize] += wi;
+                            } else if *missing_level {
+                                block[missing_slot] += wi;
+                            }
+                        }
+                        ops += tl as u64;
+                    }
+                    TermPrior::MultiNormal { dim, .. } => {
+                        let d = *dim;
+                        'items: for (t, &wi) in w.iter().enumerate() {
+                            let i = lo + t;
+                            for &attr in &group.attrs {
+                                if view.real_column(attr)[i].is_nan() {
+                                    continue 'items;
+                                }
+                            }
+                            block[0] += wi;
+                            for a in 0..d {
+                                let xa = view.real_column(group.attrs[a])[i];
+                                block[1 + a] += wi * xa;
+                                for b in 0..=a {
+                                    let xb = view.real_column(group.attrs[b])[i];
+                                    block[1 + d + crate::model::prior::tri_index(a, b)] +=
+                                        wi * xa * xb;
+                                }
+                            }
+                        }
+                        ops += (tl * d) as u64;
+                    }
+                }
+            }
+        }
+        ops
+    }
+
+    /// Flush the scalar accumulation chains carried across
+    /// [`SuffStats::accumulate_tile`] calls into the flat statistics —
+    /// one `+=` per carried accumulator, exactly like the untiled
+    /// [`SuffStats::accumulate`]'s single final add.
+    pub fn finish_tiles(&mut self, model: &Model, carry: &[f64]) {
+        let cstride = carry_stride(model);
+        assert_eq!(carry.len(), self.layout.j * cstride, "carry buffer length mismatch");
+        for c in 0..self.layout.j {
+            let cbase = c * cstride;
+            self.data[self.layout.weight_index(c)] += carry[cbase];
+            let mut coff = cbase + 1;
+            for (k, group) in model.groups.iter().enumerate() {
+                if matches!(&group.prior, TermPrior::Normal { .. } | TermPrior::LogNormal { .. }) {
+                    let range = self.layout.attr_range(c, k);
+                    let block = &mut self.data[range];
+                    block[0] += carry[coff];
+                    block[1] += carry[coff + 1];
+                    block[2] += carry[coff + 2];
+                    coff += 3;
+                }
+            }
+        }
+    }
+
     /// Element-wise merge of another partition's statistics (what the
     /// Allreduce computes).
     pub fn merge(&mut self, other: &SuffStats) {
@@ -284,6 +445,30 @@ mod tests {
 
         for (a, b) in left.data.iter().zip(&whole.data) {
             assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn tiled_accumulation_is_bitwise_identical_to_untiled() {
+        let (data, model) = setup();
+        let layout = StatLayout::new(&model, 2);
+        let view = data.full_view();
+        let wts = uniform_wts(4, 2);
+
+        let mut whole = SuffStats::zeros(layout.clone());
+        let ops_whole = whole.accumulate(&model, &view, &wts);
+
+        let mut tiled = SuffStats::zeros(layout);
+        let mut carry = vec![0.0; tiled.carry_len(&model)];
+        let mut ops_tiled = 0;
+        for (lo, hi) in [(0, 1), (1, 3), (3, 4)] {
+            ops_tiled += tiled.accumulate_tile(&model, &view, &wts, lo, hi, &mut carry);
+        }
+        tiled.finish_tiles(&model, &carry);
+
+        assert_eq!(ops_whole, ops_tiled, "op counts must match");
+        for (i, (a, b)) in whole.data.iter().zip(&tiled.data).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "slot {i}: {a} vs {b}");
         }
     }
 

@@ -28,6 +28,10 @@ pub struct CycleWorkspace {
     /// Flat parameter scratch (`classes_to_flat`-style serialization in
     /// the parallel driver's gather/broadcast and replication checks).
     pub flat: Vec<f64>,
+    /// Carry buffer for the fused single-pass E+M kernel
+    /// (`update_wts_and_stats_into`): the scalar accumulation chains
+    /// threaded across tiles. Sized on first fused call, then reused.
+    pub accum: Vec<f64>,
 }
 
 impl CycleWorkspace {

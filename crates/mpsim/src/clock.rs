@@ -19,10 +19,18 @@ pub struct PhaseTimes {
     pub comm: f64,
     /// Seconds spent blocked waiting for messages in this phase.
     pub idle: f64,
+    /// Seconds of in-flight communication hidden behind other work in this
+    /// phase (non-blocking operations whose wire time elapsed while the
+    /// rank kept computing). Overlap is a *shadow* measure of the same wall
+    /// interval already counted as compute/comm/idle, so it is **not**
+    /// part of [`PhaseTimes::total`] — the partition invariant is
+    /// unaffected.
+    pub overlap: f64,
 }
 
 impl PhaseTimes {
-    /// Total seconds attributed to this phase.
+    /// Total seconds attributed to this phase (overlap excluded: it
+    /// shadows time already counted in the three primary components).
     pub fn total(&self) -> f64 {
         self.compute + self.comm + self.idle
     }
@@ -42,6 +50,9 @@ pub struct Clock {
     compute: f64,
     comm: f64,
     idle: f64,
+    /// In-flight communication hidden behind other work; a shadow measure
+    /// outside the `now == compute + comm + idle` partition.
+    overlap: f64,
     /// Per-phase time buckets; index 0 is the default bucket.
     phases: Vec<PhaseTimes>,
     /// Index of the bucket currently receiving advances.
@@ -55,6 +66,7 @@ impl Default for Clock {
             compute: 0.0,
             comm: 0.0,
             idle: 0.0,
+            overlap: 0.0,
             phases: vec![PhaseTimes::default()],
             cur: 0,
         }
@@ -87,6 +99,13 @@ impl Clock {
         self.idle
     }
 
+    /// In-flight communication time hidden behind other work (non-blocking
+    /// operations). A shadow measure of intervals already counted in the
+    /// three primary components; never part of `now`.
+    pub fn overlap(&self) -> f64 {
+        self.overlap
+    }
+
     /// Advance by `dt` seconds of computation. Negative or non-finite
     /// durations are clamped to zero (a measured duration can round to a
     /// denormal; the clock must stay monotone).
@@ -112,6 +131,33 @@ impl Clock {
             self.phases[self.cur].idle += t - self.now;
             self.now = t;
         }
+    }
+
+    /// Record `dt` seconds of hidden (overlapped) communication. Does not
+    /// move `now`; the interval is already counted as compute/comm/idle.
+    pub fn add_overlap(&mut self, dt: f64) {
+        let dt = sanitize(dt);
+        self.overlap += dt;
+        self.phases[self.cur].overlap += dt;
+    }
+
+    /// Roll back up to `dt` seconds of idle time most recently charged to
+    /// the *current* phase bucket, rewinding `now` by the same amount.
+    ///
+    /// This is the primitive behind non-blocking collectives: the movement
+    /// runs eagerly (charging idle as if blocking), then the idle portion
+    /// is retracted so the caller's clock reads as if the wire time had
+    /// not yet been waited for. The retraction is capped at both the
+    /// global and the current bucket's accumulated idle, so the
+    /// `now == compute + comm + idle` partition stays exact.
+    ///
+    /// Returns the amount actually retracted.
+    pub fn retract_idle(&mut self, dt: f64) -> f64 {
+        let dt = sanitize(dt).min(self.idle).min(self.phases[self.cur].idle);
+        self.now -= dt;
+        self.idle -= dt;
+        self.phases[self.cur].idle -= dt;
+        dt
     }
 
     /// Allocate a new phase bucket and return its index. The new bucket
@@ -219,6 +265,47 @@ mod tests {
     fn set_phase_rejects_unknown_bucket() {
         let mut c = Clock::new();
         c.set_phase(3);
+    }
+
+    #[test]
+    fn retract_idle_rewinds_only_charged_idle() {
+        let mut c = Clock::new();
+        c.advance_compute(1.0);
+        c.wait_until(1.5);
+        // More than was charged: capped at the 0.5 s of idle.
+        assert_eq!(c.retract_idle(2.0), 0.5);
+        assert_eq!(c.now(), 1.0);
+        assert_eq!(c.idle(), 0.0);
+        // Nothing left to retract.
+        assert_eq!(c.retract_idle(0.1), 0.0);
+        assert_eq!(c.now(), 1.0);
+    }
+
+    #[test]
+    fn retract_idle_is_capped_by_current_bucket() {
+        let mut c = Clock::new();
+        c.wait_until(1.0); // idle in default bucket
+        let a = c.push_phase();
+        c.set_phase(a);
+        c.wait_until(1.25); // 0.25 s idle in bucket a
+        assert_eq!(c.retract_idle(1.0), 0.25);
+        assert_eq!(c.phase_times()[a].idle, 0.0);
+        assert_eq!(c.phase_times()[0].idle, 1.0);
+        let sum: f64 = c.phase_times().iter().map(PhaseTimes::total).sum();
+        assert!((sum - c.now()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_is_a_shadow_measure() {
+        let mut c = Clock::new();
+        c.advance_compute(2.0);
+        c.add_overlap(0.75);
+        c.add_overlap(-1.0); // clamped
+        assert_eq!(c.now(), 2.0);
+        assert_eq!(c.overlap(), 0.75);
+        assert_eq!(c.phase_times()[0].overlap, 0.75);
+        // total() excludes overlap, preserving the partition invariant.
+        assert_eq!(c.phase_times()[0].total(), 2.0);
     }
 
     #[test]

@@ -198,6 +198,38 @@ impl Comm {
         self.check_replicated_result("allreduce result", buf);
     }
 
+    /// Non-blocking allreduce with the machine's default algorithm. See
+    /// [`Comm::iallreduce_f64s_with`].
+    pub fn iallreduce_f64s(&mut self, buf: &mut [f64], op: ReduceOp) -> crate::comm::Request {
+        let algo = self.machine().allreduce;
+        self.iallreduce_f64s_with(buf, op, algo)
+    }
+
+    /// Non-blocking allreduce with an explicit algorithm.
+    ///
+    /// The data movement runs *eagerly*: on return `buf` already holds the
+    /// reduction, and the messages, collective fingerprint, and
+    /// replication hash are exactly those of the blocking
+    /// [`Comm::allreduce_f64s_with`] — so results are bitwise identical to
+    /// the blocking call under every algorithm, and all verification
+    /// layers see the same collective. What is deferred is *time*: the
+    /// idle (wire) portion of the collective's cost is rolled off the
+    /// clock and becomes the returned request's pending window, free to
+    /// hide behind subsequent [`Comm::work`]. Endpoint overhead (LogGP
+    /// `o`) stays on the CPU clock at post, and [`Comm::wait`] blocks only
+    /// for whatever wire time was not hidden. Completions are clamped
+    /// FIFO-monotone across posts on the same rank.
+    pub fn iallreduce_f64s_with(
+        &mut self,
+        buf: &mut [f64],
+        op: ReduceOp,
+        algo: AllreduceAlgo,
+    ) -> crate::comm::Request {
+        let idle0 = self.nb_idle_snapshot();
+        self.allreduce_f64s_with(buf, op, algo);
+        self.nb_retract(idle0)
+    }
+
     /// Gather to rank 0 (folding in rank order, so the floating-point
     /// reduction order is deterministic and independent of the algorithm's
     /// tree shape), then send the result back to every rank individually.

@@ -50,6 +50,71 @@ pub(crate) struct Envelope {
 /// get while a rank is blocked.
 const RECV_SLICE: Duration = Duration::from_millis(25);
 
+/// What a [`Request`] is waiting for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ReqKind {
+    /// A buffered send: complete at post (like `MPI_Isend` with unlimited
+    /// buffering); `wait` never blocks.
+    Send,
+    /// A posted receive: the envelope is pulled off the wire at `wait`.
+    Recv { src: usize, tag: u64 },
+    /// A non-blocking collective whose data movement already ran eagerly;
+    /// only its remaining wire time is pending.
+    Coll,
+}
+
+/// Handle for a non-blocking operation posted on a [`Comm`].
+///
+/// The operation progresses in *virtual* time while the rank keeps
+/// computing: endpoint overhead (LogGP `o`) was charged on the CPU clock at
+/// post, and the wire time (`L`/`g`/`G`) elapses concurrently with
+/// subsequent [`Comm::work`]. [`Comm::wait`] blocks only for whatever wire
+/// time has not yet been hidden, and credits the hidden portion to the
+/// clock's overlap shadow accounting.
+///
+/// Every request must be retired by exactly one [`Comm::wait`] (or
+/// [`Comm::waitall`]): waiting twice fails the run with
+/// [`SimError::RequestMisuse`], and dropping an unwaited request panics the
+/// owning rank — both name the culprit rank.
+#[derive(Debug)]
+#[must_use = "non-blocking requests must be retired with Comm::wait / Comm::waitall"]
+pub struct Request {
+    rank: usize,
+    kind: ReqKind,
+    /// Virtual time at post (after idle retraction): start of the window
+    /// during which the operation's wire time can hide behind other work.
+    window_start: f64,
+    /// Virtual time at which the operation's wire activity finishes.
+    /// Unknown at post for receives (the envelope carries it); `wait`
+    /// computes it on arrival.
+    completion: f64,
+    done: bool,
+}
+
+impl Request {
+    /// Whether this request has been retired by a `wait`.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// The rank that posted this request.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+}
+
+impl Drop for Request {
+    fn drop(&mut self) {
+        // Dropping an unretired request loses its completion accounting
+        // (and, for receives, strands an envelope): fail loudly, naming
+        // the culprit rank. Suppressed while already panicking so request
+        // cleanup during an abort cannot mask the original error.
+        if !self.done && !std::thread::panicking() {
+            panic!("rank {}: non-blocking request dropped without wait", self.rank);
+        }
+    }
+}
+
 /// Name of the implicit phase bucket that holds everything outside an
 /// explicit [`Comm::enter_phase`] span.
 pub const DEFAULT_PHASE: &str = "other";
@@ -99,6 +164,11 @@ pub struct Comm {
     events: Option<Vec<Event>>,
     /// Shared verification state; `None` when every check is disabled.
     pub(crate) verify: Option<Arc<VerifyState>>,
+    /// Completion horizon of non-blocking collectives already posted:
+    /// later posts may not complete before earlier ones (the wire is
+    /// FIFO per endpoint), so each new completion is clamped to at least
+    /// this value.
+    nb_horizon: f64,
 }
 
 impl Comm {
@@ -132,6 +202,7 @@ impl Comm {
             phase_stack: Vec::new(),
             events: record_events.then(Vec::new),
             verify,
+            nb_horizon: 0.0,
         }
     }
 
@@ -278,12 +349,21 @@ impl Comm {
     /// Messages from `src` with other tags are stashed and delivered to
     /// later matching receives in arrival order.
     pub fn recv_bytes(&mut self, src: usize, tag: u64) -> Vec<u8> {
+        let env = self.pull_envelope(src, tag);
+        self.accept(src, env)
+    }
+
+    /// Take the next envelope from `src` with exactly `tag` off the wire
+    /// (or the stash), blocking in *wall-clock* time only. No virtual-time
+    /// or statistics bookkeeping happens here; callers pair this with
+    /// [`Comm::accept`] (blocking receive) or the non-blocking completion
+    /// path in [`Comm::wait`].
+    fn pull_envelope(&mut self, src: usize, tag: u64) -> Envelope {
         assert!(src < self.size, "recv from rank {src} but size is {}", self.size);
         // First consume any stashed message with a matching tag.
         if let Some(pos) = self.stash[src].iter().position(|e| e.tag == tag) {
             // lint:allow(unwrap): the index came from position() on the same deque
-            let env = self.stash[src].remove(pos).expect("position is valid");
-            return self.accept(src, env);
+            return self.stash[src].remove(pos).expect("position is valid");
         }
         let detect = self.verify.as_ref().filter(|v| v.opts().detect_deadlock).cloned();
         if let Some(v) = &detect {
@@ -299,7 +379,7 @@ impl Comm {
                         v.record_pull(self.rank, src, matched);
                     }
                     if matched {
-                        return self.accept(src, env);
+                        return env;
                     }
                     self.stash[src].push_back(env);
                 }
@@ -368,6 +448,137 @@ impl Comm {
         decode_u64s(&self.recv_bytes(src, tag))
     }
 
+    /// Non-blocking send of an `f64` slice. The message departs
+    /// immediately (buffered, like [`Comm::send_f64s`]); the returned
+    /// request completes at once, so `wait` never blocks — it exists to
+    /// keep the post/wait protocol uniform across operation kinds.
+    pub fn isend_f64s(&mut self, dst: usize, tag: u64, values: &[f64]) -> Request {
+        self.send_f64s(dst, tag, values);
+        let now = self.clock.now();
+        Request {
+            rank: self.rank,
+            kind: ReqKind::Send,
+            window_start: now,
+            completion: now,
+            done: false,
+        }
+    }
+
+    /// Post a non-blocking receive of an `f64` vector from `src` with
+    /// `tag`. The receive-side endpoint overhead (LogGP `o`) is charged on
+    /// the CPU clock *now*; the message's wire time then elapses
+    /// concurrently with subsequent [`Comm::work`]. The matching
+    /// [`Comm::wait`] returns `Some(values)` after blocking only for
+    /// whatever wire time was not hidden.
+    pub fn irecv_f64s(&mut self, src: usize, tag: u64) -> Request {
+        assert!(src < self.size, "irecv from rank {src} but size is {}", self.size);
+        self.check_abort();
+        self.clock.advance_comm(self.spec.network.overhead);
+        let now = self.clock.now();
+        Request {
+            rank: self.rank,
+            kind: ReqKind::Recv { src, tag },
+            window_start: now,
+            completion: now, // provisional: the envelope carries the real one
+            done: false,
+        }
+    }
+
+    /// Retire a non-blocking request: advance the virtual clock over the
+    /// operation's *exposed* remainder (idle), credit the portion that
+    /// already elapsed behind other work to the overlap shadow accounting,
+    /// and — for receives — deliver the payload (`Some`); sends and
+    /// collectives return `None`.
+    ///
+    /// Waiting on a request twice fails the run with
+    /// [`SimError::RequestMisuse`] naming this rank.
+    pub fn wait(&mut self, req: &mut Request) -> Option<Vec<f64>> {
+        if req.done {
+            self.fail(SimError::RequestMisuse {
+                rank: self.rank,
+                detail: format!(
+                    "request posted at t={:.9}s waited twice (kind {:?})",
+                    req.window_start, req.kind
+                ),
+            });
+        }
+        req.done = true;
+        match req.kind {
+            ReqKind::Send | ReqKind::Coll => {
+                self.finish_window(req.window_start, req.completion);
+                None
+            }
+            ReqKind::Recv { src, tag } => {
+                let env = self.pull_envelope(src, tag);
+                let transit = self.spec.transit(env.bytes.len(), src, self.rank);
+                let completion = (env.depart + transit).max(req.window_start);
+                req.completion = completion;
+                self.finish_window(req.window_start, completion);
+                // Count the receive where it completes. Endpoint overhead
+                // was already charged at post, so none is charged here.
+                self.stats.msgs_recvd += 1;
+                self.stats.bytes_recvd += env.bytes.len() as u64;
+                let cur = self.clock.current_phase();
+                self.phase_counters[cur].msgs_recvd += 1;
+                self.phase_counters[cur].bytes_recvd += env.bytes.len() as u64;
+                if let Some(events) = &mut self.events {
+                    events.push(Event {
+                        t: self.clock.now(),
+                        kind: EventKind::Recv,
+                        peer: src,
+                        bytes: env.bytes.len(),
+                        tag: env.tag,
+                    });
+                }
+                Some(decode_f64s(&env.bytes))
+            }
+        }
+    }
+
+    /// Retire every request in order, collecting each `wait`'s result.
+    pub fn waitall(&mut self, reqs: &mut [Request]) -> Vec<Option<Vec<f64>>> {
+        reqs.iter_mut().map(|r| self.wait(r)).collect()
+    }
+
+    /// Split a completed overlap window `[window_start, completion]` into
+    /// its hidden part (elapsed behind other work since the post — shadow
+    /// accounting) and its exposed remainder (charged as idle).
+    fn finish_window(&mut self, window_start: f64, completion: f64) {
+        let now = self.clock.now();
+        let hidden = (completion.min(now) - window_start).max(0.0);
+        self.clock.add_overlap(hidden);
+        self.clock.wait_until(completion);
+    }
+
+    /// Snapshot the clock's idle accumulator before a non-blocking
+    /// collective's eager data movement (see [`Comm::nb_retract`]).
+    pub(crate) fn nb_idle_snapshot(&self) -> f64 {
+        self.clock.idle()
+    }
+
+    /// Turn an eagerly-executed collective into a non-blocking request.
+    ///
+    /// The caller ran the full blocking movement (so buffers, messages,
+    /// fingerprints, and replication hashes are exactly those of the
+    /// blocking call); this retracts the idle the movement charged —
+    /// leaving endpoint overhead on the CPU clock per LogGP — and records
+    /// the as-if-blocking finish as the request's completion, clamped to
+    /// the FIFO horizon of earlier posts.
+    pub(crate) fn nb_retract(&mut self, idle_before: f64) -> Request {
+        let finish = self.clock.now();
+        let idle_delta = self.clock.idle() - idle_before;
+        self.clock.retract_idle(idle_delta);
+        let completion = finish.max(self.nb_horizon);
+        self.nb_horizon = completion;
+        Request {
+            rank: self.rank,
+            kind: ReqKind::Coll,
+            window_start: self.clock.now(),
+            completion,
+            done: false,
+        }
+    }
+
     /// Snapshot of this rank's statistics with the clock folded in.
     pub fn stats(&self) -> RankStats {
         let mut s = self.stats.clone();
@@ -375,6 +586,7 @@ impl Comm {
         s.compute = self.clock.compute();
         s.comm = self.clock.comm();
         s.idle = self.clock.idle();
+        s.hidden_comm = self.clock.overlap();
         s.phases = self
             .phase_names
             .iter()
@@ -385,6 +597,7 @@ impl Comm {
                 compute: t.compute,
                 comm: t.comm,
                 idle: t.idle,
+                hidden_comm: t.overlap,
                 msgs_sent: c.msgs_sent,
                 bytes_sent: c.bytes_sent,
                 msgs_recvd: c.msgs_recvd,

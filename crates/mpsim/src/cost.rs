@@ -26,6 +26,11 @@
 use crate::topology::Topology;
 
 /// Network timing parameters (seconds).
+///
+/// Under non-blocking operations (see [`crate::Request`]) only the *wire*
+/// components — `latency`, `byte_time`, `per_hop` (LogGP `L`/`G` and hop
+/// cost) — can hide behind concurrent compute; `overhead` (LogGP `o`) is
+/// CPU time and is always charged on the posting rank's clock at post.
 #[derive(Debug, Clone, PartialEq)]
 pub struct NetworkModel {
     /// Per-message start-up latency (the LogGP `L`).

@@ -218,6 +218,7 @@ fn severity(e: &SimError) -> u8 {
         SimError::CollectiveDivergence { .. } => 3,
         SimError::Deadlock { .. } => 3,
         SimError::ReplicationDivergence { .. } => 3,
+        SimError::RequestMisuse { .. } => 3,
         SimError::RecvTimeout { .. } => 2,
         SimError::InvalidMachine(_) => 2,
         SimError::Aborted { .. } => 1,

@@ -37,6 +37,11 @@ pub enum SimError {
     /// (an allreduce/broadcast result, or a buffer passed to
     /// [`crate::Comm::verify_replicated`]) hashed differently across ranks.
     ReplicationDivergence { rank: usize, seq: u64, detail: String },
+    /// A non-blocking [`crate::Request`] was used incorrectly on a rank:
+    /// waited twice, or completed out of protocol. Dropping a request
+    /// without waiting panics the rank instead (surfacing as
+    /// [`SimError::RankPanicked`]) because `Drop` has no error channel.
+    RequestMisuse { rank: usize, detail: String },
 }
 
 impl fmt::Display for SimError {
@@ -69,6 +74,9 @@ impl fmt::Display for SimError {
             }
             SimError::ReplicationDivergence { rank, seq, detail } => {
                 write!(f, "replication divergence at check #{seq} (rank {rank}): {detail}")
+            }
+            SimError::RequestMisuse { rank, detail } => {
+                write!(f, "non-blocking request misuse on rank {rank}: {detail}")
             }
         }
     }

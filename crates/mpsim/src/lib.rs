@@ -34,7 +34,8 @@
 //! * [`topology`] — interconnect shapes and hop counts
 //! * [`cost`] — LogGP-style network model, compute model, machine presets
 //! * [`clock`] — per-rank virtual clocks with compute/comm/idle accounting
-//! * [`comm`] — point-to-point messaging ([`Comm`])
+//! * [`comm`] — point-to-point messaging ([`Comm`]), blocking and
+//!   non-blocking ([`Request`] handles with `wait`/`waitall`)
 //! * [`collectives`] — Barrier/Bcast/Reduce/Allreduce/Gather/… on top of
 //!   point-to-point, with textbook algorithms
 //! * [`subcomm`] — sub-communicators (`MPI_Comm_split` analogue)
@@ -64,7 +65,7 @@ pub mod verify;
 
 pub use clock::PhaseTimes;
 pub use collectives::ReduceOp;
-pub use comm::{Comm, DEFAULT_PHASE, MAX_USER_TAG};
+pub use comm::{Comm, Request, DEFAULT_PHASE, MAX_USER_TAG};
 pub use cost::{
     predicted_allreduce_cost, presets, select_allreduce, AllreduceAlgo, ComputeModel, MachineSpec,
     NetworkModel,

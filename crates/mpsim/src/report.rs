@@ -53,6 +53,10 @@ pub struct PhaseRow {
     pub comm_s: f64,
     /// Mean over ranks of idle seconds in this phase.
     pub idle_s: f64,
+    /// Mean over ranks of non-blocking communication seconds hidden
+    /// behind other work in this phase (shadow measure; not part of the
+    /// phase total, so the partition invariant is unaffected).
+    pub hidden_s: f64,
     /// Total messages sent from within this phase, all ranks.
     pub msgs_sent: u64,
     /// Total payload bytes sent from within this phase, all ranks.
@@ -172,12 +176,14 @@ impl Report {
             let _ = writeln!(out, "\nP = {} — per-phase critical path", r.p);
             out.push_str(
                 "  phase        max_s            mean_s           imbalance  \
-                 compute_s        comm_s           idle_s           msgs      bytes        colls\n",
+                 compute_s        comm_s           idle_s           hidden_s         \
+                 msgs      bytes        colls\n",
             );
             for ph in &r.phases {
                 let _ = writeln!(
                     out,
-                    "  {:<12} {:<16.9} {:<16.9} {:>9.4}  {:<16.9} {:<16.9} {:<16.9} {:<9} {:<12} {}",
+                    "  {:<12} {:<16.9} {:<16.9} {:>9.4}  {:<16.9} {:<16.9} {:<16.9} {:<16.9} \
+                     {:<9} {:<12} {}",
                     ph.name,
                     ph.max_s,
                     ph.mean_s,
@@ -185,6 +191,7 @@ impl Report {
                     ph.compute_s,
                     ph.comm_s,
                     ph.idle_s,
+                    ph.hidden_s,
                     ph.msgs_sent,
                     ph.bytes_sent,
                     ph.collectives
@@ -213,13 +220,14 @@ impl Report {
     /// Render the per-phase table (one row per P × phase) as CSV.
     pub fn phases_csv(&self) -> String {
         let mut out = String::from(
-            "p,phase,max_s,mean_s,imbalance,compute_s,comm_s,idle_s,msgs_sent,bytes_sent,collectives\n",
+            "p,phase,max_s,mean_s,imbalance,compute_s,comm_s,idle_s,hidden_s,\
+             msgs_sent,bytes_sent,collectives\n",
         );
         for r in &self.rows {
             for ph in &r.phases {
                 let _ = writeln!(
                     out,
-                    "{},{},{:.9},{:.9},{:.6},{:.9},{:.9},{:.9},{},{},{}",
+                    "{},{},{:.9},{:.9},{:.6},{:.9},{:.9},{:.9},{:.9},{},{},{}",
                     r.p,
                     ph.name,
                     ph.max_s,
@@ -228,6 +236,7 @@ impl Report {
                     ph.compute_s,
                     ph.comm_s,
                     ph.idle_s,
+                    ph.hidden_s,
                     ph.msgs_sent,
                     ph.bytes_sent,
                     ph.collectives
@@ -266,8 +275,8 @@ impl Report {
                     out,
                     "        {{\"name\": \"{}\", \"max_s\": {:.9}, \"mean_s\": {:.9}, \
                      \"imbalance\": {:.6}, \"compute_s\": {:.9}, \"comm_s\": {:.9}, \
-                     \"idle_s\": {:.9}, \"msgs_sent\": {}, \"bytes_sent\": {}, \
-                     \"collectives\": {}}}{comma}",
+                     \"idle_s\": {:.9}, \"hidden_s\": {:.9}, \"msgs_sent\": {}, \
+                     \"bytes_sent\": {}, \"collectives\": {}}}{comma}",
                     ph.name,
                     ph.max_s,
                     ph.mean_s,
@@ -275,6 +284,7 @@ impl Report {
                     ph.compute_s,
                     ph.comm_s,
                     ph.idle_s,
+                    ph.hidden_s,
                     ph.msgs_sent,
                     ph.bytes_sent,
                     ph.collectives
@@ -338,6 +348,7 @@ fn aggregate_phases(ranks: &[RankStats]) -> Vec<PhaseRow> {
                 compute_s: 0.0,
                 comm_s: 0.0,
                 idle_s: 0.0,
+                hidden_s: 0.0,
                 msgs_sent: 0,
                 bytes_sent: 0,
                 collectives: 0,
@@ -349,6 +360,7 @@ fn aggregate_phases(ranks: &[RankStats]) -> Vec<PhaseRow> {
                 row.compute_s += ph.compute / n;
                 row.comm_s += ph.comm / n;
                 row.idle_s += ph.idle / n;
+                row.hidden_s += ph.hidden_comm / n;
                 row.msgs_sent += ph.msgs_sent;
                 row.bytes_sent += ph.bytes_sent;
                 row.collectives += ph.collectives;

@@ -42,6 +42,11 @@ pub struct PhaseStats {
     pub comm: f64,
     /// Virtual seconds blocked waiting for messages in this phase.
     pub idle: f64,
+    /// Virtual seconds of non-blocking communication hidden behind other
+    /// work in this phase. A shadow measure of intervals already counted
+    /// in compute/comm/idle, so it is **not** part of
+    /// [`PhaseStats::total`] and the partition invariant is unaffected.
+    pub hidden_comm: f64,
     /// Point-to-point messages sent while this phase was current.
     pub msgs_sent: u64,
     /// Payload bytes sent while this phase was current.
@@ -74,6 +79,10 @@ pub struct RankStats {
     pub comm: f64,
     /// Virtual seconds spent blocked waiting for messages.
     pub idle: f64,
+    /// Virtual seconds of non-blocking communication hidden behind other
+    /// work (shadow measure; not part of `elapsed`'s
+    /// compute + comm + idle partition).
+    pub hidden_comm: f64,
     /// Point-to-point messages sent (collectives count their constituent
     /// messages).
     pub msgs_sent: u64,

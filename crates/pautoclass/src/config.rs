@@ -14,7 +14,18 @@ pub enum Exchange {
     PerTerm,
     /// A single Allreduce of the whole flat statistics vector — the
     /// natural fusion optimization; one of the ablations in `bench`.
+    /// The two cycle log-likelihood scalars piggyback on the same
+    /// message, so one collective per cycle replaces three.
     Fused,
+    /// The overlapped cycle: a fused single-pass E+M kernel, then the
+    /// statistics leave as *non-blocking* chunked Allreduces — one per
+    /// class when the machine's algorithm reduces element-wise
+    /// independently of buffer geometry (Linear, OrderedLinear,
+    /// RecursiveDoubling), whole-buffer otherwise — and each class's
+    /// parameters are derived while later chunks are still on the wire.
+    /// Results are bitwise identical to [`Exchange::Fused`]; only the
+    /// schedule (and hence the virtual time) differs.
+    Pipelined,
 }
 
 /// Which functions are parallelized.

@@ -10,10 +10,11 @@
 
 use autoclass::data::{DataView, GlobalStats};
 use autoclass::model::{
-    classes_from_flat, classes_to_flat, evaluate, init_classes, stats_to_classes_into,
-    update_wts_into, Approximation, ClassParams, CycleWorkspace, Model, SuffStats, WtsMatrix,
+    classes_from_flat_into, classes_to_flat, evaluate, init_classes, stats_to_class_into,
+    stats_to_classes_into, update_wts_and_stats_into, update_wts_into, Approximation, ClassParams,
+    CycleWorkspace, EStepScratch, Model, SuffStats, WtsMatrix,
 };
-use mpsim::{Comm, ReduceOp};
+use mpsim::{predicted_allreduce_cost, select_allreduce, AllreduceAlgo, Comm, ReduceOp};
 
 use crate::config::{Exchange, Strategy};
 
@@ -51,16 +52,17 @@ pub fn init_classes_parallel(
     view: &DataView<'_>,
     j: usize,
     seed: u64,
-) -> Vec<ClassParams> {
+    classes: &mut Vec<ClassParams>,
+) {
     let flat_len = model.class_param_len() * j;
     let mut flat = if comm.rank() == 0 {
-        let classes = init_classes(model, view, j, seed);
-        classes_to_flat(&classes)
+        let init = init_classes(model, view, j, seed);
+        classes_to_flat(&init)
     } else {
         vec![0.0; flat_len]
     };
     comm.broadcast_f64s(0, &mut flat);
-    classes_from_flat(model, j, &flat)
+    classes_from_flat_into(model, j, &flat, classes);
 }
 
 /// One parallel `base_cycle`: E-step + weight Allreduce, M-step with the
@@ -91,82 +93,114 @@ pub fn parallel_base_cycle(
 ) -> Approximation {
     let j = classes.len();
     ws.reset_stats(model, j);
-    let CycleWorkspace { wts, estep, stats, flat } = ws;
+    let CycleWorkspace { wts, estep, stats, flat, accum } = ws;
     let Some(stats) = stats else { unreachable!("reset_stats installs the statistics buffer") };
 
-    // ---- update_wts (Figure 4) -------------------------------------
-    comm.enter_phase("estep");
-    let e = update_wts_into(model, view, classes, wts, estep);
-    comm.work(e.ops);
-    comm.exit_phase();
-    // Allreduce of the per-class weight sums w_j, in place in the scratch.
-    comm.enter_phase("allreduce");
-    comm.allreduce_f64s(&mut estep.class_weight_sums, ReduceOp::Sum);
-    comm.exit_phase();
-    comm.verify_replicated("class weight sums w_j", &estep.class_weight_sums);
-    let wj = &estep.class_weight_sums;
+    let scalars = if matches!(strategy, Strategy::Full { exchange: Exchange::Pipelined }) {
+        pipelined_cycle(comm, model, view, classes, wts, estep, stats, accum)
+    } else {
+        // ---- update_wts (Figure 4) -----------------------------------
+        comm.enter_phase("estep");
+        let e = update_wts_into(model, view, classes, wts, estep);
+        comm.work(e.ops);
+        comm.exit_phase();
+        // Allreduce of the per-class weight sums w_j, in place in the
+        // scratch.
+        comm.enter_phase("allreduce");
+        comm.allreduce_f64s(&mut estep.class_weight_sums, ReduceOp::Sum);
+        comm.exit_phase();
+        comm.verify_replicated("class weight sums w_j", &estep.class_weight_sums);
+        let wj = &estep.class_weight_sums;
 
-    // ---- update_parameters (Figure 5) -------------------------------
-    match strategy {
-        Strategy::Full { exchange } => {
-            comm.enter_phase("mstep");
-            let ops = stats.accumulate(model, view, wts);
-            comm.work(ops);
-            comm.exit_phase();
-            match exchange {
-                Exchange::PerTerm => {
-                    // The class-weight slots were already combined in the
-                    // wts phase; install the global values so the per-term
-                    // mode doesn't need to re-send them.
-                    for (c, &w) in wj.iter().enumerate() {
-                        let idx = stats.layout.weight_index(c);
-                        stats.data[idx] = w;
-                    }
-                    // Faithful to Figure 5: the Allreduce sits inside the
-                    // per-class, per-attribute loops.
-                    comm.enter_phase("allreduce");
-                    for c in 0..j {
-                        for k in 0..model.n_groups() {
-                            let range = stats.layout.attr_range(c, k);
-                            comm.allreduce_f64s(&mut stats.data[range], ReduceOp::Sum);
+        // ---- update_parameters (Figure 5) ----------------------------
+        // `Fused` combines the two cycle scalars with the statistics
+        // message (`Some`); the other arms leave them for the trailing
+        // scalar Allreduce (`None`).
+        let packed: Option<[f64; 2]> = match strategy {
+            Strategy::Full { exchange } => {
+                comm.enter_phase("mstep");
+                let ops = stats.accumulate(model, view, wts);
+                comm.work(ops);
+                comm.exit_phase();
+                let packed = match exchange {
+                    Exchange::PerTerm => {
+                        // The class-weight slots were already combined in
+                        // the wts phase; install the global values so the
+                        // per-term mode doesn't need to re-send them.
+                        for (c, &w) in wj.iter().enumerate() {
+                            let idx = stats.layout.weight_index(c);
+                            stats.data[idx] = w;
                         }
+                        // Faithful to Figure 5: the Allreduce sits inside
+                        // the per-class, per-attribute loops.
+                        comm.enter_phase("allreduce");
+                        for c in 0..j {
+                            for k in 0..model.n_groups() {
+                                let range = stats.layout.attr_range(c, k);
+                                // lint:allow(blocking-collective): this IS the ablation baseline
+                                comm.allreduce_f64s(&mut stats.data[range], ReduceOp::Sum);
+                            }
+                        }
+                        comm.exit_phase();
+                        None
                     }
-                    comm.exit_phase();
-                }
-                Exchange::Fused => {
-                    // One big message. The weight slots were already
-                    // combined in the wts phase, so send zeros in their
-                    // place and install the global values afterwards —
-                    // no save/restore buffer needed.
-                    for c in 0..j {
-                        let idx = stats.layout.weight_index(c);
-                        stats.data[idx] = 0.0;
+                    Exchange::Fused => {
+                        // One big message. The weight slots were already
+                        // combined in the wts phase, so send zeros in
+                        // their place and install the global values
+                        // afterwards — no save/restore buffer needed. The
+                        // two log-likelihood scalars piggyback on the end
+                        // of the same buffer, replacing the trailing
+                        // 2-element Allreduce.
+                        for c in 0..j {
+                            let idx = stats.layout.weight_index(c);
+                            stats.data[idx] = 0.0;
+                        }
+                        stats.data.push(e.log_likelihood);
+                        stats.data.push(e.complete_ll);
+                        comm.enter_phase("allreduce");
+                        comm.allreduce_f64s(&mut stats.data, ReduceOp::Sum);
+                        comm.exit_phase();
+                        // lint:allow(unwrap): the two scalars were pushed above
+                        let complete_ll = stats.data.pop().expect("piggybacked scalar");
+                        // lint:allow(unwrap): the two scalars were pushed above
+                        let log_likelihood = stats.data.pop().expect("piggybacked scalar");
+                        for (c, &w) in wj.iter().enumerate() {
+                            let idx = stats.layout.weight_index(c);
+                            stats.data[idx] = w;
+                        }
+                        Some([log_likelihood, complete_ll])
                     }
-                    comm.enter_phase("allreduce");
-                    comm.allreduce_f64s(&mut stats.data, ReduceOp::Sum);
-                    comm.exit_phase();
-                    for (c, &w) in wj.iter().enumerate() {
-                        let idx = stats.layout.weight_index(c);
-                        stats.data[idx] = w;
-                    }
-                }
+                    Exchange::Pipelined => unreachable!("handled above"),
+                };
+                comm.enter_phase("mstep");
+                let mops = stats_to_classes_into(model, stats, classes);
+                comm.work(mops);
+                comm.exit_phase();
+                packed
             }
-            comm.enter_phase("mstep");
-            let mops = stats_to_classes_into(model, stats, classes);
-            comm.work(mops);
-            comm.exit_phase();
-        }
-        Strategy::WtsOnly => wts_only_mstep(comm, model, view, wts, stats, flat, classes, j),
-    }
+            Strategy::WtsOnly => {
+                wts_only_mstep(comm, model, view, wts, stats, flat, classes, j);
+                None
+            }
+        };
 
-    // ---- update_approximations ---------------------------------------
-    // Two scalars must become global: the log likelihood and the complete
-    // log likelihood. The paper folds this into the (negligible)
-    // update_approximations step.
-    let mut scalars = [e.log_likelihood, e.complete_ll];
-    comm.enter_phase("allreduce");
-    comm.allreduce_f64s(&mut scalars, ReduceOp::Sum);
-    comm.exit_phase();
+        // ---- update_approximations -----------------------------------
+        // Two scalars must become global: the log likelihood and the
+        // complete log likelihood. The paper folds this into the
+        // (negligible) update_approximations step; the fused exchanges
+        // have already combined them on the statistics wire.
+        match packed {
+            Some(s) => s,
+            None => {
+                let mut s = [e.log_likelihood, e.complete_ll];
+                comm.enter_phase("allreduce");
+                comm.allreduce_f64s(&mut s, ReduceOp::Sum);
+                comm.exit_phase();
+                s
+            }
+        }
+    };
     let approx = evaluate(model, stats, scalars[0], scalars[1]);
     comm.work((j * stats.layout.stride) as u64);
 
@@ -184,6 +218,161 @@ pub fn parallel_base_cycle(
     }
 
     approx
+}
+
+/// The overlapped cycle (the [`Exchange::Pipelined`] arm): one fused
+/// single-pass E+M kernel produces the weights and the local statistics
+/// together; then w_j and the statistics leave as *non-blocking*
+/// collectives, and each class's parameters are derived while later
+/// chunks are still on the wire. Returns the global `[log_likelihood,
+/// complete_ll]` scalars.
+///
+/// Bitwise identical to the blocking [`Exchange::Fused`] cycle for every
+/// allreduce algorithm, by construction:
+/// * The fused kernel's weights, scalars, and statistics are bitwise
+///   equal to the two-pass form (carried-chain tiling; see
+///   `update_wts_and_stats_into`).
+/// * w_j travels as its own j-length collective with the machine's
+///   algorithm — identical geometry to the blocking path.
+/// * The statistics buffer (weight slots zeroed, the two log-likelihood
+///   scalars packed on the end) resolves its effective algorithm at the
+///   full `L + 2` length, exactly where the blocking call would. When
+///   that algorithm reduces element-wise independently of buffer
+///   geometry (Linear, OrderedLinear, RecursiveDoubling) *and* the
+///   predicted extra per-message cost of j chunks is covered by the
+///   derive compute it can hide, the buffer is split into per-class
+///   chunks, each posted with the *resolved* algorithm forced — every
+///   element sees the identical reduction chain it would inside one big
+///   call. Ring and Rabenseifner fold orders depend on the element→chunk
+///   mapping — and latency-bound machines make small chunks a net loss —
+///   so those cases ship a single whole-buffer collective: no chunk
+///   pipelining, but the fused kernel, packed scalars, and post/wait
+///   overlap (w_j's wire hides behind the statistics post) still apply.
+///
+/// The only steady-state heap allocation in this cycle is the vector of
+/// `Request` handles (`j + 1` of them) — documented in DESIGN.md §10;
+/// everything else reuses the [`CycleWorkspace`] buffers.
+#[allow(clippy::too_many_arguments)]
+fn pipelined_cycle(
+    comm: &mut Comm,
+    model: &Model,
+    view: &DataView<'_>,
+    classes: &mut Vec<ClassParams>,
+    wts: &mut WtsMatrix,
+    estep: &mut EStepScratch,
+    stats: &mut SuffStats,
+    accum: &mut Vec<f64>,
+) -> [f64; 2] {
+    let j = classes.len();
+
+    // ---- fused update_wts + statistics accumulation (one pass) -------
+    comm.enter_phase("estep");
+    let (e, stat_ops) = update_wts_and_stats_into(model, view, classes, wts, estep, stats, accum);
+    comm.work(e.ops);
+    comm.exit_phase();
+    // The statistics ops are charged under "mstep" so the phase rows stay
+    // comparable with the two-pass strategies.
+    comm.enter_phase("mstep");
+    comm.work(stat_ops);
+    comm.exit_phase();
+
+    // ---- post the exchanges ------------------------------------------
+    comm.enter_phase("allreduce");
+    let mut wj_req = comm.iallreduce_f64s(&mut estep.class_weight_sums, ReduceOp::Sum);
+    comm.exit_phase();
+
+    // Weight slots travel on the w_j wire; zero them here and piggyback
+    // the two log-likelihood scalars, as in the blocking Fused arm.
+    for c in 0..j {
+        stats.data[stats.layout.weight_index(c)] = 0.0;
+    }
+    stats.data.push(e.log_likelihood);
+    stats.data.push(e.complete_ll);
+    let full_len = stats.data.len();
+
+    let algo = {
+        let machine = comm.machine();
+        match machine.allreduce {
+            AllreduceAlgo::Auto => select_allreduce(machine.p, full_len, &machine.network),
+            a => a,
+        }
+    };
+    let chunkable = matches!(
+        algo,
+        AllreduceAlgo::Linear | AllreduceAlgo::OrderedLinear | AllreduceAlgo::RecursiveDoubling
+    ) && {
+        // Size-adaptive, like `AllreduceAlgo::Auto`: splitting into j
+        // chunks multiplies the per-message fixed costs (LogGP L and o),
+        // and pipelining can hide at most the per-class derive compute
+        // behind the extra messages. Chunk only when that compute covers
+        // the predicted extra cost — on latency-bound machines with small
+        // per-class payloads, the whole buffer goes as one collective.
+        // Every input is replicated, so all ranks take the same branch.
+        let machine = comm.machine();
+        let stride = stats.layout.stride;
+        let whole = predicted_allreduce_cost(algo, machine.p, full_len, &machine.network);
+        let split = (j - 1) as f64
+            * predicted_allreduce_cost(algo, machine.p, stride, &machine.network)
+            + predicted_allreduce_cost(algo, machine.p, stride + 2, &machine.network);
+        let hideable = (j * stride) as f64 * machine.compute.sec_per_op;
+        split - whole <= hideable
+    };
+
+    comm.enter_phase("allreduce");
+    let mut chunk_reqs = Vec::with_capacity(if chunkable { j } else { 1 });
+    if chunkable {
+        for c in 0..j {
+            let range = stats.layout.class_range(c);
+            // The last chunk carries the two packed scalars.
+            let range = if c == j - 1 { range.start..full_len } else { range };
+            chunk_reqs.push(comm.iallreduce_f64s_with(&mut stats.data[range], ReduceOp::Sum, algo));
+        }
+    } else {
+        chunk_reqs.push(comm.iallreduce_f64s(&mut stats.data, ReduceOp::Sum));
+    }
+    comm.exit_phase();
+
+    // ---- wait / install / derive, overlapped -------------------------
+    comm.enter_phase("allreduce");
+    comm.wait(&mut wj_req);
+    comm.exit_phase();
+    comm.verify_replicated("class weight sums w_j", &estep.class_weight_sums);
+
+    // Identical on every rank (class shapes are replicated), so this
+    // branch — and with it the collective schedule — matches across ranks.
+    let in_place = classes.iter().all(|c| c.terms.len() == model.groups.len());
+    if chunkable && in_place {
+        for (c, class) in classes.iter_mut().enumerate() {
+            comm.enter_phase("allreduce");
+            comm.wait(&mut chunk_reqs[c]);
+            comm.exit_phase();
+            stats.data[stats.layout.weight_index(c)] = estep.class_weight_sums[c];
+            comm.enter_phase("mstep");
+            let mops = stats_to_class_into(model, stats, c, class);
+            comm.work(mops);
+            comm.exit_phase();
+        }
+    } else {
+        comm.enter_phase("allreduce");
+        let _ = comm.waitall(&mut chunk_reqs);
+        comm.exit_phase();
+        for (c, &w) in estep.class_weight_sums.iter().enumerate() {
+            stats.data[stats.layout.weight_index(c)] = w;
+        }
+        comm.enter_phase("mstep");
+        let mops = stats_to_classes_into(model, stats, classes);
+        comm.work(mops);
+        comm.exit_phase();
+    }
+
+    // Pop the two reduced scalars and restore the statistics length
+    // (capacity is retained for the next cycle).
+    // lint:allow(unwrap): the two scalars were pushed above
+    let complete_ll = stats.data.pop().expect("piggybacked scalar");
+    // lint:allow(unwrap): the two scalars were pushed above
+    let log_likelihood = stats.data.pop().expect("piggybacked scalar");
+    debug_assert_eq!(stats.data.len(), stats.layout.len());
+    [log_likelihood, complete_ll]
 }
 
 /// The Miller & Guo-style M-step: gather the full weight matrix to rank 0,
@@ -264,7 +453,8 @@ fn wts_only_mstep(
     comm.exit_phase();
     // Every rank (root included) derives its classes from the broadcast
     // payload, so all ranks share one code path and stay bitwise equal.
-    *classes = classes_from_flat(model, j, flat);
+    // In place: the last per-cycle `Vec<ClassParams>` allocation removed.
+    classes_from_flat_into(model, j, flat, classes);
 
     // Non-root ranks also need the global statistics for the shared
     // approximation step; broadcast them too (small next to the gather).
@@ -336,7 +526,9 @@ mod tests {
             let part = &parts[comm.rank()];
             let view = data.view(part.start, part.end);
             let model = build_model(comm, &view, &[]);
-            init_classes_parallel(comm, &model, &view, 5, 99)
+            let mut classes = Vec::new();
+            init_classes_parallel(comm, &model, &view, 5, 99, &mut classes);
+            classes
         })
         .unwrap();
         for r in 1..4 {

@@ -55,7 +55,8 @@ fn search_rank_body(
     for (ji, &j) in sc.start_j_list.iter().enumerate() {
         for t in 0..sc.tries_per_j {
             let seed = derive_seed(sc.seed, (ji * sc.tries_per_j + t) as u64);
-            let mut classes = init_classes_parallel(comm, &model, &view, j, seed);
+            let mut classes = Vec::new();
+            init_classes_parallel(comm, &model, &view, j, seed, &mut classes);
             let mut prev_ll = f64::NEG_INFINITY;
             let mut cycles = 0usize;
             let mut did_converge = false;
@@ -193,7 +194,8 @@ pub fn run_fixed_j(
         let part = &parts[comm.rank()];
         let view = data.view(part.start, part.end);
         let model = build_model(comm, &view, &config.correlated_blocks);
-        let mut classes = init_classes_parallel(comm, &model, &view, j, seed);
+        let mut classes = Vec::new();
+        init_classes_parallel(comm, &model, &view, j, seed, &mut classes);
         let mut ws = CycleWorkspace::new();
         // Synchronize before the measured window so stragglers from setup
         // don't leak into the cycle timing.

@@ -15,9 +15,18 @@
 //!    strategy × P on the calibrated Meiko CS-2 model, plus a
 //!    `full_fused_auto` row with the size-adaptive allreduce selector.
 //!
+//! A second artifact, `BENCH_4.json`, holds the communication-overlap
+//! ablation: per-cycle virtual time and hidden (overlapped) communication
+//! for the blocking per-term exchange, the blocking fused exchange, and
+//! the non-blocking pipelined cycle, gated on (a) the fused single-pass
+//! E+M kernel being *bitwise* equal to the two-pass form and (b) the
+//! pipelined cycle being no slower than blocking Fused at P ≥ 4 with the
+//! identical log likelihood.
+//!
 //! Flags: `--smoke` (small sizes for CI), `--out PATH` (default
-//! `BENCH_2.json` in the repo root), `--check PATH` (validate an existing
-//! results file instead of benchmarking).
+//! `BENCH_2.json` in the repo root), `--out4 PATH` (default
+//! `BENCH_4.json`), `--check PATH` (validate an existing results file of
+//! either schema instead of benchmarking).
 
 use std::fmt::Write as _;
 use std::path::Path;
@@ -25,7 +34,10 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use autoclass::data::GlobalStats;
-use autoclass::model::{estep_ops, init_classes, update_wts_into, update_wts_naive, Model};
+use autoclass::model::{
+    estep_ops, init_classes, update_wts_and_stats_into, update_wts_into, update_wts_naive, Model,
+    StatLayout, SuffStats,
+};
 use autoclass::model::{EStepScratch, WtsMatrix};
 use autoclass::search::SearchConfig;
 use mpsim::{presets, AllreduceAlgo, MachineSpec};
@@ -42,6 +54,8 @@ pub fn bench(args: &[String]) -> ExitCode {
     let root = crate::repo_root();
     let default_out = root.join("BENCH_2.json");
     let out_path = flag_value("--out").map(Into::into).unwrap_or(default_out);
+    let default_out4 = root.join("BENCH_4.json");
+    let out4_path = flag_value("--out4").map(Into::into).unwrap_or(default_out4);
 
     let json = match run_benchmarks(smoke) {
         Ok(j) => j,
@@ -55,6 +69,19 @@ pub fn bench(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
     println!("xtask bench: wrote {}", out_path.display());
+
+    let json4 = match run_overlap_benchmarks(smoke) {
+        Ok(j) => j,
+        Err(msg) => {
+            eprintln!("xtask bench (overlap): {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if let Err(e) = std::fs::write(&out4_path, &json4) {
+        eprintln!("xtask bench: cannot write {}: {e}", out4_path.display());
+        return ExitCode::FAILURE;
+    }
+    println!("xtask bench: wrote {}", out4_path.display());
     ExitCode::SUCCESS
 }
 
@@ -222,9 +249,157 @@ fn run_benchmarks(smoke: bool) -> Result<String, String> {
     Ok(out)
 }
 
+/// The communication-overlap ablation behind `BENCH_4.json`.
+fn run_overlap_benchmarks(smoke: bool) -> Result<String, String> {
+    // ---- fused E+M kernel: bitwise equivalence (correctness gate) ----
+    let (kn, kj) = if smoke { (1_500, 6) } else { (20_000, 12) };
+    eprintln!("xtask bench: fused E+M kernel n={kn} j={kj}");
+    let kdata = datagen::paper_dataset(kn, 3);
+    let kview = kdata.full_view();
+    let kgstats = GlobalStats::compute(&kview);
+    let kmodel = Model::new(kdata.schema().clone(), &kgstats);
+    let kclasses = init_classes(&kmodel, &kview, kj, 11);
+
+    let mut wts_two = WtsMatrix::new(0, 0);
+    let mut wts_fused = WtsMatrix::new(0, 0);
+    let mut scratch_two = EStepScratch::default();
+    let mut scratch_fused = EStepScratch::default();
+    let layout = StatLayout::new(&kmodel, kj);
+    let mut stats_two = SuffStats::zeros(layout.clone());
+    let mut stats_fused = SuffStats::zeros(layout);
+    let mut carry = Vec::new();
+
+    let two_e = update_wts_into(&kmodel, &kview, &kclasses, &mut wts_two, &mut scratch_two);
+    let two_ops = stats_two.accumulate(&kmodel, &kview, &wts_two);
+    let (fused_e, fused_ops) = update_wts_and_stats_into(
+        &kmodel,
+        &kview,
+        &kclasses,
+        &mut wts_fused,
+        &mut scratch_fused,
+        &mut stats_fused,
+        &mut carry,
+    );
+    let mut kernels_match = two_e.log_likelihood.to_bits() == fused_e.log_likelihood.to_bits()
+        && two_e.complete_ll.to_bits() == fused_e.complete_ll.to_bits()
+        && stats_two.data.len() == stats_fused.data.len();
+    for (a, b) in stats_two.data.iter().zip(&stats_fused.data) {
+        kernels_match &= a.to_bits() == b.to_bits();
+    }
+    for c in 0..kj {
+        for (a, b) in wts_two.class_column(c).iter().zip(wts_fused.class_column(c)) {
+            kernels_match &= a.to_bits() == b.to_bits();
+        }
+    }
+    if !kernels_match {
+        return Err("fused E+M kernel diverged bitwise from the two-pass form".to_string());
+    }
+    let stat_ops_match = two_ops == fused_ops;
+    if !stat_ops_match {
+        return Err(format!(
+            "statistics op accounting drifted: two-pass={two_ops} fused={fused_ops}"
+        ));
+    }
+
+    // ---- overlap ablation: virtual cycle times on the Meiko model ----
+    let (cn, cj, cycles) = if smoke { (800, 8, 2) } else { (5_000, 8, 5) };
+    eprintln!("xtask bench: overlap ablation n={cn} j={cj} cycles={cycles}");
+    let cdata = datagen::paper_dataset(cn, 2);
+    let mk_config = |exchange: Exchange| ParallelConfig {
+        search: SearchConfig {
+            start_j_list: vec![cj],
+            tries_per_j: 1,
+            max_cycles: cycles,
+            rel_delta_ll: 0.0,
+            min_class_weight: 0.0,
+            seed: 42,
+            max_stored: 1,
+        },
+        strategy: Strategy::Full { exchange },
+        partition: Partitioning::Block,
+        correlated_blocks: Vec::new(),
+    };
+    struct OverlapRow {
+        exchange: &'static str,
+        p: usize,
+        per_cycle_s: f64,
+        hidden_s: f64,
+        log_likelihood: f64,
+    }
+    let exchanges: [(&'static str, Exchange); 3] = [
+        ("perterm", Exchange::PerTerm),
+        ("fused", Exchange::Fused),
+        ("pipelined", Exchange::Pipelined),
+    ];
+    let mut rows: Vec<OverlapRow> = Vec::new();
+    for (name, exchange) in exchanges {
+        for p in [1usize, 2, 4, 8] {
+            let spec = presets::meiko_cs2(p);
+            let timing = run_fixed_j(&cdata, &spec, cj, cycles, 42, &mk_config(exchange))
+                .map_err(|e| format!("{name} P={p}: {e}"))?;
+            let hidden_s = timing.ranks.iter().map(|r| r.hidden_comm).fold(0.0, f64::max);
+            rows.push(OverlapRow {
+                exchange: name,
+                p,
+                per_cycle_s: timing.per_cycle,
+                hidden_s,
+                log_likelihood: timing.log_likelihood,
+            });
+        }
+    }
+    // Gates: at every P ≥ 4 the pipelined cycle is no slower than blocking
+    // Fused, and at every P its log likelihood is bitwise identical.
+    let mut overlap_ok = true;
+    let mut ll_match = true;
+    for r in rows.iter().filter(|r| r.exchange == "pipelined") {
+        let fused =
+            rows.iter().find(|f| f.exchange == "fused" && f.p == r.p).ok_or("missing fused row")?;
+        if r.p >= 4 && r.per_cycle_s > fused.per_cycle_s {
+            overlap_ok = false;
+        }
+        ll_match &= r.log_likelihood.to_bits() == fused.log_likelihood.to_bits();
+    }
+    if !overlap_ok {
+        return Err("pipelined cycle slower than blocking Fused at P >= 4".to_string());
+    }
+    if !ll_match {
+        return Err("pipelined log likelihood diverged from blocking Fused".to_string());
+    }
+
+    // ---- Hand-formatted JSON ----------------------------------------
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema_version\": 1,");
+    let _ = writeln!(out, "  \"kind\": \"overlap\",");
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    out.push_str("  \"fused_kernel\": {\n");
+    let _ = writeln!(out, "    \"n\": {kn},");
+    let _ = writeln!(out, "    \"j\": {kj},");
+    let _ = writeln!(out, "    \"kernels_match\": {kernels_match},");
+    let _ = writeln!(out, "    \"stat_ops_match\": {stat_ops_match}");
+    out.push_str("  },\n");
+    out.push_str("  \"gates\": {\n");
+    let _ = writeln!(out, "    \"overlap_ok\": {overlap_ok},");
+    let _ = writeln!(out, "    \"ll_bitwise_equal\": {ll_match}");
+    out.push_str("  },\n");
+    out.push_str("  \"cycles\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"exchange\": \"{}\", \"p\": {}, \"per_cycle_s\": {:.6}, \
+             \"hidden_s\": {:.6}, \"log_likelihood\": {:.6}}}{comma}",
+            r.exchange, r.p, r.per_cycle_s, r.hidden_s, r.log_likelihood
+        );
+    }
+    out.push_str("  ]\n}\n");
+    Ok(out)
+}
+
 /// Structural validation of a results file: the required keys exist and
-/// the two correctness gates (`bitwise_equal`, `estep_ops_match`) read
-/// `true`. Intentionally tolerant of numeric values — CI checks shape and
+/// the correctness gates read `true` (which set of keys depends on the
+/// artifact's schema — the kernel benchmark or the overlap ablation).
+/// Intentionally tolerant of numeric values — CI checks shape and
 /// invariants, not machine speed.
 fn check(path: &Path) -> ExitCode {
     let text = match std::fs::read_to_string(path) {
@@ -234,6 +409,9 @@ fn check(path: &Path) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if text.contains("\"kind\": \"overlap\"") {
+        return check_keys(path, &text, &OVERLAP_REQUIRED);
+    }
     let required = [
         "\"schema_version\": 1",
         "\"estep\"",
@@ -249,8 +427,27 @@ fn check(path: &Path) -> ExitCode {
         "\"wts_only\"",
         "\"full_fused_auto\"",
     ];
+    check_keys(path, &text, &required)
+}
+
+/// Required keys for the overlap-ablation artifact (`BENCH_4.json`).
+const OVERLAP_REQUIRED: [&str; 11] = [
+    "\"schema_version\": 1",
+    "\"kind\": \"overlap\"",
+    "\"fused_kernel\"",
+    "\"kernels_match\": true",
+    "\"stat_ops_match\": true",
+    "\"overlap_ok\": true",
+    "\"ll_bitwise_equal\": true",
+    "\"cycles\"",
+    "\"perterm\"",
+    "\"fused\"",
+    "\"pipelined\"",
+];
+
+fn check_keys(path: &Path, text: &str, required: &[&str]) -> ExitCode {
     let mut missing = Vec::new();
-    for key in required {
+    for &key in required {
         if !text.contains(key) {
             missing.push(key);
         }

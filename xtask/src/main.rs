@@ -26,6 +26,14 @@
 //! 3. **float-eq** — no direct `==` / `!=` against floating-point literals
 //!    in model code; use tolerances or `total_cmp`. Waivable with
 //!    `// lint:allow(float-eq): why` when bitwise equality is the point.
+//! 4. **blocking-collective** — no blocking collective calls
+//!    (`allreduce_f64s`, `broadcast_f64s`, `gather_f64s`) inside `for` /
+//!    `while` / `loop` bodies in `pautoclass` rank code: a collective per
+//!    loop iteration multiplies the per-message latency (the pattern the
+//!    Fused and Pipelined exchanges exist to remove). Batch the payload or
+//!    post non-blocking operations instead. The deliberately fine-grained
+//!    `Exchange::PerTerm` ablation baseline is waived with
+//!    `// lint:allow(blocking-collective): why`.
 //!
 //! Test code (`#[cfg(test)]` modules, `tests/`, `benches/`) is exempt from
 //! all rules.
@@ -157,10 +165,27 @@ fn float_eq_scoped(root: &Path, file: &Path) -> bool {
     rel.starts_with("crates/autoclass/src") || rel.starts_with("crates/pautoclass/src")
 }
 
+/// Does the blocking-collective rule apply? The parallel rank bodies —
+/// that's where a blocking collective inside a loop costs a latency per
+/// iteration.
+fn blocking_collective_scoped(root: &Path, file: &Path) -> bool {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    rel.to_string_lossy().starts_with("crates/pautoclass/src")
+}
+
+/// Is this line a loop header (`for` / `while` / `loop`)? Only the first
+/// token is inspected, so identifiers like `format` or comments don't
+/// match; rustfmt keeps loop headers at the start of their line.
+fn is_loop_header(code: &str) -> bool {
+    let mut tokens = code.trim_start().split(|c: char| !c.is_alphanumeric() && c != '_');
+    matches!(tokens.next(), Some("for" | "while" | "loop"))
+}
+
 fn check_file(root: &Path, file: &Path, text: &str, out: &mut Vec<Violation>) {
     let wall_clock = wall_clock_scoped(root, file);
     let no_unwrap = unwrap_scoped(file);
     let float_eq = float_eq_scoped(root, file);
+    let blocking_collective = blocking_collective_scoped(root, file);
 
     // Track `#[cfg(test)] mod … { … }` regions by brace depth so test code
     // is exempt. Format-string braces are balanced, so line-level counting
@@ -168,6 +193,11 @@ fn check_file(root: &Path, file: &Path, text: &str, out: &mut Vec<Violation>) {
     let mut depth: i64 = 0;
     let mut armed = false; // saw #[cfg(test)], waiting for the opening brace
     let mut skip_above: Option<i64> = None; // inside a test region opened at this depth
+
+    // Loop bodies, for the blocking-collective rule: the depth at which
+    // each currently-open `for`/`while`/`loop` was entered.
+    let mut loop_stack: Vec<i64> = Vec::new();
+    let mut loop_armed = false; // loop header seen, waiting for its `{`
 
     let lines: Vec<&str> = text.lines().collect();
     for (idx, &raw) in lines.iter().enumerate() {
@@ -189,7 +219,17 @@ fn check_file(root: &Path, file: &Path, text: &str, out: &mut Vec<Violation>) {
                 skip_above = Some(depth);
                 armed = false;
             }
+            if is_loop_header(code) {
+                loop_armed = true;
+            }
+            if loop_armed && opens > 0 {
+                loop_stack.push(depth);
+                loop_armed = false;
+            }
             depth += opens - closes;
+            while loop_stack.last().is_some_and(|&d| depth <= d) {
+                loop_stack.pop();
+            }
             if let Some(d) = skip_above {
                 if depth <= d {
                     skip_above = None;
@@ -244,6 +284,26 @@ fn check_file(root: &Path, file: &Path, text: &str, out: &mut Vec<Violation>) {
                         message: format!(
                             "direct `{op}` against a float literal: compare with a \
                              tolerance or waive with `// lint:allow(float-eq): why`"
+                        ),
+                    });
+                }
+            }
+        }
+
+        if blocking_collective
+            && !loop_stack.is_empty()
+            && !waived("lint:allow(blocking-collective)")
+        {
+            for pat in [".allreduce_f64s(", ".broadcast_f64s(", ".gather_f64s("] {
+                if code.contains(pat) {
+                    out.push(Violation {
+                        file: file.to_path_buf(),
+                        line: line_no,
+                        rule: "blocking-collective",
+                        message: format!(
+                            "`{pat}` inside a loop body pays a message latency per \
+                             iteration: batch the payload or post `iallreduce_f64s`, \
+                             or waive with `// lint:allow(blocking-collective): why`"
                         ),
                     });
                 }
@@ -343,6 +403,42 @@ mod tests {
                    }\n";
         let mut v = Vec::new();
         check_file(Path::new("/r"), Path::new("/r/crates/x/src/lib.rs"), src, &mut v);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn blocking_collectives_flagged_only_inside_loops() {
+        let src = "fn a(comm: &mut Comm, xs: &mut [f64]) {\n\
+                       comm.allreduce_f64s(xs, ReduceOp::Sum);\n\
+                       for _ in 0..3 {\n\
+                           comm.allreduce_f64s(xs, ReduceOp::Sum);\n\
+                           while go() {\n\
+                               comm.broadcast_f64s(0, xs);\n\
+                           }\n\
+                       }\n\
+                       comm.gather_f64s(0, xs);\n\
+                   }\n";
+        let mut v = Vec::new();
+        check_file(Path::new("/r"), Path::new("/r/crates/pautoclass/src/driver.rs"), src, &mut v);
+        let lines: Vec<usize> = v.iter().map(|x| x.line).collect();
+        assert_eq!(lines, vec![4, 6], "only loop-body collectives flagged");
+        assert!(v.iter().all(|x| x.rule == "blocking-collective"));
+        // Out of scope: the same source in mpsim is not flagged.
+        v.clear();
+        check_file(Path::new("/r"), Path::new("/r/crates/mpsim/src/x.rs"), src, &mut v);
+        assert!(v.is_empty());
+    }
+
+    #[test]
+    fn blocking_collective_waiver_suppresses() {
+        let src = "fn a(comm: &mut Comm, xs: &mut [f64]) {\n\
+                       for _ in 0..3 {\n\
+                           // lint:allow(blocking-collective): ablation baseline\n\
+                           comm.allreduce_f64s(xs, ReduceOp::Sum);\n\
+                       }\n\
+                   }\n";
+        let mut v = Vec::new();
+        check_file(Path::new("/r"), Path::new("/r/crates/pautoclass/src/driver.rs"), src, &mut v);
         assert!(v.is_empty());
     }
 

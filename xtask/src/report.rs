@@ -7,7 +7,7 @@
 //! the max-vs-mean critical-path summary — through [`mpsim::Report`] as
 //! aligned text, CSV, and JSON artifacts.
 //!
-//! The harness also checks four invariants and records them as gates in
+//! The harness also checks these invariants and records them as gates in
 //! the JSON artifact:
 //!
 //! 1. **Phase accounting** — on every rank the phase buckets sum to the
@@ -24,6 +24,10 @@
 //!    a critical-path approximation, not the simulation, so the gate is a
 //!    generous ratio band that catches gross attribution bugs (a dropped
 //!    bucket, a mistagged collective) rather than modeling error.
+//! 5. **Overlap** — the pipelined (non-blocking) exchange produces a
+//!    bitwise-identical search outcome to the blocking Fused series and,
+//!    at every P > 1, exposes strictly less `"allreduce"` time (the
+//!    hidden remainder is reported per P in `overlap_allreduce`).
 //!
 //! Flags: `--smoke` (P ∈ {1,2,4}, small dataset — the CI configuration),
 //! `--out DIR` (default `report/` in the repo root), `--check PATH`
@@ -58,7 +62,7 @@ pub fn report(args: &[String]) -> ExitCode {
     let root = crate::repo_root();
     let out_dir = flag_value("--out").map(Into::into).unwrap_or_else(|| root.join("report"));
 
-    let (first, loggp) = match run_series(smoke) {
+    let (first, loggp, overlap) = match run_series(smoke) {
         Ok(v) => v,
         Err(msg) => {
             eprintln!("xtask report: {msg}");
@@ -68,7 +72,7 @@ pub fn report(args: &[String]) -> ExitCode {
     // Determinism gate: the sim is virtual-time-deterministic, so a second
     // identical series must render bit-identical artifacts.
     let deterministic = match run_series(smoke) {
-        Ok((second, _)) => second.to_json() == first.to_json(),
+        Ok((second, _, _)) => second.to_json() == first.to_json(),
         Err(msg) => {
             eprintln!("xtask report: repeat run failed: {msg}");
             return ExitCode::FAILURE;
@@ -79,7 +83,7 @@ pub fn report(args: &[String]) -> ExitCode {
         return ExitCode::FAILURE;
     }
 
-    let json = assemble_json(smoke, &first, &loggp, deterministic);
+    let json = assemble_json(smoke, &first, &loggp, &overlap, deterministic);
     if let Err(e) = std::fs::create_dir_all(&out_dir) {
         eprintln!("xtask report: cannot create {}: {e}", out_dir.display());
         return ExitCode::FAILURE;
@@ -100,6 +104,15 @@ pub fn report(args: &[String]) -> ExitCode {
     print!("{}", first.to_text());
     println!("\nxtask report: wrote 4 artifacts to {}", out_dir.display());
     ExitCode::SUCCESS
+}
+
+/// Exposed (non-hidden) allreduce time of the overlapped cycle against
+/// the blocking Fused baseline at one processor count.
+struct OverlapRow {
+    p: usize,
+    fused_exposed_s: f64,
+    piped_exposed_s: f64,
+    hidden_s: f64,
 }
 
 /// Measured-vs-predicted allreduce time at one processor count.
@@ -124,7 +137,7 @@ impl LoggpRow {
     }
 }
 
-fn run_series(smoke: bool) -> Result<(Report, Vec<LoggpRow>), String> {
+fn run_series(smoke: bool) -> Result<(Report, Vec<LoggpRow>, Vec<OverlapRow>), String> {
     let (n, j, cycles, ps): (usize, usize, usize, &[usize]) =
         if smoke { (1_200, 4, 6, &[1, 2, 4]) } else { (6_000, 4, 10, &[1, 2, 4, 6, 8, 10]) };
     let data = datagen::paper_dataset(n, 11);
@@ -143,8 +156,9 @@ fn run_series(smoke: bool) -> Result<(Report, Vec<LoggpRow>), String> {
         correlated_blocks: Vec::new(),
     };
     // Payload sizes of the per-cycle allreduces (the Fused exchange): the
-    // class weights w_j, the fused statistics vector, and the two score
-    // scalars — plus one global-statistics combine in model setup.
+    // class weights w_j and the fused statistics vector with the two score
+    // scalars piggybacked on its end — plus one global-statistics combine
+    // in model setup.
     let gstats = GlobalStats::compute(&data.full_view());
     let model = Model::new(data.schema().clone(), &gstats);
     let stats_len = StatLayout::new(&model, j).len();
@@ -152,6 +166,7 @@ fn run_series(smoke: bool) -> Result<(Report, Vec<LoggpRow>), String> {
 
     let mut records = Vec::new();
     let mut loggp = Vec::new();
+    let mut overlap = Vec::new();
     for &p in ps {
         let spec = presets::meiko_cs2(p);
         let out = run_search_with(&data, &spec, &config, &SimOptions::verified())
@@ -163,7 +178,7 @@ fn run_series(smoke: bool) -> Result<(Report, Vec<LoggpRow>), String> {
             .iter()
             .filter_map(|r| r.phase("allreduce").map(|ph| ph.total()))
             .fold(0.0, f64::max);
-        let per_cycle = [j, stats_len, 2]
+        let per_cycle = [j, stats_len + 2]
             .iter()
             .map(|&m| predicted_allreduce_cost(spec.allreduce, p, m, &spec.network))
             .sum::<f64>();
@@ -178,6 +193,42 @@ fn run_series(smoke: bool) -> Result<(Report, Vec<LoggpRow>), String> {
                 row.ratio()
             ));
         }
+        // The overlapped cycle against the blocking series just measured:
+        // bitwise-identical search outcome, strictly less *exposed*
+        // communication (the allreduce bucket, which excludes hidden time)
+        // for every P > 1.
+        let piped_cfg = ParallelConfig {
+            strategy: Strategy::Full { exchange: Exchange::Pipelined },
+            ..config.clone()
+        };
+        let piped = run_search_with(&data, &spec, &piped_cfg, &SimOptions::verified())
+            .map_err(|e| format!("pipelined P={p}: {e}"))?;
+        let piped_exposed_s = piped
+            .ranks
+            .iter()
+            .filter_map(|r| r.phase("allreduce").map(|ph| ph.total()))
+            .fold(0.0, f64::max);
+        let hidden_s = piped.ranks.iter().map(|r| r.hidden_comm).fold(0.0, f64::max);
+        let matches = piped.best.approx.log_likelihood.to_bits()
+            == out.best.approx.log_likelihood.to_bits()
+            && piped.cycles == out.cycles;
+        if !matches {
+            return Err(format!(
+                "P={p}: pipelined search diverged from blocking Fused \
+                 (ll {} vs {}, cycles {} vs {})",
+                piped.best.approx.log_likelihood,
+                out.best.approx.log_likelihood,
+                piped.cycles,
+                out.cycles
+            ));
+        }
+        if p > 1 && piped_exposed_s >= measured_s {
+            return Err(format!(
+                "P={p}: pipelined exposed allreduce time {piped_exposed_s:.6e}s is not \
+                 below the blocking Fused {measured_s:.6e}s — overlap is not happening"
+            ));
+        }
+        overlap.push(OverlapRow { p, fused_exposed_s: measured_s, piped_exposed_s, hidden_s });
         loggp.push(row);
         records.push(RunRecord { p, elapsed: out.elapsed, ranks: out.ranks });
     }
@@ -188,10 +239,16 @@ fn run_series(smoke: bool) -> Result<(Report, Vec<LoggpRow>), String> {
     if !p1_exact {
         return Err("P=1 speedup is not exactly 1.0".to_string());
     }
-    Ok((report, loggp))
+    Ok((report, loggp, overlap))
 }
 
-fn assemble_json(smoke: bool, report: &Report, loggp: &[LoggpRow], deterministic: bool) -> String {
+fn assemble_json(
+    smoke: bool,
+    report: &Report,
+    loggp: &[LoggpRow],
+    overlap: &[OverlapRow],
+    deterministic: bool,
+) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"schema_version\": 1,");
     let _ = writeln!(out, "  \"smoke\": {smoke},");
@@ -202,8 +259,21 @@ fn assemble_json(smoke: bool, report: &Report, loggp: &[LoggpRow], deterministic
     let _ = writeln!(out, "    \"speedup_p1_exact\": true,");
     let _ = writeln!(out, "    \"symmetry_ok\": true,");
     let _ = writeln!(out, "    \"loggp_ok\": true,");
+    let _ = writeln!(out, "    \"overlap_ok\": true,");
+    let _ = writeln!(out, "    \"pipelined_matches_fused\": true,");
     let _ = writeln!(out, "    \"deterministic\": {deterministic}");
     out.push_str("  },\n");
+    out.push_str("  \"overlap_allreduce\": [\n");
+    for (i, r) in overlap.iter().enumerate() {
+        let comma = if i + 1 < overlap.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"p\": {}, \"fused_exposed_s\": {:.9}, \"pipelined_exposed_s\": {:.9}, \
+             \"hidden_s\": {:.9}}}{comma}",
+            r.p, r.fused_exposed_s, r.piped_exposed_s, r.hidden_s
+        );
+    }
+    out.push_str("  ],\n");
     out.push_str("  \"loggp_allreduce\": [\n");
     for (i, r) in loggp.iter().enumerate() {
         let comma = if i + 1 < loggp.len() { "," } else { "" };
@@ -253,7 +323,12 @@ fn check(path: &Path) -> ExitCode {
         "\"speedup_p1_exact\": true",
         "\"symmetry_ok\": true",
         "\"loggp_ok\": true",
+        "\"overlap_ok\": true",
+        "\"pipelined_matches_fused\": true",
         "\"deterministic\": true",
+        "\"overlap_allreduce\"",
+        "\"pipelined_exposed_s\"",
+        "\"hidden_s\"",
         "\"loggp_allreduce\"",
         "\"report\"",
         "\"runs\"",
