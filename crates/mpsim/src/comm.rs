@@ -25,7 +25,8 @@ use std::time::{Duration, Instant};
 use crate::clock::Clock;
 use crate::cost::MachineSpec;
 use crate::error::SimError;
-use crate::payload::{decode_f64s, decode_u64s, encode_f64s, encode_u64s};
+use crate::fault::FaultState;
+use crate::payload::{checksum, decode_f64s, decode_u64s, encode_f64s, encode_u64s, DecodeError};
 use crate::trace::{Event, EventKind, PhaseStats, RankStats};
 use crate::verify::{hash_f64s, CollFingerprint, VerifyState, USER_REPL_COMM, WORLD_COMM};
 
@@ -43,6 +44,12 @@ pub(crate) struct Envelope {
     pub tag: u64,
     /// Sender's virtual time at which the message left the NIC.
     pub depart: f64,
+    /// Sender's per-rank message sequence number (1-based), so integrity
+    /// and failure errors can name the exact message.
+    pub seq: u64,
+    /// FNV-1a checksum of `bytes` as sent; stamped only when a fault plan
+    /// is active, verified on arrival.
+    pub checksum: Option<u64>,
     pub bytes: Vec<u8>,
 }
 
@@ -164,6 +171,12 @@ pub struct Comm {
     events: Option<Vec<Event>>,
     /// Shared verification state; `None` when every check is disabled.
     pub(crate) verify: Option<Arc<VerifyState>>,
+    /// Shared fault-injection state; `None` when no fault plan is active.
+    fault: Option<Arc<FaultState>>,
+    /// `pulled_from[src]`: envelopes this rank has taken off the channel
+    /// from `src` (stashed or matched); compared against the fault layer's
+    /// delivered-send count to prove a wait is for a dropped message.
+    pulled_from: Vec<u64>,
     /// Completion horizon of non-blocking collectives already posted:
     /// later posts may not complete before earlier ones (the wire is
     /// FIFO per endpoint), so each new completion is clamped to at least
@@ -182,6 +195,7 @@ impl Comm {
         recv_timeout: Duration,
         record_events: bool,
         verify: Option<Arc<VerifyState>>,
+        fault: Option<Arc<FaultState>>,
     ) -> Self {
         let size = spec.p;
         Comm {
@@ -202,6 +216,8 @@ impl Comm {
             phase_stack: Vec::new(),
             events: record_events.then(Vec::new),
             verify,
+            fault,
+            pulled_from: vec![0; size],
             nb_horizon: 0.0,
         }
     }
@@ -230,6 +246,7 @@ impl Comm {
     /// clock (see [`crate::cost::ComputeModel::sec_per_op`]), scaled by
     /// this rank's relative speed on heterogeneous machines.
     pub fn work(&mut self, ops: u64) {
+        self.fault_checkpoint();
         let dt = ops as f64 * self.spec.compute.sec_per_op / self.spec.speed(self.rank);
         self.clock.advance_compute(dt);
     }
@@ -300,6 +317,56 @@ impl Comm {
         std::panic::panic_any(AbortPanic(err));
     }
 
+    /// Fault-injection checkpoint: die here when the plan says this rank
+    /// crashes now. Deliberately does *not* set the shared abort flag —
+    /// the peers must detect the failure through the fault records (that
+    /// detection path is the machinery under test), not be torn down by
+    /// the engine.
+    fn fault_checkpoint(&mut self) {
+        let Some(fs) = &self.fault else { return };
+        if let Some(rec) =
+            fs.crash_due(self.rank, self.stats.msgs_sent, self.clock.now(), self.current_phase())
+        {
+            std::panic::panic_any(AbortPanic(SimError::RankCrashed {
+                rank: self.rank,
+                seq: rec.seq,
+                phase: rec.phase,
+            }));
+        }
+    }
+
+    /// Virtual-time timeout and checksum verification for an arriving
+    /// envelope; `arrival` is the virtual time the receiver would have to
+    /// wait until. No-op without an active fault plan.
+    fn integrity_check(&mut self, src: usize, env: &Envelope, arrival: f64) {
+        let Some(fs) = self.fault.clone() else { return };
+        if let Some(limit) = fs.virtual_timeout() {
+            let waited = arrival - self.clock.now();
+            if waited > limit {
+                let phase = self.current_phase().to_string();
+                self.fail(SimError::Timeout {
+                    rank: self.rank,
+                    from: src,
+                    seq: env.seq,
+                    waited,
+                    limit,
+                    phase,
+                });
+            }
+        }
+        if let Some(expected) = env.checksum {
+            let found = checksum(&env.bytes);
+            if found != expected {
+                self.fail(SimError::PayloadCorrupt {
+                    rank: self.rank,
+                    from: src,
+                    seq: env.seq,
+                    cause: DecodeError::ChecksumMismatch { expected, found },
+                });
+            }
+        }
+    }
+
     /// Send `bytes` to `dst` with `tag`. Buffered and non-blocking, like an
     /// `MPI_Send` that always finds buffer space.
     ///
@@ -309,6 +376,7 @@ impl Comm {
     pub fn send_bytes(&mut self, dst: usize, tag: u64, bytes: Vec<u8>) {
         assert!(dst < self.size, "send to rank {dst} but size is {}", self.size);
         self.check_abort();
+        self.fault_checkpoint();
         self.stats.msgs_sent += 1;
         self.stats.bytes_sent += bytes.len() as u64;
         let cur = self.clock.current_phase();
@@ -324,7 +392,42 @@ impl Comm {
                 tag,
             });
         }
-        let env = Envelope { tag, depart: self.clock.now(), bytes };
+        let seq = self.stats.msgs_sent;
+        let mut bytes = bytes;
+        let mut depart = self.clock.now();
+        let mut sum = None;
+        if let Some(fs) = self.fault.clone() {
+            let phase = self.current_phase().to_string();
+            let d = fs.on_send(self.rank, dst, seq, depart, &phase);
+            let clean = checksum(&bytes);
+            sum = Some(clean);
+            depart += d.extra_delay;
+            if let Some(factor) = d.degrade_factor {
+                // Inflate departure by the extra per-byte wire time of the
+                // degraded link; latency and endpoint overhead are as built.
+                let per_byte = self.spec.transit(bytes.len(), self.rank, dst)
+                    - self.spec.transit(0, self.rank, dst);
+                depart += (factor - 1.0) * per_byte;
+            }
+            if let Some((byte, mask)) = d.corrupt {
+                if bytes.is_empty() {
+                    // Nothing to flip: corrupt the checksum instead so the
+                    // fault is still observable on arrival.
+                    sum = Some(clean ^ u64::from(mask));
+                } else {
+                    let i = byte % bytes.len();
+                    bytes[i] ^= mask;
+                }
+            }
+            if d.dropped {
+                // The sender has charged all its costs and believes the
+                // message left; the wire loses it. Never recorded with the
+                // verifier, so the deadlock detector does not count it as
+                // in flight.
+                return;
+            }
+        }
+        let env = Envelope { tag, depart, seq, checksum: sum, bytes };
         // Count the send before the envelope becomes visible, so the
         // deadlock detector can never see a quiescent edge with a message
         // actually in flight.
@@ -360,6 +463,7 @@ impl Comm {
     /// path in [`Comm::wait`].
     fn pull_envelope(&mut self, src: usize, tag: u64) -> Envelope {
         assert!(src < self.size, "recv from rank {src} but size is {}", self.size);
+        self.fault_checkpoint();
         // First consume any stashed message with a matching tag.
         if let Some(pos) = self.stash[src].iter().position(|e| e.tag == tag) {
             // lint:allow(unwrap): the index came from position() on the same deque
@@ -374,6 +478,7 @@ impl Comm {
             self.check_abort();
             match self.inboxes[src].recv_timeout(RECV_SLICE) {
                 Ok(env) => {
+                    self.pulled_from[src] += 1;
                     let matched = env.tag == tag;
                     if let Some(v) = &detect {
                         v.record_pull(self.rank, src, matched);
@@ -384,12 +489,35 @@ impl Comm {
                     self.stash[src].push_back(env);
                 }
                 Err(RecvTimeoutError::Timeout) => {
-                    // A full slice passed with nothing arriving: cheap
-                    // moment to look for a provable deadlock before (long
-                    // before) the wall-clock timeout trips.
-                    if let Some(err) = detect.as_ref().and_then(|v| v.scan_for_deadlock(self.rank))
+                    // A quiet slice: first ask the fault layer whether this
+                    // wait is provably hopeless (peer crashed, or the only
+                    // unaccounted message on the link was dropped) — the
+                    // typed replacement for a hang.
+                    if let Some(err) = self
+                        .fault
+                        .as_ref()
+                        .and_then(|fs| fs.diagnose_wait(self.rank, src, self.pulled_from[src]))
                     {
+                        if let Some(v) = &detect {
+                            v.clear_wait(self.rank);
+                        }
                         self.fail(err);
+                    }
+                    // Then look for a provable deadlock before (long
+                    // before) the wall-clock timeout trips — unless a
+                    // fatal fault is on record. A crash or drop leaves a
+                    // wait-for cycle in its wake (the victim's peers wait
+                    // on each other through the missing message), and
+                    // which rank's poll tick fires first is a wall-clock
+                    // race; standing down keeps the diagnosis typed and
+                    // deterministic, with the recv timeout as backstop.
+                    let fault_pending = self.fault.as_ref().is_some_and(|fs| fs.has_fatal_record());
+                    if !fault_pending {
+                        if let Some(err) =
+                            detect.as_ref().and_then(|v| v.scan_for_deadlock(self.rank))
+                        {
+                            self.fail(err);
+                        }
                     }
                     if Instant::now() >= deadline {
                         if let Some(v) = &detect {
@@ -399,6 +527,15 @@ impl Comm {
                     }
                 }
                 Err(RecvTimeoutError::Disconnected) => {
+                    // The sender's half is gone. If the fault layer knows
+                    // why, report the culprit instead of a bare abort.
+                    if let Some(err) = self
+                        .fault
+                        .as_ref()
+                        .and_then(|fs| fs.diagnose_wait(self.rank, src, self.pulled_from[src]))
+                    {
+                        self.fail(err);
+                    }
                     self.fail(SimError::Aborted { rank: self.rank });
                 }
             }
@@ -409,6 +546,7 @@ impl Comm {
     /// and charge endpoint overhead.
     fn accept(&mut self, src: usize, env: Envelope) -> Vec<u8> {
         let transit = self.spec.transit(env.bytes.len(), src, self.rank);
+        self.integrity_check(src, &env, env.depart + transit);
         self.clock.wait_until(env.depart + transit);
         self.clock.advance_comm(self.spec.network.overhead);
         self.stats.msgs_recvd += 1;
@@ -435,7 +573,15 @@ impl Comm {
 
     /// Typed receive of an `f64` vector.
     pub fn recv_f64s(&mut self, src: usize, tag: u64) -> Vec<f64> {
-        decode_f64s(&self.recv_bytes(src, tag))
+        let env = self.pull_envelope(src, tag);
+        let seq = env.seq;
+        let bytes = self.accept(src, env);
+        match decode_f64s(&bytes) {
+            Ok(v) => v,
+            Err(cause) => {
+                self.fail(SimError::PayloadCorrupt { rank: self.rank, from: src, seq, cause })
+            }
+        }
     }
 
     /// Typed send of a `u64` slice.
@@ -445,7 +591,15 @@ impl Comm {
 
     /// Typed receive of a `u64` vector.
     pub fn recv_u64s(&mut self, src: usize, tag: u64) -> Vec<u64> {
-        decode_u64s(&self.recv_bytes(src, tag))
+        let env = self.pull_envelope(src, tag);
+        let seq = env.seq;
+        let bytes = self.accept(src, env);
+        match decode_u64s(&bytes) {
+            Ok(v) => v,
+            Err(cause) => {
+                self.fail(SimError::PayloadCorrupt { rank: self.rank, from: src, seq, cause })
+            }
+        }
     }
 
     /// Non-blocking send of an `f64` slice. The message departs
@@ -473,6 +627,7 @@ impl Comm {
     pub fn irecv_f64s(&mut self, src: usize, tag: u64) -> Request {
         assert!(src < self.size, "irecv from rank {src} but size is {}", self.size);
         self.check_abort();
+        self.fault_checkpoint();
         self.clock.advance_comm(self.spec.network.overhead);
         let now = self.clock.now();
         Request {
@@ -513,6 +668,7 @@ impl Comm {
                 let transit = self.spec.transit(env.bytes.len(), src, self.rank);
                 let completion = (env.depart + transit).max(req.window_start);
                 req.completion = completion;
+                self.integrity_check(src, &env, completion);
                 self.finish_window(req.window_start, completion);
                 // Count the receive where it completes. Endpoint overhead
                 // was already charged at post, so none is charged here.
@@ -530,7 +686,15 @@ impl Comm {
                         tag: env.tag,
                     });
                 }
-                Some(decode_f64s(&env.bytes))
+                match decode_f64s(&env.bytes) {
+                    Ok(v) => Some(v),
+                    Err(cause) => self.fail(SimError::PayloadCorrupt {
+                        rank: self.rank,
+                        from: src,
+                        seq: env.seq,
+                        cause,
+                    }),
+                }
             }
         }
     }

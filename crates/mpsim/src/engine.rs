@@ -15,6 +15,7 @@ use std::time::Duration;
 use crate::comm::{AbortPanic, Comm, Envelope};
 use crate::cost::MachineSpec;
 use crate::error::SimError;
+use crate::fault::{FaultPlan, FaultState};
 use crate::trace::{RankStats, RunStats};
 use crate::verify::{VerifyOptions, VerifyState};
 
@@ -32,6 +33,12 @@ pub struct SimOptions {
     /// [`crate::verify`]). The default enables only deadlock detection,
     /// which costs nothing until a receive has already stalled.
     pub verify: VerifyOptions,
+    /// Deterministic fault plan to inject into the run (see
+    /// [`crate::fault`]); `None` simulates perfectly reliable hardware.
+    /// Because the plan's fired flags are shared across clones, a
+    /// supervisor can re-run the same options after a recovery without
+    /// one-shot faults recurring.
+    pub fault: Option<FaultPlan>,
 }
 
 impl Default for SimOptions {
@@ -40,6 +47,7 @@ impl Default for SimOptions {
             recv_timeout: Duration::from_secs(120),
             record_events: false,
             verify: VerifyOptions::default(),
+            fault: None,
         }
     }
 }
@@ -97,6 +105,7 @@ where
     let spec = Arc::new(spec.clone());
     let abort = Arc::new(AtomicBool::new(false));
     let verify = opts.verify.any().then(|| Arc::new(VerifyState::new(p, opts.verify.clone())));
+    let fault = opts.fault.as_ref().map(|plan| Arc::new(FaultState::new(plan.clone(), p)));
 
     // Full mesh of unbounded channels: matrix[src][dst].
     let mut senders: Vec<Vec<std::sync::mpsc::Sender<Envelope>>> = Vec::with_capacity(p);
@@ -128,6 +137,7 @@ where
             let recv_timeout = opts.recv_timeout;
             let record_events = opts.record_events;
             let verify = verify.clone();
+            let fault = fault.clone();
             handles.push(scope.spawn(move || {
                 let mut comm = Comm::new(
                     rank,
@@ -138,6 +148,7 @@ where
                     recv_timeout,
                     record_events,
                     verify.clone(),
+                    fault,
                 );
                 let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut comm)));
                 match outcome {
@@ -151,8 +162,16 @@ where
                         Ok((value, comm.stats(), comm.take_events()))
                     }
                     Err(payload) => {
-                        abort.store(true, std::sync::atomic::Ordering::Relaxed);
-                        Err(classify_panic(rank, payload))
+                        let err = classify_panic(rank, payload);
+                        // An injected crash must not tear the other ranks
+                        // down from the outside: turning the silent death
+                        // into a typed error is the failure-detection
+                        // path's job, and the first detector sets the
+                        // abort flag itself.
+                        if !matches!(err, SimError::RankCrashed { .. }) {
+                            abort.store(true, std::sync::atomic::Ordering::Relaxed);
+                        }
+                        Err(err)
                     }
                 }
             }));
@@ -219,6 +238,12 @@ fn severity(e: &SimError) -> u8 {
         SimError::Deadlock { .. } => 3,
         SimError::ReplicationDivergence { .. } => 3,
         SimError::RequestMisuse { .. } => 3,
+        // Root causes of injected faults outrank the errors they cascade
+        // into, so the report always names the culprit.
+        SimError::RankCrashed { .. } => 3,
+        SimError::PayloadCorrupt { .. } => 3,
+        SimError::PeerFailed { .. } => 2,
+        SimError::Timeout { .. } => 2,
         SimError::RecvTimeout { .. } => 2,
         SimError::InvalidMachine(_) => 2,
         SimError::Aborted { .. } => 1,

@@ -2,8 +2,15 @@
 
 use std::fmt;
 
+use crate::fault::FaultKind;
+use crate::payload::DecodeError;
+
 /// Errors surfaced by the SPMD engine or by communication primitives.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Marked `#[non_exhaustive]`: later robustness work will add variants, so
+/// downstream matches must keep a wildcard arm.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 #[allow(missing_docs)] // field names are self-describing
 pub enum SimError {
     /// A rank's user code panicked. The message is the panic payload when
@@ -42,6 +49,28 @@ pub enum SimError {
     /// without waiting panics the rank instead (surfacing as
     /// [`SimError::RankPanicked`]) because `Drop` has no error channel.
     RequestMisuse { rank: usize, detail: String },
+    /// An injected fault (see [`crate::fault::FaultPlan`]) killed this
+    /// rank. `seq` is the rank's send count and `phase` its active phase
+    /// bucket at the moment of death — the coordinates a supervisor needs
+    /// to decide where to resume.
+    RankCrashed { rank: usize, seq: u64, phase: String },
+    /// `rank`'s blocking receive can provably never be satisfied because
+    /// `peer` failed (crashed, or dropped the only message the wait could
+    /// match). `kind`, `seq`, and `phase` are the *culprit's* coordinates
+    /// at the moment its fault fired — this is the typed replacement for a
+    /// hang.
+    PeerFailed { rank: usize, peer: usize, kind: FaultKind, seq: u64, phase: String },
+    /// A message's arrival would have forced the receiver to idle longer
+    /// than the fault plan's virtual-time timeout
+    /// (see [`crate::fault::FaultPlan::with_virtual_timeout`]); `waited`
+    /// is the idle the receiver would have absorbed, `seq` the sender's
+    /// message seq, `phase` the *receiver's* active phase.
+    Timeout { rank: usize, from: usize, seq: u64, waited: f64, limit: f64, phase: String },
+    /// A received payload failed integrity checking: the envelope
+    /// checksum did not match, or decoding found a malformed length.
+    /// `seq` is the sender's message seq; `cause` is the typed decode
+    /// failure, also reachable through [`std::error::Error::source`].
+    PayloadCorrupt { rank: usize, from: usize, seq: u64, cause: DecodeError },
 }
 
 impl fmt::Display for SimError {
@@ -78,15 +107,43 @@ impl fmt::Display for SimError {
             SimError::RequestMisuse { rank, detail } => {
                 write!(f, "non-blocking request misuse on rank {rank}: {detail}")
             }
+            SimError::RankCrashed { rank, seq, phase } => {
+                write!(
+                    f,
+                    "rank {rank} crashed (injected fault) after message #{seq} in phase {phase:?}"
+                )
+            }
+            SimError::PeerFailed { rank, peer, kind, seq, phase } => write!(
+                f,
+                "rank {rank}: peer rank {peer} failed ({kind} at message #{seq} in phase \
+                 {phase:?}); the pending receive can never complete"
+            ),
+            SimError::Timeout { rank, from, seq, waited, limit, phase } => write!(
+                f,
+                "rank {rank}: message #{seq} from rank {from} arrived {waited:.6}s of virtual \
+                 idle late (timeout {limit:.6}s) in phase {phase:?}"
+            ),
+            SimError::PayloadCorrupt { rank, from, seq, cause } => write!(
+                f,
+                "rank {rank}: corrupt payload in message #{seq} from rank {from}: {cause}"
+            ),
         }
     }
 }
 
-impl std::error::Error for SimError {}
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::PayloadCorrupt { cause, .. } => Some(cause),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::error::Error;
 
     #[test]
     fn display_is_informative() {
@@ -103,5 +160,34 @@ mod tests {
     fn errors_compare_by_value() {
         assert_eq!(SimError::Aborted { rank: 2 }, SimError::Aborted { rank: 2 });
         assert_ne!(SimError::Aborted { rank: 2 }, SimError::Aborted { rank: 3 });
+    }
+
+    #[test]
+    fn fault_errors_name_culprit_coordinates() {
+        let e = SimError::PeerFailed {
+            rank: 0,
+            peer: 3,
+            kind: FaultKind::Drop,
+            seq: 17,
+            phase: "allreduce".into(),
+        };
+        let s = e.to_string();
+        assert!(s.contains("rank 3"), "{s}");
+        assert!(s.contains("drop"), "{s}");
+        assert!(s.contains("#17"), "{s}");
+        assert!(s.contains("allreduce"), "{s}");
+    }
+
+    #[test]
+    fn payload_corrupt_chains_its_decode_cause() {
+        let e = SimError::PayloadCorrupt {
+            rank: 1,
+            from: 2,
+            seq: 9,
+            cause: DecodeError::RaggedLength { len: 13 },
+        };
+        let src = e.source().expect("has a source");
+        assert!(src.to_string().contains("13"), "{src}");
+        assert!(e.to_string().contains("#9"), "{}", e);
     }
 }

@@ -40,6 +40,9 @@
 //!   point-to-point, with textbook algorithms
 //! * [`subcomm`] — sub-communicators (`MPI_Comm_split` analogue)
 //! * [`engine`] — the SPMD launcher ([`run_spmd`])
+//! * [`fault`] — deterministic fault injection ([`FaultPlan`]: crashes,
+//!   drops, delays, corruption, degraded links) and receive-side failure
+//!   detection that turns hangs into typed errors naming the culprit
 //! * [`trace`] — per-rank and aggregate statistics, including per-phase
 //!   buckets fed by the [`Comm::enter_phase`] span API
 //! * [`report`] — paper-style tables (per-phase time, speedup, efficiency,
@@ -56,6 +59,7 @@ pub mod comm;
 pub mod cost;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod payload;
 pub mod report;
 pub mod subcomm;
@@ -72,8 +76,10 @@ pub use cost::{
 };
 pub use engine::{run_spmd, run_spmd_default, SimOptions, SpmdOutput};
 pub use error::SimError;
+pub use fault::{FaultAction, FaultKind, FaultPlan, FaultSpec, FaultTrigger};
+pub use payload::DecodeError;
 pub use report::{PhaseRow, Report, RunRecord, RunRow};
 pub use subcomm::SubComm;
 pub use topology::Topology;
-pub use trace::{Event, EventKind, PhaseStats, RankStats, RunStats};
+pub use trace::{Event, EventKind, PhaseStats, RankStats, RunStats, RECOVERY_PHASE};
 pub use verify::{CollFingerprint, CollKind, VerifyOptions};

@@ -3,8 +3,67 @@
 //! Messages on the simulated wire are plain byte vectors, exactly as they
 //! would be with MPI. This module provides the little-endian codecs the
 //! typed `Comm` helpers use. Encoding is infallible; decoding validates
-//! lengths and panics on corruption (a corrupt message inside the simulator
-//! is a bug, not an input error).
+//! lengths and returns a typed [`DecodeError`] on corruption, so an
+//! injected wire fault (see [`crate::fault`]) surfaces as a diagnosable
+//! error naming the offending message instead of a panic.
+
+use std::fmt;
+
+/// Why a received payload could not be decoded. Embedded in
+/// [`crate::SimError::PayloadCorrupt`] and reachable through
+/// [`std::error::Error::source`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeError {
+    /// The payload length is not a multiple of the 8-byte element size.
+    RaggedLength {
+        /// Observed payload length in bytes.
+        len: usize,
+    },
+    /// The payload length does not match the caller's buffer.
+    LengthMismatch {
+        /// Observed payload length in bytes.
+        len: usize,
+        /// Expected payload length in bytes.
+        expected: usize,
+    },
+    /// The envelope checksum does not match the received bytes.
+    ChecksumMismatch {
+        /// Checksum the sender stamped on the envelope.
+        expected: u64,
+        /// Checksum of the bytes as received.
+        found: u64,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::RaggedLength { len } => {
+                write!(f, "payload length {len} is not a multiple of 8")
+            }
+            DecodeError::LengthMismatch { len, expected } => {
+                write!(f, "payload length {len} does not match expected {expected}")
+            }
+            DecodeError::ChecksumMismatch { expected, found } => {
+                write!(f, "checksum mismatch: envelope says {expected:#018x}, bytes hash to {found:#018x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// FNV-1a hash of a byte buffer; the envelope checksum used to detect
+/// in-transit corruption when a fault plan is active.
+pub fn checksum(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
 
 /// Encode a slice of `f64` little-endian.
 pub fn encode_f64s(values: &[f64]) -> Vec<u8> {
@@ -17,32 +76,33 @@ pub fn encode_f64s(values: &[f64]) -> Vec<u8> {
 
 /// Decode a byte buffer produced by [`encode_f64s`].
 ///
-/// # Panics
-/// Panics if the length is not a multiple of 8.
-pub fn decode_f64s(bytes: &[u8]) -> Vec<f64> {
-    assert!(
-        bytes.len().is_multiple_of(8),
-        "f64 payload length {} not a multiple of 8",
-        bytes.len()
-    );
-    bytes
+/// # Errors
+/// [`DecodeError::RaggedLength`] if the length is not a multiple of 8.
+pub fn decode_f64s(bytes: &[u8]) -> Result<Vec<f64>, DecodeError> {
+    if !bytes.len().is_multiple_of(8) {
+        return Err(DecodeError::RaggedLength { len: bytes.len() });
+    }
+    Ok(bytes
         .chunks_exact(8)
         // lint:allow(unwrap): chunks_exact(8) yields 8-byte chunks
         .map(|c| f64::from_le_bytes(c.try_into().expect("chunk is 8 bytes")))
-        .collect()
+        .collect())
 }
 
 /// Decode into an existing buffer (must already have the right length);
 /// avoids an allocation in hot reduction loops.
 ///
-/// # Panics
-/// Panics if `bytes.len() != out.len() * 8`.
-pub fn decode_f64s_into(bytes: &[u8], out: &mut [f64]) {
-    assert_eq!(bytes.len(), out.len() * 8, "payload/buffer length mismatch");
+/// # Errors
+/// [`DecodeError::LengthMismatch`] if `bytes.len() != out.len() * 8`.
+pub fn decode_f64s_into(bytes: &[u8], out: &mut [f64]) -> Result<(), DecodeError> {
+    if bytes.len() != out.len() * 8 {
+        return Err(DecodeError::LengthMismatch { len: bytes.len(), expected: out.len() * 8 });
+    }
     for (c, o) in bytes.chunks_exact(8).zip(out.iter_mut()) {
         // lint:allow(unwrap): chunks_exact(8) yields 8-byte chunks
         *o = f64::from_le_bytes(c.try_into().expect("chunk is 8 bytes"));
     }
+    Ok(())
 }
 
 /// Encode a slice of `u64` little-endian.
@@ -56,19 +116,17 @@ pub fn encode_u64s(values: &[u64]) -> Vec<u8> {
 
 /// Decode a byte buffer produced by [`encode_u64s`].
 ///
-/// # Panics
-/// Panics if the length is not a multiple of 8.
-pub fn decode_u64s(bytes: &[u8]) -> Vec<u64> {
-    assert!(
-        bytes.len().is_multiple_of(8),
-        "u64 payload length {} not a multiple of 8",
-        bytes.len()
-    );
-    bytes
+/// # Errors
+/// [`DecodeError::RaggedLength`] if the length is not a multiple of 8.
+pub fn decode_u64s(bytes: &[u8]) -> Result<Vec<u64>, DecodeError> {
+    if !bytes.len().is_multiple_of(8) {
+        return Err(DecodeError::RaggedLength { len: bytes.len() });
+    }
+    Ok(bytes
         .chunks_exact(8)
         // lint:allow(unwrap): chunks_exact(8) yields 8-byte chunks
         .map(|c| u64::from_le_bytes(c.try_into().expect("chunk is 8 bytes")))
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -78,20 +136,20 @@ mod tests {
     #[test]
     fn f64_round_trip() {
         let v = vec![0.0, -1.5, f64::MAX, f64::MIN_POSITIVE, std::f64::consts::PI];
-        assert_eq!(decode_f64s(&encode_f64s(&v)), v);
+        assert_eq!(decode_f64s(&encode_f64s(&v)).unwrap(), v);
     }
 
     #[test]
     fn f64_round_trip_preserves_nan_bits() {
         let v = [f64::NAN];
-        let back = decode_f64s(&encode_f64s(&v));
+        let back = decode_f64s(&encode_f64s(&v)).unwrap();
         assert!(back[0].is_nan());
     }
 
     #[test]
     fn u64_round_trip() {
         let v = vec![0u64, 1, u64::MAX, 0xDEAD_BEEF];
-        assert_eq!(decode_u64s(&encode_u64s(&v)), v);
+        assert_eq!(decode_u64s(&encode_u64s(&v)).unwrap(), v);
     }
 
     #[test]
@@ -99,19 +157,38 @@ mod tests {
         let v = vec![1.0, 2.0, 3.0];
         let bytes = encode_f64s(&v);
         let mut out = vec![0.0; 3];
-        decode_f64s_into(&bytes, &mut out);
+        decode_f64s_into(&bytes, &mut out).unwrap();
         assert_eq!(out, v);
     }
 
     #[test]
-    #[should_panic(expected = "multiple of 8")]
-    fn ragged_payload_panics() {
-        decode_f64s(&[1, 2, 3]);
+    fn ragged_payload_is_a_typed_error() {
+        assert_eq!(decode_f64s(&[1, 2, 3]), Err(DecodeError::RaggedLength { len: 3 }));
+        assert_eq!(decode_u64s(&[1, 2, 3, 4, 5]), Err(DecodeError::RaggedLength { len: 5 }));
+        let mut out = vec![0.0; 2];
+        assert_eq!(
+            decode_f64s_into(&[0; 8], &mut out),
+            Err(DecodeError::LengthMismatch { len: 8, expected: 16 })
+        );
     }
 
     #[test]
     fn empty_round_trip() {
-        assert!(decode_f64s(&encode_f64s(&[])).is_empty());
-        assert!(decode_u64s(&encode_u64s(&[])).is_empty());
+        assert!(decode_f64s(&encode_f64s(&[])).unwrap().is_empty());
+        assert!(decode_u64s(&encode_u64s(&[])).unwrap().is_empty());
+    }
+
+    #[test]
+    fn checksum_detects_any_single_byte_flip() {
+        let bytes = encode_f64s(&[1.5, -2.25, 1e300]);
+        let sum = checksum(&bytes);
+        for i in 0..bytes.len() {
+            for mask in [1u8, 0x80, 0xFF] {
+                let mut flipped = bytes.clone();
+                flipped[i] ^= mask;
+                assert_ne!(checksum(&flipped), sum, "flip at byte {i} mask {mask:#x}");
+            }
+        }
+        assert_eq!(checksum(&bytes), sum, "checksum is a pure function");
     }
 }

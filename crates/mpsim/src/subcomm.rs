@@ -77,6 +77,22 @@ impl SubComm<'_> {
         self.world
     }
 
+    /// Charge local compute on the member's clock; forwards to
+    /// [`Comm::work`] so group-local algorithms (e.g. a shrunk EM resume
+    /// after a rank failure) read naturally without reaching for
+    /// [`SubComm::world`] on every step.
+    pub fn work(&mut self, ops: u64) {
+        self.world.work(ops);
+    }
+
+    /// Allreduce of a single scalar over the group; the group analogue of
+    /// [`Comm::allreduce_scalar`].
+    pub fn allreduce_scalar(&mut self, value: f64, op: ReduceOp) -> f64 {
+        let mut buf = [value];
+        self.allreduce_f64s(&mut buf, op);
+        buf[0]
+    }
+
     fn next_tag(&mut self) -> u64 {
         self.seq += 1;
         SUB_TAG_BASE | (u64::from(self.color) << 32) | self.seq

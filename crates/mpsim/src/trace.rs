@@ -1,6 +1,12 @@
 //! Per-rank execution statistics, time breakdowns, and optional message
 //! event traces.
 
+/// Conventional phase-bucket name for time spent rebuilding after a
+/// failure (communicator shrink, data repartitioning, state restore).
+/// Supervisors read this bucket back from [`RankStats::phase`] to
+/// quantify the virtual-time cost of a recovery.
+pub const RECOVERY_PHASE: &str = "recovery";
+
 /// What a trace event records.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum EventKind {

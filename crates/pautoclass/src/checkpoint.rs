@@ -1,0 +1,472 @@
+//! Versioned, checksummed snapshots of the EM search state.
+//!
+//! A [`SearchCheckpoint`] captures everything `run_search`'s rank body
+//! needs to resume a search mid-try: the position in the
+//! `start_j_list × tries` schedule, the current try's EM state (class
+//! parameters, previous log likelihood, cycle count), and the
+//! classifications stored so far. Because the parallel search keeps this
+//! state bitwise replicated on every rank, one checkpoint describes the
+//! whole machine — and resuming from it reproduces the unfaulted run's
+//! final classification bit for bit (see `recover.rs`).
+//!
+//! The wire format is deliberately self-contained: a fixed header (magic,
+//! version, payload length, FNV-1a checksum) followed by a flat sequence
+//! of little-endian `u64` words, with every `f64` carried as its raw bit
+//! pattern (`to_bits`/`from_bits` round-trips exactly — no text
+//! round-off). Decoding never panics: truncation, corruption, or a
+//! foreign file surface as a typed [`CheckpointError`].
+
+use autoclass::search::Classification;
+use mpsim::payload::checksum;
+
+/// First eight bytes of every checkpoint file (`b"PACCKPT1"`).
+pub const MAGIC: u64 = u64::from_le_bytes(*b"PACCKPT1");
+/// Current format version. Bumped on any layout change; old versions are
+/// rejected with [`CheckpointError::BadVersion`] rather than misread.
+pub const VERSION: u64 = 1;
+
+/// Header length in bytes: magic, version, payload length, checksum.
+const HEADER_LEN: usize = 32;
+
+/// Why checkpoint bytes could not be decoded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CheckpointError {
+    /// Fewer bytes than the fixed header.
+    TooShort {
+        /// Actual byte count.
+        len: usize,
+    },
+    /// The magic number is wrong — not a checkpoint at all.
+    BadMagic {
+        /// The first eight bytes, read little-endian.
+        found: u64,
+    },
+    /// A checkpoint, but from an incompatible format version.
+    BadVersion {
+        /// The version the header declares.
+        found: u64,
+    },
+    /// The header's payload length disagrees with the bytes present.
+    LengthMismatch {
+        /// Payload bytes actually present.
+        len: usize,
+        /// Payload bytes the header declares.
+        expected: usize,
+    },
+    /// The payload checksum does not match — the bytes were altered.
+    ChecksumMismatch {
+        /// Checksum stored in the header.
+        expected: u64,
+        /// Checksum of the payload as read.
+        found: u64,
+    },
+    /// Structurally invalid payload (a field ran off the end, or an
+    /// enum-like field held an impossible value).
+    Malformed {
+        /// Which field failed to decode.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::TooShort { len } => {
+                write!(f, "checkpoint too short: {len} bytes, header needs {HEADER_LEN}")
+            }
+            CheckpointError::BadMagic { found } => {
+                write!(f, "bad checkpoint magic {found:#018x} (expected {MAGIC:#018x})")
+            }
+            CheckpointError::BadVersion { found } => {
+                write!(f, "unsupported checkpoint version {found} (expected {VERSION})")
+            }
+            CheckpointError::LengthMismatch { len, expected } => {
+                write!(f, "checkpoint payload is {len} bytes but the header declares {expected}")
+            }
+            CheckpointError::ChecksumMismatch { expected, found } => write!(
+                f,
+                "checkpoint checksum mismatch: header says {expected:#018x}, payload hashes to \
+                 {found:#018x}"
+            ),
+            CheckpointError::Malformed { what } => {
+                write!(f, "malformed checkpoint payload: bad {what}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// One stored classification, flattened for the checkpoint payload.
+///
+/// Carries the [`Classification`] fields verbatim, with the class
+/// parameters in their broadcast flat form; rebuilding against the
+/// (replicated, deterministic) `Model` restores the original bit for bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CkptClassification {
+    /// The J the try started with.
+    pub j_initial: usize,
+    /// Final class count (class death may have shrunk J).
+    pub j: usize,
+    /// `[log_likelihood, complete_ll, complete_marginal, cs_score]`.
+    pub approx: [f64; 4],
+    /// Log prior density of the final parameters.
+    pub log_prior: f64,
+    /// EM cycles the try ran.
+    pub cycles: usize,
+    /// Whether the convergence criterion fired.
+    pub converged: bool,
+    /// The try's derived RNG seed.
+    pub seed: u64,
+    /// Flat class parameters (`classes_to_flat` layout).
+    pub classes_flat: Vec<f64>,
+}
+
+impl CkptClassification {
+    /// Flatten a stored classification for the payload.
+    pub fn from_classification(c: &Classification) -> Self {
+        CkptClassification {
+            j_initial: c.j_initial,
+            j: c.classes.len(),
+            approx: [
+                c.approx.log_likelihood,
+                c.approx.complete_ll,
+                c.approx.complete_marginal,
+                c.approx.cs_score,
+            ],
+            log_prior: c.log_prior,
+            cycles: c.cycles,
+            converged: c.converged,
+            seed: c.seed,
+            classes_flat: autoclass::model::classes_to_flat(&c.classes),
+        }
+    }
+
+    /// Rebuild the full classification against the model (replicated on
+    /// every rank, so the restore is identical machine-wide).
+    pub fn to_classification(&self, model: &autoclass::model::Model) -> Classification {
+        Classification {
+            classes: autoclass::model::classes_from_flat(model, self.j, &self.classes_flat),
+            j_initial: self.j_initial,
+            approx: autoclass::model::Approximation {
+                log_likelihood: self.approx[0],
+                complete_ll: self.approx[1],
+                complete_marginal: self.approx[2],
+                cs_score: self.approx[3],
+            },
+            log_prior: self.log_prior,
+            cycles: self.cycles,
+            converged: self.converged,
+            seed: self.seed,
+        }
+    }
+}
+
+/// A resumable snapshot of the parallel search, taken at an EM cycle
+/// boundary (every state below is bitwise replicated across ranks there).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchCheckpoint {
+    /// Index into `start_j_list` of the try in progress.
+    pub ji: usize,
+    /// Restart index within that J.
+    pub try_idx: usize,
+    /// EM cycles the current try has completed.
+    pub cycle: usize,
+    /// Current class count (after any class death).
+    pub j_current: usize,
+    /// The current try's derived RNG seed. Recomputable from the search
+    /// config, but stored so a checkpoint is self-describing.
+    pub seed: u64,
+    /// Previous cycle's log likelihood (the convergence reference;
+    /// `-inf` right after init or class death).
+    pub prev_ll: f64,
+    /// `[log_likelihood, complete_ll, complete_marginal, cs_score]` of the
+    /// last completed cycle.
+    pub approx: [f64; 4],
+    /// EM cycles completed by earlier (finished) tries.
+    pub total_cycles: usize,
+    /// Current class parameters, flat (`classes_to_flat` layout).
+    pub classes_flat: Vec<f64>,
+    /// Classifications stored by finished tries, flattened.
+    pub best: Vec<CkptClassification>,
+}
+
+impl SearchCheckpoint {
+    /// Serialize to the versioned, checksummed wire format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut payload = Vec::new();
+        put_u64(&mut payload, self.ji as u64);
+        put_u64(&mut payload, self.try_idx as u64);
+        put_u64(&mut payload, self.cycle as u64);
+        put_u64(&mut payload, self.j_current as u64);
+        put_u64(&mut payload, self.seed);
+        put_f64(&mut payload, self.prev_ll);
+        for v in self.approx {
+            put_f64(&mut payload, v);
+        }
+        put_u64(&mut payload, self.total_cycles as u64);
+        put_f64s(&mut payload, &self.classes_flat);
+        put_u64(&mut payload, self.best.len() as u64);
+        for b in &self.best {
+            put_u64(&mut payload, b.j_initial as u64);
+            put_u64(&mut payload, b.j as u64);
+            for v in b.approx {
+                put_f64(&mut payload, v);
+            }
+            put_f64(&mut payload, b.log_prior);
+            put_u64(&mut payload, b.cycles as u64);
+            put_u64(&mut payload, u64::from(b.converged));
+            put_u64(&mut payload, b.seed);
+            put_f64s(&mut payload, &b.classes_flat);
+        }
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        put_u64(&mut out, MAGIC);
+        put_u64(&mut out, VERSION);
+        put_u64(&mut out, payload.len() as u64);
+        put_u64(&mut out, checksum(&payload));
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Decode and validate checkpoint bytes.
+    ///
+    /// # Errors
+    /// Every way the bytes can be wrong is a distinct [`CheckpointError`];
+    /// no input, however mangled, panics.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        if bytes.len() < HEADER_LEN {
+            return Err(CheckpointError::TooShort { len: bytes.len() });
+        }
+        let mut r = Reader { bytes, pos: 0 };
+        let magic = r.u64("magic")?;
+        if magic != MAGIC {
+            return Err(CheckpointError::BadMagic { found: magic });
+        }
+        let version = r.u64("version")?;
+        if version != VERSION {
+            return Err(CheckpointError::BadVersion { found: version });
+        }
+        let declared = r.u64("payload length")? as usize;
+        let sum = r.u64("checksum")?;
+        let payload = &bytes[HEADER_LEN..];
+        if payload.len() != declared {
+            return Err(CheckpointError::LengthMismatch { len: payload.len(), expected: declared });
+        }
+        let found = checksum(payload);
+        if found != sum {
+            return Err(CheckpointError::ChecksumMismatch { expected: sum, found });
+        }
+        let mut r = Reader { bytes: payload, pos: 0 };
+        let ji = r.u64("ji")? as usize;
+        let try_idx = r.u64("try index")? as usize;
+        let cycle = r.u64("cycle")? as usize;
+        let j_current = r.u64("class count")? as usize;
+        let seed = r.u64("seed")?;
+        let prev_ll = r.f64("prev_ll")?;
+        let mut approx = [0.0; 4];
+        for v in &mut approx {
+            *v = r.f64("approximation")?;
+        }
+        let total_cycles = r.u64("total cycles")? as usize;
+        let classes_flat = r.f64s("class parameters")?;
+        let n_best = r.u64("stored count")? as usize;
+        let mut best = Vec::new();
+        for _ in 0..n_best {
+            let j_initial = r.u64("stored j_initial")? as usize;
+            let j = r.u64("stored class count")? as usize;
+            let mut approx = [0.0; 4];
+            for v in &mut approx {
+                *v = r.f64("stored approximation")?;
+            }
+            let log_prior = r.f64("stored log prior")?;
+            let cycles = r.u64("stored cycles")? as usize;
+            let converged = match r.u64("stored converged flag")? {
+                0 => false,
+                1 => true,
+                _ => return Err(CheckpointError::Malformed { what: "stored converged flag" }),
+            };
+            let seed = r.u64("stored seed")?;
+            let classes_flat = r.f64s("stored class parameters")?;
+            best.push(CkptClassification {
+                j_initial,
+                j,
+                approx,
+                log_prior,
+                cycles,
+                converged,
+                seed,
+                classes_flat,
+            });
+        }
+        if r.pos != payload.len() {
+            return Err(CheckpointError::Malformed { what: "trailing bytes" });
+        }
+        Ok(SearchCheckpoint {
+            ji,
+            try_idx,
+            cycle,
+            j_current,
+            seed,
+            prev_ll,
+            approx,
+            total_cycles,
+            classes_flat,
+            best,
+        })
+    }
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+fn put_f64s(out: &mut Vec<u8>, vs: &[f64]) {
+    put_u64(out, vs.len() as u64);
+    for &v in vs {
+        put_f64(out, v);
+    }
+}
+
+/// Bounds-checked little-endian word reader; overruns become
+/// [`CheckpointError::Malformed`] naming the field.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Reader<'_> {
+    fn u64(&mut self, what: &'static str) -> Result<u64, CheckpointError> {
+        let end = self.pos.checked_add(8).filter(|&e| e <= self.bytes.len());
+        let Some(end) = end else {
+            return Err(CheckpointError::Malformed { what });
+        };
+        let mut w = [0u8; 8];
+        w.copy_from_slice(&self.bytes[self.pos..end]);
+        self.pos = end;
+        Ok(u64::from_le_bytes(w))
+    }
+
+    fn f64(&mut self, what: &'static str) -> Result<f64, CheckpointError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    fn f64s(&mut self, what: &'static str) -> Result<Vec<f64>, CheckpointError> {
+        let n = self.u64(what)? as usize;
+        // A corrupt length that slipped past the checksum must not drive a
+        // huge allocation; the remaining bytes bound the element count.
+        if n > (self.bytes.len() - self.pos) / 8 {
+            return Err(CheckpointError::Malformed { what });
+        }
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            out.push(self.f64(what)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SearchCheckpoint {
+        SearchCheckpoint {
+            ji: 1,
+            try_idx: 2,
+            cycle: 7,
+            j_current: 3,
+            seed: 0xDEAD_BEEF,
+            prev_ll: -1234.5678,
+            approx: [-1200.0, -1300.0, -1350.5, -1400.25],
+            total_cycles: 19,
+            classes_flat: vec![1.5, -2.5, f64::NEG_INFINITY, 0.0, 3.25e-300],
+            best: vec![CkptClassification {
+                j_initial: 4,
+                j: 3,
+                approx: [-1.0, -2.0, -3.0, -4.0],
+                log_prior: -55.5,
+                cycles: 12,
+                converged: true,
+                seed: 42,
+                classes_flat: vec![0.125, 7.75],
+            }],
+        }
+    }
+
+    #[test]
+    fn round_trips_bit_exactly() {
+        let ck = sample();
+        let bytes = ck.to_bytes();
+        let back = SearchCheckpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(back, ck);
+        // Special values survive as bit patterns, not text.
+        assert_eq!(back.classes_flat[2].to_bits(), f64::NEG_INFINITY.to_bits());
+    }
+
+    #[test]
+    fn truncation_is_typed() {
+        let bytes = sample().to_bytes();
+        assert_eq!(
+            SearchCheckpoint::from_bytes(&bytes[..HEADER_LEN - 1]),
+            Err(CheckpointError::TooShort { len: HEADER_LEN - 1 })
+        );
+        // Cut inside the payload: the declared length no longer matches.
+        let cut = &bytes[..bytes.len() - 9];
+        assert!(matches!(
+            SearchCheckpoint::from_bytes(cut),
+            Err(CheckpointError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn any_payload_byte_flip_is_a_checksum_error() {
+        let bytes = sample().to_bytes();
+        for pos in HEADER_LEN..bytes.len() {
+            let mut bad = bytes.clone();
+            bad[pos] ^= 0x40;
+            assert!(
+                matches!(
+                    SearchCheckpoint::from_bytes(&bad),
+                    Err(CheckpointError::ChecksumMismatch { .. })
+                ),
+                "flip at {pos} not caught"
+            );
+        }
+    }
+
+    #[test]
+    fn foreign_bytes_are_rejected_by_magic_and_version() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            SearchCheckpoint::from_bytes(&bytes),
+            Err(CheckpointError::BadMagic { .. })
+        ));
+        let mut bytes = sample().to_bytes();
+        bytes[8] = 99;
+        assert_eq!(
+            SearchCheckpoint::from_bytes(&bytes),
+            Err(CheckpointError::BadVersion { found: 99 })
+        );
+        assert!(matches!(
+            SearchCheckpoint::from_bytes(&[0u8; 4]),
+            Err(CheckpointError::TooShort { len: 4 })
+        ));
+    }
+
+    #[test]
+    fn errors_display_their_coordinates() {
+        let e = CheckpointError::ChecksumMismatch { expected: 1, found: 2 };
+        let s = e.to_string();
+        assert!(s.contains("checksum"), "{s}");
+        assert!(
+            CheckpointError::Malformed { what: "seed" }.to_string().contains("seed"),
+            "field name missing"
+        );
+    }
+}

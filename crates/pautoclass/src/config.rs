@@ -78,6 +78,51 @@ impl Partitioning {
     }
 }
 
+/// What the fault-tolerant supervisor does when a run dies with a
+/// recoverable engine fault (a crashed rank, a dropped or corrupted
+/// message, a receive timeout).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RecoveryPolicy {
+    /// Propagate the typed error to the caller; the diagnosis (culprit
+    /// rank, sequence number, fault kind) is the product.
+    Abort,
+    /// Re-run on the full machine from the latest checkpoint (from
+    /// scratch if none was taken yet). The final classification is
+    /// bitwise identical to an unfaulted run: the checkpoint restores
+    /// replicated state exactly and the EM search is deterministic.
+    RestartFromCheckpoint,
+    /// Exclude the culprit rank, rebuild a (P−1)-rank communicator via
+    /// `Comm::split`, repartition the data over the survivors, and resume
+    /// from the latest checkpoint. Completes on degraded hardware; the
+    /// rebuild cost is reported under the `"recovery"` phase bucket.
+    ShrinkAndRedistribute,
+}
+
+/// Checkpoint/restart configuration for [`crate::run_search_ft`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FtConfig {
+    /// Take a checkpoint every this many EM cycles (0 disables
+    /// checkpointing; a restart then replays from scratch).
+    pub checkpoint_every: usize,
+    /// What to do when a run dies with a recoverable fault.
+    pub policy: RecoveryPolicy,
+    /// How many failed runs the supervisor will recover from before
+    /// giving up and returning the error (guards against a fault that
+    /// recurs on every attempt).
+    pub max_restarts: usize,
+}
+
+impl Default for FtConfig {
+    fn default() -> Self {
+        FtConfig {
+            checkpoint_every: 4,
+            policy: RecoveryPolicy::RestartFromCheckpoint,
+            max_restarts: 1,
+        }
+    }
+}
+
 /// Full configuration of a parallel search.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParallelConfig {

@@ -2,13 +2,18 @@
 
 use mpsim::SimError;
 
+use crate::checkpoint::CheckpointError;
+
 /// Why a parallel run could not produce an outcome.
 ///
-/// Wraps the engine's [`SimError`] (rank panics, deadlocks, verifier
-/// divergences — each carrying rank/sequence diagnostics) and adds the
-/// driver-level failure modes that previously `expect`ed their way into a
-/// panic inside the library.
+/// Wraps the engine's [`SimError`] (rank panics, deadlocks, injected
+/// faults, verifier divergences — each carrying rank/sequence
+/// diagnostics) and adds the driver-level failure modes that previously
+/// `expect`ed their way into a panic inside the library. Marked
+/// `#[non_exhaustive]`: future failure modes (like the checkpoint
+/// variant added for fault tolerance) must not break downstream matches.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum RunError {
     /// The SPMD engine reported a failure; see the wrapped error for the
     /// offending rank and collective sequence number.
@@ -16,6 +21,9 @@ pub enum RunError {
     /// The search finished without storing any classification — an empty
     /// `start_j_list` or a configuration that discarded every try.
     EmptySearch,
+    /// A checkpoint could not be decoded (truncated, corrupted, or from
+    /// an incompatible version), so the requested recovery is impossible.
+    Checkpoint(CheckpointError),
 }
 
 impl std::fmt::Display for RunError {
@@ -25,6 +33,7 @@ impl std::fmt::Display for RunError {
             RunError::EmptySearch => {
                 write!(f, "search produced no classification (empty start_j_list?)")
             }
+            RunError::Checkpoint(e) => write!(f, "cannot resume from checkpoint: {e}"),
         }
     }
 }
@@ -34,6 +43,7 @@ impl std::error::Error for RunError {
         match self {
             RunError::Sim(e) => Some(e),
             RunError::EmptySearch => None,
+            RunError::Checkpoint(e) => Some(e),
         }
     }
 }
@@ -41,6 +51,12 @@ impl std::error::Error for RunError {
 impl From<SimError> for RunError {
     fn from(e: SimError) -> Self {
         RunError::Sim(e)
+    }
+}
+
+impl From<CheckpointError> for RunError {
+    fn from(e: CheckpointError) -> Self {
+        RunError::Checkpoint(e)
     }
 }
 
@@ -54,5 +70,13 @@ mod tests {
         assert!(e.to_string().contains("simulated run failed"));
         assert!(std::error::Error::source(&e).is_some());
         assert!(RunError::EmptySearch.to_string().contains("no classification"));
+    }
+
+    #[test]
+    fn checkpoint_errors_chain_their_cause() {
+        let e = RunError::from(CheckpointError::BadVersion { found: 9 });
+        assert!(e.to_string().contains("cannot resume"), "{e}");
+        let src = std::error::Error::source(&e).map(ToString::to_string);
+        assert!(src.is_some_and(|s| s.contains("version 9")), "source must be the decode error");
     }
 }

@@ -32,11 +32,15 @@
 
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod config;
 pub mod driver;
 pub mod error;
+pub mod recover;
 pub mod run;
 
-pub use config::{Exchange, ParallelConfig, Partitioning, Strategy};
+pub use checkpoint::{CheckpointError, CkptClassification, SearchCheckpoint};
+pub use config::{Exchange, FtConfig, ParallelConfig, Partitioning, RecoveryPolicy, Strategy};
 pub use error::RunError;
+pub use recover::{run_search_ft, FtOutcome};
 pub use run::{run_fixed_j, run_search, run_search_with, CycleTiming, ParallelOutcome};

@@ -1,0 +1,512 @@
+//! Fault-tolerant search: checkpointing, failure handling, and the
+//! recovery policies.
+//!
+//! [`run_search_ft`] wraps the parallel search in a supervisor loop. The
+//! rank body snapshots its (bitwise replicated) state into a
+//! [`SearchCheckpoint`] every `k` EM cycles; when the engine dies with a
+//! recoverable fault — a crashed rank, a dropped or corrupted message, a
+//! receive timeout (see `mpsim::fault`) — the supervisor applies the
+//! configured [`RecoveryPolicy`]:
+//!
+//! * [`RecoveryPolicy::Abort`] — return the typed error; the diagnosis
+//!   (culprit rank, sequence number, fault kind) is the product.
+//! * [`RecoveryPolicy::RestartFromCheckpoint`] — re-run on the full
+//!   machine from the latest checkpoint. One-shot faults in a
+//!   [`mpsim::FaultPlan`] stay spent across re-runs, and the EM search is
+//!   deterministic, so the final classification is **bitwise identical**
+//!   to an unfaulted run's.
+//! * [`RecoveryPolicy::ShrinkAndRedistribute`] — exclude the culprit
+//!   rank, rebuild a (P−1)-rank communicator with `Comm::split`,
+//!   repartition the data over the survivors, and resume from the
+//!   checkpoint. The rebuild cost is measured under the `"recovery"`
+//!   phase bucket and reported as [`FtOutcome::recovery_time`].
+
+use std::sync::Mutex;
+
+use autoclass::data::{block_partition, DataView, Dataset, GlobalStats};
+use autoclass::model::{
+    classes_from_flat_into, classes_to_flat, converged, derive_seed, evaluate, init_classes,
+    log_param_prior, stats_to_classes_into, update_wts_into, Approximation, ClassParams,
+    CycleWorkspace, Model,
+};
+use autoclass::search::{apply_class_death, is_duplicate, Classification};
+use mpsim::{run_spmd, Comm, MachineSpec, ReduceOp, SimError, SimOptions, SubComm, RECOVERY_PHASE};
+
+use crate::checkpoint::{CkptClassification, SearchCheckpoint};
+use crate::config::{FtConfig, ParallelConfig, RecoveryPolicy};
+use crate::driver::{build_model, init_classes_parallel, parallel_base_cycle};
+use crate::error::RunError;
+use crate::run::{outcome_from, ParallelOutcome};
+
+/// Result of a fault-tolerant search, wrapping the ordinary
+/// [`ParallelOutcome`] with the supervisor's recovery record.
+#[derive(Debug, Clone)]
+pub struct FtOutcome {
+    /// The search result (rank 0's — identical on every surviving rank).
+    pub outcome: ParallelOutcome,
+    /// Engine runs launched, including the successful one (1 = no fault).
+    pub attempts: usize,
+    /// The typed fault each failed attempt died with, in order.
+    pub faults: Vec<SimError>,
+    /// Whether the final attempt ran on a shrunken communicator.
+    pub shrunk: bool,
+    /// Ranks that computed the final result (`P`, or `P − 1` after a
+    /// shrink).
+    pub survivors: usize,
+    /// Virtual seconds the survivors spent rebuilding (communicator
+    /// shrink, repartitioning, model and state restore): the maximum
+    /// `"recovery"` phase-bucket total over ranks. Zero when no shrink
+    /// happened.
+    pub recovery_time: f64,
+}
+
+/// Run the parallel search with checkpoint/restart supervision.
+///
+/// Behaves exactly like [`crate::run_search_with`] when no fault fires
+/// (the checkpoints add virtual time but change no numbers). See the
+/// module docs for what happens when one does.
+///
+/// # Errors
+/// Non-recoverable engine errors (program bugs, verifier divergences),
+/// recoverable faults under [`RecoveryPolicy::Abort`] or past
+/// `max_restarts`, undecodable checkpoints, and empty searches.
+pub fn run_search_ft(
+    data: &Dataset,
+    machine: &MachineSpec,
+    config: &ParallelConfig,
+    ft: &FtConfig,
+    opts: &SimOptions,
+) -> Result<FtOutcome, RunError> {
+    let store: Mutex<Option<Vec<u8>>> = Mutex::new(None);
+    let mut faults: Vec<SimError> = Vec::new();
+    let mut excluded: Option<usize> = None;
+    let mut attempts = 0usize;
+    loop {
+        attempts += 1;
+        let resume = {
+            // lint:allow(unwrap): mutex poisoning only follows another panic
+            let guard = store.lock().expect("checkpoint store lock");
+            match guard.as_deref() {
+                Some(bytes) => Some(SearchCheckpoint::from_bytes(bytes)?),
+                None => None,
+            }
+        };
+        let resume = resume.as_ref();
+        let result = run_spmd(machine, opts, |comm| match excluded {
+            Some(culprit) => shrunk_rank_body(comm, data, config, ft, culprit, resume, &store),
+            None => Some(ft_rank_body(comm, data, config, ft, resume, &store)),
+        });
+        match result {
+            Ok(out) => {
+                let recovery_time = out
+                    .ranks
+                    .iter()
+                    .filter_map(|r| r.phase(RECOVERY_PHASE))
+                    .map(|ph| ph.total())
+                    .fold(0.0, f64::max);
+                let elapsed = out.elapsed;
+                let (ranks, stats) = (out.ranks, out.stats);
+                let Some((all, cycles)) = out.per_rank.into_iter().flatten().next() else {
+                    return Err(RunError::EmptySearch);
+                };
+                let outcome = outcome_from(all, cycles, elapsed, ranks, stats)?;
+                return Ok(FtOutcome {
+                    outcome,
+                    attempts,
+                    faults,
+                    shrunk: excluded.is_some(),
+                    survivors: machine.p - usize::from(excluded.is_some()),
+                    recovery_time,
+                });
+            }
+            Err(e) => {
+                // Only injected-fault errors are recoverable; anything
+                // else (a genuine bug, a verifier divergence) propagates.
+                let Some(culprit) = fault_culprit(&e) else {
+                    return Err(e.into());
+                };
+                faults.push(e.clone());
+                if matches!(ft.policy, RecoveryPolicy::Abort) || faults.len() > ft.max_restarts {
+                    return Err(e.into());
+                }
+                if matches!(ft.policy, RecoveryPolicy::ShrinkAndRedistribute) {
+                    if machine.p < 2 || excluded.is_some_and(|r| r != culprit) {
+                        // Can't drop below one rank, and excluding a
+                        // second distinct rank would need nested shrink
+                        // levels this supervisor doesn't implement.
+                        return Err(e.into());
+                    }
+                    excluded = Some(culprit);
+                }
+            }
+        }
+    }
+}
+
+/// The rank to blame for a recoverable engine fault: the crashed rank,
+/// the peer whose message went missing, or the sender of a late or
+/// corrupted payload. `None` marks the error non-recoverable.
+fn fault_culprit(e: &SimError) -> Option<usize> {
+    match e {
+        SimError::RankCrashed { rank, .. } => Some(*rank),
+        SimError::PeerFailed { peer, .. } => Some(*peer),
+        SimError::Timeout { from, .. } => Some(*from),
+        SimError::PayloadCorrupt { from, .. } => Some(*from),
+        _ => None,
+    }
+}
+
+fn approx_to(a: Approximation) -> [f64; 4] {
+    [a.log_likelihood, a.complete_ll, a.complete_marginal, a.cs_score]
+}
+
+fn approx_from(v: [f64; 4]) -> Approximation {
+    Approximation {
+        log_likelihood: v[0],
+        complete_ll: v[1],
+        complete_marginal: v[2],
+        cs_score: v[3],
+    }
+}
+
+/// Serialize the (replicated) search state, charge the serialization cost
+/// in virtual time on every rank under the `"checkpoint"` phase, and
+/// publish rank 0's copy to the supervisor's store.
+fn publish_checkpoint(comm: &mut Comm, ck: &SearchCheckpoint, store: &Mutex<Option<Vec<u8>>>) {
+    let bytes = ck.to_bytes();
+    comm.enter_phase("checkpoint");
+    comm.work(bytes.len() as u64);
+    comm.exit_phase();
+    if comm.rank() == 0 {
+        // lint:allow(unwrap): mutex poisoning only follows another panic
+        *store.lock().expect("checkpoint store lock") = Some(bytes);
+    }
+}
+
+/// The fault-tolerant variant of the search rank body: identical EM
+/// schedule and numbers, plus checkpoint publication every
+/// `ft.checkpoint_every` cycles and the ability to resume mid-try from a
+/// decoded checkpoint.
+fn ft_rank_body(
+    comm: &mut Comm,
+    data: &Dataset,
+    config: &ParallelConfig,
+    ft: &FtConfig,
+    resume: Option<&SearchCheckpoint>,
+    store: &Mutex<Option<Vec<u8>>>,
+) -> (Vec<Classification>, usize) {
+    comm.enter_phase("search");
+    let parts = config.partition.ranges(data.len(), comm.size());
+    let part = &parts[comm.rank()];
+    let view = data.view(part.start, part.end);
+    let model = build_model(comm, &view, &config.correlated_blocks);
+    let sc = &config.search;
+
+    // Results of tries that finished before the checkpoint restore
+    // exactly (flat parameters are carried as raw bit patterns).
+    let mut all: Vec<Classification> = resume
+        .map(|ck| ck.best.iter().map(|b| b.to_classification(&model)).collect())
+        .unwrap_or_default();
+    let mut total_cycles = resume.map_or(0, |ck| ck.total_cycles);
+    let mut ws = CycleWorkspace::new();
+
+    for (ji, &j) in sc.start_j_list.iter().enumerate() {
+        for t in 0..sc.tries_per_j {
+            if resume.is_some_and(|ck| (ji, t) < (ck.ji, ck.try_idx)) {
+                continue; // finished before the checkpoint; already in `all`
+            }
+            let resumed = resume.filter(|ck| (ji, t) == (ck.ji, ck.try_idx));
+            let seed = derive_seed(sc.seed, (ji * sc.tries_per_j + t) as u64);
+            let mut classes = Vec::new();
+            let mut prev_ll = f64::NEG_INFINITY;
+            let mut cycles = 0usize;
+            let mut approx = approx_from([f64::NEG_INFINITY; 4]);
+            match resumed {
+                Some(ck) => {
+                    classes_from_flat_into(&model, ck.j_current, &ck.classes_flat, &mut classes);
+                    prev_ll = ck.prev_ll;
+                    cycles = ck.cycle;
+                    approx = approx_from(ck.approx);
+                }
+                None => init_classes_parallel(comm, &model, &view, j, seed, &mut classes),
+            }
+            let mut did_converge = false;
+            let mut since_ckpt = 0usize;
+            while cycles < sc.max_cycles {
+                if ft.checkpoint_every > 0 && since_ckpt >= ft.checkpoint_every {
+                    let ck = SearchCheckpoint {
+                        ji,
+                        try_idx: t,
+                        cycle: cycles,
+                        j_current: classes.len(),
+                        seed,
+                        prev_ll,
+                        approx: approx_to(approx),
+                        total_cycles,
+                        classes_flat: classes_to_flat(&classes),
+                        best: all.iter().map(CkptClassification::from_classification).collect(),
+                    };
+                    publish_checkpoint(comm, &ck, store);
+                    since_ckpt = 0;
+                }
+                let a = parallel_base_cycle(
+                    comm,
+                    &model,
+                    &view,
+                    &mut classes,
+                    &mut ws,
+                    config.strategy,
+                );
+                approx = a;
+                cycles += 1;
+                since_ckpt += 1;
+                if apply_class_death(&mut classes, sc.min_class_weight) {
+                    prev_ll = f64::NEG_INFINITY;
+                    continue;
+                }
+                if converged(prev_ll, a.log_likelihood, sc.rel_delta_ll) {
+                    did_converge = true;
+                    break;
+                }
+                prev_ll = a.log_likelihood;
+            }
+            total_cycles += cycles;
+            classes.sort_by(|a, b| b.weight.total_cmp(&a.weight));
+            let log_prior = log_param_prior(&model, &classes);
+            let c = Classification {
+                classes,
+                j_initial: j,
+                approx,
+                log_prior,
+                cycles,
+                converged: did_converge,
+                seed,
+            };
+            if !all.iter().any(|existing| is_duplicate(existing, &c)) {
+                all.push(c);
+            }
+        }
+    }
+    all.sort_by(|a, b| b.score().total_cmp(&a.score()));
+    all.truncate(sc.max_stored);
+    comm.exit_phase();
+    (all, total_cycles)
+}
+
+/// The post-shrink rank body: the culprit rank secedes, the survivors
+/// rebuild a (P−1)-rank sub-communicator, repartition the data, restore
+/// the checkpointed state, and finish the search with sub-communicator
+/// collectives. Returns `None` on the excluded rank.
+fn shrunk_rank_body(
+    comm: &mut Comm,
+    data: &Dataset,
+    config: &ParallelConfig,
+    ft: &FtConfig,
+    culprit: usize,
+    resume: Option<&SearchCheckpoint>,
+    store: &Mutex<Option<Vec<u8>>>,
+) -> Option<(Vec<Classification>, usize)> {
+    // Everything up to the resumed EM — communicator shrink, data
+    // repartitioning, model rebuild, state restore — is recovery cost.
+    comm.enter_phase(RECOVERY_PHASE);
+    let excluded = comm.rank() == culprit;
+    let mut sub = comm.split(u32::from(excluded));
+    if excluded {
+        // The suspect rank leaves the computation entirely.
+        sub.world().exit_phase();
+        return None;
+    }
+    let parts = block_partition(data.len(), sub.size());
+    let part = &parts[sub.rank()];
+    let view = data.view(part.start, part.end);
+    let model = sub_build_model(&mut sub, &view, &config.correlated_blocks);
+    let sc = &config.search;
+    let mut all: Vec<Classification> = resume
+        .map(|ck| ck.best.iter().map(|b| b.to_classification(&model)).collect())
+        .unwrap_or_default();
+    let mut total_cycles = resume.map_or(0, |ck| ck.total_cycles);
+    sub.world().exit_phase();
+
+    sub.world().enter_phase("search");
+    let mut ws = CycleWorkspace::new();
+    for (ji, &j) in sc.start_j_list.iter().enumerate() {
+        for t in 0..sc.tries_per_j {
+            if resume.is_some_and(|ck| (ji, t) < (ck.ji, ck.try_idx)) {
+                continue;
+            }
+            let resumed = resume.filter(|ck| (ji, t) == (ck.ji, ck.try_idx));
+            let seed = derive_seed(sc.seed, (ji * sc.tries_per_j + t) as u64);
+            let mut classes = Vec::new();
+            let mut prev_ll = f64::NEG_INFINITY;
+            let mut cycles = 0usize;
+            let mut approx = approx_from([f64::NEG_INFINITY; 4]);
+            match resumed {
+                Some(ck) => {
+                    // The class parameters were checkpointed in their flat
+                    // broadcast form; rebuilding them against the
+                    // survivors' model restores the crashed run's state.
+                    classes_from_flat_into(&model, ck.j_current, &ck.classes_flat, &mut classes);
+                    prev_ll = ck.prev_ll;
+                    cycles = ck.cycle;
+                    approx = approx_from(ck.approx);
+                }
+                None => sub_init_classes(&mut sub, &model, &view, j, seed, &mut classes),
+            }
+            let mut did_converge = false;
+            let mut since_ckpt = 0usize;
+            while cycles < sc.max_cycles {
+                if ft.checkpoint_every > 0 && since_ckpt >= ft.checkpoint_every {
+                    let ck = SearchCheckpoint {
+                        ji,
+                        try_idx: t,
+                        cycle: cycles,
+                        j_current: classes.len(),
+                        seed,
+                        prev_ll,
+                        approx: approx_to(approx),
+                        total_cycles,
+                        classes_flat: classes_to_flat(&classes),
+                        best: all.iter().map(CkptClassification::from_classification).collect(),
+                    };
+                    sub_publish_checkpoint(&mut sub, &ck, store);
+                    since_ckpt = 0;
+                }
+                let a = sub_base_cycle(&mut sub, &model, &view, &mut classes, &mut ws);
+                approx = a;
+                cycles += 1;
+                since_ckpt += 1;
+                if apply_class_death(&mut classes, sc.min_class_weight) {
+                    prev_ll = f64::NEG_INFINITY;
+                    continue;
+                }
+                if converged(prev_ll, a.log_likelihood, sc.rel_delta_ll) {
+                    did_converge = true;
+                    break;
+                }
+                prev_ll = a.log_likelihood;
+            }
+            total_cycles += cycles;
+            classes.sort_by(|a, b| b.weight.total_cmp(&a.weight));
+            let log_prior = log_param_prior(&model, &classes);
+            let c = Classification {
+                classes,
+                j_initial: j,
+                approx,
+                log_prior,
+                cycles,
+                converged: did_converge,
+                seed,
+            };
+            if !all.iter().any(|existing| is_duplicate(existing, &c)) {
+                all.push(c);
+            }
+        }
+    }
+    all.sort_by(|a, b| b.score().total_cmp(&a.score()));
+    all.truncate(sc.max_stored);
+    sub.world().exit_phase();
+    Some((all, total_cycles))
+}
+
+/// [`build_model`] over the survivors' sub-communicator: local statistics
+/// on the new partition, combined with a sub-allreduce, so every survivor
+/// derives the identical model.
+fn sub_build_model(
+    sub: &mut SubComm<'_>,
+    view: &DataView<'_>,
+    correlated_blocks: &[Vec<usize>],
+) -> Model {
+    let local = GlobalStats::compute(view);
+    sub.work((view.len() * view.schema().len()) as u64);
+    let mut flat = local.to_flat();
+    sub.allreduce_f64s(&mut flat, ReduceOp::Sum);
+    let global = GlobalStats::from_flat(&local, &flat);
+    if correlated_blocks.is_empty() {
+        Model::new(view.schema().clone(), &global)
+    } else {
+        Model::with_correlated(view.schema().clone(), &global, correlated_blocks)
+    }
+}
+
+/// [`init_classes_parallel`] over the sub-communicator: the lowest
+/// surviving rank seeds and broadcasts.
+fn sub_init_classes(
+    sub: &mut SubComm<'_>,
+    model: &Model,
+    view: &DataView<'_>,
+    j: usize,
+    seed: u64,
+    classes: &mut Vec<ClassParams>,
+) {
+    let flat_len = model.class_param_len() * j;
+    let mut flat = if sub.rank() == 0 {
+        let init = init_classes(model, view, j, seed);
+        classes_to_flat(&init)
+    } else {
+        vec![0.0; flat_len]
+    };
+    sub.broadcast_f64s(0, &mut flat);
+    classes_from_flat_into(model, j, &flat, classes);
+}
+
+/// [`publish_checkpoint`] over the sub-communicator: the lowest surviving
+/// rank publishes.
+fn sub_publish_checkpoint(
+    sub: &mut SubComm<'_>,
+    ck: &SearchCheckpoint,
+    store: &Mutex<Option<Vec<u8>>>,
+) {
+    let bytes = ck.to_bytes();
+    sub.work(bytes.len() as u64);
+    if sub.rank() == 0 {
+        // lint:allow(unwrap): mutex poisoning only follows another panic
+        *store.lock().expect("checkpoint store lock") = Some(bytes);
+    }
+}
+
+/// One EM cycle over the sub-communicator, in the fused-exchange shape:
+/// E-step, one w_j sub-allreduce, statistics accumulation, one combined
+/// statistics + scalars sub-allreduce, parameter derivation, evaluation.
+/// The compact blocking form is fine here: this path only runs after a
+/// failure, and correctness (every survivor bitwise identical) is what
+/// matters, not overlap.
+fn sub_base_cycle(
+    sub: &mut SubComm<'_>,
+    model: &Model,
+    view: &DataView<'_>,
+    classes: &mut Vec<ClassParams>,
+    ws: &mut CycleWorkspace,
+) -> Approximation {
+    let j = classes.len();
+    ws.reset_stats(model, j);
+    let CycleWorkspace { wts, estep, stats, .. } = ws;
+    let Some(stats) = stats else { unreachable!("reset_stats installs the statistics buffer") };
+
+    let e = update_wts_into(model, view, classes, wts, estep);
+    sub.work(e.ops);
+    sub.allreduce_f64s(&mut estep.class_weight_sums, ReduceOp::Sum);
+
+    let ops = stats.accumulate(model, view, wts);
+    sub.work(ops);
+    // As in the world-communicator Fused exchange: the class-weight slots
+    // already traveled on the w_j wire, so zero them out, and the two
+    // cycle scalars piggyback on the end of the statistics message.
+    for c in 0..j {
+        stats.data[stats.layout.weight_index(c)] = 0.0;
+    }
+    stats.data.push(e.log_likelihood);
+    stats.data.push(e.complete_ll);
+    sub.allreduce_f64s(&mut stats.data, ReduceOp::Sum);
+    // lint:allow(unwrap): the two scalars were pushed above
+    let complete_ll = stats.data.pop().expect("piggybacked scalar");
+    // lint:allow(unwrap): the two scalars were pushed above
+    let log_likelihood = stats.data.pop().expect("piggybacked scalar");
+    for (c, &w) in estep.class_weight_sums.iter().enumerate() {
+        stats.data[stats.layout.weight_index(c)] = w;
+    }
+    let mops = stats_to_classes_into(model, stats, classes);
+    sub.work(mops);
+    let approx = evaluate(model, stats, log_likelihood, complete_ll);
+    sub.work((j * stats.layout.stride) as u64);
+    approx
+}

@@ -146,17 +146,24 @@ pub fn run_search_with(
         // error keeps the library free of panic paths.
         return Err(RunError::EmptySearch);
     };
+    outcome_from(all, cycles, out.elapsed, out.ranks, out.stats)
+}
+
+/// Assemble a [`ParallelOutcome`] from one rank's search result and the
+/// run's statistics. Shared with the fault-tolerant supervisor
+/// ([`crate::run_search_ft`]), whose surviving ranks produce the same
+/// `(classifications, cycles)` pair.
+pub(crate) fn outcome_from(
+    all: Vec<Classification>,
+    cycles: usize,
+    elapsed: f64,
+    ranks: Vec<RankStats>,
+    stats: RunStats,
+) -> Result<ParallelOutcome, RunError> {
     let Some(best) = all.first().cloned() else {
         return Err(RunError::EmptySearch);
     };
-    Ok(ParallelOutcome {
-        best,
-        all,
-        elapsed: out.elapsed,
-        ranks: out.ranks,
-        stats: out.stats,
-        cycles,
-    })
+    Ok(ParallelOutcome { best, all, elapsed, ranks, stats, cycles })
 }
 
 /// Timing of a fixed-J cycling run (the paper's scaleup measurement:

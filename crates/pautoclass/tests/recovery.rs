@@ -1,0 +1,267 @@
+//! Checkpoint/restart and recovery-policy tests: the fault-tolerant
+//! supervisor must turn every injected fault into either a bit-identical
+//! recovered result or a typed error naming the culprit — never a hang,
+//! never a panic, never silently different numbers.
+
+use std::time::Duration;
+
+use autoclass::model::classes_to_flat;
+use autoclass::search::SearchConfig;
+use mpsim::{presets, FaultAction, FaultPlan, FaultSpec, FaultTrigger, SimError, SimOptions};
+use pautoclass::{
+    run_search_ft, run_search_with, Exchange, FtConfig, ParallelConfig, ParallelOutcome,
+    RecoveryPolicy, RunError, SearchCheckpoint, Strategy,
+};
+use proptest::prelude::*;
+
+fn config(seed: u64) -> ParallelConfig {
+    ParallelConfig {
+        search: SearchConfig::quick(vec![3], seed),
+        strategy: Strategy::Full { exchange: Exchange::Fused },
+        ..ParallelConfig::default()
+    }
+}
+
+fn ft(policy: RecoveryPolicy) -> FtConfig {
+    FtConfig { checkpoint_every: 4, policy, max_restarts: 1 }
+}
+
+fn opts_with(plan: FaultPlan) -> SimOptions {
+    SimOptions { recv_timeout: Duration::from_secs(20), fault: Some(plan), ..SimOptions::default() }
+}
+
+fn crash(rank: usize, seq: u64) -> FaultPlan {
+    FaultPlan::new(vec![FaultSpec {
+        rank,
+        action: FaultAction::Crash,
+        trigger: FaultTrigger::AtSendSeq(seq),
+    }])
+}
+
+/// The best classification's score and parameters as raw bit patterns —
+/// the strictest possible "same result" comparison.
+fn result_bits(o: &ParallelOutcome) -> (u64, Vec<u64>) {
+    let flat = classes_to_flat(&o.best.classes);
+    (o.best.score().to_bits(), flat.iter().map(|v| v.to_bits()).collect())
+}
+
+#[test]
+fn unfaulted_ft_run_matches_the_plain_search_bit_for_bit() {
+    let data = datagen::paper_dataset(240, 7);
+    let machine = presets::meiko_cs2(4);
+    let cfg = config(11);
+    let plain = run_search_with(&data, &machine, &cfg, &SimOptions::default()).unwrap();
+    let ftc = ft(RecoveryPolicy::RestartFromCheckpoint);
+    let out = run_search_ft(&data, &machine, &cfg, &ftc, &SimOptions::default()).unwrap();
+    assert_eq!(out.attempts, 1);
+    assert!(out.faults.is_empty());
+    assert!(!out.shrunk);
+    assert_eq!(out.survivors, 4);
+    assert_eq!(
+        result_bits(&out.outcome),
+        result_bits(&plain),
+        "checkpoints must not change numbers"
+    );
+    assert_eq!(out.outcome.cycles, plain.cycles);
+    // ...but they do cost virtual time (the serialized bytes are charged
+    // as work on every rank).
+    assert!(out.outcome.elapsed >= plain.elapsed, "checkpoint work should not be free");
+}
+
+#[test]
+fn crash_restart_recovers_bit_identically() {
+    let data = datagen::paper_dataset(240, 7);
+    let machine = presets::meiko_cs2(4);
+    let cfg = config(11);
+    let ftc = ft(RecoveryPolicy::RestartFromCheckpoint);
+    let baseline = run_search_ft(&data, &machine, &cfg, &ftc, &SimOptions::default()).unwrap();
+
+    let out = run_search_ft(&data, &machine, &cfg, &ftc, &opts_with(crash(1, 12))).unwrap();
+    assert_eq!(out.attempts, 2, "one failed run plus the recovery");
+    assert_eq!(out.faults.len(), 1);
+    assert!(
+        matches!(
+            &out.faults[0],
+            SimError::RankCrashed { rank: 1, .. } | SimError::PeerFailed { peer: 1, .. }
+        ),
+        "fault must name rank 1: {}",
+        out.faults[0]
+    );
+    assert!(!out.shrunk);
+    assert_eq!(
+        result_bits(&out.outcome),
+        result_bits(&baseline.outcome),
+        "recovery must be bit-identical"
+    );
+    assert_eq!(out.outcome.cycles, baseline.outcome.cycles);
+}
+
+#[test]
+fn corruption_restart_recovers_bit_identically() {
+    let data = datagen::paper_dataset(240, 7);
+    let machine = presets::meiko_cs2(4);
+    let cfg = config(11);
+    let ftc = ft(RecoveryPolicy::RestartFromCheckpoint);
+    let baseline = run_search_ft(&data, &machine, &cfg, &ftc, &SimOptions::default()).unwrap();
+
+    let plan = FaultPlan::new(vec![FaultSpec {
+        rank: 1,
+        action: FaultAction::Corrupt { dst: 0, byte: 5, mask: 0x20 },
+        trigger: FaultTrigger::AtSendSeq(8),
+    }]);
+    let out = run_search_ft(&data, &machine, &cfg, &ftc, &opts_with(plan)).unwrap();
+    assert_eq!(out.attempts, 2);
+    assert!(
+        matches!(&out.faults[0], SimError::PayloadCorrupt { from: 1, .. }),
+        "fault must name the corrupting sender: {}",
+        out.faults[0]
+    );
+    assert_eq!(result_bits(&out.outcome), result_bits(&baseline.outcome));
+}
+
+#[test]
+fn abort_policy_surfaces_the_typed_culprit() {
+    let data = datagen::paper_dataset(240, 7);
+    let machine = presets::meiko_cs2(4);
+    let cfg = config(11);
+    let ftc = ft(RecoveryPolicy::Abort);
+    let err = run_search_ft(&data, &machine, &cfg, &ftc, &opts_with(crash(1, 12))).unwrap_err();
+    match err {
+        RunError::Sim(SimError::RankCrashed { rank, seq, .. }) => {
+            assert_eq!(rank, 1);
+            assert!(seq <= 12, "crash at or before its trigger seq, got {seq}");
+        }
+        other => panic!("expected the crash diagnosis, got {other}"),
+    }
+}
+
+#[test]
+fn shrink_completes_on_the_survivors_and_reports_the_cost() {
+    let data = datagen::paper_dataset(240, 7);
+    let machine = presets::meiko_cs2(4);
+    let cfg = config(11);
+    let ftc = ft(RecoveryPolicy::ShrinkAndRedistribute);
+    let out = run_search_ft(&data, &machine, &cfg, &ftc, &opts_with(crash(1, 12))).unwrap();
+    assert_eq!(out.attempts, 2);
+    assert!(out.shrunk);
+    assert_eq!(out.survivors, 3, "P-1 ranks must finish the search");
+    assert!(out.recovery_time > 0.0, "rebuild cost must land in the recovery bucket");
+    assert!(out.outcome.best.n_classes() >= 2, "the degraded run still classifies");
+    // The excluded rank does no searching: its elapsed time stops at the
+    // communicator split, strictly before the survivors'.
+    let excluded = &out.outcome.ranks[1];
+    let max_elapsed = out.outcome.ranks.iter().map(|r| r.elapsed).fold(0.0, f64::max);
+    assert!(excluded.elapsed < max_elapsed, "culprit must leave the computation");
+}
+
+#[test]
+fn restart_without_any_checkpoint_replays_from_scratch() {
+    let data = datagen::paper_dataset(240, 7);
+    let machine = presets::meiko_cs2(4);
+    let cfg = config(11);
+    // checkpoint_every = 0 disables snapshots entirely.
+    let ftc = FtConfig {
+        checkpoint_every: 0,
+        policy: RecoveryPolicy::RestartFromCheckpoint,
+        max_restarts: 1,
+    };
+    let baseline = run_search_ft(&data, &machine, &cfg, &ftc, &SimOptions::default()).unwrap();
+    let out = run_search_ft(&data, &machine, &cfg, &ftc, &opts_with(crash(2, 9))).unwrap();
+    assert_eq!(out.attempts, 2);
+    assert_eq!(result_bits(&out.outcome), result_bits(&baseline.outcome));
+}
+
+#[test]
+fn a_recurring_fault_exhausts_the_restart_budget() {
+    let data = datagen::paper_dataset(240, 7);
+    let machine = presets::meiko_cs2(4);
+    let cfg = config(11);
+    let ftc = ft(RecoveryPolicy::RestartFromCheckpoint);
+    // Two independent crashes. Rank 2 dies at send 5 — before the first
+    // checkpoint — so attempt 1 fails and the restart replays from
+    // scratch; rank 1's crash at send 12 then fires on attempt 2,
+    // exhausting the budget, and must surface as the final error.
+    let plan = FaultPlan::new(vec![
+        FaultSpec { rank: 2, action: FaultAction::Crash, trigger: FaultTrigger::AtSendSeq(5) },
+        FaultSpec { rank: 1, action: FaultAction::Crash, trigger: FaultTrigger::AtSendSeq(12) },
+    ]);
+    let err = run_search_ft(&data, &machine, &cfg, &ftc, &opts_with(plan)).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            RunError::Sim(
+                SimError::RankCrashed { .. }
+                    | SimError::PeerFailed { .. }
+                    | SimError::Timeout { .. }
+            )
+        ),
+        "budget exhaustion must return the typed fault, got {err}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    // Satellite: checkpoint round-trips are exact for any shape the
+    // search can produce (any schedule position, any parameter bits).
+    #[test]
+    fn checkpoint_round_trip_is_bit_exact(
+        ji in 0usize..5,
+        try_idx in 0usize..4,
+        cycle in 0usize..200,
+        seed in 0u64..u64::MAX,
+        raw in prop::collection::vec(0u64..1_000_000_000, 1..60),
+    ) {
+        let classes_flat: Vec<f64> =
+            raw.iter().map(|&v| (v as f64) * 0.125e-3 - 40_000.0).collect();
+        let ck = SearchCheckpoint {
+            ji,
+            try_idx,
+            cycle,
+            j_current: 1 + classes_flat.len() % 7,
+            seed,
+            prev_ll: if cycle == 0 { f64::NEG_INFINITY } else { -(cycle as f64) * 13.5 },
+            approx: [-1.0e4, -1.1e4, -1.2e4, -1.3e4],
+            total_cycles: cycle * 3,
+            classes_flat,
+            best: Vec::new(),
+        };
+        let back = SearchCheckpoint::from_bytes(&ck.to_bytes()).unwrap();
+        prop_assert_eq!(back, ck);
+    }
+
+    // Satellite: no truncation or byte flip may panic the decoder, and
+    // every one must be rejected with a typed error.
+    #[test]
+    fn mangled_checkpoints_are_typed_errors_never_panics(
+        cut in 0usize..1_000,
+        pos in 0usize..1_000,
+        mask in 1u64..256,
+    ) {
+        let ck = SearchCheckpoint {
+            ji: 2,
+            try_idx: 0,
+            cycle: 9,
+            j_current: 3,
+            seed: 77,
+            prev_ll: -512.25,
+            approx: [-1.0, -2.0, -3.0, -4.0],
+            total_cycles: 21,
+            classes_flat: vec![0.5; 30],
+            best: Vec::new(),
+        };
+        let bytes = ck.to_bytes();
+        let cut = cut % bytes.len();
+        prop_assert!(
+            SearchCheckpoint::from_bytes(&bytes[..cut]).is_err(),
+            "truncation to {cut} bytes must be rejected"
+        );
+        let mut flipped = bytes.clone();
+        let pos = pos % bytes.len();
+        flipped[pos] ^= mask as u8;
+        prop_assert!(
+            SearchCheckpoint::from_bytes(&flipped).is_err(),
+            "byte flip at {pos} must be rejected"
+        );
+    }
+}

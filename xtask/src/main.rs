@@ -8,6 +8,10 @@
 //! * `report` — reproduce the paper's evaluation tables (per-phase time,
 //!   speedup, efficiency, critical path) from verified runs at a series of
 //!   processor counts. See the `report` module docs for flags and gates.
+//! * `faultmatrix` — the robustness acceptance sweep: every injected fault
+//!   kind × recovery policy × processor count must either recover
+//!   bit-identically or surface a typed error naming the correct culprit.
+//!   See the `faultmatrix` module docs for flags and gates.
 //!
 //! # Rules
 //!
@@ -34,11 +38,19 @@
 //!    post non-blocking operations instead. The deliberately fine-grained
 //!    `Exchange::PerTerm` ablation baseline is waived with
 //!    `// lint:allow(blocking-collective): why`.
+//! 5. **recv-unwrap** — no `.unwrap()` / `.expect(` on receive/wait
+//!    results in `mpsim` / `pautoclass` library code. With fault injection
+//!    in the tree, a lost, late, or corrupt message is an *expected*
+//!    `Err`; unwrapping it turns a diagnosable typed failure into a rank
+//!    panic that tears down the whole simulated machine. Propagate the
+//!    `SimError` (or waive a genuine invariant with
+//!    `// lint:allow(recv-unwrap): why`).
 //!
 //! Test code (`#[cfg(test)]` modules, `tests/`, `benches/`) is exempt from
 //! all rules.
 
 mod bench;
+mod faultmatrix;
 mod report;
 
 use std::fs;
@@ -51,10 +63,12 @@ fn main() -> ExitCode {
         Some("lint") => lint(),
         Some("bench") => bench::bench(&args[1..]),
         Some("report") => report::report(&args[1..]),
+        Some("faultmatrix") => faultmatrix::faultmatrix(&args[1..]),
         _ => {
             eprintln!(
                 "usage: cargo xtask lint | bench [--smoke] [--out PATH] [--check PATH] \
-                 | report [--smoke] [--out DIR] [--check PATH]"
+                 | report [--smoke] [--out DIR] [--check PATH] \
+                 | faultmatrix [--smoke] [--out DIR] [--check PATH]"
             );
             ExitCode::FAILURE
         }
@@ -158,6 +172,15 @@ fn unwrap_scoped(file: &Path) -> bool {
     !s.contains("/src/bin/") && !s.ends_with("main.rs")
 }
 
+/// Does the recv-unwrap rule apply? The simulator and the parallel rank
+/// bodies — the code that handles messages which fault injection can
+/// legitimately lose, delay, or corrupt.
+fn recv_unwrap_scoped(root: &Path, file: &Path) -> bool {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    let rel = rel.to_string_lossy();
+    rel.starts_with("crates/mpsim/src") || rel.starts_with("crates/pautoclass/src")
+}
+
 /// Does the float-eq rule apply? Model/estimation code only.
 fn float_eq_scoped(root: &Path, file: &Path) -> bool {
     let rel = file.strip_prefix(root).unwrap_or(file);
@@ -184,6 +207,7 @@ fn is_loop_header(code: &str) -> bool {
 fn check_file(root: &Path, file: &Path, text: &str, out: &mut Vec<Violation>) {
     let wall_clock = wall_clock_scoped(root, file);
     let no_unwrap = unwrap_scoped(file);
+    let recv_unwrap = recv_unwrap_scoped(root, file);
     let float_eq = float_eq_scoped(root, file);
     let blocking_collective = blocking_collective_scoped(root, file);
 
@@ -270,6 +294,22 @@ fn check_file(root: &Path, file: &Path, text: &str, out: &mut Vec<Violation>) {
                     });
                 }
             }
+        }
+
+        if recv_unwrap
+            && !waived("lint:allow(recv-unwrap)")
+            && (code.contains(".unwrap()") || code.contains(".expect("))
+            && (code.contains("recv") || code.contains("wait"))
+        {
+            out.push(Violation {
+                file: file.to_path_buf(),
+                line: line_no,
+                rule: "recv-unwrap",
+                message: "unwrapping a receive/wait result: injected faults make this a \
+                          legitimate Err — propagate the SimError or waive with \
+                          `// lint:allow(recv-unwrap): why`"
+                    .to_string(),
+            });
         }
 
         if float_eq && !waived("lint:allow(float-eq)") {
@@ -440,6 +480,43 @@ mod tests {
         let mut v = Vec::new();
         check_file(Path::new("/r"), Path::new("/r/crates/pautoclass/src/driver.rs"), src, &mut v);
         assert!(v.is_empty());
+    }
+
+    #[test]
+    fn recv_unwraps_are_flagged_in_simulator_code() {
+        let src = "fn a(rx: Receiver<u8>) -> u8 {\n\
+                       let v = rx.recv().unwrap();\n\
+                       let w = handle.wait().expect(\"done\");\n\
+                       v + w\n\
+                   }\n";
+        let mut v = Vec::new();
+        check_file(Path::new("/r"), Path::new("/r/crates/mpsim/src/comm.rs"), src, &mut v);
+        let recv: Vec<usize> =
+            v.iter().filter(|x| x.rule == "recv-unwrap").map(|x| x.line).collect();
+        assert_eq!(recv, vec![2, 3], "both receive-result unwraps flagged");
+        // Out of scope: the sequential crate handles no messages.
+        v.clear();
+        check_file(Path::new("/r"), Path::new("/r/crates/autoclass/src/model.rs"), src, &mut v);
+        assert!(v.iter().all(|x| x.rule != "recv-unwrap"));
+    }
+
+    #[test]
+    fn recv_unwrap_needs_a_receive_token_and_respects_waivers() {
+        // A plain unwrap is the generic unwrap rule's business, not this
+        // rule's: no receive or wait in sight.
+        let src = "fn a(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let mut v = Vec::new();
+        check_file(Path::new("/r"), Path::new("/r/crates/mpsim/src/engine.rs"), src, &mut v);
+        assert!(v.iter().all(|x| x.rule != "recv-unwrap"));
+        assert_eq!(v.len(), 1, "still caught by the unwrap rule");
+        // A waived receive unwrap is silent.
+        let src = "fn a(rx: Receiver<u8>) -> u8 {\n\
+                       // lint:allow(recv-unwrap): lint:allow(unwrap): sender outlives us\n\
+                       rx.recv().unwrap()\n\
+                   }\n";
+        v.clear();
+        check_file(Path::new("/r"), Path::new("/r/crates/mpsim/src/engine.rs"), src, &mut v);
+        assert!(v.iter().all(|x| x.rule != "recv-unwrap"));
     }
 
     #[test]
