@@ -22,7 +22,7 @@
 //! replay the same plan without the fault recurring. A degraded link is
 //! persistent once triggered: it models broken hardware, not a transient.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -260,7 +260,7 @@ pub(crate) struct FaultState {
     /// peer can never observe the death without its explanation.
     failed: Mutex<Vec<Option<FailureRecord>>>,
     /// First dropped message per (src, dst) link.
-    dropped: Mutex<HashMap<(usize, usize), FailureRecord>>,
+    dropped: Mutex<BTreeMap<(usize, usize), FailureRecord>>,
     /// `sent_ok[src*p + dst]`: envelopes actually enqueued on the link
     /// (drops excluded); compared against the receiver's pull count to
     /// prove a wait can only be for the dropped message.
@@ -275,7 +275,7 @@ impl FaultState {
             plan,
             p,
             failed: Mutex::new(vec![None; p]),
-            dropped: Mutex::new(HashMap::new()),
+            dropped: Mutex::new(BTreeMap::new()),
             sent_ok: (0..p * p).map(|_| AtomicU64::new(0)).collect(),
             degrade: (0..p * p).map(|_| AtomicU64::new(0)).collect(),
         }

@@ -39,7 +39,7 @@
 //! none of them can ever be woken: that is a proof of deadlock, not a
 //! timeout heuristic.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 
@@ -190,7 +190,7 @@ struct Slot<T> {
 }
 
 /// A registry of first-poster claims, keyed by `(communicator, sequence)`.
-type SlotRegistry<T> = Mutex<HashMap<(u64, u64), Slot<T>>>;
+type SlotRegistry<T> = Mutex<BTreeMap<(u64, u64), Slot<T>>>;
 
 /// Shared verification state for one SPMD run.
 pub(crate) struct VerifyState {
@@ -218,8 +218,8 @@ impl VerifyState {
             sent: (0..p).map(|_| (0..p).map(|_| AtomicU64::new(0)).collect()).collect(),
             done: (0..p).map(|_| AtomicBool::new(false)).collect(),
             table: Mutex::new(WaitTable { waits: vec![None; p], pulled: vec![vec![0; p]; p] }),
-            fingerprints: Mutex::new(HashMap::new()),
-            hashes: Mutex::new(HashMap::new()),
+            fingerprints: Mutex::new(BTreeMap::new()),
+            hashes: Mutex::new(BTreeMap::new()),
         }
     }
 
@@ -400,7 +400,7 @@ impl VerifyState {
 /// the reference, later posters are compared against it by `check`, and the
 /// slot is garbage-collected once all expected ranks have posted.
 fn post<T: Clone, F>(
-    reg: &mut HashMap<(u64, u64), Slot<T>>,
+    reg: &mut BTreeMap<(u64, u64), Slot<T>>,
     rank: usize,
     comm: u64,
     seq: u64,

@@ -319,6 +319,10 @@ fn shrunk_rank_body(
     let parts = block_partition(data.len(), sub.size());
     let part = &parts[sub.rank()];
     let view = data.view(part.start, part.end);
+    // Survivors-only by design: the excluded rank has already left and
+    // every collective below runs on the shrunk communicator `sub`,
+    // whose membership is exactly the ranks that took this path.
+    // lint:allow(collective-divergence): survivors-only recovery on the shrunk communicator
     let model = sub_build_model(&mut sub, &view, &config.correlated_blocks);
     let sc = &config.search;
     let mut all: Vec<Classification> = resume

@@ -1,0 +1,8 @@
+//! Known-bad: a blocking collective paid once per loop iteration.
+//! Never compiled — parsed by the spmdlint corpus tests only.
+
+pub fn per_iteration(comm: &mut Comm, buf: &mut [f64]) {
+    for _ in 0..10 {
+        comm.allreduce_f64s(buf);
+    }
+}

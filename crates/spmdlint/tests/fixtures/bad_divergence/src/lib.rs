@@ -1,0 +1,43 @@
+//! Known-bad: every form of collective divergence the analyzer catches.
+//! Never compiled — parsed by the spmdlint corpus tests only.
+
+/// Direct: a collective under a rank-gated branch.
+pub fn gated_barrier(comm: &mut Comm) {
+    if comm.rank() == 0 {
+        comm.barrier();
+    }
+}
+
+/// Post-dominator: a rank-dependent early return leaves the rest of the
+/// function running on a rank-dependent subset.
+pub fn early_exit(comm: &mut Comm) {
+    if comm.rank() == 3 {
+        return;
+    }
+    comm.barrier();
+}
+
+/// Via-call: the gated branch reaches a collective through a helper.
+fn helper(comm: &mut Comm) {
+    let mut x = [0.0];
+    comm.allreduce_f64s(&mut x);
+}
+
+pub fn gated_call(comm: &mut Comm) {
+    if comm.rank() % 2 == 0 {
+        helper(comm);
+    }
+}
+
+/// Divergent parameter: `flag` steers control flow around a collective,
+/// so passing a rank-variant argument there is itself a divergence.
+fn maybe_sync(comm: &mut Comm, flag: bool) {
+    if flag {
+        comm.barrier();
+    }
+}
+
+pub fn tainted_argument(comm: &mut Comm) {
+    let leader = comm.rank() == 0;
+    maybe_sync(comm, leader);
+}

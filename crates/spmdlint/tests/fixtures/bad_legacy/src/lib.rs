@@ -1,0 +1,23 @@
+//! Known-bad: the migrated legacy hygiene rules.
+//! Never compiled — parsed by the spmdlint corpus tests only.
+
+/// wall-clock: real time in simulated code.
+pub fn timestamp() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+/// unwrap in library code.
+pub fn take(x: Option<u64>) -> u64 {
+    x.unwrap()
+}
+
+/// float-eq: exact comparison against a float literal.
+pub fn converged(delta: f64) -> bool {
+    delta == 0.0
+}
+
+/// recv-unwrap: unwrapping a receive result.
+pub fn drain(comm: &mut Comm, buf: &mut [f64]) {
+    comm.recv_f64s(0, buf).unwrap();
+}

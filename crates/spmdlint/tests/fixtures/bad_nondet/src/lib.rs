@@ -1,0 +1,15 @@
+//! Known-bad: nondeterminism sources in simulator-core code.
+//! Never compiled — parsed by the spmdlint corpus tests only.
+
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub struct Registry {
+    slots: HashMap<u64, f64>,
+    seen: HashSet<u64>,
+}
+
+pub fn unseeded() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen()
+}

@@ -1,0 +1,19 @@
+//! Known-bad: rank-variant payload shapes at collective call sites.
+//! Never compiled — parsed by the spmdlint corpus tests only.
+
+/// A rank-variant `vec!` length.
+pub fn variant_vec(comm: &mut Comm) {
+    let mine = vec![0.0; comm.rank() + 1];
+    comm.allgather_f64s(&mine);
+}
+
+/// A slice whose width is rank-variant (one tainted bound).
+pub fn variant_slice(comm: &mut Comm, data: &mut [f64]) {
+    let r = comm.rank();
+    comm.allreduce_f64s(&mut data[..r]);
+}
+
+/// `rank()` in a root/count argument slot.
+pub fn variant_root(comm: &mut Comm, buf: &mut [f64]) {
+    comm.broadcast_f64s(comm.rank(), buf);
+}

@@ -1,0 +1,29 @@
+//! Known-bad: enter_phase/exit_phase imbalance.
+//! Never compiled — parsed by the spmdlint corpus tests only.
+
+/// Still open at function end.
+pub fn left_open(comm: &mut Comm) {
+    comm.enter_phase("estep");
+    comm.barrier();
+}
+
+/// Branch arms leave different phase depths.
+pub fn arm_imbalance(comm: &mut Comm, flag: bool) {
+    comm.enter_phase("estep");
+    if flag {
+        comm.exit_phase();
+    }
+    comm.barrier();
+}
+
+/// Exit with no phase open on this path.
+pub fn exit_unopened(comm: &mut Comm) {
+    comm.exit_phase();
+}
+
+/// A loop iteration that does not balance.
+pub fn loop_imbalance(comm: &mut Comm) {
+    for _ in 0..3 {
+        comm.enter_phase("mstep");
+    }
+}

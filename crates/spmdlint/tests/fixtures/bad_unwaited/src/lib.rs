@@ -1,0 +1,33 @@
+//! Known-bad: requests posted but not (always) waited.
+//! Never compiled — parsed by the spmdlint corpus tests only.
+
+/// Dropped: the returned handle is never even bound.
+pub fn dropped(comm: &mut Comm, buf: &mut [f64]) {
+    comm.iallreduce_f64s(buf);
+    comm.barrier();
+}
+
+/// An early return leaves the handle pending on one path.
+pub fn early_return(comm: &mut Comm, buf: &mut [f64], skip: bool) -> usize {
+    let req = comm.iallreduce_f64s(buf);
+    if skip {
+        return 0;
+    }
+    comm.wait(req);
+    1
+}
+
+/// A `?` exit leaves the handle pending on the error path.
+pub fn question_exit(comm: &mut Comm, buf: &mut [f64]) -> Result<(), SimError> {
+    let req = comm.irecv_f64s(0, buf);
+    comm.probe()?;
+    comm.wait(req);
+    Ok(())
+}
+
+/// A handle bound inside the loop body dies with the iteration.
+pub fn loop_local(comm: &mut Comm, buf: &mut [f64]) {
+    for _ in 0..4 {
+        let req = comm.iallreduce_f64s(buf);
+    }
+}

@@ -1,0 +1,23 @@
+//! Known-good sim-core text the stream rules must NOT flag: rule
+//! triggers in comments, strings, doc-tests, and `#[cfg(test)]` code.
+//! Never compiled — parsed by the spmdlint corpus tests only.
+
+/// Doc text mentioning Instant::now() and .unwrap() must not fire.
+///
+/// ```
+/// let t = Instant::now();
+/// x.unwrap();
+/// ```
+pub fn documented() -> &'static str {
+    // A comment with HashMap, thread_rng, and delta == 0.0 in it.
+    "strings with Instant::now() and HashMap inside do not count"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let x: Option<u64> = Some(1);
+        assert_eq!(x.unwrap(), 1);
+    }
+}

@@ -1,0 +1,41 @@
+//! Known-good rank-body idioms the analyzer must NOT flag: sanitized
+//! convergence decisions, pipelined waitall, block decomposition.
+//! Never compiled — parsed by the spmdlint corpus tests only.
+
+/// Branching on an allreduced value is replicated by construction.
+pub fn replicated_decision(comm: &mut Comm, buf: &mut [f64]) {
+    let err = comm.allreduce_scalar(local_err(buf));
+    if err < 1.0 {
+        comm.barrier();
+    }
+}
+
+/// Handles pushed into a pre-loop collection, waited after the loop.
+pub fn pipelined(comm: &mut Comm, buf: &mut [f64]) {
+    let mut reqs = Vec::new();
+    for _ in 0..4 {
+        reqs.push(comm.iallreduce_f64s(buf));
+    }
+    comm.waitall(&mut reqs);
+}
+
+/// Block decomposition: rank-variant *bounds*, rank-invariant width.
+pub fn block_decomposed(comm: &mut Comm, data: &[f64]) {
+    let r = comm.rank();
+    let n = data.len() / comm.size();
+    let mine = &data[r * n..(r + 1) * n];
+    let mut acc = vec![0.0; n];
+    accumulate(mine, &mut acc);
+    comm.allreduce_f64s(&mut acc);
+}
+
+/// Owner-computes: a rank-derived view passed to an ordinary call does
+/// not taint the result (content varies by design; structure does not).
+pub fn owner_computes(comm: &mut Comm, data: &[f64]) {
+    let part = partition(data.len(), comm.size(), comm.rank());
+    let stats = estep(data, &part);
+    let model = mstep(&stats);
+    if model_ready(&model) {
+        comm.barrier();
+    }
+}

@@ -1,0 +1,15 @@
+//! Waiver mechanics: both waiver forms still *report* their findings,
+//! tagged `waived` — they never fail `--check`.
+//! Never compiled — parsed by the spmdlint corpus tests only.
+
+pub fn waived_loop(comm: &mut Comm, buf: &mut [f64]) {
+    for _ in 0..10 {
+        // lint:allow(blocking-collective): amortized by the fixture's tiny payload
+        comm.allreduce_f64s(buf);
+    }
+}
+
+pub fn waived_phase(comm: &mut Comm) {
+    comm.enter_phase("estep");
+    comm.barrier();
+}

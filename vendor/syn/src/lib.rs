@@ -1,0 +1,1297 @@
+//! In-tree offline stand-in for the `syn` crate.
+//!
+//! The build environment has no registry access, so — like `vendor/rand`
+//! and `vendor/proptest` — this crate reimplements exactly the surface the
+//! workspace needs: enough Rust parsing for the `spmdlint` static
+//! analyzer. It is *not* a full Rust parser. It provides:
+//!
+//! * a **lexer** that understands comments (line, nested block), string
+//!   literals (plain, raw, byte), character literals vs. lifetimes, and
+//!   multi-character operators, so later passes never false-positive on
+//!   text inside comments or strings;
+//! * **token trees**: the flat token stream grouped by `()`/`[]`/`{}`
+//!   with open/close line numbers;
+//! * an **item extractor** that walks modules, `impl` and `trait` blocks
+//!   to find every `fn` (with its signature tokens, parameter binders,
+//!   and whether it lives under `#[cfg(test)]` / `#[test]`), skipping
+//!   `macro_rules!` definitions and item-level macro invocations;
+//! * a **statement parser** that turns a function body into a
+//!   control-flow-shaped tree (`let` / `let … else`, `if` / `if let`,
+//!   `match` arms with guards, `for` / `while` / `loop`, `return`,
+//!   `break` / `continue`), with everything else preserved verbatim as
+//!   [`Expr::Opaque`] token runs. The parser is *tolerant*: malformed or
+//!   unsupported syntax degrades to opaque tokens, never a panic.
+//!
+//! Line numbers are 1-based throughout.
+
+use std::fmt;
+
+// ---------------------------------------------------------------------------
+// Tokens
+// ---------------------------------------------------------------------------
+
+/// Group delimiter kind.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Delim {
+    Paren,
+    Bracket,
+    Brace,
+}
+
+/// A token tree: a leaf token or a delimited group.
+#[derive(Clone, Debug)]
+pub enum Tt {
+    Group { delim: Delim, tokens: Vec<Tt>, open_line: usize, close_line: usize },
+    Ident { text: String, line: usize },
+    Lit { text: String, line: usize },
+    Punct { text: String, line: usize },
+    Lifetime { text: String, line: usize },
+}
+
+impl Tt {
+    pub fn line(&self) -> usize {
+        match self {
+            Tt::Group { open_line, .. } => *open_line,
+            Tt::Ident { line, .. }
+            | Tt::Lit { line, .. }
+            | Tt::Punct { line, .. }
+            | Tt::Lifetime { line, .. } => *line,
+        }
+    }
+
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            Tt::Ident { text, .. } => Some(text),
+            _ => None,
+        }
+    }
+
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(self, Tt::Ident { text, .. } if text == s)
+    }
+
+    pub fn is_punct(&self, s: &str) -> bool {
+        matches!(self, Tt::Punct { text, .. } if text == s)
+    }
+
+    pub fn group(&self) -> Option<(Delim, &[Tt])> {
+        match self {
+            Tt::Group { delim, tokens, .. } => Some((*delim, tokens)),
+            _ => None,
+        }
+    }
+
+    pub fn brace_tokens(&self) -> Option<&[Tt]> {
+        match self {
+            Tt::Group { delim: Delim::Brace, tokens, .. } => Some(tokens),
+            _ => None,
+        }
+    }
+}
+
+/// A parse error: unbalanced delimiter or unterminated literal.
+#[derive(Debug)]
+pub struct Error {
+    pub line: usize,
+    pub msg: String,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+enum FlatKind {
+    Ident,
+    Lit,
+    Punct,
+    Lifetime,
+    Open(Delim),
+    Close(Delim),
+}
+
+struct Flat {
+    kind: FlatKind,
+    text: String,
+    line: usize,
+}
+
+/// Multi-character operators, longest first within each length class.
+const PUNCT3: &[&str] = &["<<=", ">>=", "..=", "..."];
+const PUNCT2: &[&str] = &[
+    "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "+=", "-=", "*=", "/=", "%=",
+    "^=", "&=", "|=", "..",
+];
+
+fn lex(src: &str) -> Result<Vec<Flat>, Error> {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1usize;
+
+    let count_newlines = |s: &[char]| s.iter().filter(|&&c| c == '\n').count();
+
+    while i < n {
+        let c = b[i];
+        if c == '\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            while i < n && b[i] != '\n' {
+                i += 1;
+            }
+            continue;
+        }
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let start = line;
+            let mut depth = 1;
+            let mut j = i + 2;
+            while j < n && depth > 0 {
+                if b[j] == '\n' {
+                    line += 1;
+                    j += 1;
+                } else if b[j] == '/' && j + 1 < n && b[j + 1] == '*' {
+                    depth += 1;
+                    j += 2;
+                } else if b[j] == '*' && j + 1 < n && b[j + 1] == '/' {
+                    depth -= 1;
+                    j += 2;
+                } else {
+                    j += 1;
+                }
+            }
+            if depth > 0 {
+                return Err(Error { line: start, msg: "unterminated block comment".into() });
+            }
+            i = j;
+            continue;
+        }
+        // Raw strings and raw identifiers: r"…", r#"…"#, br"…", r#ident.
+        if (c == 'r' || c == 'b') && i + 1 < n {
+            let (raw_at, is_raw) = if c == 'r' {
+                (i + 1, true)
+            } else if b[i + 1] == 'r' && i + 2 < n {
+                (i + 2, true)
+            } else {
+                (i, false)
+            };
+            if is_raw {
+                let mut hashes = 0;
+                let mut j = raw_at;
+                while j < n && b[j] == '#' {
+                    hashes += 1;
+                    j += 1;
+                }
+                if j < n && b[j] == '"' {
+                    // Raw string: scan for `"` followed by `hashes` hashes.
+                    let start = line;
+                    j += 1;
+                    loop {
+                        if j >= n {
+                            return Err(Error {
+                                line: start,
+                                msg: "unterminated raw string".into(),
+                            });
+                        }
+                        if b[j] == '\n' {
+                            line += 1;
+                            j += 1;
+                            continue;
+                        }
+                        if b[j] == '"'
+                            && b[j + 1..].iter().take(hashes).filter(|&&h| h == '#').count()
+                                == hashes
+                        {
+                            j += 1 + hashes;
+                            break;
+                        }
+                        j += 1;
+                    }
+                    out.push(Flat {
+                        kind: FlatKind::Lit,
+                        text: String::from("\"raw\""),
+                        line: start,
+                    });
+                    i = j;
+                    continue;
+                }
+                if c == 'r' && hashes == 1 && j < n && (b[j].is_alphabetic() || b[j] == '_') {
+                    // Raw identifier r#ident: emit the bare identifier.
+                    let mut k = j;
+                    while k < n && (b[k].is_alphanumeric() || b[k] == '_') {
+                        k += 1;
+                    }
+                    let text: String = b[j..k].iter().collect();
+                    out.push(Flat { kind: FlatKind::Ident, text, line });
+                    i = k;
+                    continue;
+                }
+            }
+        }
+        // String literals (plain and byte).
+        if c == '"' || (c == 'b' && i + 1 < n && b[i + 1] == '"') {
+            let start = line;
+            let mut j = if c == '"' { i + 1 } else { i + 2 };
+            loop {
+                if j >= n {
+                    return Err(Error { line: start, msg: "unterminated string".into() });
+                }
+                match b[j] {
+                    '\\' => j += 2,
+                    '\n' => {
+                        line += 1;
+                        j += 1;
+                    }
+                    '"' => {
+                        j += 1;
+                        break;
+                    }
+                    _ => j += 1,
+                }
+            }
+            out.push(Flat { kind: FlatKind::Lit, text: String::from("\"str\""), line: start });
+            i = j;
+            continue;
+        }
+        // Char literal vs. lifetime (and byte char b'…').
+        if c == '\'' || (c == 'b' && i + 1 < n && b[i + 1] == '\'') {
+            let q = if c == '\'' { i } else { i + 1 };
+            // Lifetime: 'ident not closed by a quote.
+            if c == '\'' && q + 1 < n && (b[q + 1].is_alphabetic() || b[q + 1] == '_') {
+                let mut k = q + 2;
+                while k < n && (b[k].is_alphanumeric() || b[k] == '_') {
+                    k += 1;
+                }
+                if k < n && b[k] == '\'' && k == q + 2 {
+                    // 'x' — single-char literal, fall through below.
+                } else if k >= n || b[k] != '\'' {
+                    let text: String = b[q + 1..k].iter().collect();
+                    out.push(Flat { kind: FlatKind::Lifetime, text, line });
+                    i = k;
+                    continue;
+                }
+            }
+            // Char literal: 'x', '\n', '\u{1F600}', b'x'.
+            let mut j = q + 1;
+            if j < n && b[j] == '\\' {
+                j += 2;
+                if j <= n && j >= 1 && b[j - 1] == 'u' && j < n && b[j] == '{' {
+                    while j < n && b[j] != '}' {
+                        j += 1;
+                    }
+                    j += 1;
+                }
+            } else {
+                j += 1;
+            }
+            if j >= n || b[j] != '\'' {
+                return Err(Error { line, msg: "unterminated character literal".into() });
+            }
+            let text: String = b[q..=j].iter().collect();
+            line += count_newlines(&b[q..=j]);
+            out.push(Flat { kind: FlatKind::Lit, text, line });
+            i = j + 1;
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut j = i;
+            while j < n {
+                let d = b[j];
+                if d.is_alphanumeric() || d == '_' {
+                    j += 1;
+                } else if d == '.' && j + 1 < n && b[j + 1].is_ascii_digit() {
+                    j += 1;
+                } else if (d == '+' || d == '-')
+                    && j > start
+                    && (b[j - 1] == 'e' || b[j - 1] == 'E')
+                    && b[start..j].iter().any(|&x| x == '.' || x.is_ascii_digit())
+                {
+                    j += 1;
+                } else {
+                    break;
+                }
+            }
+            let text: String = b[start..j].iter().collect();
+            out.push(Flat { kind: FlatKind::Lit, text, line });
+            i = j;
+            continue;
+        }
+        // Identifiers and keywords.
+        if c.is_alphabetic() || c == '_' {
+            let mut j = i;
+            while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                j += 1;
+            }
+            let text: String = b[i..j].iter().collect();
+            out.push(Flat { kind: FlatKind::Ident, text, line });
+            i = j;
+            continue;
+        }
+        // Delimiters.
+        let delim = match c {
+            '(' => Some((FlatKind::Open(Delim::Paren), "(")),
+            ')' => Some((FlatKind::Close(Delim::Paren), ")")),
+            '[' => Some((FlatKind::Open(Delim::Bracket), "[")),
+            ']' => Some((FlatKind::Close(Delim::Bracket), "]")),
+            '{' => Some((FlatKind::Open(Delim::Brace), "{")),
+            '}' => Some((FlatKind::Close(Delim::Brace), "}")),
+            _ => None,
+        };
+        if let Some((kind, text)) = delim {
+            out.push(Flat { kind, text: text.into(), line });
+            i += 1;
+            continue;
+        }
+        // Multi-character operators, longest match first.
+        let rest: String = b[i..n.min(i + 3)].iter().collect();
+        let mut matched = None;
+        for p in PUNCT3 {
+            if rest.starts_with(p) {
+                matched = Some(*p);
+                break;
+            }
+        }
+        if matched.is_none() {
+            for p in PUNCT2 {
+                if rest.starts_with(p) {
+                    matched = Some(*p);
+                    break;
+                }
+            }
+        }
+        if let Some(p) = matched {
+            out.push(Flat { kind: FlatKind::Punct, text: p.into(), line });
+            i += p.len();
+            continue;
+        }
+        out.push(Flat { kind: FlatKind::Punct, text: c.to_string(), line });
+        i += 1;
+    }
+    Ok(out)
+}
+
+/// Group a flat token stream into token trees.
+fn group(flat: Vec<Flat>) -> Result<Vec<Tt>, Error> {
+    // Each stack entry: (delim, open_line, accumulated tokens).
+    let mut stack: Vec<(Delim, usize, Vec<Tt>)> = Vec::new();
+    let mut top: Vec<Tt> = Vec::new();
+    for f in flat {
+        match f.kind {
+            FlatKind::Open(d) => stack.push((d, f.line, Vec::new())),
+            FlatKind::Close(d) => {
+                let Some((open_d, open_line, tokens)) = stack.pop() else {
+                    return Err(Error { line: f.line, msg: format!("unmatched `{}`", f.text) });
+                };
+                if open_d != d {
+                    return Err(Error {
+                        line: f.line,
+                        msg: format!("mismatched delimiter closed by `{}`", f.text),
+                    });
+                }
+                let g = Tt::Group { delim: d, tokens, open_line, close_line: f.line };
+                match stack.last_mut() {
+                    Some((_, _, parent)) => parent.push(g),
+                    None => top.push(g),
+                }
+            }
+            _ => {
+                let tt = match f.kind {
+                    FlatKind::Ident => Tt::Ident { text: f.text, line: f.line },
+                    FlatKind::Lit => Tt::Lit { text: f.text, line: f.line },
+                    FlatKind::Punct => Tt::Punct { text: f.text, line: f.line },
+                    FlatKind::Lifetime => Tt::Lifetime { text: f.text, line: f.line },
+                    _ => unreachable!(),
+                };
+                match stack.last_mut() {
+                    Some((_, _, parent)) => parent.push(tt),
+                    None => top.push(tt),
+                }
+            }
+        }
+    }
+    if let Some((_, open_line, _)) = stack.first() {
+        return Err(Error { line: *open_line, msg: "unclosed delimiter".into() });
+    }
+    Ok(top)
+}
+
+// ---------------------------------------------------------------------------
+// Items
+// ---------------------------------------------------------------------------
+
+/// A parsed source file: the full token-tree stream, every function found
+/// anywhere in it, and the line spans of `#[cfg(test)]` / `#[test]`
+/// regions (for scans over the raw stream that must skip test code).
+pub struct File {
+    pub tokens: Vec<Tt>,
+    pub fns: Vec<ItemFn>,
+    pub test_spans: Vec<(usize, usize)>,
+}
+
+impl File {
+    pub fn line_is_test(&self, line: usize) -> bool {
+        self.test_spans.iter().any(|&(a, b)| line >= a && line <= b)
+    }
+}
+
+/// A function item, wherever it was found (top level, `mod`, `impl`,
+/// `trait`, or nested in another function's body).
+pub struct ItemFn {
+    pub name: String,
+    pub line: usize,
+    /// Tokens between the name and the body: generics, parameters, return
+    /// type, where-clause.
+    pub sig: Vec<Tt>,
+    /// Parameter binder names (pattern identifiers, `self` excluded).
+    pub params: Vec<String>,
+    pub body: Vec<Stmt>,
+    pub is_test: bool,
+}
+
+pub fn parse_file(src: &str) -> Result<File, Error> {
+    let tokens = group(lex(src)?)?;
+    let mut fns = Vec::new();
+    let mut test_spans = Vec::new();
+    collect_items(&tokens, false, &mut fns, &mut test_spans);
+    Ok(File { tokens, fns, test_spans })
+}
+
+/// Does an attribute token sequence mark test code? Matches `#[test]`,
+/// `#[cfg(test)]`, and composed forms like `#[cfg(all(test, …))]`;
+/// `#[cfg(not(test))]` does not count.
+fn attr_is_test(tokens: &[Tt]) -> bool {
+    fn any_test(ts: &[Tt]) -> bool {
+        ts.iter().any(|t| match t {
+            Tt::Ident { text, .. } => text == "test",
+            Tt::Group { tokens, .. } => any_test(tokens),
+            _ => false,
+        })
+    }
+    fn any_not(ts: &[Tt]) -> bool {
+        ts.iter().any(|t| match t {
+            Tt::Ident { text, .. } => text == "not",
+            Tt::Group { tokens, .. } => any_not(tokens),
+            _ => false,
+        })
+    }
+    match tokens.first() {
+        Some(t) if t.is_ident("test") => true,
+        Some(t) if t.is_ident("cfg") => any_test(tokens) && !any_not(tokens),
+        _ => false,
+    }
+}
+
+fn collect_items(
+    tokens: &[Tt],
+    in_test: bool,
+    fns: &mut Vec<ItemFn>,
+    test_spans: &mut Vec<(usize, usize)>,
+) {
+    let mut i = 0;
+    let mut attr_test = false; // a pending #[test]/#[cfg(test)] attribute
+    while i < tokens.len() {
+        // Attributes: `#[…]` or `#![…]`.
+        if tokens[i].is_punct("#") {
+            let mut j = i + 1;
+            if j < tokens.len() && tokens[j].is_punct("!") {
+                j += 1;
+            }
+            if let Some(Tt::Group { delim: Delim::Bracket, tokens: at, .. }) = tokens.get(j) {
+                if attr_is_test(at) {
+                    attr_test = true;
+                }
+                i = j + 1;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        let this_test = in_test || attr_test;
+        match &tokens[i] {
+            Tt::Ident { text, .. } if text == "fn" => {
+                let (name, name_line) = match tokens.get(i + 1) {
+                    Some(Tt::Ident { text, line }) => (text.clone(), *line),
+                    _ => {
+                        i += 1;
+                        attr_test = false;
+                        continue;
+                    }
+                };
+                // Find the body brace (or `;` for a bodyless declaration).
+                let mut j = i + 2;
+                let mut body: Option<&Tt> = None;
+                while j < tokens.len() {
+                    match &tokens[j] {
+                        Tt::Group { delim: Delim::Brace, .. } => {
+                            body = Some(&tokens[j]);
+                            break;
+                        }
+                        Tt::Punct { text, .. } if text == ";" => break,
+                        _ => j += 1,
+                    }
+                }
+                if let Some(Tt::Group { tokens: bt, open_line, close_line, .. }) = body {
+                    let sig: Vec<Tt> = tokens[i + 2..j].to_vec();
+                    let params = sig
+                        .iter()
+                        .find_map(|t| match t {
+                            Tt::Group { delim: Delim::Paren, tokens, .. } => {
+                                Some(param_binders(tokens))
+                            }
+                            _ => None,
+                        })
+                        .unwrap_or_default();
+                    if this_test {
+                        test_spans.push((*open_line, *close_line));
+                    }
+                    fns.push(ItemFn {
+                        name,
+                        line: name_line,
+                        sig,
+                        params,
+                        body: parse_stmts(bt),
+                        is_test: this_test,
+                    });
+                    // Nested `fn` items inside this body are functions too.
+                    collect_items(bt, this_test, fns, test_spans);
+                }
+                i = j + 1;
+                attr_test = false;
+            }
+            Tt::Ident { text, .. } if text == "mod" => {
+                // `mod name { … }` or `mod name;`
+                let mut j = i + 1;
+                while j < tokens.len() {
+                    match &tokens[j] {
+                        Tt::Group { delim: Delim::Brace, tokens: mt, open_line, close_line } => {
+                            if this_test {
+                                test_spans.push((*open_line, *close_line));
+                            }
+                            collect_items(mt, this_test, fns, test_spans);
+                            break;
+                        }
+                        Tt::Punct { text, .. } if text == ";" => break,
+                        _ => j += 1,
+                    }
+                }
+                i = j + 1;
+                attr_test = false;
+            }
+            Tt::Ident { text, .. } if text == "impl" || text == "trait" => {
+                let mut j = i + 1;
+                while j < tokens.len() {
+                    match &tokens[j] {
+                        Tt::Group { delim: Delim::Brace, tokens: bt, open_line, close_line } => {
+                            if this_test {
+                                test_spans.push((*open_line, *close_line));
+                            }
+                            collect_items(bt, this_test, fns, test_spans);
+                            break;
+                        }
+                        Tt::Punct { text, .. } if text == ";" => break,
+                        _ => j += 1,
+                    }
+                }
+                i = j + 1;
+                attr_test = false;
+            }
+            Tt::Ident { text, .. } if text == "macro_rules" => {
+                // `macro_rules! name { … }` — never parse macro bodies.
+                let mut j = i + 1;
+                while j < tokens.len() {
+                    if matches!(&tokens[j], Tt::Group { delim: Delim::Brace, .. }) {
+                        break;
+                    }
+                    j += 1;
+                }
+                i = j + 1;
+                attr_test = false;
+            }
+            Tt::Ident { text, .. } if text == "struct" || text == "enum" || text == "union" => {
+                // Skip to the end of the type definition: `;` or its body.
+                let mut j = i + 1;
+                while j < tokens.len() {
+                    match &tokens[j] {
+                        Tt::Group { delim: Delim::Brace, .. } => break,
+                        Tt::Punct { text, .. } if text == ";" => break,
+                        _ => j += 1,
+                    }
+                }
+                i = j + 1;
+                attr_test = false;
+            }
+            // Item-level macro invocation (`proptest! { … }`, `thread_local! { … }`):
+            // macro-generated code is not analyzed.
+            Tt::Ident { .. }
+                if matches!(tokens.get(i + 1), Some(t) if t.is_punct("!"))
+                    && matches!(tokens.get(i + 2), Some(Tt::Group { .. })) =>
+            {
+                i += 3;
+                attr_test = false;
+            }
+            _ => {
+                i += 1;
+                attr_test = false;
+            }
+        }
+    }
+}
+
+/// Extract binder names from a parameter-list token sequence: for each
+/// comma-separated parameter, the pattern identifiers before the `:`.
+fn param_binders(tokens: &[Tt]) -> Vec<String> {
+    let mut out = Vec::new();
+    for part in split_top(tokens, ",") {
+        let pat = match top_index(part, ":") {
+            Some(k) => &part[..k],
+            None => part,
+        };
+        for t in pat {
+            if let Tt::Ident { text, .. } = t {
+                if text != "mut" && text != "ref" && text != "self" && text != "box" {
+                    out.push(text.clone());
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Split a token sequence at every top-level occurrence of punct `p`.
+pub fn split_top<'a>(tokens: &'a [Tt], p: &str) -> Vec<&'a [Tt]> {
+    let mut out = Vec::new();
+    let mut start = 0;
+    for (k, t) in tokens.iter().enumerate() {
+        if t.is_punct(p) {
+            out.push(&tokens[start..k]);
+            start = k + 1;
+        }
+    }
+    if start < tokens.len() {
+        out.push(&tokens[start..]);
+    }
+    out
+}
+
+/// Index of the first top-level occurrence of punct `p`.
+pub fn top_index(tokens: &[Tt], p: &str) -> Option<usize> {
+    tokens.iter().position(|t| t.is_punct(p))
+}
+
+/// Index of the first top-level identifier `s`.
+pub fn top_ident_index(tokens: &[Tt], s: &str) -> Option<usize> {
+    tokens.iter().position(|t| t.is_ident(s))
+}
+
+// ---------------------------------------------------------------------------
+// Statements
+// ---------------------------------------------------------------------------
+
+/// A statement in a function body.
+#[derive(Debug)]
+pub enum Stmt {
+    /// `let <pat>(: ty)? (= init)? (else { … })? ;`
+    Let {
+        names: Vec<String>,
+        init: Option<Expr>,
+        else_block: Option<Vec<Stmt>>,
+        line: usize,
+    },
+    Expr(Expr),
+}
+
+/// A control-flow-shaped expression; anything unrecognized is `Opaque`.
+#[derive(Debug)]
+pub enum Expr {
+    If {
+        cond: Vec<Tt>,
+        then_branch: Vec<Stmt>,
+        else_branch: Option<Box<Expr>>,
+        line: usize,
+    },
+    Match {
+        scrutinee: Vec<Tt>,
+        arms: Vec<Arm>,
+        line: usize,
+    },
+    ForLoop {
+        pat: Vec<Tt>,
+        iter: Vec<Tt>,
+        body: Vec<Stmt>,
+        line: usize,
+    },
+    While {
+        cond: Vec<Tt>,
+        body: Vec<Stmt>,
+        line: usize,
+    },
+    Loop {
+        body: Vec<Stmt>,
+        line: usize,
+    },
+    Block {
+        stmts: Vec<Stmt>,
+        line: usize,
+    },
+    Return {
+        value: Vec<Tt>,
+        line: usize,
+    },
+    Break {
+        line: usize,
+    },
+    Continue {
+        line: usize,
+    },
+    /// A control expression followed by trailing tokens
+    /// (e.g. `match x { … }.to_string()`).
+    Chain {
+        head: Box<Expr>,
+        rest: Vec<Tt>,
+        line: usize,
+    },
+    Opaque {
+        tokens: Vec<Tt>,
+        line: usize,
+    },
+}
+
+impl Expr {
+    pub fn line(&self) -> usize {
+        match self {
+            Expr::If { line, .. }
+            | Expr::Match { line, .. }
+            | Expr::ForLoop { line, .. }
+            | Expr::While { line, .. }
+            | Expr::Loop { line, .. }
+            | Expr::Block { line, .. }
+            | Expr::Return { line, .. }
+            | Expr::Break { line }
+            | Expr::Continue { line }
+            | Expr::Chain { line, .. }
+            | Expr::Opaque { line, .. } => *line,
+        }
+    }
+}
+
+/// A `match` arm.
+#[derive(Debug)]
+pub struct Arm {
+    pub pat: Vec<Tt>,
+    pub guard: Vec<Tt>,
+    pub body: Vec<Stmt>,
+    pub line: usize,
+}
+
+const CONTROL_KEYWORDS: &[&str] = &["if", "match", "for", "while", "loop", "unsafe"];
+
+fn starts_control(tokens: &[Tt]) -> bool {
+    match tokens.first() {
+        Some(Tt::Ident { text, .. }) => CONTROL_KEYWORDS.contains(&text.as_str()),
+        Some(Tt::Group { delim: Delim::Brace, .. }) => true,
+        _ => false,
+    }
+}
+
+/// Parse a token sequence as a block of statements. Tolerant: anything
+/// not recognized becomes an opaque expression statement.
+pub fn parse_stmts(tokens: &[Tt]) -> Vec<Stmt> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Stray semicolons and attributes.
+        if tokens[i].is_punct(";") {
+            i += 1;
+            continue;
+        }
+        if tokens[i].is_punct("#") {
+            let mut j = i + 1;
+            if j < tokens.len() && tokens[j].is_punct("!") {
+                j += 1;
+            }
+            if matches!(tokens.get(j), Some(Tt::Group { delim: Delim::Bracket, .. })) {
+                i = j + 1;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        // Loop labels: `'label: loop { … }`.
+        if matches!(tokens[i], Tt::Lifetime { .. })
+            && matches!(tokens.get(i + 1), Some(t) if t.is_punct(":"))
+        {
+            i += 2;
+            continue;
+        }
+        // Nested `fn` items were collected separately; skip them here.
+        if tokens[i].is_ident("fn")
+            || (tokens[i].is_ident("pub")
+                && matches!(tokens.get(i + 1), Some(t) if t.is_ident("fn")))
+        {
+            let mut j = i + 1;
+            while j < tokens.len() {
+                match &tokens[j] {
+                    Tt::Group { delim: Delim::Brace, .. } => break,
+                    Tt::Punct { text, .. } if text == ";" => break,
+                    _ => j += 1,
+                }
+            }
+            i = j + 1;
+            continue;
+        }
+        if tokens[i].is_ident("let") {
+            let line = tokens[i].line();
+            let end = stmt_end(tokens, i);
+            let inner = &tokens[i + 1..end];
+            let (names_part, init_part) = match top_index(inner, "=") {
+                Some(eq) => (&inner[..eq], Some(&inner[eq + 1..])),
+                None => (inner, None),
+            };
+            let pat = match top_index(names_part, ":") {
+                Some(k) => &names_part[..k],
+                None => names_part,
+            };
+            let names = pattern_binders(pat);
+            let (init, else_block) = match init_part {
+                Some(it) => {
+                    // `let … = init else { … };`
+                    let mut split = None;
+                    for (k, t) in it.iter().enumerate() {
+                        if t.is_ident("else") {
+                            if let Some(bt) = it.get(k + 1).and_then(|g| g.brace_tokens()) {
+                                split = Some((k, bt));
+                                break;
+                            }
+                        }
+                    }
+                    match split {
+                        Some((k, bt)) => (Some(parse_expr(&it[..k])), Some(parse_stmts(bt))),
+                        None => (Some(parse_expr(it)), None),
+                    }
+                }
+                None => (None, None),
+            };
+            out.push(Stmt::Let { names, init, else_block, line });
+            i = end + 1;
+            continue;
+        }
+        if tokens[i].is_ident("return") {
+            let line = tokens[i].line();
+            let end = stmt_end(tokens, i);
+            out.push(Stmt::Expr(Expr::Return { value: tokens[i + 1..end].to_vec(), line }));
+            i = end + 1;
+            continue;
+        }
+        if tokens[i].is_ident("break") || tokens[i].is_ident("continue") {
+            let line = tokens[i].line();
+            let is_break = tokens[i].is_ident("break");
+            let end = stmt_end(tokens, i);
+            out.push(Stmt::Expr(if is_break {
+                Expr::Break { line }
+            } else {
+                Expr::Continue { line }
+            }));
+            i = end + 1;
+            continue;
+        }
+        if starts_control(&tokens[i..]) {
+            let (expr, used) = parse_control(&tokens[i..]);
+            let after = i + used;
+            // A control statement ends at its closing brace; only a
+            // following `.` or `?` continues it as an expression chain
+            // (`match x { … }.to_string()` in tail position).
+            let chains = matches!(tokens.get(after), Some(t) if t.is_punct(".") || t.is_punct("?"));
+            if chains {
+                let end = stmt_end(tokens, after);
+                let line = expr.line();
+                out.push(Stmt::Expr(Expr::Chain {
+                    head: Box::new(expr),
+                    rest: tokens[after..end].to_vec(),
+                    line,
+                }));
+                i = end + 1;
+            } else {
+                out.push(Stmt::Expr(expr));
+                i = after;
+            }
+            continue;
+        }
+        // Opaque expression statement.
+        let line = tokens[i].line();
+        let end = stmt_end(tokens, i);
+        out.push(Stmt::Expr(Expr::Opaque { tokens: tokens[i..end].to_vec(), line }));
+        i = end + 1;
+    }
+    out
+}
+
+/// Index of the `;` ending the statement starting at `start` (or the end
+/// of the sequence for a tail expression).
+fn stmt_end(tokens: &[Tt], start: usize) -> usize {
+    for (k, t) in tokens.iter().enumerate().skip(start) {
+        if t.is_punct(";") {
+            return k;
+        }
+    }
+    tokens.len()
+}
+
+/// Binder identifiers in a pattern: lowercase-starting identifiers that
+/// are not keywords, path segments, or struct-literal field names.
+pub fn pattern_binders(pat: &[Tt]) -> Vec<String> {
+    let mut out = Vec::new();
+    collect_binders(pat, &mut out);
+    out
+}
+
+fn collect_binders(pat: &[Tt], out: &mut Vec<String>) {
+    for (k, t) in pat.iter().enumerate() {
+        match t {
+            Tt::Ident { text, .. } => {
+                let first = text.chars().next();
+                let lower = matches!(first, Some(c) if c.is_lowercase() || c == '_');
+                if !lower || text == "_" {
+                    continue;
+                }
+                if matches!(text.as_str(), "mut" | "ref" | "box" | "if" | "in" | "self") {
+                    continue;
+                }
+                // Path segment (`std::cmp::min`) or field name (`field: pat`).
+                let next_path = matches!(pat.get(k + 1), Some(n) if n.is_punct("::"));
+                let prev_path = k > 0 && pat[k - 1].is_punct("::");
+                let field_name = matches!(pat.get(k + 1), Some(n) if n.is_punct(":"));
+                if next_path || prev_path || field_name {
+                    continue;
+                }
+                out.push(text.clone());
+            }
+            Tt::Group { tokens, .. } => collect_binders(tokens, out),
+            _ => {}
+        }
+    }
+}
+
+/// Parse an expression: control-flow forms get structure; everything else
+/// is opaque.
+pub fn parse_expr(tokens: &[Tt]) -> Expr {
+    if tokens.is_empty() {
+        return Expr::Opaque { tokens: Vec::new(), line: 0 };
+    }
+    if starts_control(tokens) {
+        let (expr, used) = parse_control(tokens);
+        if used >= tokens.len() {
+            return expr;
+        }
+        let line = expr.line();
+        return Expr::Chain { head: Box::new(expr), rest: tokens[used..].to_vec(), line };
+    }
+    Expr::Opaque { tokens: tokens.to_vec(), line: tokens[0].line() }
+}
+
+/// Find the body brace of an `if`/`while` header starting at `from`: the
+/// first top-level brace group not immediately followed by `=` (an
+/// `if let Pat { … } = x` pattern brace *is* followed by `=`).
+fn header_body(tokens: &[Tt], from: usize) -> Option<usize> {
+    let mut k = from;
+    while k < tokens.len() {
+        if matches!(tokens[k], Tt::Group { delim: Delim::Brace, .. }) {
+            let followed_by_eq = matches!(tokens.get(k + 1), Some(t) if t.is_punct("="));
+            if !followed_by_eq {
+                return Some(k);
+            }
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Parse one control expression at the start of `tokens`; returns the
+/// expression and the number of tokens consumed. Malformed input degrades
+/// to a one-token opaque expression (the caller always advances).
+fn parse_control(tokens: &[Tt]) -> (Expr, usize) {
+    let line = tokens[0].line();
+    let opaque1 = |line| (Expr::Opaque { tokens: tokens[..1].to_vec(), line }, 1);
+    if let Tt::Group { delim: Delim::Brace, tokens: bt, .. } = &tokens[0] {
+        return (Expr::Block { stmts: parse_stmts(bt), line }, 1);
+    }
+    let Some(kw) = tokens[0].ident() else { return opaque1(line) };
+    match kw {
+        "if" => {
+            let Some(k) = header_body(tokens, 1) else { return opaque1(line) };
+            let cond = tokens[1..k].to_vec();
+            let then_branch = match tokens[k].brace_tokens() {
+                Some(bt) => parse_stmts(bt),
+                None => Vec::new(),
+            };
+            let mut used = k + 1;
+            let mut else_branch = None;
+            if matches!(tokens.get(used), Some(t) if t.is_ident("else")) {
+                if let Some(next) = tokens.get(used + 1) {
+                    if next.is_ident("if") {
+                        let (e, u) = parse_control(&tokens[used + 1..]);
+                        else_branch = Some(Box::new(e));
+                        used += 1 + u;
+                    } else if let Some(bt) = next.brace_tokens() {
+                        else_branch = Some(Box::new(Expr::Block {
+                            stmts: parse_stmts(bt),
+                            line: next.line(),
+                        }));
+                        used += 2;
+                    }
+                }
+            }
+            (Expr::If { cond, then_branch, else_branch, line }, used)
+        }
+        "match" => {
+            let mut k = 1;
+            while k < tokens.len() && !matches!(tokens[k], Tt::Group { delim: Delim::Brace, .. }) {
+                k += 1;
+            }
+            if k >= tokens.len() {
+                return opaque1(line);
+            }
+            let scrutinee = tokens[1..k].to_vec();
+            let arms = match tokens[k].brace_tokens() {
+                Some(bt) => parse_arms(bt),
+                None => Vec::new(),
+            };
+            (Expr::Match { scrutinee, arms, line }, k + 1)
+        }
+        "for" => {
+            let Some(in_at) = top_ident_index(&tokens[1..], "in").map(|k| k + 1) else {
+                return opaque1(line);
+            };
+            let Some(k) = header_body(tokens, in_at + 1) else { return opaque1(line) };
+            let pat = tokens[1..in_at].to_vec();
+            let iter = tokens[in_at + 1..k].to_vec();
+            let body = match tokens[k].brace_tokens() {
+                Some(bt) => parse_stmts(bt),
+                None => Vec::new(),
+            };
+            (Expr::ForLoop { pat, iter, body, line }, k + 1)
+        }
+        "while" => {
+            let Some(k) = header_body(tokens, 1) else { return opaque1(line) };
+            let cond = tokens[1..k].to_vec();
+            let body = match tokens[k].brace_tokens() {
+                Some(bt) => parse_stmts(bt),
+                None => Vec::new(),
+            };
+            (Expr::While { cond, body, line }, k + 1)
+        }
+        "loop" => match tokens.get(1).and_then(|t| t.brace_tokens()) {
+            Some(bt) => (Expr::Loop { body: parse_stmts(bt), line }, 2),
+            None => opaque1(line),
+        },
+        "unsafe" => match tokens.get(1).and_then(|t| t.brace_tokens()) {
+            Some(bt) => (Expr::Block { stmts: parse_stmts(bt), line }, 2),
+            None => opaque1(line),
+        },
+        _ => opaque1(line),
+    }
+}
+
+fn parse_arms(tokens: &[Tt]) -> Vec<Arm> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes and leading `|`.
+        if tokens[i].is_punct("#") {
+            if matches!(tokens.get(i + 1), Some(Tt::Group { delim: Delim::Bracket, .. })) {
+                i += 2;
+                continue;
+            }
+            i += 1;
+            continue;
+        }
+        if tokens[i].is_punct("|") || tokens[i].is_punct(",") {
+            i += 1;
+            continue;
+        }
+        let Some(arrow) = tokens[i..].iter().position(|t| t.is_punct("=>")).map(|k| k + i) else {
+            break;
+        };
+        let line = tokens[i].line();
+        let pat_all = &tokens[i..arrow];
+        let (pat, guard) = match top_ident_index(pat_all, "if") {
+            Some(g) => (pat_all[..g].to_vec(), pat_all[g + 1..].to_vec()),
+            None => (pat_all.to_vec(), Vec::new()),
+        };
+        // Arm body: a brace block, or tokens up to the next top-level `,`.
+        if let Some(bt) = tokens.get(arrow + 1).and_then(|t| t.brace_tokens()) {
+            out.push(Arm { pat, guard, body: parse_stmts(bt), line });
+            i = arrow + 2;
+        } else {
+            let end = tokens[arrow + 1..]
+                .iter()
+                .position(|t| t.is_punct(","))
+                .map(|k| k + arrow + 1)
+                .unwrap_or(tokens.len());
+            out.push(Arm { pat, guard, body: parse_stmts(&tokens[arrow + 1..end]), line });
+            i = end + 1;
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Tests
+// ---------------------------------------------------------------------------
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> File {
+        parse_file(src).expect("parse")
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_produce_tokens() {
+        let f = file("// x.unwrap()\n/* nested /* still */ comment */\nlet s = \"a.unwrap()\";\n");
+        let mut idents = Vec::new();
+        fn walk(ts: &[Tt], out: &mut Vec<String>) {
+            for t in ts {
+                match t {
+                    Tt::Ident { text, .. } => out.push(text.clone()),
+                    Tt::Group { tokens, .. } => walk(tokens, out),
+                    _ => {}
+                }
+            }
+        }
+        walk(&f.tokens, &mut idents);
+        assert_eq!(idents, vec!["let", "s"]);
+    }
+
+    #[test]
+    fn lifetimes_and_chars_are_distinguished() {
+        let f = file("fn a<'x>(v: &'x u8) -> char { 'y' }\n");
+        assert_eq!(f.fns.len(), 1);
+        let has_lifetime =
+            f.fns[0].sig.iter().any(|t| matches!(t, Tt::Lifetime { text, .. } if text == "x"));
+        assert!(has_lifetime);
+    }
+
+    #[test]
+    fn fns_are_found_in_mods_impls_and_nested() {
+        let src = "mod m { impl Foo { fn a(&self) {} } }\nfn b() { fn c() {} }\n";
+        let f = file(src);
+        let names: Vec<&str> = f.fns.iter().map(|x| x.name.as_str()).collect();
+        assert!(names.contains(&"a"));
+        assert!(names.contains(&"b"));
+        assert!(names.contains(&"c"));
+    }
+
+    #[test]
+    fn cfg_test_mods_and_test_fns_are_marked() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod t {\n    #[test]\n    fn check() {}\n    fn helper() {}\n}\n";
+        let f = file(src);
+        let by_name = |n: &str| f.fns.iter().find(|x| x.name == n).expect("fn");
+        assert!(!by_name("prod").is_test);
+        assert!(by_name("check").is_test);
+        assert!(by_name("helper").is_test);
+        assert!(f.line_is_test(5));
+        assert!(!f.line_is_test(1));
+    }
+
+    #[test]
+    fn macro_bodies_are_skipped() {
+        let src = "macro_rules! m { () => { fn fake() {} }; }\nproptest! { fn also_fake(x in 0..3) {} }\nfn real() {}\n";
+        let f = file(src);
+        let names: Vec<&str> = f.fns.iter().map(|x| x.name.as_str()).collect();
+        assert_eq!(names, vec!["real"]);
+    }
+
+    #[test]
+    fn statement_shapes_parse() {
+        let src = "fn a(x: usize) -> usize {\n    let y = x + 1;\n    if y > 2 { return 0; } else { y += 1; }\n    match y {\n        0 => {}\n        n if n > 5 => { y = n; }\n        _ => y = 1,\n    }\n    for i in 0..y { y += i; }\n    while y > 0 { y -= 1; }\n    loop { break; }\n    y\n}\n";
+        let f = file(src);
+        let body = &f.fns[0].body;
+        assert!(matches!(body[0], Stmt::Let { ref names, .. } if names == &["y"]));
+        assert!(matches!(body[1], Stmt::Expr(Expr::If { .. })));
+        let Stmt::Expr(Expr::Match { ref arms, .. }) = body[2] else { panic!("match") };
+        assert_eq!(arms.len(), 3);
+        assert!(!arms[1].guard.is_empty(), "guard preserved");
+        assert!(matches!(body[3], Stmt::Expr(Expr::ForLoop { .. })));
+        assert!(matches!(body[4], Stmt::Expr(Expr::While { .. })));
+        assert!(matches!(body[5], Stmt::Expr(Expr::Loop { .. })));
+        assert!(matches!(body[6], Stmt::Expr(Expr::Opaque { .. })));
+    }
+
+    #[test]
+    fn let_else_and_if_let_parse() {
+        let src = "fn a(o: Option<u8>) {\n    let Some(v) = o else { return; };\n    if let Some(w) = o { drop(w); }\n    let z = if v > 0 { 1 } else { 2 };\n    drop(z);\n}\n";
+        let f = file(src);
+        let body = &f.fns[0].body;
+        let Stmt::Let { names, else_block, .. } = &body[0] else { panic!("let-else") };
+        assert_eq!(names, &["v"]);
+        assert!(else_block.is_some());
+        assert!(matches!(body[1], Stmt::Expr(Expr::If { .. })));
+        let Stmt::Let { init: Some(Expr::If { .. }), .. } = &body[2] else {
+            panic!("control init")
+        };
+    }
+
+    #[test]
+    fn if_let_with_struct_pattern_finds_the_right_body() {
+        let src = "fn a(s: S) -> u8 {\n    if let S { x } = s { x } else { 0 }\n}\n";
+        let f = file(src);
+        let Stmt::Expr(Expr::If { cond, then_branch, else_branch, .. }) = &f.fns[0].body[0] else {
+            panic!("if");
+        };
+        // The pattern brace `{ x }` stays in the condition; the body is
+        // the block after `= s`.
+        assert!(cond.iter().any(|t| t.is_ident("let")));
+        assert_eq!(then_branch.len(), 1);
+        assert!(else_branch.is_some());
+    }
+
+    #[test]
+    fn line_numbers_survive_multiline_constructs() {
+        let src = "fn a() {\n    let s = \"two\nlines\";\n    /* block\ncomment */\n    b();\n}\n";
+        let f = file(src);
+        let Stmt::Expr(Expr::Opaque { line, .. }) = &f.fns[0].body[1] else { panic!("call") };
+        assert_eq!(*line, 6);
+    }
+
+    #[test]
+    fn raw_strings_and_numbers_lex() {
+        let f =
+            file("fn a() { let x = r#\"quote \" inside\"#; let y = 1.5e-3f64; let z = 0..10; }");
+        assert_eq!(f.fns.len(), 1);
+        let Stmt::Let { init: Some(Expr::Opaque { tokens, .. }), .. } = &f.fns[0].body[1] else {
+            panic!("float")
+        };
+        assert!(matches!(&tokens[0], Tt::Lit { text, .. } if text == "1.5e-3f64"));
+    }
+
+    #[test]
+    fn unbalanced_delimiters_error() {
+        assert!(parse_file("fn a() { (").is_err());
+        assert!(parse_file("fn a() }").is_err());
+    }
+
+    #[test]
+    fn chain_after_control_expr() {
+        let src = "fn a(x: u8) -> String { match x { _ => 1 }.to_string() }";
+        let f = file(src);
+        assert!(matches!(f.fns[0].body[0], Stmt::Expr(Expr::Chain { .. })));
+    }
+}

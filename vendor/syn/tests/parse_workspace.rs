@@ -1,0 +1,39 @@
+//! Every Rust source file in the repository must lex and group without
+//! error (the statement layer is tolerant by construction).
+
+use std::path::{Path, PathBuf};
+
+fn collect(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for e in entries.flatten() {
+        let p = e.path();
+        let name = e.file_name();
+        let name = name.to_string_lossy();
+        if p.is_dir() {
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            collect(&p, out);
+        } else if name.ends_with(".rs") {
+            out.push(p);
+        }
+    }
+}
+
+#[test]
+fn all_workspace_sources_parse() {
+    let root =
+        Path::new(env!("CARGO_MANIFEST_DIR")).parent().and_then(Path::parent).expect("repo root");
+    let mut files = Vec::new();
+    collect(root, &mut files);
+    assert!(files.len() > 20, "expected a real workspace, found {} files", files.len());
+    let mut fn_total = 0;
+    for f in &files {
+        let src = std::fs::read_to_string(f).expect("read source");
+        match syn::parse_file(&src) {
+            Ok(parsed) => fn_total += parsed.fns.len(),
+            Err(e) => panic!("{} failed to parse: {e}", f.display()),
+        }
+    }
+    assert!(fn_total > 100, "expected many functions, found {fn_total}");
+}

@@ -1,7 +1,12 @@
 //! Repository automation (`cargo xtask <task>`).
 //!
-//! * `lint` — a custom static pass over the library sources enforcing
-//!   project rules that `clippy` has no lints for (detailed below).
+//! * `lint` — the project's custom static rules, run on the `spmdlint`
+//!   AST engine (see below). Prints the classic `file:line: [rule] …`
+//!   format and fails on any unwaivered violation.
+//! * `analyze` — the full SPMD static analysis: everything `lint` checks
+//!   plus the rank-taint rules (collective-divergence, unwaited-request,
+//!   phase-balance, rank-variant-payload, nondet), with JSON output for
+//!   CI. See `cargo xtask analyze --help` equivalent flags below.
 //! * `bench` — the benchmark harness behind `BENCH_2.json`: E-step kernel
 //!   throughput (naive vs blocked, same process) and virtual cycle times
 //!   per strategy × P. See the `bench` module docs for flags.
@@ -15,45 +20,30 @@
 //!
 //! # Rules
 //!
-//! 1. **wall-clock** — no `std::thread::sleep` / `Instant::now` /
-//!    `SystemTime::now` in simulator or rank-body code outside
-//!    `mpsim/src/comm.rs`. Virtual time must come from the cost models;
-//!    wall-clock reads anywhere else either break determinism or leak host
-//!    timing into simulated results. (`comm.rs` owns the two legitimate
-//!    uses: the receive-timeout backstop and `Comm::measured`.)
-//! 2. **unwrap** — no `.unwrap()` / `.expect(` in non-test library code
-//!    (binaries under `src/bin/` are exempt: panicking on CLI/I/O errors
-//!    is fine for a tool). A rank panic tears down the whole simulated
-//!    machine, so fallible paths must surface `SimError`s instead. Genuine
-//!    invariants can be waived with a `// lint:allow(unwrap): why` comment
-//!    on the same line or the line above.
-//! 3. **float-eq** — no direct `==` / `!=` against floating-point literals
-//!    in model code; use tolerances or `total_cmp`. Waivable with
-//!    `// lint:allow(float-eq): why` when bitwise equality is the point.
-//! 4. **blocking-collective** — no blocking collective calls
-//!    (`allreduce_f64s`, `broadcast_f64s`, `gather_f64s`) inside `for` /
-//!    `while` / `loop` bodies in `pautoclass` rank code: a collective per
-//!    loop iteration multiplies the per-message latency (the pattern the
-//!    Fused and Pipelined exchanges exist to remove). Batch the payload or
-//!    post non-blocking operations instead. The deliberately fine-grained
-//!    `Exchange::PerTerm` ablation baseline is waived with
-//!    `// lint:allow(blocking-collective): why`.
-//! 5. **recv-unwrap** — no `.unwrap()` / `.expect(` on receive/wait
-//!    results in `mpsim` / `pautoclass` library code. With fault injection
-//!    in the tree, a lost, late, or corrupt message is an *expected*
-//!    `Err`; unwrapping it turns a diagnosable typed failure into a rank
-//!    panic that tears down the whole simulated machine. Propagate the
-//!    `SimError` (or waive a genuine invariant with
-//!    `// lint:allow(recv-unwrap): why`).
+//! The rule set lives in `crates/spmdlint` (each rule's rationale is
+//! documented there). The legacy five — **wall-clock**, **unwrap**,
+//! **float-eq**, **blocking-collective**, **recv-unwrap** — keep their
+//! historical IDs, scopes, and `// lint:allow(rule): why` waiver comments,
+//! but now run on a real token/AST pass, so comments, strings, and
+//! doc-tests can no longer false-positive. The SPMD taint rules —
+//! **collective-divergence**, **unwaited-request**, **phase-balance**,
+//! **rank-variant-payload**, **nondet** — guard the replication invariant
+//! the runtime verifier (PR 1) checks per run, at build time instead.
 //!
-//! Test code (`#[cfg(test)]` modules, `tests/`, `benches/`) is exempt from
-//! all rules.
+//! `analyze` flags:
+//!
+//! * `--check` — exit nonzero if any unwaivered error-severity finding
+//!   remains (warnings are informational; test code is downgraded).
+//! * `--out PATH` — write the sorted, deterministic JSON report.
+//! * `--fixtures` — also run the known-bad fixture corpus under
+//!   `crates/spmdlint/tests/fixtures` and fail unless every expected
+//!   rule fires at its expected line.
+//! * `--root DIR` — analyze a different root (used by the corpus).
 
 mod bench;
 mod faultmatrix;
 mod report;
 
-use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -61,65 +51,20 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("lint") => lint(),
+        Some("analyze") => analyze(&args[1..]),
         Some("bench") => bench::bench(&args[1..]),
         Some("report") => report::report(&args[1..]),
         Some("faultmatrix") => faultmatrix::faultmatrix(&args[1..]),
         _ => {
             eprintln!(
-                "usage: cargo xtask lint | bench [--smoke] [--out PATH] [--check PATH] \
+                "usage: cargo xtask lint \
+                 | analyze [--check] [--out PATH] [--fixtures] [--root DIR] \
+                 | bench [--smoke] [--out PATH] [--check PATH] \
                  | report [--smoke] [--out DIR] [--check PATH] \
                  | faultmatrix [--smoke] [--out DIR] [--check PATH]"
             );
             ExitCode::FAILURE
         }
-    }
-}
-
-/// A single rule violation, for reporting.
-struct Violation {
-    file: PathBuf,
-    line: usize,
-    rule: &'static str,
-    message: String,
-}
-
-fn lint() -> ExitCode {
-    let root = repo_root();
-    let mut violations = Vec::new();
-    // Every member crate's src/ plus the workspace root crate's src/ (the
-    // CLI wrapper library lives there; its bin/ is exempted per-rule).
-    let mut src_dirs: Vec<PathBuf> =
-        list_dir(&root.join("crates")).into_iter().map(|k| k.join("src")).collect();
-    src_dirs.push(root.join("src"));
-    for src in src_dirs {
-        if !src.is_dir() {
-            continue;
-        }
-        for file in rust_files(&src) {
-            match fs::read_to_string(&file) {
-                Ok(text) => check_file(&root, &file, &text, &mut violations),
-                Err(e) => {
-                    eprintln!("xtask lint: cannot read {}: {e}", file.display());
-                    return ExitCode::FAILURE;
-                }
-            }
-        }
-    }
-    if violations.is_empty() {
-        println!("xtask lint: ok");
-        ExitCode::SUCCESS
-    } else {
-        for v in &violations {
-            println!(
-                "{}:{}: [{}] {}",
-                v.file.strip_prefix(&root).unwrap_or(&v.file).display(),
-                v.line,
-                v.rule,
-                v.message
-            );
-        }
-        println!("xtask lint: {} violation(s)", violations.len());
-        ExitCode::FAILURE
     }
 }
 
@@ -131,403 +76,131 @@ fn repo_root() -> PathBuf {
     manifest.parent().map(Path::to_path_buf).unwrap_or(manifest)
 }
 
-fn list_dir(dir: &Path) -> Vec<PathBuf> {
-    let mut out: Vec<PathBuf> =
-        fs::read_dir(dir).into_iter().flatten().flatten().map(|e| e.path()).collect();
-    out.sort();
-    out
+/// The legacy lint gate: the five historical rules, old output format,
+/// unwaivered errors only. (`analyze` is the superset.)
+fn lint() -> ExitCode {
+    const LEGACY: &[&str] = &[
+        spmdlint::WALL_CLOCK,
+        spmdlint::UNWRAP,
+        spmdlint::FLOAT_EQ,
+        spmdlint::BLOCKING_COLLECTIVE,
+        spmdlint::RECV_UNWRAP,
+    ];
+    let report = match spmdlint::analyze(&repo_root()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let violations: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| {
+            !f.waived && f.severity == spmdlint::Severity::Error && LEGACY.contains(&f.rule)
+        })
+        .collect();
+    if violations.is_empty() {
+        println!("xtask lint: ok");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            println!("{}:{}: [{}] {}", v.file, v.line, v.rule, v.message);
+        }
+        println!("xtask lint: {} violation(s)", violations.len());
+        ExitCode::FAILURE
+    }
 }
 
-fn rust_files(dir: &Path) -> Vec<PathBuf> {
-    let mut out = Vec::new();
-    let mut stack = vec![dir.to_path_buf()];
-    while let Some(d) = stack.pop() {
-        for p in list_dir(&d) {
-            if p.is_dir() {
-                stack.push(p);
-            } else if p.extension().is_some_and(|e| e == "rs") {
-                out.push(p);
+fn analyze(args: &[String]) -> ExitCode {
+    let mut check = false;
+    let mut fixtures = false;
+    let mut out_path: Option<PathBuf> = None;
+    let mut root = repo_root();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--check" => check = true,
+            "--fixtures" => fixtures = true,
+            "--out" => match it.next() {
+                Some(p) => out_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("xtask analyze: --out needs a path");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--root" => match it.next() {
+                Some(p) => root = PathBuf::from(p),
+                None => {
+                    eprintln!("xtask analyze: --root needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("xtask analyze: unknown flag {other}");
+                return ExitCode::FAILURE;
             }
         }
     }
-    out.sort();
-    out
-}
 
-/// Does the wall-clock rule apply to this file? Simulator internals and
-/// the parallel rank bodies must never read host time (that is `comm.rs`'s
-/// job); the sequential `autoclass` crate and the bench binaries time real
-/// host execution on purpose.
-fn wall_clock_scoped(root: &Path, file: &Path) -> bool {
-    let rel = file.strip_prefix(root).unwrap_or(file);
-    let rel = rel.to_string_lossy();
-    (rel.starts_with("crates/mpsim/src") || rel.starts_with("crates/pautoclass/src"))
-        && !rel.ends_with("comm.rs")
-}
-
-/// Does the unwrap rule apply? Library code only: binaries (`src/bin/*`,
-/// `main.rs`) may panic on I/O and CLI errors like any command-line tool.
-fn unwrap_scoped(file: &Path) -> bool {
-    let s = file.to_string_lossy();
-    !s.contains("/src/bin/") && !s.ends_with("main.rs")
-}
-
-/// Does the recv-unwrap rule apply? The simulator and the parallel rank
-/// bodies — the code that handles messages which fault injection can
-/// legitimately lose, delay, or corrupt.
-fn recv_unwrap_scoped(root: &Path, file: &Path) -> bool {
-    let rel = file.strip_prefix(root).unwrap_or(file);
-    let rel = rel.to_string_lossy();
-    rel.starts_with("crates/mpsim/src") || rel.starts_with("crates/pautoclass/src")
-}
-
-/// Does the float-eq rule apply? Model/estimation code only.
-fn float_eq_scoped(root: &Path, file: &Path) -> bool {
-    let rel = file.strip_prefix(root).unwrap_or(file);
-    let rel = rel.to_string_lossy();
-    rel.starts_with("crates/autoclass/src") || rel.starts_with("crates/pautoclass/src")
-}
-
-/// Does the blocking-collective rule apply? The parallel rank bodies —
-/// that's where a blocking collective inside a loop costs a latency per
-/// iteration.
-fn blocking_collective_scoped(root: &Path, file: &Path) -> bool {
-    let rel = file.strip_prefix(root).unwrap_or(file);
-    rel.to_string_lossy().starts_with("crates/pautoclass/src")
-}
-
-/// Is this line a loop header (`for` / `while` / `loop`)? Only the first
-/// token is inspected, so identifiers like `format` or comments don't
-/// match; rustfmt keeps loop headers at the start of their line.
-fn is_loop_header(code: &str) -> bool {
-    let mut tokens = code.trim_start().split(|c: char| !c.is_alphanumeric() && c != '_');
-    matches!(tokens.next(), Some("for" | "while" | "loop"))
-}
-
-fn check_file(root: &Path, file: &Path, text: &str, out: &mut Vec<Violation>) {
-    let wall_clock = wall_clock_scoped(root, file);
-    let no_unwrap = unwrap_scoped(file);
-    let recv_unwrap = recv_unwrap_scoped(root, file);
-    let float_eq = float_eq_scoped(root, file);
-    let blocking_collective = blocking_collective_scoped(root, file);
-
-    // Track `#[cfg(test)] mod … { … }` regions by brace depth so test code
-    // is exempt. Format-string braces are balanced, so line-level counting
-    // stays correct for the code in this repository.
-    let mut depth: i64 = 0;
-    let mut armed = false; // saw #[cfg(test)], waiting for the opening brace
-    let mut skip_above: Option<i64> = None; // inside a test region opened at this depth
-
-    // Loop bodies, for the blocking-collective rule: the depth at which
-    // each currently-open `for`/`while`/`loop` was entered.
-    let mut loop_stack: Vec<i64> = Vec::new();
-    let mut loop_armed = false; // loop header seen, waiting for its `{`
-
-    let lines: Vec<&str> = text.lines().collect();
-    for (idx, &raw) in lines.iter().enumerate() {
-        let line_no = idx + 1;
-        // A waiver comment applies to its own line or the line below it.
-        let waived = |rule: &str| raw.contains(rule) || (idx > 0 && lines[idx - 1].contains(rule));
-        let trimmed = raw.trim_start();
-        let is_comment = trimmed.starts_with("//");
-        // Code portion only: a trailing comment must not trigger rules.
-        let code = raw.split("//").next().unwrap_or(raw);
-
-        if !is_comment {
-            if trimmed.contains("#[cfg(test)]") {
-                armed = true;
-            }
-            let opens = code.matches('{').count() as i64;
-            let closes = code.matches('}').count() as i64;
-            if armed && opens > 0 {
-                skip_above = Some(depth);
-                armed = false;
-            }
-            if is_loop_header(code) {
-                loop_armed = true;
-            }
-            if loop_armed && opens > 0 {
-                loop_stack.push(depth);
-                loop_armed = false;
-            }
-            depth += opens - closes;
-            while loop_stack.last().is_some_and(|&d| depth <= d) {
-                loop_stack.pop();
-            }
-            if let Some(d) = skip_above {
-                if depth <= d {
-                    skip_above = None;
-                }
-                continue; // inside (or closing line of) a test region
-            }
+    let report = match spmdlint::analyze(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xtask analyze: {e}");
+            return ExitCode::FAILURE;
         }
-        if is_comment {
-            continue;
+    };
+    for f in &report.findings {
+        let tag = if f.waived { " (waived)" } else { "" };
+        println!("{}:{}: {} [{}]{} {}", f.file, f.line, f.severity, f.rule, tag, f.message);
+        for t in &f.taint_trace {
+            println!("    taint: {t}");
         }
+    }
+    println!(
+        "xtask analyze: {} file(s), {} function(s), {} finding(s) \
+         ({} unwaivered error(s), {} warning(s))",
+        report.files_scanned,
+        report.functions,
+        report.findings.len(),
+        report.unwaivered_errors(),
+        report.warnings()
+    );
+    if let Some(p) = &out_path {
+        if let Err(e) = std::fs::write(p, report.to_json()) {
+            eprintln!("xtask analyze: write {}: {e}", p.display());
+            return ExitCode::FAILURE;
+        }
+        println!("xtask analyze: wrote {}", p.display());
+    }
 
-        if wall_clock {
-            for pat in ["thread::sleep", "Instant::now", "SystemTime::now"] {
-                if code.contains(pat) {
-                    out.push(Violation {
-                        file: file.to_path_buf(),
-                        line: line_no,
-                        rule: "wall-clock",
-                        message: format!(
-                            "`{pat}` outside comm.rs: simulated code must use virtual time"
-                        ),
-                    });
+    let mut failed = check && report.unwaivered_errors() > 0;
+
+    if fixtures {
+        let dir = repo_root().join("crates/spmdlint/tests/fixtures");
+        match spmdlint::check_fixtures(&dir) {
+            Ok(results) => {
+                for (name, missing) in &results {
+                    if missing.is_empty() {
+                        println!("fixture {name}: ok");
+                    } else {
+                        failed = true;
+                        for m in missing {
+                            println!("fixture {name}: MISSING {m}");
+                        }
+                    }
                 }
             }
-        }
-
-        if no_unwrap && !waived("lint:allow(unwrap)") {
-            for pat in [".unwrap()", ".expect("] {
-                if code.contains(pat) {
-                    out.push(Violation {
-                        file: file.to_path_buf(),
-                        line: line_no,
-                        rule: "unwrap",
-                        message: format!(
-                            "`{pat}` in library code: return an error or waive with \
-                             `// lint:allow(unwrap): why`"
-                        ),
-                    });
-                }
-            }
-        }
-
-        if recv_unwrap
-            && !waived("lint:allow(recv-unwrap)")
-            && (code.contains(".unwrap()") || code.contains(".expect("))
-            && (code.contains("recv") || code.contains("wait"))
-        {
-            out.push(Violation {
-                file: file.to_path_buf(),
-                line: line_no,
-                rule: "recv-unwrap",
-                message: "unwrapping a receive/wait result: injected faults make this a \
-                          legitimate Err — propagate the SimError or waive with \
-                          `// lint:allow(recv-unwrap): why`"
-                    .to_string(),
-            });
-        }
-
-        if float_eq && !waived("lint:allow(float-eq)") {
-            for (pos, op) in find_eq_ops(code) {
-                let lhs = last_token(&code[..pos]);
-                let rhs = first_token(&code[pos + 2..]);
-                if is_float_literal(lhs) || is_float_literal(rhs) {
-                    out.push(Violation {
-                        file: file.to_path_buf(),
-                        line: line_no,
-                        rule: "float-eq",
-                        message: format!(
-                            "direct `{op}` against a float literal: compare with a \
-                             tolerance or waive with `// lint:allow(float-eq): why`"
-                        ),
-                    });
-                }
-            }
-        }
-
-        if blocking_collective
-            && !loop_stack.is_empty()
-            && !waived("lint:allow(blocking-collective)")
-        {
-            for pat in [".allreduce_f64s(", ".broadcast_f64s(", ".gather_f64s("] {
-                if code.contains(pat) {
-                    out.push(Violation {
-                        file: file.to_path_buf(),
-                        line: line_no,
-                        rule: "blocking-collective",
-                        message: format!(
-                            "`{pat}` inside a loop body pays a message latency per \
-                             iteration: batch the payload or post `iallreduce_f64s`, \
-                             or waive with `// lint:allow(blocking-collective): why`"
-                        ),
-                    });
-                }
+            Err(e) => {
+                eprintln!("xtask analyze: fixtures: {e}");
+                return ExitCode::FAILURE;
             }
         }
     }
-}
 
-/// Byte offsets of `==` / `!=` operators in a line (`<=`, `>=`, `=>` and
-/// plain assignment do not match).
-fn find_eq_ops(code: &str) -> Vec<(usize, &'static str)> {
-    let bytes = code.as_bytes();
-    let mut out = Vec::new();
-    let mut i = 0;
-    while i + 1 < bytes.len() {
-        match &bytes[i..i + 2] {
-            b"==" => {
-                out.push((i, "=="));
-                i += 2;
-            }
-            b"!=" => {
-                out.push((i, "!="));
-                i += 2;
-            }
-            _ => i += 1,
-        }
-    }
-    out
-}
-
-fn last_token(s: &str) -> &str {
-    s.trim_end().rsplit(|c: char| c.is_whitespace() || "([{,;&|".contains(c)).next().unwrap_or("")
-}
-
-fn first_token(s: &str) -> &str {
-    s.trim_start().split(|c: char| c.is_whitespace() || ")]},;&|".contains(c)).next().unwrap_or("")
-}
-
-fn is_float_literal(tok: &str) -> bool {
-    let t = tok.trim_start_matches('-').trim_end_matches("f64").trim_end_matches("f32");
-    let t = t.trim_end_matches('.');
-    !t.is_empty()
-        && t.contains(|c: char| c.is_ascii_digit())
-        && (tok.contains('.') || tok.ends_with("f64") || tok.ends_with("f32"))
-        && t.replace('_', "").parse::<f64>().is_ok()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn float_literals_are_recognized() {
-        assert!(is_float_literal("0.0"));
-        assert!(is_float_literal("1.5e-3"));
-        assert!(is_float_literal("-2."));
-        assert!(is_float_literal("1_000.0"));
-        assert!(!is_float_literal("x"));
-        assert!(!is_float_literal("0"));
-        assert!(!is_float_literal("len"));
-        assert!(!is_float_literal(""));
-    }
-
-    #[test]
-    fn eq_ops_are_found_and_assignment_is_not() {
-        assert_eq!(find_eq_ops("a == b != c").len(), 2);
-        assert!(find_eq_ops("let x = 0.0; y <= 1.0; z >= 2.0").is_empty());
-    }
-
-    #[test]
-    fn test_regions_are_skipped() {
-        let src = "fn a() { x.unwrap(); }\n\
-                   #[cfg(test)]\n\
-                   mod tests {\n\
-                       fn b() { y.unwrap(); }\n\
-                   }\n\
-                   fn c() { z.unwrap(); }\n";
-        let mut v = Vec::new();
-        check_file(Path::new("/r"), Path::new("/r/crates/x/src/lib.rs"), src, &mut v);
-        let lines: Vec<usize> = v.iter().map(|x| x.line).collect();
-        assert_eq!(lines, vec![1, 6], "only non-test unwraps flagged");
-    }
-
-    #[test]
-    fn waivers_suppress() {
-        let src = "fn a() { x.unwrap(); // lint:allow(unwrap): invariant\n}\n";
-        let mut v = Vec::new();
-        check_file(Path::new("/r"), Path::new("/r/crates/x/src/lib.rs"), src, &mut v);
-        assert!(v.is_empty());
-    }
-
-    #[test]
-    fn waiver_on_the_line_above_suppresses() {
-        let src = "fn a() {\n\
-                       // lint:allow(unwrap): invariant\n\
-                       x.unwrap();\n\
-                   }\n";
-        let mut v = Vec::new();
-        check_file(Path::new("/r"), Path::new("/r/crates/x/src/lib.rs"), src, &mut v);
-        assert!(v.is_empty());
-    }
-
-    #[test]
-    fn blocking_collectives_flagged_only_inside_loops() {
-        let src = "fn a(comm: &mut Comm, xs: &mut [f64]) {\n\
-                       comm.allreduce_f64s(xs, ReduceOp::Sum);\n\
-                       for _ in 0..3 {\n\
-                           comm.allreduce_f64s(xs, ReduceOp::Sum);\n\
-                           while go() {\n\
-                               comm.broadcast_f64s(0, xs);\n\
-                           }\n\
-                       }\n\
-                       comm.gather_f64s(0, xs);\n\
-                   }\n";
-        let mut v = Vec::new();
-        check_file(Path::new("/r"), Path::new("/r/crates/pautoclass/src/driver.rs"), src, &mut v);
-        let lines: Vec<usize> = v.iter().map(|x| x.line).collect();
-        assert_eq!(lines, vec![4, 6], "only loop-body collectives flagged");
-        assert!(v.iter().all(|x| x.rule == "blocking-collective"));
-        // Out of scope: the same source in mpsim is not flagged.
-        v.clear();
-        check_file(Path::new("/r"), Path::new("/r/crates/mpsim/src/x.rs"), src, &mut v);
-        assert!(v.is_empty());
-    }
-
-    #[test]
-    fn blocking_collective_waiver_suppresses() {
-        let src = "fn a(comm: &mut Comm, xs: &mut [f64]) {\n\
-                       for _ in 0..3 {\n\
-                           // lint:allow(blocking-collective): ablation baseline\n\
-                           comm.allreduce_f64s(xs, ReduceOp::Sum);\n\
-                       }\n\
-                   }\n";
-        let mut v = Vec::new();
-        check_file(Path::new("/r"), Path::new("/r/crates/pautoclass/src/driver.rs"), src, &mut v);
-        assert!(v.is_empty());
-    }
-
-    #[test]
-    fn recv_unwraps_are_flagged_in_simulator_code() {
-        let src = "fn a(rx: Receiver<u8>) -> u8 {\n\
-                       let v = rx.recv().unwrap();\n\
-                       let w = handle.wait().expect(\"done\");\n\
-                       v + w\n\
-                   }\n";
-        let mut v = Vec::new();
-        check_file(Path::new("/r"), Path::new("/r/crates/mpsim/src/comm.rs"), src, &mut v);
-        let recv: Vec<usize> =
-            v.iter().filter(|x| x.rule == "recv-unwrap").map(|x| x.line).collect();
-        assert_eq!(recv, vec![2, 3], "both receive-result unwraps flagged");
-        // Out of scope: the sequential crate handles no messages.
-        v.clear();
-        check_file(Path::new("/r"), Path::new("/r/crates/autoclass/src/model.rs"), src, &mut v);
-        assert!(v.iter().all(|x| x.rule != "recv-unwrap"));
-    }
-
-    #[test]
-    fn recv_unwrap_needs_a_receive_token_and_respects_waivers() {
-        // A plain unwrap is the generic unwrap rule's business, not this
-        // rule's: no receive or wait in sight.
-        let src = "fn a(x: Option<u8>) -> u8 { x.unwrap() }\n";
-        let mut v = Vec::new();
-        check_file(Path::new("/r"), Path::new("/r/crates/mpsim/src/engine.rs"), src, &mut v);
-        assert!(v.iter().all(|x| x.rule != "recv-unwrap"));
-        assert_eq!(v.len(), 1, "still caught by the unwrap rule");
-        // A waived receive unwrap is silent.
-        let src = "fn a(rx: Receiver<u8>) -> u8 {\n\
-                       // lint:allow(recv-unwrap): lint:allow(unwrap): sender outlives us\n\
-                       rx.recv().unwrap()\n\
-                   }\n";
-        v.clear();
-        check_file(Path::new("/r"), Path::new("/r/crates/mpsim/src/engine.rs"), src, &mut v);
-        assert!(v.iter().all(|x| x.rule != "recv-unwrap"));
-    }
-
-    #[test]
-    fn float_eq_flagged_only_in_model_code() {
-        let src = "fn a(w: f64) -> bool { w == 0.0 }\n";
-        let mut v = Vec::new();
-        check_file(Path::new("/r"), Path::new("/r/crates/autoclass/src/model.rs"), src, &mut v);
-        assert_eq!(v.len(), 1);
-        assert_eq!(v[0].rule, "float-eq");
-        v.clear();
-        check_file(Path::new("/r"), Path::new("/r/crates/mpsim/src/clock.rs"), src, &mut v);
-        assert!(v.is_empty());
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
     }
 }
