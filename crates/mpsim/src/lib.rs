@@ -47,6 +47,9 @@
 //!   buckets fed by the [`Comm::enter_phase`] span API
 //! * [`report`] — paper-style tables (per-phase time, speedup, efficiency,
 //!   critical path) rendered from per-rank stats as text/CSV/JSON
+//! * [`traits`] — the backend-neutral [`Communicator`] /
+//!   [`GroupCommunicator`] traits (plus [`CommError`]) that let the same
+//!   SPMD driver run on this simulator or on a wall-clock native backend
 //! * [`verify`] — opt-in SPMD correctness verification: collective
 //!   fingerprint cross-validation, wait-for-graph deadlock detection, and
 //!   replication-invariant hashing (see [`SimOptions::verified`])
@@ -65,6 +68,7 @@ pub mod report;
 pub mod subcomm;
 pub mod topology;
 pub mod trace;
+pub mod traits;
 pub mod verify;
 
 pub use clock::PhaseTimes;
@@ -82,4 +86,5 @@ pub use report::{PhaseRow, Report, RunRecord, RunRow};
 pub use subcomm::SubComm;
 pub use topology::Topology;
 pub use trace::{Event, EventKind, PhaseStats, RankStats, RunStats, RECOVERY_PHASE};
-pub use verify::{CollFingerprint, CollKind, VerifyOptions};
+pub use traits::{CommError, Communicator, GroupCommunicator};
+pub use verify::{hash_f64s, CollFingerprint, CollKind, VerifyOptions};

@@ -1,0 +1,437 @@
+//! Backend-neutral communication traits: the surface the P-AutoClass
+//! driver actually uses, abstracted away from the simulator.
+//!
+//! [`Communicator`] captures exactly the operations `pautoclass::driver`,
+//! `run`, and `recover` perform on a world communicator — point-to-point
+//! sends/receives, the allreduce family (blocking and non-blocking),
+//! broadcast/gather, phase spans, replication checks, and `split` — and
+//! [`GroupCommunicator`] captures the subset a post-split group supports.
+//! [`crate::Comm`] / [`crate::SubComm`] are the first implementors (the
+//! simulated backend); the `shmcomm` crate provides a wall-clock native
+//! backend over OS threads implementing the same traits with the same
+//! collective schedules, so one generic SPMD driver runs on either.
+//!
+//! # Determinism contract
+//!
+//! An implementation must fold reductions in a *fixed, rank-ordered or
+//! tree-ordered* sequence that depends only on `(algorithm, P, length)` —
+//! never on arrival order, scheduling, or wall-clock races — so that two
+//! backends running the same driver produce bitwise-identical `f64`
+//! results. The schedules in [`crate::collectives`] define the reference
+//! fold orders.
+//!
+//! # Errors
+//!
+//! Backends surface failures as [`CommError`], a backend-neutral type:
+//! the simulator's typed [`SimError`]s pass through as
+//! [`CommError::Sim`], while native-backend failure modes that have no
+//! simulated analogue (a disconnected channel, a poisoned mutex) get
+//! their own variants instead of escaping as raw panics.
+
+use crate::collectives::ReduceOp;
+use crate::comm::{Comm, Request};
+use crate::cost::{AllreduceAlgo, MachineSpec};
+use crate::error::SimError;
+use crate::subcomm::SubComm;
+
+/// A backend-neutral communication failure.
+///
+/// Every backend maps its failure modes here: the simulated engine's
+/// errors arrive as [`CommError::Sim`] (preserving rank/sequence
+/// diagnostics), and the native backend's shared-memory failure modes —
+/// which the simulator cannot produce — get typed variants so callers
+/// never have to parse panic strings.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CommError {
+    /// A simulated-engine failure (rank panic, deadlock, verifier
+    /// divergence, injected fault) with its full diagnostics.
+    Sim(SimError),
+    /// A rank's thread panicked with an unstructured payload.
+    RankPanicked {
+        /// The panicking rank, when identifiable.
+        rank: usize,
+        /// The panic message.
+        detail: String,
+    },
+    /// A channel to a peer disconnected while traffic was still expected
+    /// (the peer's thread is gone without a recorded cause).
+    Disconnected {
+        /// The rank that observed the disconnection.
+        rank: usize,
+        /// The peer whose endpoint vanished.
+        peer: usize,
+        /// What the rank was doing when the channel died.
+        detail: String,
+    },
+    /// A shared lock was poisoned by a panic on another thread.
+    Poisoned {
+        /// The rank that found the lock poisoned.
+        rank: usize,
+        /// Which lock, and during what operation.
+        detail: String,
+    },
+    /// A replicated value diverged across ranks on the native backend.
+    Replication {
+        /// The rank that detected the divergence.
+        rank: usize,
+        /// The caller-supplied label of the replicated value.
+        label: String,
+        /// Hash diagnostics.
+        detail: String,
+    },
+    /// A non-blocking request was misused (waited twice).
+    Request {
+        /// The offending rank.
+        rank: usize,
+        /// What went wrong.
+        detail: String,
+    },
+    /// A blocking receive exceeded the backend's wall-clock timeout.
+    Timeout {
+        /// The waiting rank.
+        rank: usize,
+        /// The peer it was waiting on.
+        from: usize,
+        /// The message tag it was waiting for.
+        tag: u64,
+    },
+    /// The machine specification cannot be executed (e.g. zero ranks).
+    InvalidMachine {
+        /// Why the specification was rejected.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::Sim(e) => write!(f, "{e}"),
+            CommError::RankPanicked { rank, detail } => {
+                write!(f, "rank {rank} panicked: {detail}")
+            }
+            CommError::Disconnected { rank, peer, detail } => {
+                write!(f, "rank {rank}: channel to rank {peer} disconnected ({detail})")
+            }
+            CommError::Poisoned { rank, detail } => {
+                write!(f, "rank {rank}: poisoned lock: {detail}")
+            }
+            CommError::Replication { rank, label, detail } => {
+                write!(f, "rank {rank}: replicated value {label:?} diverged: {detail}")
+            }
+            CommError::Request { rank, detail } => {
+                write!(f, "rank {rank}: request misuse: {detail}")
+            }
+            CommError::Timeout { rank, from, tag } => {
+                write!(f, "rank {rank}: receive from rank {from} (tag {tag}) timed out")
+            }
+            CommError::InvalidMachine { detail } => write!(f, "invalid machine: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CommError::Sim(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SimError> for CommError {
+    fn from(e: SimError) -> Self {
+        CommError::Sim(e)
+    }
+}
+
+/// The world-communicator surface the SPMD driver is generic over.
+///
+/// Implementations: [`crate::Comm`] (simulated virtual time) and
+/// `shmcomm::NativeComm` (wall-clock OS threads). All methods carry the
+/// SPMD discipline of their concrete counterparts: collectives must be
+/// called by every rank in the same order with compatible arguments, and
+/// every non-blocking request must be retired by exactly one
+/// [`Communicator::wait`] / [`Communicator::waitall`].
+pub trait Communicator {
+    /// Handle for a non-blocking operation posted on this backend.
+    type Req;
+    /// The sub-communicator type [`Communicator::split`] produces; borrows
+    /// the world communicator for its lifetime, exactly like
+    /// [`crate::SubComm`].
+    type Group<'g>: GroupCommunicator
+    where
+        Self: 'g;
+
+    /// This rank's id in `0..size()`.
+    fn rank(&self) -> usize;
+    /// Number of ranks in the communicator.
+    fn size(&self) -> usize;
+    /// The machine description (used for algorithm selection; on the
+    /// native backend it describes the machine being *compared against*,
+    /// so both backends take identical algorithm-choice branches).
+    fn machine(&self) -> &MachineSpec;
+    /// Current time on this rank, in seconds (virtual or wall-clock,
+    /// depending on the backend).
+    fn now(&self) -> f64;
+    /// Account `ops` abstract operations of local compute. The simulator
+    /// charges virtual time; the native backend measures real time
+    /// implicitly, so this is free there.
+    fn work(&mut self, ops: u64);
+    /// Open a named phase span (see [`crate::Comm::enter_phase`]).
+    fn enter_phase(&mut self, name: &str);
+    /// Close the innermost open phase span.
+    fn exit_phase(&mut self);
+
+    /// Blocking typed send of an `f64` slice.
+    fn send_f64s(&mut self, dst: usize, tag: u64, values: &[f64]);
+    /// Blocking typed receive of an `f64` vector.
+    fn recv_f64s(&mut self, src: usize, tag: u64) -> Vec<f64>;
+    /// Non-blocking send; the returned request must be waited.
+    fn isend_f64s(&mut self, dst: usize, tag: u64, values: &[f64]) -> Self::Req;
+    /// Post a non-blocking receive; the matching wait yields the payload.
+    fn irecv_f64s(&mut self, src: usize, tag: u64) -> Self::Req;
+    /// Retire a non-blocking request (receives yield `Some(payload)`).
+    fn wait(&mut self, req: &mut Self::Req) -> Option<Vec<f64>>;
+    /// Retire every request in order, collecting each wait's result.
+    fn waitall(&mut self, reqs: &mut [Self::Req]) -> Vec<Option<Vec<f64>>>;
+
+    /// Synchronize all ranks.
+    fn barrier(&mut self);
+    /// Broadcast `buf` from `root` to all ranks.
+    fn broadcast_f64s(&mut self, root: usize, buf: &mut [f64]);
+    /// Gather each rank's vector to `root`, concatenated in rank order.
+    fn gather_f64s(&mut self, root: usize, mine: &[f64]) -> Option<Vec<f64>>;
+    /// Allreduce with the machine's default algorithm.
+    fn allreduce_f64s(&mut self, buf: &mut [f64], op: ReduceOp);
+    /// Allreduce with an explicit algorithm (`Auto` resolves identically
+    /// on every rank and backend).
+    fn allreduce_f64s_with(&mut self, buf: &mut [f64], op: ReduceOp, algo: AllreduceAlgo);
+    /// Allreduce of a single scalar; returns the reduced value.
+    fn allreduce_scalar(&mut self, value: f64, op: ReduceOp) -> f64 {
+        let mut buf = [value];
+        self.allreduce_f64s(&mut buf, op);
+        buf[0]
+    }
+    /// Non-blocking allreduce with the machine's default algorithm.
+    fn iallreduce_f64s(&mut self, buf: &mut [f64], op: ReduceOp) -> Self::Req;
+    /// Non-blocking allreduce with an explicit algorithm. Data movement
+    /// may run eagerly (both current backends do), which keeps results
+    /// bitwise identical to the blocking call; only completion timing is
+    /// deferred.
+    fn iallreduce_f64s_with(
+        &mut self,
+        buf: &mut [f64],
+        op: ReduceOp,
+        algo: AllreduceAlgo,
+    ) -> Self::Req;
+
+    /// Whether replication-invariant hashing is enabled for this run.
+    fn checks_replication(&self) -> bool;
+    /// Assert that `data` is bitwise identical on every rank (collective;
+    /// no-op unless replication checking is enabled).
+    fn verify_replicated(&mut self, label: &str, data: &[f64]);
+
+    /// Split the communicator by color; ranks passing equal colors form a
+    /// group. Collective over the world communicator.
+    fn split(&mut self, color: u32) -> Self::Group<'_>;
+}
+
+/// The group-communicator surface a [`Communicator::split`] result
+/// supports: the collectives the shrink-and-redistribute recovery path
+/// uses, plus phase attribution on the underlying world clock.
+pub trait GroupCommunicator {
+    /// This rank's id within the group.
+    fn rank(&self) -> usize;
+    /// Group size.
+    fn size(&self) -> usize;
+    /// World ranks of the group, ascending.
+    fn members(&self) -> &[usize];
+    /// Account local compute on the member's world clock.
+    fn work(&mut self, ops: u64);
+    /// Open a named phase span on the underlying world communicator.
+    fn enter_phase(&mut self, name: &str);
+    /// Close the innermost open phase span on the world communicator.
+    fn exit_phase(&mut self);
+    /// Synchronize the group.
+    fn barrier(&mut self);
+    /// Broadcast from the group-rank `root` to the group.
+    fn broadcast_f64s(&mut self, root: usize, buf: &mut [f64]);
+    /// Allreduce over the group.
+    fn allreduce_f64s(&mut self, buf: &mut [f64], op: ReduceOp);
+    /// Allreduce of a single scalar over the group.
+    fn allreduce_scalar(&mut self, value: f64, op: ReduceOp) -> f64 {
+        let mut buf = [value];
+        self.allreduce_f64s(&mut buf, op);
+        buf[0]
+    }
+    /// Gather variable-length vectors to the group-rank `root`.
+    fn gather_f64s(&mut self, root: usize, mine: &[f64]) -> Option<Vec<f64>>;
+}
+
+impl Communicator for Comm {
+    type Req = Request;
+    type Group<'g> = SubComm<'g>;
+
+    fn rank(&self) -> usize {
+        Comm::rank(self)
+    }
+    fn size(&self) -> usize {
+        Comm::size(self)
+    }
+    fn machine(&self) -> &MachineSpec {
+        Comm::machine(self)
+    }
+    fn now(&self) -> f64 {
+        Comm::now(self)
+    }
+    fn work(&mut self, ops: u64) {
+        Comm::work(self, ops);
+    }
+    fn enter_phase(&mut self, name: &str) {
+        Comm::enter_phase(self, name);
+    }
+    fn exit_phase(&mut self) {
+        Comm::exit_phase(self);
+    }
+    fn send_f64s(&mut self, dst: usize, tag: u64, values: &[f64]) {
+        Comm::send_f64s(self, dst, tag, values);
+    }
+    fn recv_f64s(&mut self, src: usize, tag: u64) -> Vec<f64> {
+        Comm::recv_f64s(self, src, tag)
+    }
+    fn isend_f64s(&mut self, dst: usize, tag: u64, values: &[f64]) -> Request {
+        Comm::isend_f64s(self, dst, tag, values)
+    }
+    fn irecv_f64s(&mut self, src: usize, tag: u64) -> Request {
+        Comm::irecv_f64s(self, src, tag)
+    }
+    fn wait(&mut self, req: &mut Request) -> Option<Vec<f64>> {
+        Comm::wait(self, req)
+    }
+    fn waitall(&mut self, reqs: &mut [Request]) -> Vec<Option<Vec<f64>>> {
+        Comm::waitall(self, reqs)
+    }
+    fn barrier(&mut self) {
+        Comm::barrier(self);
+    }
+    fn broadcast_f64s(&mut self, root: usize, buf: &mut [f64]) {
+        Comm::broadcast_f64s(self, root, buf);
+    }
+    fn gather_f64s(&mut self, root: usize, mine: &[f64]) -> Option<Vec<f64>> {
+        Comm::gather_f64s(self, root, mine)
+    }
+    fn allreduce_f64s(&mut self, buf: &mut [f64], op: ReduceOp) {
+        Comm::allreduce_f64s(self, buf, op);
+    }
+    fn allreduce_f64s_with(&mut self, buf: &mut [f64], op: ReduceOp, algo: AllreduceAlgo) {
+        Comm::allreduce_f64s_with(self, buf, op, algo);
+    }
+    fn allreduce_scalar(&mut self, value: f64, op: ReduceOp) -> f64 {
+        Comm::allreduce_scalar(self, value, op)
+    }
+    fn iallreduce_f64s(&mut self, buf: &mut [f64], op: ReduceOp) -> Request {
+        Comm::iallreduce_f64s(self, buf, op)
+    }
+    fn iallreduce_f64s_with(
+        &mut self,
+        buf: &mut [f64],
+        op: ReduceOp,
+        algo: AllreduceAlgo,
+    ) -> Request {
+        Comm::iallreduce_f64s_with(self, buf, op, algo)
+    }
+    fn checks_replication(&self) -> bool {
+        Comm::checks_replication(self)
+    }
+    fn verify_replicated(&mut self, label: &str, data: &[f64]) {
+        Comm::verify_replicated(self, label, data);
+    }
+    fn split(&mut self, color: u32) -> SubComm<'_> {
+        Comm::split(self, color)
+    }
+}
+
+impl GroupCommunicator for SubComm<'_> {
+    fn rank(&self) -> usize {
+        SubComm::rank(self)
+    }
+    fn size(&self) -> usize {
+        SubComm::size(self)
+    }
+    fn members(&self) -> &[usize] {
+        SubComm::members(self)
+    }
+    fn work(&mut self, ops: u64) {
+        SubComm::work(self, ops);
+    }
+    fn enter_phase(&mut self, name: &str) {
+        self.world().enter_phase(name);
+    }
+    fn exit_phase(&mut self) {
+        self.world().exit_phase();
+    }
+    fn barrier(&mut self) {
+        SubComm::barrier(self);
+    }
+    fn broadcast_f64s(&mut self, root: usize, buf: &mut [f64]) {
+        SubComm::broadcast_f64s(self, root, buf);
+    }
+    fn allreduce_f64s(&mut self, buf: &mut [f64], op: ReduceOp) {
+        SubComm::allreduce_f64s(self, buf, op);
+    }
+    fn allreduce_scalar(&mut self, value: f64, op: ReduceOp) -> f64 {
+        SubComm::allreduce_scalar(self, value, op)
+    }
+    fn gather_f64s(&mut self, root: usize, mine: &[f64]) -> Option<Vec<f64>> {
+        SubComm::gather_f64s(self, root, mine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::presets;
+    use crate::engine::run_spmd_default;
+
+    /// A generic SPMD body exercising the trait surface end to end on the
+    /// simulated backend.
+    fn generic_body<C: Communicator>(comm: &mut C) -> (f64, f64, usize) {
+        comm.enter_phase("trait-test");
+        let me = comm.rank() as f64;
+        let sum = comm.allreduce_scalar(me + 1.0, ReduceOp::Sum);
+        let mut buf = vec![me; 3];
+        comm.allreduce_f64s_with(&mut buf, ReduceOp::Max, AllreduceAlgo::RecursiveDoubling);
+        let mut req = comm.iallreduce_f64s(&mut buf, ReduceOp::Sum);
+        comm.work(10);
+        comm.wait(&mut req);
+        let sub_size = {
+            let sub = comm.split((comm.rank() % 2) as u32);
+            sub.size()
+        };
+        comm.exit_phase();
+        (sum, buf[0], sub_size)
+    }
+
+    #[test]
+    fn comm_implements_the_trait() {
+        let spec = presets::zero_cost(4);
+        let out = run_spmd_default(&spec, |c| generic_body(c)).unwrap();
+        for (rank, (sum, m, sub)) in out.per_rank.iter().enumerate() {
+            assert_eq!(*sum, 10.0, "rank {rank}");
+            // max over ranks = 3, then summed over 4 ranks by iallreduce.
+            assert_eq!(*m, 12.0, "rank {rank}");
+            assert_eq!(*sub, 2, "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn comm_error_display_names_causes() {
+        let e = CommError::from(SimError::Aborted { rank: 1 });
+        assert!(std::error::Error::source(&e).is_some());
+        let d = CommError::Disconnected { rank: 0, peer: 2, detail: "recv".into() };
+        assert!(d.to_string().contains("rank 2"));
+        let p = CommError::Poisoned { rank: 1, detail: "replication registry".into() };
+        assert!(p.to_string().contains("poisoned"));
+    }
+}

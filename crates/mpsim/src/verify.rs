@@ -430,7 +430,11 @@ where
 /// FNV-1a over the bit patterns of an `f64` slice: cheap, deterministic,
 /// and collision-resistant enough for divergence *detection* (a divergence
 /// missed by a 64-bit hash collision is astronomically unlikely).
-pub(crate) fn hash_f64s(values: &[f64]) -> u64 {
+///
+/// Public so other backends (and cross-backend gates like
+/// `cargo xtask calibrate`) compute replication hashes with the exact
+/// same function the simulated verifier uses.
+pub fn hash_f64s(values: &[f64]) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for v in values {
         for byte in v.to_bits().to_le_bytes() {

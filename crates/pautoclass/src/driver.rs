@@ -7,6 +7,11 @@
 //! identical on every rank (see `mpsim::collectives`), every rank derives
 //! identical parameters and identical control-flow decisions — the
 //! semantics-preservation property the paper claims for its design.
+//!
+//! Every building block here is generic over [`mpsim::Communicator`], so
+//! the same driver runs on the simulated machine (`mpsim::Comm`, virtual
+//! time) or on real cores (`shmcomm::NativeComm`, wall-clock time) with
+//! bitwise-identical numerical results.
 
 use autoclass::data::{DataView, GlobalStats};
 use autoclass::model::{
@@ -14,7 +19,7 @@ use autoclass::model::{
     stats_to_classes_into, update_wts_and_stats_into, update_wts_into, Approximation, ClassParams,
     CycleWorkspace, EStepScratch, Model, SuffStats, WtsMatrix,
 };
-use mpsim::{predicted_allreduce_cost, select_allreduce, AllreduceAlgo, Comm, ReduceOp};
+use mpsim::{predicted_allreduce_cost, select_allreduce, AllreduceAlgo, Communicator, ReduceOp};
 
 use crate::config::{Exchange, Strategy};
 
@@ -23,8 +28,8 @@ use crate::config::{Exchange, Strategy};
 /// the identical `Model` (this is AutoClass's "data structures
 /// initialized" step, distributed). `correlated_blocks` selects the
 /// attribute structure (empty = all independent).
-pub fn build_model(
-    comm: &mut Comm,
+pub fn build_model<C: Communicator>(
+    comm: &mut C,
     view: &DataView<'_>,
     correlated_blocks: &[Vec<usize>],
 ) -> Model {
@@ -46,8 +51,8 @@ pub fn build_model(
 /// Initialize a try's classes on rank 0 and broadcast them, so all ranks
 /// start identically (the parallel equivalent of AutoClass's random
 /// class seeding).
-pub fn init_classes_parallel(
-    comm: &mut Comm,
+pub fn init_classes_parallel<C: Communicator>(
+    comm: &mut C,
     model: &Model,
     view: &DataView<'_>,
     j: usize,
@@ -83,8 +88,8 @@ pub fn init_classes_parallel(
 /// allocation in steady state. (`WtsOnly` gathers the whole weight matrix
 /// through growing transport buffers by design — that bandwidth cost is
 /// the point of the comparison.)
-pub fn parallel_base_cycle(
-    comm: &mut Comm,
+pub fn parallel_base_cycle<C: Communicator>(
+    comm: &mut C,
     model: &Model,
     view: &DataView<'_>,
     classes: &mut Vec<ClassParams>,
@@ -253,8 +258,8 @@ pub fn parallel_base_cycle(
 /// `Request` handles (`j + 1` of them) — documented in DESIGN.md §10;
 /// everything else reuses the [`CycleWorkspace`] buffers.
 #[allow(clippy::too_many_arguments)]
-fn pipelined_cycle(
-    comm: &mut Comm,
+fn pipelined_cycle<C: Communicator>(
+    comm: &mut C,
     model: &Model,
     view: &DataView<'_>,
     classes: &mut Vec<ClassParams>,
@@ -384,8 +389,8 @@ fn pipelined_cycle(
 /// holding the global statistics on every rank; `flat` is a reusable
 /// payload buffer; `classes` is replaced with the broadcast parameters.
 #[allow(clippy::too_many_arguments)]
-fn wts_only_mstep(
-    comm: &mut Comm,
+fn wts_only_mstep<C: Communicator>(
+    comm: &mut C,
     model: &Model,
     view: &DataView<'_>,
     wts: &WtsMatrix,

@@ -1,6 +1,6 @@
 //! Error type for the parallel entry points.
 
-use mpsim::SimError;
+use mpsim::{CommError, SimError};
 
 use crate::checkpoint::CheckpointError;
 
@@ -24,6 +24,11 @@ pub enum RunError {
     /// A checkpoint could not be decoded (truncated, corrupted, or from
     /// an incompatible version), so the requested recovery is impossible.
     Checkpoint(CheckpointError),
+    /// The communication backend reported a failure — backend-neutral:
+    /// wraps a simulator error on the simulated machine and a native
+    /// failure (panicked rank, poisoned lock, disconnected channel,
+    /// receive timeout) on real cores.
+    Comm(CommError),
 }
 
 impl std::fmt::Display for RunError {
@@ -34,6 +39,7 @@ impl std::fmt::Display for RunError {
                 write!(f, "search produced no classification (empty start_j_list?)")
             }
             RunError::Checkpoint(e) => write!(f, "cannot resume from checkpoint: {e}"),
+            RunError::Comm(e) => write!(f, "communication backend failed: {e}"),
         }
     }
 }
@@ -44,6 +50,7 @@ impl std::error::Error for RunError {
             RunError::Sim(e) => Some(e),
             RunError::EmptySearch => None,
             RunError::Checkpoint(e) => Some(e),
+            RunError::Comm(e) => Some(e),
         }
     }
 }
@@ -60,6 +67,12 @@ impl From<CheckpointError> for RunError {
     }
 }
 
+impl From<CommError> for RunError {
+    fn from(e: CommError) -> Self {
+        RunError::Comm(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -70,6 +83,13 @@ mod tests {
         assert!(e.to_string().contains("simulated run failed"));
         assert!(std::error::Error::source(&e).is_some());
         assert!(RunError::EmptySearch.to_string().contains("no classification"));
+    }
+
+    #[test]
+    fn comm_errors_chain_their_cause() {
+        let e = RunError::from(CommError::Poisoned { rank: 2, detail: "store".into() });
+        assert!(e.to_string().contains("communication backend failed"), "{e}");
+        assert!(std::error::Error::source(&e).is_some());
     }
 
     #[test]

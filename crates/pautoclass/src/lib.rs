@@ -43,4 +43,9 @@ pub use checkpoint::{CheckpointError, CkptClassification, SearchCheckpoint};
 pub use config::{Exchange, FtConfig, ParallelConfig, Partitioning, RecoveryPolicy, Strategy};
 pub use error::RunError;
 pub use recover::{run_search_ft, FtOutcome};
-pub use run::{run_fixed_j, run_search, run_search_with, CycleTiming, ParallelOutcome};
+pub use run::{
+    run_fixed_j, run_search, run_search_native, run_search_with, CycleTiming, ParallelOutcome,
+};
+// The native entry point's options type, so callers need not depend on the
+// backend crate directly.
+pub use shmcomm::NativeOptions;

@@ -16,7 +16,7 @@
 //!   deterministic, so the final classification is **bitwise identical**
 //!   to an unfaulted run's.
 //! * [`RecoveryPolicy::ShrinkAndRedistribute`] — exclude the culprit
-//!   rank, rebuild a (P−1)-rank communicator with `Comm::split`,
+//!   rank, rebuild a (P−1)-rank communicator with `Communicator::split`,
 //!   repartition the data over the survivors, and resume from the
 //!   checkpoint. The rebuild cost is measured under the `"recovery"`
 //!   phase bucket and reported as [`FtOutcome::recovery_time`].
@@ -30,7 +30,10 @@ use autoclass::model::{
     CycleWorkspace, Model,
 };
 use autoclass::search::{apply_class_death, is_duplicate, Classification};
-use mpsim::{run_spmd, Comm, MachineSpec, ReduceOp, SimError, SimOptions, SubComm, RECOVERY_PHASE};
+use mpsim::{
+    run_spmd, Communicator, GroupCommunicator, MachineSpec, ReduceOp, SimError, SimOptions,
+    RECOVERY_PHASE,
+};
 
 use crate::checkpoint::{CkptClassification, SearchCheckpoint};
 use crate::config::{FtConfig, ParallelConfig, RecoveryPolicy};
@@ -172,7 +175,11 @@ fn approx_from(v: [f64; 4]) -> Approximation {
 /// Serialize the (replicated) search state, charge the serialization cost
 /// in virtual time on every rank under the `"checkpoint"` phase, and
 /// publish rank 0's copy to the supervisor's store.
-fn publish_checkpoint(comm: &mut Comm, ck: &SearchCheckpoint, store: &Mutex<Option<Vec<u8>>>) {
+fn publish_checkpoint<C: Communicator>(
+    comm: &mut C,
+    ck: &SearchCheckpoint,
+    store: &Mutex<Option<Vec<u8>>>,
+) {
     let bytes = ck.to_bytes();
     comm.enter_phase("checkpoint");
     comm.work(bytes.len() as u64);
@@ -187,8 +194,8 @@ fn publish_checkpoint(comm: &mut Comm, ck: &SearchCheckpoint, store: &Mutex<Opti
 /// schedule and numbers, plus checkpoint publication every
 /// `ft.checkpoint_every` cycles and the ability to resume mid-try from a
 /// decoded checkpoint.
-fn ft_rank_body(
-    comm: &mut Comm,
+fn ft_rank_body<C: Communicator>(
+    comm: &mut C,
     data: &Dataset,
     config: &ParallelConfig,
     ft: &FtConfig,
@@ -297,8 +304,8 @@ fn ft_rank_body(
 /// rebuild a (P−1)-rank sub-communicator, repartition the data, restore
 /// the checkpointed state, and finish the search with sub-communicator
 /// collectives. Returns `None` on the excluded rank.
-fn shrunk_rank_body(
-    comm: &mut Comm,
+fn shrunk_rank_body<C: Communicator>(
+    comm: &mut C,
     data: &Dataset,
     config: &ParallelConfig,
     ft: &FtConfig,
@@ -313,7 +320,7 @@ fn shrunk_rank_body(
     let mut sub = comm.split(u32::from(excluded));
     if excluded {
         // The suspect rank leaves the computation entirely.
-        sub.world().exit_phase();
+        sub.exit_phase();
         return None;
     }
     let parts = block_partition(data.len(), sub.size());
@@ -329,9 +336,9 @@ fn shrunk_rank_body(
         .map(|ck| ck.best.iter().map(|b| b.to_classification(&model)).collect())
         .unwrap_or_default();
     let mut total_cycles = resume.map_or(0, |ck| ck.total_cycles);
-    sub.world().exit_phase();
+    sub.exit_phase();
 
-    sub.world().enter_phase("search");
+    sub.enter_phase("search");
     let mut ws = CycleWorkspace::new();
     for (ji, &j) in sc.start_j_list.iter().enumerate() {
         for t in 0..sc.tries_per_j {
@@ -408,15 +415,15 @@ fn shrunk_rank_body(
     }
     all.sort_by(|a, b| b.score().total_cmp(&a.score()));
     all.truncate(sc.max_stored);
-    sub.world().exit_phase();
+    sub.exit_phase();
     Some((all, total_cycles))
 }
 
 /// [`build_model`] over the survivors' sub-communicator: local statistics
 /// on the new partition, combined with a sub-allreduce, so every survivor
 /// derives the identical model.
-fn sub_build_model(
-    sub: &mut SubComm<'_>,
+fn sub_build_model<G: GroupCommunicator>(
+    sub: &mut G,
     view: &DataView<'_>,
     correlated_blocks: &[Vec<usize>],
 ) -> Model {
@@ -434,8 +441,8 @@ fn sub_build_model(
 
 /// [`init_classes_parallel`] over the sub-communicator: the lowest
 /// surviving rank seeds and broadcasts.
-fn sub_init_classes(
-    sub: &mut SubComm<'_>,
+fn sub_init_classes<G: GroupCommunicator>(
+    sub: &mut G,
     model: &Model,
     view: &DataView<'_>,
     j: usize,
@@ -455,8 +462,8 @@ fn sub_init_classes(
 
 /// [`publish_checkpoint`] over the sub-communicator: the lowest surviving
 /// rank publishes.
-fn sub_publish_checkpoint(
-    sub: &mut SubComm<'_>,
+fn sub_publish_checkpoint<G: GroupCommunicator>(
+    sub: &mut G,
     ck: &SearchCheckpoint,
     store: &Mutex<Option<Vec<u8>>>,
 ) {
@@ -474,8 +481,8 @@ fn sub_publish_checkpoint(
 /// The compact blocking form is fine here: this path only runs after a
 /// failure, and correctness (every survivor bitwise identical) is what
 /// matters, not overlap.
-fn sub_base_cycle(
-    sub: &mut SubComm<'_>,
+fn sub_base_cycle<G: GroupCommunicator>(
+    sub: &mut G,
     model: &Model,
     view: &DataView<'_>,
     classes: &mut Vec<ClassParams>,

@@ -1,11 +1,15 @@
 //! Top-level P-AutoClass entry points: run the full search — or a
 //! fixed-size cycling run for scaleup measurements — on a simulated
-//! multicomputer.
+//! multicomputer ([`run_search`]) or on real cores ([`run_search_native`]).
+//! Both drive the same generic rank body through [`mpsim::Communicator`],
+//! so their classifications are bitwise identical; only the time axis
+//! differs (virtual LogGP seconds vs measured wall-clock seconds).
 
 use autoclass::data::Dataset;
 use autoclass::model::{converged, derive_seed, CycleWorkspace};
 use autoclass::search::{apply_class_death, is_duplicate, Classification};
-use mpsim::{run_spmd, Comm, MachineSpec, RankStats, RunStats, SimOptions};
+use mpsim::{run_spmd, Communicator, MachineSpec, RankStats, RunStats, SimOptions};
+use shmcomm::{run_native, NativeOptions};
 
 use crate::config::ParallelConfig;
 use crate::driver::{build_model, init_classes_parallel, parallel_base_cycle};
@@ -30,9 +34,10 @@ pub struct ParallelOutcome {
     pub cycles: usize,
 }
 
-/// The per-rank body of the search, shared by [`run_search`].
-fn search_rank_body(
-    comm: &mut Comm,
+/// The per-rank body of the search, shared by [`run_search`] and
+/// [`run_search_native`] — one body, two machines.
+fn search_rank_body<C: Communicator>(
+    comm: &mut C,
     data: &Dataset,
     config: &ParallelConfig,
 ) -> (Vec<Classification>, usize) {
@@ -144,6 +149,31 @@ pub fn run_search_with(
         // A machine with zero ranks is rejected by the engine before the
         // body runs, so this is unreachable in practice — but returning an
         // error keeps the library free of panic paths.
+        return Err(RunError::EmptySearch);
+    };
+    outcome_from(all, cycles, out.elapsed, out.ranks, out.stats)
+}
+
+/// Run the full P-AutoClass search on real cores: `machine.p` OS threads,
+/// wall-clock time, the exact rank body [`run_search`] uses. The machine
+/// spec contributes only its decisions (rank count, allreduce algorithm
+/// selection), so the classification, log-likelihoods, and per-cycle
+/// control flow are bitwise identical to the simulated run's; `elapsed`
+/// and the per-rank phase buckets are measured on this host's silicon.
+///
+/// # Errors
+/// Native backend failures (a panicked rank, a poisoned lock, a
+/// disconnected channel, a receive timeout) surface as
+/// [`RunError::Comm`]; a search that stores no classification is
+/// [`RunError::EmptySearch`].
+pub fn run_search_native(
+    data: &Dataset,
+    machine: &MachineSpec,
+    config: &ParallelConfig,
+    opts: &NativeOptions,
+) -> Result<ParallelOutcome, RunError> {
+    let out = run_native(machine, opts, |comm| search_rank_body(comm, data, config))?;
+    let Some((all, cycles)) = out.per_rank.into_iter().next() else {
         return Err(RunError::EmptySearch);
     };
     outcome_from(all, cycles, out.elapsed, out.ranks, out.stats)

@@ -1,0 +1,377 @@
+//! Collectives on the native backend — the *same schedules, same fold
+//! orders* as [`mpsim::collectives`], so results are bitwise identical
+//! across backends under every algorithm.
+//!
+//! # Determinism contract
+//!
+//! Each schedule below is a line-for-line mirror of its simulated
+//! counterpart: the sequence of sends, receives, and `ReduceOp::fold`
+//! calls a rank performs depends only on `(algorithm, P, length)`. There
+//! is no shared accumulator and no atomics race on payloads — every
+//! partial reduction is owned by exactly one thread, and values cross
+//! threads only through channel messages — so arrival timing can never
+//! reorder a floating-point fold. `Auto` resolves through the same
+//! [`mpsim::select_allreduce`] before anything is posted, keeping the
+//! *algorithm choice* itself identical across backends.
+
+use mpsim::error::SimError;
+use mpsim::traits::CommError;
+use mpsim::{AllreduceAlgo, ReduceOp};
+
+use crate::comm::{NativeComm, NativeReq, ReqKind};
+
+/// Base of the tag space reserved for collectives (above all user tags;
+/// same split as the simulator's).
+pub(crate) const COLL_TAG_BASE: u64 = 1 << 32;
+
+impl NativeComm {
+    /// Raise a collective-argument mismatch as a typed error.
+    fn mismatch(&self, detail: String) -> ! {
+        self.fail(CommError::Sim(SimError::CollectiveMismatch { rank: self.rank(), detail }));
+    }
+
+    /// Synchronize all ranks (dissemination barrier, `ceil(log2 P)` rounds).
+    pub fn barrier(&mut self) {
+        let p = self.size();
+        if p <= 1 {
+            return;
+        }
+        let tag = self.coll_enter();
+        let me = self.rank();
+        let mut k = 1usize;
+        while k < p {
+            let to = (me + k) % p;
+            let from = (me + p - k) % p;
+            self.send_f64s(to, tag, &[]);
+            let _ = self.recv_f64s(from, tag);
+            k <<= 1;
+        }
+    }
+
+    /// Broadcast `buf` from `root` to all ranks (binomial tree, same
+    /// shape as the simulator's).
+    pub fn broadcast_f64s(&mut self, root: usize, buf: &mut [f64]) {
+        let p = self.size();
+        if p <= 1 {
+            return;
+        }
+        let tag = self.coll_enter();
+        let me = self.rank();
+        let vrank = (me + p - root) % p;
+
+        let mut mask = 1usize;
+        while mask < p {
+            if vrank & mask != 0 {
+                let src = (me + p - mask) % p;
+                let data = self.recv_f64s(src, tag);
+                if data.len() != buf.len() {
+                    self.mismatch(format!(
+                        "broadcast buffer length {} != incoming {}",
+                        buf.len(),
+                        data.len()
+                    ));
+                }
+                buf.copy_from_slice(&data);
+                break;
+            }
+            mask <<= 1;
+        }
+        mask >>= 1;
+        while mask > 0 {
+            if vrank + mask < p {
+                let dst = (me + mask) % p;
+                let copy = buf.to_vec();
+                self.send_f64s(dst, tag, &copy);
+            }
+            mask >>= 1;
+        }
+        self.check_replicated_result("broadcast result", buf);
+    }
+
+    /// Broadcast a single `u64` from `root` via the f64 tree (bit
+    /// patterns survive because payloads travel verbatim).
+    pub fn broadcast_u64(&mut self, root: usize, value: u64) -> u64 {
+        let p = self.size();
+        if p <= 1 {
+            return value;
+        }
+        let mut buf = [f64::from_bits(value)];
+        self.broadcast_f64s(root, &mut buf);
+        buf[0].to_bits()
+    }
+
+    /// Allreduce with the machine's default algorithm.
+    pub fn allreduce_f64s(&mut self, buf: &mut [f64], op: ReduceOp) {
+        let algo = self.machine().allreduce;
+        self.allreduce_f64s_with(buf, op, algo);
+    }
+
+    /// Allreduce with an explicit algorithm. `Auto` resolves through the
+    /// same pure selection function as the simulator — on the machine
+    /// spec this run is compared against — so both backends dispatch to
+    /// the same concrete schedule.
+    pub fn allreduce_f64s_with(&mut self, buf: &mut [f64], op: ReduceOp, algo: AllreduceAlgo) {
+        if self.size() <= 1 {
+            return;
+        }
+        let algo = match algo {
+            AllreduceAlgo::Auto => {
+                mpsim::select_allreduce(self.size(), buf.len(), &self.machine().network)
+            }
+            other => other,
+        };
+        let tag = self.coll_enter();
+        match algo {
+            AllreduceAlgo::Linear | AllreduceAlgo::OrderedLinear => {
+                self.allreduce_linear(buf, op, tag)
+            }
+            AllreduceAlgo::RecursiveDoubling => self.allreduce_rd(buf, op, tag),
+            AllreduceAlgo::Ring => self.allreduce_ring(buf, op, tag),
+            AllreduceAlgo::Rabenseifner => self.allreduce_rabenseifner(buf, op, tag),
+            AllreduceAlgo::Auto => unreachable!("Auto resolved to a concrete algorithm above"),
+        }
+        self.check_replicated_result("allreduce result", buf);
+    }
+
+    /// Allreduce of a single scalar; returns the reduced value.
+    pub fn allreduce_scalar(&mut self, value: f64, op: ReduceOp) -> f64 {
+        let mut buf = [value];
+        self.allreduce_f64s(&mut buf, op);
+        buf[0]
+    }
+
+    /// Non-blocking allreduce with the machine's default algorithm.
+    pub fn iallreduce_f64s(&mut self, buf: &mut [f64], op: ReduceOp) -> NativeReq {
+        let algo = self.machine().allreduce;
+        self.iallreduce_f64s_with(buf, op, algo)
+    }
+
+    /// Non-blocking allreduce with an explicit algorithm. Like the
+    /// simulator's, the data movement runs *eagerly*: on return `buf`
+    /// already holds the reduction — bitwise identical to the blocking
+    /// call — and the returned request is complete. The simulator defers
+    /// only virtual wire time (hidden behind later `work`); on real
+    /// silicon there is no deferred wire to hide, so the pipelined
+    /// driver degenerates gracefully to its synchronous schedule.
+    pub fn iallreduce_f64s_with(
+        &mut self,
+        buf: &mut [f64],
+        op: ReduceOp,
+        algo: AllreduceAlgo,
+    ) -> NativeReq {
+        self.allreduce_f64s_with(buf, op, algo);
+        NativeReq { rank: self.rank(), kind: ReqKind::Ready, done: false }
+    }
+
+    /// Gather to rank 0 in rank order, then send the result back to
+    /// every rank. Mirrors the simulator's linear schedule exactly
+    /// (fold order: rank 0's own buffer, then ranks 1..P).
+    fn allreduce_linear(&mut self, buf: &mut [f64], op: ReduceOp, tag: u64) {
+        let p = self.size();
+        let me = self.rank();
+        if me == 0 {
+            for src in 1..p {
+                let data = self.recv_f64s(src, tag);
+                if data.len() != buf.len() {
+                    self.mismatch(format!(
+                        "allreduce length {} != rank {src}'s {}",
+                        buf.len(),
+                        data.len()
+                    ));
+                }
+                op.fold(buf, &data);
+            }
+            for dst in 1..p {
+                let copy = buf.to_vec();
+                self.send_f64s(dst, tag, &copy);
+            }
+        } else {
+            let copy = buf.to_vec();
+            self.send_f64s(0, tag, &copy);
+            let data = self.recv_f64s(0, tag);
+            buf.copy_from_slice(&data);
+        }
+    }
+
+    /// Recursive doubling with the MPICH non-power-of-two parking
+    /// scheme; mirrors [`mpsim`]'s schedule and fold order.
+    fn allreduce_rd(&mut self, buf: &mut [f64], op: ReduceOp, tag: u64) {
+        let p = self.size();
+        let me = self.rank();
+        let pow2 = p.next_power_of_two() / if p.is_power_of_two() { 1 } else { 2 };
+        let rem = p - pow2;
+
+        if me >= pow2 {
+            let partner = me - pow2;
+            let copy = buf.to_vec();
+            self.send_f64s(partner, tag, &copy);
+            let data = self.recv_f64s(partner, tag);
+            buf.copy_from_slice(&data);
+            return;
+        }
+        if me < rem {
+            let data = self.recv_f64s(me + pow2, tag);
+            op.fold(buf, &data);
+        }
+        let mut mask = 1usize;
+        while mask < pow2 {
+            let partner = me ^ mask;
+            let copy = buf.to_vec();
+            self.send_f64s(partner, tag, &copy);
+            let data = self.recv_f64s(partner, tag);
+            op.fold(buf, &data);
+            mask <<= 1;
+        }
+        if me < rem {
+            let copy = buf.to_vec();
+            self.send_f64s(me + pow2, tag, &copy);
+        }
+    }
+
+    /// Ring allreduce (reduce-scatter + allgather) with the same
+    /// balanced chunk partition and fold order as the simulator's.
+    fn allreduce_ring(&mut self, buf: &mut [f64], op: ReduceOp, tag: u64) {
+        let p = self.size();
+        let me = self.rank();
+        let n = buf.len();
+        if n == 0 {
+            self.barrier();
+            return;
+        }
+        let range = |c: usize| -> std::ops::Range<usize> {
+            let base = n / p;
+            let extra = n % p;
+            let start = c * base + c.min(extra);
+            let len = base + usize::from(c < extra);
+            start..start + len
+        };
+        let right = (me + 1) % p;
+        let left = (me + p - 1) % p;
+
+        for step in 0..p - 1 {
+            let send_c = (me + p - step) % p;
+            let recv_c = (me + p - step - 1) % p;
+            let chunk = buf[range(send_c)].to_vec();
+            self.send_f64s(right, tag, &chunk);
+            let data = self.recv_f64s(left, tag);
+            op.fold(&mut buf[range(recv_c)], &data);
+        }
+        for step in 0..p - 1 {
+            let send_c = (me + 1 + p - step) % p;
+            let recv_c = (me + p - step) % p;
+            let chunk = buf[range(send_c)].to_vec();
+            self.send_f64s(right, tag, &chunk);
+            let data = self.recv_f64s(left, tag);
+            buf[range(recv_c)].copy_from_slice(&data);
+        }
+    }
+
+    /// Rabenseifner's allreduce (recursive-halving reduce-scatter +
+    /// recursive-doubling allgather) with the simulator's parking,
+    /// chunk partition, and fold order.
+    fn allreduce_rabenseifner(&mut self, buf: &mut [f64], op: ReduceOp, tag: u64) {
+        let p = self.size();
+        let me = self.rank();
+        let pow2 = p.next_power_of_two() / if p.is_power_of_two() { 1 } else { 2 };
+        let rem = p - pow2;
+
+        if me >= pow2 {
+            let partner = me - pow2;
+            let copy = buf.to_vec();
+            self.send_f64s(partner, tag, &copy);
+            let data = self.recv_f64s(partner, tag);
+            buf.copy_from_slice(&data);
+            return;
+        }
+        if me < rem {
+            let data = self.recv_f64s(me + pow2, tag);
+            op.fold(buf, &data);
+        }
+
+        let n = buf.len();
+        let range = |c: usize| -> std::ops::Range<usize> {
+            let base = n / pow2;
+            let extra = n % pow2;
+            let start = c * base + c.min(extra);
+            start..start + base + usize::from(c < extra)
+        };
+        let span = |clo: usize, chi: usize| range(clo).start..range(chi - 1).end;
+
+        let (mut clo, mut chi) = (0usize, pow2);
+        let mut mask = pow2 >> 1;
+        while mask > 0 {
+            let partner = me ^ mask;
+            let mid = clo + (chi - clo) / 2;
+            let (keep, give) =
+                if me & mask == 0 { ((clo, mid), (mid, chi)) } else { ((mid, chi), (clo, mid)) };
+            let chunk = buf[span(give.0, give.1)].to_vec();
+            self.send_f64s(partner, tag, &chunk);
+            let data = self.recv_f64s(partner, tag);
+            op.fold(&mut buf[span(keep.0, keep.1)], &data);
+            (clo, chi) = keep;
+            mask >>= 1;
+        }
+
+        let mut mask = 1usize;
+        while mask < pow2 {
+            let partner = me ^ mask;
+            let chunk = buf[span(clo, chi)].to_vec();
+            self.send_f64s(partner, tag, &chunk);
+            let data = self.recv_f64s(partner, tag);
+            let plo = clo ^ mask;
+            buf[span(plo, plo + mask)].copy_from_slice(&data);
+            clo = clo.min(plo);
+            chi = clo + 2 * mask;
+            mask <<= 1;
+        }
+
+        if me < rem {
+            let copy = buf.to_vec();
+            self.send_f64s(me + pow2, tag, &copy);
+        }
+    }
+
+    /// Gather each rank's (possibly differently sized) vector to `root`,
+    /// concatenated in rank order. `Some` on the root.
+    pub fn gather_f64s(&mut self, root: usize, mine: &[f64]) -> Option<Vec<f64>> {
+        let p = self.size();
+        let me = self.rank();
+        let tag = self.coll_enter();
+        if me == root {
+            let mut all = Vec::with_capacity(mine.len() * p);
+            for src in 0..p {
+                if src == me {
+                    all.extend_from_slice(mine);
+                } else {
+                    let data = self.recv_f64s(src, tag);
+                    all.extend_from_slice(&data);
+                }
+            }
+            Some(all)
+        } else {
+            self.send_f64s(root, tag, mine);
+            None
+        }
+    }
+
+    /// Allgather over a ring: `result[r]` is rank `r`'s contribution.
+    pub fn allgather_f64s(&mut self, mine: &[f64]) -> Vec<Vec<f64>> {
+        let p = self.size();
+        let me = self.rank();
+        let tag = self.coll_enter();
+        let mut blocks: Vec<Vec<f64>> = vec![Vec::new(); p];
+        blocks[me] = mine.to_vec();
+        if p == 1 {
+            return blocks;
+        }
+        let right = (me + 1) % p;
+        let left = (me + p - 1) % p;
+        let mut cur = mine.to_vec();
+        for step in 0..p - 1 {
+            self.send_f64s(right, tag, &cur);
+            cur = self.recv_f64s(left, tag);
+            blocks[(me + p - step - 1) % p] = cur.clone();
+        }
+        blocks
+    }
+}

@@ -261,7 +261,9 @@ impl FileRules {
 ///   `src/`, `examples/`, and `xtask/src` at error severity; test trees
 ///   at warning (deliberately divergent deadlock tests are expected
 ///   there). `mpsim/src` is exempt — it *implements* the primitives.
-/// * `nondet` guards simulator-core code: `mpsim/src` + `pautoclass/src`.
+/// * `nondet` guards simulator-core code: `mpsim/src` + `pautoclass/src`
+///   + `shmcomm/src` (the native backend's collectives carry the same
+///   bitwise-determinism contract as the simulator's).
 /// * The legacy rules keep their historical scopes exactly;
 ///   `blocking-collective` additionally covers tests/examples at
 ///   warning severity.
@@ -285,7 +287,9 @@ pub fn workspace_rules(rel: &str) -> FileRules {
     } else if is_test_tree {
         r.spmd = Some(Severity::Warning);
     }
-    r.nondet = (rel.starts_with("crates/mpsim/src") || rel.starts_with("crates/pautoclass/src"))
+    r.nondet = (rel.starts_with("crates/mpsim/src")
+        || rel.starts_with("crates/pautoclass/src")
+        || rel.starts_with("crates/shmcomm/src"))
         && !is_test_tree;
     r.wall_clock = (rel.starts_with("crates/mpsim/src")
         || rel.starts_with("crates/pautoclass/src"))
@@ -294,7 +298,9 @@ pub fn workspace_rules(rel: &str) -> FileRules {
         && !rel.contains("src/bin/")
         && !rel.ends_with("main.rs")
         && !is_test_tree;
-    r.recv_unwrap = rel.starts_with("crates/mpsim/src") || rel.starts_with("crates/pautoclass/src");
+    r.recv_unwrap = rel.starts_with("crates/mpsim/src")
+        || rel.starts_with("crates/pautoclass/src")
+        || rel.starts_with("crates/shmcomm/src");
     r.float_eq =
         rel.starts_with("crates/autoclass/src") || rel.starts_with("crates/pautoclass/src");
     if rel.starts_with("crates/pautoclass/src") {

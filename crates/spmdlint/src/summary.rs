@@ -75,9 +75,16 @@ impl Summaries {
             }
             calls.entry(f.name.clone()).or_default().extend(called);
 
-            // Return type mentions `Request` → returns a handle.
+            // Return type mentions a request handle → must be waited by
+            // the caller. `Request` is the concrete mpsim handle; `Req`
+            // covers the `Communicator` trait's associated type in
+            // generic code (`C::Req`, `Self::Req`) and the native
+            // backend's `NativeReq`.
             let after_arrow = f.sig.iter().skip_while(|t| !t.is_punct("->"));
-            if after_arrow.clone().any(|t| t.is_ident("Request")) {
+            if after_arrow
+                .clone()
+                .any(|t| t.is_ident("Request") || t.is_ident("Req") || t.is_ident("NativeReq"))
+            {
                 entry.returns_request = true;
             }
             if REQUEST_FNS.contains(&f.name.as_str()) {

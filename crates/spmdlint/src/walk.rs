@@ -100,7 +100,27 @@ pub(crate) fn walk_fn(
         divergence_hits: 0,
     };
     let mut ctx = Ctx::default();
-    w.walk_block(&item.body, &mut ctx);
+    // A request call in tail-return position of a handle-returning
+    // function (`-> Request`, `-> C::Req`, …) escapes to the caller —
+    // whose own walk holds it to the wait-on-every-path rule — so it is
+    // not a dropped handle here.
+    let returns_handle = summaries.get(&item.name).is_some_and(|s| s.returns_request);
+    let escaping_tail = match item.body.split_last() {
+        Some((Stmt::Expr(Expr::Opaque { tokens, .. }), init)) if returns_handle => {
+            let is_request = outermost_call(tokens).is_some_and(|n| {
+                REQUEST_FNS.contains(&n) || summaries.get(n).is_some_and(|s| s.returns_request)
+            });
+            is_request.then_some((init, tokens))
+        }
+        _ => None,
+    };
+    match escaping_tail {
+        Some((init, tokens)) => {
+            w.walk_block(init, &mut ctx);
+            w.process_tokens(tokens, &mut ctx, true);
+        }
+        None => w.walk_block(&item.body, &mut ctx),
+    }
     if !ctx.diverged {
         let end = item.body.last().map(stmt_line).unwrap_or(item.line);
         w.exit_checks(&mut ctx, end, "function end", true);

@@ -22,7 +22,7 @@ fn fixture(name: &str) -> spmdlint::Report {
 #[test]
 fn every_fixture_expectation_fires() {
     let results = spmdlint::check_fixtures(&fixtures_dir()).unwrap();
-    assert_eq!(results.len(), 10, "fixture corpus changed size: {:?}", results.keys());
+    assert_eq!(results.len(), 12, "fixture corpus changed size: {:?}", results.keys());
     for (name, missing) in &results {
         assert!(missing.is_empty(), "fixture {name}: {missing:?}");
     }
@@ -73,7 +73,7 @@ fn legacy_rules_fire_with_historic_ids() {
 
 #[test]
 fn clean_fixtures_stay_silent() {
-    for name in ["clean_spmd", "clean_hygiene"] {
+    for name in ["clean_spmd", "clean_hygiene", "clean_trait_spmd"] {
         let report = fixture(name);
         assert!(
             report.findings.is_empty(),

@@ -1,0 +1,35 @@
+//! Known-bad trait-generic bodies: rank-gated trait collectives and
+//! dropped trait request handles — the same bugs as on the concrete
+//! communicator. Never compiled — parsed by the corpus tests only.
+
+/// Rank-gating a generic collective diverges exactly as before.
+pub fn gated<C: Communicator>(comm: &mut C, buf: &mut [f64]) {
+    if comm.rank() == 0 {
+        comm.barrier();
+    }
+}
+
+/// A `dyn` call site is still a collective: divergent early exit.
+pub fn dyn_gated(comm: &mut dyn Communicator, buf: &mut [f64]) {
+    if comm.rank() > 2 {
+        return;
+    }
+    comm.allreduce_f64s(buf);
+}
+
+/// The trait request handle is dropped unbound.
+pub fn dropped<C: Communicator>(comm: &mut C, buf: &mut [f64]) {
+    comm.iallreduce_f64s(buf);
+    comm.barrier();
+}
+
+/// A helper returning `C::Req` makes its caller responsible.
+fn post<C: Communicator>(comm: &mut C, buf: &mut [f64]) -> C::Req {
+    comm.iallreduce_f64s(buf)
+}
+
+/// The helper's handle dies at the end of the function, unwaited.
+pub fn leaky<C: Communicator>(comm: &mut C, buf: &mut [f64]) {
+    let req = post(comm, buf);
+    comm.barrier();
+}

@@ -1,0 +1,38 @@
+//! Known-good trait-generic rank-body idioms: the SPMD rules apply
+//! unchanged when the communicator is a generic `C: Communicator`
+//! bound or a `dyn Communicator` object instead of the concrete
+//! `Comm`. Never compiled — parsed by the corpus tests only.
+
+/// Generic backend: a sanitized decision guards a balanced collective.
+pub fn replicated_decision<C: Communicator>(comm: &mut C, buf: &mut [f64]) {
+    let err = comm.allreduce_scalar(local_err(buf));
+    if err < 1.0 {
+        comm.barrier();
+    }
+}
+
+/// A trait request handle (`C::Req`) waited on every path.
+pub fn overlapped<C: Communicator>(comm: &mut C, buf: &mut [f64]) -> f64 {
+    let req = comm.iallreduce_f64s(buf);
+    let local = prepare(buf);
+    comm.wait(req);
+    local
+}
+
+/// Dynamic dispatch changes nothing: collectives stay balanced.
+pub fn dynamic(comm: &mut dyn Communicator, buf: &mut [f64]) {
+    let width = buf.len() / comm.size();
+    let mut acc = vec![0.0; width];
+    comm.allreduce_f64s(&mut acc);
+}
+
+/// A helper returning the trait handle hands the wait to its caller.
+fn post<C: Communicator>(comm: &mut C, buf: &mut [f64]) -> C::Req {
+    comm.iallreduce_f64s(buf)
+}
+
+/// The caller waits the helper's handle on every path.
+pub fn post_then_wait<C: Communicator>(comm: &mut C, buf: &mut [f64]) {
+    let req = post(comm, buf);
+    comm.wait(req);
+}

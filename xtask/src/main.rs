@@ -41,6 +41,7 @@
 //! * `--root DIR` — analyze a different root (used by the corpus).
 
 mod bench;
+mod calibrate;
 mod faultmatrix;
 mod report;
 
@@ -54,13 +55,15 @@ fn main() -> ExitCode {
         Some("analyze") => analyze(&args[1..]),
         Some("bench") => bench::bench(&args[1..]),
         Some("report") => report::report(&args[1..]),
+        Some("calibrate") => calibrate::calibrate(&args[1..]),
         Some("faultmatrix") => faultmatrix::faultmatrix(&args[1..]),
         _ => {
             eprintln!(
                 "usage: cargo xtask lint \
                  | analyze [--check] [--out PATH] [--fixtures] [--root DIR] \
-                 | bench [--smoke] [--out PATH] [--check PATH] \
+                 | bench [--smoke] [--native] [--out PATH] [--check PATH] \
                  | report [--smoke] [--out DIR] [--check PATH] \
+                 | calibrate [--smoke] [--out PATH] [--check PATH] \
                  | faultmatrix [--smoke] [--out DIR] [--check PATH]"
             );
             ExitCode::FAILURE
