@@ -191,6 +191,7 @@ impl Comm {
             AllreduceAlgo::RecursiveDoubling => self.allreduce_rd(buf, op, tag),
             AllreduceAlgo::Ring => self.allreduce_ring(buf, op, tag),
             AllreduceAlgo::Rabenseifner => self.allreduce_rabenseifner(buf, op, tag),
+            AllreduceAlgo::Hierarchical => self.allreduce_hierarchical(buf, op, tag),
             AllreduceAlgo::Auto => unreachable!("Auto resolved to a concrete algorithm above"),
         }
         // Every rank now holds the same reduction (the simulator's
@@ -351,21 +352,40 @@ impl Comm {
     /// owner rank and then copied verbatim to all ranks in the allgather,
     /// so the result is bitwise identical everywhere.
     fn allreduce_rabenseifner(&mut self, buf: &mut [f64], op: ReduceOp, tag: u64) {
-        let p = self.size();
-        let me = self.rank();
-        let pow2 = p.next_power_of_two() / if p.is_power_of_two() { 1 } else { 2 };
-        let rem = p - pow2;
+        let members: Vec<usize> = (0..self.size()).collect();
+        self.rabenseifner_over(&members, buf, op, tag);
+    }
+
+    /// Rabenseifner's schedule over an arbitrary member list: `members` is
+    /// the ascending list of participating world ranks, and the algorithm
+    /// runs as if they formed a dense communicator of size
+    /// `members.len()`. With `members == 0..P` this is exactly
+    /// [`allreduce_rabenseifner`](Self::allreduce_rabenseifner); the
+    /// hierarchical allreduce reuses it over the node leaders. Must be
+    /// called by every member (and only members), with `self.rank()` in
+    /// the list.
+    fn rabenseifner_over(&mut self, members: &[usize], buf: &mut [f64], op: ReduceOp, tag: u64) {
+        let g = members.len();
+        if g <= 1 {
+            return;
+        }
+        let me = members
+            .iter()
+            .position(|&r| r == self.rank())
+            .unwrap_or_else(|| panic!("rank {} is not a member of this group", self.rank()));
+        let pow2 = g.next_power_of_two() / if g.is_power_of_two() { 1 } else { 2 };
+        let rem = g - pow2;
 
         if me >= pow2 {
             // Extra rank: contribute and wait for the result.
-            let partner = me - pow2;
+            let partner = members[me - pow2];
             self.send_f64s(partner, tag, buf);
             let data = self.recv_f64s(partner, tag);
             buf.copy_from_slice(&data);
             return;
         }
         if me < rem {
-            let data = self.recv_f64s(me + pow2, tag);
+            let data = self.recv_f64s(members[me + pow2], tag);
             op.fold(buf, &data);
         }
 
@@ -390,7 +410,7 @@ impl Comm {
         let (mut clo, mut chi) = (0usize, pow2);
         let mut mask = pow2 >> 1;
         while mask > 0 {
-            let partner = me ^ mask;
+            let partner = members[me ^ mask];
             let mid = clo + (chi - clo) / 2;
             let (keep, give) =
                 if me & mask == 0 { ((clo, mid), (mid, chi)) } else { ((mid, chi), (clo, mid)) };
@@ -406,7 +426,7 @@ impl Comm {
         // long and mask-aligned) double until every rank holds [0, pow2).
         let mut mask = 1usize;
         while mask < pow2 {
-            let partner = me ^ mask;
+            let partner = members[me ^ mask];
             self.send_f64s(partner, tag, &buf[span(clo, chi)]);
             let data = self.recv_f64s(partner, tag);
             // The partner's interval is the mirror of ours within the
@@ -419,7 +439,52 @@ impl Comm {
         }
 
         if me < rem {
-            self.send_f64s(me + pow2, tag, buf);
+            self.send_f64s(members[me + pow2], tag, buf);
+        }
+    }
+
+    /// Hierarchical allreduce for fat-tree-of-multicore-node machines
+    /// (see [`crate::cost::AllreduceAlgo::Hierarchical`]): an
+    /// ascending-rank linear fold onto each node's leader over the cheap
+    /// intra-node fabric, [`rabenseifner_over`](Self::rabenseifner_over)
+    /// among the leaders over the inter-node network, then an intra-node
+    /// broadcast of the result. Fold orders are fixed (ascending within
+    /// the node, Rabenseifner's tree among leaders), so the result is
+    /// bitwise identical on every rank. On a flat topology every rank is
+    /// its own leader and this is plain Rabenseifner.
+    fn allreduce_hierarchical(&mut self, buf: &mut [f64], op: ReduceOp, tag: u64) {
+        let p = self.size();
+        let me = self.rank();
+        let ns = self.machine().topology.node_size().clamp(1, p);
+        let node = me / ns;
+        let leader = node * ns;
+        let node_end = ((node + 1) * ns).min(p);
+
+        // Intra-node reduce: members fold into the leader in ascending
+        // rank order (a deterministic left fold).
+        if me == leader {
+            for src in leader + 1..node_end {
+                let data = self.recv_f64s(src, tag);
+                if data.len() != buf.len() {
+                    self.mismatch(format!(
+                        "allreduce length {} != rank {src}'s {}",
+                        buf.len(),
+                        data.len()
+                    ));
+                }
+                op.fold(buf, &data);
+            }
+            // Inter-node reduce among the leaders only.
+            let leaders: Vec<usize> = (0..p).step_by(ns).collect();
+            self.rabenseifner_over(&leaders, buf, op, tag);
+            // Intra-node broadcast of the finished result.
+            for dst in leader + 1..node_end {
+                self.send_f64s(dst, tag, buf);
+            }
+        } else {
+            self.send_f64s(leader, tag, buf);
+            let data = self.recv_f64s(leader, tag);
+            buf.copy_from_slice(&data);
         }
     }
 

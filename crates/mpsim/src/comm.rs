@@ -16,13 +16,14 @@
 //! a conservative parallel simulation: because every `recv` names its
 //! source, virtual timestamps never need roll-back.
 
-use std::collections::VecDeque;
+use std::collections::{BTreeMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::clock::Clock;
+use crate::coop::{CoopShared, Deposit};
 use crate::cost::MachineSpec;
 use crate::error::SimError;
 use crate::fault::FaultState;
@@ -56,6 +57,24 @@ pub(crate) struct Envelope {
 /// Polling slice for blocking receives; bounds how stale the abort flag can
 /// get while a rank is blocked.
 const RECV_SLICE: Duration = Duration::from_millis(25);
+
+/// How a [`Comm`]'s envelopes physically move between ranks. Everything
+/// else — virtual clocks, statistics, verification, fault injection — is
+/// shared between the variants, which is what makes the two engines
+/// bitwise identical.
+pub(crate) enum Transport {
+    /// Thread-per-rank engine: a full mesh of unbounded `mpsc` channels,
+    /// blocked receives polling in wall-clock slices.
+    Mesh {
+        /// `inboxes[src]` receives messages sent by `src` to this rank.
+        inboxes: Vec<Receiver<Envelope>>,
+        /// `outboxes[dst]` sends messages from this rank to `dst`.
+        outboxes: Vec<Sender<Envelope>>,
+    },
+    /// Cooperative engine: lazily created per-pair mailboxes inside the
+    /// shared scheduler state; blocked ranks park on a condvar.
+    Coop(Arc<CoopShared>),
+}
 
 /// What a [`Request`] is waiting for.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -146,12 +165,11 @@ pub struct Comm {
     spec: Arc<MachineSpec>,
     clock: Clock,
     stats: RankStats,
-    /// `inboxes[src]` receives messages sent by `src` to this rank.
-    inboxes: Vec<Receiver<Envelope>>,
-    /// Messages received out of tag order, per source, in arrival order.
-    stash: Vec<VecDeque<Envelope>>,
-    /// `outboxes[dst]` sends messages from this rank to `dst`.
-    outboxes: Vec<Sender<Envelope>>,
+    /// The message-movement backend (see [`Transport`]).
+    transport: Transport,
+    /// Messages received out of tag order, keyed by source, in arrival
+    /// order. Lazily created so an idle pair costs nothing at large `P`.
+    stash: BTreeMap<usize, VecDeque<Envelope>>,
     abort: Arc<AtomicBool>,
     recv_timeout: Duration,
     /// Monotone counter giving every collective call a unique tag; all
@@ -189,8 +207,7 @@ impl Comm {
     pub(crate) fn new(
         rank: usize,
         spec: Arc<MachineSpec>,
-        inboxes: Vec<Receiver<Envelope>>,
-        outboxes: Vec<Sender<Envelope>>,
+        transport: Transport,
         abort: Arc<AtomicBool>,
         recv_timeout: Duration,
         record_events: bool,
@@ -204,9 +221,8 @@ impl Comm {
             spec,
             clock: Clock::new(),
             stats: RankStats { rank, ..Default::default() },
-            inboxes,
-            stash: (0..size).map(|_| VecDeque::new()).collect(),
-            outboxes,
+            transport,
+            stash: BTreeMap::new(),
             abort,
             recv_timeout,
             coll_seq: 0,
@@ -434,17 +450,42 @@ impl Comm {
         if let Some(v) = &self.verify {
             v.record_send(self.rank, dst);
         }
-        // The receiver is gone either because the run is aborting after a
-        // failure elsewhere, or because `dst` already finished its body and
-        // will never receive again. The latter is legal for a buffered
-        // send (the bytes are simply never read), but the verifier must
-        // not keep counting it as in flight or the deadlock detector would
-        // treat the edge to the finished rank as forever busy.
-        if self.outboxes[dst].send(env).is_err() {
-            if let Some(v) = &self.verify {
-                v.unrecord_send(self.rank, dst);
+        // A gone receiver means the run is aborting after a failure
+        // elsewhere, or `dst` already finished its body and will never
+        // receive again. The latter is legal for a buffered send (the
+        // bytes are simply never read), but the verifier must not keep
+        // counting it as in flight or the deadlock detector would treat
+        // the edge to the finished rank as forever busy.
+        match &self.transport {
+            Transport::Mesh { outboxes, .. } => {
+                if outboxes[dst].send(env).is_err() {
+                    if let Some(v) = &self.verify {
+                        v.unrecord_send(self.rank, dst);
+                    }
+                    self.check_abort();
+                }
             }
-            self.check_abort();
+            Transport::Coop(coop) => {
+                let coop = Arc::clone(coop);
+                match coop.deposit(self.rank, dst, env, self.clock.now()) {
+                    Ok(Deposit::Delivered) => {}
+                    Ok(Deposit::Closed) => {
+                        if let Some(v) = &self.verify {
+                            v.unrecord_send(self.rank, dst);
+                        }
+                        self.check_abort();
+                    }
+                    // Woken with a typed error (stall rescue or abort
+                    // cascade) while parked on a full mailbox: the
+                    // envelope never got in flight.
+                    Err(err) => {
+                        if let Some(v) = &self.verify {
+                            v.unrecord_send(self.rank, dst);
+                        }
+                        self.fail(err);
+                    }
+                }
+            }
         }
     }
 
@@ -465,18 +506,59 @@ impl Comm {
         assert!(src < self.size, "recv from rank {src} but size is {}", self.size);
         self.fault_checkpoint();
         // First consume any stashed message with a matching tag.
-        if let Some(pos) = self.stash[src].iter().position(|e| e.tag == tag) {
-            // lint:allow(unwrap): the index came from position() on the same deque
-            return self.stash[src].remove(pos).expect("position is valid");
+        if let Some(q) = self.stash.get_mut(&src) {
+            if let Some(pos) = q.iter().position(|e| e.tag == tag) {
+                // lint:allow(unwrap): the index came from position() on the same deque
+                return q.remove(pos).expect("position is valid");
+            }
         }
         let detect = self.verify.as_ref().filter(|v| v.opts().detect_deadlock).cloned();
         if let Some(v) = &detect {
             v.register_wait(self.rank, src, tag);
         }
+        if let Transport::Coop(coop) = &self.transport {
+            // The cooperative scheduler needs no wall-clock deadline: a
+            // wait that can never be satisfied is detected structurally
+            // the moment the run has no runnable rank, and surfaces here
+            // as a typed error.
+            let coop = Arc::clone(coop);
+            loop {
+                self.check_abort();
+                match coop.pull_or_block(
+                    self.rank,
+                    src,
+                    tag,
+                    self.pulled_from[src],
+                    self.clock.now(),
+                ) {
+                    Ok(env) => {
+                        self.pulled_from[src] += 1;
+                        let matched = env.tag == tag;
+                        if let Some(v) = &detect {
+                            v.record_pull(self.rank, src, matched);
+                        }
+                        if matched {
+                            return env;
+                        }
+                        self.stash.entry(src).or_default().push_back(env);
+                    }
+                    Err(err) => {
+                        if let Some(v) = &detect {
+                            v.clear_wait(self.rank);
+                        }
+                        self.fail(err);
+                    }
+                }
+            }
+        }
         let deadline = Instant::now() + self.recv_timeout;
         loop {
             self.check_abort();
-            match self.inboxes[src].recv_timeout(RECV_SLICE) {
+            let polled = match &self.transport {
+                Transport::Mesh { inboxes, .. } => inboxes[src].recv_timeout(RECV_SLICE),
+                Transport::Coop(_) => unreachable!("cooperative pulls handled above"),
+            };
+            match polled {
                 Ok(env) => {
                     self.pulled_from[src] += 1;
                     let matched = env.tag == tag;
@@ -486,7 +568,7 @@ impl Comm {
                     if matched {
                         return env;
                     }
-                    self.stash[src].push_back(env);
+                    self.stash.entry(src).or_default().push_back(env);
                 }
                 Err(RecvTimeoutError::Timeout) => {
                     // A quiet slice: first ask the fault layer whether this
@@ -523,7 +605,12 @@ impl Comm {
                         if let Some(v) = &detect {
                             v.clear_wait(self.rank);
                         }
-                        self.fail(SimError::RecvTimeout { rank: self.rank, from: src, tag });
+                        self.fail(SimError::RecvTimeout {
+                            rank: self.rank,
+                            from: src,
+                            tag,
+                            budget: self.recv_timeout,
+                        });
                     }
                 }
                 Err(RecvTimeoutError::Disconnected) => {

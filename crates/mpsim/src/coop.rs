@@ -1,0 +1,437 @@
+//! Cooperative virtual-time scheduler: the large-`P` execution engine.
+//!
+//! The threaded engine runs every rank as a free-running OS thread and
+//! wires a full `P x P` mesh of `mpsc` channels, which stops scaling long
+//! before `P = 1024`: the mesh alone is a million channels, and blocked
+//! receives burn wall-clock time polling in 25 ms slices. This module
+//! replaces both mechanisms. Ranks still live on OS threads (Rust has no
+//! stable coroutines), but at most **one rank runs at a time**: a single
+//! baton is handed from rank to rank, every other thread is parked on its
+//! own condvar, and a blocked receive costs nothing until its message
+//! arrives. Mailboxes are created lazily per communicating pair, so memory
+//! scales with the communication graph actually used, not with `P^2`.
+//!
+//! # Scheduling discipline
+//!
+//! A rank runs until it *blocks* — a receive with an empty mailbox, or a
+//! send into a mailbox at its in-flight bound — and then hands the baton
+//! to the runnable rank with the smallest frozen virtual clock (rank id
+//! breaks ties). Because this is a conservative simulation in which every
+//! receive names its source, the virtual-time results are schedule
+//! independent: the run queue's ordering is a memory/locality heuristic
+//! (it keeps per-rank clocks advancing roughly together), **not** a
+//! correctness requirement, which is why the cooperative engine is
+//! bitwise identical to the threaded one.
+//!
+//! # Stall rescue
+//!
+//! When no rank is runnable and at least one is blocked, the run can never
+//! make progress — the cooperative scheduler *knows* this structurally, so
+//! unlike the threaded engine it needs no wall-clock timeout. The blocked
+//! rank diagnosed first (ascending rank order, mirroring the threaded
+//! engine's harvest tiebreak) is woken with a typed error: the fault layer
+//! gets the first word (crashed/dropped peers), then the wait-for-graph
+//! verifier, then a structural fallback that always finds either a wait on
+//! a finished rank or a cycle.
+
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+use crate::comm::Envelope;
+use crate::error::SimError;
+use crate::fault::FaultState;
+use crate::verify::VerifyState;
+
+/// Outcome of a [`CoopShared::deposit`] that did not fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Deposit {
+    /// The envelope is in the destination's mailbox.
+    Delivered,
+    /// The destination already finished or failed; the envelope was
+    /// discarded (the cooperative analogue of an `mpsc` disconnect).
+    Closed,
+}
+
+/// Where a rank is in its lifecycle, from the scheduler's point of view.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum RankStatus {
+    /// Runnable; has exactly one entry on the run queue.
+    Ready,
+    /// Holds the baton.
+    Running,
+    /// Parked in a blocking receive from `src` with `tag`; `pulled` is how
+    /// many envelopes this rank has taken off the `(src, me)` mailbox, the
+    /// number the fault layer compares against delivered sends to prove a
+    /// wait is for a dropped message.
+    RecvWait { src: usize, tag: u64, pulled: u64 },
+    /// Parked in a send to `dst` whose mailbox is at the in-flight bound.
+    SendWait { dst: usize },
+    /// Returned from its body normally.
+    Done,
+    /// Unwound with an error.
+    Failed,
+}
+
+impl RankStatus {
+    fn is_blocked(&self) -> bool {
+        matches!(self, RankStatus::RecvWait { .. } | RankStatus::SendWait { .. })
+    }
+
+    fn is_gone(&self) -> bool {
+        matches!(self, RankStatus::Done | RankStatus::Failed)
+    }
+}
+
+/// Run-queue entry: orders by smallest virtual clock, then smallest rank.
+/// `BinaryHeap` is a max-heap, so the comparison is reversed here.
+struct HeapEntry {
+    clock: f64,
+    rank: usize,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.clock.total_cmp(&self.clock).then_with(|| other.rank.cmp(&self.rank))
+    }
+}
+
+struct CoopState {
+    /// The rank currently holding the baton; `None` only transiently
+    /// inside a handoff (or at the end of the run).
+    running: Option<usize>,
+    status: Vec<RankStatus>,
+    /// Each rank's virtual clock, frozen when it last gave up the baton;
+    /// the run-queue key. Invariant: a `Ready` rank has exactly one heap
+    /// entry, pushed with its current frozen clock, so entries are never
+    /// stale.
+    clocks: Vec<f64>,
+    ready: BinaryHeap<HeapEntry>,
+    /// Lazily created mailboxes: `(src, dst)` to the FIFO of envelopes in
+    /// flight on that link.
+    mail: BTreeMap<(usize, usize), VecDeque<Envelope>>,
+    /// Error to hand a rank the next time it is scheduled (stall rescue or
+    /// abort cascade).
+    pending: Vec<Option<SimError>>,
+    /// Largest number of envelopes any single mailbox ever held.
+    high_water: usize,
+}
+
+/// Shared state of one cooperative run: the scheduler proper plus the
+/// verification/fault layers it consults when the run stalls.
+pub(crate) struct CoopShared {
+    state: Mutex<CoopState>,
+    /// One condvar per rank: each parked thread waits only on its own, so
+    /// a handoff wakes exactly the intended thread.
+    cvs: Vec<Condvar>,
+    /// Per-pair in-flight envelope bound; a sender at the bound parks
+    /// until the receiver drains (see
+    /// [`crate::SimOptions::max_inflight_per_pair`]).
+    max_inflight: usize,
+    verify: Option<Arc<VerifyState>>,
+    fault: Option<Arc<FaultState>>,
+    abort: Arc<AtomicBool>,
+}
+
+impl CoopShared {
+    pub(crate) fn new(
+        p: usize,
+        max_inflight: usize,
+        verify: Option<Arc<VerifyState>>,
+        fault: Option<Arc<FaultState>>,
+        abort: Arc<AtomicBool>,
+    ) -> Self {
+        assert!(p > 0, "cooperative scheduler needs at least one rank");
+        let mut status = vec![RankStatus::Ready; p];
+        // Seed the run queue with every rank at clock zero except rank 0,
+        // which is born holding the baton.
+        status[0] = RankStatus::Running;
+        let ready = (1..p).map(|rank| HeapEntry { clock: 0.0, rank }).collect();
+        CoopShared {
+            state: Mutex::new(CoopState {
+                running: Some(0),
+                status,
+                clocks: vec![0.0; p],
+                ready,
+                mail: BTreeMap::new(),
+                pending: (0..p).map(|_| None).collect(),
+                high_water: 0,
+            }),
+            cvs: (0..p).map(|_| Condvar::new()).collect(),
+            max_inflight: max_inflight.max(1),
+            verify,
+            fault,
+            abort,
+        }
+    }
+
+    /// The scheduler never panics while holding the lock, so a poisoned
+    /// mutex still guards consistent state; recover it rather than
+    /// cascading a secondary panic through every parked rank.
+    fn lock(&self) -> MutexGuard<'_, CoopState> {
+        self.state.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    fn wait_for_baton<'a>(
+        &'a self,
+        me: usize,
+        mut state: MutexGuard<'a, CoopState>,
+    ) -> MutexGuard<'a, CoopState> {
+        while state.running != Some(me) {
+            state = self.cvs[me].wait(state).unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        state
+    }
+
+    /// Park the calling rank's thread until it is first scheduled.
+    pub(crate) fn wait_first_turn(&self, me: usize) {
+        let state = self.lock();
+        drop(self.wait_for_baton(me, state));
+    }
+
+    /// Largest per-pair mailbox depth observed over the whole run.
+    pub(crate) fn high_water(&self) -> usize {
+        self.lock().high_water
+    }
+
+    fn make_ready(state: &mut CoopState, rank: usize) {
+        debug_assert!(state.status[rank].is_blocked(), "only blocked ranks re-enter the queue");
+        state.status[rank] = RankStatus::Ready;
+        let clock = state.clocks[rank];
+        state.ready.push(HeapEntry { clock, rank });
+    }
+
+    /// Hand the baton to the runnable rank with the smallest virtual
+    /// clock; if none is runnable but some rank is blocked, the run has
+    /// stalled for good — wake a victim with a typed diagnosis instead.
+    fn schedule_next(&self, state: &mut CoopState) {
+        debug_assert!(state.running.is_none());
+        if let Some(e) = state.ready.pop() {
+            state.status[e.rank] = RankStatus::Running;
+            state.running = Some(e.rank);
+            self.cvs[e.rank].notify_one();
+            return;
+        }
+        if state.status.iter().any(RankStatus::is_blocked) {
+            let (victim, err) = self.diagnose_stall(state);
+            state.pending[victim] = Some(err);
+            state.status[victim] = RankStatus::Running;
+            state.running = Some(victim);
+            self.cvs[victim].notify_one();
+        }
+    }
+
+    /// Pick the victim of a provable stall and its typed error, in the
+    /// priority order the threaded engine's poll loop uses: fault layer,
+    /// then wait-for-graph verifier, then a structural fallback on the
+    /// scheduler's own wait edges. Total: at a stall every blocked rank's
+    /// wait chain ends in a finished rank or a cycle.
+    fn diagnose_stall(&self, state: &CoopState) -> (usize, SimError) {
+        let p = state.status.len();
+        if let Some(fs) = &self.fault {
+            for r in 0..p {
+                if let RankStatus::RecvWait { src, pulled, .. } = state.status[r] {
+                    if let Some(err) = fs.diagnose_wait(r, src, pulled) {
+                        return (r, err);
+                    }
+                }
+            }
+        }
+        // Same stand-down rule as the threaded poll loop: with a fatal
+        // fault on record the wait-for scan would race the fault layer's
+        // typed diagnosis, so it yields.
+        let fault_pending = self.fault.as_ref().is_some_and(|fs| fs.has_fatal_record());
+        if !fault_pending {
+            if let Some(v) = self.verify.as_ref().filter(|v| v.opts().detect_deadlock) {
+                for r in 0..p {
+                    if matches!(state.status[r], RankStatus::RecvWait { .. }) {
+                        if let Some(err) = v.scan_for_deadlock(r) {
+                            return (r, err);
+                        }
+                    }
+                }
+            }
+        }
+        self.structural_stall(state)
+    }
+
+    /// Fallback diagnosis from the scheduler's own wait edges, for runs
+    /// with verification off (or stalls the verifier cannot see, e.g. a
+    /// cycle through a bounded-mailbox send). Blocked ranks' mailboxes
+    /// from their named source are empty by construction, so a wait on a
+    /// finished rank is hopeless and a cycle is a deadlock.
+    fn structural_stall(&self, state: &CoopState) -> (usize, SimError) {
+        let p = state.status.len();
+        let target = |r: usize| -> Option<usize> {
+            match state.status[r] {
+                RankStatus::RecvWait { src, .. } => Some(src),
+                RankStatus::SendWait { dst } => Some(dst),
+                _ => None,
+            }
+        };
+        let edge = |r: usize| -> String {
+            match state.status[r] {
+                RankStatus::RecvWait { src, tag, .. } => {
+                    format!("rank {r} waits on rank {src} (tag {tag:#x})")
+                }
+                RankStatus::SendWait { dst } => {
+                    format!("rank {r} waits to send to rank {dst} (mailbox at bound)")
+                }
+                _ => format!("rank {r}"),
+            }
+        };
+        for r in 0..p {
+            if let Some(on) = target(r) {
+                if state.status[on].is_gone() {
+                    let detail =
+                        format!("{} which already finished; no message can ever arrive", edge(r));
+                    return (r, SimError::Deadlock { rank: r, cycle: Vec::new(), detail });
+                }
+            }
+        }
+        // Every blocked rank waits on another blocked rank, so a walk from
+        // the lowest blocked rank must close a cycle.
+        let first_blocked = (0..p).find(|&r| state.status[r].is_blocked());
+        // lint:allow(unwrap): at least one blocked rank exists at a stall
+        let start = first_blocked.expect("stall has a blocked rank");
+        let mut path = vec![start];
+        let mut cur = start;
+        let cycle = loop {
+            // lint:allow(unwrap): blocked ranks always have a wait target
+            let next = target(cur).expect("blocked rank has a wait target");
+            if let Some(pos) = path.iter().position(|&r| r == next) {
+                break path.split_off(pos);
+            }
+            path.push(next);
+            cur = next;
+        };
+        // lint:allow(unwrap): a cycle is non-empty
+        let victim = *cycle.iter().min().expect("cycle is non-empty");
+        let detail = format!(
+            "wait-for cycle: {}",
+            cycle.iter().map(|&r| edge(r)).collect::<Vec<_>>().join("; ")
+        );
+        (victim, SimError::Deadlock { rank: victim, cycle, detail })
+    }
+
+    /// Take the next envelope `src` has in flight to `me`, or park until
+    /// one arrives (or a stall rescue / abort cascade wakes `me` with an
+    /// error). `pulled` and `now` freeze this rank's receive progress and
+    /// virtual clock for the scheduler.
+    ///
+    /// The mailbox check and the park happen under one lock acquisition,
+    /// so a deposit can never slip between "saw it empty" and "parked"
+    /// (the classic lost wakeup).
+    pub(crate) fn pull_or_block(
+        &self,
+        me: usize,
+        src: usize,
+        tag: u64,
+        pulled: u64,
+        now: f64,
+    ) -> Result<Envelope, SimError> {
+        let mut state = self.lock();
+        loop {
+            if let Some(err) = state.pending[me].take() {
+                return Err(err);
+            }
+            if let Some(env) = state.mail.get_mut(&(src, me)).and_then(VecDeque::pop_front) {
+                // Draining may reopen a mailbox the sender is parked on.
+                if state.status[src] == (RankStatus::SendWait { dst: me }) {
+                    Self::make_ready(&mut state, src);
+                }
+                return Ok(env);
+            }
+            state.status[me] = RankStatus::RecvWait { src, tag, pulled };
+            state.clocks[me] = now;
+            state.running = None;
+            self.schedule_next(&mut state);
+            state = self.wait_for_baton(me, state);
+        }
+    }
+
+    /// Put `env` in flight from `me` to `dst`, parking while the mailbox
+    /// is at the in-flight bound. Depositing to a finished rank reports
+    /// [`Deposit::Closed`] (a buffered send to a rank that will never
+    /// receive again is legal; the caller unwinds its bookkeeping).
+    pub(crate) fn deposit(
+        &self,
+        me: usize,
+        dst: usize,
+        env: Envelope,
+        now: f64,
+    ) -> Result<Deposit, SimError> {
+        let mut state = self.lock();
+        let mut env = Some(env);
+        loop {
+            if let Some(err) = state.pending[me].take() {
+                return Err(err);
+            }
+            if state.status[dst].is_gone() {
+                return Ok(Deposit::Closed);
+            }
+            let q = state.mail.entry((me, dst)).or_default();
+            if q.len() < self.max_inflight {
+                // lint:allow(unwrap): env is only taken on this returning path
+                q.push_back(env.take().expect("envelope deposited once"));
+                let depth = q.len();
+                state.high_water = state.high_water.max(depth);
+                if matches!(state.status[dst], RankStatus::RecvWait { src, .. } if src == me) {
+                    Self::make_ready(&mut state, dst);
+                }
+                return Ok(Deposit::Delivered);
+            }
+            state.status[me] = RankStatus::SendWait { dst };
+            state.clocks[me] = now;
+            state.running = None;
+            self.schedule_next(&mut state);
+            state = self.wait_for_baton(me, state);
+        }
+    }
+
+    /// Retire `me` from the run: mark it done or failed, wake senders
+    /// parked on its mailboxes (their deposit observes the closed
+    /// endpoint), cascade the abort to every parked rank when the run is
+    /// aborting (parked ranks no longer poll the abort flag, so the flag
+    /// alone cannot reach them), and hand the baton on.
+    ///
+    /// Call order matters for the verifier: the engine must
+    /// `mark_done`/set the abort flag *before* this releases the baton.
+    pub(crate) fn finish(&self, me: usize, failed: bool) {
+        let mut state = self.lock();
+        state.status[me] = if failed { RankStatus::Failed } else { RankStatus::Done };
+        state.pending[me] = None;
+        let p = state.status.len();
+        for r in 0..p {
+            if state.status[r] == (RankStatus::SendWait { dst: me }) {
+                Self::make_ready(&mut state, r);
+            }
+        }
+        if failed && self.abort.load(Ordering::Relaxed) {
+            // An injected RankCrashed does not set the abort flag, so the
+            // peers live on and the failure-detection machinery (stall
+            // rescue via the fault layer) gets to do its job.
+            for r in 0..p {
+                if state.status[r].is_blocked() {
+                    state.pending[r] = Some(SimError::Aborted { rank: r });
+                    Self::make_ready(&mut state, r);
+                }
+            }
+        }
+        if state.running == Some(me) {
+            state.running = None;
+            self.schedule_next(&mut state);
+        }
+    }
+}

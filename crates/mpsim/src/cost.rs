@@ -105,6 +105,16 @@ pub enum AllreduceAlgo {
     /// logarithmic instead of linear latency. The best of both worlds for
     /// long vectors on machines where latency still matters.
     Rabenseifner,
+    /// Hierarchical allreduce for machines built from multicore nodes
+    /// (see [`crate::Topology::HierFatTree`]): an ascending-order linear
+    /// fold to each node's leader over the cheap intra-node fabric,
+    /// Rabenseifner among the node leaders over the inter-node network,
+    /// then an intra-node broadcast of the result. On a flat topology
+    /// (node size 1) it degenerates to plain Rabenseifner. Never chosen by
+    /// `Auto` — like `OrderedLinear`, it is an explicit request, because
+    /// its advantage only exists when the machine actually has an
+    /// intra-node fast path.
+    Hierarchical,
     /// Pick the predicted-cheapest concrete algorithm per call from the
     /// machine's LogGP parameters, the communicator size, and the vector
     /// length (see [`select_allreduce`]). The selection depends only on
@@ -166,6 +176,13 @@ pub fn predicted_allreduce_cost(
             }
             cost
         }
+        AllreduceAlgo::Hierarchical => {
+            // The true cost depends on the node grouping, which this
+            // topology-blind estimator cannot see; approximate by the
+            // inter-node stage (Rabenseifner over the leaders). Adequate
+            // because Hierarchical is only ever chosen explicitly.
+            predicted_allreduce_cost(AllreduceAlgo::Rabenseifner, p, elems, net)
+        }
         AllreduceAlgo::Auto => {
             predicted_allreduce_cost(select_allreduce(p, elems, net), p, elems, net)
         }
@@ -205,8 +222,14 @@ pub struct MachineSpec {
     pub p: usize,
     /// Interconnect shape.
     pub topology: Topology,
-    /// Network timing.
+    /// Network timing for the inter-node interconnect.
     pub network: NetworkModel,
+    /// Optional timing for the *intra-node* fabric (shared memory or an
+    /// on-node bus). Used for pairs the topology reports as
+    /// [`colocated`](Topology::colocated); `None` means every pair pays
+    /// the main network's prices. Only meaningful with a hierarchical
+    /// topology, whose node grouping defines colocation.
+    pub intra: Option<NetworkModel>,
     /// Compute timing.
     pub compute: ComputeModel,
     /// Default algorithm for `Allreduce`.
@@ -223,8 +246,15 @@ impl MachineSpec {
         self.topology.hops_with_size(self.p, a, b)
     }
 
-    /// Transit time of a message between two ranks.
+    /// Transit time of a message between two ranks. Colocated pairs (same
+    /// node under a hierarchical topology) use the intra-node fabric's
+    /// prices when one is configured; self-messages stay free.
     pub fn transit(&self, bytes: usize, from: usize, to: usize) -> f64 {
+        if from != to && self.topology.colocated(from, to) {
+            if let Some(intra) = &self.intra {
+                return intra.transit(bytes, 1);
+            }
+        }
         self.network.transit(bytes, self.hops(from, to))
     }
 
@@ -269,6 +299,7 @@ pub mod presets {
                 per_hop: 1e-6,
                 overhead: 120e-6,
             },
+            intra: None,
             compute: ComputeModel {
                 // One "op" in autoclass terms is one (item, class,
                 // attribute) kernel evaluation (a Gaussian log-density or
@@ -292,6 +323,7 @@ pub mod presets {
                 per_hop: 100e-9,
                 overhead: 500e-9,
             },
+            intra: None,
             compute: ComputeModel { sec_per_op: 2e-9, wall_scale: 1.0 },
             // A modern MPI picks its collective algorithm per call from the
             // message size; model that with the size-adaptive selector.
@@ -306,8 +338,38 @@ pub mod presets {
             p,
             topology: Topology::Crossbar,
             network: NetworkModel::ideal(),
+            intra: None,
             compute: ComputeModel { sec_per_op: 1.4e-6, wall_scale: 1.0 },
             allreduce: AllreduceAlgo::RecursiveDoubling,
+            rank_speed: Vec::new(),
+        }
+    }
+
+    /// A fat tree of multicore nodes: `node_size` ranks per node sharing a
+    /// fast on-node fabric, nodes connected by a modern-cluster-grade
+    /// arity-16 fat tree. The default allreduce is [`AllreduceAlgo::
+    /// Hierarchical`], which folds inside each node before going over the
+    /// wire — the machine shape the large-P sweeps (P = 64…1024) model.
+    pub fn hier_cluster(p: usize, node_size: usize) -> MachineSpec {
+        MachineSpec {
+            p,
+            topology: Topology::HierFatTree { node_size: node_size.max(1), arity: 16 },
+            network: NetworkModel {
+                latency: 2e-6,
+                byte_time: 1.0 / 10e9,
+                per_hop: 100e-9,
+                overhead: 500e-9,
+            },
+            // Shared-memory transfers inside a node: ~100× lower latency,
+            // memory-bus bandwidth, negligible per-hop cost.
+            intra: Some(NetworkModel {
+                latency: 200e-9,
+                byte_time: 1.0 / 40e9,
+                per_hop: 10e-9,
+                overhead: 100e-9,
+            }),
+            compute: ComputeModel { sec_per_op: 2e-9, wall_scale: 1.0 },
+            allreduce: AllreduceAlgo::Hierarchical,
             rank_speed: Vec::new(),
         }
     }
@@ -318,6 +380,7 @@ pub mod presets {
             p,
             topology: Topology::Crossbar,
             network: NetworkModel::ideal(),
+            intra: None,
             compute: ComputeModel::ideal(),
             allreduce: AllreduceAlgo::RecursiveDoubling,
             rank_speed: Vec::new(),
@@ -436,6 +499,30 @@ mod tests {
         assert_eq!(auto, predicted_allreduce_cost(sel, 4, 512, &net));
         // P=1 is free for everyone.
         assert_eq!(predicted_allreduce_cost(AllreduceAlgo::Linear, 1, 512, &net), 0.0);
+    }
+
+    #[test]
+    fn hier_cluster_intra_node_transit_is_cheaper() {
+        let m = presets::hier_cluster(64, 8);
+        // Ranks 0 and 7 share node 0; 0 and 8 do not.
+        let intra = m.transit(1024, 0, 7);
+        let inter = m.transit(1024, 0, 8);
+        assert!(intra < inter, "intra {intra} vs inter {inter}");
+        assert_eq!(m.transit(1024, 5, 5), 0.0, "self messages stay free");
+        // Without an intra model, colocated pairs pay network prices.
+        let mut flat = m.clone();
+        flat.intra = None;
+        assert!(flat.transit(1024, 0, 7) > intra);
+    }
+
+    #[test]
+    fn hierarchical_is_never_auto_selected_and_has_a_cost() {
+        let net = meiko_net();
+        for p in 2..=17 {
+            assert_ne!(select_allreduce(p, 4096, &net), AllreduceAlgo::Hierarchical);
+        }
+        let c = predicted_allreduce_cost(AllreduceAlgo::Hierarchical, 8, 4096, &net);
+        assert_eq!(c, predicted_allreduce_cost(AllreduceAlgo::Rabenseifner, 8, 4096, &net));
     }
 
     #[test]

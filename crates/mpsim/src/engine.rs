@@ -1,31 +1,74 @@
-//! The SPMD launcher: runs one closure per rank on real threads.
+//! The SPMD launcher: one closure per rank, on either of two engines.
 //!
-//! [`run_spmd`] spawns `spec.p` scoped threads, wires a full mesh of
-//! channels between them, hands each a [`Comm`], and harvests results and
+//! [`run_spmd`] hands each rank a [`Comm`] and harvests results and
 //! per-rank statistics. A panic on any rank aborts the whole run and is
-//! reported as a [`SimError`]; the other ranks are unblocked via a shared
-//! abort flag polled by blocking receives.
+//! reported as a [`SimError`]. Two execution engines share every layer of
+//! bookkeeping (clocks, verification, fault injection) and therefore
+//! produce bitwise-identical results:
+//!
+//! - [`Engine::Threaded`]: one free-running OS thread per rank with a full
+//!   `P x P` mesh of channels; blocked receives poll a shared abort flag
+//!   in wall-clock slices. Simple and truly parallel, but both the mesh
+//!   and the polling stop scaling around a few hundred ranks.
+//! - [`Engine::Cooperative`]: ranks are cooperatively scheduled tasks on
+//!   a virtual-time-ordered run queue with lazily created per-pair
+//!   mailboxes (see [`crate::coop`]); exactly one rank runs at a time and
+//!   a blocked receive costs nothing. This is the engine for `P = 1024+`.
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::AtomicBool;
 use std::sync::mpsc::channel;
-use std::sync::Arc;
+use std::sync::{Arc, Once};
 use std::time::Duration;
 
-use crate::comm::{AbortPanic, Comm, Envelope};
+use crate::comm::{AbortPanic, Comm, Envelope, Transport};
+use crate::coop::CoopShared;
 use crate::cost::MachineSpec;
 use crate::error::SimError;
 use crate::fault::{FaultPlan, FaultState};
 use crate::trace::{RankStats, RunStats};
 use crate::verify::{VerifyOptions, VerifyState};
 
+/// Which execution engine carries the ranks (see the module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// One free-running OS thread per rank, full channel mesh.
+    #[default]
+    Threaded,
+    /// Cooperative virtual-time scheduler with lazy per-pair mailboxes;
+    /// required beyond a few hundred ranks.
+    Cooperative,
+}
+
+/// Stack reserved per rank thread under the cooperative engine. The
+/// address space is only reserved, not committed, so `P = 1024` costs
+/// 1 GiB of *virtual* memory — cheap on any 64-bit host — while still
+/// leaving room for the EM search's deepest call chains.
+const COOP_STACK_BYTES: usize = 1 << 20;
+
 /// Engine knobs that are about the *simulation host*, not the modeled
 /// machine (which lives in [`MachineSpec`]).
 #[derive(Debug, Clone)]
 pub struct SimOptions {
+    /// Execution engine carrying the ranks.
+    pub engine: Engine,
     /// Wall-clock time a blocking receive may wait before the run is
     /// declared deadlocked. Raise this for very long-running rank bodies.
+    ///
+    /// This is a *total* budget for the run's patience, not a per-rank
+    /// one: the effective per-receive deadline is scaled down with `P`
+    /// (to `recv_timeout / P`, floored at 2 s) so that a 1024-rank run
+    /// whose ranks time out one after another fails in seconds rather
+    /// than in `P x recv_timeout`. The cooperative engine ignores it
+    /// entirely — stalls there are detected structurally, with no timer.
     pub recv_timeout: Duration,
+    /// Most envelopes allowed in flight on any single (sender, receiver)
+    /// pair under the cooperative engine; a sender at the bound parks
+    /// until the receiver drains. Bounds the simulator's memory on
+    /// send-heavy programs at large `P` (the threaded engine's channels
+    /// remain unbounded: its free-running senders cannot park without
+    /// risking untimed hangs).
+    pub max_inflight_per_pair: usize,
     /// Record a per-rank message event trace (see
     /// [`crate::trace::Event`]); returned in [`SpmdOutput::events`].
     pub record_events: bool,
@@ -44,7 +87,9 @@ pub struct SimOptions {
 impl Default for SimOptions {
     fn default() -> Self {
         SimOptions {
+            engine: Engine::default(),
             recv_timeout: Duration::from_secs(120),
+            max_inflight_per_pair: 1024,
             record_events: false,
             verify: VerifyOptions::default(),
             fault: None,
@@ -58,6 +103,22 @@ impl SimOptions {
     pub fn verified() -> Self {
         SimOptions { verify: VerifyOptions::all(), ..Default::default() }
     }
+
+    /// Default options on the cooperative engine.
+    pub fn cooperative() -> Self {
+        SimOptions { engine: Engine::Cooperative, ..Default::default() }
+    }
+}
+
+/// Per-receive wall-clock deadline for a run of `p` ranks: the configured
+/// budget scaled down by `P` (ranks that time out do so one after
+/// another), floored at 2 s so small machines keep slack for slow hosts,
+/// and never *above* the configured budget (a caller who asked for 200 ms
+/// gets 200 ms).
+fn effective_recv_timeout(configured: Duration, p: usize) -> Duration {
+    const FLOOR: Duration = Duration::from_secs(2);
+    let scaled = configured.checked_div(p.max(1) as u32).unwrap_or(configured);
+    scaled.max(FLOOR).min(configured)
 }
 
 /// Everything a finished SPMD run produces.
@@ -76,6 +137,11 @@ pub struct SpmdOutput<T> {
     /// Per-rank message event traces; empty vectors unless
     /// [`SimOptions::record_events`] was set.
     pub events: Vec<Vec<crate::trace::Event>>,
+    /// Largest number of envelopes any single (sender, receiver) mailbox
+    /// held at once, against [`SimOptions::max_inflight_per_pair`].
+    /// Always 0 under the threaded engine (its channels are unbounded and
+    /// untracked).
+    pub mailbox_high_water: usize,
 }
 
 /// Run `f` as an SPMD program on the machine described by `spec`.
@@ -88,7 +154,6 @@ pub struct SpmdOutput<T> {
 /// Returns the first rank failure by severity: a user panic beats a receive
 /// timeout beats a follow-on abort, so the root cause is reported rather
 /// than a symptom.
-#[allow(clippy::needless_range_loop)] // (src, dst) index pairs read clearer
 pub fn run_spmd<T, F>(
     spec: &MachineSpec,
     opts: &SimOptions,
@@ -102,96 +167,16 @@ where
     if p == 0 {
         return Err(SimError::InvalidMachine("machine must have at least 1 rank".into()));
     }
+    install_panic_capture();
     let spec = Arc::new(spec.clone());
     let abort = Arc::new(AtomicBool::new(false));
     let verify = opts.verify.any().then(|| Arc::new(VerifyState::new(p, opts.verify.clone())));
     let fault = opts.fault.as_ref().map(|plan| Arc::new(FaultState::new(plan.clone(), p)));
 
-    // Full mesh of unbounded channels: matrix[src][dst].
-    let mut senders: Vec<Vec<std::sync::mpsc::Sender<Envelope>>> = Vec::with_capacity(p);
-    let mut receivers: Vec<Vec<Option<std::sync::mpsc::Receiver<Envelope>>>> =
-        (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
-    for src in 0..p {
-        let mut row = Vec::with_capacity(p);
-        for dst in 0..p {
-            let (tx, rx) = channel();
-            row.push(tx);
-            receivers[dst][src] = Some(rx);
-        }
-        senders.push(row);
-    }
-
-    type RankOutcome<T> = Result<(T, RankStats, Vec<crate::trace::Event>), SimError>;
-    let results: Vec<RankOutcome<T>> = std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(p);
-        for rank in 0..p {
-            let spec = Arc::clone(&spec);
-            let abort = Arc::clone(&abort);
-            let outboxes = senders[rank].clone();
-            let inboxes: Vec<_> = receivers[rank]
-                .iter_mut()
-                // lint:allow(unwrap): each receiver is taken exactly once, by construction
-                .map(|r| r.take().expect("receiver already taken"))
-                .collect();
-            let f = &f;
-            let recv_timeout = opts.recv_timeout;
-            let record_events = opts.record_events;
-            let verify = verify.clone();
-            let fault = fault.clone();
-            handles.push(scope.spawn(move || {
-                let mut comm = Comm::new(
-                    rank,
-                    spec,
-                    inboxes,
-                    outboxes,
-                    abort.clone(),
-                    recv_timeout,
-                    record_events,
-                    verify.clone(),
-                    fault,
-                );
-                let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut comm)));
-                match outcome {
-                    Ok(value) => {
-                        // Mark completion before dropping the comm so the
-                        // deadlock detector can tell "will never send
-                        // again" apart from "still running".
-                        if let Some(v) = &verify {
-                            v.mark_done(rank);
-                        }
-                        Ok((value, comm.stats(), comm.take_events()))
-                    }
-                    Err(payload) => {
-                        let err = classify_panic(rank, payload);
-                        // An injected crash must not tear the other ranks
-                        // down from the outside: turning the silent death
-                        // into a typed error is the failure-detection
-                        // path's job, and the first detector sets the
-                        // abort flag itself.
-                        if !matches!(err, SimError::RankCrashed { .. }) {
-                            abort.store(true, std::sync::atomic::Ordering::Relaxed);
-                        }
-                        Err(err)
-                    }
-                }
-            }));
-        }
-        handles
-            .into_iter()
-            .enumerate()
-            .map(|(rank, h)| {
-                h.join().unwrap_or_else(|_| {
-                    // The worker itself never panics outside catch_unwind,
-                    // but be defensive: report it as a rank panic, with the
-                    // actual rank (the handles are in spawn = rank order).
-                    Err::<(T, RankStats, Vec<crate::trace::Event>), _>(SimError::RankPanicked {
-                        rank,
-                        message: "worker thread died outside catch_unwind".into(),
-                    })
-                })
-            })
-            .collect()
-    });
+    let (results, mailbox_high_water) = match opts.engine {
+        Engine::Threaded => (run_threaded(&spec, opts, &abort, &verify, &fault, &f), 0),
+        Engine::Cooperative => run_cooperative(&spec, opts, &abort, &verify, &fault, &f),
+    };
 
     let mut first_error: Option<SimError> = None;
     let mut per_rank = Vec::with_capacity(p);
@@ -218,7 +203,187 @@ where
     }
 
     let stats = RunStats::from_ranks(&ranks);
-    Ok(SpmdOutput { elapsed: stats.elapsed, per_rank, ranks, stats, events })
+    Ok(SpmdOutput { elapsed: stats.elapsed, per_rank, ranks, stats, events, mailbox_high_water })
+}
+
+type RankOutcome<T> = Result<(T, RankStats, Vec<crate::trace::Event>), SimError>;
+
+/// Finish one rank's run: classify the outcome, keep the verifier's
+/// done/abort bookkeeping in the order the detectors rely on. Shared by
+/// both engines — this is where their behavior is pinned together.
+fn settle_rank<T>(
+    rank: usize,
+    outcome: std::thread::Result<T>,
+    comm: &mut Comm,
+    abort: &AtomicBool,
+    verify: &Option<Arc<VerifyState>>,
+) -> RankOutcome<T> {
+    match outcome {
+        Ok(value) => {
+            // Mark completion before releasing the rank so the deadlock
+            // detector can tell "will never send again" apart from
+            // "still running".
+            if let Some(v) = verify {
+                v.mark_done(rank);
+            }
+            Ok((value, comm.stats(), comm.take_events()))
+        }
+        Err(payload) => {
+            let err = classify_panic(rank, payload);
+            // An injected crash must not tear the other ranks down from
+            // the outside: turning the silent death into a typed error is
+            // the failure-detection path's job, and the first detector
+            // sets the abort flag itself.
+            if !matches!(err, SimError::RankCrashed { .. }) {
+                abort.store(true, std::sync::atomic::Ordering::Relaxed);
+            }
+            Err(err)
+        }
+    }
+}
+
+/// Defensive join fallback: the worker itself never panics outside
+/// `catch_unwind`, but report it as a rank panic if it somehow does.
+fn join_rank<T>(rank: usize, joined: std::thread::Result<RankOutcome<T>>) -> RankOutcome<T> {
+    joined.unwrap_or_else(|_| {
+        Err(SimError::RankPanicked {
+            rank,
+            message: "worker thread died outside catch_unwind".into(),
+        })
+    })
+}
+
+/// The thread-per-rank engine: a full mesh of channels, every rank truly
+/// concurrent.
+#[allow(clippy::needless_range_loop)] // (src, dst) index pairs read clearer
+fn run_threaded<T, F>(
+    spec: &Arc<MachineSpec>,
+    opts: &SimOptions,
+    abort: &Arc<AtomicBool>,
+    verify: &Option<Arc<VerifyState>>,
+    fault: &Option<Arc<FaultState>>,
+    f: &F,
+) -> Vec<RankOutcome<T>>
+where
+    T: Send,
+    F: Fn(&mut Comm) -> T + Sync,
+{
+    let p = spec.p;
+    // Full mesh of unbounded channels: matrix[src][dst].
+    let mut senders: Vec<Vec<std::sync::mpsc::Sender<Envelope>>> = Vec::with_capacity(p);
+    let mut receivers: Vec<Vec<Option<std::sync::mpsc::Receiver<Envelope>>>> =
+        (0..p).map(|_| (0..p).map(|_| None).collect()).collect();
+    for src in 0..p {
+        let mut row = Vec::with_capacity(p);
+        for dst in 0..p {
+            let (tx, rx) = channel();
+            row.push(tx);
+            receivers[dst][src] = Some(rx);
+        }
+        senders.push(row);
+    }
+
+    let recv_timeout = effective_recv_timeout(opts.recv_timeout, p);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(p);
+        for rank in 0..p {
+            let spec = Arc::clone(spec);
+            let abort = Arc::clone(abort);
+            let outboxes = senders[rank].clone();
+            let inboxes: Vec<_> = receivers[rank]
+                .iter_mut()
+                // lint:allow(unwrap): each receiver is taken exactly once, by construction
+                .map(|r| r.take().expect("receiver already taken"))
+                .collect();
+            let record_events = opts.record_events;
+            let verify = verify.clone();
+            let fault = fault.clone();
+            handles.push(scope.spawn(move || {
+                let mut comm = Comm::new(
+                    rank,
+                    spec,
+                    Transport::Mesh { inboxes, outboxes },
+                    abort.clone(),
+                    recv_timeout,
+                    record_events,
+                    verify.clone(),
+                    fault,
+                );
+                let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut comm)));
+                settle_rank(rank, outcome, &mut comm, &abort, &verify)
+            }));
+        }
+        handles.into_iter().enumerate().map(|(rank, h)| join_rank(rank, h.join())).collect()
+    })
+}
+
+/// The cooperative engine: one parked thread per rank, a single baton,
+/// lazily created mailboxes (see [`crate::coop`]). Returns the results
+/// plus the mailbox high-water mark.
+fn run_cooperative<T, F>(
+    spec: &Arc<MachineSpec>,
+    opts: &SimOptions,
+    abort: &Arc<AtomicBool>,
+    verify: &Option<Arc<VerifyState>>,
+    fault: &Option<Arc<FaultState>>,
+    f: &F,
+) -> (Vec<RankOutcome<T>>, usize)
+where
+    T: Send,
+    F: Fn(&mut Comm) -> T + Sync,
+{
+    let p = spec.p;
+    let coop = Arc::new(CoopShared::new(
+        p,
+        opts.max_inflight_per_pair,
+        verify.clone(),
+        fault.clone(),
+        Arc::clone(abort),
+    ));
+    let recv_timeout = effective_recv_timeout(opts.recv_timeout, p);
+    let results = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(p);
+        for rank in 0..p {
+            let spec = Arc::clone(spec);
+            let abort = Arc::clone(abort);
+            let coop = Arc::clone(&coop);
+            let record_events = opts.record_events;
+            let verify = verify.clone();
+            let fault = fault.clone();
+            let builder = std::thread::Builder::new()
+                .name(format!("coop-rank-{rank}"))
+                .stack_size(COOP_STACK_BYTES);
+            let handle = builder
+                .spawn_scoped(scope, move || {
+                    // Park until first scheduled: from here on at most one
+                    // rank thread is ever runnable at a time.
+                    coop.wait_first_turn(rank);
+                    let mut comm = Comm::new(
+                        rank,
+                        spec,
+                        Transport::Coop(Arc::clone(&coop)),
+                        abort.clone(),
+                        recv_timeout,
+                        record_events,
+                        verify.clone(),
+                        fault,
+                    );
+                    let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut comm)));
+                    let res = settle_rank(rank, outcome, &mut comm, &abort, &verify);
+                    // Release the baton *after* settle_rank's mark_done /
+                    // abort bookkeeping: the next scheduled rank's
+                    // detectors must already see this rank's fate.
+                    coop.finish(rank, res.is_err());
+                    res
+                })
+                // lint:allow(unwrap): thread spawn only fails on resource exhaustion
+                .expect("spawn cooperative rank thread");
+            handles.push(handle);
+        }
+        handles.into_iter().enumerate().map(|(rank, h)| join_rank(rank, h.join())).collect()
+    });
+    let high_water = coop.high_water();
+    (results, high_water)
 }
 
 /// Convenience wrapper using default options.
@@ -250,6 +415,36 @@ fn severity(e: &SimError) -> u8 {
     }
 }
 
+thread_local! {
+    /// `file:line:column` of the last panic thrown on this thread,
+    /// captured by the hook below. Read by [`classify_panic`], which runs
+    /// on the panicking rank's own thread in both engines.
+    static LAST_PANIC_LOCATION: std::cell::RefCell<Option<String>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+static PANIC_CAPTURE: Once = Once::new();
+
+/// Install (once, process-wide) a panic hook that remembers each panic's
+/// source location per thread, and silences the default stderr report for
+/// the engine's own [`AbortPanic`] payloads — those carry structured
+/// errors that the harvest reports properly; printing them would spam
+/// every aborted rank's backtrace.
+fn install_panic_capture() {
+    PANIC_CAPTURE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if let Some(loc) = info.location() {
+                let rendered = format!("{}:{}:{}", loc.file(), loc.line(), loc.column());
+                LAST_PANIC_LOCATION.with(|c| *c.borrow_mut() = Some(rendered));
+            }
+            if info.payload().downcast_ref::<AbortPanic>().is_none() {
+                prev(info);
+            }
+        }));
+    });
+}
+
 fn classify_panic(rank: usize, payload: Box<dyn std::any::Any + Send>) -> SimError {
     match payload.downcast::<AbortPanic>() {
         Ok(abort) => abort.0,
@@ -259,7 +454,14 @@ fn classify_panic(rank: usize, payload: Box<dyn std::any::Any + Send>) -> SimErr
             } else if let Some(s) = payload.downcast_ref::<String>() {
                 s.clone()
             } else {
-                "non-string panic payload".to_string()
+                // `panic_any` with a custom type: the payload cannot be
+                // rendered (stable Rust cannot name a `dyn Any`'s concrete
+                // type), but the hook captured where it was thrown —
+                // report that identity instead of discarding it.
+                match LAST_PANIC_LOCATION.with(|c| c.borrow_mut().take()) {
+                    Some(loc) => format!("non-string panic payload thrown at {loc}"),
+                    None => "non-string panic payload".to_string(),
+                }
             };
             SimError::RankPanicked { rank, message }
         }
@@ -343,7 +545,8 @@ mod tests {
     #[test]
     fn mismatched_collective_times_out_without_detection() {
         // With the detector off, the old wall-clock timeout is the
-        // backstop (kept as a regression test for that path).
+        // backstop (kept as a regression test for that path). The
+        // P-scaling must leave a small explicit budget alone.
         let spec = presets::zero_cost(2);
         let opts = SimOptions {
             recv_timeout: Duration::from_millis(200),
@@ -355,7 +558,196 @@ mod tests {
                 c.barrier(); // rank 1 never joins
             }
         });
-        assert!(matches!(r, Err(SimError::RecvTimeout { .. })), "got {r:?}");
+        match r {
+            Err(SimError::RecvTimeout { budget, .. }) => {
+                assert_eq!(budget, Duration::from_millis(200));
+            }
+            other => panic!("expected RecvTimeout, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn effective_recv_timeout_scales_with_p() {
+        let s = Duration::from_secs;
+        // Large machines divide the budget down to the 2 s floor...
+        assert_eq!(effective_recv_timeout(s(120), 1024), s(2));
+        assert_eq!(effective_recv_timeout(s(120), 64), s(2));
+        // ...mid-sized machines scale proportionally...
+        assert_eq!(effective_recv_timeout(s(120), 8), s(15));
+        // ...and an explicit budget below the floor is honored as-is.
+        assert_eq!(
+            effective_recv_timeout(Duration::from_millis(200), 2),
+            Duration::from_millis(200)
+        );
+        assert_eq!(effective_recv_timeout(s(1), 1024), s(1));
+        assert_eq!(effective_recv_timeout(s(120), 1), s(120));
+    }
+
+    #[test]
+    fn recv_timeout_fails_fast_on_a_large_machine() {
+        // Satellite regression: at P = 64 the default 120 s budget
+        // becomes a 2 s per-receive deadline, so an undetected mismatch
+        // fails in seconds instead of two minutes.
+        let spec = presets::zero_cost(64);
+        let opts =
+            SimOptions { verify: crate::verify::VerifyOptions::none(), ..Default::default() };
+        let start = std::time::Instant::now();
+        let r = run_spmd::<(), _>(&spec, &opts, |c| {
+            if c.rank() == 0 {
+                let _ = c.recv_f64s(1, 7); // rank 1 never sends
+            }
+        });
+        let elapsed = start.elapsed();
+        match r {
+            Err(SimError::RecvTimeout { budget, .. }) => {
+                assert_eq!(budget, Duration::from_secs(2));
+            }
+            other => panic!("expected RecvTimeout, got {other:?}"),
+        }
+        assert!(elapsed < Duration::from_secs(30), "took {elapsed:?}");
+    }
+
+    #[test]
+    fn non_string_panic_payload_is_identified_by_location() {
+        struct Custom {
+            #[allow(dead_code)]
+            code: u32,
+        }
+        let spec = presets::zero_cost(1);
+        let r = run_spmd_default::<(), _>(&spec, |_c| {
+            std::panic::panic_any(Custom { code: 42 });
+        });
+        match r {
+            Err(SimError::RankPanicked { rank, message }) => {
+                assert_eq!(rank, 0);
+                // The message names where the payload was thrown, so a
+                // custom panic type is traceable instead of anonymous.
+                assert!(message.contains("engine.rs"), "message was: {message}");
+                assert!(message.contains("non-string panic payload"), "message was: {message}");
+            }
+            other => panic!("expected RankPanicked, got {other:?}"),
+        }
+    }
+
+    // ---- cooperative engine ----
+
+    #[test]
+    fn cooperative_ranks_see_distinct_ids() {
+        let spec = presets::zero_cost(5);
+        let out = run_spmd(&spec, &SimOptions::cooperative(), |c| (c.rank(), c.size())).unwrap();
+        for (i, (r, s)) in out.per_rank.iter().enumerate() {
+            assert_eq!(*r, i);
+            assert_eq!(*s, 5);
+        }
+    }
+
+    #[test]
+    fn cooperative_ring_passes_a_token() {
+        let spec = presets::zero_cost(4);
+        let out = run_spmd(&spec, &SimOptions::cooperative(), |c| {
+            let p = c.size();
+            let me = c.rank();
+            if me == 0 {
+                c.send_f64s(1, 5, &[1.0]);
+                c.recv_f64s(p - 1, 5)[0]
+            } else {
+                let v = c.recv_f64s(me - 1, 5)[0];
+                c.send_f64s((me + 1) % p, 5, &[v + 1.0]);
+                v
+            }
+        })
+        .unwrap();
+        assert_eq!(out.per_rank, vec![4.0, 1.0, 2.0, 3.0]);
+        assert!(out.mailbox_high_water >= 1);
+    }
+
+    #[test]
+    fn cooperative_user_panic_is_reported_with_rank() {
+        let spec = presets::zero_cost(3);
+        let r = run_spmd::<(), _>(&spec, &SimOptions::cooperative(), |c| {
+            if c.rank() == 1 {
+                panic!("deliberate test failure");
+            }
+            c.barrier();
+        });
+        match r {
+            Err(SimError::RankPanicked { rank, message }) => {
+                assert_eq!(rank, 1);
+                assert!(message.contains("deliberate"));
+            }
+            other => panic!("expected RankPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cooperative_mismatched_collective_is_diagnosed_as_deadlock() {
+        let spec = presets::zero_cost(2);
+        let start = std::time::Instant::now();
+        let r = run_spmd::<(), _>(&spec, &SimOptions::cooperative(), |c| {
+            if c.rank() == 0 {
+                c.barrier(); // rank 1 never joins
+            }
+        });
+        let elapsed = start.elapsed();
+        match r {
+            Err(SimError::Deadlock { detail, .. }) => {
+                assert!(detail.contains("rank 0 waits on rank 1"), "{detail}");
+                assert!(detail.contains("finished"), "{detail}");
+            }
+            other => panic!("expected Deadlock, got {other:?}"),
+        }
+        // Structural: no polling, no timer — diagnosis is immediate.
+        assert!(elapsed < Duration::from_secs(1), "diagnosis took {elapsed:?}");
+    }
+
+    #[test]
+    fn cooperative_send_recv_cycle_is_diagnosed_with_full_wait_graph() {
+        let spec = presets::zero_cost(3);
+        let r = run_spmd::<(), _>(&spec, &SimOptions::cooperative(), |c| {
+            let from = (c.rank() + 1) % c.size();
+            let _ = c.recv_f64s(from, 7);
+        });
+        match r {
+            Err(SimError::Deadlock { cycle, detail, .. }) => {
+                let mut cycle = cycle;
+                cycle.sort_unstable();
+                assert_eq!(cycle, vec![0, 1, 2], "{detail}");
+                for rank in 0..3 {
+                    assert!(
+                        detail.contains(&format!("rank {rank} waits on rank {}", (rank + 1) % 3)),
+                        "{detail}"
+                    );
+                }
+            }
+            other => panic!("expected Deadlock, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cooperative_detects_deadlock_even_without_verification() {
+        // With every verifier off the threaded engine can only time out;
+        // the cooperative scheduler still proves the stall structurally
+        // and reports a typed deadlock naming the cycle.
+        let spec = presets::zero_cost(3);
+        let opts = SimOptions {
+            verify: crate::verify::VerifyOptions::none(),
+            ..SimOptions::cooperative()
+        };
+        let start = std::time::Instant::now();
+        let r = run_spmd::<(), _>(&spec, &opts, |c| {
+            let from = (c.rank() + 1) % c.size();
+            let _ = c.recv_f64s(from, 7);
+        });
+        let elapsed = start.elapsed();
+        match r {
+            Err(SimError::Deadlock { cycle, detail, .. }) => {
+                let mut cycle = cycle;
+                cycle.sort_unstable();
+                assert_eq!(cycle, vec![0, 1, 2], "{detail}");
+            }
+            other => panic!("expected Deadlock, got {other:?}"),
+        }
+        assert!(elapsed < Duration::from_secs(1), "diagnosis took {elapsed:?}");
     }
 
     #[test]

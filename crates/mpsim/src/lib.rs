@@ -39,7 +39,9 @@
 //! * [`collectives`] — Barrier/Bcast/Reduce/Allreduce/Gather/… on top of
 //!   point-to-point, with textbook algorithms
 //! * [`subcomm`] — sub-communicators (`MPI_Comm_split` analogue)
-//! * [`engine`] — the SPMD launcher ([`run_spmd`])
+//! * [`engine`] — the SPMD launcher ([`run_spmd`]) and its two execution
+//!   engines: thread-per-rank ([`Engine::Threaded`]) and the cooperative
+//!   virtual-time scheduler ([`Engine::Cooperative`]) for `P = 1024+`
 //! * [`fault`] — deterministic fault injection ([`FaultPlan`]: crashes,
 //!   drops, delays, corruption, degraded links) and receive-side failure
 //!   detection that turns hangs into typed errors naming the culprit
@@ -59,6 +61,7 @@
 pub mod clock;
 pub mod collectives;
 pub mod comm;
+mod coop;
 pub mod cost;
 pub mod engine;
 pub mod error;
@@ -78,7 +81,7 @@ pub use cost::{
     predicted_allreduce_cost, presets, select_allreduce, AllreduceAlgo, ComputeModel, MachineSpec,
     NetworkModel,
 };
-pub use engine::{run_spmd, run_spmd_default, SimOptions, SpmdOutput};
+pub use engine::{run_spmd, run_spmd_default, Engine, SimOptions, SpmdOutput};
 pub use error::SimError;
 pub use fault::{FaultAction, FaultKind, FaultPlan, FaultSpec, FaultTrigger};
 pub use payload::DecodeError;

@@ -23,6 +23,13 @@ pub enum Topology {
     /// level. Contention is not modeled (a fat tree provides full bisection
     /// bandwidth by construction).
     FatTree { arity: usize },
+    /// Hierarchical machine: a fat tree whose leaves are *multicore nodes*
+    /// of `node_size` ranks each (ranks `0..node_size` share node 0, and so
+    /// on). Two ranks on the same node are one hop apart over the node's
+    /// internal fabric (costed by [`crate::cost::MachineSpec::intra`] when
+    /// set); ranks on different nodes pay the fat-tree climb between their
+    /// *nodes* plus one hop into and out of each node.
+    HierFatTree { node_size: usize, arity: usize },
 }
 
 fn ring_hops(p: usize, a: usize, b: usize) -> usize {
@@ -63,6 +70,37 @@ impl Topology {
             Topology::Ring => ring_hops(p, a, b),
             Topology::Mesh2D { cols } => mesh_hops(cols.max(1), a, b),
             Topology::FatTree { arity } => fat_tree_hops(arity.max(2), a, b),
+            Topology::HierFatTree { node_size, arity } => {
+                let ns = node_size.max(1);
+                if a / ns == b / ns {
+                    1 // same node: one hop over the intra-node fabric
+                } else {
+                    // Node-to-node fat-tree climb, plus the NIC hop out of
+                    // the source node and into the destination node.
+                    2 + fat_tree_hops(arity.max(2), a / ns, b / ns)
+                }
+            }
+        }
+    }
+
+    /// Whether two ranks share a physical node. Only the hierarchical
+    /// topology groups ranks into nodes; everywhere else each rank is its
+    /// own node.
+    pub fn colocated(&self, a: usize, b: usize) -> bool {
+        match *self {
+            Topology::HierFatTree { node_size, .. } => {
+                let ns = node_size.max(1);
+                a / ns == b / ns
+            }
+            _ => a == b,
+        }
+    }
+
+    /// Ranks per physical node (1 for the flat topologies).
+    pub fn node_size(&self) -> usize {
+        match *self {
+            Topology::HierFatTree { node_size, .. } => node_size.max(1),
+            _ => 1,
         }
     }
 
@@ -89,6 +127,15 @@ impl Topology {
                     levels += 1;
                 }
                 2 * levels
+            }
+            Topology::HierFatTree { node_size, arity } => {
+                let ns = node_size.max(1);
+                let nodes = p.div_ceil(ns);
+                if nodes <= 1 {
+                    1
+                } else {
+                    2 + Topology::FatTree { arity }.diameter(nodes)
+                }
             }
         }
     }
@@ -151,12 +198,43 @@ mod tests {
     }
 
     #[test]
+    fn hier_fat_tree_separates_intra_and_inter_node() {
+        let t = Topology::HierFatTree { node_size: 4, arity: 4 };
+        // Same node: single intra-node hop.
+        assert_eq!(t.hops_with_size(32, 0, 3), 1);
+        assert!(t.colocated(0, 3));
+        assert!(!t.colocated(3, 4));
+        // Adjacent nodes under one leaf switch: 2 NIC hops + 2 tree hops.
+        assert_eq!(t.hops_with_size(32, 0, 4), 4);
+        // Distant nodes climb higher: nodes 0 and 7 have LCA at level 2.
+        assert_eq!(t.hops_with_size(32, 0, 31), 6);
+        assert_eq!(t.node_size(), 4);
+        assert_eq!(Topology::Crossbar.node_size(), 1);
+        assert!(Topology::Crossbar.colocated(2, 2));
+        assert!(!Topology::Crossbar.colocated(2, 3));
+    }
+
+    #[test]
+    fn hier_fat_tree_diameter_covers_all_pairs() {
+        let t = Topology::HierFatTree { node_size: 3, arity: 2 };
+        for p in [1usize, 2, 3, 4, 7, 12, 13] {
+            let d = t.diameter(p);
+            for a in 0..p {
+                for b in 0..p {
+                    assert!(t.hops_with_size(p, a, b) <= d, "p={p} a={a} b={b}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn hops_are_symmetric() {
         for t in [
             Topology::Crossbar,
             Topology::Ring,
             Topology::Mesh2D { cols: 3 },
             Topology::FatTree { arity: 2 },
+            Topology::HierFatTree { node_size: 2, arity: 2 },
         ] {
             for a in 0..9 {
                 for b in 0..9 {

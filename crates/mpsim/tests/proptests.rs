@@ -14,6 +14,10 @@ fn algo_strategy() -> impl Strategy<Value = AllreduceAlgo> {
         Just(AllreduceAlgo::RecursiveDoubling),
         Just(AllreduceAlgo::Ring),
         Just(AllreduceAlgo::Rabenseifner),
+        // On a flat topology every rank is its own node, so Hierarchical
+        // degenerates to Rabenseifner among all ranks — still worth
+        // sweeping for the degenerate-geometry edge cases.
+        Just(AllreduceAlgo::Hierarchical),
         Just(AllreduceAlgo::Auto),
     ]
 }

@@ -1,0 +1,130 @@
+//! The tentpole gate for the cooperative engine: the full verified
+//! P-AutoClass search produces **bitwise identical** results whether the
+//! simulated ranks run as preemptive OS threads or as cooperatively
+//! scheduled tasks on the virtual-time run queue. Log-likelihoods, CS
+//! scores, classification hashes, cycle counts, and virtual elapsed time
+//! must agree to the last bit at P ∈ {1, 2, 4, 8} for every exchange
+//! strategy — scheduling must never leak into the numbers.
+
+use autoclass::model::classes_to_flat;
+use autoclass::search::SearchConfig;
+use mpsim::{hash_f64s, presets, Engine, SimOptions};
+use pautoclass::{run_search_with, Exchange, ParallelConfig, ParallelOutcome, Strategy};
+
+fn config(strategy: Strategy) -> ParallelConfig {
+    ParallelConfig {
+        search: SearchConfig {
+            start_j_list: vec![2, 4],
+            tries_per_j: 1,
+            max_cycles: 30,
+            rel_delta_ll: 1e-7,
+            min_class_weight: 1.0,
+            seed: 99,
+            max_stored: 10,
+        },
+        strategy,
+        partition: pautoclass::Partitioning::Block,
+        correlated_blocks: Vec::new(),
+    }
+}
+
+fn classification_hashes(out: &ParallelOutcome) -> Vec<u64> {
+    out.all.iter().map(|c| hash_f64s(&classes_to_flat(&c.classes))).collect()
+}
+
+fn assert_bitwise_identical(threaded: &ParallelOutcome, coop: &ParallelOutcome, label: &str) {
+    assert_eq!(
+        threaded.best.approx.log_likelihood.to_bits(),
+        coop.best.approx.log_likelihood.to_bits(),
+        "{label}: best log-likelihood diverged across engines"
+    );
+    assert_eq!(
+        threaded.best.score().to_bits(),
+        coop.best.score().to_bits(),
+        "{label}: best CS score diverged across engines"
+    );
+    assert_eq!(threaded.cycles, coop.cycles, "{label}: cycle counts diverged");
+    assert_eq!(
+        threaded.elapsed.to_bits(),
+        coop.elapsed.to_bits(),
+        "{label}: virtual elapsed time diverged across engines"
+    );
+    assert_eq!(
+        classification_hashes(threaded),
+        classification_hashes(coop),
+        "{label}: classification parameter hashes diverged"
+    );
+    for (ct, cc) in threaded.all.iter().zip(&coop.all) {
+        assert_eq!(ct.cycles, cc.cycles, "{label}: per-try cycle counts diverged");
+        assert_eq!(ct.converged, cc.converged, "{label}: convergence flags diverged");
+        assert_eq!(
+            ct.approx.log_likelihood.to_bits(),
+            cc.approx.log_likelihood.to_bits(),
+            "{label}: per-try log-likelihoods diverged"
+        );
+    }
+}
+
+#[test]
+fn verified_search_is_bitwise_identical_across_engines() {
+    // Replication verification stays on for both runs: the cooperative
+    // engine must not only match the threaded numbers, it must pass the
+    // same in-run replication hash checks the threaded engine does.
+    let data = datagen::paper_dataset(600, 9);
+    let cfg = config(Strategy::Full { exchange: Exchange::Fused });
+    for p in [1usize, 2, 4, 8] {
+        let spec = presets::meiko_cs2(p);
+        let threaded = run_search_with(&data, &spec, &cfg, &SimOptions::verified())
+            .unwrap_or_else(|e| panic!("P={p} threaded: {e}"));
+        let coop = run_search_with(
+            &data,
+            &spec,
+            &cfg,
+            &SimOptions { engine: Engine::Cooperative, ..SimOptions::verified() },
+        )
+        .unwrap_or_else(|e| panic!("P={p} cooperative: {e}"));
+        assert_bitwise_identical(&threaded, &coop, &format!("P={p}"));
+        assert!(threaded.cycles > 0, "P={p}: search ran no cycles");
+    }
+}
+
+#[test]
+fn every_exchange_strategy_is_engine_invariant() {
+    // All four strategies — the per-term ablation, the fused exchange, the
+    // pipelined (overlapped) exchange, and the wts-only degenerate — ride
+    // the same deterministic collectives, so swapping the scheduler
+    // underneath must preserve every number bitwise.
+    let data = datagen::paper_dataset(400, 11);
+    for strategy in [
+        Strategy::Full { exchange: Exchange::PerTerm },
+        Strategy::Full { exchange: Exchange::Fused },
+        Strategy::Full { exchange: Exchange::Pipelined },
+        Strategy::WtsOnly,
+    ] {
+        let cfg = config(strategy);
+        let spec = presets::modern_cluster(4);
+        let threaded = run_search_with(&data, &spec, &cfg, &SimOptions::default())
+            .unwrap_or_else(|e| panic!("{strategy:?} threaded: {e}"));
+        let coop = run_search_with(&data, &spec, &cfg, &SimOptions::cooperative())
+            .unwrap_or_else(|e| panic!("{strategy:?} cooperative: {e}"));
+        assert_bitwise_identical(&threaded, &coop, &format!("{strategy:?}"));
+    }
+}
+
+#[test]
+fn cooperative_search_carries_the_hier_cluster_machine() {
+    // The large-P report rows run the search on the hierarchical fat-tree
+    // preset under the cooperative engine; pin the combination here at a
+    // testable size, including the hierarchical allreduce it selects.
+    let data = datagen::paper_dataset(300, 5);
+    let cfg = config(Strategy::Full { exchange: Exchange::Fused });
+    let spec = presets::hier_cluster(8, 4);
+    let coop = run_search_with(&data, &spec, &cfg, &SimOptions::cooperative())
+        .unwrap_or_else(|e| panic!("hier_cluster cooperative: {e}"));
+    let threaded = run_search_with(&data, &spec, &cfg, &SimOptions::default())
+        .unwrap_or_else(|e| panic!("hier_cluster threaded: {e}"));
+    // Same machine (hence the same hierarchical fold order), both engines:
+    // the numbers and the virtual clock must agree bitwise.
+    assert_bitwise_identical(&threaded, &coop, "hier_cluster");
+    assert!(coop.elapsed > 0.0, "hier_cluster: no virtual time elapsed");
+}

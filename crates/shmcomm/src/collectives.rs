@@ -128,6 +128,7 @@ impl NativeComm {
             AllreduceAlgo::RecursiveDoubling => self.allreduce_rd(buf, op, tag),
             AllreduceAlgo::Ring => self.allreduce_ring(buf, op, tag),
             AllreduceAlgo::Rabenseifner => self.allreduce_rabenseifner(buf, op, tag),
+            AllreduceAlgo::Hierarchical => self.allreduce_hierarchical(buf, op, tag),
             AllreduceAlgo::Auto => unreachable!("Auto resolved to a concrete algorithm above"),
         }
         self.check_replicated_result("allreduce result", buf);
@@ -328,6 +329,115 @@ impl NativeComm {
         if me < rem {
             let copy = buf.to_vec();
             self.send_f64s(me + pow2, tag, &copy);
+        }
+    }
+
+    /// Rabenseifner's schedule over an arbitrary ascending member list —
+    /// the native mirror of the simulator's `rabenseifner_over`, with the
+    /// same parking scheme, chunk partition, and fold order.
+    fn rabenseifner_over(&mut self, members: &[usize], buf: &mut [f64], op: ReduceOp, tag: u64) {
+        let g = members.len();
+        if g <= 1 {
+            return;
+        }
+        let me = members
+            .iter()
+            .position(|&r| r == self.rank())
+            .unwrap_or_else(|| panic!("rank {} is not a member of this group", self.rank()));
+        let pow2 = g.next_power_of_two() / if g.is_power_of_two() { 1 } else { 2 };
+        let rem = g - pow2;
+
+        if me >= pow2 {
+            let partner = members[me - pow2];
+            let copy = buf.to_vec();
+            self.send_f64s(partner, tag, &copy);
+            let data = self.recv_f64s(partner, tag);
+            buf.copy_from_slice(&data);
+            return;
+        }
+        if me < rem {
+            let data = self.recv_f64s(members[me + pow2], tag);
+            op.fold(buf, &data);
+        }
+
+        let n = buf.len();
+        let range = |c: usize| -> std::ops::Range<usize> {
+            let base = n / pow2;
+            let extra = n % pow2;
+            let start = c * base + c.min(extra);
+            start..start + base + usize::from(c < extra)
+        };
+        let span = |clo: usize, chi: usize| range(clo).start..range(chi - 1).end;
+
+        let (mut clo, mut chi) = (0usize, pow2);
+        let mut mask = pow2 >> 1;
+        while mask > 0 {
+            let partner = members[me ^ mask];
+            let mid = clo + (chi - clo) / 2;
+            let (keep, give) =
+                if me & mask == 0 { ((clo, mid), (mid, chi)) } else { ((mid, chi), (clo, mid)) };
+            let chunk = buf[span(give.0, give.1)].to_vec();
+            self.send_f64s(partner, tag, &chunk);
+            let data = self.recv_f64s(partner, tag);
+            op.fold(&mut buf[span(keep.0, keep.1)], &data);
+            (clo, chi) = keep;
+            mask >>= 1;
+        }
+
+        let mut mask = 1usize;
+        while mask < pow2 {
+            let partner = members[me ^ mask];
+            let chunk = buf[span(clo, chi)].to_vec();
+            self.send_f64s(partner, tag, &chunk);
+            let data = self.recv_f64s(partner, tag);
+            let plo = clo ^ mask;
+            buf[span(plo, plo + mask)].copy_from_slice(&data);
+            clo = clo.min(plo);
+            chi = clo + 2 * mask;
+            mask <<= 1;
+        }
+
+        if me < rem {
+            let copy = buf.to_vec();
+            self.send_f64s(members[me + pow2], tag, &copy);
+        }
+    }
+
+    /// Hierarchical allreduce: intra-node ascending fold to the node
+    /// leader, Rabenseifner among the leaders, intra-node broadcast —
+    /// exactly the simulator's schedule, so results are bitwise identical
+    /// across backends.
+    fn allreduce_hierarchical(&mut self, buf: &mut [f64], op: ReduceOp, tag: u64) {
+        let p = self.size();
+        let me = self.rank();
+        let ns = self.machine().topology.node_size().clamp(1, p);
+        let node = me / ns;
+        let leader = node * ns;
+        let node_end = ((node + 1) * ns).min(p);
+
+        if me == leader {
+            for src in leader + 1..node_end {
+                let data = self.recv_f64s(src, tag);
+                if data.len() != buf.len() {
+                    self.mismatch(format!(
+                        "allreduce length {} != rank {src}'s {}",
+                        buf.len(),
+                        data.len()
+                    ));
+                }
+                op.fold(buf, &data);
+            }
+            let leaders: Vec<usize> = (0..p).step_by(ns).collect();
+            self.rabenseifner_over(&leaders, buf, op, tag);
+            for dst in leader + 1..node_end {
+                let copy = buf.to_vec();
+                self.send_f64s(dst, tag, &copy);
+            }
+        } else {
+            let copy = buf.to_vec();
+            self.send_f64s(leader, tag, &copy);
+            let data = self.recv_f64s(leader, tag);
+            buf.copy_from_slice(&data);
         }
     }
 

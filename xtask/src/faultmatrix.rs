@@ -32,7 +32,12 @@
 //!
 //! Flags: `--smoke` (P ∈ {2,4}, short sweep — the CI configuration),
 //! `--out DIR` (default `faultmatrix/` in the repo root), `--check PATH`
-//! (validate an existing `faultmatrix.json` instead of running).
+//! (validate an existing `faultmatrix.json` or `faultmatrix_largep.json`
+//! instead of running — the schema is sniffed from the artifact),
+//! `--largep` (run the reduced large-`P` sweep instead: crash and corrupt
+//! under abort/restart on the **cooperative** engine and the hierarchical
+//! fat-tree cluster at P ∈ {64, 256, 1024} — `--smoke` trims to
+//! P ∈ {64, 256} — writing `faultmatrix_largep.json`/`.txt`).
 
 use std::fmt::Write as _;
 use std::path::Path;
@@ -41,7 +46,8 @@ use std::process::ExitCode;
 use autoclass::model::classes_to_flat;
 use autoclass::search::SearchConfig;
 use mpsim::{
-    presets, FaultAction, FaultPlan, FaultSpec, FaultTrigger, MachineSpec, SimError, SimOptions,
+    presets, Engine, FaultAction, FaultPlan, FaultSpec, FaultTrigger, MachineSpec, SimError,
+    SimOptions,
 };
 use pautoclass::{
     run_search_ft, Exchange, FtConfig, ParallelConfig, ParallelOutcome, RecoveryPolicy, RunError,
@@ -79,6 +85,9 @@ pub fn faultmatrix(args: &[String]) -> ExitCode {
     }
     let root = crate::repo_root();
     let out_dir = flag_value("--out").map(Into::into).unwrap_or_else(|| root.join("faultmatrix"));
+    if args.iter().any(|a| a == "--largep") {
+        return faultmatrix_largep(smoke, &out_dir);
+    }
 
     let first = match run_matrix(smoke) {
         Ok(m) => m,
@@ -475,6 +484,172 @@ fn run_ksweep(
     Ok(rows)
 }
 
+/// The reduced large-`P` sweep: crash and corrupt under abort/restart on
+/// the cooperative engine and the hierarchical fat-tree cluster. The full
+/// fault × policy matrix at these sizes would dominate CI for no extra
+/// coverage — the fault layer is engine- and size-independent; what this
+/// sweep pins is that detection, diagnosis, and bit-identical recovery
+/// survive the cooperative scheduler at processor counts the threaded
+/// engine cannot carry.
+fn run_largep_matrix(smoke: bool) -> Result<(Vec<Baseline>, Vec<Cell>), String> {
+    let ps: &[usize] = if smoke { &[64, 256] } else { &[64, 256, 1024] };
+    // Every rank must own data at P = 1024. On the tiny per-rank
+    // partitions up there the EM search can hit an exact fixed point
+    // within ~3 cycles, so the fatal faults trigger at send #5 (≈ cycle
+    // 2) — a sequence every run reaches — rather than [`FAULT_SEQ`].
+    // The crash then precedes the first checkpoint and the restart
+    // replays from scratch; bit-identity is still fully enforced.
+    const LARGEP_FAULT_SEQ: u64 = 5;
+    let plan = |kind: &str| {
+        let action = match kind {
+            "crash" => FaultAction::Crash,
+            _ => FaultAction::Corrupt { dst: 0, byte: 5, mask: 0x20 },
+        };
+        FaultPlan::new(vec![FaultSpec {
+            rank: CULPRIT,
+            action,
+            trigger: FaultTrigger::AtSendSeq(LARGEP_FAULT_SEQ),
+        }])
+    };
+    let data = datagen::paper_dataset(2_048, 7);
+    let cfg = parallel_config();
+    let coop_opts = |plan: Option<FaultPlan>| SimOptions {
+        engine: Engine::Cooperative,
+        fault: plan,
+        ..SimOptions::default()
+    };
+
+    let mut baselines = Vec::new();
+    let mut cells = Vec::new();
+    for &p in ps {
+        let spec = presets::hier_cluster(p, 8);
+        let base = run_search_ft(
+            &data,
+            &spec,
+            &cfg,
+            &ftc(RecoveryPolicy::RestartFromCheckpoint),
+            &coop_opts(None),
+        )
+        .map_err(|e| format!("P={p}: unfaulted baseline failed: {e}"))?;
+        if base.attempts != 1 || !base.faults.is_empty() {
+            return Err(format!("P={p}: unfaulted baseline reported phantom faults"));
+        }
+        let base_bits = result_bits(&base.outcome);
+        baselines.push(Baseline { p, elapsed_s: base.outcome.elapsed });
+
+        for kind in ["crash", "corrupt"] {
+            for (policy, pname) in [
+                (RecoveryPolicy::Abort, "abort"),
+                (RecoveryPolicy::RestartFromCheckpoint, "restart"),
+            ] {
+                let res =
+                    run_search_ft(&data, &spec, &cfg, &ftc(policy), &coop_opts(Some(plan(kind))));
+                cells.push(grade_cell(p, kind, pname, res, &base_bits)?);
+            }
+        }
+    }
+    Ok((baselines, cells))
+}
+
+fn largep_json(smoke: bool, baselines: &[Baseline], cells: &[Cell], deterministic: bool) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema_version\": 1,");
+    let _ = writeln!(out, "  \"kind\": \"largep\",");
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(out, "  \"engine\": \"cooperative\",");
+    let _ = writeln!(out, "  \"machine\": \"hier_cluster\",");
+    let _ = writeln!(out, "  \"culprit_rank\": {CULPRIT},");
+    out.push_str("  \"gates\": {\n");
+    // Enforced in run_largep_matrix via grade_cell; recorded for --check.
+    let _ = writeln!(out, "    \"abort_names_correct_culprit\": true,");
+    let _ = writeln!(out, "    \"restart_bit_identical\": true,");
+    let _ = writeln!(out, "    \"deterministic\": {deterministic}");
+    out.push_str("  },\n");
+    out.push_str("  \"baselines\": [\n");
+    for (i, b) in baselines.iter().enumerate() {
+        let comma = if i + 1 < baselines.len() { "," } else { "" };
+        let _ = writeln!(out, "    {{\"p\": {}, \"elapsed_s\": {:.9}}}{comma}", b.p, b.elapsed_s);
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 < cells.len() { "," } else { "" };
+        let bits = match c.bit_identical {
+            Some(v) => v.to_string(),
+            None => "null".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "    {{\"p\": {}, \"fault\": \"{}\", \"policy\": \"{}\", \"outcome\": \"{}\", \
+             \"attempts\": {}, \"survivors\": {}, \"bit_identical\": {bits}, \
+             \"elapsed_s\": {:.9}}}{comma}",
+            c.p,
+            c.kind,
+            c.policy,
+            c.outcome.replace('\\', "\\\\").replace('"', "\\\""),
+            c.attempts,
+            c.survivors,
+            c.elapsed_s
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn faultmatrix_largep(smoke: bool, out_dir: &Path) -> ExitCode {
+    let (baselines, cells) = match run_largep_matrix(smoke) {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("xtask faultmatrix --largep: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let deterministic = match run_largep_matrix(smoke) {
+        Ok((b2, c2)) => {
+            largep_json(smoke, &b2, &c2, true) == largep_json(smoke, &baselines, &cells, true)
+        }
+        Err(msg) => {
+            eprintln!("xtask faultmatrix --largep: repeat run failed: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !deterministic {
+        eprintln!("xtask faultmatrix --largep: repeated sweep rendered different artifacts");
+        return ExitCode::FAILURE;
+    }
+    let json = largep_json(smoke, &baselines, &cells, deterministic);
+    let text = to_text(&Matrix { baselines, cells, ksweep: Vec::new() });
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("xtask faultmatrix --largep: cannot create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    for (name, content) in [("faultmatrix_largep.json", &json), ("faultmatrix_largep.txt", &text)] {
+        let path = out_dir.join(name);
+        if let Err(e) = std::fs::write(&path, content) {
+            eprintln!("xtask faultmatrix --largep: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    print!("{text}");
+    println!("\nxtask faultmatrix --largep: wrote 2 artifacts to {}", out_dir.display());
+    ExitCode::SUCCESS
+}
+
+/// Required keys for the large-`P` artifact (`faultmatrix_largep.json`).
+const LARGEP_REQUIRED: [&str; 11] = [
+    "\"schema_version\": 1",
+    "\"kind\": \"largep\"",
+    "\"engine\": \"cooperative\"",
+    "\"machine\": \"hier_cluster\"",
+    "\"abort_names_correct_culprit\": true",
+    "\"restart_bit_identical\": true",
+    "\"deterministic\": true",
+    "\"fault\": \"crash\"",
+    "\"fault\": \"corrupt\"",
+    "\"policy\": \"abort\"",
+    "\"policy\": \"restart\"",
+];
+
 fn to_text(m: &Matrix) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "fault x policy x P sweep (culprit rank {CULPRIT}, all gates enforced)");
@@ -502,6 +677,9 @@ fn to_text(m: &Matrix) -> String {
             c.elapsed_s,
             c.outcome
         );
+    }
+    if m.ksweep.is_empty() {
+        return out;
     }
     let _ = writeln!(out, "\nrecovery overhead vs checkpoint interval (P = 4, crash + restart)");
     let _ = writeln!(
@@ -588,6 +766,23 @@ fn check(path: &Path) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if text.contains("\"kind\": \"largep\"") {
+        let mut missing = Vec::new();
+        for key in LARGEP_REQUIRED {
+            if !text.contains(key) {
+                missing.push(key);
+            }
+        }
+        return if missing.is_empty() {
+            println!("xtask faultmatrix --check: {} ok", path.display());
+            ExitCode::SUCCESS
+        } else {
+            for key in missing {
+                eprintln!("xtask faultmatrix --check: {} missing {key}", path.display());
+            }
+            ExitCode::FAILURE
+        };
+    }
     let required = [
         "\"schema_version\": 1",
         "\"gates\"",

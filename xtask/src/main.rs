@@ -61,10 +61,10 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage: cargo xtask lint \
                  | analyze [--check] [--out PATH] [--fixtures] [--root DIR] \
-                 | bench [--smoke] [--native] [--out PATH] [--check PATH] \
-                 | report [--smoke] [--out DIR] [--check PATH] \
+                 | bench [--smoke] [--native] [--engines] [--out PATH] [--check PATH] \
+                 | report [--smoke] [--largep] [--out DIR] [--check PATH] \
                  | calibrate [--smoke] [--out PATH] [--check PATH] \
-                 | faultmatrix [--smoke] [--out DIR] [--check PATH]"
+                 | faultmatrix [--smoke] [--largep] [--out DIR] [--check PATH]"
             );
             ExitCode::FAILURE
         }

@@ -31,7 +31,13 @@
 //!
 //! Flags: `--smoke` (P ∈ {1,2,4}, small dataset — the CI configuration),
 //! `--out DIR` (default `report/` in the repo root), `--check PATH`
-//! (validate an existing `report.json` instead of running).
+//! (validate an existing `report.json` or `report_largep.json` instead of
+//! running — the schema is sniffed from the artifact), `--largep` (run
+//! the large-`P` series instead: the verified search under the
+//! **cooperative** engine on the hierarchical fat-tree cluster at
+//! P ∈ {64, 256, 1024} against a P = 1 baseline, writing
+//! `report_largep.json`/`.txt` — the processor counts the thread-per-rank
+//! engine cannot carry).
 
 use std::fmt::Write as _;
 use std::path::Path;
@@ -40,7 +46,7 @@ use std::process::ExitCode;
 use autoclass::data::GlobalStats;
 use autoclass::model::{Model, StatLayout};
 use autoclass::search::SearchConfig;
-use mpsim::{predicted_allreduce_cost, presets, Report, RunRecord, RunStats, SimOptions};
+use mpsim::{predicted_allreduce_cost, presets, Engine, Report, RunRecord, RunStats, SimOptions};
 use pautoclass::{run_search_with, Exchange, ParallelConfig, Partitioning, Strategy};
 
 /// Accepted band for measured/predicted allreduce time, P > 1. The LogGP
@@ -61,6 +67,9 @@ pub fn report(args: &[String]) -> ExitCode {
     }
     let root = crate::repo_root();
     let out_dir = flag_value("--out").map(Into::into).unwrap_or_else(|| root.join("report"));
+    if args.iter().any(|a| a == "--largep") {
+        return report_largep(smoke, &out_dir);
+    }
 
     let (first, loggp, overlap) = match run_series(smoke) {
         Ok(v) => v,
@@ -305,6 +314,194 @@ fn assemble_json(
     out
 }
 
+/// One processor count of the large-`P` series.
+struct LargePRow {
+    p: usize,
+    elapsed_s: f64,
+    speedup: f64,
+    efficiency: f64,
+    cycles: usize,
+    allreduce_s: f64,
+}
+
+/// The large-`P` series: the verified search under the cooperative engine
+/// on the hierarchical fat-tree cluster, at processor counts far beyond
+/// what the thread-per-rank engine tolerates. Enforces the same phase /
+/// symmetry / determinism invariants as the main series and renders the
+/// paper-style speedup curve (Fig. 7's shape, extended to P = 1024).
+fn run_largep_series(smoke: bool) -> Result<Vec<LargePRow>, String> {
+    let (n, j, cycles) = if smoke { (2_048, 4, 3) } else { (8_192, 4, 6) };
+    let ps: [usize; 4] = [1, 64, 256, 1024];
+    let data = datagen::paper_dataset(n, 11);
+    let config = ParallelConfig {
+        search: SearchConfig {
+            start_j_list: vec![j],
+            tries_per_j: 1,
+            max_cycles: cycles,
+            rel_delta_ll: 0.0,
+            min_class_weight: 0.0,
+            seed: 42,
+            max_stored: 1,
+        },
+        strategy: Strategy::Full { exchange: Exchange::Fused },
+        partition: Partitioning::Block,
+        correlated_blocks: Vec::new(),
+    };
+    let opts = SimOptions { engine: Engine::Cooperative, ..SimOptions::verified() };
+    let mut rows = Vec::new();
+    let mut base_elapsed = 0.0_f64;
+    for p in ps {
+        let spec = presets::hier_cluster(p, 8);
+        let out =
+            run_search_with(&data, &spec, &config, &opts).map_err(|e| format!("P={p}: {e}"))?;
+        let agg = RunStats::from_ranks(&out.ranks);
+        agg.check_message_symmetry().map_err(|e| format!("P={p}: {e}"))?;
+        for r in &out.ranks {
+            let sum = r.phases_total();
+            if (sum - r.elapsed).abs() > 1e-9 {
+                return Err(format!(
+                    "P={p} rank {}: phase buckets {sum:.12} do not partition elapsed {:.12}",
+                    r.rank, r.elapsed
+                ));
+            }
+        }
+        let allreduce_s = out
+            .ranks
+            .iter()
+            .filter_map(|r| r.phase("allreduce").map(|ph| ph.total()))
+            .fold(0.0, f64::max);
+        if p == 1 {
+            base_elapsed = out.elapsed;
+        }
+        let speedup = if out.elapsed > 0.0 { base_elapsed / out.elapsed } else { 0.0 };
+        rows.push(LargePRow {
+            p,
+            elapsed_s: out.elapsed,
+            speedup,
+            efficiency: speedup / p as f64,
+            cycles: out.cycles,
+            allreduce_s,
+        });
+    }
+    // The curve must start at exactly 1.0 and actually scale: a fixed-size
+    // problem this compute-heavy must beat the serial run at P = 64 (the
+    // paper's regime), even if efficiency then decays toward P = 1024.
+    if rows[0].speedup != 1.0 {
+        return Err("P=1 speedup is not exactly 1.0".to_string());
+    }
+    if rows[1].speedup <= 1.0 {
+        return Err(format!("P=64 speedup {:.3} does not beat the serial run", rows[1].speedup));
+    }
+    Ok(rows)
+}
+
+fn largep_json(smoke: bool, rows: &[LargePRow], deterministic: bool) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema_version\": 1,");
+    let _ = writeln!(out, "  \"kind\": \"largep\",");
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(out, "  \"engine\": \"cooperative\",");
+    let _ = writeln!(out, "  \"machine\": \"hier_cluster\",");
+    out.push_str("  \"gates\": {\n");
+    // Enforced in run_largep_series; recorded for --check and CI.
+    let _ = writeln!(out, "    \"phase_sums_ok\": true,");
+    let _ = writeln!(out, "    \"symmetry_ok\": true,");
+    let _ = writeln!(out, "    \"speedup_p1_exact\": true,");
+    let _ = writeln!(out, "    \"scales_at_p64\": true,");
+    let _ = writeln!(out, "    \"deterministic\": {deterministic}");
+    out.push_str("  },\n");
+    out.push_str("  \"series\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let comma = if i + 1 < rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"p\": {}, \"elapsed_s\": {:.9}, \"speedup\": {:.6}, \
+             \"efficiency\": {:.6}, \"cycles\": {}, \"allreduce_s\": {:.9}}}{comma}",
+            r.p, r.elapsed_s, r.speedup, r.efficiency, r.cycles, r.allreduce_s
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn largep_text(rows: &[LargePRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "large-P series (cooperative engine, hier_cluster fat-tree, verified search)"
+    );
+    let _ = writeln!(
+        out,
+        "{:>5} {:>14} {:>10} {:>11} {:>7} {:>14}",
+        "P", "elapsed_s", "speedup", "efficiency", "cycles", "allreduce_s"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>5} {:>14.9} {:>10.3} {:>11.4} {:>7} {:>14.9}",
+            r.p, r.elapsed_s, r.speedup, r.efficiency, r.cycles, r.allreduce_s
+        );
+    }
+    out
+}
+
+fn report_largep(smoke: bool, out_dir: &Path) -> ExitCode {
+    let first = match run_largep_series(smoke) {
+        Ok(r) => r,
+        Err(msg) => {
+            eprintln!("xtask report --largep: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Determinism gate: virtual time must not depend on host scheduling,
+    // and the cooperative engine doubly so — the artifact must re-render
+    // bit-identically.
+    let deterministic = match run_largep_series(smoke) {
+        Ok(second) => largep_json(smoke, &second, true) == largep_json(smoke, &first, true),
+        Err(msg) => {
+            eprintln!("xtask report --largep: repeat run failed: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !deterministic {
+        eprintln!("xtask report --largep: repeated series rendered different artifacts");
+        return ExitCode::FAILURE;
+    }
+    let json = largep_json(smoke, &first, deterministic);
+    let text = largep_text(&first);
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("xtask report --largep: cannot create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    for (name, content) in [("report_largep.json", &json), ("report_largep.txt", &text)] {
+        let path = out_dir.join(name);
+        if let Err(e) = std::fs::write(&path, content) {
+            eprintln!("xtask report --largep: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    print!("{text}");
+    println!("\nxtask report --largep: wrote 2 artifacts to {}", out_dir.display());
+    ExitCode::SUCCESS
+}
+
+/// Required keys for the large-`P` artifact (`report_largep.json`).
+const LARGEP_REQUIRED: [&str; 13] = [
+    "\"schema_version\": 1",
+    "\"kind\": \"largep\"",
+    "\"engine\": \"cooperative\"",
+    "\"machine\": \"hier_cluster\"",
+    "\"phase_sums_ok\": true",
+    "\"symmetry_ok\": true",
+    "\"speedup_p1_exact\": true",
+    "\"scales_at_p64\": true",
+    "\"deterministic\": true",
+    "\"series\"",
+    "\"p\": 1024",
+    "\"speedup\"",
+    "\"efficiency\"",
+];
+
 /// Structural validation of a report artifact: required keys exist and
 /// every gate reads `true`. Numeric values are machine-model outputs and
 /// deliberately not pinned here.
@@ -316,6 +513,23 @@ fn check(path: &Path) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if text.contains("\"kind\": \"largep\"") {
+        let mut missing = Vec::new();
+        for key in LARGEP_REQUIRED {
+            if !text.contains(key) {
+                missing.push(key);
+            }
+        }
+        return if missing.is_empty() {
+            println!("xtask report --check: {} ok", path.display());
+            ExitCode::SUCCESS
+        } else {
+            for key in missing {
+                eprintln!("xtask report --check: {} missing {key}", path.display());
+            }
+            ExitCode::FAILURE
+        };
+    }
     let required = [
         "\"schema_version\": 1",
         "\"gates\"",
