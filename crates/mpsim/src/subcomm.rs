@@ -17,6 +17,21 @@ use crate::verify::{CollFingerprint, CollKind};
 /// Tag-space marker for sub-communicator traffic (bit 63).
 const SUB_TAG_BASE: u64 = 1 << 63;
 
+/// Marker bit (bit 30 of the color key) for groups formed by splitting a
+/// [`SubComm`] — keeps a nested group's tags and verifier registry ids
+/// disjoint from every first-level split's, whatever colors are used.
+const NESTED_COLOR_BIT: u32 = 1 << 30;
+
+/// The color key a nested group stamps into its tag space: parent and
+/// child colors packed side by side (15 bits each) under the nested
+/// marker bit. Two levels of splitting with colors below 2^15 are
+/// supported — far beyond the fleet hierarchy's needs — and the native
+/// backend computes the identical key, keeping tags bitwise aligned
+/// across backends.
+pub(crate) fn nested_color_key(parent: u32, child: u32) -> u32 {
+    NESTED_COLOR_BIT | ((parent & 0x7FFF) << 15) | (child & 0x7FFF)
+}
+
 /// A communicator over a subset of the world's ranks.
 pub struct SubComm<'a> {
     world: &'a mut Comm,
@@ -258,6 +273,38 @@ impl SubComm<'_> {
             None
         }
     }
+
+    /// Split this group by color: members passing equal colors form a
+    /// nested sub-communicator (`MPI_Comm_split` on a non-world
+    /// communicator), with dense ranks ordered by parent group rank. The
+    /// membership exchange runs as a group gather + broadcast — schedules
+    /// both backends already share — so nested splits stay bitwise
+    /// aligned across backends too. Collective over this group.
+    pub fn split(&mut self, color: u32) -> SubComm<'_> {
+        let p = self.size();
+        let mut all = vec![0.0; p];
+        if let Some(gathered) = self.gather_f64s(0, &[f64::from(color)]) {
+            all.copy_from_slice(&gathered);
+        }
+        self.broadcast_f64s(0, &mut all);
+        let members_sub: Vec<usize> =
+            all.iter().enumerate().filter(|(_, c)| **c as u32 == color).map(|(r, _)| r).collect();
+        let rank = members_sub
+            .iter()
+            .position(|&r| r == self.rank)
+            // lint:allow(unwrap): the gather included this rank's own color
+            .expect("calling rank is in its own color group");
+        // Child membership in *world* ranks, so the nested group talks
+        // straight over the world communicator like any first-level group.
+        let members: Vec<usize> = members_sub.iter().map(|&r| self.members[r]).collect();
+        let key = nested_color_key(self.color, color);
+        // All members agree on the parent's collective sequence here (they
+        // just ran the same gather + broadcast), so they derive the same
+        // registry id; including it keeps successive same-color nested
+        // splits distinct in the verifier's registry.
+        let comm_id = SUB_TAG_BASE | (u64::from(key) << 32) | self.seq;
+        SubComm { world: &mut *self.world, members, rank, color: key, seq: 0, comm_id }
+    }
 }
 
 #[cfg(test)]
@@ -348,6 +395,65 @@ mod tests {
         })
         .unwrap();
         assert!(out.per_rank.iter().all(|&v| v == 4.0));
+    }
+
+    #[test]
+    fn nested_split_forms_dense_groups() {
+        // World {0..8} -> halves by rank/4 -> pairs by (rank/2)%2.
+        let spec = presets::zero_cost(8);
+        let out = run_spmd_default(&spec, |c| {
+            let inner_color = ((c.rank() / 2) % 2) as u32;
+            let mut sub = c.split((c.rank() / 4) as u32);
+            let mut inner = sub.split(inner_color);
+            let mut v = vec![inner.members()[inner.rank()] as f64];
+            inner.allreduce_f64s(&mut v, ReduceOp::Sum);
+            (inner.rank(), inner.size(), inner.members().to_vec(), v[0])
+        })
+        .unwrap();
+        for (rank, (sub_rank, size, members, sum)) in out.per_rank.iter().enumerate() {
+            // Pairs {0,1},{2,3},{4,5},{6,7} in world ranks.
+            let base = rank - rank % 2;
+            assert_eq!(*size, 2, "rank {rank}");
+            assert_eq!(*members, vec![base, base + 1], "rank {rank}");
+            assert_eq!(*sub_rank, rank % 2, "rank {rank}");
+            assert_eq!(*sum, (base + base + 1) as f64, "rank {rank}");
+        }
+    }
+
+    #[test]
+    fn nested_split_ragged_groups_and_world_interleave() {
+        // World of 7 -> {0,1,2,3} / {4,5,6} -> inner ragged splits; then a
+        // world collective must still line up.
+        let spec = presets::zero_cost(7);
+        let out = run_spmd_default(&spec, |c| {
+            let me = c.rank();
+            let inner_sum = {
+                let mut sub = c.split(u32::from(me >= 4));
+                let inner_color = u32::from(sub.rank() == 0);
+                let mut inner = sub.split(inner_color);
+                inner.barrier();
+                let mut v = vec![1.0];
+                inner.allreduce_f64s(&mut v, ReduceOp::Sum);
+                let gathered = inner.gather_f64s(0, &[me as f64]);
+                if let Some(g) = &gathered {
+                    assert_eq!(g.len(), inner.size());
+                }
+                v[0]
+            };
+            (inner_sum, c.allreduce_scalar(1.0, ReduceOp::Sum))
+        })
+        .unwrap();
+        for (rank, (inner_sum, world_sum)) in out.per_rank.iter().enumerate() {
+            // Group {0,1,2,3}: inner groups {0} and {1,2,3}; group
+            // {4,5,6}: inner groups {4} and {5,6}.
+            let expect = match rank {
+                0 | 4 => 1.0,
+                1..=3 => 3.0,
+                _ => 2.0,
+            };
+            assert_eq!(*inner_sum, expect, "rank {rank}");
+            assert_eq!(*world_sum, 7.0, "rank {rank}");
+        }
     }
 
     #[test]

@@ -241,6 +241,13 @@ pub trait Communicator {
 /// supports: the collectives the shrink-and-redistribute recovery path
 /// uses, plus phase attribution on the underlying world clock.
 pub trait GroupCommunicator {
+    /// The nested sub-communicator type [`GroupCommunicator::split`]
+    /// produces; borrows this group (and through it the world
+    /// communicator) for its lifetime.
+    type Child<'c>: GroupCommunicator
+    where
+        Self: 'c;
+
     /// This rank's id within the group.
     fn rank(&self) -> usize;
     /// Group size.
@@ -267,6 +274,10 @@ pub trait GroupCommunicator {
     }
     /// Gather variable-length vectors to the group-rank `root`.
     fn gather_f64s(&mut self, root: usize, mine: &[f64]) -> Option<Vec<f64>>;
+    /// Split this group by color: members passing equal colors form a
+    /// nested sub-communicator (`MPI_Comm_split` on a non-world
+    /// communicator). Collective over this group.
+    fn split(&mut self, color: u32) -> Self::Child<'_>;
 }
 
 impl Communicator for Comm {
@@ -353,6 +364,11 @@ impl Communicator for Comm {
 }
 
 impl GroupCommunicator for SubComm<'_> {
+    type Child<'c>
+        = SubComm<'c>
+    where
+        Self: 'c;
+
     fn rank(&self) -> usize {
         SubComm::rank(self)
     }
@@ -385,6 +401,9 @@ impl GroupCommunicator for SubComm<'_> {
     }
     fn gather_f64s(&mut self, root: usize, mine: &[f64]) -> Option<Vec<f64>> {
         SubComm::gather_f64s(self, root, mine)
+    }
+    fn split(&mut self, color: u32) -> SubComm<'_> {
+        SubComm::split(self, color)
     }
 }
 

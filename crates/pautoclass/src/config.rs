@@ -123,6 +123,58 @@ impl Default for FtConfig {
     }
 }
 
+/// How the fleet consensus stage combines the per-fleet winners.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Consensus {
+    /// Gather every fleet's completed candidates to rank 0, replay the
+    /// sequential duplicate-elimination chain in schedule order, and pick
+    /// the best by Cheeseman–Stutz score — bit-identical to the serial
+    /// search given the same candidate set.
+    GlobalBest,
+    /// [`Consensus::GlobalBest`] plus an ensemble classification: the top
+    /// `voters` models each label every item, labels are aligned to the
+    /// best model's classes by a greedy confusion-matrix match, and a
+    /// per-item majority vote produces a consensus labeling with an
+    /// agreement score (the co-association idea from consensus
+    /// clustering).
+    Ensemble {
+        /// How many of the top-scored models vote (clamped to the number
+        /// of retained classifications).
+        voters: usize,
+    },
+}
+
+/// The second parallelism axis: split the machine into `groups`
+/// concurrent sub-searches ("fleets") over disjoint sub-communicators.
+/// Each fleet draws candidates (J values × restart tries) from the shared
+/// schedule, exchanges convergence fingerprints with the other fleets
+/// every round to abandon duplicate basins early, steals queued
+/// candidates when it runs dry, and joins a final consensus stage. See
+/// [`crate::run_search_fleet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetConfig {
+    /// Number of concurrent sub-searches. Fleets are contiguous rank
+    /// blocks (sizes differ by at most one). Clamped to the rank count.
+    pub groups: usize,
+    /// EM cycles each fleet runs between two fingerprint exchanges (the
+    /// BSP round length). Longer rounds amortize the exchange; shorter
+    /// rounds abandon duplicates and steal work sooner.
+    pub round_cycles: usize,
+    /// Probe for cross-fleet duplicates every this many EM cycles of a
+    /// running candidate (0 disables duplicate abandonment — every
+    /// candidate then runs to its own convergence, which is the
+    /// configuration whose result is bit-identical to the serial search).
+    pub dedup_every: usize,
+    /// What the consensus stage produces.
+    pub consensus: Consensus,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig { groups: 2, round_cycles: 8, dedup_every: 0, consensus: Consensus::GlobalBest }
+    }
+}
+
 /// Full configuration of a parallel search.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParallelConfig {

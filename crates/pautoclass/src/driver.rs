@@ -19,7 +19,10 @@ use autoclass::model::{
     stats_to_classes_into, update_wts_and_stats_into, update_wts_into, Approximation, ClassParams,
     CycleWorkspace, EStepScratch, Model, SuffStats, WtsMatrix,
 };
-use mpsim::{predicted_allreduce_cost, select_allreduce, AllreduceAlgo, Communicator, ReduceOp};
+use mpsim::{
+    predicted_allreduce_cost, select_allreduce, AllreduceAlgo, Communicator, GroupCommunicator,
+    ReduceOp,
+};
 
 use crate::config::{Exchange, Strategy};
 
@@ -475,6 +478,104 @@ fn wts_only_mstep<C: Communicator>(
 /// rank 0 is charged for real.
 fn root_view<'a>(view: &DataView<'a>) -> DataView<'a> {
     view.whole_dataset()
+}
+
+// ---- Sub-communicator (group) variants ---------------------------------
+//
+// The same building blocks over a `GroupCommunicator`: used by the
+// shrink-recovery path (survivors-only sub-communicator, `crate::recover`)
+// and by the fleet-parallel model search (one EM sub-search per fleet,
+// `crate::fleet`). The group allreduce is recursive doubling with the
+// standard non-power-of-two parking, so for a power-of-two group running
+// the fused exchange these produce bitwise the same numbers as the
+// world-communicator driver on a machine of the group's size.
+
+/// [`build_model`] over a sub-communicator: local statistics on the
+/// group's partition, combined with a group allreduce, so every member
+/// derives the identical model.
+pub(crate) fn sub_build_model<G: GroupCommunicator>(
+    sub: &mut G,
+    view: &DataView<'_>,
+    correlated_blocks: &[Vec<usize>],
+) -> Model {
+    let local = GlobalStats::compute(view);
+    sub.work((view.len() * view.schema().len()) as u64);
+    let mut flat = local.to_flat();
+    sub.allreduce_f64s(&mut flat, ReduceOp::Sum);
+    let global = GlobalStats::from_flat(&local, &flat);
+    if correlated_blocks.is_empty() {
+        Model::new(view.schema().clone(), &global)
+    } else {
+        Model::with_correlated(view.schema().clone(), &global, correlated_blocks)
+    }
+}
+
+/// [`init_classes_parallel`] over a sub-communicator: the group's lowest
+/// rank seeds and broadcasts.
+pub(crate) fn sub_init_classes<G: GroupCommunicator>(
+    sub: &mut G,
+    model: &Model,
+    view: &DataView<'_>,
+    j: usize,
+    seed: u64,
+    classes: &mut Vec<ClassParams>,
+) {
+    let flat_len = model.class_param_len() * j;
+    let mut flat = if sub.rank() == 0 {
+        let init = init_classes(model, view, j, seed);
+        classes_to_flat(&init)
+    } else {
+        vec![0.0; flat_len]
+    };
+    sub.broadcast_f64s(0, &mut flat);
+    classes_from_flat_into(model, j, &flat, classes);
+}
+
+/// One EM cycle over a sub-communicator, in the fused-exchange shape:
+/// E-step, one w_j group allreduce, statistics accumulation, one combined
+/// statistics + scalars group allreduce, parameter derivation, evaluation.
+/// The compact blocking form is fine on these paths (recovery, fleet
+/// sub-searches): correctness — every member bitwise identical — is what
+/// matters, not overlap.
+pub(crate) fn sub_base_cycle<G: GroupCommunicator>(
+    sub: &mut G,
+    model: &Model,
+    view: &DataView<'_>,
+    classes: &mut Vec<ClassParams>,
+    ws: &mut CycleWorkspace,
+) -> Approximation {
+    let j = classes.len();
+    ws.reset_stats(model, j);
+    let CycleWorkspace { wts, estep, stats, .. } = ws;
+    let Some(stats) = stats else { unreachable!("reset_stats installs the statistics buffer") };
+
+    let e = update_wts_into(model, view, classes, wts, estep);
+    sub.work(e.ops);
+    sub.allreduce_f64s(&mut estep.class_weight_sums, ReduceOp::Sum);
+
+    let ops = stats.accumulate(model, view, wts);
+    sub.work(ops);
+    // As in the world-communicator Fused exchange: the class-weight slots
+    // already traveled on the w_j wire, so zero them out, and the two
+    // cycle scalars piggyback on the end of the statistics message.
+    for c in 0..j {
+        stats.data[stats.layout.weight_index(c)] = 0.0;
+    }
+    stats.data.push(e.log_likelihood);
+    stats.data.push(e.complete_ll);
+    sub.allreduce_f64s(&mut stats.data, ReduceOp::Sum);
+    // lint:allow(unwrap): the two scalars were pushed above
+    let complete_ll = stats.data.pop().expect("piggybacked scalar");
+    // lint:allow(unwrap): the two scalars were pushed above
+    let log_likelihood = stats.data.pop().expect("piggybacked scalar");
+    for (c, &w) in estep.class_weight_sums.iter().enumerate() {
+        stats.data[stats.layout.weight_index(c)] = w;
+    }
+    let mops = stats_to_classes_into(model, stats, classes);
+    sub.work(mops);
+    let approx = evaluate(model, stats, log_likelihood, complete_ll);
+    sub.work((j * stats.layout.stride) as u64);
+    approx
 }
 
 #[cfg(test)]

@@ -1,0 +1,1060 @@
+//! Fleet-parallel model search: the second parallelism axis.
+//!
+//! The ordinary search ([`crate::run_search`]) parallelizes *within* one
+//! candidate model — all P ranks cooperate on one EM run at a time. This
+//! module adds parallelism *across* candidates: the machine is split into
+//! G sub-fleets (contiguous rank blocks over disjoint sub-communicators),
+//! each running an independent sub-search that draws candidates (J values
+//! × restart tries) from the shared schedule.
+//!
+//! The search proceeds in BSP rounds. Each round a fleet runs up to
+//! [`FleetConfig::round_cycles`] EM cycles of its current candidate on its
+//! own sub-communicator (`"fleet"` phase), then all ranks join one small
+//! world allreduce of per-fleet report slots (`"dedup"` phase). Because
+//! only the fleet leader writes its slot and every other contribution is
+//! `+0.0` — a bitwise identity for IEEE doubles away from `-0.0` — the
+//! exchange is bit-exact transport regardless of the machine's allreduce
+//! algorithm. The replicated reports drive three decisions every rank
+//! makes identically, with no further coordination:
+//!
+//! * **Duplicate elimination** — a fleet whose running candidate matches
+//!   the convergence fingerprint (class count, log likelihood, heaviest
+//!   weights) of an earlier-scheduled finished candidate abandons it
+//!   mid-flight instead of burning cycles converging into the same basin.
+//! * **Work stealing** — a fleet whose queue runs dry takes the tail
+//!   candidate of the largest remaining queue, so an unlucky fleet of
+//!   slow-converging candidates doesn't serialize the search.
+//! * **Termination** — the round loop ends when every candidate is done.
+//!
+//! The final `"consensus"` stage gathers each fleet's completed
+//! candidates to rank 0 over the world communicator, replays the *serial*
+//! duplicate-elimination chain in schedule order, score-sorts, and
+//! broadcasts the surviving list back, so every rank returns the identical
+//! result. Given the same candidate set (duplicate abandonment disabled)
+//! the selected model is **bit-identical** to the serial search's on a
+//! machine of one fleet's size — see the equivalence tests below.
+//! [`Consensus::Ensemble`] additionally has the top models vote out a
+//! consensus labeling with an agreement score.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+use autoclass::data::{block_partition, Dataset};
+use autoclass::model::{
+    classes_from_flat_into, classes_to_flat, converged, derive_seed, log_param_prior,
+    update_wts_into, Approximation, ClassParams, CycleWorkspace, EStepScratch, Model, WtsMatrix,
+};
+use autoclass::search::{apply_class_death, is_duplicate, Classification};
+use mpsim::{
+    run_spmd, Communicator, GroupCommunicator, MachineSpec, ReduceOp, SimError, SimOptions,
+    RECOVERY_PHASE,
+};
+use shmcomm::{run_native, NativeOptions};
+
+use crate::config::{Consensus, FleetConfig, FtConfig, ParallelConfig, RecoveryPolicy};
+use crate::error::RunError;
+use crate::recover::fault_culprit;
+use crate::run::{outcome_from, ParallelOutcome};
+
+/// Counters of the fleet scheduler, identical on every rank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetStats {
+    /// Number of fleets the search actually ran with (after clamping).
+    pub groups: usize,
+    /// BSP rounds executed.
+    pub rounds: usize,
+    /// Candidates completed (converged, cycle-capped, or abandoned).
+    pub candidates: usize,
+    /// Candidates abandoned mid-flight as cross-fleet duplicates.
+    pub dedup_hits: usize,
+    /// EM cycles the abandoned candidates would still have been entitled
+    /// to (`max_cycles − cycles run`): an upper bound on the work saved.
+    pub dedup_saved_cycles: usize,
+    /// Queued candidates stolen by an idle fleet.
+    pub steals: usize,
+    /// The ensemble summary, when [`Consensus::Ensemble`] was configured
+    /// and at least two models were retained.
+    pub ensemble: Option<EnsembleSummary>,
+}
+
+/// Result of the ensemble consensus vote.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnsembleSummary {
+    /// Models that voted (the configured count clamped to the retained
+    /// list).
+    pub voters: usize,
+    /// Mean fraction of voters agreeing with the per-item majority label,
+    /// in `[1/voters, 1.0]`.
+    pub agreement: f64,
+    /// FNV-1a hash of the consensus labeling (items in dataset order) —
+    /// a compact cross-backend comparison handle.
+    pub label_hash: u64,
+}
+
+/// Result of a fleet-parallel search.
+#[derive(Debug, Clone)]
+pub struct FleetOutcome {
+    /// The search result, shaped exactly like the serial search's.
+    pub outcome: ParallelOutcome,
+    /// The fleet scheduler's counters.
+    pub fleet: FleetStats,
+}
+
+/// Result of a fault-tolerant fleet search: [`FleetOutcome`] plus the
+/// supervisor's recovery record (same shape as [`crate::FtOutcome`]).
+#[derive(Debug, Clone)]
+pub struct FleetFtOutcome {
+    /// The search result.
+    pub outcome: FleetOutcome,
+    /// Engine runs launched, including the successful one (1 = no fault).
+    pub attempts: usize,
+    /// The typed fault each failed attempt died with, in order.
+    pub faults: Vec<SimError>,
+    /// Whether the final attempt ran with the culprit rank excluded.
+    pub shrunk: bool,
+    /// Ranks that computed the final result.
+    pub survivors: usize,
+    /// Virtual seconds spent rebuilding after a shrink (max over ranks of
+    /// the `"recovery"` phase bucket). Zero when no shrink happened.
+    pub recovery_time: f64,
+}
+
+/// Convergence fingerprint of a completed candidate, broadcast to every
+/// fleet through the round exchange. Deliberately small: class count, the
+/// converged log likelihood, and the four heaviest class weights — the
+/// same features [`autoclass::search::is_duplicate`] leads with.
+#[derive(Debug, Clone, Copy)]
+struct Fingerprint {
+    idx: usize,
+    n_classes: usize,
+    ll: f64,
+    weights: [f64; 4],
+}
+
+/// Per-fleet report slot in the round exchange:
+/// `[idx+1, converged, abandoned, cycles, n_classes, ll, w0, w1, w2, w3]`
+/// (all zeros when the fleet finished nothing this round).
+const SLOT_LEN: usize = 10;
+
+/// A candidate suspended across rounds on the ranks of its fleet.
+struct Running {
+    idx: usize,
+    j_initial: usize,
+    seed: u64,
+    classes: Vec<ClassParams>,
+    prev_ll: f64,
+    cycles: usize,
+    approx: Approximation,
+}
+
+/// How a candidate's burst ended this round.
+#[derive(Clone, Copy, PartialEq)]
+enum BurstEnd {
+    /// Budget exhausted; the candidate stays suspended.
+    Suspended,
+    /// Converged (or hit the cycle cap with `false`).
+    Finished { converged: bool },
+    /// Matched an earlier candidate's fingerprint and was abandoned.
+    Abandoned,
+}
+
+/// Round-boundary snapshot of the replicated scheduler state plus every
+/// fleet's retained list, held by the fault-tolerant supervisor. Running
+/// candidates are re-queued at the front: on resume they restart from
+/// cycle 0, which reproduces the same converged numbers (the EM is
+/// deterministic in the candidate's seed).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FleetCheckpoint {
+    queues: Vec<Vec<usize>>,
+    fingerprints: Vec<(usize, usize, f64, [f64; 4])>,
+    total_cycles: usize,
+    rounds: usize,
+    candidates: usize,
+    dedup_hits: usize,
+    dedup_saved_cycles: usize,
+    steals: usize,
+    /// Per fleet, the serialized retained classifications (the same
+    /// record format the consensus gather uses).
+    retained_raw: Vec<Vec<f64>>,
+}
+
+fn neg_inf_approx() -> Approximation {
+    Approximation {
+        log_likelihood: f64::NEG_INFINITY,
+        complete_ll: f64::NEG_INFINITY,
+        complete_marginal: f64::NEG_INFINITY,
+        cs_score: f64::NEG_INFINITY,
+    }
+}
+
+/// Append one classification as a self-describing record:
+/// `[body_len, idx, j_initial, j, cycles, converged, seed_hi, seed_lo,
+/// log_prior, approx×4, flat parameters…]`. The parameters travel as
+/// their exact bit patterns (`classes_to_flat` round-trips bitwise), so
+/// decoding on another rank reconstructs the classification exactly.
+fn push_record(out: &mut Vec<f64>, idx: usize, c: &Classification) {
+    let flat = classes_to_flat(&c.classes);
+    out.push((12 + flat.len()) as f64);
+    out.push(idx as f64);
+    out.push(c.j_initial as f64);
+    out.push(c.classes.len() as f64);
+    out.push(c.cycles as f64);
+    out.push(f64::from(u8::from(c.converged)));
+    out.push((c.seed >> 32) as f64);
+    out.push((c.seed & 0xFFFF_FFFF) as f64);
+    out.push(c.log_prior);
+    out.push(c.approx.log_likelihood);
+    out.push(c.approx.complete_ll);
+    out.push(c.approx.complete_marginal);
+    out.push(c.approx.cs_score);
+    out.extend_from_slice(&flat);
+}
+
+fn serialize_retained(retained: &[(usize, Classification)]) -> Vec<f64> {
+    let mut out = Vec::new();
+    for (idx, c) in retained {
+        push_record(&mut out, *idx, c);
+    }
+    out
+}
+
+/// A wire flag: slot and record fields carry exactly +0.0 or a small
+/// positive integer written as `x as f64`, so the bit pattern of zero is
+/// the exact discriminant (no tolerance needed or wanted).
+fn wire_flag(x: f64) -> bool {
+    x.to_bits() != 0
+}
+
+/// Decode a concatenation of [`push_record`] records. The model supplies
+/// only the parameter layout (schema-derived), so any rank's model
+/// instance decodes any fleet's records.
+fn parse_records(buf: &[f64], model: &Model) -> Vec<(usize, Classification)> {
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < buf.len() {
+        let body = buf[i] as usize;
+        i += 1;
+        if body < 12 || i + body > buf.len() {
+            break; // malformed tail; decode what framed cleanly
+        }
+        let rec = &buf[i..i + body];
+        i += body;
+        let j = rec[2] as usize;
+        let mut classes = Vec::new();
+        classes_from_flat_into(model, j, &rec[12..], &mut classes);
+        out.push((
+            rec[0] as usize,
+            Classification {
+                classes,
+                j_initial: rec[1] as usize,
+                approx: Approximation {
+                    log_likelihood: rec[8],
+                    complete_ll: rec[9],
+                    complete_marginal: rec[10],
+                    cs_score: rec[11],
+                },
+                log_prior: rec[7],
+                cycles: rec[3] as usize,
+                converged: wire_flag(rec[4]),
+                seed: ((rec[5] as u64) << 32) | (rec[6] as u64),
+            },
+        ));
+    }
+    out
+}
+
+/// Does the running candidate look like it is converging into `fp`'s
+/// basin? Same features and tolerances as the sequential
+/// [`is_duplicate`]: class count, relative log likelihood, heaviest
+/// weights.
+fn matches_fingerprint(fp: &Fingerprint, run: &Running) -> bool {
+    if fp.n_classes != run.classes.len() {
+        return false;
+    }
+    let ll = run.approx.log_likelihood;
+    if !ll.is_finite() || (fp.ll - ll).abs() > 1e-4 * ll.abs().max(1.0) {
+        return false;
+    }
+    let mut w: Vec<f64> = run.classes.iter().map(|c| c.weight).collect();
+    w.sort_by(|a, b| b.total_cmp(a));
+    for (k, fw) in fp.weights.iter().enumerate() {
+        let rw = w.get(k).copied().unwrap_or(0.0);
+        if (fw - rw).abs() > 0.01 * rw.abs().max(1.0) {
+            return false;
+        }
+    }
+    true
+}
+
+fn top4_weights(classes: &[ClassParams]) -> [f64; 4] {
+    let mut w: Vec<f64> = classes.iter().map(|c| c.weight).collect();
+    w.sort_by(|a, b| b.total_cmp(a));
+    let mut out = [0.0; 4];
+    for (k, slot) in out.iter_mut().enumerate() {
+        *slot = w.get(k).copied().unwrap_or(0.0);
+    }
+    out
+}
+
+/// The fleet search over a (possibly already shrunk) world group. `sub`
+/// is the communicator of every participating rank; `orig_p` is the
+/// unshrunk machine size, so fleet membership stays anchored to the
+/// original contiguous rank blocks — after a shrink only the culprit's
+/// fleet loses a member, the others keep their exact membership.
+#[allow(clippy::too_many_arguments)]
+fn fleet_core<G: GroupCommunicator>(
+    sub: &mut G,
+    orig_p: usize,
+    data: &Dataset,
+    config: &ParallelConfig,
+    fc: &FleetConfig,
+    ft: Option<(&FtConfig, &Mutex<Option<FleetCheckpoint>>)>,
+    resume: Option<&FleetCheckpoint>,
+) -> (Vec<Classification>, usize, FleetStats) {
+    let sc = &config.search;
+    let g = fc.groups.clamp(1, sub.size());
+    let round_cycles = fc.round_cycles.max(1);
+    let blocks = block_partition(orig_p, g);
+    let my_world = sub.members()[sub.rank()];
+    let my_fleet = blocks
+        .iter()
+        .position(|b| b.contains(&my_world))
+        // lint:allow(unwrap): the blocks partition 0..orig_p exhaustively
+        .expect("every rank belongs to one fleet block");
+    // Group rank of each fleet's leader (lowest member), and each fleet's
+    // surviving size. A fleet can be empty after a shrink; its queue is
+    // then drained by the other fleets' stealing.
+    let leader: Vec<Option<usize>> =
+        (0..g).map(|f| sub.members().iter().position(|r| blocks[f].contains(r))).collect();
+    let fleet_sizes: Vec<usize> =
+        (0..g).map(|f| sub.members().iter().filter(|r| blocks[f].contains(r)).count()).collect();
+
+    // ---- Per-fleet setup: partition, model --------------------------
+    let mut fleet = sub.split(my_fleet as u32);
+    let parts = block_partition(data.len(), fleet.size());
+    let part = parts[fleet.rank()].clone();
+    let view = data.view(part.start, part.end);
+    let model = crate::driver::sub_build_model(&mut fleet, &view, &config.correlated_blocks);
+    drop(fleet);
+
+    // ---- Replicated scheduler state ---------------------------------
+    let total_k = sc.start_j_list.len() * sc.tries_per_j;
+    let mut queues: Vec<VecDeque<usize>> = vec![VecDeque::new(); g];
+    let mut fingerprints: Vec<Fingerprint> = Vec::new();
+    let mut total_cycles = 0usize;
+    let mut rounds = 0usize;
+    let mut candidates = 0usize;
+    let mut dedup_hits = 0usize;
+    let mut dedup_saved_cycles = 0usize;
+    let mut steals = 0usize;
+    let mut my_retained: Vec<(usize, Classification)> = Vec::new();
+    match resume {
+        Some(ck) => {
+            for (f, q) in ck.queues.iter().enumerate() {
+                if f < g {
+                    queues[f] = q.iter().copied().collect();
+                }
+            }
+            fingerprints = ck
+                .fingerprints
+                .iter()
+                .map(|&(idx, n_classes, ll, weights)| Fingerprint { idx, n_classes, ll, weights })
+                .collect();
+            total_cycles = ck.total_cycles;
+            rounds = ck.rounds;
+            candidates = ck.candidates;
+            dedup_hits = ck.dedup_hits;
+            dedup_saved_cycles = ck.dedup_saved_cycles;
+            steals = ck.steals;
+            if let Some(raw) = ck.retained_raw.get(my_fleet) {
+                my_retained = parse_records(raw, &model);
+            }
+        }
+        None => {
+            // Deal the schedule round-robin so every fleet starts with a
+            // mix of small and large J.
+            for k in 0..total_k {
+                queues[k % g].push_back(k);
+            }
+        }
+    }
+
+    let mut in_progress: Vec<Option<usize>> = vec![None; g];
+    let mut my_running: Option<Running> = None;
+    let mut ws = CycleWorkspace::new();
+    let mut rounds_since_ckpt = 0usize;
+
+    loop {
+        // ---- Assignment + stealing (replicated decision) ------------
+        for f in 0..g {
+            if fleet_sizes[f] == 0 || in_progress[f].is_some() {
+                continue;
+            }
+            if let Some(k) = queues[f].pop_front() {
+                in_progress[f] = Some(k);
+                continue;
+            }
+            // Steal the tail of the largest queue (ties: lowest donor
+            // index) — the tail is the donor's farthest-out candidate.
+            let donor = (0..g)
+                .filter(|&d| d != f && !queues[d].is_empty())
+                .max_by_key(|&d| (queues[d].len(), std::cmp::Reverse(d)));
+            if let Some(d) = donor {
+                if let Some(k) = queues[d].pop_back() {
+                    in_progress[f] = Some(k);
+                    steals += 1;
+                }
+            }
+        }
+        if in_progress.iter().all(Option::is_none) {
+            break; // queues drained and every fleet idle: search done
+        }
+        rounds += 1;
+
+        // ---- EM burst on my fleet's sub-communicator ----------------
+        let mut end: Option<BurstEnd> = None;
+        sub.enter_phase("fleet");
+        {
+            let mut fleet = sub.split(my_fleet as u32);
+            if let Some(k) = in_progress[my_fleet] {
+                if my_running.is_none() {
+                    let ji = k / sc.tries_per_j;
+                    let j = sc.start_j_list[ji];
+                    let seed = derive_seed(sc.seed, k as u64);
+                    let mut classes = Vec::new();
+                    crate::driver::sub_init_classes(
+                        &mut fleet,
+                        &model,
+                        &view,
+                        j,
+                        seed,
+                        &mut classes,
+                    );
+                    my_running = Some(Running {
+                        idx: k,
+                        j_initial: j,
+                        seed,
+                        classes,
+                        prev_ll: f64::NEG_INFINITY,
+                        cycles: 0,
+                        approx: neg_inf_approx(),
+                    });
+                }
+                // lint:allow(unwrap): installed above when absent
+                let run = my_running.as_mut().expect("running candidate installed");
+                let mut burst = 0usize;
+                while burst < round_cycles && run.cycles < sc.max_cycles {
+                    // Duplicate probe: earlier-scheduled converged
+                    // candidates only, so the abandonment relation is
+                    // acyclic and schedule-deterministic.
+                    if fc.dedup_every > 0
+                        && run.cycles > 0
+                        && run.cycles.is_multiple_of(fc.dedup_every)
+                        && fingerprints
+                            .iter()
+                            .any(|fp| fp.idx < run.idx && matches_fingerprint(fp, run))
+                    {
+                        end = Some(BurstEnd::Abandoned);
+                        break;
+                    }
+                    let a = crate::driver::sub_base_cycle(
+                        &mut fleet,
+                        &model,
+                        &view,
+                        &mut run.classes,
+                        &mut ws,
+                    );
+                    run.approx = a;
+                    run.cycles += 1;
+                    burst += 1;
+                    if apply_class_death(&mut run.classes, sc.min_class_weight) {
+                        run.prev_ll = f64::NEG_INFINITY;
+                        continue;
+                    }
+                    if converged(run.prev_ll, a.log_likelihood, sc.rel_delta_ll) {
+                        end = Some(BurstEnd::Finished { converged: true });
+                        break;
+                    }
+                    run.prev_ll = a.log_likelihood;
+                }
+                if end.is_none() {
+                    end = Some(if run.cycles >= sc.max_cycles {
+                        BurstEnd::Finished { converged: false }
+                    } else {
+                        BurstEnd::Suspended
+                    });
+                }
+            }
+        }
+        sub.exit_phase();
+
+        // ---- Finalize a completed candidate locally -----------------
+        // (slot := what the fleet leader will publish this round)
+        let mut slot = [0.0; SLOT_LEN];
+        match end {
+            Some(BurstEnd::Finished { converged: did_converge }) => {
+                // lint:allow(unwrap): Finished is only set while running
+                let run = my_running.take().expect("finished candidate was running");
+                let mut classes = run.classes;
+                classes.sort_by(|a, b| b.weight.total_cmp(&a.weight));
+                let log_prior = log_param_prior(&model, &classes);
+                let c = Classification {
+                    classes,
+                    j_initial: run.j_initial,
+                    approx: run.approx,
+                    log_prior,
+                    cycles: run.cycles,
+                    converged: did_converge,
+                    seed: run.seed,
+                };
+                slot = [
+                    (run.idx + 1) as f64,
+                    f64::from(u8::from(did_converge)),
+                    0.0,
+                    run.cycles as f64,
+                    c.classes.len() as f64,
+                    c.approx.log_likelihood,
+                    0.0,
+                    0.0,
+                    0.0,
+                    0.0,
+                ];
+                slot[6..10].copy_from_slice(&top4_weights(&c.classes));
+                my_retained.push((run.idx, c));
+            }
+            Some(BurstEnd::Abandoned) => {
+                // lint:allow(unwrap): Abandoned is only set while running
+                let run = my_running.take().expect("abandoned candidate was running");
+                slot[0] = (run.idx + 1) as f64;
+                slot[2] = 1.0;
+                slot[3] = run.cycles as f64;
+            }
+            Some(BurstEnd::Suspended) | None => {}
+        }
+
+        // ---- Round exchange: one world allreduce of leader slots ----
+        // Only the fleet leader writes; everyone else contributes +0.0,
+        // which is a bitwise identity, so the combined buffer equals the
+        // leaders' bits whatever the allreduce algorithm.
+        sub.enter_phase("dedup");
+        let mut slots = vec![0.0; g * SLOT_LEN];
+        if leader[my_fleet] == Some(sub.rank()) {
+            slots[my_fleet * SLOT_LEN..(my_fleet + 1) * SLOT_LEN].copy_from_slice(&slot);
+        }
+        // lint:allow(blocking-collective): one batched slot exchange per BSP round IS the protocol
+        sub.allreduce_f64s(&mut slots, ReduceOp::Sum);
+        for f in 0..g {
+            let s = &slots[f * SLOT_LEN..(f + 1) * SLOT_LEN];
+            if !wire_flag(s[0]) {
+                continue;
+            }
+            let idx = s[0] as usize - 1;
+            in_progress[f] = None;
+            candidates += 1;
+            total_cycles += s[3] as usize;
+            if wire_flag(s[2]) {
+                dedup_hits += 1;
+                dedup_saved_cycles += sc.max_cycles.saturating_sub(s[3] as usize);
+            } else if wire_flag(s[1]) {
+                fingerprints.push(Fingerprint {
+                    idx,
+                    n_classes: s[4] as usize,
+                    ll: s[5],
+                    weights: [s[6], s[7], s[8], s[9]],
+                });
+            }
+        }
+        sub.exit_phase();
+
+        // ---- Round-boundary checkpoint (fault-tolerant runs only) ---
+        rounds_since_ckpt += 1;
+        if let Some((ftc, store)) = ft {
+            if ftc.checkpoint_every > 0 && rounds_since_ckpt >= ftc.checkpoint_every {
+                rounds_since_ckpt = 0;
+                publish_fleet_checkpoint(
+                    sub,
+                    store,
+                    &queues,
+                    &in_progress,
+                    &fingerprints,
+                    &my_retained,
+                    my_fleet,
+                    leader[my_fleet] == Some(sub.rank()),
+                    g,
+                    &FleetCounters {
+                        total_cycles,
+                        rounds,
+                        candidates,
+                        dedup_hits,
+                        dedup_saved_cycles,
+                        steals,
+                    },
+                );
+            }
+        }
+    }
+
+    // ---- Consensus: gather, replay serial dedup, broadcast back -----
+    sub.enter_phase("consensus");
+    let payload = if leader[my_fleet] == Some(sub.rank()) {
+        serialize_retained(&my_retained)
+    } else {
+        Vec::new()
+    };
+    sub.work(8 * payload.len() as u64);
+    let gathered = sub.gather_f64s(0, &payload);
+    let final_buf: Vec<f64> = if let Some(buf) = gathered {
+        let mut cands = parse_records(&buf, &model);
+        cands.sort_by_key(|(idx, _)| *idx);
+        // Replay the sequential search's duplicate-elimination chain in
+        // schedule order: with abandonment disabled this retains exactly
+        // the classifications the serial search would, bit for bit.
+        let mut all: Vec<Classification> = Vec::new();
+        for (_, c) in cands {
+            if !all.iter().any(|existing| is_duplicate(existing, &c)) {
+                all.push(c);
+            }
+        }
+        all.sort_by(|a, b| b.score().total_cmp(&a.score()));
+        all.truncate(sc.max_stored);
+        let mut out = Vec::new();
+        for (i, c) in all.iter().enumerate() {
+            push_record(&mut out, i, c);
+        }
+        out
+    } else {
+        Vec::new()
+    };
+    let mut len = [final_buf.len() as f64];
+    sub.broadcast_f64s(0, &mut len);
+    let mut buf = final_buf;
+    buf.resize(len[0] as usize, 0.0);
+    sub.broadcast_f64s(0, &mut buf);
+    let all: Vec<Classification> =
+        parse_records(&buf, &model).into_iter().map(|(_, c)| c).collect();
+
+    let ensemble = match fc.consensus {
+        Consensus::Ensemble { voters } if voters >= 2 && all.len() >= 2 => {
+            Some(ensemble_stage(sub, data, &model, &all, voters))
+        }
+        _ => None,
+    };
+    sub.exit_phase();
+
+    let stats = FleetStats {
+        groups: g,
+        rounds,
+        candidates,
+        dedup_hits,
+        dedup_saved_cycles,
+        steals,
+        ensemble,
+    };
+    (all, total_cycles, stats)
+}
+
+/// The scheduler counters, bundled to keep the checkpoint call readable.
+struct FleetCounters {
+    total_cycles: usize,
+    rounds: usize,
+    candidates: usize,
+    dedup_hits: usize,
+    dedup_saved_cycles: usize,
+    steals: usize,
+}
+
+/// Snapshot the replicated scheduler state plus every fleet's retained
+/// list into the supervisor's store: leaders contribute their serialized
+/// lists through one world gather, the root assembles and publishes.
+#[allow(clippy::too_many_arguments)]
+fn publish_fleet_checkpoint<G: GroupCommunicator>(
+    sub: &mut G,
+    store: &Mutex<Option<FleetCheckpoint>>,
+    queues: &[VecDeque<usize>],
+    in_progress: &[Option<usize>],
+    fingerprints: &[Fingerprint],
+    my_retained: &[(usize, Classification)],
+    my_fleet: usize,
+    is_leader: bool,
+    g: usize,
+    counters: &FleetCounters,
+) {
+    sub.enter_phase("checkpoint");
+    let mut payload = Vec::new();
+    if is_leader {
+        let records = serialize_retained(my_retained);
+        payload.push(my_fleet as f64);
+        payload.push(records.len() as f64);
+        payload.extend_from_slice(&records);
+    }
+    sub.work(8 * payload.len() as u64);
+    if let Some(buf) = sub.gather_f64s(0, &payload) {
+        let mut retained_raw: Vec<Vec<f64>> = vec![Vec::new(); g];
+        let mut i = 0usize;
+        while i + 2 <= buf.len() {
+            let f = buf[i] as usize;
+            let n = buf[i + 1] as usize;
+            i += 2;
+            if f < g && i + n <= buf.len() {
+                retained_raw[f] = buf[i..i + n].to_vec();
+            }
+            i += n;
+        }
+        // Running candidates restart from cycle 0 on resume: re-queue
+        // them at the front of their fleet's queue.
+        let mut q: Vec<Vec<usize>> = queues.iter().map(|q| q.iter().copied().collect()).collect();
+        for (f, ip) in in_progress.iter().enumerate() {
+            if let Some(k) = ip {
+                q[f].insert(0, *k);
+            }
+        }
+        let ck = FleetCheckpoint {
+            queues: q,
+            fingerprints: fingerprints
+                .iter()
+                .map(|fp| (fp.idx, fp.n_classes, fp.ll, fp.weights))
+                .collect(),
+            total_cycles: counters.total_cycles,
+            rounds: counters.rounds,
+            candidates: counters.candidates,
+            dedup_hits: counters.dedup_hits,
+            dedup_saved_cycles: counters.dedup_saved_cycles,
+            steals: counters.steals,
+            retained_raw,
+        };
+        // lint:allow(unwrap): mutex poisoning only follows another panic
+        *store.lock().expect("fleet checkpoint store lock") = Some(ck);
+    }
+    sub.exit_phase();
+}
+
+/// The ensemble consensus vote: the top `voters` models each label every
+/// item (over a fresh world-wide block partition), labels are aligned to
+/// the best model's classes through allreduced confusion matrices, and a
+/// per-item majority vote yields the consensus labeling. Every rank
+/// computes the identical alignment (the confusion counts are exact
+/// integer sums); the labeling hash travels root → all so the summary is
+/// replicated.
+fn ensemble_stage<G: GroupCommunicator>(
+    sub: &mut G,
+    data: &Dataset,
+    model: &Model,
+    all: &[Classification],
+    voters: usize,
+) -> EnsembleSummary {
+    let v = voters.min(all.len());
+    let parts = block_partition(data.len(), sub.size());
+    let part = parts[sub.rank()].clone();
+    let view = data.view(part.start, part.end);
+    let n_local = view.len();
+
+    // Per-voter hard labels for the local block.
+    let mut wts = WtsMatrix::default();
+    let mut scratch = EStepScratch::default();
+    let mut labels: Vec<Vec<usize>> = Vec::with_capacity(v);
+    for c in all.iter().take(v) {
+        let e = update_wts_into(model, &view, &c.classes, &mut wts, &mut scratch);
+        sub.work(e.ops);
+        let lab: Vec<usize> = (0..n_local)
+            .map(|i| {
+                let w = wts.item_weights(i);
+                let mut best = 0usize;
+                for (ci, &wc) in w.iter().enumerate() {
+                    if wc > w[best] {
+                        best = ci;
+                    }
+                }
+                best
+            })
+            .collect();
+        labels.push(lab);
+    }
+
+    // Align every voter to voter 0 by a greedy match on the global
+    // confusion matrix (largest co-occurrence first).
+    let j0 = all[0].classes.len();
+    let mut max_label = j0;
+    for vi in 1..v {
+        let jv = all[vi].classes.len();
+        let mut conf = vec![0.0; j0 * jv];
+        for i in 0..n_local {
+            conf[labels[0][i] * jv + labels[vi][i]] += 1.0;
+        }
+        // lint:allow(blocking-collective): one whole confusion matrix per voter pair, already batched
+        sub.allreduce_f64s(&mut conf, ReduceOp::Sum);
+        let map = greedy_align(&conf, j0, jv, &mut max_label);
+        for l in &mut labels[vi] {
+            *l = map[*l];
+        }
+    }
+
+    // Majority vote with the lowest label winning ties; agreement is the
+    // mean fraction of voters on the winning label.
+    let mut counts = vec![0usize; max_label];
+    let mut agree_local = 0.0f64;
+    let winners: Vec<f64> = (0..n_local)
+        .map(|i| {
+            counts.iter_mut().for_each(|c| *c = 0);
+            for lab in &labels {
+                counts[lab[i]] += 1;
+            }
+            let mut win = 0usize;
+            for (l, &c) in counts.iter().enumerate() {
+                if c > counts[win] {
+                    win = l;
+                }
+            }
+            agree_local += counts[win] as f64 / v as f64;
+            win as f64
+        })
+        .collect();
+    let agreement = sub.allreduce_scalar(agree_local, ReduceOp::Sum) / data.len().max(1) as f64;
+
+    // Hash the full labeling on the root and replicate the digest.
+    let gathered = sub.gather_f64s(0, &winners);
+    let mut hbuf = [0.0f64; 2];
+    if let Some(lab) = gathered {
+        let bytes: Vec<u8> = lab.iter().flat_map(|l| (*l as u64).to_le_bytes()).collect();
+        let h = mpsim::payload::checksum(&bytes);
+        hbuf = [(h >> 32) as f64, (h & 0xFFFF_FFFF) as f64];
+    }
+    sub.broadcast_f64s(0, &mut hbuf);
+    let label_hash = ((hbuf[0] as u64) << 32) | (hbuf[1] as u64);
+    EnsembleSummary { voters: v, agreement, label_hash }
+}
+
+/// Greedy confusion-matrix alignment: repeatedly map the (row, col) pair
+/// with the largest count (ties: lowest row, then lowest col), then
+/// strike both. Unmatched columns get fresh labels past the reference
+/// model's range.
+fn greedy_align(conf: &[f64], j0: usize, jv: usize, max_label: &mut usize) -> Vec<usize> {
+    let mut map = vec![usize::MAX; jv];
+    let mut row_used = vec![false; j0];
+    let mut col_used = vec![false; jv];
+    for _ in 0..j0.min(jv) {
+        let mut best: Option<(usize, usize)> = None;
+        for a in 0..j0 {
+            if row_used[a] {
+                continue;
+            }
+            for b in 0..jv {
+                if col_used[b] {
+                    continue;
+                }
+                if best.is_none_or(|(ba, bb)| conf[a * jv + b] > conf[ba * jv + bb]) {
+                    best = Some((a, b));
+                }
+            }
+        }
+        let Some((a, b)) = best else { break };
+        map[b] = a;
+        row_used[a] = true;
+        col_used[b] = true;
+    }
+    for m in &mut map {
+        if *m == usize::MAX {
+            *m = *max_label;
+            *max_label += 1;
+        }
+    }
+    *max_label = (*max_label).max(j0);
+    map
+}
+
+/// The world rank body of the plain (non-fault-tolerant) fleet search:
+/// wrap the whole machine in a single group (so the fleet splits are the
+/// nested splits both backends implement identically) and run the core.
+fn fleet_rank_body<C: Communicator>(
+    comm: &mut C,
+    data: &Dataset,
+    config: &ParallelConfig,
+    fc: &FleetConfig,
+) -> (Vec<Classification>, usize, FleetStats) {
+    comm.enter_phase("search");
+    let p = comm.size();
+    let mut sub = comm.split(0);
+    let r = fleet_core(&mut sub, p, data, config, fc, None, None);
+    drop(sub);
+    comm.exit_phase();
+    r
+}
+
+/// Run the fleet-parallel model search on the given simulated machine.
+///
+/// With [`FleetConfig::dedup_every`] `= 0` and fleets whose size is a
+/// power of two, the selected model is bit-identical to
+/// [`crate::run_search`] on a machine of one fleet's size (fused
+/// exchange, recursive-doubling allreduce) — the fleets change *where*
+/// candidates run, not their numbers.
+///
+/// # Errors
+/// Same contract as [`crate::run_search`].
+pub fn run_search_fleet(
+    data: &Dataset,
+    machine: &MachineSpec,
+    config: &ParallelConfig,
+    fc: &FleetConfig,
+) -> Result<FleetOutcome, RunError> {
+    run_search_fleet_with(data, machine, config, fc, &SimOptions::default())
+}
+
+/// [`run_search_fleet`] with explicit engine options.
+///
+/// # Errors
+/// Same contract as [`crate::run_search`].
+pub fn run_search_fleet_with(
+    data: &Dataset,
+    machine: &MachineSpec,
+    config: &ParallelConfig,
+    fc: &FleetConfig,
+    opts: &SimOptions,
+) -> Result<FleetOutcome, RunError> {
+    let out = run_spmd(machine, opts, |comm| fleet_rank_body(comm, data, config, fc))?;
+    let Some((all, cycles, fleet)) = out.per_rank.into_iter().next() else {
+        return Err(RunError::EmptySearch);
+    };
+    let outcome = outcome_from(all, cycles, out.elapsed, out.ranks, out.stats)?;
+    Ok(FleetOutcome { outcome, fleet })
+}
+
+/// [`run_search_fleet`] on real cores: same rank body, wall-clock time,
+/// bitwise-identical classifications.
+///
+/// # Errors
+/// Same contract as [`crate::run_search_native`].
+pub fn run_search_fleet_native(
+    data: &Dataset,
+    machine: &MachineSpec,
+    config: &ParallelConfig,
+    fc: &FleetConfig,
+    opts: &NativeOptions,
+) -> Result<FleetOutcome, RunError> {
+    let out = run_native(machine, opts, |comm| fleet_rank_body(comm, data, config, fc))?;
+    let Some((all, cycles, fleet)) = out.per_rank.into_iter().next() else {
+        return Err(RunError::EmptySearch);
+    };
+    let outcome = outcome_from(all, cycles, out.elapsed, out.ranks, out.stats)?;
+    Ok(FleetOutcome { outcome, fleet })
+}
+
+/// The post-shrink fleet rank body: the culprit secedes, the survivors
+/// rebuild a world group and run the fleet search on it. Fleet blocks
+/// stay anchored to the original ranks (`orig_p`), so only the
+/// culprit's fleet shrinks. Returns `None` on the excluded rank.
+#[allow(clippy::too_many_arguments)]
+fn shrunk_fleet_rank_body<C: Communicator>(
+    comm: &mut C,
+    orig_p: usize,
+    data: &Dataset,
+    config: &ParallelConfig,
+    fc: &FleetConfig,
+    culprit: usize,
+    ft: (&FtConfig, &Mutex<Option<FleetCheckpoint>>),
+    resume: Option<&FleetCheckpoint>,
+) -> Option<(Vec<Classification>, usize, FleetStats)> {
+    comm.enter_phase(RECOVERY_PHASE);
+    let secede = comm.rank() == culprit;
+    let mut sub = comm.split(u32::from(secede));
+    if secede {
+        sub.exit_phase();
+        return None;
+    }
+    sub.exit_phase();
+    sub.enter_phase("search");
+    let r = fleet_core(&mut sub, orig_p, data, config, fc, Some(ft), resume);
+    sub.exit_phase();
+    Some(r)
+}
+
+/// Run the fleet search with checkpoint/restart supervision. The
+/// checkpoint granularity is the BSP round (every
+/// [`FtConfig::checkpoint_every`] rounds): completed candidates and the
+/// scheduler state are preserved; a candidate in flight when the fault
+/// fired restarts from cycle 0, which reproduces its numbers exactly.
+/// Under [`RecoveryPolicy::ShrinkAndRedistribute`] only the culprit's
+/// fleet shrinks — the other fleets keep their exact membership, data
+/// partition, and model.
+///
+/// # Errors
+/// Same contract as [`crate::run_search_ft`].
+pub fn run_search_fleet_ft(
+    data: &Dataset,
+    machine: &MachineSpec,
+    config: &ParallelConfig,
+    fc: &FleetConfig,
+    ft: &FtConfig,
+    opts: &SimOptions,
+) -> Result<FleetFtOutcome, RunError> {
+    let store: Mutex<Option<FleetCheckpoint>> = Mutex::new(None);
+    let mut faults: Vec<SimError> = Vec::new();
+    let mut excluded: Option<usize> = None;
+    let mut attempts = 0usize;
+    loop {
+        attempts += 1;
+        let resume = {
+            // lint:allow(unwrap): mutex poisoning only follows another panic
+            store.lock().expect("fleet checkpoint store lock").clone()
+        };
+        let resume = resume.as_ref();
+        let result = run_spmd(machine, opts, |comm| match excluded {
+            Some(culprit) => shrunk_fleet_rank_body(
+                comm,
+                machine.p,
+                data,
+                config,
+                fc,
+                culprit,
+                (ft, &store),
+                resume,
+            ),
+            None => {
+                comm.enter_phase("search");
+                let p = comm.size();
+                let mut sub = comm.split(0);
+                let r = fleet_core(&mut sub, p, data, config, fc, Some((ft, &store)), resume);
+                drop(sub);
+                comm.exit_phase();
+                Some(r)
+            }
+        });
+        match result {
+            Ok(out) => {
+                let recovery_time = out
+                    .ranks
+                    .iter()
+                    .filter_map(|r| r.phase(RECOVERY_PHASE))
+                    .map(|ph| ph.total())
+                    .fold(0.0, f64::max);
+                let elapsed = out.elapsed;
+                let (ranks, stats) = (out.ranks, out.stats);
+                let Some((all, cycles, fleet)) = out.per_rank.into_iter().flatten().next() else {
+                    return Err(RunError::EmptySearch);
+                };
+                let outcome = outcome_from(all, cycles, elapsed, ranks, stats)?;
+                return Ok(FleetFtOutcome {
+                    outcome: FleetOutcome { outcome, fleet },
+                    attempts,
+                    faults,
+                    shrunk: excluded.is_some(),
+                    survivors: machine.p - usize::from(excluded.is_some()),
+                    recovery_time,
+                });
+            }
+            Err(e) => {
+                let Some(culprit) = fault_culprit(&e) else {
+                    return Err(e.into());
+                };
+                faults.push(e.clone());
+                if matches!(ft.policy, RecoveryPolicy::Abort) || faults.len() > ft.max_restarts {
+                    return Err(e.into());
+                }
+                if matches!(ft.policy, RecoveryPolicy::ShrinkAndRedistribute) {
+                    if machine.p < 2 || excluded.is_some_and(|r| r != culprit) {
+                        return Err(e.into());
+                    }
+                    excluded = Some(culprit);
+                }
+            }
+        }
+    }
+}

@@ -36,12 +36,20 @@ pub mod checkpoint;
 pub mod config;
 pub mod driver;
 pub mod error;
+pub mod fleet;
 pub mod recover;
 pub mod run;
 
 pub use checkpoint::{CheckpointError, CkptClassification, SearchCheckpoint};
-pub use config::{Exchange, FtConfig, ParallelConfig, Partitioning, RecoveryPolicy, Strategy};
+pub use config::{
+    Consensus, Exchange, FleetConfig, FtConfig, ParallelConfig, Partitioning, RecoveryPolicy,
+    Strategy,
+};
 pub use error::RunError;
+pub use fleet::{
+    run_search_fleet, run_search_fleet_ft, run_search_fleet_native, run_search_fleet_with,
+    EnsembleSummary, FleetFtOutcome, FleetOutcome, FleetStats,
+};
 pub use recover::{run_search_ft, FtOutcome};
 pub use run::{
     run_fixed_j, run_search, run_search_native, run_search_with, CycleTiming, ParallelOutcome,

@@ -23,21 +23,22 @@
 
 use std::sync::Mutex;
 
-use autoclass::data::{block_partition, DataView, Dataset, GlobalStats};
+use autoclass::data::{block_partition, Dataset};
 use autoclass::model::{
-    classes_from_flat_into, classes_to_flat, converged, derive_seed, evaluate, init_classes,
-    log_param_prior, stats_to_classes_into, update_wts_into, Approximation, ClassParams,
-    CycleWorkspace, Model,
+    classes_from_flat_into, classes_to_flat, converged, derive_seed, log_param_prior,
+    Approximation, CycleWorkspace,
 };
 use autoclass::search::{apply_class_death, is_duplicate, Classification};
 use mpsim::{
-    run_spmd, Communicator, GroupCommunicator, MachineSpec, ReduceOp, SimError, SimOptions,
-    RECOVERY_PHASE,
+    run_spmd, Communicator, GroupCommunicator, MachineSpec, SimError, SimOptions, RECOVERY_PHASE,
 };
 
 use crate::checkpoint::{CkptClassification, SearchCheckpoint};
 use crate::config::{FtConfig, ParallelConfig, RecoveryPolicy};
-use crate::driver::{build_model, init_classes_parallel, parallel_base_cycle};
+use crate::driver::{
+    build_model, init_classes_parallel, parallel_base_cycle, sub_base_cycle, sub_build_model,
+    sub_init_classes,
+};
 use crate::error::RunError;
 use crate::run::{outcome_from, ParallelOutcome};
 
@@ -149,7 +150,7 @@ pub fn run_search_ft(
 /// The rank to blame for a recoverable engine fault: the crashed rank,
 /// the peer whose message went missing, or the sender of a late or
 /// corrupted payload. `None` marks the error non-recoverable.
-fn fault_culprit(e: &SimError) -> Option<usize> {
+pub(crate) fn fault_culprit(e: &SimError) -> Option<usize> {
     match e {
         SimError::RankCrashed { rank, .. } => Some(*rank),
         SimError::PeerFailed { peer, .. } => Some(*peer),
@@ -328,8 +329,8 @@ fn shrunk_rank_body<C: Communicator>(
     let view = data.view(part.start, part.end);
     // Survivors-only by design: the excluded rank has already left and
     // every collective below runs on the shrunk communicator `sub`,
-    // whose membership is exactly the ranks that took this path.
-    // lint:allow(collective-divergence): survivors-only recovery on the shrunk communicator
+    // whose membership is exactly the ranks that took this path — the
+    // analyzer's sub-communicator rule recognizes this, no waiver needed.
     let model = sub_build_model(&mut sub, &view, &config.correlated_blocks);
     let sc = &config.search;
     let mut all: Vec<Classification> = resume
@@ -419,47 +420,6 @@ fn shrunk_rank_body<C: Communicator>(
     Some((all, total_cycles))
 }
 
-/// [`build_model`] over the survivors' sub-communicator: local statistics
-/// on the new partition, combined with a sub-allreduce, so every survivor
-/// derives the identical model.
-fn sub_build_model<G: GroupCommunicator>(
-    sub: &mut G,
-    view: &DataView<'_>,
-    correlated_blocks: &[Vec<usize>],
-) -> Model {
-    let local = GlobalStats::compute(view);
-    sub.work((view.len() * view.schema().len()) as u64);
-    let mut flat = local.to_flat();
-    sub.allreduce_f64s(&mut flat, ReduceOp::Sum);
-    let global = GlobalStats::from_flat(&local, &flat);
-    if correlated_blocks.is_empty() {
-        Model::new(view.schema().clone(), &global)
-    } else {
-        Model::with_correlated(view.schema().clone(), &global, correlated_blocks)
-    }
-}
-
-/// [`init_classes_parallel`] over the sub-communicator: the lowest
-/// surviving rank seeds and broadcasts.
-fn sub_init_classes<G: GroupCommunicator>(
-    sub: &mut G,
-    model: &Model,
-    view: &DataView<'_>,
-    j: usize,
-    seed: u64,
-    classes: &mut Vec<ClassParams>,
-) {
-    let flat_len = model.class_param_len() * j;
-    let mut flat = if sub.rank() == 0 {
-        let init = init_classes(model, view, j, seed);
-        classes_to_flat(&init)
-    } else {
-        vec![0.0; flat_len]
-    };
-    sub.broadcast_f64s(0, &mut flat);
-    classes_from_flat_into(model, j, &flat, classes);
-}
-
 /// [`publish_checkpoint`] over the sub-communicator: the lowest surviving
 /// rank publishes.
 fn sub_publish_checkpoint<G: GroupCommunicator>(
@@ -473,51 +433,4 @@ fn sub_publish_checkpoint<G: GroupCommunicator>(
         // lint:allow(unwrap): mutex poisoning only follows another panic
         *store.lock().expect("checkpoint store lock") = Some(bytes);
     }
-}
-
-/// One EM cycle over the sub-communicator, in the fused-exchange shape:
-/// E-step, one w_j sub-allreduce, statistics accumulation, one combined
-/// statistics + scalars sub-allreduce, parameter derivation, evaluation.
-/// The compact blocking form is fine here: this path only runs after a
-/// failure, and correctness (every survivor bitwise identical) is what
-/// matters, not overlap.
-fn sub_base_cycle<G: GroupCommunicator>(
-    sub: &mut G,
-    model: &Model,
-    view: &DataView<'_>,
-    classes: &mut Vec<ClassParams>,
-    ws: &mut CycleWorkspace,
-) -> Approximation {
-    let j = classes.len();
-    ws.reset_stats(model, j);
-    let CycleWorkspace { wts, estep, stats, .. } = ws;
-    let Some(stats) = stats else { unreachable!("reset_stats installs the statistics buffer") };
-
-    let e = update_wts_into(model, view, classes, wts, estep);
-    sub.work(e.ops);
-    sub.allreduce_f64s(&mut estep.class_weight_sums, ReduceOp::Sum);
-
-    let ops = stats.accumulate(model, view, wts);
-    sub.work(ops);
-    // As in the world-communicator Fused exchange: the class-weight slots
-    // already traveled on the w_j wire, so zero them out, and the two
-    // cycle scalars piggyback on the end of the statistics message.
-    for c in 0..j {
-        stats.data[stats.layout.weight_index(c)] = 0.0;
-    }
-    stats.data.push(e.log_likelihood);
-    stats.data.push(e.complete_ll);
-    sub.allreduce_f64s(&mut stats.data, ReduceOp::Sum);
-    // lint:allow(unwrap): the two scalars were pushed above
-    let complete_ll = stats.data.pop().expect("piggybacked scalar");
-    // lint:allow(unwrap): the two scalars were pushed above
-    let log_likelihood = stats.data.pop().expect("piggybacked scalar");
-    for (c, &w) in estep.class_weight_sums.iter().enumerate() {
-        stats.data[stats.layout.weight_index(c)] = w;
-    }
-    let mops = stats_to_classes_into(model, stats, classes);
-    sub.work(mops);
-    let approx = evaluate(model, stats, log_likelihood, complete_ll);
-    sub.work((j * stats.layout.stride) as u64);
-    approx
 }

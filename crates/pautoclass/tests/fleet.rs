@@ -1,0 +1,281 @@
+//! Fleet-parallel search tests: the G-way candidate parallelism must
+//! change *where* candidates run, never their numbers. With duplicate
+//! abandonment disabled the consensus winner (and the whole retained
+//! list) is bit-identical to the serial search on a machine of one
+//! fleet's size, on both backends and both engines; the scheduler's
+//! duplicate elimination and work stealing are exercised separately; and
+//! the fault-tolerant supervisor recovers per policy with the damage
+//! confined to the culprit's fleet.
+
+use std::time::Duration;
+
+use autoclass::model::classes_to_flat;
+use autoclass::search::{Classification, SearchConfig};
+use mpsim::{
+    presets, AllreduceAlgo, Engine, FaultAction, FaultPlan, FaultSpec, FaultTrigger, MachineSpec,
+    SimError, SimOptions,
+};
+use pautoclass::{
+    run_search_fleet, run_search_fleet_ft, run_search_fleet_native, run_search_fleet_with,
+    run_search_with, Consensus, Exchange, FleetConfig, FtConfig, NativeOptions, ParallelConfig,
+    RecoveryPolicy, RunError, Strategy,
+};
+
+/// The equivalence claim is pinned to the deterministic pair the group
+/// collectives mirror: recursive-doubling allreduce + fused exchange.
+fn rd_machine(p: usize) -> MachineSpec {
+    let mut m = presets::meiko_cs2(p);
+    m.allreduce = AllreduceAlgo::RecursiveDoubling;
+    m
+}
+
+fn config(j_list: Vec<usize>, seed: u64) -> ParallelConfig {
+    ParallelConfig {
+        search: SearchConfig::quick(j_list, seed),
+        strategy: Strategy::Full { exchange: Exchange::Fused },
+        ..ParallelConfig::default()
+    }
+}
+
+/// Score and parameter bits of every retained classification — the
+/// strictest "same result" comparison.
+fn all_bits(all: &[Classification]) -> Vec<(u64, Vec<u64>)> {
+    all.iter()
+        .map(|c| {
+            (c.score().to_bits(), classes_to_flat(&c.classes).iter().map(|v| v.to_bits()).collect())
+        })
+        .collect()
+}
+
+#[test]
+fn fleet_of_two_selects_the_serial_best_bit_for_bit() {
+    let data = datagen::paper_dataset(360, 11);
+    let cfg = config(vec![3, 5], 7);
+    // Serial reference: the whole search on a machine of one fleet's size.
+    let serial = run_search_with(&data, &rd_machine(4), &cfg, &SimOptions::default()).unwrap();
+    // Fleet run: twice the ranks, two concurrent sub-searches of four.
+    let fc = FleetConfig { groups: 2, ..FleetConfig::default() };
+    let out = run_search_fleet(&data, &rd_machine(8), &cfg, &fc).unwrap();
+    assert_eq!(out.fleet.groups, 2);
+    assert_eq!(out.fleet.candidates, 2, "one candidate per J value");
+    assert_eq!(out.fleet.dedup_hits, 0, "abandonment is off by default");
+    assert_eq!(
+        out.outcome.best.approx.log_likelihood.to_bits(),
+        serial.best.approx.log_likelihood.to_bits(),
+        "the consensus winner's log likelihood must match the serial search exactly"
+    );
+    assert_eq!(all_bits(&out.outcome.all), all_bits(&serial.all));
+    assert_eq!(out.outcome.cycles, serial.cycles);
+    assert_eq!(out.outcome.best.seed, serial.best.seed);
+    assert_eq!(out.outcome.best.converged, serial.best.converged);
+}
+
+#[test]
+fn single_fleet_degenerates_to_the_serial_search() {
+    let data = datagen::paper_dataset(300, 3);
+    let cfg = config(vec![2, 4], 5);
+    let serial = run_search_with(&data, &rd_machine(4), &cfg, &SimOptions::default()).unwrap();
+    let fc = FleetConfig { groups: 1, ..FleetConfig::default() };
+    let out = run_search_fleet(&data, &rd_machine(4), &cfg, &fc).unwrap();
+    assert_eq!(out.fleet.groups, 1);
+    assert_eq!(out.fleet.steals, 0);
+    assert_eq!(all_bits(&out.outcome.all), all_bits(&serial.all));
+    assert_eq!(out.outcome.cycles, serial.cycles);
+}
+
+#[test]
+fn fleet_search_matches_across_backends_and_engines() {
+    let data = datagen::paper_dataset(240, 9);
+    let cfg = config(vec![2, 3], 13);
+    let fc = FleetConfig { groups: 2, ..FleetConfig::default() };
+    let m = rd_machine(4);
+    let threaded = run_search_fleet_with(&data, &m, &cfg, &fc, &SimOptions::default()).unwrap();
+    let coop = run_search_fleet_with(
+        &data,
+        &m,
+        &cfg,
+        &fc,
+        &SimOptions { engine: Engine::Cooperative, ..SimOptions::default() },
+    )
+    .unwrap();
+    let native = run_search_fleet_native(&data, &m, &cfg, &fc, &NativeOptions::default()).unwrap();
+    let reference = all_bits(&threaded.outcome.all);
+    assert_eq!(all_bits(&coop.outcome.all), reference, "cooperative engine differs");
+    assert_eq!(all_bits(&native.outcome.all), reference, "native backend differs");
+    assert_eq!(threaded.fleet.rounds, coop.fleet.rounds);
+    assert_eq!(threaded.fleet.rounds, native.fleet.rounds);
+    assert_eq!(threaded.outcome.cycles, native.outcome.cycles);
+}
+
+#[test]
+fn overlapping_schedules_are_abandoned_as_duplicates() {
+    // Four restarts of the same J on well-separated data: the tries land
+    // in the same basin, so once one fleet converges, the other's
+    // running twin must match its fingerprint and be cut short.
+    let data = datagen::paper_dataset(300, 21);
+    let cfg = ParallelConfig {
+        search: SearchConfig {
+            start_j_list: vec![3],
+            tries_per_j: 4,
+            max_cycles: 60,
+            rel_delta_ll: 1e-6,
+            min_class_weight: 1.0,
+            seed: 17,
+            max_stored: 10,
+        },
+        strategy: Strategy::Full { exchange: Exchange::Fused },
+        ..ParallelConfig::default()
+    };
+    let fc = FleetConfig {
+        groups: 2,
+        round_cycles: 3,
+        dedup_every: 1,
+        consensus: Consensus::GlobalBest,
+    };
+    let out = run_search_fleet(&data, &rd_machine(4), &cfg, &fc).unwrap();
+    assert_eq!(out.fleet.candidates, 4, "every candidate must be accounted for");
+    assert!(
+        out.fleet.dedup_hits > 0,
+        "restarts of the same J must trip the duplicate filter, stats: {:?}",
+        out.fleet
+    );
+    assert!(out.fleet.dedup_saved_cycles > 0, "an abandoned candidate saves its cycle budget");
+    assert!(out.outcome.best.n_classes() >= 2);
+}
+
+#[test]
+fn an_idle_fleet_steals_queued_candidates() {
+    // Three candidates over two fleets: fleet 0 owns two, fleet 1 owns
+    // one. With single-cycle rounds fleet 1 goes idle while fleet 0's
+    // queue still holds its second candidate — it must be stolen, and
+    // the result must still match the serial chain bit for bit.
+    let data = datagen::paper_dataset(300, 5);
+    let cfg = config(vec![2, 3, 4], 19);
+    let serial = run_search_with(&data, &rd_machine(2), &cfg, &SimOptions::default()).unwrap();
+    let fc = FleetConfig { groups: 2, round_cycles: 1, ..FleetConfig::default() };
+    let out = run_search_fleet(&data, &rd_machine(4), &cfg, &fc).unwrap();
+    assert_eq!(out.fleet.candidates, 3);
+    assert!(
+        out.fleet.steals > 0,
+        "fleet 1 must steal the queued candidate, stats: {:?}",
+        out.fleet
+    );
+    assert_eq!(all_bits(&out.outcome.all), all_bits(&serial.all));
+}
+
+#[test]
+fn ensemble_consensus_votes_out_a_replicated_labeling() {
+    let data = datagen::paper_dataset(240, 31);
+    let cfg = config(vec![2, 3, 4], 23);
+    let fc = FleetConfig {
+        groups: 2,
+        consensus: Consensus::Ensemble { voters: 3 },
+        ..FleetConfig::default()
+    };
+    let m = rd_machine(4);
+    let sim = run_search_fleet(&data, &m, &cfg, &fc).unwrap();
+    let ens = sim.fleet.ensemble.clone().expect("ensemble stage must run");
+    assert!(ens.voters >= 2, "at least two models must vote");
+    assert!(
+        ens.agreement > 1.0 / ens.voters as f64 - 1e-12 && ens.agreement <= 1.0,
+        "agreement must be a mean vote fraction, got {}",
+        ens.agreement
+    );
+    // The vote is part of the deterministic contract: the native backend
+    // produces the identical summary, down to the labeling hash.
+    let native = run_search_fleet_native(&data, &m, &cfg, &fc, &NativeOptions::default()).unwrap();
+    assert_eq!(native.fleet.ensemble, Some(ens));
+}
+
+// ---- Fault tolerance: one test per recovery policy at G = 2 ------------
+
+fn ft(policy: RecoveryPolicy) -> FtConfig {
+    FtConfig { checkpoint_every: 2, policy, max_restarts: 1 }
+}
+
+fn opts_with(plan: FaultPlan) -> SimOptions {
+    SimOptions { recv_timeout: Duration::from_secs(20), fault: Some(plan), ..SimOptions::default() }
+}
+
+fn crash(rank: usize, seq: u64) -> FaultPlan {
+    FaultPlan::new(vec![FaultSpec {
+        rank,
+        action: FaultAction::Crash,
+        trigger: FaultTrigger::AtSendSeq(seq),
+    }])
+}
+
+#[test]
+fn fleet_crash_restart_recovers_bit_identically() {
+    let data = datagen::paper_dataset(240, 7);
+    let m = rd_machine(4);
+    let cfg = config(vec![2, 3], 11);
+    let fc = FleetConfig { groups: 2, ..FleetConfig::default() };
+    let ftc = ft(RecoveryPolicy::RestartFromCheckpoint);
+    let baseline = run_search_fleet_ft(&data, &m, &cfg, &fc, &ftc, &SimOptions::default()).unwrap();
+    assert_eq!(baseline.attempts, 1);
+
+    let out = run_search_fleet_ft(&data, &m, &cfg, &fc, &ftc, &opts_with(crash(1, 14))).unwrap();
+    assert_eq!(out.attempts, 2, "one failed run plus the recovery");
+    assert!(
+        matches!(
+            &out.faults[0],
+            SimError::RankCrashed { rank: 1, .. } | SimError::PeerFailed { peer: 1, .. }
+        ),
+        "fault must name rank 1: {}",
+        out.faults[0]
+    );
+    assert!(!out.shrunk);
+    assert_eq!(
+        all_bits(&out.outcome.outcome.all),
+        all_bits(&baseline.outcome.outcome.all),
+        "round-granular restart must be bit-identical"
+    );
+    assert_eq!(out.outcome.outcome.cycles, baseline.outcome.outcome.cycles);
+    assert_eq!(out.outcome.fleet.candidates, baseline.outcome.fleet.candidates);
+}
+
+#[test]
+fn fleet_abort_policy_surfaces_the_typed_culprit() {
+    let data = datagen::paper_dataset(240, 7);
+    let cfg = config(vec![2, 3], 11);
+    let fc = FleetConfig { groups: 2, ..FleetConfig::default() };
+    let err = run_search_fleet_ft(
+        &data,
+        &rd_machine(4),
+        &cfg,
+        &fc,
+        &ft(RecoveryPolicy::Abort),
+        &opts_with(crash(2, 14)),
+    )
+    .unwrap_err();
+    match err {
+        RunError::Sim(SimError::RankCrashed { rank, .. }) => assert_eq!(rank, 2),
+        RunError::Sim(SimError::PeerFailed { peer, .. }) => assert_eq!(peer, 2),
+        other => panic!("expected the crash diagnosis, got {other}"),
+    }
+}
+
+#[test]
+fn fleet_shrink_confines_the_damage_to_the_culprits_fleet() {
+    // P = 6, G = 2: fleets {0,1,2} and {3,4,5}. Crashing rank 4 must
+    // leave fleet 0 untouched and finish fleet 1 on its two survivors.
+    let data = datagen::paper_dataset(240, 7);
+    let cfg = config(vec![2, 3], 11);
+    let fc = FleetConfig { groups: 2, ..FleetConfig::default() };
+    let ftc = ft(RecoveryPolicy::ShrinkAndRedistribute);
+    let out = run_search_fleet_ft(&data, &rd_machine(6), &cfg, &fc, &ftc, &opts_with(crash(4, 14)))
+        .unwrap();
+    assert_eq!(out.attempts, 2);
+    assert!(out.shrunk);
+    assert_eq!(out.survivors, 5, "P-1 ranks must finish the search");
+    assert!(out.recovery_time > 0.0, "the shrink cost must land in the recovery bucket");
+    assert_eq!(out.outcome.fleet.groups, 2, "both fleets must still run");
+    assert_eq!(out.outcome.fleet.candidates, 2);
+    assert!(out.outcome.outcome.best.n_classes() >= 2, "the degraded run still classifies");
+    // The excluded rank leaves at the split, strictly before the
+    // survivors finish.
+    let excluded = &out.outcome.outcome.ranks[4];
+    let max_elapsed = out.outcome.outcome.ranks.iter().map(|r| r.elapsed).fold(0.0, f64::max);
+    assert!(excluded.elapsed < max_elapsed, "culprit must leave the computation");
+}

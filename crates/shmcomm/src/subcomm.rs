@@ -11,6 +11,17 @@ use crate::comm::NativeComm;
 /// the simulator's).
 const SUB_TAG_BASE: u64 = 1 << 63;
 
+/// Marker bit for nested-group color keys (same as the simulator's).
+const NESTED_COLOR_BIT: u32 = 1 << 30;
+
+/// The color key a nested group stamps into its tag space — identical to
+/// `mpsim::subcomm::nested_color_key`, so nested-group tags and registry
+/// ids are bitwise aligned across backends. Colors below 2^15, two
+/// levels of nesting.
+fn nested_color_key(parent: u32, child: u32) -> u32 {
+    NESTED_COLOR_BIT | ((parent & 0x7FFF) << 15) | (child & 0x7FFF)
+}
+
 /// A communicator over a subset of the native world's ranks.
 pub struct NativeSubComm<'a> {
     world: &'a mut NativeComm,
@@ -207,5 +218,29 @@ impl NativeSubComm<'_> {
             self.send(root, tag, mine);
             None
         }
+    }
+
+    /// Split this group by color: the nested `MPI_Comm_split` analogue,
+    /// mirroring `mpsim::SubComm::split`'s gather + broadcast membership
+    /// exchange and color-key scheme exactly, so nested-group collectives
+    /// are bitwise identical across backends. Collective over this group.
+    pub fn split(&mut self, color: u32) -> NativeSubComm<'_> {
+        let p = self.size();
+        let mut all = vec![0.0; p];
+        if let Some(gathered) = self.gather_f64s(0, &[f64::from(color)]) {
+            all.copy_from_slice(&gathered);
+        }
+        self.broadcast_f64s(0, &mut all);
+        let members_sub: Vec<usize> =
+            all.iter().enumerate().filter(|(_, c)| **c as u32 == color).map(|(r, _)| r).collect();
+        let rank = members_sub
+            .iter()
+            .position(|&r| r == self.rank)
+            // lint:allow(unwrap): the gather included this rank's own color
+            .expect("calling rank is in its own color group");
+        let members: Vec<usize> = members_sub.iter().map(|&r| self.members[r]).collect();
+        let key = nested_color_key(self.color, color);
+        let comm_id = SUB_TAG_BASE | (u64::from(key) << 32) | self.seq;
+        NativeSubComm { world: &mut *self.world, members, rank, color: key, seq: 0, comm_id }
     }
 }

@@ -92,6 +92,11 @@ impl Communicator for NativeComm {
 }
 
 impl GroupCommunicator for NativeSubComm<'_> {
+    type Child<'c>
+        = NativeSubComm<'c>
+    where
+        Self: 'c;
+
     fn rank(&self) -> usize {
         NativeSubComm::rank(self)
     }
@@ -124,5 +129,8 @@ impl GroupCommunicator for NativeSubComm<'_> {
     }
     fn gather_f64s(&mut self, root: usize, mine: &[f64]) -> Option<Vec<f64>> {
         NativeSubComm::gather_f64s(self, root, mine)
+    }
+    fn split(&mut self, color: u32) -> NativeSubComm<'_> {
+        NativeSubComm::split(self, color)
     }
 }

@@ -16,10 +16,17 @@ use crate::{COLLECTIVES, REQUEST_FNS};
 /// it at every call site.
 #[derive(Clone, Default, Debug)]
 pub struct FnInfo {
-    /// `Some(chain)` if calling this function executes a collective:
-    /// either directly (`"allreduce_f64s"`) or transitively
-    /// (`"helper -> allreduce_f64s"`).
+    /// `Some(chain)` if calling this function executes a collective on a
+    /// *world* communicator: either directly (`"allreduce_f64s"`) or
+    /// transitively (`"helper -> allreduce_f64s"`).
     pub collective: Option<String>,
+    /// `Some(chain)` if this function's only collectives run on a
+    /// split-child communicator (a `sub`-named parameter or a
+    /// `.split(...)` binding). Those synchronize the split's color group
+    /// — whose membership is exactly the ranks that took the calling
+    /// path — so a call site under a rank-dependent branch is not world
+    /// divergence (the secede / shrink-recovery pattern).
+    pub group_collective: Option<String>,
     /// The return value is derived from `rank()` (so binding a call
     /// result propagates rank taint).
     pub returns_rank: bool,
@@ -68,11 +75,23 @@ impl Summaries {
 
             let mut called = BTreeSet::new();
             collect_calls(&body_tokens, &mut called);
-            for c in &called {
-                if COLLECTIVES.contains(&c.as_str()) && entry.collective.is_none() {
-                    entry.collective = Some(c.clone());
-                }
-            }
+            // Receivers that hold a split-child communicator: `sub`-named
+            // parameters plus `.split(...)` bindings anywhere in the body
+            // (a flat, flow-insensitive set — deliberately permissive in
+            // the direction the runtime verifier still covers per group).
+            let mut group_recv: BTreeSet<String> = f
+                .params
+                .iter()
+                .filter(|p| p.as_str() == "sub" || p.ends_with("sub"))
+                .cloned()
+                .collect();
+            collect_split_bindings(&f.body, &mut group_recv);
+            classify_collectives(
+                &body_tokens,
+                &group_recv,
+                &mut entry.collective,
+                &mut entry.group_collective,
+            );
             calls.entry(f.name.clone()).or_default().extend(called);
 
             // Return type mentions a request handle → must be waited by
@@ -108,6 +127,13 @@ impl Summaries {
                 let callees = calls.get(name).cloned().unwrap_or_default();
                 if map.get(name).and_then(|i| i.collective.clone()).is_none() {
                     for c in &callees {
+                        // Call sites of the primitives themselves were
+                        // already classified by receiver; propagating the
+                        // primitive's *implementation* summary through this
+                        // receiver-blind edge would re-world-ify them.
+                        if COLLECTIVES.contains(&c.as_str()) {
+                            continue;
+                        }
                         if let Some(chain) = map.get(c).and_then(|i| i.collective.clone()) {
                             if let Some(e) = map.get_mut(name) {
                                 let via = if chain.contains("->") || c != &chain {
@@ -116,6 +142,25 @@ impl Summaries {
                                     chain
                                 };
                                 e.collective = Some(via);
+                                changed = true;
+                            }
+                            break;
+                        }
+                    }
+                }
+                if map.get(name).and_then(|i| i.group_collective.clone()).is_none() {
+                    for c in &callees {
+                        if COLLECTIVES.contains(&c.as_str()) {
+                            continue;
+                        }
+                        if let Some(chain) = map.get(c).and_then(|i| i.group_collective.clone()) {
+                            if let Some(e) = map.get_mut(name) {
+                                let via = if chain.contains("->") || c != &chain {
+                                    format!("{c} -> {chain}")
+                                } else {
+                                    chain
+                                };
+                                e.group_collective = Some(via);
                                 changed = true;
                             }
                             break;
@@ -210,6 +255,91 @@ fn collect_stmt_tokens(stmts: &[syn::Stmt], out: &mut Vec<Tt>) {
                 out.extend(rest.iter().cloned());
             }
             Expr::Opaque { tokens, .. } => out.extend(tokens.iter().cloned()),
+        }
+    }
+}
+
+/// Classify every collective call site by its receiver: `sub.barrier()`
+/// with `sub` in `group_recv` is a group collective, anything else
+/// (including receiver-less calls) is a world collective. First hit of
+/// each kind wins, matching the world-only rule this generalizes.
+fn classify_collectives(
+    ts: &[Tt],
+    group_recv: &BTreeSet<String>,
+    world: &mut Option<String>,
+    group: &mut Option<String>,
+) {
+    for (i, t) in ts.iter().enumerate() {
+        if let Tt::Ident { text, .. } = t {
+            if COLLECTIVES.contains(&text.as_str())
+                && matches!(ts.get(i + 1), Some(Tt::Group { delim: Delim::Paren, .. }))
+            {
+                let on_group = i >= 2
+                    && ts[i - 1].is_punct(".")
+                    && matches!(&ts[i - 2], Tt::Ident { text: r, .. } if group_recv.contains(r));
+                let slot = if on_group { &mut *group } else { &mut *world };
+                if slot.is_none() {
+                    *slot = Some(text.clone());
+                }
+            }
+        }
+        if let Tt::Group { tokens: inner, .. } = t {
+            classify_collectives(inner, group_recv, world, group);
+        }
+    }
+}
+
+/// Identifiers bound by `let x = ….split(…)` anywhere in the body,
+/// including inside branch arms and loop bodies.
+fn collect_split_bindings(stmts: &[syn::Stmt], out: &mut BTreeSet<String>) {
+    use syn::{Expr, Stmt};
+    for s in stmts {
+        match s {
+            Stmt::Let { names, init, else_block, .. } => {
+                if let Some(e) = init {
+                    if let Expr::Opaque { tokens, .. } = e {
+                        let n = tokens.len();
+                        let is_split = n >= 2
+                            && tokens.get(n - 2).is_some_and(|t| t.is_ident("split"))
+                            && matches!(
+                                tokens.get(n - 1),
+                                Some(Tt::Group { delim: Delim::Paren, .. })
+                            );
+                        if is_split {
+                            out.extend(names.iter().cloned());
+                        }
+                    }
+                    collect_expr_split_bindings(e, out);
+                }
+                if let Some(b) = else_block {
+                    collect_split_bindings(b, out);
+                }
+            }
+            Stmt::Expr(e) => collect_expr_split_bindings(e, out),
+        }
+    }
+    fn collect_expr_split_bindings(e: &Expr, out: &mut BTreeSet<String>) {
+        match e {
+            Expr::If { then_branch, else_branch, .. } => {
+                collect_split_bindings(then_branch, out);
+                if let Some(e) = else_branch {
+                    collect_expr_split_bindings(e, out);
+                }
+            }
+            Expr::Match { arms, .. } => {
+                for a in arms {
+                    collect_split_bindings(&a.body, out);
+                }
+            }
+            Expr::ForLoop { body, .. }
+            | Expr::While { body, .. }
+            | Expr::Loop { body, .. }
+            | Expr::Block { stmts: body, .. } => collect_split_bindings(body, out),
+            Expr::Chain { head, .. } => collect_expr_split_bindings(head, out),
+            Expr::Return { .. }
+            | Expr::Break { .. }
+            | Expr::Continue { .. }
+            | Expr::Opaque { .. } => {}
         }
     }
 }

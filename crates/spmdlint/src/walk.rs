@@ -63,6 +63,9 @@ struct Ctx {
     /// shape-tainted identifier -> origin description
     shaped: BTreeMap<String, String>,
     reqs: BTreeMap<String, Req>,
+    /// identifiers holding a split-child (sub-group) communicator:
+    /// `sub`-named parameters plus `.split(...)` bindings
+    subcomms: BTreeSet<String>,
     /// lines of currently-open `enter_phase` calls
     phases: Vec<usize>,
     /// open rank-tainted branch frames (innermost last)
@@ -100,6 +103,7 @@ pub(crate) fn walk_fn(
         divergence_hits: 0,
     };
     let mut ctx = Ctx::default();
+    seed_subcomm_params(&item.params, &mut ctx);
     // A request call in tail-return position of a handle-returning
     // function (`-> Request`, `-> C::Req`, …) escapes to the caller —
     // whose own walk holds it to the wait-on-every-path rule — so it is
@@ -149,6 +153,7 @@ pub(crate) fn divergent_param_indices(item: &ItemFn, summaries: &Summaries) -> B
             divergence_hits: 0,
         };
         let mut ctx = Ctx::default();
+        seed_subcomm_params(&item.params, &mut ctx);
         ctx.tainted.insert(p.clone(), format!("parameter `{p}` assumed rank-variant"));
         w.walk_block(&item.body, &mut ctx);
         if w.divergence_hits > 0 {
@@ -156,6 +161,19 @@ pub(crate) fn divergent_param_indices(item: &ItemFn, summaries: &Summaries) -> B
         }
     }
     out
+}
+
+/// Parameters named `sub` (or `*sub`) carry a split-child communicator
+/// by repo convention: their collectives synchronize the color group the
+/// split carved out, not the world, so rank-dependent paths that mirror
+/// the split's own partition are not world divergence (see
+/// `handle_collective`). `comm`/`world` parameters get no such pass.
+fn seed_subcomm_params(params: &[String], ctx: &mut Ctx) {
+    for p in params {
+        if p == "sub" || p.ends_with("sub") {
+            ctx.subcomms.insert(p.clone());
+        }
+    }
 }
 
 fn stmt_line(s: &Stmt) -> usize {
@@ -203,9 +221,11 @@ impl<'a> Walker<'a> {
         let Some(init) = init else { return };
         let mut bound_taint: Option<String> = None;
         let mut bound_shape: Option<String> = None;
+        let mut bound_subcomm = false;
         match init {
             Expr::Opaque { tokens, .. } => {
                 let outer = outermost_call(tokens);
+                bound_subcomm = outer == Some("split");
                 let is_request = outer.is_some_and(|n| {
                     REQUEST_FNS.contains(&n)
                         || self.summaries.get(n).is_some_and(|i| i.returns_request)
@@ -261,6 +281,11 @@ impl<'a> Walker<'a> {
                 None => {
                     ctx.shaped.remove(n);
                 }
+            }
+            if bound_subcomm {
+                ctx.subcomms.insert(n.clone());
+            } else {
+                ctx.subcomms.remove(n);
             }
         }
         if let Some(eb) = else_block {
@@ -670,7 +695,8 @@ impl<'a> Walker<'a> {
                     _ => {}
                 }
                 if COLLECTIVES.contains(&name.as_str()) {
-                    self.handle_collective(&name, args, line, ctx);
+                    let recv = receiver_ident(ts, i);
+                    self.handle_collective(&name, args, line, recv, ctx);
                     if REQUEST_FNS.contains(&name.as_str())
                         && !(suppress_outermost_request && is_outermost)
                     {
@@ -762,9 +788,24 @@ impl<'a> Walker<'a> {
         }
     }
 
-    fn handle_collective(&mut self, name: &str, args: &[Tt], line: usize, ctx: &mut Ctx) {
+    fn handle_collective(
+        &mut self,
+        name: &str,
+        args: &[Tt],
+        line: usize,
+        recv: Option<String>,
+        ctx: &mut Ctx,
+    ) {
+        // A collective on a split child only synchronizes its color
+        // group, whose membership is exactly the ranks the split sent
+        // down this path — so a rank-dependent branch (the secede /
+        // shrink pattern) is not world divergence for it. Payload-shape
+        // and blocking rules still apply within the group.
+        let on_group = recv.as_deref().is_some_and(|r| ctx.subcomms.contains(r));
         if self.spmd.is_some() {
-            self.divergence_at(line, ctx, &format!("collective `{name}`"), name);
+            if !on_group {
+                self.divergence_at(line, ctx, &format!("collective `{name}`"), name);
+            }
             if name != "split" {
                 self.payload_checks(name, args, line, ctx);
             }

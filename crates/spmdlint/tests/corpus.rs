@@ -22,7 +22,7 @@ fn fixture(name: &str) -> spmdlint::Report {
 #[test]
 fn every_fixture_expectation_fires() {
     let results = spmdlint::check_fixtures(&fixtures_dir()).unwrap();
-    assert_eq!(results.len(), 12, "fixture corpus changed size: {:?}", results.keys());
+    assert_eq!(results.len(), 14, "fixture corpus changed size: {:?}", results.keys());
     for (name, missing) in &results {
         assert!(missing.is_empty(), "fixture {name}: {missing:?}");
     }
@@ -45,6 +45,19 @@ fn divergence_fixture_exact_findings() {
     // The taint traces name the source.
     assert!(report.findings[0].taint_trace[0].contains("rank()"));
     assert!(report.findings[1].taint_trace[0].contains("early exit"));
+}
+
+#[test]
+fn subcomm_exemption_does_not_leak_to_the_parent() {
+    let report = fixture("bad_fleet_divergence");
+    let got: Vec<(usize, &str, &str)> =
+        report.findings.iter().map(|f| (f.line, f.rule, f.culprit.as_str())).collect();
+    // The gated split on the parent and the post-secede world barrier
+    // fire; the sub-communicator collectives between them stay silent.
+    assert_eq!(
+        got,
+        vec![(11, "collective-divergence", "split"), (25, "collective-divergence", "barrier")]
+    );
 }
 
 #[test]
@@ -73,7 +86,7 @@ fn legacy_rules_fire_with_historic_ids() {
 
 #[test]
 fn clean_fixtures_stay_silent() {
-    for name in ["clean_spmd", "clean_hygiene", "clean_trait_spmd"] {
+    for name in ["clean_spmd", "clean_hygiene", "clean_trait_spmd", "clean_fleet_subsearch"] {
         let report = fixture(name);
         assert!(
             report.findings.is_empty(),

@@ -1,0 +1,26 @@
+//! Known-bad: the sub-communicator exemption must not leak to the
+//! parent. The split itself is a collective on the communicator it is
+//! called on, and world collectives after a rank-dependent secede are
+//! still divergent.
+//! Never compiled — parsed by the spmdlint corpus tests only.
+
+/// Gating the split on rank diverges the parent's sequence: ranks that
+/// skip the branch never enter the split.
+pub fn gated_split(comm: &mut Comm, buf: &mut [f64]) {
+    if comm.rank() == 0 {
+        let mut sub = comm.split(0);
+        sub.allreduce_f64s(buf);
+    }
+}
+
+/// A world collective after a rank-dependent early return is divergent
+/// even when the group collectives between them are exempt.
+pub fn world_after_secede(comm: &mut Comm, culprit: usize) {
+    let secede = comm.rank() == culprit;
+    let mut sub = comm.split(u32::from(secede));
+    if secede {
+        return;
+    }
+    sub.barrier();
+    comm.barrier();
+}

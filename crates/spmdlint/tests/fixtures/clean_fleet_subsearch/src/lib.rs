@@ -1,0 +1,40 @@
+//! Known-good sub-communicator idioms: collectives on a split's child
+//! synchronize only the color group, whose membership is exactly the
+//! ranks the split sent down the calling path — so the secede/shrink
+//! pattern and fleet sub-searches must stay silent.
+//! Never compiled — parsed by the spmdlint corpus tests only.
+
+/// A helper whose collectives all run on a `sub`-named parameter gets a
+/// group-collective summary, not a world one.
+fn group_reduce(sub: &mut SubComm, buf: &mut [f64]) {
+    sub.allreduce_f64s(buf);
+    sub.barrier();
+}
+
+/// The secede pattern: every rank splits, the culprit leaves, and the
+/// survivors continue with collectives on the child group alone — both
+/// directly and through a group-collective helper.
+pub fn shrink_and_continue(comm: &mut Comm, culprit: usize, buf: &mut [f64]) {
+    let secede = comm.rank() == culprit;
+    let mut sub = comm.split(u32::from(secede));
+    if secede {
+        return;
+    }
+    sub.barrier();
+    group_reduce(&mut sub, buf);
+}
+
+/// Fleet sub-searches: membership is rank-derived and the fleets take
+/// different paths, but each path's collectives run on that fleet's own
+/// nested child group (a child of a child is still a group
+/// communicator), partitioned by the very condition that gates them.
+pub fn fleet_burst(comm: &mut Comm, buf: &mut [f64]) {
+    let mut sub = comm.split(0);
+    let color = sub.rank() as u32 % 2;
+    let mut fleet = sub.split(color);
+    if color == 0 {
+        fleet.allreduce_f64s(buf);
+        group_reduce(&mut fleet, buf);
+    }
+    sub.barrier();
+}

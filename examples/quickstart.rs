@@ -56,4 +56,17 @@ fn main() {
     );
     assert_eq!(par.best.n_classes(), seq.best.n_classes());
     println!("\nsequential and parallel searches agree.");
+
+    // 5. Fleet-parallel: the same 8 processors split into two concurrent
+    //    sub-searches drawing candidates from the shared schedule, with
+    //    duplicate elimination and a final consensus stage.
+    let fc = pautoclass::FleetConfig::default();
+    let fleet = pautoclass::run_search_fleet(&data, &machine, &pconfig, &fc).expect("fleet run");
+    println!(
+        "fleet of {}: {} candidates, best = {} classes, virtual elapsed {:.3}s",
+        fleet.fleet.groups,
+        fleet.fleet.candidates,
+        fleet.outcome.best.n_classes(),
+        fleet.outcome.elapsed
+    );
 }

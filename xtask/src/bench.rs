@@ -39,13 +39,22 @@
 //! hierarchical fat-tree cluster — the sizes the threaded engine cannot
 //! carry.
 //!
+//! A fifth artifact, `BENCH_9.json` (written by `--ensemble`), measures
+//! the fleet-parallel model search — G concurrent sub-searches over split
+//! communicators — against the serial search at P ∈ {8,64,256} ×
+//! G ∈ {1,2,4,8}: candidates per virtual second, duplicate-elimination
+//! hits, work steals, and the ensemble-consensus agreement, gated on the
+//! fleet winner being bitwise the serial winner when the schedules are
+//! identical and never worse elsewhere.
+//!
 //! Flags: `--smoke` (small sizes for CI), `--native` (run the native
 //! wall-clock benchmark instead, default output `BENCH_7.json`),
 //! `--engines` (run the engine-overhead benchmark instead, default output
-//! `BENCH_8.json`), `--out PATH` (default `BENCH_2.json` in the repo
-//! root), `--out4 PATH` (default `BENCH_4.json`), `--check PATH`
-//! (validate an existing results file of any of the four schemas instead
-//! of benchmarking).
+//! `BENCH_8.json`), `--ensemble` (run the fleet-search benchmark instead,
+//! default output `BENCH_9.json`), `--out PATH` (default `BENCH_2.json`
+//! in the repo root), `--out4 PATH` (default `BENCH_4.json`), `--check
+//! PATH` (validate an existing results file of any of the five schemas
+//! instead of benchmarking).
 
 use std::fmt::Write as _;
 use std::path::Path;
@@ -61,7 +70,10 @@ use autoclass::model::{EStepScratch, WtsMatrix};
 use autoclass::search::SearchConfig;
 use mpsim::{presets, AllreduceAlgo, Engine, MachineSpec, SimOptions};
 use pautoclass::driver::{build_model, init_classes_parallel, parallel_base_cycle};
-use pautoclass::{run_fixed_j, run_search_with, Exchange, ParallelConfig, Partitioning, Strategy};
+use pautoclass::{
+    run_fixed_j, run_search_fleet_with, run_search_with, Consensus, Exchange, FleetConfig,
+    ParallelConfig, Partitioning, Strategy,
+};
 use shmcomm::{run_native, NativeOptions};
 
 pub fn bench(args: &[String]) -> ExitCode {
@@ -88,6 +100,23 @@ pub fn bench(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("xtask bench --engines: wrote {}", out_path.display());
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--ensemble") {
+        let out_path =
+            flag_value("--out").map(Into::into).unwrap_or_else(|| root.join("BENCH_9.json"));
+        let json = match run_ensemble_benchmarks(smoke) {
+            Ok(j) => j,
+            Err(msg) => {
+                eprintln!("xtask bench --ensemble: {msg}");
+                return ExitCode::FAILURE;
+            }
+        };
+        if let Err(e) = std::fs::write(&out_path, &json) {
+            eprintln!("xtask bench --ensemble: cannot write {}: {e}", out_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!("xtask bench --ensemble: wrote {}", out_path.display());
         return ExitCode::SUCCESS;
     }
     if args.iter().any(|a| a == "--native") {
@@ -770,6 +799,296 @@ fn run_engine_benchmarks(smoke: bool) -> Result<String, String> {
     Ok(out)
 }
 
+/// The fleet-parallel search benchmark behind `BENCH_9.json`: the serial
+/// search versus the fleet search (G concurrent sub-searches over split
+/// communicators) at P ∈ {8, 64, 256} × G ∈ {1, 2, 4, 8}, gated on
+/// (a) the fleet winner being *bitwise* the serial winner when the
+/// schedules are identical, (b) the fleet's best log likelihood never
+/// being worse than the serial search's at any (P, G), (c) duplicate
+/// elimination actually firing in the overlapping-schedule scenario, and
+/// (d) candidates/s growing with G at P = 64, plus an ensemble-consensus
+/// row recording the co-association vote.
+fn run_ensemble_benchmarks(smoke: bool) -> Result<String, String> {
+    // The equivalence claims are pinned to the deterministic pair the
+    // group collectives mirror: recursive-doubling + fused exchange.
+    let rd_machine = |p: usize| {
+        let mut m = presets::meiko_cs2(p);
+        m.allreduce = AllreduceAlgo::RecursiveDoubling;
+        m
+    };
+    let opts_for = |p: usize| {
+        if p > 8 {
+            SimOptions { engine: Engine::Cooperative, ..SimOptions::default() }
+        } else {
+            SimOptions::default()
+        }
+    };
+
+    // ---- bitwise parity: fleet winner == serial winner --------------
+    // Two fleets of four versus the serial search on a machine of one
+    // fleet's size: same candidate schedule, same numbers, same bits.
+    let pdata = datagen::paper_dataset(if smoke { 240 } else { 360 }, 11);
+    let pcfg = ParallelConfig {
+        search: SearchConfig::quick(vec![3, 5], 7),
+        strategy: Strategy::Full { exchange: Exchange::Fused },
+        ..ParallelConfig::default()
+    };
+    let serial_ref = run_search_with(&pdata, &rd_machine(4), &pcfg, &SimOptions::default())
+        .map_err(|e| format!("parity serial p=4: {e}"))?;
+    let fleet_ref = run_search_fleet_with(
+        &pdata,
+        &rd_machine(8),
+        &pcfg,
+        &FleetConfig { groups: 2, ..FleetConfig::default() },
+        &SimOptions::default(),
+    )
+    .map_err(|e| format!("parity fleet p=8 g=2: {e}"))?;
+    let fleet_bitwise_best_model = fleet_ref.outcome.best.approx.log_likelihood.to_bits()
+        == serial_ref.best.approx.log_likelihood.to_bits()
+        && fleet_ref.outcome.best.seed == serial_ref.best.seed
+        && fleet_ref.outcome.cycles == serial_ref.cycles;
+    if !fleet_bitwise_best_model {
+        return Err("fleet winner diverged bitwise from the serial search".to_string());
+    }
+    eprintln!("xtask bench --ensemble: parity P=8 G=2 vs serial P=4 bitwise ok");
+
+    // ---- duplicate elimination + ensemble consensus -----------------
+    // Four restarts of the same J land in one basin: the cross-fleet
+    // fingerprint filter must cut the twins short, and the ensemble
+    // consensus must produce a replicated vote over the survivors.
+    let ddata = datagen::paper_dataset(300, 21);
+    let dcfg = ParallelConfig {
+        search: SearchConfig {
+            start_j_list: vec![3],
+            tries_per_j: 4,
+            max_cycles: 60,
+            rel_delta_ll: 1e-6,
+            min_class_weight: 1.0,
+            seed: 17,
+            max_stored: 10,
+        },
+        strategy: Strategy::Full { exchange: Exchange::Fused },
+        ..ParallelConfig::default()
+    };
+    let dfc = FleetConfig {
+        groups: 2,
+        round_cycles: 3,
+        dedup_every: 1,
+        consensus: Consensus::Ensemble { voters: 3 },
+    };
+    let dedup_out =
+        run_search_fleet_with(&ddata, &rd_machine(4), &dcfg, &dfc, &SimOptions::default())
+            .map_err(|e| format!("dedup fleet p=4 g=2: {e}"))?;
+    let dedup_fired = dedup_out.fleet.dedup_hits > 0 && dedup_out.fleet.dedup_saved_cycles > 0;
+    if !dedup_fired {
+        return Err(format!(
+            "overlapping schedules did not trip the duplicate filter: {:?}",
+            dedup_out.fleet
+        ));
+    }
+    let ensemble = dedup_out
+        .fleet
+        .ensemble
+        .as_ref()
+        .ok_or_else(|| "ensemble consensus ran no vote".to_string())?;
+    let ensemble_ran = ensemble.voters > 0 && ensemble.agreement > 0.0 && ensemble.agreement <= 1.0;
+    if !ensemble_ran {
+        return Err(format!("degenerate ensemble vote: {ensemble:?}"));
+    }
+    eprintln!(
+        "xtask bench --ensemble: dedup_hits={} saved_cycles={} agreement={:.3}",
+        dedup_out.fleet.dedup_hits, dedup_out.fleet.dedup_saved_cycles, ensemble.agreement
+    );
+
+    // ---- candidates/s scaling: serial vs fleet at P × G -------------
+    let (sn, max_cycles) = if smoke { (768, 4) } else { (1_536, 10) };
+    let scfg = ParallelConfig {
+        search: SearchConfig {
+            start_j_list: vec![2, 3, 4, 5],
+            tries_per_j: 2,
+            max_cycles,
+            rel_delta_ll: 1e-4,
+            min_class_weight: 1.0,
+            seed: 33,
+            max_stored: 4,
+        },
+        strategy: Strategy::Full { exchange: Exchange::Fused },
+        ..ParallelConfig::default()
+    };
+    let n_candidates = scfg.search.start_j_list.len() * scfg.search.tries_per_j;
+    let sdata = datagen::paper_dataset(sn, 5);
+    struct SerialRow {
+        p: usize,
+        virtual_s: f64,
+        cands_per_vs: f64,
+        best_ll: f64,
+    }
+    struct FleetRow {
+        p: usize,
+        g: usize,
+        virtual_s: f64,
+        candidates: usize,
+        cands_per_vs: f64,
+        speedup_vs_serial: f64,
+        best_ll: f64,
+        steals: usize,
+    }
+    let ps: &[usize] = if smoke { &[8, 64] } else { &[8, 64, 256] };
+    let gs: [usize; 4] = [1, 2, 4, 8];
+    // Each fleet computes at P/G ranks, so its trajectory is the serial
+    // search's at a machine of the fleet's size — run the serial
+    // reference at every distinct size the table needs.
+    let mut sizes: Vec<usize> = ps.iter().flat_map(|&p| gs.iter().map(move |&g| p / g)).collect();
+    sizes.extend(ps.iter().copied());
+    sizes.sort_unstable();
+    sizes.dedup();
+    let mut serial_at = std::collections::BTreeMap::new();
+    for &p in &sizes {
+        let serial = run_search_with(&sdata, &rd_machine(p), &scfg, &opts_for(p))
+            .map_err(|e| format!("serial P={p}: {e}"))?;
+        serial_at.insert(p, serial);
+    }
+    let mut serial_rows: Vec<SerialRow> = Vec::new();
+    for &p in &sizes {
+        let serial = &serial_at[&p];
+        serial_rows.push(SerialRow {
+            p,
+            virtual_s: serial.elapsed,
+            cands_per_vs: n_candidates as f64 / serial.elapsed,
+            best_ll: serial.best.approx.log_likelihood,
+        });
+    }
+    let mut fleet_rows: Vec<FleetRow> = Vec::new();
+    let mut fleet_no_worse_ll = true;
+    for &p in ps {
+        for g in gs {
+            let fc = FleetConfig { groups: g, ..FleetConfig::default() };
+            let out = run_search_fleet_with(&sdata, &rd_machine(p), &scfg, &fc, &opts_for(p))
+                .map_err(|e| format!("fleet P={p} G={g}: {e}"))?;
+            let ll = out.outcome.best.approx.log_likelihood;
+            // With abandonment off the fleet replays the serial dedup
+            // chain over the same candidates, each computed at the
+            // fleet's own size — the winner must match serial-at-(P/G)
+            // bit for bit, which also makes "no worse" exact.
+            let sub_ll = serial_at[&(p / g)].best.approx.log_likelihood;
+            let ok = ll.to_bits() == sub_ll.to_bits();
+            if !ok {
+                eprintln!(
+                    "xtask bench --ensemble: P={p} G={g} best_ll {ll:.9} differs from \
+                     serial-at-{} {sub_ll:.9}",
+                    p / g
+                );
+            }
+            fleet_no_worse_ll &= ok;
+            let virtual_s = out.outcome.elapsed;
+            eprintln!(
+                "xtask bench --ensemble: P={p} G={g} virtual {virtual_s:.4}s, \
+                 {} candidates, {} steals",
+                out.fleet.candidates, out.fleet.steals
+            );
+            fleet_rows.push(FleetRow {
+                p,
+                g,
+                virtual_s,
+                candidates: out.fleet.candidates,
+                cands_per_vs: out.fleet.candidates as f64 / virtual_s,
+                speedup_vs_serial: serial_at[&p].elapsed / virtual_s,
+                best_ll: ll,
+                steals: out.fleet.steals,
+            });
+        }
+    }
+    if !fleet_no_worse_ll {
+        return Err(
+            "a fleet run's winner diverged from the serial search at the fleet's size".to_string()
+        );
+    }
+    // The second parallel axis must pay off where the paper's first one
+    // saturates: more fleets, more candidates per virtual second.
+    let rate = |p: usize, g: usize| {
+        fleet_rows.iter().find(|r| r.p == p && r.g == g).map(|r| r.cands_per_vs)
+    };
+    let scale_p = 64;
+    let candidates_scale_with_g = match (rate(scale_p, 1), rate(scale_p, 8)) {
+        (Some(r1), Some(r8)) => r8 > r1,
+        _ => false,
+    };
+    if !candidates_scale_with_g {
+        return Err(format!("candidates/s did not grow with G at P={scale_p}"));
+    }
+
+    // ---- Hand-formatted JSON ----------------------------------------
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"schema_version\": 1,");
+    let _ = writeln!(out, "  \"kind\": \"ensemble\",");
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    out.push_str("  \"gates\": {\n");
+    let _ = writeln!(out, "    \"fleet_bitwise_best_model\": {fleet_bitwise_best_model},");
+    let _ = writeln!(out, "    \"fleet_no_worse_ll\": {fleet_no_worse_ll},");
+    let _ = writeln!(out, "    \"dedup_fired\": {dedup_fired},");
+    let _ = writeln!(out, "    \"candidates_scale_with_g\": {candidates_scale_with_g},");
+    let _ = writeln!(out, "    \"ensemble_ran\": {ensemble_ran}");
+    out.push_str("  },\n");
+    out.push_str("  \"dedup\": {\n");
+    let _ = writeln!(out, "    \"p\": 4,");
+    let _ = writeln!(out, "    \"g\": 2,");
+    let _ = writeln!(out, "    \"candidates\": {},", dedup_out.fleet.candidates);
+    let _ = writeln!(out, "    \"dedup_hits\": {},", dedup_out.fleet.dedup_hits);
+    let _ = writeln!(out, "    \"dedup_saved_cycles\": {},", dedup_out.fleet.dedup_saved_cycles);
+    let _ = writeln!(out, "    \"voters\": {},", ensemble.voters);
+    let _ = writeln!(out, "    \"agreement\": {:.6},", ensemble.agreement);
+    let _ = writeln!(out, "    \"label_hash\": {}", ensemble.label_hash);
+    out.push_str("  },\n");
+    out.push_str("  \"serial\": [\n");
+    for (i, r) in serial_rows.iter().enumerate() {
+        let comma = if i + 1 < serial_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"p\": {}, \"virtual_s\": {:.6}, \"cands_per_vs\": {:.3}, \
+             \"best_ll\": {:.6}}}{comma}",
+            r.p, r.virtual_s, r.cands_per_vs, r.best_ll
+        );
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"scaling\": [\n");
+    for (i, r) in fleet_rows.iter().enumerate() {
+        let comma = if i + 1 < fleet_rows.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"p\": {}, \"g\": {}, \"virtual_s\": {:.6}, \"candidates\": {}, \
+             \"cands_per_vs\": {:.3}, \"speedup_vs_serial\": {:.3}, \"best_ll\": {:.6}, \
+             \"steals\": {}}}{comma}",
+            r.p,
+            r.g,
+            r.virtual_s,
+            r.candidates,
+            r.cands_per_vs,
+            r.speedup_vs_serial,
+            r.best_ll,
+            r.steals
+        );
+    }
+    out.push_str("  ]\n}\n");
+    Ok(out)
+}
+
+/// Required keys for the fleet-search artifact (`BENCH_9.json`).
+const ENSEMBLE_REQUIRED: [&str; 12] = [
+    "\"schema_version\": 1",
+    "\"kind\": \"ensemble\"",
+    "\"fleet_bitwise_best_model\": true",
+    "\"fleet_no_worse_ll\": true",
+    "\"dedup_fired\": true",
+    "\"candidates_scale_with_g\": true",
+    "\"ensemble_ran\": true",
+    "\"dedup_hits\"",
+    "\"agreement\"",
+    "\"serial\"",
+    "\"scaling\"",
+    "\"cands_per_vs\"",
+];
+
 /// Required keys for the engine-overhead artifact (`BENCH_8.json`).
 const ENGINES_REQUIRED: [&str; 9] = [
     "\"schema_version\": 1",
@@ -821,6 +1140,9 @@ fn check(path: &Path) -> ExitCode {
     }
     if text.contains("\"kind\": \"engines\"") {
         return check_keys(path, &text, &ENGINES_REQUIRED);
+    }
+    if text.contains("\"kind\": \"ensemble\"") {
+        return check_keys(path, &text, &ENSEMBLE_REQUIRED);
     }
     let required = [
         "\"schema_version\": 1",
