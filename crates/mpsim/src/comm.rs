@@ -191,6 +191,9 @@ pub struct Comm {
     pub(crate) verify: Option<Arc<VerifyState>>,
     /// Shared fault-injection state; `None` when no fault plan is active.
     fault: Option<Arc<FaultState>>,
+    /// Shared in-flight replay log (see [`crate::replay`]); `None` when
+    /// no localized-recovery supervisor installed one.
+    replay: Option<crate::replay::ReplayLog>,
     /// `pulled_from[src]`: envelopes this rank has taken off the channel
     /// from `src` (stashed or matched); compared against the fault layer's
     /// delivered-send count to prove a wait is for a dropped message.
@@ -213,6 +216,7 @@ impl Comm {
         record_events: bool,
         verify: Option<Arc<VerifyState>>,
         fault: Option<Arc<FaultState>>,
+        replay: Option<crate::replay::ReplayLog>,
     ) -> Self {
         let size = spec.p;
         Comm {
@@ -233,6 +237,7 @@ impl Comm {
             events: record_events.then(Vec::new),
             verify,
             fault,
+            replay,
             pulled_from: vec![0; size],
             nb_horizon: 0.0,
         }
@@ -650,7 +655,31 @@ impl Comm {
                 tag: env.tag,
             });
         }
+        self.replay_record(src, env.tag, env.seq, env.checksum, env.bytes.len());
         env.bytes
+    }
+
+    /// Log a delivered envelope's coordinates into the replay ring (when
+    /// one is installed) and charge the bounded-ring write on this rank's
+    /// clock — recovery logging is not free.
+    fn replay_record(&mut self, src: usize, tag: u64, seq: u64, checksum: Option<u64>, len: usize) {
+        let Some(log) = &self.replay else { return };
+        log.record(
+            self.rank,
+            crate::replay::ReplayEntry { src, tag, seq, checksum: checksum.unwrap_or(0), len },
+        );
+        let dt = crate::replay::ReplayLog::WRITE_OPS as f64 * self.spec.compute.sec_per_op
+            / self.spec.speed(self.rank);
+        self.clock.advance_compute(dt);
+    }
+
+    /// Drop this rank's replay-ring entries: the checkpoint that was just
+    /// published covers everything delivered so far, so none of it can
+    /// need replaying. No-op when no log is installed.
+    pub fn replay_truncate(&mut self) {
+        if let Some(log) = &self.replay {
+            log.truncate(self.rank);
+        }
     }
 
     /// Typed send of an `f64` slice.
@@ -773,6 +802,7 @@ impl Comm {
                         tag: env.tag,
                     });
                 }
+                self.replay_record(src, env.tag, env.seq, env.checksum, env.bytes.len());
                 match decode_f64s(&env.bytes) {
                     Ok(v) => Some(v),
                     Err(cause) => self.fail(SimError::PayloadCorrupt {

@@ -238,29 +238,56 @@ pub struct MachineSpec {
     /// 0.5 = half speed). Empty means homogeneous. Lets experiments model
     /// heterogeneous nodes and the load imbalance they cause.
     pub rank_speed: Vec<f64>,
+    /// Warm standby processors beyond `p`: physical slots `p..p+spares`
+    /// hold idle ranks that the recovery supervisor can promote into a
+    /// failed logical slot via [`MachineSpec::promote`] without changing
+    /// `p` (and hence without changing any collective schedule).
+    pub spares: usize,
+    /// Logical-rank → physical-slot indirection. Empty means the identity
+    /// mapping. Entry `r` names the physical slot that carries logical
+    /// rank `r`; after a promotion the failed rank's entry points at a
+    /// spare slot (`>= p`). Only *costs* (hops, transit, speed) see the
+    /// physical slot — message routing, collectives, and verification all
+    /// stay in logical-rank space, which is what keeps a promoted run
+    /// bitwise identical to the fault-free one.
+    pub member_table: Vec<usize>,
 }
 
 impl MachineSpec {
-    /// Hop count between two ranks under this machine's topology.
-    pub fn hops(&self, a: usize, b: usize) -> usize {
-        self.topology.hops_with_size(self.p, a, b)
+    /// Physical slot carrying a logical rank (identity when no promotion
+    /// has touched the member table).
+    pub fn slot(&self, rank: usize) -> usize {
+        self.member_table.get(rank).copied().unwrap_or(rank)
     }
 
-    /// Transit time of a message between two ranks. Colocated pairs (same
-    /// node under a hierarchical topology) use the intra-node fabric's
-    /// prices when one is configured; self-messages stay free.
+    /// Total physical slots: the `p` working ranks plus the warm spares.
+    pub fn slots(&self) -> usize {
+        self.p + self.spares
+    }
+
+    /// Hop count between two logical ranks under this machine's topology,
+    /// measured between the physical slots that carry them.
+    pub fn hops(&self, a: usize, b: usize) -> usize {
+        self.topology.hops_with_size(self.slots(), self.slot(a), self.slot(b))
+    }
+
+    /// Transit time of a message between two logical ranks. Colocated
+    /// pairs (same node under a hierarchical topology) use the intra-node
+    /// fabric's prices when one is configured; self-messages stay free.
     pub fn transit(&self, bytes: usize, from: usize, to: usize) -> f64 {
+        let (from, to) = (self.slot(from), self.slot(to));
         if from != to && self.topology.colocated(from, to) {
             if let Some(intra) = &self.intra {
                 return intra.transit(bytes, 1);
             }
         }
-        self.network.transit(bytes, self.hops(from, to))
+        self.network.transit(bytes, self.topology.hops_with_size(self.slots(), from, to))
     }
 
-    /// Relative compute speed of a rank (1.0 when unspecified).
+    /// Relative compute speed of a logical rank (1.0 when unspecified),
+    /// read from the physical slot carrying it.
     pub fn speed(&self, rank: usize) -> f64 {
-        let s = self.rank_speed.get(rank).copied().unwrap_or(1.0);
+        let s = self.rank_speed.get(self.slot(rank)).copied().unwrap_or(1.0);
         if s.is_finite() && s > 0.0 {
             s
         } else {
@@ -274,6 +301,30 @@ impl MachineSpec {
         assert_eq!(speeds.len(), self.p, "need one speed per rank");
         self.rank_speed = speeds;
         self
+    }
+
+    /// Returns a copy with `n` warm spare slots appended after the `p`
+    /// working ranks (identity member table until a promotion).
+    pub fn with_spares(mut self, n: usize) -> Self {
+        self.spares = n;
+        self
+    }
+
+    /// Point logical rank `logical` at physical slot `slot` (normally a
+    /// spare slot in `p..slots()`), materializing the identity member
+    /// table first if it was empty.
+    ///
+    /// # Panics
+    /// Panics if `logical >= p` or `slot >= slots()` — promotion rewires
+    /// an existing logical rank onto an existing physical slot, never
+    /// grows the machine.
+    pub fn promote(&mut self, logical: usize, slot: usize) {
+        assert!(logical < self.p, "logical rank {logical} out of range (p = {})", self.p);
+        assert!(slot < self.slots(), "slot {slot} out of range ({} slots)", self.slots());
+        if self.member_table.is_empty() {
+            self.member_table = (0..self.p).collect();
+        }
+        self.member_table[logical] = slot;
     }
 }
 
@@ -309,6 +360,8 @@ pub mod presets {
             },
             allreduce: AllreduceAlgo::Linear,
             rank_speed: Vec::new(),
+            spares: 0,
+            member_table: Vec::new(),
         }
     }
 
@@ -329,6 +382,8 @@ pub mod presets {
             // message size; model that with the size-adaptive selector.
             allreduce: AllreduceAlgo::Auto,
             rank_speed: Vec::new(),
+            spares: 0,
+            member_table: Vec::new(),
         }
     }
 
@@ -342,6 +397,8 @@ pub mod presets {
             compute: ComputeModel { sec_per_op: 1.4e-6, wall_scale: 1.0 },
             allreduce: AllreduceAlgo::RecursiveDoubling,
             rank_speed: Vec::new(),
+            spares: 0,
+            member_table: Vec::new(),
         }
     }
 
@@ -371,6 +428,8 @@ pub mod presets {
             compute: ComputeModel { sec_per_op: 2e-9, wall_scale: 1.0 },
             allreduce: AllreduceAlgo::Hierarchical,
             rank_speed: Vec::new(),
+            spares: 0,
+            member_table: Vec::new(),
         }
     }
 
@@ -384,6 +443,8 @@ pub mod presets {
             compute: ComputeModel::ideal(),
             allreduce: AllreduceAlgo::RecursiveDoubling,
             rank_speed: Vec::new(),
+            spares: 0,
+            member_table: Vec::new(),
         }
     }
 }
@@ -391,6 +452,48 @@ pub mod presets {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn member_table_defaults_to_identity() {
+        let m = presets::meiko_cs2(4);
+        assert_eq!(m.spares, 0);
+        assert_eq!(m.slots(), 4);
+        for r in 0..4 {
+            assert_eq!(m.slot(r), r);
+        }
+        // With spares but no promotion, costs are untouched for flat
+        // (non-hierarchical) topologies: hop counts there depend only on
+        // the endpoint pair, not the machine size.
+        let spared = presets::meiko_cs2(4).with_spares(2);
+        assert_eq!(spared.slots(), 6);
+        for a in 0..4 {
+            for b in 0..4 {
+                assert_eq!(spared.transit(64, a, b), m.transit(64, a, b), "{a}->{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn promotion_reroutes_costs_through_the_spare_slot() {
+        let mut m = presets::meiko_cs2(4).with_spares(1).with_rank_speeds(vec![1.0; 4]);
+        m.rank_speed.push(0.5); // the spare slot is a slower node
+        assert_eq!(m.speed(1), 1.0);
+        m.promote(1, 4);
+        assert_eq!(m.slot(1), 4, "logical rank 1 now lives on slot 4");
+        assert_eq!(m.slot(0), 0, "other ranks keep their slots");
+        assert_eq!(m.speed(1), 0.5, "speed reads the physical slot");
+        // Self-messages of the promoted rank stay free: both endpoints
+        // resolve to the same slot.
+        assert_eq!(m.transit(64, 1, 1), 0.0);
+        assert_eq!(m.p, 4, "promotion never changes P");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn promotion_to_a_nonexistent_slot_panics() {
+        let mut m = presets::zero_cost(2).with_spares(1);
+        m.promote(0, 3);
+    }
 
     #[test]
     fn transit_is_affine_in_bytes_and_hops() {

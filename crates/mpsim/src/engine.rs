@@ -82,6 +82,13 @@ pub struct SimOptions {
     /// supervisor can re-run the same options after a recovery without
     /// one-shot faults recurring.
     pub fault: Option<FaultPlan>,
+    /// In-flight replay log (see [`crate::replay`]): when set, every
+    /// delivered envelope's coordinates are recorded into the rank's
+    /// bounded ring (and a small virtual-time write cost is charged), so
+    /// a localized-recovery supervisor can replay a failed rank's traffic
+    /// since its last checkpoint instead of rolling the world back.
+    /// Shared across clones, like [`SimOptions::fault`].
+    pub replay: Option<crate::replay::ReplayLog>,
 }
 
 impl Default for SimOptions {
@@ -93,6 +100,7 @@ impl Default for SimOptions {
             record_events: false,
             verify: VerifyOptions::default(),
             fault: None,
+            replay: None,
         }
     }
 }
@@ -142,6 +150,15 @@ pub struct SpmdOutput<T> {
     /// Always 0 under the threaded engine (its channels are unbounded and
     /// untracked).
     pub mailbox_high_water: usize,
+    /// One row per warm spare slot ([`MachineSpec::spares`]), rank ids
+    /// `p..p+spares`. Spares park outside the rank mesh for the whole run
+    /// — they are not collective participants and never execute a timed
+    /// receive, so they are exempt from the P-scaled receive-timeout
+    /// diagnosis by construction — and accrue no virtual time until a
+    /// recovery supervisor promotes their slot into a failed logical
+    /// rank. Kept out of [`SpmdOutput::ranks`] so aggregate statistics
+    /// and symmetry checks keep describing the `p` working ranks.
+    pub spare_ranks: Vec<RankStats>,
 }
 
 /// Run `f` as an SPMD program on the machine described by `spec`.
@@ -173,10 +190,42 @@ where
     let verify = opts.verify.any().then(|| Arc::new(VerifyState::new(p, opts.verify.clone())));
     let fault = opts.fault.as_ref().map(|plan| Arc::new(FaultState::new(plan.clone(), p)));
 
-    let (results, mailbox_high_water) = match opts.engine {
-        Engine::Threaded => (run_threaded(&spec, opts, &abort, &verify, &fault, &f), 0),
-        Engine::Cooperative => run_cooperative(&spec, opts, &abort, &verify, &fault, &f),
-    };
+    // Warm spares: one parked thread per spare slot, alive for the whole
+    // run so a hot standby really is warm. They hang off a harness-level
+    // control channel — not the rank mesh, not the cooperative baton —
+    // and block on an *undeadlined* receive that the harness releases by
+    // dropping its sender when the engine returns. Because a parked spare
+    // never executes a timed receive and never registers with the
+    // deadlock scanner, the P-scaled receive-timeout diagnosis cannot
+    // fire on it no matter how long the run takes.
+    let (results, mailbox_high_water, spare_ranks) = std::thread::scope(|scope| {
+        let mut park_txs = Vec::with_capacity(spec.spares);
+        let mut spare_handles = Vec::with_capacity(spec.spares);
+        for i in 0..spec.spares {
+            let (tx, rx) = channel::<()>();
+            park_txs.push(tx);
+            let slot = p + i;
+            spare_handles.push(scope.spawn(move || {
+                // Err(RecvError) when the harness drops its sender — the
+                // normal "run over, stand down" signal.
+                let _ = rx.recv();
+                RankStats { rank: slot, ..RankStats::default() }
+            }));
+        }
+        let (results, high_water) = match opts.engine {
+            Engine::Threaded => (run_threaded(&spec, opts, &abort, &verify, &fault, &f), 0),
+            Engine::Cooperative => run_cooperative(&spec, opts, &abort, &verify, &fault, &f),
+        };
+        drop(park_txs);
+        let spare_ranks: Vec<RankStats> = spare_handles
+            .into_iter()
+            .enumerate()
+            .map(|(i, h)| {
+                h.join().unwrap_or_else(|_| RankStats { rank: p + i, ..RankStats::default() })
+            })
+            .collect();
+        (results, high_water, spare_ranks)
+    });
 
     let mut first_error: Option<SimError> = None;
     let mut per_rank = Vec::with_capacity(p);
@@ -203,7 +252,15 @@ where
     }
 
     let stats = RunStats::from_ranks(&ranks);
-    Ok(SpmdOutput { elapsed: stats.elapsed, per_rank, ranks, stats, events, mailbox_high_water })
+    Ok(SpmdOutput {
+        elapsed: stats.elapsed,
+        per_rank,
+        ranks,
+        stats,
+        events,
+        mailbox_high_water,
+        spare_ranks,
+    })
 }
 
 type RankOutcome<T> = Result<(T, RankStats, Vec<crate::trace::Event>), SimError>;
@@ -298,6 +355,7 @@ where
             let record_events = opts.record_events;
             let verify = verify.clone();
             let fault = fault.clone();
+            let replay = opts.replay.clone();
             handles.push(scope.spawn(move || {
                 let mut comm = Comm::new(
                     rank,
@@ -308,6 +366,7 @@ where
                     record_events,
                     verify.clone(),
                     fault,
+                    replay,
                 );
                 let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut comm)));
                 settle_rank(rank, outcome, &mut comm, &abort, &verify)
@@ -350,6 +409,7 @@ where
             let record_events = opts.record_events;
             let verify = verify.clone();
             let fault = fault.clone();
+            let replay = opts.replay.clone();
             let builder = std::thread::Builder::new()
                 .name(format!("coop-rank-{rank}"))
                 .stack_size(COOP_STACK_BYTES);
@@ -367,6 +427,7 @@ where
                         record_events,
                         verify.clone(),
                         fault,
+                        replay,
                     );
                     let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut comm)));
                     let res = settle_rank(rank, outcome, &mut comm, &abort, &verify);
@@ -605,6 +666,48 @@ mod tests {
             other => panic!("expected RecvTimeout, got {other:?}"),
         }
         assert!(elapsed < Duration::from_secs(30), "took {elapsed:?}");
+    }
+
+    #[test]
+    fn parked_spares_are_exempt_from_the_receive_timeout() {
+        // Satellite regression: warm spares idle for the whole run. With a
+        // 200 ms explicit budget (honored as-is by the P-scaling) and a
+        // run lasting several times that, spares implemented as mesh
+        // ranks spinning in a timed receive loop would be diagnosed as
+        // RecvTimeout; parked control-channel spares must not be.
+        let spec = presets::zero_cost(2).with_spares(2);
+        let opts = SimOptions {
+            recv_timeout: Duration::from_millis(200),
+            verify: crate::verify::VerifyOptions::none(),
+            ..Default::default()
+        };
+        let out = run_spmd(&spec, &opts, |c| {
+            // Wall-clock work far beyond the per-receive deadline, with no
+            // blocked receives among the working ranks.
+            std::thread::sleep(Duration::from_millis(700));
+            c.rank()
+        })
+        .unwrap();
+        assert_eq!(out.per_rank, vec![0, 1]);
+        assert_eq!(out.ranks.len(), 2, "aggregates must keep describing the working ranks");
+        let ids: Vec<usize> = out.spare_ranks.iter().map(|r| r.rank).collect();
+        assert_eq!(ids, vec![2, 3], "one stats row per spare slot");
+        for s in &out.spare_ranks {
+            assert_eq!(s.elapsed, 0.0, "a parked spare accrues no virtual time");
+        }
+    }
+
+    #[test]
+    fn cooperative_engine_carries_spares_outside_the_baton() {
+        let spec = presets::zero_cost(3).with_spares(1);
+        let out = run_spmd(&spec, &SimOptions::cooperative(), |c| {
+            c.barrier();
+            c.rank()
+        })
+        .unwrap();
+        assert_eq!(out.per_rank, vec![0, 1, 2]);
+        assert_eq!(out.spare_ranks.len(), 1);
+        assert_eq!(out.spare_ranks[0].rank, 3);
     }
 
     #[test]

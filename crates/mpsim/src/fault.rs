@@ -196,6 +196,30 @@ impl FaultPlan {
         }
     }
 
+    /// One-shot crash probe for backends that carry no engine-side
+    /// `FaultState` (the native backend calls this at each send entry).
+    /// `seq` is the rank's current send count and the semantics mirror
+    /// the simulator's injection checkpoints: a crash spec fires when the
+    /// *next* send would reach its trigger. The shared fired flags keep
+    /// each fault one-shot across a supervisor's re-runs, exactly like
+    /// the simulated path.
+    pub fn crash_now(&self, rank: usize, seq: u64, now: f64) -> bool {
+        for (i, s) in self.specs.iter().enumerate() {
+            let due = match s.trigger {
+                FaultTrigger::AtSendSeq(n) => seq + 1 >= n,
+                FaultTrigger::AtTime(t) => now >= t,
+            };
+            if s.rank == rank
+                && matches!(s.action, FaultAction::Crash)
+                && due
+                && !self.fired[i].swap(true, Ordering::Relaxed)
+            {
+                return true;
+            }
+        }
+        false
+    }
+
     /// A deterministic pseudo-random single-fault plan: `seed` fully
     /// determines the culprit, kind, destination, and trigger for a
     /// machine of `p` ranks. Useful for randomized robustness sweeps that

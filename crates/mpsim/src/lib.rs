@@ -45,6 +45,9 @@
 //! * [`fault`] — deterministic fault injection ([`FaultPlan`]: crashes,
 //!   drops, delays, corruption, degraded links) and receive-side failure
 //!   detection that turns hangs into typed errors naming the culprit
+//! * [`replay`] — bounded per-rank rings of delivered-envelope
+//!   coordinates ([`ReplayLog`]) that let a localized-recovery supervisor
+//!   replay a single failed rank instead of rolling the world back
 //! * [`trace`] — per-rank and aggregate statistics, including per-phase
 //!   buckets fed by the [`Comm::enter_phase`] span API
 //! * [`report`] — paper-style tables (per-phase time, speedup, efficiency,
@@ -67,6 +70,7 @@ pub mod engine;
 pub mod error;
 pub mod fault;
 pub mod payload;
+pub mod replay;
 pub mod report;
 pub mod subcomm;
 pub mod topology;
@@ -85,6 +89,7 @@ pub use engine::{run_spmd, run_spmd_default, Engine, SimOptions, SpmdOutput};
 pub use error::SimError;
 pub use fault::{FaultAction, FaultKind, FaultPlan, FaultSpec, FaultTrigger};
 pub use payload::DecodeError;
+pub use replay::{ReplayEntry, ReplayLog};
 pub use report::{PhaseRow, Report, RunRecord, RunRow};
 pub use subcomm::SubComm;
 pub use topology::Topology;

@@ -101,6 +101,16 @@ pub enum CommError {
         /// Why the specification was rejected.
         detail: String,
     },
+    /// The backend cannot express the requested mechanism (e.g. the
+    /// native backend has no in-flight replay log, so
+    /// `RecoveryPolicy::LocalReplay` is refused with this variant rather
+    /// than silently degraded).
+    Unsupported {
+        /// The mechanism that was requested.
+        what: String,
+        /// Which backend refused it.
+        backend: &'static str,
+    },
 }
 
 impl std::fmt::Display for CommError {
@@ -126,6 +136,9 @@ impl std::fmt::Display for CommError {
                 write!(f, "rank {rank}: receive from rank {from} (tag {tag}) timed out")
             }
             CommError::InvalidMachine { detail } => write!(f, "invalid machine: {detail}"),
+            CommError::Unsupported { what, backend } => {
+                write!(f, "the {backend} backend does not support {what}")
+            }
         }
     }
 }
@@ -225,6 +238,13 @@ pub trait Communicator {
         op: ReduceOp,
         algo: AllreduceAlgo,
     ) -> Self::Req;
+
+    /// Drop this rank's in-flight replay-log entries (called by a
+    /// checkpoint publisher right after a snapshot is stored: nothing
+    /// delivered before the snapshot can need replaying). Default no-op
+    /// for backends without a replay log, mirroring how
+    /// [`Communicator::work`] is free on the native backend.
+    fn replay_truncate(&mut self) {}
 
     /// Whether replication-invariant hashing is enabled for this run.
     fn checks_replication(&self) -> bool;
@@ -351,6 +371,9 @@ impl Communicator for Comm {
         algo: AllreduceAlgo,
     ) -> Request {
         Comm::iallreduce_f64s_with(self, buf, op, algo)
+    }
+    fn replay_truncate(&mut self) {
+        Comm::replay_truncate(self);
     }
     fn checks_replication(&self) -> bool {
         Comm::checks_replication(self)

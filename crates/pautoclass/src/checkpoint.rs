@@ -28,6 +28,13 @@ pub const VERSION: u64 = 1;
 /// Header length in bytes: magic, version, payload length, checksum.
 const HEADER_LEN: usize = 32;
 
+/// First eight bytes of every checkpoint *shard* (`b"PACSHRD1"`).
+pub const SHARD_MAGIC: u64 = u64::from_le_bytes(*b"PACSHRD1");
+
+/// Shard header length in bytes: magic, owner rank, shard count, chunk
+/// length, chunk checksum.
+const SHARD_HEADER_LEN: usize = 40;
+
 /// Why checkpoint bytes could not be decoded.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -61,6 +68,17 @@ pub enum CheckpointError {
         /// Checksum of the payload as read.
         found: u64,
     },
+    /// A checkpoint shard's chunk checksum does not match — unlike
+    /// [`CheckpointError::ChecksumMismatch`] this names the shard's owner,
+    /// so a promotion supervisor can report *whose* state is damaged.
+    ShardCorrupt {
+        /// The logical rank that owns the corrupt shard.
+        logical_rank: usize,
+        /// Checksum stored in the shard header.
+        expected: u64,
+        /// Checksum of the chunk as read.
+        found: u64,
+    },
     /// Structurally invalid payload (a field ran off the end, or an
     /// enum-like field held an impossible value).
     Malformed {
@@ -88,6 +106,11 @@ impl std::fmt::Display for CheckpointError {
                 f,
                 "checkpoint checksum mismatch: header says {expected:#018x}, payload hashes to \
                  {found:#018x}"
+            ),
+            CheckpointError::ShardCorrupt { logical_rank, expected, found } => write!(
+                f,
+                "checkpoint shard for logical rank {logical_rank} is corrupt: header says \
+                 {expected:#018x}, chunk hashes to {found:#018x}"
             ),
             CheckpointError::Malformed { what } => {
                 write!(f, "malformed checkpoint payload: bad {what}")
@@ -317,6 +340,107 @@ impl SearchCheckpoint {
     }
 }
 
+/// Split serialized checkpoint bytes into `p` framed shards, one per
+/// logical rank — contiguous chunks whose sizes differ by at most one
+/// byte. Each shard is independently verifiable: a fixed header (shard
+/// magic, owner rank, shard count, chunk length, FNV-1a chunk checksum)
+/// followed by the chunk bytes. A promoted spare loads only the culprit's
+/// shard; the per-shard checksum turns silent storage corruption into a
+/// typed [`CheckpointError::ShardCorrupt`] *naming the owner*, so the
+/// supervisor can fall back to a full restart from the intact copy.
+///
+/// # Panics
+/// Panics if `p == 0`.
+pub fn to_shards(bytes: &[u8], p: usize) -> Vec<Vec<u8>> {
+    assert!(p > 0, "need at least one shard");
+    autoclass::data::block_partition(bytes.len(), p)
+        .into_iter()
+        .enumerate()
+        .map(|(rank, range)| {
+            let chunk = &bytes[range];
+            let mut out = Vec::with_capacity(SHARD_HEADER_LEN + chunk.len());
+            put_u64(&mut out, SHARD_MAGIC);
+            put_u64(&mut out, rank as u64);
+            put_u64(&mut out, p as u64);
+            put_u64(&mut out, chunk.len() as u64);
+            put_u64(&mut out, checksum(chunk));
+            out.extend_from_slice(chunk);
+            out
+        })
+        .collect()
+}
+
+/// Deterministically damage one chunk byte of a framed shard — the
+/// shard-level fault injector behind [`crate::ShardFault`]. The offset is
+/// taken modulo the chunk length and the mask is forced non-zero, so the
+/// flip always lands inside the chunk and always changes it. No-op on an
+/// empty chunk (there is nothing to damage).
+pub fn corrupt_shard(shard: &mut [u8], byte: usize, mask: u8) {
+    let chunk_len = shard.len().saturating_sub(SHARD_HEADER_LEN);
+    if chunk_len == 0 {
+        return;
+    }
+    shard[SHARD_HEADER_LEN + byte % chunk_len] ^= mask | 1;
+}
+
+/// Decode one framed shard into `(owner logical rank, shard count, chunk)`.
+///
+/// # Errors
+/// Truncation, a foreign magic, a length disagreement, an impossible owner
+/// rank, and a chunk-checksum mismatch each surface as their own
+/// [`CheckpointError`]; corruption names the owner via
+/// [`CheckpointError::ShardCorrupt`].
+pub fn decode_shard(bytes: &[u8]) -> Result<(usize, usize, Vec<u8>), CheckpointError> {
+    if bytes.len() < SHARD_HEADER_LEN {
+        return Err(CheckpointError::TooShort { len: bytes.len() });
+    }
+    let mut r = Reader { bytes, pos: 0 };
+    let magic = r.u64("shard magic")?;
+    if magic != SHARD_MAGIC {
+        return Err(CheckpointError::BadMagic { found: magic });
+    }
+    let logical_rank = r.u64("shard owner rank")? as usize;
+    let total = r.u64("shard count")? as usize;
+    let declared = r.u64("shard chunk length")? as usize;
+    let sum = r.u64("shard checksum")?;
+    if total == 0 || logical_rank >= total {
+        return Err(CheckpointError::Malformed { what: "shard owner rank" });
+    }
+    let chunk = &bytes[SHARD_HEADER_LEN..];
+    if chunk.len() != declared {
+        return Err(CheckpointError::LengthMismatch { len: chunk.len(), expected: declared });
+    }
+    let found = checksum(chunk);
+    if found != sum {
+        return Err(CheckpointError::ShardCorrupt { logical_rank, expected: sum, found });
+    }
+    Ok((logical_rank, total, chunk.to_vec()))
+}
+
+/// Reassemble full checkpoint bytes from the complete shard set, in owner
+/// order (shard `i` must belong to logical rank `i`).
+///
+/// # Errors
+/// Propagates per-shard decode errors; a wrong shard count, an
+/// out-of-order owner, or an empty set are [`CheckpointError::Malformed`].
+pub fn from_shards(shards: &[Vec<u8>]) -> Result<Vec<u8>, CheckpointError> {
+    if shards.is_empty() {
+        return Err(CheckpointError::Malformed { what: "empty shard set" });
+    }
+    let mut out = Vec::new();
+    for (i, shard) in shards.iter().enumerate() {
+        let (rank, total, chunk) = decode_shard(shard)?;
+        if total != shards.len() {
+            return Err(CheckpointError::Malformed { what: "shard count" });
+        }
+        if rank != i {
+            return Err(CheckpointError::Malformed { what: "shard order" });
+        }
+        out.extend_from_slice(&chunk);
+    }
+    Ok(out)
+}
+
 fn put_u64(out: &mut Vec<u8>, v: u64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
@@ -457,6 +581,66 @@ mod tests {
             SearchCheckpoint::from_bytes(&[0u8; 4]),
             Err(CheckpointError::TooShort { len: 4 })
         ));
+    }
+
+    #[test]
+    fn shards_round_trip_for_every_machine_size() {
+        let bytes = sample().to_bytes();
+        for p in 1..=7 {
+            let shards = to_shards(&bytes, p);
+            assert_eq!(shards.len(), p);
+            let back = from_shards(&shards).unwrap();
+            assert_eq!(back, bytes, "p = {p}");
+            assert_eq!(SearchCheckpoint::from_bytes(&back).unwrap(), sample());
+        }
+    }
+
+    #[test]
+    fn a_flipped_chunk_byte_names_the_shard_owner() {
+        let bytes = sample().to_bytes();
+        let shards = to_shards(&bytes, 4);
+        for (rank, shard) in shards.iter().enumerate() {
+            if shard.len() == SHARD_HEADER_LEN {
+                continue; // empty chunk: nothing to flip
+            }
+            let mut bad = shard.clone();
+            let mid = SHARD_HEADER_LEN + (bad.len() - SHARD_HEADER_LEN) / 2;
+            bad[mid] ^= 0x04;
+            match decode_shard(&bad) {
+                Err(CheckpointError::ShardCorrupt { logical_rank, .. }) => {
+                    assert_eq!(logical_rank, rank);
+                }
+                other => panic!("expected ShardCorrupt for rank {rank}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn shard_reassembly_rejects_wrong_sets() {
+        let bytes = sample().to_bytes();
+        let mut shards = to_shards(&bytes, 3);
+        shards.swap(0, 1);
+        assert_eq!(from_shards(&shards), Err(CheckpointError::Malformed { what: "shard order" }));
+        let shards = to_shards(&bytes, 3);
+        assert_eq!(
+            from_shards(&shards[..2]),
+            Err(CheckpointError::Malformed { what: "shard count" })
+        );
+        assert_eq!(from_shards(&[]), Err(CheckpointError::Malformed { what: "empty shard set" }));
+    }
+
+    #[test]
+    fn foreign_shard_bytes_are_typed() {
+        let bytes = sample().to_bytes();
+        let mut shard = to_shards(&bytes, 2).swap_remove(0);
+        shard[0] ^= 0xFF;
+        assert!(matches!(decode_shard(&shard), Err(CheckpointError::BadMagic { .. })));
+        assert!(matches!(
+            decode_shard(&[0u8; SHARD_HEADER_LEN - 1]),
+            Err(CheckpointError::TooShort { .. })
+        ));
+        // A full-checkpoint header is not a shard.
+        assert!(matches!(decode_shard(&bytes), Err(CheckpointError::BadMagic { .. })));
     }
 
     #[test]

@@ -97,6 +97,69 @@ pub enum RecoveryPolicy {
     /// from the latest checkpoint. Completes on degraded hardware; the
     /// rebuild cost is reported under the `"recovery"` phase bucket.
     ShrinkAndRedistribute,
+    /// Promote a warm spare slot (see `MachineSpec::spares`) into the
+    /// failed logical rank via the member table: P is preserved, every
+    /// collective schedule is unchanged, and the final classification is
+    /// bitwise identical to the fault-free run. Only the promoted rank
+    /// loads the culprit's checkpoint *shard*; the survivors pay a
+    /// handshake and a barrier in the `"recovery"` bucket. When the spare
+    /// pool is exhausted the supervisor falls back — deterministically —
+    /// to [`StandbyConfig::fallback`].
+    PromoteSpare,
+    /// Restart only the failed rank from its checkpoint and replay its
+    /// in-flight delivery log (see `mpsim::ReplayLog`) locally: the
+    /// survivors stall just until the replay horizon catches up, instead
+    /// of the whole machine rolling back. Recovery virtual time is
+    /// strictly below [`RecoveryPolicy::RestartFromCheckpoint`]'s on the
+    /// same fault. Falls back to a full restart when the ring evicted
+    /// entries since the last checkpoint (the log no longer covers the
+    /// gap). Simulated backends only — the native backend refuses it
+    /// with a typed `CommError::Unsupported`.
+    LocalReplay,
+}
+
+/// Deterministic corruption injected into one checkpoint shard — the
+/// shard-level analogue of `FaultAction::Corrupt`, used to exercise the
+/// promotion path's integrity checking (a promoted spare that loads a
+/// corrupt shard must surface `PayloadCorrupt` naming the shard's
+/// logical rank and fall back to a full restart from the intact copy).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardFault {
+    /// Which logical rank's shard is corrupted.
+    pub logical_rank: usize,
+    /// Byte offset flipped, modulo the shard's length.
+    pub byte: usize,
+    /// XOR mask (forced non-zero by the injector).
+    pub mask: u8,
+}
+
+/// Localized-recovery knobs shared by [`RecoveryPolicy::PromoteSpare`]
+/// and [`RecoveryPolicy::LocalReplay`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StandbyConfig {
+    /// Warm spare slots the supervisor may promote (also how many spare
+    /// park-threads the engine keeps warm; see `MachineSpec::spares`).
+    pub spares: usize,
+    /// Per-rank replay-ring capacity, in delivered envelopes.
+    pub replay_capacity: usize,
+    /// Policy applied — deterministically — when a promotion is needed
+    /// but the spare pool is exhausted, or when a replay log no longer
+    /// covers the gap back to the checkpoint.
+    pub fallback: RecoveryPolicy,
+    /// Deterministic shard-corruption injection for tests and the
+    /// `faultmatrix` sweep; `None` on healthy storage.
+    pub shard_fault: Option<ShardFault>,
+}
+
+impl Default for StandbyConfig {
+    fn default() -> Self {
+        StandbyConfig {
+            spares: 1,
+            replay_capacity: 64,
+            fallback: RecoveryPolicy::RestartFromCheckpoint,
+            shard_fault: None,
+        }
+    }
 }
 
 /// Checkpoint/restart configuration for [`crate::run_search_ft`].
@@ -111,6 +174,10 @@ pub struct FtConfig {
     /// giving up and returning the error (guards against a fault that
     /// recurs on every attempt).
     pub max_restarts: usize,
+    /// Localized-recovery knobs (spare pool, replay ring, fallback
+    /// lattice); only read under [`RecoveryPolicy::PromoteSpare`] and
+    /// [`RecoveryPolicy::LocalReplay`].
+    pub standby: StandbyConfig,
 }
 
 impl Default for FtConfig {
@@ -119,6 +186,7 @@ impl Default for FtConfig {
             checkpoint_every: 4,
             policy: RecoveryPolicy::RestartFromCheckpoint,
             max_restarts: 1,
+            standby: StandbyConfig::default(),
         }
     }
 }

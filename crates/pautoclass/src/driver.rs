@@ -362,7 +362,10 @@ fn pipelined_cycle<C: Communicator>(
         }
     } else {
         comm.enter_phase("allreduce");
-        let _ = comm.waitall(&mut chunk_reqs);
+        // The reductions land in place; waitall's per-request payloads
+        // only confirm every request completed.
+        let completions = comm.waitall(&mut chunk_reqs);
+        debug_assert_eq!(completions.len(), chunk_reqs.len());
         comm.exit_phase();
         for (c, &w) in estep.class_weight_sums.iter().enumerate() {
             stats.data[stats.layout.weight_index(c)] = w;

@@ -117,6 +117,26 @@ pub struct FleetFtOutcome {
     /// Virtual seconds spent rebuilding after a shrink (max over ranks of
     /// the `"recovery"` phase bucket). Zero when no shrink happened.
     pub recovery_time: f64,
+    /// Spare slots promoted into failed logical ranks under
+    /// [`RecoveryPolicy::PromoteSpare`]; each promotion preserves `P`, so
+    /// every fleet keeps its exact membership and data partition.
+    pub promotions: usize,
+}
+
+/// Which spare slot serves a failed rank. Spares are dealt round-robin
+/// over the fleets — spare `k` is attached to fleet `k mod G` — and a
+/// culprit consumes its *own fleet's* unused spare first (keeping the
+/// warm slot topologically near the fleet it backs), falling back to the
+/// lowest-numbered unused spare of any fleet. `None` when the pool is
+/// exhausted.
+pub(crate) fn spare_for(culprit: usize, p: usize, groups: usize, used: &[bool]) -> Option<usize> {
+    let g = groups.clamp(1, p.max(1));
+    let fleet = block_partition(p, g).iter().position(|r| r.contains(&culprit)).unwrap_or(0);
+    used.iter()
+        .enumerate()
+        .filter(|&(_, &taken)| !taken)
+        .map(|(k, _)| k)
+        .min_by_key(|&k| (usize::from(k % g != fleet), k))
 }
 
 /// Convergence fingerprint of a completed candidate, broadcast to every
@@ -973,7 +993,12 @@ fn shrunk_fleet_rank_body<C: Communicator>(
 /// fired restarts from cycle 0, which reproduces its numbers exactly.
 /// Under [`RecoveryPolicy::ShrinkAndRedistribute`] only the culprit's
 /// fleet shrinks — the other fleets keep their exact membership, data
-/// partition, and model.
+/// partition, and model. Under [`RecoveryPolicy::PromoteSpare`] a warm
+/// spare is promoted through the member table, consuming the culprit's
+/// *own fleet's* spare first (see [`spare_for`]); `P` and every fleet
+/// boundary are preserved, so the result stays bitwise identical. An
+/// exhausted pool falls back deterministically to
+/// [`crate::StandbyConfig::fallback`].
 ///
 /// # Errors
 /// Same contract as [`crate::run_search_ft`].
@@ -989,6 +1014,13 @@ pub fn run_search_fleet_ft(
     let mut faults: Vec<SimError> = Vec::new();
     let mut excluded: Option<usize> = None;
     let mut attempts = 0usize;
+    let mut machine_now = machine.clone();
+    if matches!(ft.policy, RecoveryPolicy::PromoteSpare) {
+        machine_now.spares = machine_now.spares.max(ft.standby.spares);
+    }
+    let mut policy_now = ft.policy;
+    let mut spare_used = vec![false; machine_now.spares];
+    let mut promotions = 0usize;
     loop {
         attempts += 1;
         let resume = {
@@ -996,7 +1028,7 @@ pub fn run_search_fleet_ft(
             store.lock().expect("fleet checkpoint store lock").clone()
         };
         let resume = resume.as_ref();
-        let result = run_spmd(machine, opts, |comm| match excluded {
+        let result = run_spmd(&machine_now, opts, |comm| match excluded {
             Some(culprit) => shrunk_fleet_rank_body(
                 comm,
                 machine.p,
@@ -1038,6 +1070,7 @@ pub fn run_search_fleet_ft(
                     shrunk: excluded.is_some(),
                     survivors: machine.p - usize::from(excluded.is_some()),
                     recovery_time,
+                    promotions,
                 });
             }
             Err(e) => {
@@ -1045,16 +1078,53 @@ pub fn run_search_fleet_ft(
                     return Err(e.into());
                 };
                 faults.push(e.clone());
-                if matches!(ft.policy, RecoveryPolicy::Abort) || faults.len() > ft.max_restarts {
+                if matches!(policy_now, RecoveryPolicy::Abort) || faults.len() > ft.max_restarts {
                     return Err(e.into());
                 }
-                if matches!(ft.policy, RecoveryPolicy::ShrinkAndRedistribute) {
-                    if machine.p < 2 || excluded.is_some_and(|r| r != culprit) {
+                if matches!(policy_now, RecoveryPolicy::PromoteSpare) {
+                    match spare_for(culprit, machine_now.p, fc.groups, &spare_used) {
+                        Some(k) => {
+                            spare_used[k] = true;
+                            machine_now.promote(culprit, machine_now.p + k);
+                            promotions += 1;
+                        }
+                        // Pool exhausted: walk the fallback lattice (one
+                        // step, deterministically) and let the arms below
+                        // apply the fallback policy to this same fault.
+                        None => policy_now = ft.standby.fallback,
+                    }
+                }
+                if matches!(policy_now, RecoveryPolicy::Abort) {
+                    return Err(e.into());
+                }
+                if matches!(policy_now, RecoveryPolicy::ShrinkAndRedistribute) {
+                    if machine_now.p < 2 || excluded.is_some_and(|r| r != culprit) {
                         return Err(e.into());
                     }
                     excluded = Some(culprit);
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::spare_for;
+
+    #[test]
+    fn spares_prefer_the_culprits_own_fleet() {
+        // P = 8, G = 2: fleets {0..4} and {4..8}; spare 0 backs fleet 0,
+        // spare 1 backs fleet 1.
+        let used = [false, false];
+        assert_eq!(spare_for(2, 8, 2, &used), Some(0));
+        assert_eq!(spare_for(6, 8, 2, &used), Some(1));
+        // Own fleet's spare taken: borrow the lowest unused one.
+        assert_eq!(spare_for(6, 8, 2, &[false, true]), Some(0));
+        // Pool exhausted.
+        assert_eq!(spare_for(1, 8, 2, &[true, true]), None);
+        // More spares than fleets: round-robin attachment.
+        assert_eq!(spare_for(5, 8, 2, &[true, false, false, false]), Some(1));
+        assert_eq!(spare_for(5, 8, 2, &[true, true, false, false]), Some(3));
     }
 }

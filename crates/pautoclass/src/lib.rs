@@ -40,17 +40,20 @@ pub mod fleet;
 pub mod recover;
 pub mod run;
 
-pub use checkpoint::{CheckpointError, CkptClassification, SearchCheckpoint};
+pub use checkpoint::{
+    corrupt_shard, decode_shard, from_shards, to_shards, CheckpointError, CkptClassification,
+    SearchCheckpoint,
+};
 pub use config::{
     Consensus, Exchange, FleetConfig, FtConfig, ParallelConfig, Partitioning, RecoveryPolicy,
-    Strategy,
+    ShardFault, StandbyConfig, Strategy,
 };
 pub use error::RunError;
 pub use fleet::{
     run_search_fleet, run_search_fleet_ft, run_search_fleet_native, run_search_fleet_with,
     EnsembleSummary, FleetFtOutcome, FleetOutcome, FleetStats,
 };
-pub use recover::{run_search_ft, FtOutcome};
+pub use recover::{run_search_ft, run_search_ft_native, FtOutcome};
 pub use run::{
     run_fixed_j, run_search, run_search_native, run_search_with, CycleTiming, ParallelOutcome,
 };

@@ -20,6 +20,25 @@
 //!   repartition the data over the survivors, and resume from the
 //!   checkpoint. The rebuild cost is measured under the `"recovery"`
 //!   phase bucket and reported as [`FtOutcome::recovery_time`].
+//! * [`RecoveryPolicy::PromoteSpare`] — promote a warm spare slot into
+//!   the failed logical rank through the machine's member table
+//!   (`MachineSpec::promote`): `P` is preserved, every collective
+//!   schedule is unchanged, and the result stays bitwise identical. Only
+//!   the promoted rank loads the culprit's checkpoint *shard*
+//!   (`checkpoint::to_shards`); a corrupt shard surfaces as
+//!   [`SimError::PayloadCorrupt`] naming the shard's owner and the
+//!   supervisor falls back to a full restart from the intact image. An
+//!   exhausted spare pool falls back — deterministically — to
+//!   [`crate::StandbyConfig::fallback`].
+//! * [`RecoveryPolicy::LocalReplay`] — restart only the culprit from its
+//!   shard and replay its in-flight delivery log ([`mpsim::ReplayLog`])
+//!   locally; the survivors stall just to the replay horizon. Its
+//!   recovery virtual time is strictly below a full restart's (see
+//!   [`BASE_LOCAL_OPS`]). When the bounded ring evicted entries since the
+//!   last checkpoint the log no longer covers the gap, and the supervisor
+//!   falls back like an exhausted spare pool. Simulated backends only:
+//!   [`run_search_ft_native`] refuses it with a typed
+//!   `CommError::Unsupported`.
 
 use std::sync::Mutex;
 
@@ -30,11 +49,15 @@ use autoclass::model::{
 };
 use autoclass::search::{apply_class_death, is_duplicate, Classification};
 use mpsim::{
-    run_spmd, Communicator, GroupCommunicator, MachineSpec, SimError, SimOptions, RECOVERY_PHASE,
+    run_spmd, CommError, Communicator, DecodeError, GroupCommunicator, MachineSpec, ReplayLog,
+    SimError, SimOptions, RECOVERY_PHASE,
 };
+use shmcomm::{run_native, NativeOptions};
 
-use crate::checkpoint::{CkptClassification, SearchCheckpoint};
-use crate::config::{FtConfig, ParallelConfig, RecoveryPolicy};
+use crate::checkpoint::{
+    corrupt_shard, decode_shard, to_shards, CheckpointError, CkptClassification, SearchCheckpoint,
+};
+use crate::config::{FtConfig, ParallelConfig, RecoveryPolicy, ShardFault};
 use crate::driver::{
     build_model, init_classes_parallel, parallel_base_cycle, sub_base_cycle, sub_build_model,
     sub_init_classes,
@@ -57,11 +80,116 @@ pub struct FtOutcome {
     /// Ranks that computed the final result (`P`, or `P − 1` after a
     /// shrink).
     pub survivors: usize,
-    /// Virtual seconds the survivors spent rebuilding (communicator
-    /// shrink, repartitioning, model and state restore): the maximum
-    /// `"recovery"` phase-bucket total over ranks. Zero when no shrink
-    /// happened.
+    /// Virtual seconds spent rebuilding after faults (checkpoint reload,
+    /// communicator shrink, shard load, replay, resynchronization): the
+    /// maximum `"recovery"` phase-bucket total over ranks. Zero when no
+    /// fault fired.
     pub recovery_time: f64,
+    /// Spare slots promoted into failed logical ranks
+    /// ([`RecoveryPolicy::PromoteSpare`]).
+    pub promotions: usize,
+    /// Faults recovered by replaying the culprit's delivery log locally
+    /// ([`RecoveryPolicy::LocalReplay`]).
+    pub replays: usize,
+    /// Whether any recovery had to walk the fallback lattice (spare pool
+    /// exhausted, replay ring evicted, or a corrupt checkpoint shard).
+    pub fell_back: bool,
+}
+
+/// Structural cost, in abstract compute ops, of a full rollback: every
+/// rank tears down, reloads the whole checkpoint image and rebuilds its
+/// replicated state.
+const BASE_RESTART_OPS: u64 = 512;
+/// Structural cost of a localized restart (spare promotion or local
+/// replay): only the culprit's slot rebuilds, and it loads a `1/P`
+/// checkpoint shard instead of the whole image. Kept far below
+/// [`BASE_RESTART_OPS`] so a local recovery stays strictly cheaper than a
+/// rollback even for a tiny checkpoint with a full default replay ring:
+/// `64 + 4 × 64 = 320 < 512`, and the shard load is a `1/P` fraction of
+/// the full reload on top.
+const BASE_LOCAL_OPS: u64 = 64;
+/// Checkpoint (re)load cost per 8-byte word.
+const CKPT_LOAD_OPS_PER_WORD: u64 = 8;
+/// Cost of re-applying one logged envelope during a local replay.
+const REPLAY_OPS_PER_ENTRY: u64 = 4;
+
+/// How the next attempt recovers from the previous attempt's fault —
+/// decided by the supervisor, charged by the rank body's prologue under
+/// the `"recovery"` phase so [`FtOutcome::recovery_time`] compares
+/// policies on the same axis.
+#[derive(Debug, Clone, Copy)]
+enum Recovery {
+    /// First attempt, or a recovery whose cost is accounted elsewhere
+    /// (the shrink body charges its own `"recovery"` span).
+    None,
+    /// Full rollback: every rank reloads the whole checkpoint image.
+    Restart {
+        /// Checkpoint image size in 8-byte words (0 = none taken yet).
+        ck_words: u64,
+    },
+    /// A spare was promoted into the culprit's logical slot: only the
+    /// promoted rank loads the culprit's shard, then announces itself;
+    /// the survivors just handshake and resynchronize.
+    Promote {
+        /// Logical rank the spare was promoted into.
+        culprit: usize,
+        /// Checkpoint image size in 8-byte words.
+        ck_words: u64,
+    },
+    /// The culprit restarts alone from its shard and replays its bounded
+    /// delivery log; the survivors stall only to the replay horizon.
+    Replay {
+        /// The restarted logical rank.
+        culprit: usize,
+        /// Checkpoint image size in 8-byte words.
+        ck_words: u64,
+        /// Logged envelopes replayed (bounded by the ring capacity).
+        entries: u64,
+    },
+}
+
+/// Charge the decided recovery's virtual-time cost at the top of the
+/// re-run, under the `"recovery"` phase. The collective pattern is the
+/// mechanism's own: a rollback resynchronizes everyone after a full
+/// reload; a promotion is a shard load on one slot plus a ready
+/// handshake; a replay is culprit-local with the survivors stalled at the
+/// barrier until the replay horizon catches up.
+fn recovery_prologue<C: Communicator>(comm: &mut C, recovery: Recovery) {
+    let p = comm.size().max(1) as u64;
+    let shard_words = move |ck_words: u64| ck_words.div_ceil(p);
+    match recovery {
+        Recovery::None => {}
+        Recovery::Restart { ck_words } => {
+            comm.enter_phase(RECOVERY_PHASE);
+            comm.work(BASE_RESTART_OPS + CKPT_LOAD_OPS_PER_WORD * ck_words);
+            comm.barrier();
+            comm.exit_phase();
+        }
+        Recovery::Promote { culprit, ck_words } => {
+            comm.enter_phase(RECOVERY_PHASE);
+            if comm.rank() == culprit {
+                comm.work(BASE_LOCAL_OPS + CKPT_LOAD_OPS_PER_WORD * shard_words(ck_words));
+            }
+            // The promoted spare announces it holds the slot; one word of
+            // payload is enough for the handshake.
+            let mut ready = [culprit as f64];
+            comm.broadcast_f64s(culprit, &mut ready);
+            comm.barrier();
+            comm.exit_phase();
+        }
+        Recovery::Replay { culprit, ck_words, entries } => {
+            comm.enter_phase(RECOVERY_PHASE);
+            if comm.rank() == culprit {
+                comm.work(
+                    BASE_LOCAL_OPS
+                        + CKPT_LOAD_OPS_PER_WORD * shard_words(ck_words)
+                        + REPLAY_OPS_PER_ENTRY * entries,
+                );
+            }
+            comm.barrier();
+            comm.exit_phase();
+        }
+    }
 }
 
 /// Run the parallel search with checkpoint/restart supervision.
@@ -82,9 +210,13 @@ pub fn run_search_ft(
     opts: &SimOptions,
 ) -> Result<FtOutcome, RunError> {
     let store: Mutex<Option<Vec<u8>>> = Mutex::new(None);
-    let mut faults: Vec<SimError> = Vec::new();
-    let mut excluded: Option<usize> = None;
+    let mut sup = Supervisor::new(machine, ft);
+    let mut opts_now = opts.clone();
+    if matches!(ft.policy, RecoveryPolicy::LocalReplay) && opts_now.replay.is_none() {
+        opts_now.replay = Some(ReplayLog::new(ft.standby.replay_capacity));
+    }
     let mut attempts = 0usize;
+    let mut recovery = Recovery::None;
     loop {
         attempts += 1;
         let resume = {
@@ -96,9 +228,16 @@ pub fn run_search_ft(
             }
         };
         let resume = resume.as_ref();
-        let result = run_spmd(machine, opts, |comm| match excluded {
+        if let Some(log) = &opts_now.replay {
+            // Fresh horizon per attempt: the decided prologue has already
+            // charged the previous attempt's replay.
+            log.reset();
+        }
+        let rec = recovery;
+        let excluded = sup.excluded;
+        let result = run_spmd(&sup.machine_now, &opts_now, |comm| match excluded {
             Some(culprit) => shrunk_rank_body(comm, data, config, ft, culprit, resume, &store),
-            None => Some(ft_rank_body(comm, data, config, ft, resume, &store)),
+            None => Some(ft_rank_body(comm, data, config, ft, resume, &store, rec)),
         });
         match result {
             Ok(out) => {
@@ -114,36 +253,290 @@ pub fn run_search_ft(
                     return Err(RunError::EmptySearch);
                 };
                 let outcome = outcome_from(all, cycles, elapsed, ranks, stats)?;
-                return Ok(FtOutcome {
-                    outcome,
-                    attempts,
-                    faults,
-                    shrunk: excluded.is_some(),
-                    survivors: machine.p - usize::from(excluded.is_some()),
-                    recovery_time,
-                });
+                return Ok(sup.finish(outcome, attempts, recovery_time));
+            }
+            Err(e) => match sup.plan(&e, &store, opts_now.replay.as_ref()) {
+                Some(r) => recovery = r,
+                None => return Err(e.into()),
+            },
+        }
+    }
+}
+
+/// [`run_search_ft`] on real cores: the same generic rank body and the
+/// same supervisor, driven by `shmcomm::run_native` with wall-clock time.
+/// Injected faults arrive as `CommError::Sim` (see
+/// `shmcomm::NativeOptions::fault`), so the culprit diagnosis — and
+/// therefore every recovery decision — is identical to the simulated
+/// supervisor's; results stay bitwise identical across backends.
+///
+/// # Errors
+/// [`RecoveryPolicy::LocalReplay`] is refused up front with a typed
+/// `CommError::Unsupported` — the native backend keeps no in-flight
+/// replay log. Native failure modes without a simulated culprit (a
+/// panicked rank, a poisoned lock) propagate unrecovered, as do the
+/// errors [`run_search_ft`] propagates.
+pub fn run_search_ft_native(
+    data: &Dataset,
+    machine: &MachineSpec,
+    config: &ParallelConfig,
+    ft: &FtConfig,
+    opts: &NativeOptions,
+) -> Result<FtOutcome, RunError> {
+    if matches!(ft.policy, RecoveryPolicy::LocalReplay) {
+        return Err(RunError::Comm(CommError::Unsupported {
+            what: "RecoveryPolicy::LocalReplay (no in-flight replay log)".into(),
+            backend: "native",
+        }));
+    }
+    let store: Mutex<Option<Vec<u8>>> = Mutex::new(None);
+    let mut sup = Supervisor::new(machine, ft);
+    let mut attempts = 0usize;
+    let mut recovery = Recovery::None;
+    loop {
+        attempts += 1;
+        let resume = {
+            // lint:allow(unwrap): mutex poisoning only follows another panic
+            let guard = store.lock().expect("checkpoint store lock");
+            match guard.as_deref() {
+                Some(bytes) => Some(SearchCheckpoint::from_bytes(bytes)?),
+                None => None,
+            }
+        };
+        let resume = resume.as_ref();
+        let rec = recovery;
+        let excluded = sup.excluded;
+        let result = run_native(&sup.machine_now, opts, |comm| match excluded {
+            Some(culprit) => shrunk_rank_body(comm, data, config, ft, culprit, resume, &store),
+            None => Some(ft_rank_body(comm, data, config, ft, resume, &store, rec)),
+        });
+        match result {
+            Ok(out) => {
+                let recovery_time = out
+                    .ranks
+                    .iter()
+                    .filter_map(|r| r.phase(RECOVERY_PHASE))
+                    .map(|ph| ph.total())
+                    .fold(0.0, f64::max);
+                let elapsed = out.elapsed;
+                let (ranks, stats) = (out.ranks, out.stats);
+                let Some((all, cycles)) = out.per_rank.into_iter().flatten().next() else {
+                    return Err(RunError::EmptySearch);
+                };
+                let outcome = outcome_from(all, cycles, elapsed, ranks, stats)?;
+                return Ok(sup.finish(outcome, attempts, recovery_time));
             }
             Err(e) => {
-                // Only injected-fault errors are recoverable; anything
-                // else (a genuine bug, a verifier divergence) propagates.
-                let Some(culprit) = fault_culprit(&e) else {
+                // Only simulated-typed faults carry a culprit diagnosis;
+                // genuinely native failures propagate unrecovered.
+                let CommError::Sim(sim) = &e else {
                     return Err(e.into());
                 };
-                faults.push(e.clone());
-                if matches!(ft.policy, RecoveryPolicy::Abort) || faults.len() > ft.max_restarts {
-                    return Err(e.into());
-                }
-                if matches!(ft.policy, RecoveryPolicy::ShrinkAndRedistribute) {
-                    if machine.p < 2 || excluded.is_some_and(|r| r != culprit) {
-                        // Can't drop below one rank, and excluding a
-                        // second distinct rank would need nested shrink
-                        // levels this supervisor doesn't implement.
-                        return Err(e.into());
-                    }
-                    excluded = Some(culprit);
+                match sup.plan(&sim.clone(), &store, None) {
+                    Some(r) => recovery = r,
+                    None => return Err(e.into()),
                 }
             }
         }
+    }
+}
+
+/// The recovery decision state shared by the simulated and native
+/// supervisors: the (possibly promoted) machine, the effective policy
+/// after any fallback, and the running recovery tallies.
+struct Supervisor<'a> {
+    ft: &'a FtConfig,
+    /// The machine the next attempt runs on — `p` never changes, but
+    /// promotions rewrite its member table (and spare promotions consume
+    /// slots left to right).
+    machine_now: MachineSpec,
+    /// The policy in force — starts at `ft.policy` and moves one step
+    /// down the fallback lattice when a mechanism runs out of resources.
+    policy_now: RecoveryPolicy,
+    excluded: Option<usize>,
+    spares_used: usize,
+    promotions: usize,
+    replays: usize,
+    fell_back: bool,
+    faults: Vec<SimError>,
+}
+
+impl<'a> Supervisor<'a> {
+    fn new(machine: &MachineSpec, ft: &'a FtConfig) -> Self {
+        let mut machine_now = machine.clone();
+        if matches!(ft.policy, RecoveryPolicy::PromoteSpare) {
+            // The standby pool rides on the engine's warm spare slots.
+            machine_now.spares = machine_now.spares.max(ft.standby.spares);
+        }
+        Supervisor {
+            ft,
+            machine_now,
+            policy_now: ft.policy,
+            excluded: None,
+            spares_used: 0,
+            promotions: 0,
+            replays: 0,
+            fell_back: false,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Wrap a successful attempt's outcome with the recovery record.
+    fn finish(self, outcome: ParallelOutcome, attempts: usize, recovery_time: f64) -> FtOutcome {
+        FtOutcome {
+            outcome,
+            attempts,
+            faults: self.faults,
+            shrunk: self.excluded.is_some(),
+            survivors: self.machine_now.p - usize::from(self.excluded.is_some()),
+            recovery_time,
+            promotions: self.promotions,
+            replays: self.replays,
+            fell_back: self.fell_back,
+        }
+    }
+
+    /// Decide how the next attempt recovers from `e`, mutating the
+    /// machine (promotion), the effective policy (fallback), and the
+    /// tallies. `None` means the fault is unrecoverable under the current
+    /// configuration and the caller propagates the original error. The
+    /// fallback lattice is one step deep: a fallback policy that itself
+    /// cannot proceed ends recovery rather than looping.
+    fn plan(
+        &mut self,
+        e: &SimError,
+        store: &Mutex<Option<Vec<u8>>>,
+        replay: Option<&ReplayLog>,
+    ) -> Option<Recovery> {
+        // Only injected-fault errors are recoverable; anything else (a
+        // genuine bug, a verifier divergence) propagates.
+        let culprit = fault_culprit(e)?;
+        self.faults.push(e.clone());
+        if matches!(self.policy_now, RecoveryPolicy::Abort)
+            || self.faults.len() > self.ft.max_restarts
+        {
+            return None;
+        }
+        let ck_words = {
+            // lint:allow(unwrap): mutex poisoning only follows another panic
+            let guard = store.lock().expect("checkpoint store lock");
+            guard.as_deref().map_or(0, |b| (b.len() / 8) as u64)
+        };
+        let mut steps = 0;
+        loop {
+            steps += 1;
+            if steps > 2 {
+                return None;
+            }
+            match self.policy_now {
+                RecoveryPolicy::Abort => return None,
+                RecoveryPolicy::RestartFromCheckpoint => {
+                    // With no stored image the "restart" is a from-scratch
+                    // re-execution: the whole search is re-paid in the
+                    // ordinary phases and there is nothing to reload, so no
+                    // rollback toll is charged.
+                    return Some(if ck_words == 0 {
+                        Recovery::None
+                    } else {
+                        Recovery::Restart { ck_words }
+                    });
+                }
+                RecoveryPolicy::ShrinkAndRedistribute => {
+                    if self.machine_now.p < 2 || self.excluded.is_some_and(|r| r != culprit) {
+                        // Can't drop below one rank, and excluding a
+                        // second distinct rank would need nested shrink
+                        // levels this supervisor doesn't implement.
+                        return None;
+                    }
+                    self.excluded = Some(culprit);
+                    // The shrink body measures its own rebuild cost.
+                    return Some(Recovery::None);
+                }
+                RecoveryPolicy::PromoteSpare => {
+                    if self.spares_used >= self.machine_now.spares {
+                        self.fell_back = true;
+                        self.policy_now = self.ft.standby.fallback;
+                        continue;
+                    }
+                    if let Err(shard_err) = check_culprit_shard(
+                        store,
+                        self.machine_now.p,
+                        culprit,
+                        self.ft.standby.shard_fault,
+                    ) {
+                        // The spare cannot trust its shard; record the
+                        // corruption (naming the shard's owner) and fall
+                        // back to a full restart from the intact image.
+                        self.faults.push(shard_err);
+                        self.fell_back = true;
+                        return Some(Recovery::Restart { ck_words });
+                    }
+                    let slot = self.machine_now.p + self.spares_used;
+                    self.machine_now.promote(culprit, slot);
+                    self.spares_used += 1;
+                    self.promotions += 1;
+                    return Some(Recovery::Promote { culprit, ck_words });
+                }
+                RecoveryPolicy::LocalReplay => match replay {
+                    Some(log) if log.evicted(culprit) == 0 => {
+                        self.replays += 1;
+                        return Some(Recovery::Replay {
+                            culprit,
+                            ck_words,
+                            entries: log.len(culprit) as u64,
+                        });
+                    }
+                    // Ring evicted entries (or no log at all): the log no
+                    // longer covers the gap back to the checkpoint.
+                    _ => {
+                        self.fell_back = true;
+                        self.policy_now = self.ft.standby.fallback;
+                        continue;
+                    }
+                },
+            }
+        }
+    }
+}
+
+/// Load-check the culprit's checkpoint shard the way a promoted spare
+/// would, applying any injected [`ShardFault`] first. A corrupt shard
+/// surfaces as [`SimError::PayloadCorrupt`] naming the shard's owner.
+fn check_culprit_shard(
+    store: &Mutex<Option<Vec<u8>>>,
+    p: usize,
+    culprit: usize,
+    injected: Option<ShardFault>,
+) -> Result<(), SimError> {
+    // lint:allow(unwrap): mutex poisoning only follows another panic
+    let guard = store.lock().expect("checkpoint store lock");
+    let Some(bytes) = guard.as_deref() else {
+        return Ok(()); // nothing checkpointed yet: nothing to load
+    };
+    let mut shards = to_shards(bytes, p);
+    if let Some(f) = injected {
+        if let Some(shard) = shards.get_mut(f.logical_rank) {
+            corrupt_shard(shard, f.byte, f.mask);
+        }
+    }
+    match decode_shard(&shards[culprit]) {
+        Ok(_) => Ok(()),
+        Err(CheckpointError::ShardCorrupt { logical_rank, expected, found }) => {
+            Err(SimError::PayloadCorrupt {
+                rank: culprit,
+                from: logical_rank,
+                seq: 0,
+                cause: DecodeError::ChecksumMismatch { expected, found },
+            })
+        }
+        // Unreachable with our own framing, but never a panic path: any
+        // other decode failure still reads as a corrupt shard.
+        Err(_) => Err(SimError::PayloadCorrupt {
+            rank: culprit,
+            from: culprit,
+            seq: 0,
+            cause: DecodeError::RaggedLength { len: shards[culprit].len() },
+        }),
     }
 }
 
@@ -189,6 +582,8 @@ fn publish_checkpoint<C: Communicator>(
         // lint:allow(unwrap): mutex poisoning only follows another panic
         *store.lock().expect("checkpoint store lock") = Some(bytes);
     }
+    // Nothing delivered before this snapshot can need replaying.
+    comm.replay_truncate();
 }
 
 /// The fault-tolerant variant of the search rank body: identical EM
@@ -202,7 +597,9 @@ fn ft_rank_body<C: Communicator>(
     ft: &FtConfig,
     resume: Option<&SearchCheckpoint>,
     store: &Mutex<Option<Vec<u8>>>,
+    recovery: Recovery,
 ) -> (Vec<Classification>, usize) {
+    recovery_prologue(comm, recovery);
     comm.enter_phase("search");
     let parts = config.partition.ranges(data.len(), comm.size());
     let part = &parts[comm.rank()];

@@ -190,7 +190,7 @@ fn ensemble_consensus_votes_out_a_replicated_labeling() {
 // ---- Fault tolerance: one test per recovery policy at G = 2 ------------
 
 fn ft(policy: RecoveryPolicy) -> FtConfig {
-    FtConfig { checkpoint_every: 2, policy, max_restarts: 1 }
+    FtConfig { checkpoint_every: 2, policy, max_restarts: 1, ..FtConfig::default() }
 }
 
 fn opts_with(plan: FaultPlan) -> SimOptions {

@@ -7,10 +7,13 @@ use std::time::Duration;
 
 use autoclass::model::classes_to_flat;
 use autoclass::search::SearchConfig;
-use mpsim::{presets, FaultAction, FaultPlan, FaultSpec, FaultTrigger, SimError, SimOptions};
+use mpsim::{
+    presets, CommError, FaultAction, FaultPlan, FaultSpec, FaultTrigger, SimError, SimOptions,
+};
 use pautoclass::{
-    run_search_ft, run_search_with, Exchange, FtConfig, ParallelConfig, ParallelOutcome,
-    RecoveryPolicy, RunError, SearchCheckpoint, Strategy,
+    corrupt_shard, decode_shard, from_shards, run_search_ft, run_search_ft_native, run_search_with,
+    to_shards, CheckpointError, Exchange, FtConfig, NativeOptions, ParallelConfig, ParallelOutcome,
+    RecoveryPolicy, RunError, SearchCheckpoint, ShardFault, StandbyConfig, Strategy,
 };
 use proptest::prelude::*;
 
@@ -23,7 +26,7 @@ fn config(seed: u64) -> ParallelConfig {
 }
 
 fn ft(policy: RecoveryPolicy) -> FtConfig {
-    FtConfig { checkpoint_every: 4, policy, max_restarts: 1 }
+    FtConfig { checkpoint_every: 4, policy, max_restarts: 1, ..FtConfig::default() }
 }
 
 fn opts_with(plan: FaultPlan) -> SimOptions {
@@ -164,6 +167,7 @@ fn restart_without_any_checkpoint_replays_from_scratch() {
         checkpoint_every: 0,
         policy: RecoveryPolicy::RestartFromCheckpoint,
         max_restarts: 1,
+        ..FtConfig::default()
     };
     let baseline = run_search_ft(&data, &machine, &cfg, &ftc, &SimOptions::default()).unwrap();
     let out = run_search_ft(&data, &machine, &cfg, &ftc, &opts_with(crash(2, 9))).unwrap();
@@ -199,8 +203,220 @@ fn a_recurring_fault_exhausts_the_restart_budget() {
     );
 }
 
+#[test]
+fn promote_spare_preserves_p_and_recovers_bit_identically() {
+    let data = datagen::paper_dataset(240, 7);
+    let machine = presets::meiko_cs2(4);
+    let cfg = config(11);
+    let ftc = ft(RecoveryPolicy::PromoteSpare);
+    let baseline = run_search_ft(&data, &machine, &cfg, &ftc, &SimOptions::default()).unwrap();
+    assert_eq!(baseline.attempts, 1);
+    assert_eq!(baseline.promotions, 0, "no fault, no promotion");
+
+    let out = run_search_ft(&data, &machine, &cfg, &ftc, &opts_with(crash(1, 13))).unwrap();
+    assert_eq!(out.attempts, 2, "one failed run plus the promoted retry");
+    assert_eq!(out.promotions, 1, "exactly one spare consumed");
+    assert_eq!(out.replays, 0);
+    assert!(!out.fell_back, "a healthy spare pool must not fall back");
+    assert!(!out.shrunk, "promotion must preserve P");
+    assert_eq!(out.survivors, 4);
+    assert!(out.recovery_time > 0.0, "shard load + handshake must be charged");
+    assert_eq!(
+        result_bits(&out.outcome),
+        result_bits(&baseline.outcome),
+        "a promoted spare must reproduce the fault-free numbers bit for bit"
+    );
+    assert_eq!(out.outcome.cycles, baseline.outcome.cycles);
+}
+
+#[test]
+fn promote_spare_on_the_native_backend_matches_the_fault_free_run() {
+    let data = datagen::paper_dataset(240, 7);
+    let machine = presets::meiko_cs2(4);
+    let cfg = config(11);
+    let ftc = ft(RecoveryPolicy::PromoteSpare);
+    let baseline =
+        run_search_ft_native(&data, &machine, &cfg, &ftc, &NativeOptions::default()).unwrap();
+    let opts = NativeOptions { fault: Some(crash(1, 13)), ..NativeOptions::default() };
+    let out = run_search_ft_native(&data, &machine, &cfg, &ftc, &opts).unwrap();
+    assert_eq!(out.attempts, 2);
+    assert_eq!(out.promotions, 1);
+    assert!(!out.fell_back);
+    assert!(!out.shrunk);
+    assert_eq!(out.survivors, 4, "promotion on real threads must preserve P");
+    assert_eq!(
+        result_bits(&out.outcome),
+        result_bits(&baseline.outcome),
+        "native promotion must be bit-identical to the native fault-free run"
+    );
+}
+
+#[test]
+fn local_replay_is_strictly_cheaper_than_a_full_rollback() {
+    let data = datagen::paper_dataset(240, 7);
+    let machine = presets::meiko_cs2(4);
+    let cfg = config(11);
+    let restart_cfg = ft(RecoveryPolicy::RestartFromCheckpoint);
+    let baseline =
+        run_search_ft(&data, &machine, &cfg, &restart_cfg, &SimOptions::default()).unwrap();
+
+    // The identical fault cell under both policies.
+    let restart =
+        run_search_ft(&data, &machine, &cfg, &restart_cfg, &opts_with(crash(1, 13))).unwrap();
+    let replay_cfg = ft(RecoveryPolicy::LocalReplay);
+    let replay =
+        run_search_ft(&data, &machine, &cfg, &replay_cfg, &opts_with(crash(1, 13))).unwrap();
+
+    assert_eq!(restart.attempts, 2);
+    assert_eq!(replay.attempts, 2);
+    assert_eq!(replay.replays, 1, "the log must cover the gap back to the checkpoint");
+    assert!(!replay.fell_back, "no ring eviction at the default capacity");
+    assert!(restart.recovery_time > 0.0);
+    assert!(
+        replay.recovery_time < restart.recovery_time,
+        "replaying {} envelopes locally must undercut the global rollback: {} vs {}",
+        replay.replays,
+        replay.recovery_time,
+        restart.recovery_time
+    );
+    assert_eq!(result_bits(&replay.outcome), result_bits(&baseline.outcome));
+    assert_eq!(result_bits(&restart.outcome), result_bits(&baseline.outcome));
+}
+
+#[test]
+fn exhausted_spares_fall_back_deterministically() {
+    let data = datagen::paper_dataset(240, 7);
+    let machine = presets::meiko_cs2(4);
+    let cfg = config(11);
+    // One spare (the StandbyConfig default), two independent crashes on
+    // the same logical rank: the first consumes the spare, the second
+    // finds the pool empty and must take the fallback lattice.
+    let ftc = FtConfig {
+        checkpoint_every: 4,
+        policy: RecoveryPolicy::PromoteSpare,
+        max_restarts: 2,
+        ..FtConfig::default()
+    };
+    let baseline = run_search_ft(&data, &machine, &cfg, &ftc, &SimOptions::default()).unwrap();
+    let plan = || {
+        FaultPlan::new(vec![
+            FaultSpec { rank: 1, action: FaultAction::Crash, trigger: FaultTrigger::AtSendSeq(5) },
+            FaultSpec { rank: 1, action: FaultAction::Crash, trigger: FaultTrigger::AtSendSeq(9) },
+        ])
+    };
+    let out = run_search_ft(&data, &machine, &cfg, &ftc, &opts_with(plan())).unwrap();
+    assert_eq!(out.attempts, 3, "crash, promoted retry, fallback restart");
+    assert_eq!(out.promotions, 1, "only one spare existed to consume");
+    assert!(out.fell_back, "the empty pool must be reported, not hidden");
+    assert!(!out.shrunk, "the fallback is a restart, not a shrink");
+    assert_eq!(out.faults.len(), 2);
+    assert_eq!(result_bits(&out.outcome), result_bits(&baseline.outcome));
+
+    // The fallback decision is part of the deterministic contract: a
+    // second run of the same cell must retrace it exactly.
+    let again = run_search_ft(&data, &machine, &cfg, &ftc, &opts_with(plan())).unwrap();
+    assert_eq!(
+        (again.attempts, again.promotions, again.fell_back),
+        (out.attempts, out.promotions, out.fell_back)
+    );
+    assert_eq!(result_bits(&again.outcome), result_bits(&out.outcome));
+}
+
+#[test]
+fn a_corrupt_shard_is_refused_and_the_promotion_falls_back() {
+    let data = datagen::paper_dataset(240, 7);
+    let machine = presets::meiko_cs2(4);
+    let cfg = config(11);
+    let culprit = 1usize;
+    let ftc = FtConfig {
+        standby: StandbyConfig {
+            shard_fault: Some(ShardFault { logical_rank: culprit, byte: 7, mask: 0x40 }),
+            ..StandbyConfig::default()
+        },
+        ..ft(RecoveryPolicy::PromoteSpare)
+    };
+    let baseline = run_search_ft(
+        &data,
+        &machine,
+        &cfg,
+        &ft(RecoveryPolicy::PromoteSpare),
+        &SimOptions::default(),
+    )
+    .unwrap();
+    let out = run_search_ft(&data, &machine, &cfg, &ftc, &opts_with(crash(culprit, 13))).unwrap();
+    assert_eq!(out.attempts, 2);
+    assert_eq!(out.promotions, 0, "a corrupt shard must not consume the spare");
+    assert!(out.fell_back, "integrity failure must take the fallback restart");
+    assert!(
+        out.faults
+            .iter()
+            .any(|f| matches!(f, SimError::PayloadCorrupt { from, .. } if *from == culprit)),
+        "the diagnosis must name the shard's logical rank: {:?}",
+        out.faults
+    );
+    assert_eq!(
+        result_bits(&out.outcome),
+        result_bits(&baseline.outcome),
+        "the intact full copy must still recover bit-identically"
+    );
+}
+
+#[test]
+fn the_native_backend_refuses_local_replay_with_a_typed_error() {
+    let data = datagen::paper_dataset(240, 7);
+    let machine = presets::meiko_cs2(4);
+    let cfg = config(11);
+    let ftc = ft(RecoveryPolicy::LocalReplay);
+    let err =
+        run_search_ft_native(&data, &machine, &cfg, &ftc, &NativeOptions::default()).unwrap_err();
+    match err {
+        RunError::Comm(CommError::Unsupported { what, backend }) => {
+            assert_eq!(backend, "native");
+            assert!(what.contains("LocalReplay"), "refusal must name the policy: {what}");
+        }
+        other => panic!("expected the typed refusal, got {other}"),
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
+
+    // Satellite: shard corruption at *any* offset under *any* mask is
+    // detected by the per-shard checksum and attributed to the owning
+    // logical rank; the untouched shard set still reassembles exactly.
+    #[test]
+    fn any_shard_corruption_is_a_typed_error_naming_the_owner(
+        p in 1usize..6,
+        pick in 0usize..6,
+        byte in 0usize..10_000,
+        mask in 0u64..256,
+    ) {
+        let ck = SearchCheckpoint {
+            ji: 1,
+            try_idx: 2,
+            cycle: 17,
+            j_current: 4,
+            seed: 4242,
+            prev_ll: -321.5,
+            approx: [-1.0e3, -1.1e3, -1.2e3, -1.3e3],
+            total_cycles: 51,
+            classes_flat: vec![0.25; 40],
+            best: Vec::new(),
+        };
+        let bytes = ck.to_bytes();
+        let shards = to_shards(&bytes, p);
+        prop_assert_eq!(&from_shards(&shards).unwrap(), &bytes, "intact set must round-trip");
+
+        let victim = pick % p;
+        let mut damaged = shards[victim].clone();
+        corrupt_shard(&mut damaged, byte, mask as u8);
+        match decode_shard(&damaged) {
+            Err(CheckpointError::ShardCorrupt { logical_rank, .. }) => {
+                prop_assert_eq!(logical_rank, victim, "corruption must name its owner");
+            }
+            other => prop_assert!(false, "offset {byte} mask {mask:#x}: expected ShardCorrupt, got {other:?}"),
+        }
+    }
 
     // Satellite: checkpoint round-trips are exact for any shape the
     // search can produce (any schedule position, any parameter bits).

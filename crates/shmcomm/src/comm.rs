@@ -171,6 +171,11 @@ pub struct NativeComm {
     recv_timeout: Duration,
     /// Replication registry; `None` when checking is off.
     repl: Option<Arc<ReplCheck>>,
+    /// Deterministic crash injection (see `NativeOptions::fault`).
+    fault: Option<mpsim::FaultPlan>,
+    /// Messages this rank has sent — the native send-sequence axis
+    /// `FaultTrigger::AtSendSeq` counts along.
+    send_seq: u64,
     pub(crate) coll_seq: u64,
     repl_seq: u64,
     phase_names: Vec<String>,
@@ -190,6 +195,7 @@ impl NativeComm {
         abort: Arc<AtomicBool>,
         repl: Option<Arc<ReplCheck>>,
         recv_timeout: Duration,
+        fault: Option<mpsim::FaultPlan>,
     ) -> Self {
         let now = Instant::now();
         NativeComm {
@@ -204,6 +210,8 @@ impl NativeComm {
             abort,
             recv_timeout,
             repl,
+            fault,
+            send_seq: 0,
             coll_seq: 0,
             repl_seq: 0,
             phase_names: vec![DEFAULT_PHASE.to_string()],
@@ -344,6 +352,20 @@ impl NativeComm {
     /// schedules.
     pub fn send_f64s(&mut self, dst: usize, tag: u64, values: &[f64]) {
         self.stamp_compute();
+        // Same injection point as the simulated transport: a due crash
+        // fires at the send boundary, before any bytes move, so peers see
+        // a vanished rank rather than a half-delivered collective.
+        if let Some(plan) = &self.fault {
+            if plan.crash_now(self.rank, self.send_seq, self.start.elapsed().as_secs_f64()) {
+                let phase = self.phase_names[self.cur_phase].clone();
+                self.fail(CommError::Sim(SimError::RankCrashed {
+                    rank: self.rank,
+                    seq: self.send_seq + 1,
+                    phase,
+                }));
+            }
+        }
+        self.send_seq += 1;
         if dst >= self.size {
             self.fail(CommError::Sim(SimError::InvalidMachine(format!(
                 "rank {}: send to nonexistent rank {dst}",

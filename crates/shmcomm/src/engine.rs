@@ -26,11 +26,24 @@ pub struct NativeOptions {
     /// are bitwise identical on every rank (the native analogue of the
     /// simulator's replication verifier).
     pub check_replication: bool,
+    /// Deterministic fault plan (shared with the simulator's
+    /// [`mpsim::SimOptions::fault`]). Only `Crash` specs are honored —
+    /// the native transport has no place to drop, delay, or corrupt a
+    /// message in flight — and a due crash raises a typed
+    /// `SimError::RankCrashed` through [`CommError::Sim`], so a
+    /// fault-tolerant supervisor sees the same diagnosis on both
+    /// backends. Fired flags are shared across clones, exactly like the
+    /// simulator's, so one-shot faults stay spent across re-runs.
+    pub fault: Option<mpsim::FaultPlan>,
 }
 
 impl Default for NativeOptions {
     fn default() -> Self {
-        NativeOptions { recv_timeout: Duration::from_secs(120), check_replication: false }
+        NativeOptions {
+            recv_timeout: Duration::from_secs(120),
+            check_replication: false,
+            fault: None,
+        }
     }
 }
 
@@ -64,6 +77,24 @@ fn severity(e: &CommError) -> u8 {
         CommError::Disconnected { .. } | CommError::Timeout { .. } => 1,
         _ => 2,
     }
+}
+
+/// Typed aborts travel as panics by design (the only way to unwind a
+/// rank body mid-collective), so the default hook's message-and-backtrace
+/// for them is pure noise — e.g. every injected crash under a
+/// fault-tolerant supervisor would print one. Install, once per process,
+/// a hook that stays silent for [`NativeAbort`] payloads and defers to
+/// the previous hook for everything else (genuine bugs still report).
+fn install_quiet_abort_hook() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<NativeAbort>().is_none() {
+                prev(info);
+            }
+        }));
+    });
 }
 
 /// Turn a rank thread's panic payload into a typed error.
@@ -113,6 +144,7 @@ where
     if p == 0 {
         return Err(CommError::InvalidMachine { detail: "machine has zero ranks".into() });
     }
+    install_quiet_abort_hook();
 
     // Full channel mesh: tx_grid[src][dst] feeds rx_grid[dst][src].
     let mut tx_grid: Vec<Vec<Sender<Msg>>> = (0..p).map(|_| Vec::with_capacity(p)).collect();
@@ -136,10 +168,11 @@ where
             let repl = repl.clone();
             let machine = machine.clone();
             let recv_timeout = opts.recv_timeout;
+            let fault = opts.fault.clone();
             handles.push(s.spawn(move || {
                 let rank_abort = Arc::clone(&abort);
                 let mut comm =
-                    NativeComm::new(rank, p, machine, txs, rxs, abort, repl, recv_timeout);
+                    NativeComm::new(rank, p, machine, txs, rxs, abort, repl, recv_timeout, fault);
                 let result = catch_unwind(AssertUnwindSafe(|| {
                     let value = body(&mut comm);
                     let stats = comm.stats();

@@ -30,6 +30,11 @@
 //!   (iteration order), or `thread_rng` (unseeded randomness). Wall-clock
 //!   reads (`Instant`/`SystemTime`) are the migrated wall-clock rule's
 //!   business, so they are not double-reported here.
+//! * **discarded-recovery** — supervisor code (the fault-tolerant
+//!   drivers) must not drop a receive/wait/promotion result with
+//!   `let _ = …`: under injected faults those results are the failure
+//!   diagnoses recovery decisions are made from, so discarding one
+//!   silently skips a recovery path.
 //!
 //! Migrated `xtask lint` rules, same IDs and waiver comments as the old
 //! regex pass, now on the token stream (comments, strings, and doc-tests
@@ -67,6 +72,7 @@ pub const UNWAITED_REQUEST: &str = "unwaited-request";
 pub const PHASE_BALANCE: &str = "phase-balance";
 pub const RANK_VARIANT_PAYLOAD: &str = "rank-variant-payload";
 pub const NONDET: &str = "nondet";
+pub const DISCARDED_RECOVERY: &str = "discarded-recovery";
 pub const WALL_CLOCK: &str = "wall-clock";
 pub const UNWRAP: &str = "unwrap";
 pub const FLOAT_EQ: &str = "float-eq";
@@ -240,6 +246,9 @@ pub struct FileRules {
     pub unwrap: bool,
     pub recv_unwrap: bool,
     pub float_eq: bool,
+    /// discarded-recovery: supervisor code must not `let _ = …` a
+    /// receive/wait/promotion result.
+    pub discarded_recovery: bool,
 }
 
 impl FileRules {
@@ -251,6 +260,7 @@ impl FileRules {
             || self.unwrap
             || self.recv_unwrap
             || self.float_eq
+            || self.discarded_recovery
     }
 }
 
@@ -303,6 +313,11 @@ pub fn workspace_rules(rel: &str) -> FileRules {
         || rel.starts_with("crates/shmcomm/src");
     r.float_eq =
         rel.starts_with("crates/autoclass/src") || rel.starts_with("crates/pautoclass/src");
+    // Supervisor code: the fault-tolerant drivers whose receive/wait/
+    // promotion results *are* the recovery diagnoses.
+    r.discarded_recovery = rel == "crates/pautoclass/src/recover.rs"
+        || rel == "crates/pautoclass/src/fleet.rs"
+        || rel == "crates/pautoclass/src/driver.rs";
     if rel.starts_with("crates/pautoclass/src") {
         r.blocking_collective = Some(Severity::Error);
     } else if is_test_tree || rel.starts_with("examples/") {
@@ -328,6 +343,11 @@ pub fn role_rules(role: &str) -> FileRules {
             r.unwrap = true;
             r.recv_unwrap = true;
             r.float_eq = true;
+        }
+        // Fault-tolerant supervisor code: recovery results must be
+        // acted on, never dropped.
+        "supervisor" => {
+            r.discarded_recovery = true;
         }
         _ => {}
     }
@@ -548,6 +568,12 @@ mod tests {
         assert_eq!(lib.blocking_collective, Some(Severity::Error));
         assert!(lib.nondet && lib.unwrap && lib.recv_unwrap && lib.float_eq);
 
+        // Supervisor files carry discarded-recovery; plain rank bodies
+        // do not.
+        assert!(workspace_rules("crates/pautoclass/src/recover.rs").discarded_recovery);
+        assert!(workspace_rules("crates/pautoclass/src/fleet.rs").discarded_recovery);
+        assert!(!workspace_rules("crates/pautoclass/src/run.rs").discarded_recovery);
+
         let sim = workspace_rules("crates/mpsim/src/engine.rs");
         assert!(sim.spmd.is_none(), "mpsim implements the primitives");
         assert!(sim.nondet && sim.wall_clock);
@@ -578,6 +604,9 @@ mod tests {
         let sc = role_rules("sim-core");
         assert!(sc.spmd.is_none());
         assert!(sc.nondet && sc.wall_clock && sc.unwrap && sc.recv_unwrap && sc.float_eq);
+        let sup = role_rules("supervisor");
+        assert!(sup.discarded_recovery);
+        assert!(sup.spmd.is_none() && !sup.nondet && !sup.unwrap);
     }
 
     #[test]

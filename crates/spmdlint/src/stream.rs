@@ -11,10 +11,19 @@
 
 use syn::{Delim, Tt};
 
-use crate::{FileRules, RawFinding, Severity, FLOAT_EQ, NONDET, RECV_UNWRAP, UNWRAP, WALL_CLOCK};
+use crate::{
+    FileRules, RawFinding, Severity, DISCARDED_RECOVERY, FLOAT_EQ, NONDET, RECV_UNWRAP, UNWRAP,
+    WALL_CLOCK,
+};
 
 pub(crate) fn scan_stream(file: &syn::File, rules: &FileRules, out: &mut Vec<RawFinding>) {
-    if !(rules.wall_clock || rules.unwrap || rules.recv_unwrap || rules.float_eq || rules.nondet) {
+    if !(rules.wall_clock
+        || rules.unwrap
+        || rules.recv_unwrap
+        || rules.float_eq
+        || rules.nondet
+        || rules.discarded_recovery)
+    {
         return;
     }
     // Each nesting level is scanned exactly once, with its own local
@@ -119,6 +128,30 @@ fn scan_flat(ts: &[Tt], file: &syn::File, rules: &FileRules, out: &mut Vec<RawFi
                 ));
             }
         }
+        // discarded-recovery: `let _ = <expr>;` where the discarded
+        // expression mentions a receive, wait, or promotion. Under
+        // injected faults those results carry the failure diagnosis the
+        // supervisor decides recovery from; dropping one silently skips
+        // a recovery path.
+        if rules.discarded_recovery
+            && t.ident() == Some("let")
+            && ts.get(i + 1).and_then(Tt::ident) == Some("_")
+            && ts.get(i + 2).is_some_and(|n| n.is_punct("="))
+        {
+            if let Some(name) = discarded_recovery_ident(&ts[i + 3..]) {
+                out.push(RawFinding::new(
+                    line,
+                    DISCARDED_RECOVERY,
+                    Severity::Error,
+                    format!(
+                        "`let _ =` discards the result of `{name}`: a receive/wait/\
+                         promotion outcome is a recovery diagnosis — bind and handle \
+                         it, or waive with `// lint:allow(discarded-recovery): why`"
+                    ),
+                    format!("let _ = …{name}…"),
+                ));
+            }
+        }
         // nondet: HashMap/HashSet (iteration order), thread_rng
         // (unseeded randomness). Instant/SystemTime are the wall-clock
         // rule's business — not double-reported here.
@@ -146,6 +179,35 @@ fn path_segment<'a>(ts: &'a [Tt], i: usize) -> Option<&'a str> {
         return ts.get(i + 2).and_then(Tt::ident);
     }
     None
+}
+
+/// The first identifier in the discarded expression (up to the statement
+/// terminator, descending into groups) that names a receive, wait, or
+/// promotion — `None` when the discard is of something the recovery
+/// rule has no business with (e.g. `let _ = writeln!(…)`).
+fn discarded_recovery_ident(ts: &[Tt]) -> Option<String> {
+    fn mentions(ts: &[Tt]) -> Option<String> {
+        for t in ts {
+            match t {
+                Tt::Ident { text, .. }
+                    if text.contains("recv")
+                        || text.contains("wait")
+                        || text.contains("promot") =>
+                {
+                    return Some(text.clone());
+                }
+                Tt::Group { tokens, .. } => {
+                    if let Some(n) = mentions(tokens) {
+                        return Some(n);
+                    }
+                }
+                _ => {}
+            }
+        }
+        None
+    }
+    let end = ts.iter().position(|t| t.is_punct(";")).unwrap_or(ts.len());
+    mentions(&ts[..end])
 }
 
 /// Does any identifier on this line mention a receive or wait? (The old

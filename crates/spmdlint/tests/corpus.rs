@@ -22,7 +22,7 @@ fn fixture(name: &str) -> spmdlint::Report {
 #[test]
 fn every_fixture_expectation_fires() {
     let results = spmdlint::check_fixtures(&fixtures_dir()).unwrap();
-    assert_eq!(results.len(), 14, "fixture corpus changed size: {:?}", results.keys());
+    assert_eq!(results.len(), 16, "fixture corpus changed size: {:?}", results.keys());
     for (name, missing) in &results {
         assert!(missing.is_empty(), "fixture {name}: {missing:?}");
     }
@@ -85,8 +85,28 @@ fn legacy_rules_fire_with_historic_ids() {
 }
 
 #[test]
+fn discarded_recovery_names_the_dropped_call() {
+    let report = fixture("bad_discarded_recovery");
+    let got: Vec<(usize, &str)> = report.findings.iter().map(|f| (f.line, f.rule)).collect();
+    assert_eq!(
+        got,
+        vec![(20, "discarded-recovery"), (21, "discarded-recovery"), (22, "discarded-recovery")]
+    );
+    let msgs: Vec<&str> = report.findings.iter().map(|f| f.message.as_str()).collect();
+    assert!(msgs[0].contains("recv_f64s"));
+    assert!(msgs[1].contains("wait"));
+    assert!(msgs[2].contains("promote_spare"));
+}
+
+#[test]
 fn clean_fixtures_stay_silent() {
-    for name in ["clean_spmd", "clean_hygiene", "clean_trait_spmd", "clean_fleet_subsearch"] {
+    for name in [
+        "clean_spmd",
+        "clean_hygiene",
+        "clean_trait_spmd",
+        "clean_fleet_subsearch",
+        "clean_standby_supervisor",
+    ] {
         let report = fixture(name);
         assert!(
             report.findings.is_empty(),

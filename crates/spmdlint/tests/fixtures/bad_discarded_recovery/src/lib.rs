@@ -1,0 +1,25 @@
+//! A supervisor that drops recovery results on the floor: every
+//! `let _ =` of a receive, wait, or promotion must fire
+//! `discarded-recovery`.
+
+pub struct Comm;
+
+impl Comm {
+    pub fn recv_f64s(&mut self, _from: usize) -> Result<Vec<f64>, String> {
+        Ok(Vec::new())
+    }
+    pub fn wait(&mut self, _req: usize) -> Result<(), String> {
+        Ok(())
+    }
+    pub fn promote_spare(&mut self, _slot: usize) -> Result<usize, String> {
+        Ok(0)
+    }
+}
+
+pub fn supervise(comm: &mut Comm) {
+    let _ = comm.recv_f64s(1);
+    let _ = comm.wait(3);
+    let _ = comm.promote_spare(2);
+    // Discarding something unrelated stays silent.
+    let _ = 1 + 1;
+}

@@ -1,0 +1,27 @@
+//! A supervisor that binds and acts on every recovery result: the
+//! `discarded-recovery` rule must stay silent here.
+
+pub struct Comm;
+
+impl Comm {
+    pub fn recv_f64s(&mut self, _from: usize) -> Result<Vec<f64>, String> {
+        Ok(Vec::new())
+    }
+    pub fn wait(&mut self, _req: usize) -> Result<(), String> {
+        Ok(())
+    }
+    pub fn promote_spare(&mut self, _slot: usize) -> Result<usize, String> {
+        Ok(0)
+    }
+}
+
+pub fn supervise(comm: &mut Comm) -> Result<usize, String> {
+    let payload = comm.recv_f64s(1)?;
+    if payload.is_empty() {
+        comm.wait(3)?;
+    }
+    let slot = comm.promote_spare(2)?;
+    // Discarding a plain value (not a recovery call) is fine.
+    let _ = slot + 1;
+    Ok(slot)
+}

@@ -30,14 +30,26 @@
 //! the whole series is run twice: the rendered JSON must be bit-identical
 //! (the fault layer must not break virtual-time determinism).
 //!
+//! A seeded sub-sweep ([`FaultPlan::seeded`]) grades randomized plans
+//! under the restart policy; plans the contract deliberately does not
+//! cover (a crash on rank 0 — the checkpoint publisher — and the benign
+//! kinds) are recorded as explicit `skipped_cells` with reasons instead
+//! of being silently dropped.
+//!
 //! Flags: `--smoke` (P ∈ {2,4}, short sweep — the CI configuration),
 //! `--out DIR` (default `faultmatrix/` in the repo root), `--check PATH`
-//! (validate an existing `faultmatrix.json` or `faultmatrix_largep.json`
-//! instead of running — the schema is sniffed from the artifact),
+//! (validate an existing artifact instead of running — the schema is
+//! sniffed from the artifact; a bare `--check` runs the selected sweep
+//! and then validates what it just wrote, the one-command CI form),
 //! `--largep` (run the reduced large-`P` sweep instead: crash and corrupt
-//! under abort/restart on the **cooperative** engine and the hierarchical
-//! fat-tree cluster at P ∈ {64, 256, 1024} — `--smoke` trims to
-//! P ∈ {64, 256} — writing `faultmatrix_largep.json`/`.txt`).
+//! under abort/restart/promote on the **cooperative** engine and the
+//! hierarchical fat-tree cluster at P ∈ {64, 256, 1024} — `--smoke`
+//! trims to P ∈ {64, 256} — writing `faultmatrix_largep.json`/`.txt`),
+//! `--standby` (run the localized-recovery sweep instead: spare-rank
+//! promotion on both simulator engines **and** the native backend,
+//! replay-vs-rollback cost, spare exhaustion, and shard corruption at
+//! P ∈ {2, 5, 8} — `--smoke` trims to P ∈ {2, 5} — writing
+//! `faultmatrix_standby.json`/`.txt`).
 
 use std::fmt::Write as _;
 use std::path::Path;
@@ -50,8 +62,8 @@ use mpsim::{
     SimOptions,
 };
 use pautoclass::{
-    run_search_ft, Exchange, FtConfig, ParallelConfig, ParallelOutcome, RecoveryPolicy, RunError,
-    Strategy,
+    run_search_ft, run_search_ft_native, Exchange, FtConfig, FtOutcome, NativeOptions,
+    ParallelConfig, ParallelOutcome, RecoveryPolicy, RunError, ShardFault, StandbyConfig, Strategy,
 };
 
 /// Culprit rank for every injected fault. Rank 1 sends to the allreduce
@@ -78,15 +90,26 @@ const DEGRADE_FACTOR: f64 = 200.0;
 pub fn faultmatrix(args: &[String]) -> ExitCode {
     let smoke = args.iter().any(|a| a == "--smoke");
     let flag_value = |name: &str| {
-        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .filter(|v| !v.starts_with("--"))
+            .map(String::as_str)
     };
+    // `--check PATH` validates an existing artifact and exits; a bare
+    // `--check` (no path) runs the selected sweep first and then
+    // validates the artifact it just wrote.
+    let self_check = args.iter().any(|a| a == "--check");
     if let Some(path) = flag_value("--check") {
         return check(Path::new(path));
     }
     let root = crate::repo_root();
     let out_dir = flag_value("--out").map(Into::into).unwrap_or_else(|| root.join("faultmatrix"));
+    if args.iter().any(|a| a == "--standby") {
+        return faultmatrix_standby(smoke, &out_dir, self_check);
+    }
     if args.iter().any(|a| a == "--largep") {
-        return faultmatrix_largep(smoke, &out_dir);
+        return faultmatrix_largep(smoke, &out_dir, self_check);
     }
 
     let first = match run_matrix(smoke) {
@@ -126,6 +149,9 @@ pub fn faultmatrix(args: &[String]) -> ExitCode {
     }
     print!("{text}");
     println!("\nxtask faultmatrix: wrote 2 artifacts to {}", out_dir.display());
+    if self_check {
+        return check(&out_dir.join("faultmatrix.json"));
+    }
     ExitCode::SUCCESS
 }
 
@@ -165,10 +191,30 @@ struct Baseline {
     elapsed_s: f64,
 }
 
+/// One graded cell from the seeded sub-sweep (P = 4, restart policy).
+struct SeededCell {
+    seed: u64,
+    kind: &'static str,
+    rank: usize,
+    outcome: &'static str,
+    attempts: usize,
+}
+
+/// A seeded plan the sweep deliberately refuses to grade; the reason is
+/// part of the artifact so the exclusion is auditable.
+struct SkippedCell {
+    seed: u64,
+    kind: &'static str,
+    rank: usize,
+    reason: &'static str,
+}
+
 struct Matrix {
     baselines: Vec<Baseline>,
     cells: Vec<Cell>,
     ksweep: Vec<KRow>,
+    seeded: Vec<SeededCell>,
+    skipped: Vec<SkippedCell>,
 }
 
 fn parallel_config() -> ParallelConfig {
@@ -186,7 +232,7 @@ fn machine(p: usize) -> MachineSpec {
 }
 
 fn ftc(policy: RecoveryPolicy) -> FtConfig {
-    FtConfig { checkpoint_every: 4, policy, max_restarts: 1 }
+    FtConfig { checkpoint_every: 4, policy, max_restarts: 1, ..FtConfig::default() }
 }
 
 fn opts_with(plan: FaultPlan) -> SimOptions {
@@ -320,7 +366,138 @@ fn run_matrix(smoke: bool) -> Result<Matrix, String> {
         }
     }
 
-    Ok(Matrix { baselines, cells, ksweep: run_ksweep(smoke, &data, &cfg)? })
+    let (seeded, skipped) = run_seeded(smoke, &data, &cfg)?;
+    Ok(Matrix { baselines, cells, ksweep: run_ksweep(smoke, &data, &cfg)?, seeded, skipped })
+}
+
+/// The label a fault action carries in artifacts and diagnoses.
+fn fault_kind_label(a: &FaultAction) -> &'static str {
+    match a {
+        FaultAction::Crash => "crash",
+        FaultAction::Drop { .. } => "drop",
+        FaultAction::Delay { .. } => "delay",
+        FaultAction::Corrupt { .. } => "corrupt",
+        FaultAction::DegradeLink { .. } => "degrade",
+        // The enum is non-exhaustive; a kind this harness does not know
+        // is graded like a fatal one (never skipped).
+        _ => "unknown",
+    }
+}
+
+/// The seeded sub-sweep at P = 4: randomized but reproducible
+/// single-fault plans ([`FaultPlan::seeded`]) graded under the restart
+/// policy. Two plan shapes are deliberately *skipped* and recorded as
+/// explicit cells with reasons rather than silently dropped:
+///
+/// * a **crash on rank 0** — rank 0 publishes the checkpoints, and a
+///   crash there can land inside a publication; whether the snapshot
+///   store survives that race is not modeled, so the restart contract
+///   does not cover the cell;
+/// * the **benign kinds** (delay, degraded link) — absorbed with no
+///   failure report by design and graded by the dedicated benign cells,
+///   so the recovery gates do not apply.
+///
+/// The seed list is deterministically extended with the first seed whose
+/// plan is a rank-0 crash, so the sweep always *exhibits* the skip rule
+/// instead of merely stating it.
+fn run_seeded(
+    smoke: bool,
+    data: &autoclass::data::Dataset,
+    cfg: &ParallelConfig,
+) -> Result<(Vec<SeededCell>, Vec<SkippedCell>), String> {
+    const P: usize = 4;
+    let n_seeds: u64 = if smoke { 6 } else { 12 };
+    let mut seeds: Vec<u64> = (1..=n_seeds).collect();
+    if let Some(s0) = (1..10_000).find(|&s| {
+        FaultPlan::seeded(s, P)
+            .specs()
+            .iter()
+            .any(|sp| sp.rank == 0 && matches!(sp.action, FaultAction::Crash))
+    }) {
+        if !seeds.contains(&s0) {
+            seeds.push(s0);
+        }
+    }
+    let spec = machine(P);
+    let base = run_search_ft(
+        data,
+        &spec,
+        cfg,
+        &ftc(RecoveryPolicy::RestartFromCheckpoint),
+        &SimOptions::default(),
+    )
+    .map_err(|e| format!("seeded baseline failed: {e}"))?;
+    let base_bits = result_bits(&base.outcome);
+    let mut cells = Vec::new();
+    let mut skipped = Vec::new();
+    for seed in seeds {
+        let plan = FaultPlan::seeded(seed, P);
+        let (rank, kind) = {
+            let sp = &plan.specs()[0];
+            (sp.rank, fault_kind_label(&sp.action))
+        };
+        if rank == 0 && kind == "crash" {
+            skipped.push(SkippedCell {
+                seed,
+                kind,
+                rank,
+                reason: "crash on rank 0 can land inside a checkpoint publication and lose the \
+                         snapshot store — a race the restart contract does not model, so the \
+                         cell is excluded, not silently absorbed",
+            });
+            continue;
+        }
+        if matches!(kind, "delay" | "degrade") {
+            skipped.push(SkippedCell {
+                seed,
+                kind,
+                rank,
+                reason: "benign fault kind: absorbed with no failure report by design and \
+                         graded by the dedicated benign cells, so the recovery gates do not \
+                         apply",
+            });
+            continue;
+        }
+        let out = run_search_ft(
+            data,
+            &spec,
+            cfg,
+            &ftc(RecoveryPolicy::RestartFromCheckpoint),
+            &opts_with(plan),
+        )
+        .map_err(|e| format!("seed {seed} ({kind} on rank {rank}): recovery failed: {e}"))?;
+        match (out.attempts, out.faults.len()) {
+            // Either the trigger was never reached (clean run) or exactly
+            // one fault fired and one recovery followed.
+            (1, 0) | (2, 1) => {}
+            (a, f) => {
+                return Err(format!(
+                    "seed {seed} ({kind} on rank {rank}): {f} fault(s) in {a} attempt(s)"
+                ));
+            }
+        }
+        if let Some(e) = out.faults.first() {
+            match culprit_of(e) {
+                Some((r, k)) if r == rank && k == kind => {}
+                _ => {
+                    return Err(format!(
+                        "seed {seed}: diagnosis does not name the injected fault \
+                         ({kind} on rank {rank}): {e}"
+                    ));
+                }
+            }
+        }
+        if result_bits(&out.outcome) != base_bits {
+            return Err(format!(
+                "seed {seed} ({kind} on rank {rank}): recovered result differs from the \
+                 fault-free bits"
+            ));
+        }
+        let outcome =
+            if out.faults.is_empty() { "completed (trigger never reached)" } else { "recovered" };
+        cells.push(SeededCell { seed, kind, rank, outcome, attempts: out.attempts });
+    }
+    Ok((cells, skipped))
 }
 
 /// Enforce one fatal cell's gates and record it.
@@ -328,7 +505,7 @@ fn grade_cell(
     p: usize,
     kind: &'static str,
     policy: &'static str,
-    res: Result<pautoclass::FtOutcome, RunError>,
+    res: Result<FtOutcome, RunError>,
     base_bits: &(u64, Vec<u64>),
 ) -> Result<Cell, String> {
     let where_ = format!("P={p} {kind} x {policy}");
@@ -372,7 +549,7 @@ fn grade_cell(
                 ));
             }
             check_culprit(&out.faults[0])?;
-            let bit_identical = if policy == "restart" {
+            let bit_identical = if policy == "restart" || policy == "promote" {
                 if &result_bits(&out.outcome) != base_bits {
                     return Err(format!(
                         "{where_}: recovered result differs from the baseline bits"
@@ -384,6 +561,18 @@ fn grade_cell(
                 // valid classification but not the baseline's bits.
                 None
             };
+            if policy == "promote" {
+                if out.promotions != 1 || out.fell_back || out.shrunk || out.survivors != p {
+                    return Err(format!(
+                        "{where_}: promotion not clean (promotions {}, fell_back {}, \
+                         survivors {})",
+                        out.promotions, out.fell_back, out.survivors
+                    ));
+                }
+                if out.recovery_time <= 0.0 {
+                    return Err(format!("{where_}: promotion reported no recovery virtual time"));
+                }
+            }
             if policy == "shrink" {
                 if !out.shrunk || out.survivors != p - 1 {
                     return Err(format!(
@@ -431,6 +620,7 @@ fn run_ksweep(
             checkpoint_every: k,
             policy: RecoveryPolicy::RestartFromCheckpoint,
             max_restarts: 1,
+            ..FtConfig::default()
         };
         let unf = run_search_ft(data, &spec, cfg, &fc, &SimOptions::default())
             .map_err(|e| format!("ksweep k={k}: unfaulted run failed: {e}"))?;
@@ -541,6 +731,10 @@ fn run_largep_matrix(smoke: bool) -> Result<(Vec<Baseline>, Vec<Cell>), String> 
             for (policy, pname) in [
                 (RecoveryPolicy::Abort, "abort"),
                 (RecoveryPolicy::RestartFromCheckpoint, "restart"),
+                // The spare-rank row: one warm spare absorbs the fault
+                // without changing P, even at a thousand ranks on the
+                // cooperative scheduler.
+                (RecoveryPolicy::PromoteSpare, "promote"),
             ] {
                 let res =
                     run_search_ft(&data, &spec, &cfg, &ftc(policy), &coop_opts(Some(plan(kind))));
@@ -563,6 +757,8 @@ fn largep_json(smoke: bool, baselines: &[Baseline], cells: &[Cell], deterministi
     // Enforced in run_largep_matrix via grade_cell; recorded for --check.
     let _ = writeln!(out, "    \"abort_names_correct_culprit\": true,");
     let _ = writeln!(out, "    \"restart_bit_identical\": true,");
+    let _ = writeln!(out, "    \"promote_bit_identical\": true,");
+    let _ = writeln!(out, "    \"promote_preserves_p\": true,");
     let _ = writeln!(out, "    \"deterministic\": {deterministic}");
     out.push_str("  },\n");
     out.push_str("  \"baselines\": [\n");
@@ -596,7 +792,7 @@ fn largep_json(smoke: bool, baselines: &[Baseline], cells: &[Cell], deterministi
     out
 }
 
-fn faultmatrix_largep(smoke: bool, out_dir: &Path) -> ExitCode {
+fn faultmatrix_largep(smoke: bool, out_dir: &Path, self_check: bool) -> ExitCode {
     let (baselines, cells) = match run_largep_matrix(smoke) {
         Ok(v) => v,
         Err(msg) => {
@@ -618,7 +814,13 @@ fn faultmatrix_largep(smoke: bool, out_dir: &Path) -> ExitCode {
         return ExitCode::FAILURE;
     }
     let json = largep_json(smoke, &baselines, &cells, deterministic);
-    let text = to_text(&Matrix { baselines, cells, ksweep: Vec::new() });
+    let text = to_text(&Matrix {
+        baselines,
+        cells,
+        ksweep: Vec::new(),
+        seeded: Vec::new(),
+        skipped: Vec::new(),
+    });
     if let Err(e) = std::fs::create_dir_all(out_dir) {
         eprintln!("xtask faultmatrix --largep: cannot create {}: {e}", out_dir.display());
         return ExitCode::FAILURE;
@@ -632,22 +834,435 @@ fn faultmatrix_largep(smoke: bool, out_dir: &Path) -> ExitCode {
     }
     print!("{text}");
     println!("\nxtask faultmatrix --largep: wrote 2 artifacts to {}", out_dir.display());
+    if self_check {
+        return check(&out_dir.join("faultmatrix_largep.json"));
+    }
     ExitCode::SUCCESS
 }
 
 /// Required keys for the large-`P` artifact (`faultmatrix_largep.json`).
-const LARGEP_REQUIRED: [&str; 11] = [
+const LARGEP_REQUIRED: [&str; 14] = [
     "\"schema_version\": 1",
     "\"kind\": \"largep\"",
     "\"engine\": \"cooperative\"",
     "\"machine\": \"hier_cluster\"",
     "\"abort_names_correct_culprit\": true",
     "\"restart_bit_identical\": true",
+    "\"promote_bit_identical\": true",
+    "\"promote_preserves_p\": true",
     "\"deterministic\": true",
     "\"fault\": \"crash\"",
     "\"fault\": \"corrupt\"",
     "\"policy\": \"abort\"",
     "\"policy\": \"restart\"",
+    "\"policy\": \"promote\"",
+];
+
+/// One cell of the localized-recovery (standby) sweep.
+struct StandbyCell {
+    p: usize,
+    scenario: &'static str,
+    backend: &'static str,
+    outcome: String,
+    attempts: usize,
+    promotions: usize,
+    replays: usize,
+    fell_back: bool,
+    survivors: usize,
+    bit_identical: Option<bool>,
+    recovery_s: f64,
+    elapsed_s: f64,
+}
+
+/// Gate one standby outcome against its expected shape — exact
+/// attempts/promotions/replays/fallback counts, P preserved, and the
+/// result bit-identical to the fault-free baseline — and record it.
+fn grade_standby(
+    p: usize,
+    scenario: &'static str,
+    backend: &'static str,
+    out: &FtOutcome,
+    base_bits: &(u64, Vec<u64>),
+    want: (usize, usize, usize, bool),
+) -> Result<StandbyCell, String> {
+    let where_ = format!("P={p} {scenario} [{backend}]");
+    let (attempts, promotions, replays, fell_back) = want;
+    if out.attempts != attempts
+        || out.promotions != promotions
+        || out.replays != replays
+        || out.fell_back != fell_back
+    {
+        return Err(format!(
+            "{where_}: expected attempts/promotions/replays/fell_back = \
+             {attempts}/{promotions}/{replays}/{fell_back}, got {}/{}/{}/{}",
+            out.attempts, out.promotions, out.replays, out.fell_back
+        ));
+    }
+    if out.shrunk || out.survivors != p {
+        return Err(format!(
+            "{where_}: P not preserved ({} survivors, shrunk: {})",
+            out.survivors, out.shrunk
+        ));
+    }
+    if &result_bits(&out.outcome) != base_bits {
+        return Err(format!("{where_}: result differs from the fault-free bits"));
+    }
+    let outcome = if out.attempts == 1 {
+        "completed"
+    } else if out.fell_back {
+        "recovered (fell back)"
+    } else {
+        "recovered"
+    };
+    Ok(StandbyCell {
+        p,
+        scenario,
+        backend,
+        outcome: outcome.to_string(),
+        attempts: out.attempts,
+        promotions: out.promotions,
+        replays: out.replays,
+        fell_back: out.fell_back,
+        survivors: out.survivors,
+        bit_identical: Some(true),
+        recovery_s: out.recovery_time,
+        elapsed_s: out.outcome.elapsed,
+    })
+}
+
+/// The localized-recovery sweep: every cell injects the same crash as the
+/// main matrix (culprit rank 1, send #13 — past the first checkpoint) and
+/// gates the two localized mechanisms against the rollback policy:
+///
+/// * **promote** — a warm spare takes over the culprit's logical slot on
+///   the threaded engine, the cooperative engine, *and* the native
+///   backend: exactly one promotion, P preserved, result bit-identical
+///   to the fault-free run.
+/// * **replay vs restart** — on the identical fault cell, the in-flight
+///   replay's recovery virtual time must be *strictly* below the full
+///   rollback's (localization is the point; equality means the log
+///   bought nothing).
+/// * **exhausted** — two crashes against one spare: the second promotion
+///   request must fall back to a full restart deterministically
+///   (attempts = 3, exactly one promotion, `fell_back`).
+/// * **corrupt-shard** — a corrupted checkpoint shard under promotion:
+///   the spare must refuse the shard with a typed diagnosis naming the
+///   shard's owner and fall back to restarting from the intact image,
+///   without consuming the spare.
+fn run_standby_matrix(smoke: bool) -> Result<Vec<StandbyCell>, String> {
+    let ps: &[usize] = if smoke { &[2, 5] } else { &[2, 5, 8] };
+    let data = datagen::paper_dataset(240, 7);
+    let cfg = parallel_config();
+    let mut cells = Vec::new();
+    for &p in ps {
+        let spec = machine(p);
+        let base = run_search_ft(
+            &data,
+            &spec,
+            &cfg,
+            &ftc(RecoveryPolicy::RestartFromCheckpoint),
+            &SimOptions::default(),
+        )
+        .map_err(|e| format!("P={p}: unfaulted baseline failed: {e}"))?;
+        if base.attempts != 1 || !base.faults.is_empty() {
+            return Err(format!("P={p}: unfaulted baseline reported phantom faults"));
+        }
+        let base_bits = result_bits(&base.outcome);
+        cells.push(grade_standby(
+            p,
+            "baseline",
+            "sim-threaded",
+            &base,
+            &base_bits,
+            (1, 0, 0, false),
+        )?);
+
+        // Spare promotion on both simulator engines.
+        for (backend, engine) in
+            [("sim-threaded", Engine::Threaded), ("sim-coop", Engine::Cooperative)]
+        {
+            let opts =
+                SimOptions { engine, fault: Some(plan_for("crash")), ..SimOptions::default() };
+            let out = run_search_ft(&data, &spec, &cfg, &ftc(RecoveryPolicy::PromoteSpare), &opts)
+                .map_err(|e| format!("P={p} promote [{backend}]: {e}"))?;
+            let cell = grade_standby(p, "promote", backend, &out, &base_bits, (2, 1, 0, false))?;
+            if cell.recovery_s <= 0.0 {
+                return Err(format!(
+                    "P={p} promote [{backend}]: promotion reported no recovery virtual time"
+                ));
+            }
+            cells.push(cell);
+        }
+
+        // Spare promotion on the native backend: same crash plan, real
+        // threads. Timings are wall-clock there, so they are zeroed in
+        // the artifact — the determinism gate compares rendered JSON and
+        // must see only modeled quantities.
+        let nopts = NativeOptions { fault: Some(plan_for("crash")), ..NativeOptions::default() };
+        let out =
+            run_search_ft_native(&data, &spec, &cfg, &ftc(RecoveryPolicy::PromoteSpare), &nopts)
+                .map_err(|e| format!("P={p} promote [native]: {e}"))?;
+        let mut cell = grade_standby(p, "promote", "native", &out, &base_bits, (2, 1, 0, false))?;
+        cell.recovery_s = 0.0;
+        cell.elapsed_s = 0.0;
+        cells.push(cell);
+
+        // The same crash under full rollback and under localized replay:
+        // the replay horizon must be strictly cheaper.
+        let restart = run_search_ft(
+            &data,
+            &spec,
+            &cfg,
+            &ftc(RecoveryPolicy::RestartFromCheckpoint),
+            &opts_with(plan_for("crash")),
+        )
+        .map_err(|e| format!("P={p} restart: {e}"))?;
+        cells.push(grade_standby(
+            p,
+            "restart",
+            "sim-threaded",
+            &restart,
+            &base_bits,
+            (2, 0, 0, false),
+        )?);
+        let replay = run_search_ft(
+            &data,
+            &spec,
+            &cfg,
+            &ftc(RecoveryPolicy::LocalReplay),
+            &opts_with(plan_for("crash")),
+        )
+        .map_err(|e| format!("P={p} replay: {e}"))?;
+        cells.push(grade_standby(
+            p,
+            "replay",
+            "sim-threaded",
+            &replay,
+            &base_bits,
+            (2, 0, 1, false),
+        )?);
+        if restart.recovery_time <= 0.0 {
+            return Err(format!("P={p}: rollback charged no recovery virtual time"));
+        }
+        if replay.recovery_time >= restart.recovery_time {
+            return Err(format!(
+                "P={p}: replay recovery {:.9}s is not strictly below the rollback's {:.9}s — \
+                 the in-flight log bought nothing",
+                replay.recovery_time, restart.recovery_time
+            ));
+        }
+
+        // Two crashes against one spare: the first promotes, the second
+        // finds the pool exhausted and falls back to a full restart. Both
+        // crashes land before the first checkpoint so each re-run
+        // re-reaches the next trigger from scratch.
+        let two_crashes = FaultPlan::new(vec![
+            FaultSpec {
+                rank: CULPRIT,
+                action: FaultAction::Crash,
+                trigger: FaultTrigger::AtSendSeq(5),
+            },
+            FaultSpec {
+                rank: CULPRIT,
+                action: FaultAction::Crash,
+                trigger: FaultTrigger::AtSendSeq(9),
+            },
+        ]);
+        let ft = FtConfig {
+            checkpoint_every: 4,
+            policy: RecoveryPolicy::PromoteSpare,
+            max_restarts: 2,
+            ..FtConfig::default()
+        };
+        let out = run_search_ft(&data, &spec, &cfg, &ft, &opts_with(two_crashes))
+            .map_err(|e| format!("P={p} exhausted: {e}"))?;
+        cells.push(grade_standby(
+            p,
+            "exhausted",
+            "sim-threaded",
+            &out,
+            &base_bits,
+            (3, 1, 0, true),
+        )?);
+
+        // A corrupted checkpoint shard: promotion must refuse it with a
+        // typed diagnosis naming the shard's owner, fall back to the
+        // intact full image, and leave the spare unconsumed.
+        let ft = FtConfig {
+            checkpoint_every: 4,
+            policy: RecoveryPolicy::PromoteSpare,
+            max_restarts: 1,
+            standby: StandbyConfig {
+                shard_fault: Some(ShardFault { logical_rank: CULPRIT, byte: 7, mask: 0x40 }),
+                ..StandbyConfig::default()
+            },
+        };
+        let out = run_search_ft(&data, &spec, &cfg, &ft, &opts_with(plan_for("crash")))
+            .map_err(|e| format!("P={p} corrupt-shard: {e}"))?;
+        if !out
+            .faults
+            .iter()
+            .any(|f| matches!(f, SimError::PayloadCorrupt { from, .. } if *from == CULPRIT))
+        {
+            return Err(format!(
+                "P={p} corrupt-shard: no corruption diagnosis naming rank {CULPRIT} in {:?}",
+                out.faults
+            ));
+        }
+        cells.push(grade_standby(
+            p,
+            "corrupt-shard",
+            "sim-threaded",
+            &out,
+            &base_bits,
+            (2, 0, 0, true),
+        )?);
+    }
+    Ok(cells)
+}
+
+fn standby_json(smoke: bool, cells: &[StandbyCell], deterministic: bool) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"schema_version\": 1,");
+    let _ = writeln!(out, "  \"kind\": \"standby\",");
+    let _ = writeln!(out, "  \"smoke\": {smoke},");
+    let _ = writeln!(out, "  \"culprit_rank\": {CULPRIT},");
+    out.push_str("  \"gates\": {\n");
+    // Enforced in run_standby_matrix; recorded for --check.
+    let _ = writeln!(out, "    \"promote_preserves_p\": true,");
+    let _ = writeln!(out, "    \"promote_bit_identical\": true,");
+    let _ = writeln!(out, "    \"promote_native_bit_identical\": true,");
+    let _ = writeln!(out, "    \"replay_strictly_cheaper_than_restart\": true,");
+    let _ = writeln!(out, "    \"shard_corruption_detected\": true,");
+    let _ = writeln!(out, "    \"exhausted_fallback_deterministic\": {deterministic},");
+    let _ = writeln!(out, "    \"deterministic\": {deterministic}");
+    out.push_str("  },\n");
+    out.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let comma = if i + 1 < cells.len() { "," } else { "" };
+        let bits = match c.bit_identical {
+            Some(v) => v.to_string(),
+            None => "null".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "    {{\"p\": {}, \"scenario\": \"{}\", \"backend\": \"{}\", \"outcome\": \"{}\", \
+             \"attempts\": {}, \"promotions\": {}, \"replays\": {}, \"fell_back\": {}, \
+             \"survivors\": {}, \"bit_identical\": {bits}, \"recovery_s\": {:.9}, \
+             \"elapsed_s\": {:.9}}}{comma}",
+            c.p,
+            c.scenario,
+            c.backend,
+            c.outcome,
+            c.attempts,
+            c.promotions,
+            c.replays,
+            c.fell_back,
+            c.survivors,
+            c.recovery_s,
+            c.elapsed_s
+        );
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn standby_text(cells: &[StandbyCell]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "localized recovery sweep (culprit rank {CULPRIT}, all gates enforced)");
+    let _ = writeln!(
+        out,
+        "{:>3}  {:<13} {:<12} {:>8} {:>5} {:>7} {:>9} {:>9} {:>12} {:>12}  outcome",
+        "P",
+        "scenario",
+        "backend",
+        "attempts",
+        "promo",
+        "replays",
+        "fellback",
+        "survivors",
+        "recovery_s",
+        "elapsed_s"
+    );
+    for c in cells {
+        let _ = writeln!(
+            out,
+            "{:>3}  {:<13} {:<12} {:>8} {:>5} {:>7} {:>9} {:>9} {:>12.6} {:>12.6}  {}",
+            c.p,
+            c.scenario,
+            c.backend,
+            c.attempts,
+            c.promotions,
+            c.replays,
+            c.fell_back,
+            c.survivors,
+            c.recovery_s,
+            c.elapsed_s,
+            c.outcome
+        );
+    }
+    out
+}
+
+fn faultmatrix_standby(smoke: bool, out_dir: &Path, self_check: bool) -> ExitCode {
+    let cells = match run_standby_matrix(smoke) {
+        Ok(v) => v,
+        Err(msg) => {
+            eprintln!("xtask faultmatrix --standby: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let deterministic = match run_standby_matrix(smoke) {
+        Ok(second) => standby_json(smoke, &second, true) == standby_json(smoke, &cells, true),
+        Err(msg) => {
+            eprintln!("xtask faultmatrix --standby: repeat run failed: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if !deterministic {
+        eprintln!("xtask faultmatrix --standby: repeated sweep rendered different artifacts");
+        return ExitCode::FAILURE;
+    }
+    let json = standby_json(smoke, &cells, deterministic);
+    let text = standby_text(&cells);
+    if let Err(e) = std::fs::create_dir_all(out_dir) {
+        eprintln!("xtask faultmatrix --standby: cannot create {}: {e}", out_dir.display());
+        return ExitCode::FAILURE;
+    }
+    for (name, content) in [("faultmatrix_standby.json", &json), ("faultmatrix_standby.txt", &text)]
+    {
+        let path = out_dir.join(name);
+        if let Err(e) = std::fs::write(&path, content) {
+            eprintln!("xtask faultmatrix --standby: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+    print!("{text}");
+    println!("\nxtask faultmatrix --standby: wrote 2 artifacts to {}", out_dir.display());
+    if self_check {
+        return check(&out_dir.join("faultmatrix_standby.json"));
+    }
+    ExitCode::SUCCESS
+}
+
+/// Required keys for the standby artifact (`faultmatrix_standby.json`).
+const STANDBY_REQUIRED: [&str; 16] = [
+    "\"schema_version\": 1",
+    "\"kind\": \"standby\"",
+    "\"promote_preserves_p\": true",
+    "\"promote_bit_identical\": true",
+    "\"promote_native_bit_identical\": true",
+    "\"replay_strictly_cheaper_than_restart\": true",
+    "\"shard_corruption_detected\": true",
+    "\"exhausted_fallback_deterministic\": true",
+    "\"deterministic\": true",
+    "\"scenario\": \"promote\"",
+    "\"scenario\": \"restart\"",
+    "\"scenario\": \"replay\"",
+    "\"scenario\": \"exhausted\"",
+    "\"scenario\": \"corrupt-shard\"",
+    "\"backend\": \"native\"",
+    "\"backend\": \"sim-coop\"",
 ];
 
 fn to_text(m: &Matrix) -> String {
@@ -677,6 +1292,23 @@ fn to_text(m: &Matrix) -> String {
             c.elapsed_s,
             c.outcome
         );
+    }
+    if !m.seeded.is_empty() || !m.skipped.is_empty() {
+        let _ = writeln!(out, "\nseeded plans (P = 4, restart policy)");
+        for c in &m.seeded {
+            let _ = writeln!(
+                out,
+                "  seed {:>5}  {:<8} rank {}  attempts {}  {}",
+                c.seed, c.kind, c.rank, c.attempts, c.outcome
+            );
+        }
+        for c in &m.skipped {
+            let _ = writeln!(
+                out,
+                "  seed {:>5}  {:<8} rank {}  SKIPPED: {}",
+                c.seed, c.kind, c.rank, c.reason
+            );
+        }
     }
     if m.ksweep.is_empty() {
         return out;
@@ -710,6 +1342,7 @@ fn to_json(smoke: bool, m: &Matrix, deterministic: bool) -> String {
     let _ = writeln!(out, "    \"shrink_survivors_ok\": true,");
     let _ = writeln!(out, "    \"benign_faults_absorbed\": true,");
     let _ = writeln!(out, "    \"ksweep_bit_identical\": true,");
+    let _ = writeln!(out, "    \"seeded_recovered_bit_identical\": true,");
     let _ = writeln!(out, "    \"deterministic\": {deterministic}");
     out.push_str("  },\n");
     out.push_str("  \"baselines\": [\n");
@@ -741,6 +1374,27 @@ fn to_json(smoke: bool, m: &Matrix, deterministic: bool) -> String {
         );
     }
     out.push_str("  ],\n");
+    out.push_str("  \"seeded_cells\": [\n");
+    for (i, c) in m.seeded.iter().enumerate() {
+        let comma = if i + 1 < m.seeded.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"seed\": {}, \"fault\": \"{}\", \"rank\": {}, \"outcome\": \"{}\", \
+             \"attempts\": {}, \"bit_identical\": true}}{comma}",
+            c.seed, c.kind, c.rank, c.outcome, c.attempts
+        );
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"skipped_cells\": [\n");
+    for (i, c) in m.skipped.iter().enumerate() {
+        let comma = if i + 1 < m.skipped.len() { "," } else { "" };
+        let _ = writeln!(
+            out,
+            "    {{\"seed\": {}, \"fault\": \"{}\", \"rank\": {}, \"reason\": \"{}\"}}{comma}",
+            c.seed, c.kind, c.rank, c.reason
+        );
+    }
+    out.push_str("  ],\n");
     out.push_str("  \"checkpoint_interval_sweep\": [\n");
     for (i, r) in m.ksweep.iter().enumerate() {
         let comma = if i + 1 < m.ksweep.len() { "," } else { "" };
@@ -766,22 +1420,11 @@ fn check(path: &Path) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if text.contains("\"kind\": \"standby\"") {
+        return check_required(path, &text, &STANDBY_REQUIRED);
+    }
     if text.contains("\"kind\": \"largep\"") {
-        let mut missing = Vec::new();
-        for key in LARGEP_REQUIRED {
-            if !text.contains(key) {
-                missing.push(key);
-            }
-        }
-        return if missing.is_empty() {
-            println!("xtask faultmatrix --check: {} ok", path.display());
-            ExitCode::SUCCESS
-        } else {
-            for key in missing {
-                eprintln!("xtask faultmatrix --check: {} missing {key}", path.display());
-            }
-            ExitCode::FAILURE
-        };
+        return check_required(path, &text, &LARGEP_REQUIRED);
     }
     let required = [
         "\"schema_version\": 1",
@@ -803,9 +1446,17 @@ fn check(path: &Path) -> ExitCode {
         "\"policy\": \"abort\"",
         "\"policy\": \"restart\"",
         "\"policy\": \"shrink\"",
+        "\"seeded_recovered_bit_identical\": true",
+        "\"seeded_cells\"",
+        "\"skipped_cells\"",
+        "\"reason\"",
         "\"checkpoint_interval_sweep\"",
         "\"resume_saving_s\"",
     ];
+    check_required(path, &text, &required)
+}
+
+fn check_required(path: &Path, text: &str, required: &[&str]) -> ExitCode {
     let mut missing = Vec::new();
     for key in required {
         if !text.contains(key) {

@@ -64,7 +64,7 @@ fn main() -> ExitCode {
                  | bench [--smoke] [--native] [--engines] [--ensemble] [--out PATH] [--check PATH] \
                  | report [--smoke] [--largep] [--out DIR] [--check PATH] \
                  | calibrate [--smoke] [--out PATH] [--check PATH] \
-                 | faultmatrix [--smoke] [--largep] [--out DIR] [--check PATH]"
+                 | faultmatrix [--smoke] [--largep] [--standby] [--out DIR] [--check [PATH]]"
             );
             ExitCode::FAILURE
         }
